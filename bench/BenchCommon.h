@@ -1,0 +1,215 @@
+//===- bench/BenchCommon.h - Shared benchmark utilities --------*- C++ -*-===//
+///
+/// \file
+/// Synthetic workload generators matched to the paper's evaluation
+/// datasets (see DESIGN.md section 3 for the substitutions), timers,
+/// and table printing. Every bench binary prints the rows/series of the
+/// table or figure it reproduces; absolute numbers differ from the
+/// paper's testbed (interpreter engine, modeled GPU), the *shape* is
+/// what is being reproduced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_BENCH_BENCHCOMMON_H
+#define AUGUR_BENCH_BENCHCOMMON_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "api/Infer.h"
+#include "math/Special.h"
+#include "models/PaperModels.h"
+
+namespace augur {
+namespace bench {
+
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// A synthetic K-cluster D-dimensional mixture dataset: cluster centers
+/// on a scaled hypercube, unit observation noise.
+struct MixtureData {
+  BlockedReal Points;               ///< n x d
+  std::vector<std::vector<double>> Centers;
+};
+
+inline MixtureData mixtureData(int64_t K, int64_t D, int64_t N,
+                               uint64_t Seed, double Spread = 6.0) {
+  RNG Rng(Seed);
+  MixtureData M;
+  M.Centers.assign(static_cast<size_t>(K), std::vector<double>(D, 0.0));
+  for (int64_t C = 0; C < K; ++C)
+    for (int64_t J = 0; J < D; ++J)
+      M.Centers[static_cast<size_t>(C)][static_cast<size_t>(J)] =
+          Spread * ((C >> (J % 8)) & 1 ? 1.0 : -1.0) +
+          0.5 * Rng.gauss() + 0.3 * double(C);
+  M.Points = BlockedReal::rect(N, D, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t C = Rng.uniformInt(K);
+    for (int64_t J = 0; J < D; ++J)
+      M.Points.at(I, J) =
+          M.Centers[static_cast<size_t>(C)][static_cast<size_t>(J)] +
+          Rng.gauss();
+  }
+  return M;
+}
+
+/// Arguments for the HGMMKnownCov model over a mixture dataset.
+inline std::vector<Value> hgmmKnownCovArgs(int64_t K, int64_t D, int64_t N,
+                                           double PriorVar = 50.0) {
+  std::vector<double> Diag(static_cast<size_t>(D), PriorVar);
+  std::vector<double> UnitD(static_cast<size_t>(D), 1.0);
+  return {Value::intScalar(K),
+          Value::intScalar(N),
+          Value::realVec(BlockedReal::flat(K, 1.0)),
+          Value::realVec(BlockedReal::flat(D, 0.0)),
+          Value::matrix(Matrix::diagonal(Diag)),
+          Value::matrix(Matrix::diagonal(UnitD))};
+}
+
+/// Arguments for the full HGMM (InvWishart covariances).
+inline std::vector<Value> hgmmArgs(int64_t K, int64_t D, int64_t N) {
+  std::vector<double> Diag(static_cast<size_t>(D), 50.0);
+  std::vector<double> UnitD(static_cast<size_t>(D), 1.0);
+  return {Value::intScalar(K),
+          Value::intScalar(N),
+          Value::realVec(BlockedReal::flat(K, 1.0)),
+          Value::realVec(BlockedReal::flat(D, 0.0)),
+          Value::matrix(Matrix::diagonal(Diag)),
+          Value::realScalar(double(D) + 3.0),
+          Value::matrix(Matrix::diagonal(UnitD))};
+}
+
+/// A synthetic LDA corpus in the shape of the UCI bag-of-words sets
+/// (Kos: V=6906, ~460k tokens; Nips: V=12419, ~1.9M tokens), scaled by
+/// \p Scale for the single-core CI machine.
+struct Corpus {
+  int64_t V = 0;
+  int64_t D = 0;
+  int64_t Tokens = 0;
+  BlockedInt Words;   // ragged docs
+  BlockedInt Lengths; // per-doc length
+};
+
+inline Corpus ldaCorpus(int64_t V, int64_t D, int64_t MeanLen, int64_t K,
+                        uint64_t Seed) {
+  RNG Rng(Seed);
+  Corpus C;
+  C.V = V;
+  C.D = D;
+  // K "true" topics, each a sparse band over the vocabulary.
+  std::vector<std::vector<double>> Topics(
+      static_cast<size_t>(K), std::vector<double>(V, 0.01));
+  for (int64_t T = 0; T < K; ++T) {
+    int64_t Band = V / K;
+    for (int64_t W = T * Band; W < (T + 1) * Band && W < V; ++W)
+      Topics[static_cast<size_t>(T)][static_cast<size_t>(W)] = 1.0;
+    double Sum = 0.0;
+    for (double P : Topics[static_cast<size_t>(T)])
+      Sum += P;
+    for (double &P : Topics[static_cast<size_t>(T)])
+      P /= Sum;
+  }
+  std::vector<std::vector<int64_t>> Docs;
+  std::vector<int64_t> Lens;
+  for (int64_t Doc = 0; Doc < D; ++Doc) {
+    int64_t Len = MeanLen / 2 + Rng.uniformInt(MeanLen);
+    std::vector<int64_t> Words;
+    int64_t T = Rng.uniformInt(K);
+    for (int64_t I = 0; I < Len; ++I) {
+      if (Rng.uniform() < 0.2)
+        T = Rng.uniformInt(K);
+      const auto &Dist = Topics[static_cast<size_t>(T)];
+      double U = Rng.uniform();
+      double Acc = 0.0;
+      int64_t W = V - 1;
+      for (int64_t J = 0; J < V; ++J) {
+        Acc += Dist[static_cast<size_t>(J)];
+        if (U < Acc) {
+          W = J;
+          break;
+        }
+      }
+      Words.push_back(W);
+    }
+    C.Tokens += Len;
+    Lens.push_back(Len);
+    Docs.push_back(std::move(Words));
+  }
+  C.Words = BlockedInt::ragged(Docs);
+  C.Lengths = BlockedInt::flat(Lens);
+  return C;
+}
+
+/// Logistic-regression data in the shape of the UCI sets the paper
+/// uses (German Credit: ~1000 x 24; Adult: ~48842 x 14).
+struct LogisticData {
+  BlockedReal X;
+  BlockedInt Y;
+  std::vector<double> TrueTheta;
+  double TrueBias = 0.5;
+};
+
+inline LogisticData logisticData(int64_t N, int64_t Kf, uint64_t Seed) {
+  RNG Rng(Seed);
+  LogisticData L;
+  L.TrueTheta.assign(static_cast<size_t>(Kf), 0.0);
+  for (int64_t K = 0; K < Kf; ++K)
+    L.TrueTheta[static_cast<size_t>(K)] = (K % 2 ? -1.0 : 1.0) *
+                                          (0.5 + 1.5 * Rng.uniform());
+  L.X = BlockedReal::rect(N, Kf, 0.0);
+  L.Y = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    double Dot = L.TrueBias;
+    for (int64_t K = 0; K < Kf; ++K) {
+      L.X.at(I, K) = Rng.gauss();
+      Dot += L.X.at(I, K) * L.TrueTheta[static_cast<size_t>(K)];
+    }
+    L.Y.at(I) = Rng.uniform() < 1.0 / (1.0 + std::exp(-Dot)) ? 1 : 0;
+  }
+  return L;
+}
+
+/// Log-predictive probability of held-out mixture points under one
+/// (pi, mu) posterior draw with unit observation covariance.
+inline double mixtureLogPredictive(const BlockedReal &Test,
+                                   const std::vector<double> &Pi,
+                                   const BlockedReal &Mu) {
+  int64_t N = Test.size();
+  int64_t K = Mu.size();
+  int64_t D = Test.rowLen(0);
+  double Total = 0.0;
+  std::vector<double> CompLp(static_cast<size_t>(K));
+  const double Log2Pi = std::log(2.0 * M_PI);
+  for (int64_t I = 0; I < N; ++I) {
+    for (int64_t C = 0; C < K; ++C) {
+      double Quad = 0.0;
+      for (int64_t J = 0; J < D; ++J) {
+        double Z = Test.at(I, J) - Mu.at(C, J);
+        Quad += Z * Z;
+      }
+      CompLp[static_cast<size_t>(C)] =
+          std::log(Pi[static_cast<size_t>(C)] + 1e-300) -
+          0.5 * (D * Log2Pi + Quad);
+    }
+    Total += logSumExp(CompLp);
+  }
+  return Total;
+}
+
+} // namespace bench
+} // namespace augur
+
+#endif // AUGUR_BENCH_BENCHCOMMON_H

@@ -1,0 +1,130 @@
+//===- bench/ablation_flatten.cpp - Ablation A3 ---------------*- C++ -*-===//
+//
+// Ablation of the flattened ragged-vector representation (paper
+// Section 6.2): AugurV2 stores vectors of vectors as one contiguous
+// payload plus offsets, "beneficial for CPU inference algorithms
+// because of the increased locality" and required for mapping GPU
+// operations across all elements. Compared against the pointer-directed
+// std::vector<std::vector<double>> layout on an LDA-style sweep over
+// every token. Uses google-benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "../bench/BenchCommon.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+constexpr int64_t NumDocs = 20000;
+constexpr int64_t MeanLen = 24;
+
+BlockedReal makeFlattened() {
+  RNG Rng(5);
+  std::vector<std::vector<double>> Rows;
+  for (int64_t D = 0; D < NumDocs; ++D) {
+    int64_t Len = MeanLen / 2 + Rng.uniformInt(MeanLen);
+    std::vector<double> Row(static_cast<size_t>(Len));
+    for (auto &V : Row)
+      V = Rng.uniform();
+    Rows.push_back(std::move(Row));
+  }
+  return BlockedReal::ragged(Rows);
+}
+
+std::vector<std::vector<double>> makePointerDirected() {
+  // Same content, but each row a separate heap allocation. Rows are
+  // allocated in shuffled order and interleaved with decoy allocations
+  // so consecutive rows are scattered across the heap, as they would be
+  // after a long-running process has churned its allocator — the
+  // situation the flattened layout is immune to.
+  RNG Rng(5);
+  std::vector<int64_t> Lens;
+  std::vector<std::vector<double>> Contents;
+  for (int64_t D = 0; D < NumDocs; ++D) {
+    int64_t Len = MeanLen / 2 + Rng.uniformInt(MeanLen);
+    std::vector<double> Row(static_cast<size_t>(Len));
+    for (auto &V : Row)
+      V = Rng.uniform();
+    Lens.push_back(Len);
+    Contents.push_back(std::move(Row));
+  }
+  std::vector<int64_t> Order(static_cast<size_t>(NumDocs));
+  for (int64_t I = 0; I < NumDocs; ++I)
+    Order[static_cast<size_t>(I)] = I;
+  RNG Shuf(17);
+  for (int64_t I = NumDocs - 1; I > 0; --I)
+    std::swap(Order[static_cast<size_t>(I)],
+              Order[static_cast<size_t>(Shuf.uniformInt(I + 1))]);
+  std::vector<std::vector<double>> Rows(static_cast<size_t>(NumDocs));
+  std::vector<std::vector<double>> Decoys;
+  for (int64_t I : Order) {
+    Rows[static_cast<size_t>(I)] = Contents[static_cast<size_t>(I)];
+    Decoys.emplace_back(static_cast<size_t>(Shuf.uniformInt(96) + 8));
+  }
+  return Rows;
+}
+
+void BM_FlattenedSweep(benchmark::State &State) {
+  BlockedReal B = makeFlattened();
+  for (auto _ : State) {
+    double Sum = 0.0;
+    for (int64_t D = 0; D < B.size(); ++D) {
+      const double *Row = B.row(D);
+      int64_t Len = B.rowLen(D);
+      for (int64_t J = 0; J < Len; ++J)
+        Sum += Row[J] * 1.0000001;
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_FlattenedSweep);
+
+void BM_PointerDirectedSweep(benchmark::State &State) {
+  auto Rows = makePointerDirected();
+  for (auto _ : State) {
+    double Sum = 0.0;
+    for (const auto &Row : Rows)
+      for (double V : Row)
+        Sum += V * 1.0000001;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_PointerDirectedSweep);
+
+void BM_FlattenedRandomAccess(benchmark::State &State) {
+  BlockedReal B = makeFlattened();
+  RNG Rng(9);
+  for (auto _ : State) {
+    double Sum = 0.0;
+    for (int I = 0; I < 100000; ++I) {
+      int64_t D = Rng.uniformInt(B.size());
+      Sum += B.at(D, Rng.uniformInt(B.rowLen(D)));
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_FlattenedRandomAccess);
+
+void BM_PointerDirectedRandomAccess(benchmark::State &State) {
+  auto Rows = makePointerDirected();
+  RNG Rng(9);
+  for (auto _ : State) {
+    double Sum = 0.0;
+    for (int I = 0; I < 100000; ++I) {
+      const auto &Row = Rows[static_cast<size_t>(
+          Rng.uniformInt(static_cast<int64_t>(Rows.size())))];
+      Sum += Row[static_cast<size_t>(
+          Rng.uniformInt(static_cast<int64_t>(Row.size())))];
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_PointerDirectedRandomAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+//===- bench/compile_times.cpp - Section 7.2 compile times ----*- C++ -*-===//
+//
+// Reproduces the Section 7.2 compile-time observations: "It takes
+// roughly 35 seconds for Stan to compile the model (due to the
+// extensive use of C++ templates in its implementation of AD).
+// AugurV2 compiles almost instantaneously when generating CPU code,
+// while it takes roughly 8 seconds to generate GPU code" (the
+// difference being Clang vs Nvcc).
+//
+// Here: the AugurV2 pipeline (frontend / middle-end / backend) is timed
+// per model and target; the native CPU path additionally invokes the
+// host C compiler (the analogue of the paper's Clang step). Stan's
+// template-heavy compile cannot be reproduced without Stan itself; its
+// published ~35 s figure is printed for reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+#include "cgen/Native.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+double timeCompile(const char *Name, const char *Src,
+                   std::vector<Value> Args, Env Data,
+                   CompileOptions::Target Tgt, bool Native,
+                   bool DriveProcs) {
+  Infer Aug(Src);
+  CompileOptions O;
+  O.Tgt = Tgt;
+  O.NativeCpu = Native;
+  Aug.setCompileOpt(O);
+  Timer T;
+  Status St = Aug.compile(std::move(Args), std::move(Data));
+  if (!St.ok()) {
+    std::fprintf(stderr, "%s: compile failed: %s\n", Name,
+                 St.message().c_str());
+    std::exit(1);
+  }
+  if (DriveProcs) {
+    // Native emission/cc and GPU lowering are lazy; one step forces
+    // them so their cost lands in the measurement.
+    if (!Aug.program().step().ok())
+      std::exit(1);
+  }
+  return T.seconds();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Section 7.2: compilation times ==\n");
+  std::printf("%-8s %18s %18s %18s\n", "model", "cpu-interp (s)",
+              "cpu-native+cc (s)", "gpu-sim lower (s)");
+
+  // GMM-sized instances; compilation cost is data-size independent
+  // except for size inference.
+  MixtureData Mx = mixtureData(3, 2, 500, 2);
+  Env GmmData;
+  GmmData["y"] =
+      Value::realVec(Mx.Points, Type::vec(Type::vec(Type::realTy())));
+
+  LogisticData L = logisticData(500, 10, 2);
+  Env HlrData;
+  HlrData["y"] = Value::intVec(L.Y);
+  auto HlrArgs = [&] {
+    return std::vector<Value>{
+        Value::realScalar(1.0), Value::intScalar(500),
+        Value::intScalar(10),
+        Value::realVec(L.X, Type::vec(Type::vec(Type::realTy())))};
+  };
+
+  Corpus C = ldaCorpus(300, 40, 50, 4, 2);
+  Env LdaData;
+  LdaData["w"] =
+      Value::intVec(C.Words, Type::vec(Type::vec(Type::intTy())));
+  auto LdaArgs = [&] {
+    return std::vector<Value>{
+        Value::intScalar(5),  Value::intScalar(C.D), Value::intScalar(C.V),
+        Value::realVec(BlockedReal::flat(5, 0.5)),
+        Value::realVec(BlockedReal::flat(C.V, 0.1)),
+        Value::intVec(C.Lengths)};
+  };
+
+  {
+    double Interp =
+        timeCompile("hgmm", models::HGMMKnownCov, hgmmKnownCovArgs(3, 2, 500),
+                    GmmData, CompileOptions::Target::Cpu, false, false);
+    double Gpu =
+        timeCompile("hgmm", models::HGMMKnownCov, hgmmKnownCovArgs(3, 2, 500),
+                    GmmData, CompileOptions::Target::GpuSim, false, true);
+    std::printf("%-8s %18.4f %18s %18.4f\n", "hgmm", Interp, "(matrix rt)",
+                Gpu);
+  }
+  {
+    double Interp = timeCompile("hlr", models::HLR, HlrArgs(), HlrData,
+                                CompileOptions::Target::Cpu, false, false);
+    double Native = timeCompile("hlr", models::HLR, HlrArgs(), HlrData,
+                                CompileOptions::Target::Cpu, true, true);
+    double Gpu = timeCompile("hlr", models::HLR, HlrArgs(), HlrData,
+                             CompileOptions::Target::GpuSim, false, true);
+    std::printf("%-8s %18.4f %18.4f %18.4f\n", "hlr", Interp, Native, Gpu);
+  }
+  {
+    double Interp = timeCompile("lda", models::LDA, LdaArgs(), LdaData,
+                                CompileOptions::Target::Cpu, false, false);
+    double Gpu = timeCompile("lda", models::LDA, LdaArgs(), LdaData,
+                             CompileOptions::Target::GpuSim, false, true);
+    std::printf("%-8s %18.4f %18s %18.4f\n", "lda", Interp, "(matrix rt)",
+                Gpu);
+  }
+
+  std::printf("\nreference points from the paper's testbed: Stan ~35 s "
+              "(C++ template AD);\nAugurV2 ~instant for CPU, ~8 s for "
+              "GPU (Nvcc). Here the pipeline itself is\nmilliseconds; "
+              "the native path's cost is one host-cc invocation.\n");
+  return 0;
+}

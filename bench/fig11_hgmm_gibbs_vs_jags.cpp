@@ -1,0 +1,105 @@
+//===- bench/fig11_hgmm_gibbs_vs_jags.cpp - Paper Fig. 11 -----*- C++ -*-===//
+//
+// Reproduces Fig. 11: time to draw 150 samples from a fully-conjugate
+// HGMM (Dirichlet weights, MvNormal means, InvWishart covariances,
+// enumerated assignments) with AugurV2's compiled Gibbs sampler versus
+// the Jags-like graph Gibbs sampler, across (k, d, n) configurations.
+// Both run the same high-level algorithm; the difference is that Jags
+// computes each node's conditional independently on the reified graph
+// while AugurV2 generates fused whole-variable update loops.
+//
+// Scaling note: the paper's grid reaches n = 10000 on native code; the
+// CI machine runs the AugurV2 side on the IL interpreter, so the grid
+// is scaled (n <= 4000, 30 samples). Expected shape: AugurV2 ahead
+// everywhere, with the speedup growing in k (Jags pays one full data
+// pass per mixture component per variable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+#include "baselines/jags/Jags.h"
+#include "density/Frontend.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+constexpr int NumSamples = 30;
+
+double runAugur(int64_t K, int64_t D, int64_t N, const MixtureData &Data) {
+  Infer Aug(models::HGMM);
+  CompileOptions O;
+  O.Seed = 99;
+  Aug.setCompileOpt(O); // heuristic: full Gibbs on this model
+  Env DataEnv;
+  DataEnv["y"] = Value::realVec(Data.Points,
+                                Type::vec(Type::vec(Type::realTy())));
+  Status St = Aug.compile(hgmmArgs(K, D, N), DataEnv);
+  if (!St.ok()) {
+    std::fprintf(stderr, "augur compile failed: %s\n",
+                 St.message().c_str());
+    std::exit(1);
+  }
+  Timer T;
+  for (int I = 0; I < NumSamples; ++I)
+    if (!Aug.program().step().ok())
+      std::exit(1);
+  return T.seconds();
+}
+
+double runJags(int64_t K, int64_t D, int64_t N, const MixtureData &Data) {
+  auto M = parseModel(models::HGMM);
+  Type VecR = Type::vec(Type::realTy());
+  std::map<std::string, Type> H = {
+      {"K", Type::intTy()},     {"N", Type::intTy()},
+      {"alpha", VecR},          {"mu_0", VecR},
+      {"Sigma_0", Type::mat()}, {"nu", Type::realTy()},
+      {"Psi", Type::mat()}};
+  auto TM = typeCheck(M.take(), H);
+  DensityModel DM = lowerToDensity(TM.take());
+  Env E;
+  std::vector<Value> Args = hgmmArgs(K, D, N);
+  const char *Names[] = {"K", "N", "alpha", "mu_0", "Sigma_0", "nu", "Psi"};
+  for (int I = 0; I < 7; ++I)
+    E[Names[I]] = Args[static_cast<size_t>(I)];
+  E["y"] = Value::realVec(Data.Points,
+                          Type::vec(Type::vec(Type::realTy())));
+  auto J = JagsSampler::build(DM, std::move(E), 99);
+  if (!J.ok() || !(*J)->init().ok())
+    std::exit(1);
+  Timer T;
+  for (int I = 0; I < NumSamples; ++I)
+    if (!(*J)->step().ok())
+      std::exit(1);
+  return T.seconds();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Fig. 11: HGMM Gibbs, AugurV2 vs Jags (%d samples) ==\n",
+              NumSamples);
+  std::printf("%-18s %12s %12s %10s\n", "(k, d, n)", "AugurV2 (s)",
+              "Jags (s)", "Speedup");
+  struct Config {
+    int64_t K, D, N;
+  };
+  // The paper's grid shape at CI scale.
+  const Config Grid[] = {
+      {3, 2, 1000}, {3, 2, 4000}, {10, 2, 4000},
+      {3, 10, 4000}, {10, 10, 4000},
+  };
+  for (const auto &C : Grid) {
+    MixtureData Data = mixtureData(C.K, C.D, C.N, 17);
+    double A = runAugur(C.K, C.D, C.N, Data);
+    double J = runJags(C.K, C.D, C.N, Data);
+    std::printf("(%2lld, %2lld, %5lld)   %12.2f %12.2f %9.1fx\n",
+                (long long)C.K, (long long)C.D, (long long)C.N, A, J,
+                J / A);
+  }
+  std::printf("\nshape check (paper): AugurV2 faster on every row; the "
+              "speedup grows\nwith the number of clusters k (Jags pays a "
+              "per-component graph sweep).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- bench/hlr_gpu_sumblock.cpp - Section 7.2 HLR GPU -------*- C++ -*-===//
+//
+// Reproduces the Section 7.2 HLR GPU observations:
+//   * on the German-Credit-sized data (~1000 points, 26 parameters) GPU
+//     HMC is roughly an order of magnitude *worse* than CPU (tiny
+//     kernels, launch overhead, contended atomics);
+//   * on Adult-sized data (~50000 x 14) "the gradients were
+//     parallelized differently due to the summation block
+//     optimization — it is more efficient to run 14 map-reduces over
+//     50000 elements as opposed to launching 50000 threads all
+//     contending to increment 14 locations."
+//
+// Here the first effect shows as modeled-GPU vs modeled-serial-CPU; the
+// second as the sum-block conversion's effect on the gradient kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchCommon.h"
+#include "density/Frontend.h"
+#include "exec/GpuSim.h"
+#include "kernel/KernelIR.h"
+#include "lowpp/Reify.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+/// Modeled times for one gradient evaluation of the HLR joint.
+struct GradTimes {
+  double Gpu = 0.0;
+  double SerialCpu = 0.0;
+};
+
+GradTimes gradTimes(int64_t N, int64_t Kf, bool ConvertSumBlocks) {
+  auto M = parseModel(models::HLR);
+  auto TM = typeCheck(M.take(),
+                      {{"lambda", Type::realTy()},
+                       {"N", Type::intTy()},
+                       {"Kf", Type::intTy()},
+                       {"x", Type::vec(Type::vec(Type::realTy()))}});
+  DensityModel DM = lowerToDensity(TM.take());
+  std::vector<std::string> Targets = {"sigma2", "b", "theta"};
+  BlockCond BC = restrictJoint(DM, Targets);
+  LowppProc Grad = genGradProc("grad_hlr", BC, Targets).take();
+
+  LogisticData L = logisticData(N, Kf, 11);
+  BlkOptions BO;
+  BO.ConvertSumBlocks = ConvertSumBlocks;
+  GpuSimEngine Eng(11, DeviceModel(), BO);
+  Env &E = Eng.env();
+  E["lambda"] = Value::realScalar(1.0);
+  E["N"] = Value::intScalar(N);
+  E["Kf"] = Value::intScalar(Kf);
+  E["x"] = Value::realVec(L.X, Type::vec(Type::vec(Type::realTy())));
+  E["y"] = Value::intVec(L.Y);
+  E["sigma2"] = Value::realScalar(1.0);
+  E["b"] = Value::realScalar(0.1);
+  E["theta"] = Value::realVec(BlockedReal::flat(Kf, 0.1));
+  for (const auto &T : Targets)
+    E["adj_" + T] = zerosLike(E.at(T));
+  Eng.addProc(Grad);
+  Eng.runProc("grad_hlr");
+  return {Eng.modeledSeconds(), Eng.modeledSerialSeconds()};
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Section 7.2: HLR gradients on the GPU model ==\n\n");
+
+  std::printf("(a) small data: German-Credit-sized (1000 x 24)\n");
+  GradTimes Small = gradTimes(1000, 24, true);
+  std::printf("    one gradient: gpu %.3e s vs 1-core %.3e s "
+              "(gpu/cpu = %.2fx)\n",
+              Small.Gpu, Small.SerialCpu, Small.Gpu / Small.SerialCpu);
+  std::printf("    -> launch overhead dominates tiny kernels; the GPU "
+              "does not pay off.\n\n");
+
+  std::printf("(b) Adult-sized (50000 x 14): summation-block "
+              "optimization on the gradient\n");
+  GradTimes WithOpt = gradTimes(50000, 14, true);
+  GradTimes NoOpt = gradTimes(50000, 14, false);
+  std::printf("    with sum-blocks:    %.3e s\n", WithOpt.Gpu);
+  std::printf("    contended atomics:  %.3e s\n", NoOpt.Gpu);
+  std::printf("    benefit: %.1fx (map-reduces over 50000 elements vs "
+              "50000 threads\n    incrementing a handful of "
+              "locations)\n\n",
+              NoOpt.Gpu / WithOpt.Gpu);
+
+  std::printf("(c) the same optimization matters little on small data\n");
+  GradTimes SmallNoOpt = gradTimes(1000, 24, false);
+  std::printf("    1000 x 24: with %.3e s, without %.3e s (%.1fx)\n",
+              Small.Gpu, SmallNoOpt.Gpu, SmallNoOpt.Gpu / Small.Gpu);
+
+  std::printf("\nshape check (paper): GPU loses on the small dataset; "
+              "the summation-block\nconversion is what makes the large "
+              "dataset's gradients parallelize well.\n");
+  return 0;
+}

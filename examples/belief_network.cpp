@@ -1,0 +1,64 @@
+//===- examples/belief_network.cpp - Sigmoid belief network ---*- C++ -*-===//
+//
+// A small deep generative model (the paper's Section 2 names sigmoid
+// belief networks in the expressible class): two binary hidden causes
+// per observation behind a sigmoid link. Demonstrates a `let`
+// deterministic transformation, a composite schedule mixing enumerated
+// Gibbs on the discrete layer with block HMC on the weights, and the
+// multi-chain diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdio>
+
+#include "api/Diagnostics.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+int main() {
+  const int64_t N = 150;
+  const double TrueB = -1.0, TrueW1 = 3.0, TrueW2 = -3.0;
+  RNG DataRng(99);
+  BlockedInt X = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    int H0 = DataRng.uniform() < 0.5 ? 1 : 0;
+    int H1 = DataRng.uniform() < 0.5 ? 1 : 0;
+    double P =
+        1.0 / (1.0 + std::exp(-(TrueB + TrueW1 * H0 + TrueW2 * H1)));
+    X.at(I) = DataRng.uniform() < P ? 1 : 0;
+  }
+
+  std::printf("model:\n%s\n", models::SBN);
+  Env Data;
+  Data["x"] = Value::intVec(X);
+
+  CompileOptions O;
+  O.UserSchedule = "Gibbs h (*) HMC (w1, w2, b)";
+  O.Hmc.StepSize = 0.03;
+  O.Hmc.LeapfrogSteps = 12;
+
+  SampleOptions SO;
+  SO.NumSamples = 200;
+  SO.BurnIn = 100;
+
+  auto R = runChains(models::SBN, O,
+                     {Value::intScalar(N), Value::realScalar(2.0),
+                      Value::realScalar(0.5)},
+                     Data, SO, /*NumChains=*/3);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s\n", R.message().c_str());
+    return 1;
+  }
+
+  std::printf("3 chains x %d samples (after %d burn-in):\n",
+              SO.NumSamples, SO.BurnIn);
+  for (const char *Var : {"w1", "w2", "b"})
+    std::printf("  %-3s mean=%6.2f  R-hat=%.3f  ESS=%.0f\n", Var,
+                R->mean(Var), R->rHat(Var), R->ess(Var));
+  std::printf("(generated with b=%.1f, w1=%.1f, w2=%.1f; hidden-unit\n"
+              "label symmetry means w1/w2 may swap)\n",
+              TrueB, TrueW1, TrueW2);
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- examples/clustering_gpu.cpp - HGMM on the device simulator -*- C++-===//
+//
+// The full hierarchical GMM (Dirichlet weights, MvNormal means,
+// InvWishart covariances) on the GPU target: the backend runs size
+// inference, lowers every update through the Blk IL with the Section
+// 5.4 optimizations, and the device simulator reports modeled kernel
+// time per procedure. Also prints the emitted CUDA for one update.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "api/Infer.h"
+#include "cgen/CudaEmit.h"
+#include "exec/GpuSim.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+int main() {
+  const int64_t K = 3, N = 600, D = 2;
+  RNG DataRng(5);
+  BlockedReal Y = BlockedReal::rect(N, D, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t C = DataRng.uniformInt(K);
+    Y.at(I, 0) = DataRng.gauss(4.0 * double(C) - 4.0, 1.0);
+    Y.at(I, 1) = DataRng.gauss(C == 1 ? 4.0 : -2.0, 1.0);
+  }
+
+  Infer Aug(models::HGMM);
+  CompileOptions O;
+  O.Tgt = CompileOptions::Target::GpuSim;
+  Aug.setCompileOpt(O);
+  Env Data;
+  Data["y"] = Value::realVec(Y, Type::vec(Type::vec(Type::realTy())));
+  Status St = Aug.compile(
+      {Value::intScalar(K), Value::intScalar(N),
+       Value::realVec(BlockedReal::flat(K, 1.0)),
+       Value::realVec(BlockedReal::flat(D, 0.0)),
+       Value::matrix(Matrix::diagonal({25.0, 25.0})),
+       Value::realScalar(double(D) + 4.0),
+       Value::matrix(Matrix::identity(D))},
+      Data);
+  if (!St.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", St.message().c_str());
+    return 1;
+  }
+  std::printf("schedule: %s\n\n", Aug.program().schedule().str().c_str());
+
+  auto S = Aug.sample(100);
+  if (!S.ok()) {
+    std::fprintf(stderr, "sampling error: %s\n", S.message().c_str());
+    return 1;
+  }
+
+  auto *Gpu = dynamic_cast<GpuSimEngine *>(&Aug.program().engine());
+  std::printf("modeled device time for 100 sweeps: %.4f ms\n",
+              Gpu->modeledSeconds() * 1e3);
+  for (const char *Proc : {"gibbs_pi", "gibbs_mu", "gibbs_Sigma",
+                           "gibbs_z"}) {
+    const GpuProcInfo &Info = Gpu->procInfo(Proc);
+    std::printf("  %-12s launches=%-5llu modeled=%.4f ms  "
+                "device mem=%lld bytes\n",
+                Proc, (unsigned long long)Info.Launches,
+                Info.ModeledSeconds * 1e3,
+                (long long)Info.Plan.totalBytes());
+  }
+
+  double M0 = 0.0, M1 = 0.0, M2 = 0.0;
+  size_t Half = S->size() / 2, Kept = 0;
+  for (size_t I = Half; I < S->size(); ++I) {
+    const BlockedReal &Mu = S->Draws.at("mu")[I].realVec();
+    M0 += Mu.at(0, 0);
+    M1 += Mu.at(1, 0);
+    M2 += Mu.at(2, 0);
+    ++Kept;
+  }
+  std::printf("\nposterior mean first coordinates: %.2f %.2f %.2f "
+              "(true: -4, 0, 4 up to labels)\n",
+              M0 / Kept, M1 / Kept, M2 / Kept);
+
+  std::printf("\n--- emitted CUDA for the z update (excerpt) ---\n");
+  std::string Cuda = emitCuda(Gpu->procInfo("gibbs_z").Blk);
+  std::printf("%.1200s...\n", Cuda.c_str());
+  return 0;
+}

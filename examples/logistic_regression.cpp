@@ -1,0 +1,76 @@
+//===- examples/logistic_regression.cpp - HLR with native HMC -*- C++ -*-===//
+//
+// Hierarchical logistic regression with the heuristic schedule (one
+// HMC block over sigma2, b, theta — sigma2 handled through the log
+// transform) on the *native* CPU engine: the compiler emits C for the
+// likelihood/gradient primitives, compiles it with the host cc, and
+// dlopens the result, exactly the paper's deployment story.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdio>
+
+#include "api/Infer.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+int main() {
+  const int64_t N = 500, Kf = 4;
+  const double TrueTheta[Kf] = {2.0, -1.0, 0.0, 1.5};
+  RNG DataRng(77);
+  BlockedReal X = BlockedReal::rect(N, Kf, 0.0);
+  BlockedInt Y = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    double Eta = 0.5;
+    for (int64_t K = 0; K < Kf; ++K) {
+      X.at(I, K) = DataRng.gauss();
+      Eta += X.at(I, K) * TrueTheta[K];
+    }
+    Y.at(I) = DataRng.uniform() < 1.0 / (1.0 + std::exp(-Eta)) ? 1 : 0;
+  }
+
+  Infer Aug(models::HLR);
+  CompileOptions O;
+  O.NativeCpu = true; // emit C, compile, dlopen
+  O.Hmc.StepSize = 0.02;
+  O.Hmc.LeapfrogSteps = 15;
+  Aug.setCompileOpt(O);
+
+  Env Data;
+  Data["y"] = Value::intVec(Y);
+  Status St = Aug.compile(
+      {Value::realScalar(1.0), Value::intScalar(N), Value::intScalar(Kf),
+       Value::realVec(X, Type::vec(Type::vec(Type::realTy())))},
+      Data);
+  if (!St.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", St.message().c_str());
+    return 1;
+  }
+  std::printf("schedule: %s\n", Aug.program().schedule().str().c_str());
+
+  SampleOptions SO;
+  SO.NumSamples = 300;
+  SO.BurnIn = 150;
+  auto S = Aug.sample(SO);
+  if (!S.ok()) {
+    std::fprintf(stderr, "sampling error: %s\n", S.message().c_str());
+    return 1;
+  }
+
+  std::printf("posterior means (true values in parentheses):\n");
+  std::printf("  b      = %6.2f  (0.50)\n", S->scalarMean("b"));
+  for (int64_t K = 0; K < Kf; ++K) {
+    double Mean = 0.0;
+    for (const auto &Draw : S->Draws.at("theta"))
+      Mean += Draw.realVec().at(K);
+    std::printf("  theta%lld = %6.2f  (%.2f)\n", (long long)K,
+                Mean / double(S->size()), TrueTheta[K]);
+  }
+  std::printf("  sigma2 = %6.2f\n", S->scalarMean("sigma2"));
+  for (auto &CU : Aug.program().updates())
+    if (CU.U.Kind == UpdateKind::Grad)
+      std::printf("HMC acceptance rate: %.2f\n", CU.Stats.acceptRate());
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- examples/topic_model.cpp - LDA topic inference ---------*- C++ -*-===//
+//
+// Latent Dirichlet Allocation over a synthetic corpus with two planted
+// word bands. The heuristic schedule is full Gibbs (Dirichlet-
+// Categorical conjugacy for theta/phi, enumerated Gibbs for z — the
+// configuration Fig. 12 measures). Prints the top words per topic.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "api/Infer.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+int main() {
+  const int64_t K = 2, D = 60, V = 20;
+  RNG DataRng(11);
+
+  // Planted structure: even documents use words 0..9, odd ones 10..19.
+  std::vector<std::vector<int64_t>> Docs;
+  std::vector<int64_t> Lens;
+  for (int64_t Doc = 0; Doc < D; ++Doc) {
+    int64_t Len = 30 + DataRng.uniformInt(20);
+    std::vector<int64_t> Words;
+    for (int64_t I = 0; I < Len; ++I)
+      Words.push_back(Doc % 2 == 0 ? DataRng.uniformInt(V / 2)
+                                   : V / 2 + DataRng.uniformInt(V / 2));
+    Lens.push_back(Len);
+    Docs.push_back(std::move(Words));
+  }
+
+  Infer Aug(models::LDA);
+  Env Data;
+  Data["w"] = Value::intVec(BlockedInt::ragged(Docs),
+                            Type::vec(Type::vec(Type::intTy())));
+  Status St = Aug.compile(
+      {Value::intScalar(K), Value::intScalar(D), Value::intScalar(V),
+       Value::realVec(BlockedReal::flat(K, 0.5)),
+       Value::realVec(BlockedReal::flat(V, 0.5)),
+       Value::intVec(BlockedInt::flat(Lens))},
+      Data);
+  if (!St.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", St.message().c_str());
+    return 1;
+  }
+  std::printf("schedule: %s\n", Aug.program().schedule().str().c_str());
+
+  SampleOptions SO;
+  SO.NumSamples = 100;
+  SO.BurnIn = 50;
+  SO.Record = {"phi"};
+  auto S = Aug.sample(SO);
+  if (!S.ok()) {
+    std::fprintf(stderr, "sampling error: %s\n", S.message().c_str());
+    return 1;
+  }
+
+  // Posterior mean of phi, then the top words per topic.
+  std::vector<std::vector<double>> Phi(
+      static_cast<size_t>(K), std::vector<double>(V, 0.0));
+  for (const auto &Draw : S->Draws.at("phi"))
+    for (int64_t T = 0; T < K; ++T)
+      for (int64_t W = 0; W < V; ++W)
+        Phi[static_cast<size_t>(T)][static_cast<size_t>(W)] +=
+            Draw.realVec().at(T, W);
+  for (auto &Row : Phi)
+    for (auto &P : Row)
+      P /= double(S->size());
+
+  for (int64_t T = 0; T < K; ++T) {
+    std::vector<int64_t> Order(static_cast<size_t>(V));
+    std::iota(Order.begin(), Order.end(), 0);
+    std::sort(Order.begin(), Order.end(), [&](int64_t A, int64_t B) {
+      return Phi[static_cast<size_t>(T)][static_cast<size_t>(A)] >
+             Phi[static_cast<size_t>(T)][static_cast<size_t>(B)];
+    });
+    std::printf("topic %lld top words:", (long long)T);
+    for (int I = 0; I < 6; ++I)
+      std::printf(" w%lld(%.2f)", (long long)Order[static_cast<size_t>(I)],
+                  Phi[static_cast<size_t>(T)]
+                     [static_cast<size_t>(Order[static_cast<size_t>(I)])]);
+    std::printf("\n");
+  }
+  std::printf("(planted topics: words 0-9 vs words 10-19)\n");
+  return 0;
+}

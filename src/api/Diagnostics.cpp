@@ -1,0 +1,158 @@
+//===- api/Diagnostics.cpp ------------------------------------*- C++ -*-===//
+
+#include "api/Diagnostics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+double augur::effectiveSampleSize(const std::vector<double> &Trace) {
+  size_t N = Trace.size();
+  if (N < 4)
+    return static_cast<double>(N);
+  double Mean = 0.0;
+  for (double X : Trace)
+    Mean += X;
+  Mean /= double(N);
+  double Var = 0.0;
+  for (double X : Trace)
+    Var += (X - Mean) * (X - Mean);
+  Var /= double(N);
+  if (Var <= 0.0)
+    return static_cast<double>(N);
+  // Initial positive sequence: sum consecutive autocorrelation pairs
+  // while they stay positive.
+  double SumRho = 0.0;
+  for (size_t Lag = 1; Lag + 1 < N; Lag += 2) {
+    auto Rho = [&](size_t L) {
+      double Acc = 0.0;
+      for (size_t I = 0; I + L < N; ++I)
+        Acc += (Trace[I] - Mean) * (Trace[I + L] - Mean);
+      return Acc / (double(N) * Var);
+    };
+    double Pair = Rho(Lag) + Rho(Lag + 1);
+    if (Pair <= 0.0)
+      break;
+    SumRho += Pair;
+  }
+  double Ess = double(N) / (1.0 + 2.0 * SumRho);
+  return std::min(Ess, double(N));
+}
+
+double augur::splitRHat(const std::vector<std::vector<double>> &Traces) {
+  // Split each trace in half, then compute the classic between/within
+  // variance ratio over the resulting sub-chains.
+  std::vector<std::vector<double>> Halves;
+  for (const auto &T : Traces) {
+    size_t Half = T.size() / 2;
+    if (Half < 2)
+      continue;
+    Halves.emplace_back(T.begin(), T.begin() + static_cast<long>(Half));
+    Halves.emplace_back(T.begin() + static_cast<long>(Half),
+                        T.begin() + static_cast<long>(2 * Half));
+  }
+  if (Halves.size() < 2)
+    return 1.0;
+  size_t M = Halves.size();
+  size_t N = Halves[0].size();
+  for (const auto &H : Halves)
+    N = std::min(N, H.size());
+
+  std::vector<double> Means(M);
+  double GrandMean = 0.0;
+  for (size_t C = 0; C < M; ++C) {
+    double Sum = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Sum += Halves[C][I];
+    Means[C] = Sum / double(N);
+    GrandMean += Means[C];
+  }
+  GrandMean /= double(M);
+
+  double B = 0.0; // between-chain variance * N
+  for (size_t C = 0; C < M; ++C)
+    B += (Means[C] - GrandMean) * (Means[C] - GrandMean);
+  B *= double(N) / double(M - 1);
+
+  double W = 0.0; // mean within-chain variance
+  for (size_t C = 0; C < M; ++C) {
+    double Acc = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Acc += (Halves[C][I] - Means[C]) * (Halves[C][I] - Means[C]);
+    W += Acc / double(N - 1);
+  }
+  W /= double(M);
+  if (W <= 0.0)
+    return 1.0;
+  double VarPlus = (double(N - 1) / double(N)) * W + B / double(N);
+  return std::sqrt(VarPlus / W);
+}
+
+std::vector<double> augur::scalarTrace(const SampleSet &S,
+                                       const std::string &Var,
+                                       int64_t Elem) {
+  std::vector<double> Out;
+  auto It = S.Draws.find(Var);
+  assert(It != S.Draws.end() && "parameter was not recorded");
+  for (const auto &Draw : It->second) {
+    if (Draw.isRealScalar())
+      Out.push_back(Draw.asReal());
+    else if (Draw.isRealVec())
+      Out.push_back(Draw.realVec().flat()[static_cast<size_t>(Elem)]);
+    else if (Draw.isIntScalar())
+      Out.push_back(static_cast<double>(Draw.asInt()));
+    else if (Draw.isIntVec())
+      Out.push_back(static_cast<double>(
+          Draw.intVec().flat()[static_cast<size_t>(Elem)]));
+  }
+  return Out;
+}
+
+double MultiChainResult::rHat(const std::string &Var, int64_t Elem) const {
+  std::vector<std::vector<double>> Traces;
+  for (const auto &C : Chains)
+    Traces.push_back(scalarTrace(C, Var, Elem));
+  return splitRHat(Traces);
+}
+
+double MultiChainResult::ess(const std::string &Var, int64_t Elem) const {
+  double Total = 0.0;
+  for (const auto &C : Chains)
+    Total += effectiveSampleSize(scalarTrace(C, Var, Elem));
+  return Total;
+}
+
+double MultiChainResult::mean(const std::string &Var, int64_t Elem) const {
+  double Sum = 0.0;
+  size_t Count = 0;
+  for (const auto &C : Chains) {
+    for (double X : scalarTrace(C, Var, Elem)) {
+      Sum += X;
+      ++Count;
+    }
+  }
+  return Count ? Sum / double(Count) : 0.0;
+}
+
+Result<MultiChainResult>
+augur::runChains(const std::string &ModelSource, CompileOptions Opts,
+                 const std::vector<Value> &HyperArgs, const Env &Data,
+                 const SampleOptions &SO, int NumChains) {
+  if (NumChains < 1)
+    return Status::error("need at least one chain");
+  MultiChainResult Out;
+  RNG SeedRng(Opts.Seed);
+  for (int C = 0; C < NumChains; ++C) {
+    CompileOptions ChainOpts = Opts;
+    ChainOpts.Seed = SeedRng.next();
+    Infer Aug(ModelSource);
+    Aug.setCompileOpt(ChainOpts);
+    AUGUR_RETURN_IF_ERROR(Aug.compile(HyperArgs, Data));
+    AUGUR_ASSIGN_OR_RETURN(SampleSet S, Aug.sample(SO));
+    Out.Chains.push_back(std::move(S));
+  }
+  return Out;
+}

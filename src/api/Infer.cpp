@@ -1,0 +1,48 @@
+//===- api/Infer.cpp ------------------------------------------*- C++ -*-===//
+
+#include "api/Infer.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+double SampleSet::scalarMean(const std::string &Var) const {
+  auto It = Draws.find(Var);
+  assert(It != Draws.end() && "parameter was not recorded");
+  assert(!It->second.empty() && "no draws recorded");
+  double Sum = 0.0;
+  for (const auto &V : It->second)
+    Sum += V.asReal();
+  return Sum / double(It->second.size());
+}
+
+Status Infer::compile(std::vector<Value> HyperArgs, Env Data) {
+  AUGUR_ASSIGN_OR_RETURN(
+      Prog, Compiler::compile(Source, Opts, HyperArgs, Data));
+  return Prog->init();
+}
+
+Result<SampleSet> Infer::sample(const SampleOptions &SO) {
+  if (!Prog)
+    return Status::error("sample() called before a successful compile()");
+  std::vector<std::string> Record = SO.Record;
+  if (Record.empty())
+    Record = Prog->densityModel().TM.M.paramNames();
+
+  SampleSet Out;
+  for (int B = 0; B < SO.BurnIn; ++B)
+    AUGUR_RETURN_IF_ERROR(Prog->step());
+  for (int S = 0; S < SO.NumSamples; ++S) {
+    for (int T = 0; T < SO.Thin; ++T)
+      AUGUR_RETURN_IF_ERROR(Prog->step());
+    for (const auto &Var : Record) {
+      auto It = Prog->state().find(Var);
+      if (It == Prog->state().end())
+        return Status::error(
+            strFormat("unknown parameter '%s'", Var.c_str()));
+      Out.Draws[Var].push_back(It->second);
+    }
+    Out.LogJoint.push_back(SO.TrackLogJoint ? Prog->logJoint() : 0.0);
+  }
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- api/Infer.h - User-facing inference API -----------------*- C++ -*-===//
+///
+/// \file
+/// The user-facing API, mirroring the Python interface of paper Fig. 2:
+///
+///   Infer Aug(augur::models::GMM);           // model source
+///   Aug.setCompileOpt(Opts);                 // target cpu / gpu-sim
+///   Aug.setUserSched("ESlice mu (*) Gibbs z");
+///   Aug.compile({K, N, mu0, S0, pis, S}, {{"x", X}});
+///   SampleSet S = Aug.sample(1000);
+///
+/// Compilation happens at call time against the actual argument shapes,
+/// exactly as AugurV2 compiles at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_API_INFER_H
+#define AUGUR_API_INFER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/Compiler.h"
+
+namespace augur {
+
+/// A set of posterior draws: for each requested parameter, one Value
+/// per retained sample.
+struct SampleSet {
+  std::map<std::string, std::vector<Value>> Draws;
+  std::vector<double> LogJoint; ///< log joint per retained sample
+
+  size_t size() const { return LogJoint.size(); }
+
+  /// Posterior mean of a real scalar parameter.
+  double scalarMean(const std::string &Var) const;
+};
+
+/// Options controlling sample collection.
+struct SampleOptions {
+  int NumSamples = 100;
+  int BurnIn = 0;
+  int Thin = 1;
+  /// Parameters to record; empty records all model parameters.
+  std::vector<std::string> Record;
+  /// Record the log joint at every retained draw (costs one likelihood
+  /// evaluation per sample).
+  bool TrackLogJoint = false;
+};
+
+/// The inference object.
+class Infer {
+public:
+  explicit Infer(std::string ModelSource)
+      : Source(std::move(ModelSource)) {}
+
+  void setCompileOpt(CompileOptions O) { Opts = std::move(O); }
+  void setUserSched(std::string Sched) { Opts.UserSchedule = std::move(Sched); }
+
+  /// Compiles the model against concrete arguments and data, and
+  /// initializes the chain state from the prior.
+  Status compile(std::vector<Value> HyperArgs, Env Data);
+
+  /// Draws posterior samples (compile() must have succeeded).
+  Result<SampleSet> sample(const SampleOptions &SO);
+  Result<SampleSet> sample(int NumSamples) {
+    SampleOptions SO;
+    SO.NumSamples = NumSamples;
+    return sample(SO);
+  }
+
+  /// The compiled program (valid after compile()).
+  MCMCProgram &program() {
+    assert(Prog && "compile() has not succeeded");
+    return *Prog;
+  }
+  bool compiled() const { return Prog != nullptr; }
+
+private:
+  std::string Source;
+  CompileOptions Opts;
+  std::unique_ptr<MCMCProgram> Prog;
+};
+
+} // namespace augur
+
+#endif // AUGUR_API_INFER_H

@@ -1,0 +1,348 @@
+//===- baselines/jags/Jags.cpp --------------------------------*- C++ -*-===//
+
+#include "baselines/jags/Jags.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "density/Forward.h"
+#include "runtime/ConjugateOps.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+Result<std::unique_ptr<JagsSampler>>
+JagsSampler::build(const DensityModel &DM, Env E, uint64_t Seed) {
+  std::unique_ptr<JagsSampler> J(new JagsSampler(DM, std::move(E), Seed));
+  for (const auto &Decl : DM.TM.M.Decls) {
+    if (Decl.Role != VarRole::Param)
+      continue;
+    VarPlan P;
+    P.Decl = &Decl;
+    AUGUR_ASSIGN_OR_RETURN(P.Cond, computeConditional(DM, Decl.Name));
+    P.Conj = detectConjugacy(P.Cond);
+    if (P.Conj) {
+      P.Sampler = NodeSampler::Conjugate;
+    } else if (distInfo(Decl.D).Discrete) {
+      if (Decl.D != Dist::Categorical && Decl.D != Dist::Bernoulli)
+        return Status::error(strFormat(
+            "jags baseline cannot sample '%s' (unbounded discrete)",
+            Decl.Name.c_str()));
+      P.Sampler = NodeSampler::Enumerate;
+    } else {
+      Support S = distInfo(Decl.D).Supp;
+      if (S != Support::Real && S != Support::Positive)
+        return Status::error(strFormat(
+            "jags baseline cannot slice-sample '%s' (constrained "
+            "support without a conjugacy relation)",
+            Decl.Name.c_str()));
+      P.Sampler = NodeSampler::SliceScalar;
+    }
+    for (const auto &F : DM.Joint.Factors)
+      if (F.mentions(Decl.Name))
+        P.Mentions.push_back(&F);
+    J->Plans.push_back(std::move(P));
+  }
+  return J;
+}
+
+Status JagsSampler::init() {
+  AUGUR_RETURN_IF_ERROR(
+      forwardSampleModel(*DM, E, Rng, /*IncludeData=*/false));
+  // Count the reified stochastic nodes (one per comprehension element).
+  NumNodes = 0;
+  for (const auto &Decl : DM->TM.M.Decls) {
+    EvalCtx Ctx(E);
+    std::function<int64_t(size_t)> Count = [&](size_t Depth) -> int64_t {
+      if (Depth == Decl.Comps.size())
+        return 1;
+      int64_t Hi = evalIntExpr(Decl.Comps[Depth].Hi, Ctx);
+      int64_t Total = 0;
+      for (int64_t I = 0; I < Hi; ++I) {
+        Ctx.LoopVars[Decl.Comps[Depth].Var] = I;
+        Total += Count(Depth + 1);
+      }
+      Ctx.LoopVars.erase(Decl.Comps[Depth].Var);
+      return Total;
+    };
+    NumNodes += Count(0);
+  }
+  return Status::success();
+}
+
+double JagsSampler::logJoint() const { return evalLogJoint(*DM, E); }
+
+Status JagsSampler::step() {
+  for (auto &P : Plans) {
+    switch (P.Sampler) {
+    case NodeSampler::Conjugate:
+      AUGUR_RETURN_IF_ERROR(sweepConjugate(P));
+      break;
+    case NodeSampler::Enumerate:
+      AUGUR_RETURN_IF_ERROR(sweepEnumerate(P));
+      break;
+    case NodeSampler::SliceScalar:
+      AUGUR_RETURN_IF_ERROR(sweepSliceScalar(P));
+      break;
+    }
+  }
+  return Status::success();
+}
+
+namespace {
+
+/// Iterates the block-loop nest of a conditional, invoking \p Fn with
+/// the index vector of each node.
+void forEachNode(const Conditional &C, const Env &E,
+                 const std::function<void(const std::vector<int64_t> &)> &Fn) {
+  EvalCtx Ctx(E);
+  std::vector<int64_t> Idx;
+  std::function<void(size_t)> Rec = [&](size_t Depth) {
+    if (Depth == C.BlockLoops.size()) {
+      Fn(Idx);
+      return;
+    }
+    int64_t Lo = evalIntExpr(C.BlockLoops[Depth].Lo, Ctx);
+    int64_t Hi = evalIntExpr(C.BlockLoops[Depth].Hi, Ctx);
+    for (int64_t I = Lo; I < Hi; ++I) {
+      Ctx.LoopVars[C.BlockLoops[Depth].Var] = I;
+      Idx.push_back(I);
+      Rec(Depth + 1);
+      Idx.pop_back();
+    }
+    Ctx.LoopVars.erase(C.BlockLoops[Depth].Var);
+  };
+  Rec(0);
+}
+
+} // namespace
+
+JagsSampler::NodeStats
+JagsSampler::gatherStats(const VarPlan &P,
+                         const std::vector<int64_t> &NodeIdx) {
+  NodeStats S;
+  ConjKind K = P.Conj->Kind;
+  // Pre-size the vector/matrix statistics from the prior parameters.
+  EvalCtx Base(E);
+  for (size_t I = 0; I < NodeIdx.size(); ++I)
+    Base.LoopVars[P.Cond.BlockLoops[I].Var] = NodeIdx[I];
+  if (K == ConjKind::MvNormalMean || K == ConjKind::DirichletCategorical) {
+    DV P0 = evalExpr(P.Cond.Prior.Params[0], Base);
+    S.Vec.assign(static_cast<size_t>(P0.N), 0.0);
+  } else if (K == ConjKind::InvWishartMvNormalCov) {
+    DV Psi = evalExpr(P.Cond.Prior.Params[1], Base);
+    S.Mat = Matrix(Psi.Rows, Psi.Cols);
+  }
+
+  // Walk every likelihood factor's loop nest, checking the guards per
+  // child (this is the graph interpretation: each node pays a full
+  // pass over its potential children).
+  for (const auto &F : P.Cond.Liks) {
+    EvalCtx Ctx(E);
+    for (size_t I = 0; I < NodeIdx.size(); ++I)
+      Ctx.LoopVars[P.Cond.BlockLoops[I].Var] = NodeIdx[I];
+    std::function<void(size_t)> Rec = [&](size_t Depth) {
+      if (Depth == F.Loops.size()) {
+        for (const auto &G : F.Guards)
+          if (evalIntExpr(G.Lhs, Ctx) != evalIntExpr(G.Rhs, Ctx))
+            return;
+        switch (K) {
+        case ConjKind::NormalMean: {
+          double Var = evalRealExpr(F.Params[1], Ctx);
+          double At = evalRealExpr(F.At, Ctx);
+          S.A += 1.0 / Var;
+          S.B += At / Var;
+          return;
+        }
+        case ConjKind::MvNormalMean: {
+          DV At = evalExpr(F.At, Ctx);
+          S.A += 1.0;
+          for (int64_t I = 0; I < At.N; ++I)
+            S.Vec[static_cast<size_t>(I)] += At.Ptr[I];
+          return;
+        }
+        case ConjKind::DirichletCategorical: {
+          int64_t At = evalIntExpr(F.At, Ctx);
+          S.Vec[static_cast<size_t>(At)] += 1.0;
+          return;
+        }
+        case ConjKind::BetaBernoulli: {
+          int64_t At = evalIntExpr(F.At, Ctx);
+          S.A += static_cast<double>(At);
+          S.B += static_cast<double>(1 - At);
+          return;
+        }
+        case ConjKind::GammaPoisson:
+        case ConjKind::GammaExponential: {
+          S.A += 1.0;
+          S.B += evalRealExpr(F.At, Ctx);
+          return;
+        }
+        case ConjKind::InvGammaNormalVariance: {
+          double Mean = evalRealExpr(F.Params[0], Ctx);
+          double At = evalRealExpr(F.At, Ctx);
+          S.A += 1.0;
+          S.B += (At - Mean) * (At - Mean);
+          return;
+        }
+        case ConjKind::InvWishartMvNormalCov: {
+          DV Mean = evalExpr(F.Params[0], Ctx);
+          DV At = evalExpr(F.At, Ctx);
+          S.A += 1.0;
+          for (int64_t R = 0; R < At.N; ++R)
+            for (int64_t C = 0; C < At.N; ++C)
+              S.Mat.at(R, C) +=
+                  (At.Ptr[R] - Mean.Ptr[R]) * (At.Ptr[C] - Mean.Ptr[C]);
+          return;
+        }
+        }
+      }
+      const LoopBinding &L = F.Loops[Depth];
+      int64_t Lo = evalIntExpr(L.Lo, Ctx);
+      int64_t Hi = evalIntExpr(L.Hi, Ctx);
+      for (int64_t I = Lo; I < Hi; ++I) {
+        Ctx.LoopVars[L.Var] = I;
+        Rec(Depth + 1);
+      }
+      Ctx.LoopVars.erase(L.Var);
+    };
+    Rec(0);
+  }
+  return S;
+}
+
+Status JagsSampler::sweepConjugate(VarPlan &P) {
+  ConjKind K = P.Conj->Kind;
+  Status Result = Status::success();
+  forEachNode(P.Cond, E, [&](const std::vector<int64_t> &Idx) {
+    NodeStats S = gatherStats(P, Idx);
+    EvalCtx Ctx(E);
+    for (size_t I = 0; I < Idx.size(); ++I)
+      Ctx.LoopVars[P.Cond.BlockLoops[I].Var] = Idx[I];
+    std::vector<DV> Prior;
+    for (const auto &Pr : P.Cond.Prior.Params)
+      Prior.push_back(evalExpr(Pr, Ctx));
+    std::vector<DV> Extra;
+    if (K == ConjKind::MvNormalMean) {
+      // The likelihood covariance under the current guard assignment:
+      // evaluate it at a child selected for this node, or fall back to
+      // the expression with block variables bound (covers both the
+      // constant-covariance and per-component-covariance cases).
+      const Factor &F = P.Cond.Liks.front();
+      ExprPtr Cov = F.Params[1];
+      for (const auto &G : F.Guards)
+        if (G.Lhs->kind() == Expr::Kind::Var)
+          Cov = substExpr(Cov, G.Rhs, G.Lhs);
+      Extra.push_back(evalExpr(Cov, Ctx));
+    }
+    std::vector<DV> Stats;
+    switch (K) {
+    case ConjKind::MvNormalMean:
+      Stats = {DV::real(S.A), DV::vec(S.Vec)};
+      break;
+    case ConjKind::DirichletCategorical:
+      Stats = {DV::vec(S.Vec)};
+      break;
+    case ConjKind::InvWishartMvNormalCov:
+      Stats = {DV::real(S.A), DV::mat(S.Mat)};
+      break;
+    default:
+      Stats = {DV::real(S.A), DV::real(S.B)};
+      break;
+    }
+    conjPosteriorSample(static_cast<ConjOp>(K), Prior, Extra, Stats, Rng,
+                        mutViewValue(E[P.Decl->Name], Idx));
+  });
+  return Result;
+}
+
+Status JagsSampler::sweepEnumerate(VarPlan &P) {
+  forEachNode(P.Cond, E, [&](const std::vector<int64_t> &Idx) {
+    EvalCtx Ctx(E);
+    for (size_t I = 0; I < Idx.size(); ++I)
+      Ctx.LoopVars[P.Cond.BlockLoops[I].Var] = Idx[I];
+    int64_t Support =
+        P.Decl->D == Dist::Bernoulli
+            ? 2
+            : evalExpr(P.Cond.Prior.Params[0], Ctx).N;
+    MutDV Slot = mutViewValue(E[P.Decl->Name], Idx);
+    std::vector<double> Scores(static_cast<size_t>(Support));
+    for (int64_t C = 0; C < Support; ++C) {
+      *Slot.IntSlot = C;
+      Scores[static_cast<size_t>(C)] = evalConditionalAt(P.Cond, E, Idx);
+    }
+    double Max = Scores[0];
+    for (double Sc : Scores)
+      Max = std::max(Max, Sc);
+    double Sum = 0.0;
+    for (double Sc : Scores)
+      Sum += std::exp(Sc - Max);
+    double U = Rng.uniform() * Sum;
+    int64_t Draw = Support - 1;
+    double Acc = 0.0;
+    for (int64_t C = 0; C < Support; ++C) {
+      Acc += std::exp(Scores[static_cast<size_t>(C)] - Max);
+      if (U < Acc) {
+        Draw = C;
+        break;
+      }
+    }
+    *Slot.IntSlot = Draw;
+  });
+  return Status::success();
+}
+
+Status JagsSampler::sweepSliceScalar(VarPlan &P) {
+  // Univariate stepping-out slice sampling per scalar element, on the
+  // log scale for positive-support variables.
+  bool LogScale = distInfo(P.Decl->D).Supp == Support::Positive;
+  Value &V = E[P.Decl->Name];
+  int64_t NumElems = V.isRealScalar() ? 1 : V.realVec().flatSize();
+  auto GetElem = [&](int64_t I) {
+    return V.isRealScalar() ? V.asReal()
+                            : V.realVec().flat()[static_cast<size_t>(I)];
+  };
+  auto SetElem = [&](int64_t I, double X) {
+    if (V.isRealScalar())
+      V.realRef() = X;
+    else
+      V.realVec().flat()[static_cast<size_t>(I)] = X;
+  };
+  auto CondLL = [&](int64_t I, double U) {
+    double X = LogScale ? std::exp(U) : U;
+    SetElem(I, X);
+    EvalCtx Ctx(E);
+    double LL = 0.0;
+    for (const auto *F : P.Mentions)
+      LL += evalFactorLogPdf(*F, Ctx);
+    return LL + (LogScale ? U : 0.0);
+  };
+
+  const double W = 1.0;
+  for (int64_t I = 0; I < NumElems; ++I) {
+    double X0 = GetElem(I);
+    double U0 = LogScale ? std::log(X0) : X0;
+    double LL0 = CondLL(I, U0);
+    double Level = LL0 - Rng.exponential();
+    double L = U0 - W * Rng.uniform();
+    double R = L + W;
+    for (int S = 0; S < 32 && CondLL(I, L) > Level; ++S)
+      L -= W;
+    for (int S = 0; S < 32 && CondLL(I, R) > Level; ++S)
+      R += W;
+    double U1 = U0;
+    for (int S = 0; S < 64; ++S) {
+      U1 = Rng.uniform(L, R);
+      if (CondLL(I, U1) > Level)
+        break;
+      if (U1 < U0)
+        L = U1;
+      else
+        R = U1;
+      U1 = U0; // if shrinkage exhausts, stay
+    }
+    SetElem(I, LogScale ? std::exp(U1) : U1);
+  }
+  return Status::success();
+}

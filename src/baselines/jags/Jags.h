@@ -1,0 +1,90 @@
+//===- baselines/jags/Jags.h - Graph-interpreted Gibbs baseline -*- C++ -*-===//
+///
+/// \file
+/// A Jags-like baseline sampler (paper Section 7.2, Fig. 10/11). Jags
+/// "reifies the Bayesian network structure and performs Gibbs sampling
+/// on the graph structure"; AugurV2 instead compiles fused update loops
+/// from symbolically computed conditionals. This baseline implements
+/// the graph architecture: the network is unrolled into per-element
+/// nodes, and each node's full conditional is computed *independently*
+/// by interpreting the factor graph — so updating a blocked variable
+/// with K elements against N data points costs O(K * N) interpreted
+/// evaluations per sweep, versus the compiled O(N + K) single pass.
+/// Continuous non-conjugate nodes fall back to univariate slice
+/// sampling (standing in for Jags' adaptive rejection sampling; same
+/// role, same asymptotics — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_BASELINES_JAGS_JAGS_H
+#define AUGUR_BASELINES_JAGS_JAGS_H
+
+#include <memory>
+
+#include "density/Conditional.h"
+#include "density/Conjugacy.h"
+#include "density/Eval.h"
+#include "support/RNG.h"
+
+namespace augur {
+
+/// The graph-interpreted Gibbs sampler.
+class JagsSampler {
+public:
+  /// Builds the sampler for \p DM. \p E must bind the hyper-parameters
+  /// and data. Fails if some parameter admits no node sampler.
+  static Result<std::unique_ptr<JagsSampler>> build(const DensityModel &DM,
+                                                    Env E, uint64_t Seed);
+
+  /// Initializes parameters by forward sampling.
+  Status init();
+
+  /// One full sweep: every unobserved node updated once.
+  Status step();
+
+  Env &state() { return E; }
+  double logJoint() const;
+
+  /// Number of reified stochastic nodes (observed + unobserved).
+  int64_t nodeCount() const { return NumNodes; }
+
+private:
+  /// How one variable's nodes are updated.
+  enum class NodeSampler { Conjugate, Enumerate, SliceScalar };
+
+  struct VarPlan {
+    const ModelDecl *Decl = nullptr;
+    Conditional Cond;
+    NodeSampler Sampler = NodeSampler::SliceScalar;
+    std::optional<ConjRelation> Conj;
+    /// Factors of the joint that mention the variable (slice fallback).
+    std::vector<const Factor *> Mentions;
+  };
+
+  JagsSampler(const DensityModel &DM, Env E, uint64_t Seed)
+      : DM(&DM), E(std::move(E)), Rng(Seed) {}
+
+  Status sweepConjugate(VarPlan &P);
+  Status sweepEnumerate(VarPlan &P);
+  Status sweepSliceScalar(VarPlan &P);
+
+  /// Per-node sufficient statistics for node \p NodeIdx of \p P,
+  /// gathered by interpreting the likelihood factors' loop nests.
+  struct NodeStats {
+    double A = 0.0, B = 0.0;      // generic scalar pair
+    std::vector<double> Vec;      // sumY / counts
+    Matrix Mat;                   // sumOuter
+  };
+  NodeStats gatherStats(const VarPlan &P,
+                        const std::vector<int64_t> &NodeIdx);
+
+  const DensityModel *DM;
+  Env E;
+  RNG Rng;
+  std::vector<VarPlan> Plans;
+  int64_t NumNodes = 0;
+};
+
+} // namespace augur
+
+#endif // AUGUR_BASELINES_JAGS_JAGS_H

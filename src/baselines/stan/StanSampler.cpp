@@ -1,0 +1,235 @@
+//===- baselines/stan/StanSampler.cpp -------------------------*- C++ -*-===//
+
+#include "baselines/stan/StanSampler.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+using namespace augur::stanb;
+
+StanModel::~StanModel() = default;
+
+//===----------------------------------------------------------------------===//
+// HLR
+//===----------------------------------------------------------------------===//
+
+TVar HlrStanModel::logDensity(Tape &T, const std::vector<TVar> &U) const {
+  // U = [log sigma2, b, theta...]; include the log-transform Jacobian.
+  TVar LogS2 = U[0];
+  TVar Sigma2 = tExp(LogS2);
+  TVar B = U[1];
+  const double Log2Pi = std::log(2.0 * M_PI);
+
+  // Exponential(lambda) prior on sigma2, plus Jacobian u0.
+  TVar Ld = std::log(Lambda) - Lambda * Sigma2 + LogS2;
+  // Normal(0, sigma2) priors on b and theta.
+  auto NormalLp = [&](TVar X) {
+    return -0.5 * (Log2Pi + LogS2 + X * X / Sigma2);
+  };
+  Ld = Ld + NormalLp(B);
+  size_t Kf = U.size() - 2;
+  for (size_t K = 0; K < Kf; ++K)
+    Ld = Ld + NormalLp(U[2 + K]);
+  // Bernoulli likelihood through the logit: log p = y*eta - log1pexp(eta).
+  for (size_t N = 0; N < X.size(); ++N) {
+    TVar Eta = B;
+    for (size_t K = 0; K < Kf; ++K)
+      Eta = Eta + X[N][K] * U[2 + K];
+    if (Y[N])
+      Ld = Ld - tLog1pExp(-Eta);
+    else
+      Ld = Ld - tLog1pExp(Eta);
+  }
+  return Ld;
+}
+
+//===----------------------------------------------------------------------===//
+// Marginalized GMM
+//===----------------------------------------------------------------------===//
+
+MarginalGmmStanModel::MarginalGmmStanModel(
+    int K, std::vector<double> Alpha, std::vector<double> Mu0,
+    Matrix Sigma0, Matrix Sigma, std::vector<std::vector<double>> Y)
+    : K(K), D(static_cast<int>(Mu0.size())), Alpha(std::move(Alpha)),
+      Mu0(std::move(Mu0)), Y(std::move(Y)) {
+  Result<Matrix> L0 = cholesky(Sigma0);
+  Result<Matrix> L = cholesky(Sigma);
+  assert(L0.ok() && L.ok() && "covariances must be PD");
+  Sigma0Inv = choleskyInverse(*L0);
+  SigmaInv = choleskyInverse(*L);
+  Sigma0LogDet = choleskyLogDet(*L0);
+  SigmaLogDet = choleskyLogDet(*L);
+}
+
+void MarginalGmmStanModel::constrain(
+    const std::vector<double> &U, std::vector<double> &Pi,
+    std::vector<std::vector<double>> &Mu) const {
+  Pi.assign(static_cast<size_t>(K), 0.0);
+  double Rest = 1.0;
+  for (int I = 0; I < K - 1; ++I) {
+    double Z = 1.0 / (1.0 + std::exp(-(U[static_cast<size_t>(I)] -
+                                       std::log(double(K - 1 - I)))));
+    Pi[static_cast<size_t>(I)] = Rest * Z;
+    Rest *= (1.0 - Z);
+  }
+  Pi[static_cast<size_t>(K - 1)] = Rest;
+  Mu.assign(static_cast<size_t>(K), std::vector<double>(D, 0.0));
+  for (int C = 0; C < K; ++C)
+    for (int J = 0; J < D; ++J)
+      Mu[static_cast<size_t>(C)][static_cast<size_t>(J)] =
+          U[static_cast<size_t>(K - 1 + C * D + J)];
+}
+
+TVar MarginalGmmStanModel::logDensity(Tape &T,
+                                      const std::vector<TVar> &U) const {
+  const double Log2Pi = std::log(2.0 * M_PI);
+  // Stick-breaking transform to the simplex (with Jacobian).
+  std::vector<TVar> LogPi(static_cast<size_t>(K));
+  TVar Jac = TVar(&T, T.push(0.0, -1, 0.0, -1, 0.0));
+  TVar LogRest = TVar(&T, T.push(0.0, -1, 0.0, -1, 0.0));
+  for (int I = 0; I < K - 1; ++I) {
+    TVar Shift = U[static_cast<size_t>(I)] - std::log(double(K - 1 - I));
+    TVar Z = tSigmoid(Shift);
+    LogPi[static_cast<size_t>(I)] = LogRest + tLog(Z);
+    Jac = Jac + LogRest + tLog(Z) + tLog(1.0 - Z);
+    LogRest = LogRest + tLog(1.0 - Z);
+  }
+  LogPi[static_cast<size_t>(K - 1)] = LogRest;
+
+  TVar Ld = Jac;
+  // Dirichlet(alpha) prior on pi (log B(alpha) constant dropped).
+  for (int I = 0; I < K; ++I)
+    Ld = Ld + (Alpha[static_cast<size_t>(I)] - 1.0) *
+                  LogPi[static_cast<size_t>(I)];
+
+  // MvNormal priors on the means.
+  auto QuadForm = [&](const std::vector<TVar> &Diff, const Matrix &Prec) {
+    TVar Q = TVar(&T, T.push(0.0, -1, 0.0, -1, 0.0));
+    for (int R = 0; R < D; ++R)
+      for (int C = 0; C < D; ++C)
+        if (Prec.at(R, C) != 0.0)
+          Q = Q + Prec.at(R, C) * Diff[static_cast<size_t>(R)] *
+                      Diff[static_cast<size_t>(C)];
+    return Q;
+  };
+  auto MuVar = [&](int C, int J) {
+    return U[static_cast<size_t>(K - 1 + C * D + J)];
+  };
+  for (int C = 0; C < K; ++C) {
+    std::vector<TVar> Diff(static_cast<size_t>(D));
+    for (int J = 0; J < D; ++J)
+      Diff[static_cast<size_t>(J)] =
+          MuVar(C, J) - Mu0[static_cast<size_t>(J)];
+    Ld = Ld - 0.5 * (D * Log2Pi + Sigma0LogDet) -
+         0.5 * QuadForm(Diff, Sigma0Inv);
+  }
+
+  // Marginalized mixture likelihood: log sum_k (log pi_k + N(y|mu_k)).
+  for (const auto &Point : Y) {
+    std::vector<TVar> CompLp(static_cast<size_t>(K));
+    for (int C = 0; C < K; ++C) {
+      std::vector<TVar> Diff(static_cast<size_t>(D));
+      for (int J = 0; J < D; ++J)
+        Diff[static_cast<size_t>(J)] =
+            MuVar(C, J) - Point[static_cast<size_t>(J)];
+      CompLp[static_cast<size_t>(C)] =
+          LogPi[static_cast<size_t>(C)] -
+          0.5 * (D * Log2Pi + SigmaLogDet) - 0.5 * QuadForm(Diff, SigmaInv);
+    }
+    Ld = Ld + tLogSumExp(CompLp);
+  }
+  return Ld;
+}
+
+//===----------------------------------------------------------------------===//
+// Sampler
+//===----------------------------------------------------------------------===//
+
+StanSampler::StanSampler(std::unique_ptr<StanModel> Model, uint64_t Seed,
+                         int LeapfrogSteps)
+    : M(std::move(Model)), Rng(Seed), Steps(LeapfrogSteps) {
+  Pos.assign(static_cast<size_t>(M->dim()), 0.0);
+  for (auto &P : Pos)
+    P = 0.1 * Rng.gauss();
+  MuDA = std::log(10.0 * Eps);
+}
+
+double StanSampler::evalWithGrad(const std::vector<double> &U,
+                                 std::vector<double> &Grad) {
+  Tape T;
+  std::vector<TVar> Vars;
+  Vars.reserve(U.size());
+  for (double V : U)
+    Vars.emplace_back(&T, T.input(V));
+  TVar Ld = M->logDensity(T, Vars);
+  T.backward(Ld.index());
+  Grad.resize(U.size());
+  for (size_t I = 0; I < U.size(); ++I)
+    Grad[I] = T.adj(Vars[I].index());
+  LastTapeSize = T.size();
+  return Ld.val();
+}
+
+double StanSampler::logDensity() {
+  std::vector<double> G;
+  return evalWithGrad(Pos, G);
+}
+
+std::vector<double> StanSampler::gradient() {
+  std::vector<double> G;
+  evalWithGrad(Pos, G);
+  return G;
+}
+
+bool StanSampler::sampleOnce() {
+  std::vector<double> U = Pos, G;
+  double Ld0 = evalWithGrad(U, G);
+  std::vector<double> Mom(U.size());
+  double Kin0 = 0.0;
+  for (auto &P : Mom) {
+    P = Rng.gauss();
+    Kin0 += 0.5 * P * P;
+  }
+  for (int S = 0; S < Steps; ++S) {
+    for (size_t I = 0; I < U.size(); ++I)
+      Mom[I] += 0.5 * Eps * G[I];
+    for (size_t I = 0; I < U.size(); ++I)
+      U[I] += Eps * Mom[I];
+    evalWithGrad(U, G);
+    for (size_t I = 0; I < U.size(); ++I)
+      Mom[I] += 0.5 * Eps * G[I];
+  }
+  std::vector<double> GT;
+  double Ld1 = evalWithGrad(U, GT);
+  double Kin1 = 0.0;
+  for (double P : Mom)
+    Kin1 += 0.5 * P * P;
+  ++Proposed;
+  double LogAR = (Ld1 - Kin1) - (Ld0 - Kin0);
+  double AcceptProb = std::isfinite(LogAR) ? std::min(1.0, std::exp(LogAR))
+                                           : 0.0;
+  bool Accept = Rng.uniform() < AcceptProb;
+  if (Accept) {
+    Pos = U;
+    ++Accepted;
+  }
+  LastAcceptProb = AcceptProb;
+  return Accept;
+}
+
+void StanSampler::warmup(int Iters) {
+  // Nesterov dual averaging toward a 0.8 acceptance target.
+  const double Target = 0.8, Gamma = 0.05, T0 = 10.0, Kappa = 0.75;
+  for (int It = 0; It < Iters; ++It) {
+    sampleOnce();
+    ++WarmupIter;
+    double Eta = 1.0 / (WarmupIter + T0);
+    HBar = (1.0 - Eta) * HBar + Eta * (Target - LastAcceptProb);
+    double LogEps = MuDA - std::sqrt(double(WarmupIter)) / Gamma * HBar;
+    double W = std::pow(double(WarmupIter), -Kappa);
+    LogEpsBar = W * LogEps + (1.0 - W) * LogEpsBar;
+    Eps = std::exp(LogEps);
+  }
+  Eps = std::exp(LogEpsBar);
+}

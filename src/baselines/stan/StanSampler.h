@@ -1,0 +1,126 @@
+//===- baselines/stan/StanSampler.h - Stan-like HMC baseline ---*- C++ -*-===//
+///
+/// \file
+/// The Stan-like baseline (paper Section 7.2): gradient-based MCMC on a
+/// hand-written, fully-continuous log density. Stan "does not natively
+/// support discrete distributions so the user must write the model to
+/// marginalize out all discrete variables"; the bundled models do
+/// exactly that (mixture responsibilities via log-sum-exp). Gradients
+/// come from the instrumented tape (TapeAD.h); the sampler is HMC with
+/// dual-averaging step-size adaptation during warmup (the core of
+/// Stan's NUTS configuration without the trajectory-length adaptation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_BASELINES_STAN_STANSAMPLER_H
+#define AUGUR_BASELINES_STAN_STANSAMPLER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/stan/TapeAD.h"
+#include "math/LinAlg.h"
+#include "support/RNG.h"
+#include "support/Result.h"
+
+namespace augur {
+namespace stanb {
+
+/// A hand-written Stan-style model: a differentiable log density over
+/// an unconstrained parameter vector (transform Jacobians included).
+class StanModel {
+public:
+  virtual ~StanModel();
+  virtual int dim() const = 0;
+  virtual TVar logDensity(Tape &T, const std::vector<TVar> &U) const = 0;
+};
+
+/// Hierarchical logistic regression (Section 7.2), parameters
+/// [log sigma2, b, theta...].
+class HlrStanModel : public StanModel {
+public:
+  HlrStanModel(double Lambda, std::vector<std::vector<double>> X,
+               std::vector<int> Y)
+      : Lambda(Lambda), X(std::move(X)), Y(std::move(Y)) {}
+  int dim() const override {
+    return 2 + static_cast<int>(X.empty() ? 0 : X[0].size());
+  }
+  TVar logDensity(Tape &T, const std::vector<TVar> &U) const override;
+
+private:
+  double Lambda;
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+};
+
+/// Mixture of Gaussians with known shared covariance, discrete
+/// assignments marginalized out (the model Stan users write for the
+/// Fig. 10 comparison). Parameters: [stick-breaking pi (K-1), mu (K*D)].
+class MarginalGmmStanModel : public StanModel {
+public:
+  MarginalGmmStanModel(int K, std::vector<double> Alpha,
+                       std::vector<double> Mu0, Matrix Sigma0, Matrix Sigma,
+                       std::vector<std::vector<double>> Y);
+  int dim() const override { return (K - 1) + K * D; }
+  TVar logDensity(Tape &T, const std::vector<TVar> &U) const override;
+
+  /// Recovers the mixture weights and means from an unconstrained
+  /// position (for log-predictive evaluation).
+  void constrain(const std::vector<double> &U, std::vector<double> &Pi,
+                 std::vector<std::vector<double>> &Mu) const;
+
+private:
+  int K, D;
+  std::vector<double> Alpha, Mu0;
+  Matrix Sigma0Inv, SigmaInv;
+  double Sigma0LogDet, SigmaLogDet;
+  std::vector<std::vector<double>> Y;
+};
+
+/// The HMC sampler with dual-averaging warmup.
+class StanSampler {
+public:
+  StanSampler(std::unique_ptr<StanModel> M, uint64_t Seed,
+              int LeapfrogSteps = 10);
+
+  /// Adapts the step size for \p Iters iterations (target acceptance
+  /// 0.8), moving the chain.
+  void warmup(int Iters);
+
+  /// One HMC transition; returns true if accepted.
+  bool sampleOnce();
+
+  const std::vector<double> &position() const { return Pos; }
+  double logDensity();
+  std::vector<double> gradient();
+  double acceptRate() const {
+    return Proposed ? double(Accepted) / double(Proposed) : 1.0;
+  }
+  double stepSize() const { return Eps; }
+
+  /// Tape nodes consumed by the last gradient evaluation (the
+  /// instrumentation cost the A4 ablation measures).
+  size_t lastTapeSize() const { return LastTapeSize; }
+
+private:
+  double evalWithGrad(const std::vector<double> &U,
+                      std::vector<double> &Grad);
+
+  std::unique_ptr<StanModel> M;
+  RNG Rng;
+  int Steps;
+  double Eps = 0.05;
+  std::vector<double> Pos;
+  uint64_t Proposed = 0, Accepted = 0;
+  size_t LastTapeSize = 0;
+  // Dual-averaging state.
+  double MuDA = 0.0, LogEpsBar = 0.0, HBar = 0.0;
+  double LastAcceptProb = 1.0;
+  int WarmupIter = 0;
+};
+
+} // namespace stanb
+} // namespace augur
+
+#endif // AUGUR_BASELINES_STAN_STANSAMPLER_H

@@ -1,0 +1,132 @@
+//===- baselines/stan/TapeAD.cpp ------------------------------*- C++ -*-===//
+
+#include "baselines/stan/TapeAD.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+using namespace augur::stanb;
+
+void Tape::backward(int32_t Root) {
+  for (auto &N : Nodes)
+    N.Adj = 0.0;
+  Nodes[static_cast<size_t>(Root)].Adj = 1.0;
+  for (int32_t I = Root; I >= 0; --I) {
+    const Node &N = Nodes[static_cast<size_t>(I)];
+    if (N.Adj == 0.0)
+      continue;
+    if (N.Parent0 >= 0)
+      Nodes[static_cast<size_t>(N.Parent0)].Adj += N.Adj * N.Partial0;
+    if (N.Parent1 >= 0)
+      Nodes[static_cast<size_t>(N.Parent1)].Adj += N.Adj * N.Partial1;
+  }
+}
+
+namespace augur {
+namespace stanb {
+
+TVar operator+(TVar A, TVar B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() + B.val(), A.index(), 1.0, B.index(), 1.0));
+}
+TVar operator+(TVar A, double B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() + B, A.index(), 1.0, -1, 0.0));
+}
+TVar operator+(double A, TVar B) { return B + A; }
+
+TVar operator-(TVar A, TVar B) {
+  Tape *T = A.tape();
+  return TVar(T,
+              T->push(A.val() - B.val(), A.index(), 1.0, B.index(), -1.0));
+}
+TVar operator-(TVar A, double B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() - B, A.index(), 1.0, -1, 0.0));
+}
+TVar operator-(double A, TVar B) {
+  Tape *T = B.tape();
+  return TVar(T, T->push(A - B.val(), B.index(), -1.0, -1, 0.0));
+}
+TVar operator-(TVar A) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(-A.val(), A.index(), -1.0, -1, 0.0));
+}
+
+TVar operator*(TVar A, TVar B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() * B.val(), A.index(), B.val(), B.index(),
+                         A.val()));
+}
+TVar operator*(TVar A, double B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() * B, A.index(), B, -1, 0.0));
+}
+TVar operator*(double A, TVar B) { return B * A; }
+
+TVar operator/(TVar A, TVar B) {
+  Tape *T = A.tape();
+  double V = A.val() / B.val();
+  return TVar(T, T->push(V, A.index(), 1.0 / B.val(), B.index(),
+                         -V / B.val()));
+}
+TVar operator/(TVar A, double B) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(A.val() / B, A.index(), 1.0 / B, -1, 0.0));
+}
+TVar operator/(double A, TVar B) {
+  Tape *T = B.tape();
+  double V = A / B.val();
+  return TVar(T, T->push(V, B.index(), -V / B.val(), -1, 0.0));
+}
+
+TVar tExp(TVar A) {
+  Tape *T = A.tape();
+  double V = std::exp(A.val());
+  return TVar(T, T->push(V, A.index(), V, -1, 0.0));
+}
+TVar tLog(TVar A) {
+  Tape *T = A.tape();
+  return TVar(T, T->push(std::log(A.val()), A.index(), 1.0 / A.val(), -1,
+                         0.0));
+}
+TVar tSqrt(TVar A) {
+  Tape *T = A.tape();
+  double V = std::sqrt(A.val());
+  return TVar(T, T->push(V, A.index(), 0.5 / V, -1, 0.0));
+}
+TVar tSigmoid(TVar A) {
+  Tape *T = A.tape();
+  double X = A.val();
+  double V = X >= 0 ? 1.0 / (1.0 + std::exp(-X))
+                    : std::exp(X) / (1.0 + std::exp(X));
+  return TVar(T, T->push(V, A.index(), V * (1.0 - V), -1, 0.0));
+}
+TVar tLog1pExp(TVar A) {
+  Tape *T = A.tape();
+  double X = A.val();
+  double V = X > 0 ? X + std::log1p(std::exp(-X)) : std::log1p(std::exp(X));
+  double S = X >= 0 ? 1.0 / (1.0 + std::exp(-X))
+                    : std::exp(X) / (1.0 + std::exp(X));
+  return TVar(T, T->push(V, A.index(), S, -1, 0.0));
+}
+
+TVar tLogSumExp(const std::vector<TVar> &Xs) {
+  assert(!Xs.empty() && "logSumExp of empty sequence");
+  // Pairwise fold with the stable two-argument form:
+  // lse(a, b) = max + log(exp(a - max) + exp(b - max)).
+  TVar Acc = Xs[0];
+  for (size_t I = 1; I < Xs.size(); ++I) {
+    TVar A = Acc, B = Xs[I];
+    if (A.val() >= B.val())
+      Acc = A + tLog1pExp(B - A);
+    else
+      Acc = B + tLog1pExp(A - B);
+  }
+  return Acc;
+}
+
+} // namespace stanb
+} // namespace augur

@@ -1,0 +1,103 @@
+//===- baselines/stan/TapeAD.h - Tape-based reverse-mode AD ----*- C++ -*-===//
+///
+/// \file
+/// Operator-overloading reverse-mode automatic differentiation, the
+/// architecture Stan uses ("systems (e.g., Stan) that implement AD by
+/// instrumenting the program", paper Section 4.4). Every arithmetic
+/// operation appends a node to a tape recording its parents and local
+/// partials; a backward sweep accumulates adjoints. Contrast with
+/// AugurV2's source-to-source AD, which emits gradient code with no
+/// runtime instrumentation — the A4 ablation bench measures exactly
+/// this difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_BASELINES_STAN_TAPEAD_H
+#define AUGUR_BASELINES_STAN_TAPEAD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace augur {
+namespace stanb {
+
+/// The AD tape.
+class Tape {
+public:
+  struct Node {
+    double Val = 0.0;
+    double Adj = 0.0;
+    int32_t Parent0 = -1, Parent1 = -1;
+    double Partial0 = 0.0, Partial1 = 0.0;
+  };
+
+  /// Registers an input (independent) variable.
+  int32_t input(double V) { return push(V, -1, 0.0, -1, 0.0); }
+
+  /// Records an operation node.
+  int32_t push(double V, int32_t P0, double D0, int32_t P1, double D1) {
+    Node N;
+    N.Val = V;
+    N.Parent0 = P0;
+    N.Partial0 = D0;
+    N.Parent1 = P1;
+    N.Partial1 = D1;
+    Nodes.push_back(N);
+    return static_cast<int32_t>(Nodes.size()) - 1;
+  }
+
+  double val(int32_t I) const { return Nodes[static_cast<size_t>(I)].Val; }
+  double adj(int32_t I) const { return Nodes[static_cast<size_t>(I)].Adj; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Reverse sweep seeding d(root)/d(root) = 1.
+  void backward(int32_t Root);
+
+  /// Clears the tape (adjoints and nodes).
+  void clear() { Nodes.clear(); }
+
+private:
+  std::vector<Node> Nodes;
+};
+
+/// A tape-bound value; arithmetic on TVar records onto the tape.
+class TVar {
+public:
+  TVar() = default;
+  TVar(Tape *T, int32_t Idx) : T(T), Idx(Idx) {}
+
+  double val() const { return T->val(Idx); }
+  int32_t index() const { return Idx; }
+  Tape *tape() const { return T; }
+
+private:
+  Tape *T = nullptr;
+  int32_t Idx = -1;
+};
+
+TVar operator+(TVar A, TVar B);
+TVar operator+(TVar A, double B);
+TVar operator+(double A, TVar B);
+TVar operator-(TVar A, TVar B);
+TVar operator-(TVar A, double B);
+TVar operator-(double A, TVar B);
+TVar operator-(TVar A);
+TVar operator*(TVar A, TVar B);
+TVar operator*(TVar A, double B);
+TVar operator*(double A, TVar B);
+TVar operator/(TVar A, TVar B);
+TVar operator/(TVar A, double B);
+TVar operator/(double A, TVar B);
+
+TVar tExp(TVar A);
+TVar tLog(TVar A);
+TVar tSqrt(TVar A);
+TVar tSigmoid(TVar A);
+TVar tLog1pExp(TVar A); ///< log(1 + e^x), stable
+TVar tLogSumExp(const std::vector<TVar> &Xs);
+
+} // namespace stanb
+} // namespace augur
+
+#endif // AUGUR_BASELINES_STAN_TAPEAD_H

@@ -1,0 +1,39 @@
+//===- blk/BlkIR.cpp ------------------------------------------*- C++ -*-===//
+
+#include "blk/BlkIR.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+std::string Block::str(int Indent) const {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  std::string Out;
+  switch (K) {
+  case Kind::Seq:
+    Out = Pad + "seqBlk {\n";
+    break;
+  case Kind::Par:
+    Out = Pad + strFormat("parBlk %s (%s <- %s until %s) {\n",
+                          loopKindName(LK), Var.c_str(),
+                          Lo->str().c_str(), Hi->str().c_str());
+    break;
+  case Kind::Sum:
+    Out = Pad + strFormat("%s = sumBlk (%s <- %s until %s) {\n",
+                          SumDest.str().c_str(), Var.c_str(),
+                          Lo->str().c_str(), Hi->str().c_str());
+    break;
+  }
+  for (const auto &S : Body)
+    Out += S->str(Indent + 1);
+  Out += Pad + "}\n";
+  return Out;
+}
+
+std::string BlkProc::str() const {
+  std::string Out = Name + "() {\n";
+  for (const auto &B : Blocks)
+    Out += B.str(1);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- blk/BlkIR.h - The Blk IL --------------------------------*- C++ -*-===//
+///
+/// \file
+/// The Blk IL (paper Fig. 9) exposes the kinds of parallelism a GPU
+/// provides: data-parallel blocks (parBlk ~ one kernel launch of `gen`
+/// threads), map-reduce summation blocks (sumBlk), sequential blocks
+/// (seqBlk), and loops of blocks (loopBlk). Lowering from Low-- turns
+/// every top-level loop into a parallel block with the same annotation
+/// and groups the remaining top-level statements into sequential
+/// blocks; the optimization passes in blk/Passes.h then rewrite the
+/// block structure (loop commuting, primitive inlining, conversion of
+/// contended atomic blocks to summation blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_BLK_BLKIR_H
+#define AUGUR_BLK_BLKIR_H
+
+#include <string>
+#include <vector>
+
+#include "lowpp/LowppIR.h"
+
+namespace augur {
+
+/// One block of a Blk-IL procedure.
+struct Block {
+  enum class Kind {
+    Seq, ///< seqBlk { s }: no parallelism (host / single thread)
+    Par, ///< parBlk lk (x <- lo until hi) { s }: one thread per x
+    Sum, ///< acc = sumBlk (x <- lo until hi) { s }: map-reduce
+  };
+
+  Kind K = Kind::Seq;
+
+  // Par / Sum range.
+  LoopKind LK = LoopKind::Par; ///< Par annotation (Par or AtmPar)
+  std::string Var;
+  ExprPtr Lo, Hi;
+
+  /// Body statements (Low-- level).
+  std::vector<LStmtPtr> Body;
+
+  /// Sum: the accumulator every body contribution targets.
+  LValue SumDest;
+  /// Sum: true when the reduction is *per location* of an indexed
+  /// destination (e.g. adj_theta[j] reduced over the data for each j),
+  /// the paper's "14 map-reduces over 50000 elements" case.
+  bool Privatized = false;
+
+  std::string str(int Indent = 0) const;
+};
+
+/// A procedure in Blk form.
+struct BlkProc {
+  std::string Name;
+  std::vector<Block> Blocks;
+
+  std::string str() const;
+};
+
+} // namespace augur
+
+#endif // AUGUR_BLK_BLKIR_H

@@ -1,0 +1,488 @@
+//===- blk/Passes.cpp -----------------------------------------*- C++ -*-===//
+
+#include "blk/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+BlkProc augur::lowerToBlk(const LowppProc &P) {
+  BlkProc B;
+  B.Name = P.Name;
+  Block *CurSeq = nullptr;
+  for (const auto &S : P.Body) {
+    if (S->K == LStmt::Kind::Loop && S->LK != LoopKind::Seq) {
+      Block Par;
+      Par.K = Block::Kind::Par;
+      Par.LK = S->LK;
+      Par.Var = S->LoopVar;
+      Par.Lo = S->Lo;
+      Par.Hi = S->Hi;
+      Par.Body = S->Body;
+      B.Blocks.push_back(std::move(Par));
+      CurSeq = nullptr;
+      continue;
+    }
+    if (!CurSeq) {
+      Block Seq;
+      Seq.K = Block::Kind::Seq;
+      B.Blocks.push_back(std::move(Seq));
+      CurSeq = &B.Blocks.back();
+    }
+    CurSeq->Body.push_back(S);
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive inlining (Low++ level)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int InlineCounter = 0;
+
+/// Expands `dest = Dirichlet(alpha).samp` into its loop implementation
+/// (the paper's Section 5.4 example): a parallel Gamma loop followed by
+/// normalization.
+std::vector<LStmtPtr> expandDirichletSample(const LStmt &S) {
+  const ExprPtr &Alpha = S.Params[0];
+  std::string G = strFormat("dirich_g_%d", InlineCounter);
+  std::string Sum = strFormat("dirich_s_%d", InlineCounter);
+  std::string V = strFormat("v_%d", InlineCounter);
+  ++InlineCounter;
+  ExprPtr LenE = Expr::prim(PrimOp::Len, {Alpha});
+  ExprPtr VE = Expr::var(V);
+  LValue DestElem = S.Dest;
+  DestElem.Idxs.push_back(VE);
+
+  std::vector<LStmtPtr> Out;
+  Out.push_back(stDeclLocal(G, LocalKind::Real, {LenE}));
+  Out.push_back(stDeclLocal(Sum, LocalKind::Real, {}));
+  Out.push_back(stLoop(
+      LoopKind::Par, V, Expr::intLit(0), LenE,
+      {stSample(LValue::indexed(G, {VE}), Dist::Gamma,
+                {Expr::index(Alpha, VE), Expr::realLit(1.0)})}));
+  Out.push_back(stLoop(LoopKind::AtmPar, V, Expr::intLit(0), LenE,
+                       {stAssign(LValue::scalar(Sum),
+                                 Expr::index(Expr::var(G), VE), true)}));
+  Out.push_back(stLoop(
+      LoopKind::Par, V, Expr::intLit(0), LenE,
+      {stAssign(DestElem,
+                Expr::prim(PrimOp::Div, {Expr::index(Expr::var(G), VE),
+                                         Expr::var(Sum)}))}));
+  return Out;
+}
+
+std::vector<LStmtPtr> inlineBody(const std::vector<LStmtPtr> &Body,
+                                 bool &Changed);
+
+ExprPtr lvalueToExpr(const LValue &L) {
+  ExprPtr E = Expr::var(L.Var);
+  for (const auto &Idx : L.Idxs)
+    E = Expr::index(std::move(E), Idx);
+  return E;
+}
+
+/// Expands a Dirichlet-Categorical posterior draw the same way: the
+/// posterior is Dirichlet(alpha + counts), i.e. normalized Gammas with
+/// shifted shapes.
+std::vector<LStmtPtr> expandDirichletConjSample(const LStmt &S) {
+  const ExprPtr &Alpha = S.PriorParams[0];
+  ExprPtr Counts = lvalueToExpr(S.StatRefs[0]);
+  std::string G = strFormat("dirich_g_%d", InlineCounter);
+  std::string Sum = strFormat("dirich_s_%d", InlineCounter);
+  std::string V = strFormat("v_%d", InlineCounter);
+  ++InlineCounter;
+  ExprPtr LenE = Expr::prim(PrimOp::Len, {Alpha});
+  ExprPtr VE = Expr::var(V);
+  LValue DestElem = S.Dest;
+  DestElem.Idxs.push_back(VE);
+
+  std::vector<LStmtPtr> Out;
+  Out.push_back(stDeclLocal(G, LocalKind::Real, {LenE}));
+  Out.push_back(stDeclLocal(Sum, LocalKind::Real, {}));
+  Out.push_back(stLoop(
+      LoopKind::Par, V, Expr::intLit(0), LenE,
+      {stSample(LValue::indexed(G, {VE}), Dist::Gamma,
+                {Expr::add(Expr::index(Alpha, VE),
+                           Expr::index(Counts, VE)),
+                 Expr::realLit(1.0)})}));
+  Out.push_back(stLoop(LoopKind::AtmPar, V, Expr::intLit(0), LenE,
+                       {stAssign(LValue::scalar(Sum),
+                                 Expr::index(Expr::var(G), VE), true)}));
+  Out.push_back(stLoop(
+      LoopKind::Par, V, Expr::intLit(0), LenE,
+      {stAssign(DestElem,
+                Expr::prim(PrimOp::Div, {Expr::index(Expr::var(G), VE),
+                                         Expr::var(Sum)}))}));
+  return Out;
+}
+
+LStmtPtr inlineStmt(const LStmtPtr &S, bool &Changed,
+                    std::vector<LStmtPtr> &Expansion) {
+  switch (S->K) {
+  case LStmt::Kind::Sample:
+    if (S->D == Dist::Dirichlet) {
+      Changed = true;
+      Expansion = expandDirichletSample(*S);
+      return nullptr;
+    }
+    return S;
+  case LStmt::Kind::ConjSample:
+    if (S->Conj == ConjKind::DirichletCategorical) {
+      Changed = true;
+      Expansion = expandDirichletConjSample(*S);
+      return nullptr;
+    }
+    return S;
+  case LStmt::Kind::If: {
+    auto Copy = std::make_shared<LStmt>(*S);
+    Copy->Then = inlineBody(S->Then, Changed);
+    return Copy;
+  }
+  case LStmt::Kind::Loop: {
+    auto Copy = std::make_shared<LStmt>(*S);
+    Copy->Body = inlineBody(S->Body, Changed);
+    return Copy;
+  }
+  default:
+    return S;
+  }
+}
+
+std::vector<LStmtPtr> inlineBody(const std::vector<LStmtPtr> &Body,
+                                 bool &Changed) {
+  std::vector<LStmtPtr> Out;
+  for (const auto &S : Body) {
+    std::vector<LStmtPtr> Expansion;
+    LStmtPtr New = inlineStmt(S, Changed, Expansion);
+    if (New)
+      Out.push_back(std::move(New));
+    else
+      Out.insert(Out.end(), Expansion.begin(), Expansion.end());
+  }
+  return Out;
+}
+
+} // namespace
+
+LowppProc augur::inlinePrimitives(const LowppProc &P, bool *Changed) {
+  bool Did = false;
+  LowppProc Out;
+  Out.Name = P.Name;
+  Out.Outputs = P.Outputs;
+  Out.Body = inlineBody(P.Body, Did);
+  if (Changed)
+    *Changed = Did;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop commuting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t evalExtent(const ExprPtr &Lo, const ExprPtr &Hi, const Env &E,
+                   const std::map<std::string, int64_t> &LoopVars) {
+  EvalCtx Ctx(E);
+  Ctx.LoopVars = LoopVars;
+  return evalIntExpr(Hi, Ctx) - evalIntExpr(Lo, Ctx);
+}
+
+} // namespace
+
+int augur::commuteLoops(BlkProc &P, const Env &E, const BlkOptions &O) {
+  if (!O.CommuteLoops)
+    return 0;
+  int Count = 0;
+  for (auto &B : P.Blocks) {
+    if (B.K != Block::Kind::Par || B.Body.size() != 1)
+      continue;
+    const LStmtPtr &Inner = B.Body[0];
+    if (Inner->K != LStmt::Kind::Loop || Inner->LK == LoopKind::Seq)
+      continue;
+    // A ragged inner bound depending on the block variable cannot be
+    // hoisted.
+    if (Inner->Lo->mentionsVar(B.Var) || Inner->Hi->mentionsVar(B.Var))
+      continue;
+    int64_t OuterExt = evalExtent(B.Lo, B.Hi, E, {});
+    int64_t InnerExt = evalExtent(Inner->Lo, Inner->Hi, E, {});
+    if (InnerExt < O.CommuteFactor * OuterExt)
+      continue;
+    // Swap: the big extent becomes the thread dimension.
+    Block New;
+    New.K = Block::Kind::Par;
+    New.LK = Inner->LK;
+    New.Var = Inner->LoopVar;
+    New.Lo = Inner->Lo;
+    New.Hi = Inner->Hi;
+    New.Body = {stLoop(B.LK, B.Var, B.Lo, B.Hi, Inner->Body)};
+    B = std::move(New);
+    ++Count;
+  }
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Summation-block conversion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the accumulation destinations of a block body. Returns
+/// false if the body performs a write that cannot be privatized (a
+/// non-accumulating global write or a sampling statement).
+bool collectAccumTargets(const std::vector<LStmtPtr> &Body,
+                         std::vector<std::string> &LocalNames,
+                         std::vector<const LValue *> &Targets,
+                         std::vector<std::string> &InnerVars) {
+  for (const auto &S : Body) {
+    switch (S->K) {
+    case LStmt::Kind::DeclLocal:
+      LocalNames.push_back(S->LocalName);
+      break;
+    case LStmt::Kind::Assign: {
+      bool IsLocal =
+          std::find(LocalNames.begin(), LocalNames.end(), S->Dest.Var) !=
+          LocalNames.end();
+      if (IsLocal)
+        break;
+      if (!S->Accum)
+        return false;
+      Targets.push_back(&S->Dest);
+      break;
+    }
+    case LStmt::Kind::AccumLL:
+    case LStmt::Kind::AccumGrad:
+    case LStmt::Kind::AccumOuter:
+    case LStmt::Kind::AccumVec: {
+      bool IsLocal =
+          std::find(LocalNames.begin(), LocalNames.end(), S->Dest.Var) !=
+          LocalNames.end();
+      if (!IsLocal)
+        Targets.push_back(&S->Dest);
+      break;
+    }
+    case LStmt::Kind::Sample:
+    case LStmt::Kind::SampleLogits:
+    case LStmt::Kind::ConjSample:
+      return false;
+    case LStmt::Kind::If:
+      if (!collectAccumTargets(S->Then, LocalNames, Targets, InnerVars))
+        return false;
+      break;
+    case LStmt::Kind::Loop:
+      InnerVars.push_back(S->LoopVar);
+      if (!collectAccumTargets(S->Body, LocalNames, Targets, InnerVars))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+bool sameLValue(const LValue &A, const LValue &B) {
+  if (A.Var != B.Var || A.Idxs.size() != B.Idxs.size())
+    return false;
+  for (size_t I = 0; I < A.Idxs.size(); ++I)
+    if (!Expr::structEq(A.Idxs[I], B.Idxs[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+namespace {
+
+/// Extents of the loops inside \p Body, by loop variable (bounds
+/// depending on enclosing loop variables are skipped).
+void collectInnerExtents(const std::vector<LStmtPtr> &Body, const Env &E,
+                         std::map<std::string, int64_t> &Out) {
+  for (const auto &S : Body) {
+    if (S->K == LStmt::Kind::If) {
+      collectInnerExtents(S->Then, E, Out);
+      continue;
+    }
+    if (S->K != LStmt::Kind::Loop)
+      continue;
+    // Bind enclosing loop variables to 0: extents indexed through them
+    // (e.g. len(x[n])) are uniform across the block in generated code.
+    std::vector<std::string> Vars;
+    S->Lo->collectVars(Vars);
+    S->Hi->collectVars(Vars);
+    std::map<std::string, int64_t> Probe;
+    for (const auto &V : Vars)
+      if (!E.count(V))
+        Probe[V] = 0;
+    Out[S->LoopVar] = evalExtent(S->Lo, S->Hi, E, Probe);
+    collectInnerExtents(S->Body, E, Out);
+  }
+}
+
+/// Deep-copies \p Body keeping only the accumulations into \p KeepVar
+/// (plus every local/pure statement).
+std::vector<LStmtPtr> filterBodyFor(const std::vector<LStmtPtr> &Body,
+                                    const std::string &KeepVar,
+                                    std::vector<std::string> &LocalNames) {
+  std::vector<LStmtPtr> Out;
+  for (const auto &S : Body) {
+    switch (S->K) {
+    case LStmt::Kind::DeclLocal:
+      LocalNames.push_back(S->LocalName);
+      Out.push_back(S);
+      break;
+    case LStmt::Kind::Assign:
+    case LStmt::Kind::AccumLL:
+    case LStmt::Kind::AccumGrad:
+    case LStmt::Kind::AccumOuter:
+    case LStmt::Kind::AccumVec: {
+      bool IsLocal =
+          std::find(LocalNames.begin(), LocalNames.end(), S->Dest.Var) !=
+          LocalNames.end();
+      if (IsLocal || S->Dest.Var == KeepVar)
+        Out.push_back(S);
+      break;
+    }
+    case LStmt::Kind::If: {
+      auto Copy = std::make_shared<LStmt>(*S);
+      Copy->Then = filterBodyFor(S->Then, KeepVar, LocalNames);
+      if (!Copy->Then.empty())
+        Out.push_back(std::move(Copy));
+      break;
+    }
+    case LStmt::Kind::Loop: {
+      auto Copy = std::make_shared<LStmt>(*S);
+      Copy->Body = filterBodyFor(S->Body, KeepVar, LocalNames);
+      if (!Copy->Body.empty())
+        Out.push_back(std::move(Copy));
+      break;
+    }
+    default:
+      Out.push_back(S);
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int augur::convertSumBlocks(BlkProc &P, const Env &E, const BlkOptions &O) {
+  if (!O.ConvertSumBlocks)
+    return 0;
+  int Count = 0;
+  std::vector<Block> NewBlocks;
+  for (auto &B : P.Blocks) {
+    if (B.K != Block::Kind::Par || B.LK != LoopKind::AtmPar) {
+      NewBlocks.push_back(std::move(B));
+      continue;
+    }
+    std::vector<std::string> LocalNames;
+    std::vector<const LValue *> Targets;
+    std::vector<std::string> InnerVars;
+    if (!collectAccumTargets(B.Body, LocalNames, Targets, InnerVars) ||
+        Targets.empty()) {
+      NewBlocks.push_back(std::move(B));
+      continue;
+    }
+    // Per-target contention estimate (paper: threads / locations).
+    // A destination indexed by the block variable cannot be privatized;
+    // one indexed only by inner loop variables has one location per
+    // inner index value.
+    std::map<std::string, int64_t> InnerExtents;
+    collectInnerExtents(B.Body, E, InnerExtents);
+    int64_t Threads = evalExtent(B.Lo, B.Hi, E, {});
+    bool Convertible = true;
+    std::map<std::string, int64_t> LocationsByVar;
+    for (const auto *T : Targets) {
+      int64_t Locations = 1;
+      for (const auto &Idx : T->Idxs) {
+        if (Idx->mentionsVar(B.Var)) {
+          Convertible = false;
+          break;
+        }
+        std::vector<std::string> IdxVars;
+        Idx->collectVars(IdxVars);
+        int64_t Extent = 1;
+        for (const auto &IV : IdxVars) {
+          auto It = InnerExtents.find(IV);
+          if (It == InnerExtents.end()) {
+            // Not an inner loop variable with a known extent: give up.
+            Convertible = false;
+            break;
+          }
+          Extent *= std::max<int64_t>(It->second, 1);
+        }
+        Locations *= Extent;
+      }
+      if (!Convertible)
+        break;
+      auto [It, Inserted] = LocationsByVar.emplace(T->Var, Locations);
+      if (!Inserted)
+        It->second = std::max(It->second, Locations);
+    }
+    int64_t MaxLocations = 1;
+    for (const auto &KV : LocationsByVar)
+      MaxLocations = std::max(MaxLocations, KV.second);
+    if (!Convertible || MaxLocations == 0 ||
+        Threads / std::max<int64_t>(MaxLocations, 1) <
+            O.SumBlockThreshold) {
+      NewBlocks.push_back(std::move(B));
+      continue;
+    }
+    // Split into one summation block per target variable: each
+    // re-executes the shared computation but reduces only its own
+    // destination ("14 map-reduces over 50000 elements").
+    for (const auto &KV : LocationsByVar) {
+      Block Sum;
+      Sum.K = Block::Kind::Sum;
+      Sum.LK = B.LK;
+      Sum.Var = B.Var;
+      Sum.Lo = B.Lo;
+      Sum.Hi = B.Hi;
+      std::vector<std::string> Locals;
+      Sum.Body = filterBodyFor(B.Body, KV.first, Locals);
+      Sum.Privatized = KV.second > 1;
+      // SumDest: the exact lvalue when unique and scalar-per-block,
+      // else the whole variable (per-location reduction).
+      const LValue *Exact = nullptr;
+      for (const auto *T : Targets)
+        if (T->Var == KV.first)
+          Exact = T;
+      if (!Sum.Privatized && Exact)
+        Sum.SumDest = *Exact;
+      else
+        Sum.SumDest = LValue::scalar(KV.first);
+      NewBlocks.push_back(std::move(Sum));
+    }
+    ++Count;
+  }
+  P.Blocks = std::move(NewBlocks);
+  return Count;
+}
+
+BlkProc augur::optimizeToBlk(const LowppProc &P, const Env &E,
+                             const BlkOptions &O) {
+  BlkProc Direct = lowerToBlk(P);
+  int DirectWins = commuteLoops(Direct, E, O) + convertSumBlocks(Direct, E, O);
+
+  if (!O.InlinePrimitives)
+    return Direct;
+  bool Changed = false;
+  LowppProc Inlined = inlinePrimitives(P, &Changed);
+  if (!Changed)
+    return Direct;
+  BlkProc WithInline = lowerToBlk(Inlined);
+  int InlineWins =
+      commuteLoops(WithInline, E, O) + convertSumBlocks(WithInline, E, O);
+  // The paper's heuristic: keep the inlined form only if inlining
+  // enabled an additional commute or summation-block conversion.
+  if (InlineWins > DirectWins)
+    return WithInline;
+  return Direct;
+}

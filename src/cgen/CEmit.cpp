@@ -1,0 +1,560 @@
+//===- cgen/CEmit.cpp -----------------------------------------*- C++ -*-===//
+
+#include "cgen/CEmit.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cassert>
+#include <set>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+/// The static runtime every emitted translation unit carries (the CPU
+/// side of the paper's Cuda/C runtime library, Section 6.2).
+const char *RuntimePrelude = R"c(
+#include <math.h>
+typedef long long i64;
+static const double AUGUR_LOG2PI = 1.8378770664093453;
+static inline double augur_sigmoid(double x) {
+  return x >= 0 ? 1.0 / (1.0 + exp(-x)) : exp(x) / (1.0 + exp(x));
+}
+static inline double augur_dot(const double *a, const double *b, i64 n) {
+  double s = 0.0;
+  for (i64 i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+static inline double augur_normal_ll(double x, double m, double v) {
+  double z = x - m;
+  return v > 0 ? -0.5 * (AUGUR_LOG2PI + log(v) + z * z / v) : -1.0 / 0.0;
+}
+static inline double augur_normal_grad0(double x, double m, double v) {
+  return -(x - m) / v;
+}
+static inline double augur_normal_grad1(double x, double m, double v) {
+  return (x - m) / v;
+}
+static inline double augur_normal_grad2(double x, double m, double v) {
+  double z = x - m;
+  return -0.5 / v + 0.5 * z * z / (v * v);
+}
+static inline double augur_bernoulli_ll(i64 x, double p) {
+  double q = x ? p : 1.0 - p;
+  return q > 0 ? log(q) : -1.0 / 0.0;
+}
+static inline double augur_bernoulli_grad1(i64 x, double p) {
+  return x ? 1.0 / p : -1.0 / (1.0 - p);
+}
+static inline double augur_exponential_ll(double x, double r) {
+  return (r > 0 && x >= 0) ? log(r) - r * x : -1.0 / 0.0;
+}
+static inline double augur_exponential_grad0(double x, double r) {
+  return -r;
+}
+static inline double augur_exponential_grad1(double x, double r) {
+  return 1.0 / r - x;
+}
+static inline double augur_gamma_ll(double x, double a, double r) {
+  return (x > 0 && a > 0 && r > 0)
+             ? a * log(r) - lgamma(a) + (a - 1.0) * log(x) - r * x
+             : -1.0 / 0.0;
+}
+static inline double augur_gamma_grad0(double x, double a, double r) {
+  return (a - 1.0) / x - r;
+}
+static inline double augur_invgamma_ll(double x, double a, double s) {
+  return (x > 0 && a > 0 && s > 0)
+             ? a * log(s) - lgamma(a) - (a + 1.0) * log(x) - s / x
+             : -1.0 / 0.0;
+}
+static inline double augur_invgamma_grad0(double x, double a, double s) {
+  return -(a + 1.0) / x + s / (x * x);
+}
+static inline double augur_beta_ll(double x, double a, double b) {
+  return (x > 0 && x < 1 && a > 0 && b > 0)
+             ? (a - 1.0) * log(x) + (b - 1.0) * log(1.0 - x) +
+                   lgamma(a + b) - lgamma(a) - lgamma(b)
+             : -1.0 / 0.0;
+}
+static inline double augur_beta_grad0(double x, double a, double b) {
+  return (a - 1.0) / x - (b - 1.0) / (1.0 - x);
+}
+static inline double augur_uniform_ll(double x, double lo, double hi) {
+  return (hi > lo && x >= lo && x <= hi) ? -log(hi - lo) : -1.0 / 0.0;
+}
+static inline double augur_poisson_ll(i64 x, double r) {
+  return (r > 0 && x >= 0) ? x * log(r) - r - lgamma((double)x + 1.0)
+                           : -1.0 / 0.0;
+}
+static inline double augur_poisson_grad1(i64 x, double r) {
+  return (double)x / r - 1.0;
+}
+static inline double augur_categorical_ll(const double *p, i64 n, i64 k) {
+  return (k >= 0 && k < n && p[k] > 0) ? log(p[k]) : -1.0 / 0.0;
+}
+static inline double augur_dirichlet_ll(const double *a, i64 n,
+                                        const double *x) {
+  double s = 0.0, sa = 0.0, lb = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    if (a[i] <= 0 || x[i] <= 0 || x[i] >= 1) return -1.0 / 0.0;
+    s += (a[i] - 1.0) * log(x[i]);
+    sa += a[i];
+    lb += lgamma(a[i]);
+  }
+  return s + lgamma(sa) - lb;
+}
+)c";
+
+struct VecRef {
+  std::string Ptr;
+  std::string Len;
+};
+
+class CEmitter {
+public:
+  CEmitter(const LowppProc &P, const Env &E) : P(P), E(&E) {}
+
+  Result<CModule> run() {
+    AUGUR_RETURN_IF_ERROR(collectGlobals());
+    std::string Body;
+    for (const auto &S : P.Body) {
+      AUGUR_ASSIGN_OR_RETURN(std::string Text, emitStmt(*S, 1));
+      Body += Text;
+    }
+    CModule M;
+    M.ProcName = P.Name;
+    M.Fields = Fields;
+    M.Source = RuntimePrelude;
+    M.Source += "\ntypedef struct {\n";
+    for (const auto &F : Fields) {
+      switch (F.K) {
+      case FrameField::Kind::RealPtr:
+        M.Source += "  double *" + F.CName + ";\n";
+        break;
+      case FrameField::Kind::IntPtr:
+      case FrameField::Kind::OffsetsPtr:
+        M.Source += "  i64 *" + F.CName + ";\n";
+        break;
+      case FrameField::Kind::Length:
+        M.Source += "  i64 " + F.CName + ";\n";
+        break;
+      }
+    }
+    M.Source += "} augur_frame;\n\n";
+    M.Source += "void " + P.Name + "(augur_frame *f) {\n" + Body + "}\n";
+    return M;
+  }
+
+private:
+  enum class GKind {
+    IntScalar,
+    RealScalar,
+    IntVecFlat,
+    RealVecFlat,
+    IntVecRagged,
+    RealVecRagged,
+  };
+
+  struct Global {
+    GKind K;
+  };
+
+  static void collectStmtVars(const LStmt &S, std::set<std::string> &Vars,
+                              std::set<std::string> &Bound) {
+    auto AddExpr = [&](const ExprPtr &Ex) {
+      if (!Ex)
+        return;
+      std::vector<std::string> Names;
+      Ex->collectVars(Names);
+      for (auto &N : Names)
+        Vars.insert(N);
+    };
+    AddExpr(S.Rhs);
+    AddExpr(S.Lo);
+    AddExpr(S.Hi);
+    AddExpr(S.At);
+    AddExpr(S.Adj);
+    AddExpr(S.Count);
+    for (const auto &Ex : S.Params)
+      AddExpr(Ex);
+    for (const auto &Ex : S.Dims)
+      AddExpr(Ex);
+    for (const auto &G : S.Guards) {
+      AddExpr(G.Lhs);
+      AddExpr(G.Rhs);
+    }
+    if (!S.Dest.Var.empty()) {
+      Vars.insert(S.Dest.Var);
+      for (const auto &Ex : S.Dest.Idxs)
+        AddExpr(Ex);
+    }
+    if (S.K == LStmt::Kind::DeclLocal)
+      Bound.insert(S.LocalName);
+    if (S.K == LStmt::Kind::Loop)
+      Bound.insert(S.LoopVar);
+    for (const auto &Sub : S.Then)
+      collectStmtVars(*Sub, Vars, Bound);
+    for (const auto &Sub : S.Body)
+      collectStmtVars(*Sub, Vars, Bound);
+  }
+
+  Status collectGlobals() {
+    std::set<std::string> Vars, Bound;
+    for (const auto &S : P.Body)
+      collectStmtVars(*S, Vars, Bound);
+    for (const auto &Out : P.Outputs)
+      Vars.insert(Out);
+    for (const auto &Name : Vars) {
+      if (Bound.count(Name))
+        continue; // local or loop variable
+      auto It = E->find(Name);
+      GKind K;
+      if (It == E->end()) {
+        // Output scalars created on demand (e.g. "ll_llp_0").
+        K = GKind::RealScalar;
+      } else {
+        const Value &V = It->second;
+        if (V.isIntScalar())
+          K = GKind::IntScalar;
+        else if (V.isRealScalar())
+          K = GKind::RealScalar;
+        else if (V.isIntVec())
+          K = V.intVec().isRagged() ? GKind::IntVecRagged
+                                    : GKind::IntVecFlat;
+        else if (V.isRealVec())
+          K = V.realVec().isRagged() ? GKind::RealVecRagged
+                                     : GKind::RealVecFlat;
+        else
+          return Status::error(strFormat(
+              "native C emission does not support the matrix variable "
+              "'%s'",
+              Name.c_str()));
+      }
+      Globals.emplace(Name, Global{K});
+      switch (K) {
+      case GKind::IntScalar:
+        Fields.push_back({FrameField::Kind::IntPtr, Name, Name});
+        break;
+      case GKind::RealScalar:
+        Fields.push_back({FrameField::Kind::RealPtr, Name, Name});
+        break;
+      case GKind::IntVecFlat:
+        Fields.push_back({FrameField::Kind::IntPtr, Name, Name});
+        Fields.push_back({FrameField::Kind::Length, Name, Name + "_len"});
+        break;
+      case GKind::RealVecFlat:
+        Fields.push_back({FrameField::Kind::RealPtr, Name, Name});
+        Fields.push_back({FrameField::Kind::Length, Name, Name + "_len"});
+        break;
+      case GKind::IntVecRagged:
+        Fields.push_back({FrameField::Kind::IntPtr, Name, Name + "_data"});
+        Fields.push_back(
+            {FrameField::Kind::OffsetsPtr, Name, Name + "_offsets"});
+        break;
+      case GKind::RealVecRagged:
+        Fields.push_back(
+            {FrameField::Kind::RealPtr, Name, Name + "_data"});
+        Fields.push_back(
+            {FrameField::Kind::OffsetsPtr, Name, Name + "_offsets"});
+        break;
+      }
+    }
+    return Status::success();
+  }
+
+  bool isLoopOrLocalScalar(const std::string &Name) const {
+    return LoopVars.count(Name) || ScalarLocals.count(Name);
+  }
+
+  Result<std::string> emitScalar(const ExprPtr &Ex) {
+    switch (Ex->kind()) {
+    case Expr::Kind::IntLit:
+      return strFormat("%lldLL", static_cast<long long>(Ex->intValue()));
+    case Expr::Kind::RealLit:
+      return strFormat("%.17g", Ex->realValue());
+    case Expr::Kind::Var: {
+      const std::string &N = Ex->varName();
+      if (LoopVars.count(N) || ScalarLocals.count(N))
+        return N;
+      auto It = Globals.find(N);
+      if (It == Globals.end())
+        return Status::error(
+            strFormat("unknown scalar variable '%s'", N.c_str()));
+      if (It->second.K == GKind::IntScalar ||
+          It->second.K == GKind::RealScalar)
+        return "(*f->" + N + ")";
+      return Status::error(strFormat(
+          "vector '%s' used where a scalar is required", N.c_str()));
+    }
+    case Expr::Kind::Index: {
+      // Resolve the chain.
+      std::vector<ExprPtr> Chain;
+      ExprPtr Cur = Ex;
+      while (Cur->kind() == Expr::Kind::Index) {
+        Chain.push_back(Cur->idx());
+        Cur = Cur->base();
+      }
+      std::reverse(Chain.begin(), Chain.end());
+      if (Cur->kind() != Expr::Kind::Var)
+        return Status::error("index root must be a variable");
+      const std::string &N = Cur->varName();
+      if (VecLocals.count(N)) {
+        if (Chain.size() != 1)
+          return Status::error("local buffers are one-dimensional");
+        AUGUR_ASSIGN_OR_RETURN(std::string I0, emitScalar(Chain[0]));
+        return N + "[" + I0 + "]";
+      }
+      auto It = Globals.find(N);
+      if (It == Globals.end())
+        return Status::error(
+            strFormat("unknown variable '%s'", N.c_str()));
+      if ((It->second.K == GKind::IntVecFlat ||
+           It->second.K == GKind::RealVecFlat) &&
+          Chain.size() == 1) {
+        AUGUR_ASSIGN_OR_RETURN(std::string I0, emitScalar(Chain[0]));
+        return "f->" + N + "[" + I0 + "]";
+      }
+      if ((It->second.K == GKind::IntVecRagged ||
+           It->second.K == GKind::RealVecRagged) &&
+          Chain.size() == 2) {
+        AUGUR_ASSIGN_OR_RETURN(std::string I0, emitScalar(Chain[0]));
+        AUGUR_ASSIGN_OR_RETURN(std::string I1, emitScalar(Chain[1]));
+        return "f->" + N + "_data[f->" + N + "_offsets[" + I0 + "] + " +
+               I1 + "]";
+      }
+      return Status::error(strFormat(
+          "unsupported indexing of '%s' in native C emission", N.c_str()));
+    }
+    case Expr::Kind::Prim: {
+      PrimOp Op = Ex->primOp();
+      if (Op == PrimOp::Dot) {
+        AUGUR_ASSIGN_OR_RETURN(VecRef A, emitVec(Ex->args()[0]));
+        AUGUR_ASSIGN_OR_RETURN(VecRef B, emitVec(Ex->args()[1]));
+        return "augur_dot(" + A.Ptr + ", " + B.Ptr + ", " + A.Len + ")";
+      }
+      if (Op == PrimOp::Len) {
+        AUGUR_ASSIGN_OR_RETURN(VecRef A, emitVec(Ex->args()[0]));
+        return A.Len;
+      }
+      if (Op == PrimOp::Rows)
+        return Status::error("matrices are not native-emittable");
+      if (Op == PrimOp::Neg) {
+        AUGUR_ASSIGN_OR_RETURN(std::string A, emitScalar(Ex->args()[0]));
+        return "(-" + A + ")";
+      }
+      if (Op == PrimOp::Exp || Op == PrimOp::Log || Op == PrimOp::Sqrt ||
+          Op == PrimOp::Sigmoid) {
+        AUGUR_ASSIGN_OR_RETURN(std::string A, emitScalar(Ex->args()[0]));
+        const char *Fn = Op == PrimOp::Exp    ? "exp"
+                         : Op == PrimOp::Log  ? "log"
+                         : Op == PrimOp::Sqrt ? "sqrt"
+                                              : "augur_sigmoid";
+        return std::string(Fn) + "(" + A + ")";
+      }
+      AUGUR_ASSIGN_OR_RETURN(std::string A, emitScalar(Ex->args()[0]));
+      AUGUR_ASSIGN_OR_RETURN(std::string B, emitScalar(Ex->args()[1]));
+      const char *OpStr = Op == PrimOp::Add   ? "+"
+                          : Op == PrimOp::Sub ? "-"
+                          : Op == PrimOp::Mul ? "*"
+                                              : "/";
+      if (Op == PrimOp::Div)
+        return "((double)(" + A + ") / (double)(" + B + "))";
+      return "((" + A + ") " + OpStr + " (" + B + "))";
+    }
+    }
+    return Status::error("malformed expression");
+  }
+
+  Result<VecRef> emitVec(const ExprPtr &Ex) {
+    if (Ex->kind() == Expr::Kind::Var) {
+      const std::string &N = Ex->varName();
+      if (VecLocals.count(N))
+        return VecRef{N, VecLocals.at(N)};
+      auto It = Globals.find(N);
+      if (It != Globals.end() && (It->second.K == GKind::RealVecFlat ||
+                                  It->second.K == GKind::IntVecFlat))
+        return VecRef{"f->" + N, "f->" + N + "_len"};
+      return Status::error(strFormat(
+          "'%s' cannot be used as a native vector", N.c_str()));
+    }
+    if (Ex->kind() == Expr::Kind::Index &&
+        Ex->base()->kind() == Expr::Kind::Var) {
+      const std::string &N = Ex->base()->varName();
+      auto It = Globals.find(N);
+      if (It != Globals.end() && (It->second.K == GKind::RealVecRagged ||
+                                  It->second.K == GKind::IntVecRagged)) {
+        AUGUR_ASSIGN_OR_RETURN(std::string I0, emitScalar(Ex->idx()));
+        return VecRef{
+            "(f->" + N + "_data + f->" + N + "_offsets[" + I0 + "])",
+            "(f->" + N + "_offsets[(" + I0 + ") + 1] - f->" + N +
+                "_offsets[" + I0 + "])"};
+      }
+    }
+    return Status::error(strFormat(
+        "unsupported vector expression '%s' in native C emission",
+        Ex->str().c_str()));
+  }
+
+  Result<std::string> emitLValue(const LValue &L) {
+    if (L.Idxs.empty()) {
+      if (ScalarLocals.count(L.Var))
+        return L.Var;
+      auto It = Globals.find(L.Var);
+      if (It == Globals.end())
+        return Status::error(
+            strFormat("unknown destination '%s'", L.Var.c_str()));
+      return "(*f->" + L.Var + ")";
+    }
+    ExprPtr AsExpr = Expr::var(L.Var);
+    for (const auto &I : L.Idxs)
+      AsExpr = Expr::index(AsExpr, I);
+    return emitScalar(AsExpr);
+  }
+
+  Result<std::string> emitDistCall(const char *Op, const LStmt &S) {
+    // Argument convention: variate first, then the parameters.
+    const DistInfo &Info = distInfo(S.D);
+    std::string Name;
+    for (const char *C = Info.Name; *C; ++C)
+      Name.push_back(static_cast<char>(std::tolower(*C)));
+    std::string Call = "augur_" + Name + "_" + Op + "(";
+    switch (S.D) {
+    case Dist::Normal:
+    case Dist::Bernoulli:
+    case Dist::Exponential:
+    case Dist::Gamma:
+    case Dist::InvGamma:
+    case Dist::Beta:
+    case Dist::Uniform:
+    case Dist::Poisson: {
+      AUGUR_ASSIGN_OR_RETURN(std::string X, emitScalar(S.At));
+      Call += X;
+      for (const auto &Pr : S.Params) {
+        AUGUR_ASSIGN_OR_RETURN(std::string A, emitScalar(Pr));
+        Call += ", " + A;
+      }
+      return Call + ")";
+    }
+    case Dist::Categorical: {
+      AUGUR_ASSIGN_OR_RETURN(VecRef Pv, emitVec(S.Params[0]));
+      AUGUR_ASSIGN_OR_RETURN(std::string X, emitScalar(S.At));
+      return Call + Pv.Ptr + ", " + Pv.Len + ", " + X + ")";
+    }
+    case Dist::Dirichlet: {
+      AUGUR_ASSIGN_OR_RETURN(VecRef Av, emitVec(S.Params[0]));
+      AUGUR_ASSIGN_OR_RETURN(VecRef Xv, emitVec(S.At));
+      return Call + Av.Ptr + ", " + Av.Len + ", " + Xv.Ptr + ")";
+    }
+    default:
+      return Status::error(strFormat(
+          "%s is not supported by native C emission", Info.Name));
+    }
+  }
+
+  Result<std::string> emitStmt(const LStmt &S, int Indent) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (S.K) {
+    case LStmt::Kind::Assign: {
+      AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
+      AUGUR_ASSIGN_OR_RETURN(std::string R, emitScalar(S.Rhs));
+      return Pad + L + (S.Accum ? " += " : " = ") + R + ";\n";
+    }
+    case LStmt::Kind::DeclLocal: {
+      if (S.Dims.empty()) {
+        ScalarLocals.insert(S.LocalName);
+        const char *Ty = S.LKind == LocalKind::Int ? "i64" : "double";
+        return Pad + std::string(Ty) + " " + S.LocalName + " = 0;\n";
+      }
+      if (S.Dims.size() != 1 || S.LKind == LocalKind::Mat)
+        return Status::error(
+            "only scalar and 1-D locals are native-emittable");
+      AUGUR_ASSIGN_OR_RETURN(std::string D, emitScalar(S.Dims[0]));
+      VecLocals[S.LocalName] = "(" + D + ")";
+      const char *Ty = S.LKind == LocalKind::Int ? "i64" : "double";
+      std::string Out =
+          Pad + std::string(Ty) + " " + S.LocalName + "[" + D + "];\n";
+      Out += Pad + "for (i64 z_ = 0; z_ < (" + D + "); ++z_) " +
+             S.LocalName + "[z_] = 0;\n";
+      return Out;
+    }
+    case LStmt::Kind::If: {
+      std::string Cond;
+      for (const auto &G : S.Guards) {
+        AUGUR_ASSIGN_OR_RETURN(std::string A, emitScalar(G.Lhs));
+        AUGUR_ASSIGN_OR_RETURN(std::string B, emitScalar(G.Rhs));
+        if (!Cond.empty())
+          Cond += " && ";
+        Cond += "(" + A + ") == (" + B + ")";
+      }
+      std::string Out = Pad + "if (" + Cond + ") {\n";
+      for (const auto &Sub : S.Then) {
+        AUGUR_ASSIGN_OR_RETURN(std::string T, emitStmt(*Sub, Indent + 1));
+        Out += T;
+      }
+      return Out + Pad + "}\n";
+    }
+    case LStmt::Kind::Loop: {
+      AUGUR_ASSIGN_OR_RETURN(std::string Lo, emitScalar(S.Lo));
+      AUGUR_ASSIGN_OR_RETURN(std::string Hi, emitScalar(S.Hi));
+      LoopVars.insert(S.LoopVar);
+      std::string Out =
+          Pad + strFormat("for (i64 %s = ", S.LoopVar.c_str()) + Lo +
+          "; " + S.LoopVar + " < " + Hi + "; ++" + S.LoopVar + ") {" +
+          (S.LK != LoopKind::Seq
+               ? strFormat(" /* %s */\n", loopKindName(S.LK))
+               : "\n");
+      for (const auto &Sub : S.Body) {
+        AUGUR_ASSIGN_OR_RETURN(std::string T, emitStmt(*Sub, Indent + 1));
+        Out += T;
+      }
+      LoopVars.erase(S.LoopVar);
+      return Out + Pad + "}\n";
+    }
+    case LStmt::Kind::AccumLL: {
+      AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
+      AUGUR_ASSIGN_OR_RETURN(std::string Call, emitDistCall("ll", S));
+      return Pad + L + " += " + Call + ";\n";
+    }
+    case LStmt::Kind::AccumGrad: {
+      if (!distHasGrad(S.D, S.GradArg))
+        return Status::error("gradient not native-emittable");
+      AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
+      AUGUR_ASSIGN_OR_RETURN(std::string Adj, emitScalar(S.Adj));
+      std::string Op = strFormat("grad%d", S.GradArg);
+      if (S.D == Dist::MvNormal || S.D == Dist::Categorical ||
+          S.D == Dist::Dirichlet)
+        return Status::error(
+            "vector-valued gradients are not native-emittable");
+      AUGUR_ASSIGN_OR_RETURN(std::string Call,
+                             emitDistCall(Op.c_str(), S));
+      return Pad + L + " += (" + Adj + ") * " + Call + ";\n";
+    }
+    case LStmt::Kind::Sample:
+    case LStmt::Kind::SampleLogits:
+    case LStmt::Kind::ConjSample:
+    case LStmt::Kind::AccumOuter:
+    case LStmt::Kind::AccumVec:
+      return Status::error(
+          "sampling statements are not native-emittable; the library "
+          "engine runs them");
+    }
+    return Status::error("unknown statement");
+  }
+
+  const LowppProc &P;
+  const Env *E;
+  std::map<std::string, Global> Globals;
+  std::vector<FrameField> Fields;
+  std::set<std::string> LoopVars;
+  std::set<std::string> ScalarLocals;
+  std::map<std::string, std::string> VecLocals; // name -> length expr
+};
+
+} // namespace
+
+Result<CModule> augur::emitC(const LowppProc &P, const Env &E) {
+  return CEmitter(P, E).run();
+}

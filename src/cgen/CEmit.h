@@ -1,0 +1,60 @@
+//===- cgen/CEmit.h - C source emission -------------------------*- C++ -*-===//
+///
+/// \file
+/// The final backend step for the CPU target (paper Section 2.3): the
+/// compiler "generates Cuda/C code ... further compiled using Nvcc or
+/// Clang into a shared library". This module emits a self-contained C
+/// translation unit for a Low-- procedure. All state is passed through
+/// a generated frame struct whose layout is described by FrameField
+/// metadata, so the host engine can populate it from Values and call
+/// the compiled procedure through one fixed signature:
+///
+///   void <proc>(augur_frame *f, augur_rng *rng);
+///
+/// Statements that need the matrix runtime or library sampling
+/// (MvNormal/InvWishart operations, conjugate posterior draws) are not
+/// emitted; emitC fails for such procedures and the engine falls back
+/// to interpretation — native compilation targets the hot likelihood /
+/// gradient primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_CGEN_CEMIT_H
+#define AUGUR_CGEN_CEMIT_H
+
+#include <string>
+#include <vector>
+
+#include "density/Eval.h"
+#include "lowpp/LowppIR.h"
+
+namespace augur {
+
+/// One field of the generated frame struct, in declaration order.
+struct FrameField {
+  enum class Kind {
+    RealPtr,    ///< double*: scalar slot or flat payload
+    IntPtr,     ///< long long*: scalar slot or flat payload
+    OffsetsPtr, ///< long long*: ragged row offsets
+    Length,     ///< long long by value: flat vector length
+  };
+  Kind K;
+  std::string Var;    ///< source variable this field belongs to
+  std::string CName;  ///< member name in the struct
+};
+
+/// An emitted C module.
+struct CModule {
+  std::string ProcName;
+  std::string Source;
+  std::vector<FrameField> Fields;
+};
+
+/// Emits C for \p P. \p E supplies the shapes/kinds of the globals the
+/// procedure references. Fails (with a reason) on constructs outside
+/// the native subset.
+Result<CModule> emitC(const LowppProc &P, const Env &E);
+
+} // namespace augur
+
+#endif // AUGUR_CGEN_CEMIT_H

@@ -1,0 +1,386 @@
+//===- cgen/CudaEmit.cpp --------------------------------------*- C++ -*-===//
+
+#include "cgen/CudaEmit.h"
+
+#include <cctype>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+std::string lowerName(const char *Name) {
+  std::string Out;
+  for (const char *C = Name; *C; ++C)
+    Out.push_back(static_cast<char>(std::tolower(*C)));
+  return Out;
+}
+
+std::string pad(int Indent) {
+  return std::string(static_cast<size_t>(Indent) * 2, ' ');
+}
+
+std::string argsOf(const std::vector<ExprPtr> &Params) {
+  std::vector<std::string> Parts;
+  for (const auto &P : Params)
+    Parts.push_back(P->str());
+  return joinStrings(Parts, ", ");
+}
+
+/// Emits a statement as CUDA device code. \p AtomicCtx tracks whether
+/// an enclosing AtmPar context makes increments atomic; \p RenamedDest,
+/// when set, redirects accumulation into a thread-local partial (used
+/// inside sumBlk kernels).
+class CudaStmtEmitter {
+public:
+  CudaStmtEmitter(bool Atomic, const LValue *RenamedDest)
+      : Atomic(Atomic), RenamedDest(RenamedDest) {}
+
+  std::string emit(const std::vector<LStmtPtr> &Body, int Indent) {
+    std::string Out;
+    for (const auto &S : Body)
+      Out += emitStmt(*S, Indent);
+    return Out;
+  }
+
+private:
+  bool renamed(const LValue &Dest) const {
+    return RenamedDest && Dest.Var == RenamedDest->Var;
+  }
+
+  std::string accum(const LValue &Dest, const std::string &Contribution,
+                    int Indent) const {
+    if (renamed(Dest))
+      return pad(Indent) + "t_partial += " + Contribution + ";\n";
+    if (Atomic)
+      return pad(Indent) + "atomicAdd(&" + Dest.str() + ", " +
+             Contribution + ");\n";
+    return pad(Indent) + Dest.str() + " += " + Contribution + ";\n";
+  }
+
+  std::string emitStmt(const LStmt &S, int Indent) {
+    switch (S.K) {
+    case LStmt::Kind::Assign:
+      if (S.Accum)
+        return accum(S.Dest, S.Rhs->str(), Indent);
+      return pad(Indent) + S.Dest.str() + " = " + S.Rhs->str() + ";\n";
+    case LStmt::Kind::DeclLocal: {
+      std::string Dim =
+          S.Dims.empty() ? "" : "[" + S.Dims[0]->str() + "]";
+      const char *Ty = S.LKind == LocalKind::Int ? "i64" : "double";
+      return pad(Indent) + std::string(Ty) + " " + S.LocalName + Dim +
+             "; /* thread-local */\n";
+    }
+    case LStmt::Kind::If: {
+      std::string Cond;
+      for (const auto &G : S.Guards) {
+        if (!Cond.empty())
+          Cond += " && ";
+        Cond += "(" + G.Lhs->str() + ") == (" + G.Rhs->str() + ")";
+      }
+      return pad(Indent) + "if (" + Cond + ") {\n" +
+             emit(S.Then, Indent + 1) + pad(Indent) + "}\n";
+    }
+    case LStmt::Kind::Loop:
+      return pad(Indent) +
+             strFormat("for (i64 %s = ", S.LoopVar.c_str()) +
+             S.Lo->str() + "; " + S.LoopVar + " < " + S.Hi->str() +
+             "; ++" + S.LoopVar + ") {\n" + emit(S.Body, Indent + 1) +
+             pad(Indent) + "}\n";
+    case LStmt::Kind::AccumLL:
+      return accum(S.Dest,
+                   "augur_dev_" + lowerName(distInfo(S.D).Name) + "_ll(" +
+                       S.At->str() +
+                       (S.Params.empty() ? "" : ", " + argsOf(S.Params)) +
+                       ")",
+                   Indent);
+    case LStmt::Kind::AccumGrad:
+      return accum(S.Dest,
+                   "(" + S.Adj->str() + ") * augur_dev_" +
+                       lowerName(distInfo(S.D).Name) +
+                       strFormat("_grad%d(", S.GradArg) + S.At->str() +
+                       (S.Params.empty() ? "" : ", " + argsOf(S.Params)) +
+                       ")",
+                   Indent);
+    case LStmt::Kind::Sample:
+      return pad(Indent) + S.Dest.str() + " = augur_dev_" +
+             lowerName(distInfo(S.D).Name) + "_sample(&rng[tid], " +
+             argsOf(S.Params) + ");\n";
+    case LStmt::Kind::SampleLogits:
+      return pad(Indent) + S.Dest.str() +
+             " = augur_dev_sample_logits(&rng[tid], " + S.ScoresVar +
+             ", " + S.Count->str() + ");\n";
+    case LStmt::Kind::ConjSample: {
+      std::string Stats;
+      for (const auto &R : S.StatRefs) {
+        if (!Stats.empty())
+          Stats += ", ";
+        Stats += "&" + R.str();
+      }
+      std::string Extra = argsOf(S.Extra);
+      return pad(Indent) + "augur_dev_conj_" +
+             strFormat("%d", static_cast<int>(S.Conj)) + "(&rng[tid], &" +
+             S.Dest.str() + ", " + argsOf(S.PriorParams) +
+             (Extra.empty() ? "" : ", " + Extra) +
+             (Stats.empty() ? "" : ", " + Stats) + ");\n";
+    }
+    case LStmt::Kind::AccumVec:
+      return pad(Indent) + "augur_dev_accum_vec(&" + S.Dest.str() +
+             ", " + S.Rhs->str() +
+             (Atomic ? ", /*atomic=*/1" : ", /*atomic=*/0") + ");\n";
+    case LStmt::Kind::AccumOuter:
+      return pad(Indent) + "augur_dev_accum_outer(&" + S.Dest.str() +
+             ", " + S.OuterY->str() + ", " + S.OuterMean->str() +
+             (Atomic ? ", /*atomic=*/1" : ", /*atomic=*/0") + ");\n";
+    }
+    return pad(Indent) + "/* unknown statement */\n";
+  }
+
+  bool Atomic;
+  const LValue *RenamedDest;
+};
+
+} // namespace
+
+std::string augur::emitCuda(const BlkProc &P) {
+  std::string Out =
+      "// Generated by the AugurV2-repro CUDA backend.\n"
+      "#include \"augur_device_runtime.cuh\"\n"
+      "typedef long long i64;\n\n";
+
+  // One kernel per block.
+  for (size_t I = 0; I < P.Blocks.size(); ++I) {
+    const Block &B = P.Blocks[I];
+    std::string KName = strFormat("%s_k%zu", P.Name.c_str(), I);
+    switch (B.K) {
+    case Block::Kind::Seq: {
+      Out += "__global__ void " + KName +
+             "(augur_frame f, augur_rng *rng) {\n"
+             "  const i64 tid = 0; (void)tid;\n";
+      CudaStmtEmitter E(/*Atomic=*/false, nullptr);
+      Out += E.emit(B.Body, 1);
+      Out += "}\n\n";
+      break;
+    }
+    case Block::Kind::Par: {
+      Out += "__global__ void " + KName +
+             "(augur_frame f, augur_rng *rng) {\n";
+      Out += strFormat(
+          "  const i64 tid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+          "  const i64 %s = tid;\n"
+          "  if (%s >= (",
+          B.Var.c_str(), B.Var.c_str());
+      Out += B.Hi->str() + "))\n    return;\n";
+      CudaStmtEmitter E(B.LK == LoopKind::AtmPar, nullptr);
+      Out += E.emit(B.Body, 1);
+      Out += "}\n\n";
+      break;
+    }
+    case Block::Kind::Sum: {
+      if (B.Privatized) {
+        // Per-location reduction over an indexed destination: emitted
+        // as one privatized-partials kernel (each thread block keeps
+        // per-location partials in shared memory, then atomically
+        // merges once per block).
+        Out += "// per-location map-reduce (privatized partials)\n";
+        Out += "__global__ void " + KName +
+               "(augur_frame f, augur_rng *rng) {\n";
+        Out += strFormat(
+            "  const i64 tid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+            "  const i64 %s = tid;\n"
+            "  if (%s >= (",
+            B.Var.c_str(), B.Var.c_str());
+        Out += B.Hi->str() + "))\n    return;\n";
+        CudaStmtEmitter EP(/*Atomic=*/true, nullptr);
+        Out += EP.emit(B.Body, 1);
+        Out += "}\n\n";
+        break;
+      }
+      // Map-reduce: thread partials, shared-memory tree reduction, one
+      // atomicAdd per thread block.
+      Out += "__global__ void " + KName +
+             "(augur_frame f, augur_rng *rng) {\n"
+             "  __shared__ double s_partial[256];\n";
+      Out += strFormat(
+          "  const i64 tid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+          "  const i64 %s = tid;\n"
+          "  double t_partial = 0.0;\n"
+          "  if (%s < (",
+          B.Var.c_str(), B.Var.c_str());
+      Out += B.Hi->str() + ")) {\n";
+      CudaStmtEmitter E(/*Atomic=*/false, &B.SumDest);
+      Out += E.emit(B.Body, 2);
+      Out += "  }\n"
+             "  s_partial[threadIdx.x] = t_partial;\n"
+             "  __syncthreads();\n"
+             "  for (int w = blockDim.x / 2; w > 0; w >>= 1) {\n"
+             "    if (threadIdx.x < w)\n"
+             "      s_partial[threadIdx.x] += s_partial[threadIdx.x + w];\n"
+             "    __syncthreads();\n"
+             "  }\n"
+             "  if (threadIdx.x == 0)\n"
+             "    atomicAdd(&" +
+             B.SumDest.str() + ", s_partial[0]);\n}\n\n";
+      break;
+    }
+    }
+  }
+
+  // Host wrapper launching the kernels in order.
+  Out += "extern \"C\" void " + P.Name +
+         "(augur_frame *f, augur_rng *rng) {\n";
+  for (size_t I = 0; I < P.Blocks.size(); ++I) {
+    const Block &B = P.Blocks[I];
+    std::string KName = strFormat("%s_k%zu", P.Name.c_str(), I);
+    if (B.K == Block::Kind::Seq) {
+      Out += "  " + KName + "<<<1, 1>>>(*f, rng);\n";
+    } else {
+      std::string N = "(" + B.Hi->str() + ") - (" + B.Lo->str() + ")";
+      Out += "  {\n    const i64 n_ = " + N + ";\n" +
+             "    " + KName +
+             "<<<(unsigned)((n_ + 255) / 256), 256>>>(*f, rng);\n  }\n";
+    }
+  }
+  Out += "  cudaDeviceSynchronize();\n}\n";
+  return Out;
+}
+
+std::string augur::deviceRuntimeHeader() {
+  // The device-side runtime. Real CUDA source; compiled by Nvcc in the
+  // paper's deployment, golden-tested here (no CUDA toolchain).
+  return R"cuda(// augur_device_runtime.cuh — AugurV2-repro device runtime
+#pragma once
+typedef long long i64;
+
+// ---- frame: flattened model state (Section 6.2 layout) -------------
+struct augur_frame_field { void *ptr; i64 len; };
+struct augur_frame { augur_frame_field *fields; i64 n_fields; };
+
+// ---- per-thread counter-based RNG (Philox-lite) ---------------------
+struct augur_rng { unsigned long long key, ctr; };
+__device__ inline unsigned long long augur_rng_next(augur_rng *r) {
+  unsigned long long z = (r->ctr += 0x9e3779b97f4a7c15ull) ^ r->key;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+__device__ inline double augur_dev_uniform(augur_rng *r) {
+  return (double)(augur_rng_next(r) >> 11) * 0x1.0p-53;
+}
+__device__ inline double augur_dev_gauss(augur_rng *r) {
+  double u1 = augur_dev_uniform(r), u2 = augur_dev_uniform(r);
+  if (u1 < 1e-300) u1 = 1e-300;
+  return sqrt(-2.0 * log(u1)) * cospi(2.0 * u2);
+}
+__device__ inline double augur_dev_gamma_sample(augur_rng *r, double a,
+                                                double rate) {
+  // Marsaglia-Tsang; shape boost below 1.
+  double boost = 1.0;
+  if (a < 1.0) {
+    boost = pow(augur_dev_uniform(r), 1.0 / a);
+    a += 1.0;
+  }
+  double d = a - 1.0 / 3.0, c = rsqrt(9.0 * d);
+  for (;;) {
+    double x = augur_dev_gauss(r);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = augur_dev_uniform(r);
+    if (u < 1.0 - 0.0331 * x * x * x * x ||
+        log(u) < 0.5 * x * x + d * (1.0 - v + log(v)))
+      return boost * d * v / rate;
+  }
+}
+
+// ---- distribution operations (ll / grad / samp) ----------------------
+__device__ inline double augur_dev_normal_ll(double x, double m, double v) {
+  double z = x - m;
+  return v > 0 ? -0.5 * (1.8378770664093453 + log(v) + z * z / v)
+               : -1.0 / 0.0;
+}
+__device__ inline double augur_dev_normal_grad1(double x, double m,
+                                                double v) {
+  return (x - m) / v;
+}
+__device__ inline double augur_dev_normal_grad2(double x, double m,
+                                                double v) {
+  double z = x - m;
+  return -0.5 / v + 0.5 * z * z / (v * v);
+}
+__device__ inline double augur_dev_bernoulli_ll(i64 x, double p) {
+  double q = x ? p : 1.0 - p;
+  return q > 0 ? log(q) : -1.0 / 0.0;
+}
+__device__ inline double augur_dev_categorical_ll(i64 k, const double *p,
+                                                  i64 n) {
+  return (k >= 0 && k < n && p[k] > 0) ? log(p[k]) : -1.0 / 0.0;
+}
+// MvNormal with an in-register Cholesky for small dimensions (the many-
+// small-matrices GPU use case the paper calls out in Section 6.2).
+__device__ inline double augur_dev_mvnormal_ll(const double *x,
+                                               const double *mu,
+                                               const double *sigma,
+                                               i64 n) {
+  double L[16 * 16], y[16];
+  double logdet = 0.0;
+  for (i64 j = 0; j < n; ++j) {
+    double diag = sigma[j * n + j];
+    for (i64 k = 0; k < j; ++k) diag -= L[j * n + k] * L[j * n + k];
+    if (diag <= 0.0) return -1.0 / 0.0;
+    double ljj = sqrt(diag);
+    L[j * n + j] = ljj;
+    logdet += 2.0 * log(ljj);
+    for (i64 i = j + 1; i < n; ++i) {
+      double off = sigma[i * n + j];
+      for (i64 k = 0; k < j; ++k) off -= L[i * n + k] * L[j * n + k];
+      L[i * n + j] = off / ljj;
+    }
+  }
+  double quad = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    double acc = x[i] - mu[i];
+    for (i64 k = 0; k < i; ++k) acc -= L[i * n + k] * y[k];
+    y[i] = acc / L[i * n + i];
+    quad += y[i] * y[i];
+  }
+  return -0.5 * (n * 1.8378770664093453 + logdet + quad);
+}
+__device__ inline i64 augur_dev_sample_logits(augur_rng *r,
+                                              const double *logits,
+                                              i64 n) {
+  double mx = logits[0];
+  for (i64 i = 1; i < n; ++i) mx = max(mx, logits[i]);
+  double sum = 0.0;
+  for (i64 i = 0; i < n; ++i) sum += exp(logits[i] - mx);
+  double u = augur_dev_uniform(r) * sum, acc = 0.0;
+  for (i64 i = 0; i < n; ++i) {
+    acc += exp(logits[i] - mx);
+    if (u < acc) return i;
+  }
+  return n - 1;
+}
+__device__ inline void augur_dev_accum_vec(double *dst, const double *src,
+                                           i64 n, int atomic) {
+  for (i64 i = 0; i < n; ++i) {
+    if (atomic)
+      atomicAdd(dst + i, src[i]);
+    else
+      dst[i] += src[i];
+  }
+}
+__device__ inline void augur_dev_accum_outer(double *dst, const double *y,
+                                             const double *m, i64 n,
+                                             int atomic) {
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < n; ++j) {
+      double v = (y[i] - m[i]) * (y[j] - m[j]);
+      if (atomic)
+        atomicAdd(dst + i * n + j, v);
+      else
+        dst[i * n + j] += v;
+    }
+}
+)cuda";
+}

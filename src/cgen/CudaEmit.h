@@ -1,0 +1,46 @@
+//===- cgen/CudaEmit.h - CUDA kernel emission -------------------*- C++ -*-===//
+///
+/// \file
+/// CUDA code generation from the Blk IL (the paper's GPU target,
+/// Sections 5.3-5.4: "The Blk IL maps in a straightforward manner onto
+/// Cuda/C code. In general, such a compilation strategy will generate
+/// multiple GPU kernels for a single Low-- declaration."). Each block
+/// becomes one __global__ kernel:
+///
+///   parBlk n {s}   ->  one thread per element; atomic increments use
+///                      atomicAdd
+///   sumBlk n {s}   ->  per-thread partials + shared-memory tree
+///                      reduction + one atomicAdd per thread block
+///   seqBlk {s}     ->  a single-thread kernel
+///
+/// plus an extern "C" host wrapper that launches the kernels in order.
+/// Device-side distribution operations and the conjugate posterior
+/// draws call into the device runtime library (augur_dev_*), mirroring
+/// the paper's Cuda/C runtime (Section 6.2). This environment has no
+/// CUDA toolchain or GPU, so the emitted source is verified by golden
+/// tests and executed behaviorally on the device simulator instead
+/// (see exec/GpuSim.h and DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_CGEN_CUDAEMIT_H
+#define AUGUR_CGEN_CUDAEMIT_H
+
+#include <string>
+
+#include "blk/BlkIR.h"
+
+namespace augur {
+
+/// Emits a CUDA translation unit for \p P.
+std::string emitCuda(const BlkProc &P);
+
+/// The device runtime header ("augur_device_runtime.cuh") every emitted
+/// translation unit includes: frame/rng types and the device-side
+/// distribution and reduction library (the GPU half of the paper's
+/// Cuda/C runtime, Section 6.2).
+std::string deviceRuntimeHeader();
+
+} // namespace augur
+
+#endif // AUGUR_CGEN_CUDAEMIT_H

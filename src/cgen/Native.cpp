@@ -1,0 +1,137 @@
+//===- cgen/Native.cpp ----------------------------------------*- C++ -*-===//
+
+#include "cgen/Native.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dlfcn.h>
+#include <fstream>
+#include <unistd.h>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+NativeEngine::~NativeEngine() {
+  for (auto &KV : Compiled)
+    if (KV.second.Handle)
+      dlclose(KV.second.Handle);
+}
+
+std::string NativeEngine::fallbackReason(const std::string &Name) const {
+  auto It = Compiled.find(Name);
+  return It == Compiled.end() ? "not yet compiled" : It->second.Reason;
+}
+
+NativeEngine::NativeProc &
+NativeEngine::getOrCompile(const std::string &Name) {
+  auto It = Compiled.find(Name);
+  if (It != Compiled.end())
+    return It->second;
+  NativeProc NP;
+
+  // Outputs must exist before the frame layout is fixed.
+  for (const auto &Out : proc(Name).Outputs) {
+    if (env().count(Out))
+      continue;
+    if (startsWith(Out, "adj_") && env().count(Out.substr(4)))
+      env()[Out] = zerosLike(env().at(Out.substr(4)));
+    else
+      env()[Out] = Value::realScalar(0.0);
+  }
+
+  Result<CModule> Mod = emitC(proc(Name), env());
+  if (!Mod.ok()) {
+    NP.Reason = Mod.message();
+    return Compiled.emplace(Name, std::move(NP)).first->second;
+  }
+
+  char Dir[] = "/tmp/augur_native_XXXXXX";
+  if (!mkdtemp(Dir)) {
+    NP.Reason = "mkdtemp failed";
+    return Compiled.emplace(Name, std::move(NP)).first->second;
+  }
+  std::string CPath = std::string(Dir) + "/" + Name + ".c";
+  std::string SoPath = std::string(Dir) + "/" + Name + ".so";
+  {
+    std::ofstream Out(CPath);
+    Out << Mod->Source;
+  }
+  std::string Cmd = Cc + " -O2 -fPIC -shared -o " + SoPath + " " + CPath +
+                    " -lm 2>/dev/null";
+  if (std::system(Cmd.c_str()) != 0) {
+    NP.Reason = "host C compiler failed";
+    return Compiled.emplace(Name, std::move(NP)).first->second;
+  }
+  NP.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!NP.Handle) {
+    NP.Reason = strFormat("dlopen failed: %s", dlerror());
+    return Compiled.emplace(Name, std::move(NP)).first->second;
+  }
+  NP.Entry = reinterpret_cast<NativeProc::FnTy>(
+      dlsym(NP.Handle, Name.c_str()));
+  if (!NP.Entry) {
+    NP.Reason = "symbol not found in compiled library";
+    dlclose(NP.Handle);
+    NP.Handle = nullptr;
+  }
+  NP.Fields = Mod->Fields;
+  return Compiled.emplace(Name, std::move(NP)).first->second;
+}
+
+void NativeEngine::buildFrame(const NativeProc &NP, std::vector<char> &Buf) {
+  Buf.clear();
+  auto Push = [&Buf](const void *P, size_t N) {
+    size_t Off = Buf.size();
+    Buf.resize(Off + N);
+    std::memcpy(Buf.data() + Off, P, N);
+  };
+  for (const auto &F : NP.Fields) {
+    Value &V = env()[F.Var];
+    switch (F.K) {
+    case FrameField::Kind::RealPtr: {
+      double *P = nullptr;
+      if (V.isRealScalar())
+        P = &V.realRef();
+      else
+        P = V.realVec().flat().data();
+      Push(&P, sizeof(P));
+      break;
+    }
+    case FrameField::Kind::IntPtr: {
+      int64_t *P = nullptr;
+      if (V.isIntScalar())
+        P = &V.intRef();
+      else
+        P = V.intVec().flat().data();
+      Push(&P, sizeof(P));
+      break;
+    }
+    case FrameField::Kind::OffsetsPtr: {
+      const int64_t *P = V.isRealVec() ? V.realVec().offsets().data()
+                                       : V.intVec().offsets().data();
+      Push(&P, sizeof(P));
+      break;
+    }
+    case FrameField::Kind::Length: {
+      int64_t Len =
+          V.isRealVec() ? V.realVec().flatSize() : V.intVec().flatSize();
+      Push(&Len, sizeof(Len));
+      break;
+    }
+    }
+  }
+}
+
+void NativeEngine::runProc(const std::string &Name) {
+  NativeProc &NP = getOrCompile(Name);
+  if (!NP.Entry) {
+    InterpEngine::runProc(Name);
+    return;
+  }
+  std::vector<char> Frame;
+  buildFrame(NP, Frame);
+  NP.Entry(Frame.data());
+}

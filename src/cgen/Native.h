@@ -1,0 +1,62 @@
+//===- cgen/Native.h - Native CPU engine (compile + dlopen) ----*- C++ -*-===//
+///
+/// \file
+/// The native CPU execution path: emitted C is compiled with the host C
+/// compiler into a shared library and loaded with dlopen, exactly the
+/// paper's deployment ("compiled using ... Clang into a shared library",
+/// Section 2.3). Procedures outside the native subset (sampling
+/// statements, matrix runtime) transparently fall back to the
+/// interpreter, which keeps the hot likelihood/gradient primitives
+/// native while library sampling stays in the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_CGEN_NATIVE_H
+#define AUGUR_CGEN_NATIVE_H
+
+#include <map>
+#include <string>
+
+#include "cgen/CEmit.h"
+#include "exec/Engine.h"
+
+namespace augur {
+
+/// Engine that runs native-emittable procedures as compiled C and
+/// interprets the rest.
+class NativeEngine : public InterpEngine {
+public:
+  explicit NativeEngine(uint64_t Seed, std::string Compiler = "cc")
+      : InterpEngine(Seed), Cc(std::move(Compiler)) {}
+  ~NativeEngine() override;
+
+  void runProc(const std::string &Name) override;
+
+  /// True if \p Name executed natively on its last run.
+  bool isNative(const std::string &Name) const {
+    auto It = Compiled.find(Name);
+    return It != Compiled.end() && It->second.Entry != nullptr;
+  }
+
+  /// Why a procedure fell back to interpretation (empty if native).
+  std::string fallbackReason(const std::string &Name) const;
+
+private:
+  struct NativeProc {
+    using FnTy = void (*)(void *);
+    FnTy Entry = nullptr;
+    std::vector<FrameField> Fields;
+    void *Handle = nullptr;
+    std::string Reason; ///< fallback reason if Entry is null
+  };
+
+  NativeProc &getOrCompile(const std::string &Name);
+  void buildFrame(const NativeProc &NP, std::vector<char> &Buf);
+
+  std::string Cc;
+  std::map<std::string, NativeProc> Compiled;
+};
+
+} // namespace augur
+
+#endif // AUGUR_CGEN_NATIVE_H

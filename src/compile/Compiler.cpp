@@ -1,0 +1,162 @@
+//===- compile/Compiler.cpp -----------------------------------*- C++ -*-===//
+
+#include "compile/Compiler.h"
+
+#include "cgen/Native.h"
+#include "lowpp/Reify.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+Status MCMCProgram::init() {
+  return forwardSampleModel(DM, Eng->env(), Eng->rng(),
+                            /*IncludeData=*/false);
+}
+
+Status MCMCProgram::step() {
+  McmcCtx Ctx;
+  Ctx.Eng = Eng.get();
+  Ctx.DM = &DM;
+  for (auto &CU : Updates)
+    AUGUR_RETURN_IF_ERROR(runBaseUpdate(Ctx, CU));
+  return Status::success();
+}
+
+double MCMCProgram::logJoint() {
+  Eng->runProc("ll_joint");
+  return Eng->env().at("ll_ll_joint").asReal();
+}
+
+Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
+                                               const BaseUpdate &U,
+                                               const CompileOptions &Opts,
+                                               Engine &Eng, int Index) {
+  CompiledUpdate CU;
+  CU.U = U;
+  CU.U.Hmc = Opts.Hmc;
+  for (const auto &V : U.Vars) {
+    const ModelDecl *Decl = DM.TM.M.findDecl(V);
+    assert(Decl && "update variable must be declared");
+    CU.Transforms.push_back(transformForSupport(distInfo(Decl->D).Supp));
+  }
+
+  switch (U.Kind) {
+  case UpdateKind::FC: {
+    assert(U.Cond && "FC update carries its conditional");
+    std::string Name = strFormat("gibbs_%s", U.Vars[0].c_str());
+    if (U.Strategy == FCStrategy::Conjugate) {
+      assert(U.Conj && "conjugate update carries its relation");
+      AUGUR_ASSIGN_OR_RETURN(LowppProc P,
+                             genConjGibbsProc(Name, *U.Cond, *U.Conj));
+      Eng.addProc(std::move(P));
+    } else {
+      AUGUR_ASSIGN_OR_RETURN(LowppProc P, genEnumGibbsProc(Name, *U.Cond));
+      Eng.addProc(std::move(P));
+    }
+    CU.GibbsProc = Name;
+    return CU;
+  }
+  case UpdateKind::Grad:
+  case UpdateKind::Nuts:
+  case UpdateKind::Slice: {
+    assert(U.Joint && "gradient update carries its restricted joint");
+    std::string LLName = strFormat("llp_%d", Index);
+    Eng.addProc(
+        genLikelihoodProc(LLName, U.Joint->Factors, "ll_" + LLName));
+    std::string GradName = strFormat("grad_%d", Index);
+    AUGUR_ASSIGN_OR_RETURN(LowppProc G,
+                           genGradProc(GradName, *U.Joint, U.Vars));
+    Eng.addProc(std::move(G));
+    CU.LLProc = LLName;
+    CU.GradProc = GradName;
+    return CU;
+  }
+  case UpdateKind::ESlice: {
+    assert(U.Joint && "elliptical slice carries its restricted joint");
+    // The ellipse handles the prior: the procedure evaluates only the
+    // likelihood factors (everything but the target's own prior).
+    std::vector<Factor> Liks;
+    for (const auto &F : U.Joint->Factors)
+      if (F.AtVar != U.Vars[0])
+        Liks.push_back(F);
+    std::string LLName = strFormat("llp_%d", Index);
+    Eng.addProc(genLikelihoodProc(LLName, Liks, "ll_" + LLName));
+    CU.LLProc = LLName;
+    return CU;
+  }
+  case UpdateKind::Prop: {
+    assert(U.Joint && "MH update carries its restricted joint");
+    std::string LLName = strFormat("llp_%d", Index);
+    Eng.addProc(
+        genLikelihoodProc(LLName, U.Joint->Factors, "ll_" + LLName));
+    CU.LLProc = LLName;
+    return CU;
+  }
+  }
+  return Status::error("unknown update kind");
+}
+
+Result<std::unique_ptr<MCMCProgram>>
+Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
+                  const std::vector<Value> &HyperArgs, const Env &Data) {
+  AUGUR_ASSIGN_OR_RETURN(Model M, parseModel(ModelSrc));
+  if (HyperArgs.size() != M.Hypers.size())
+    return Status::error(strFormat(
+        "model has %zu formals but %zu arguments were supplied",
+        M.Hypers.size(), HyperArgs.size()));
+  std::map<std::string, Type> HyperTypes;
+  for (size_t I = 0; I < HyperArgs.size(); ++I)
+    HyperTypes.emplace(M.Hypers[I], HyperArgs[I].type());
+  AUGUR_ASSIGN_OR_RETURN(TypedModel TM,
+                         typeCheck(std::move(M), HyperTypes));
+
+  auto Prog = std::make_unique<MCMCProgram>();
+  Prog->Opts = Opts;
+  Prog->DM = lowerToDensity(std::move(TM));
+
+  // Kernel IL: user schedule or the selection heuristic.
+  if (!Opts.UserSchedule.empty()) {
+    AUGUR_ASSIGN_OR_RETURN(
+        Prog->Sched, parseUserSchedule(Prog->DM, Opts.UserSchedule));
+  } else {
+    AUGUR_ASSIGN_OR_RETURN(Prog->Sched, heuristicSchedule(Prog->DM));
+  }
+
+  // Execution engine and initial environment.
+  if (Opts.Tgt == CompileOptions::Target::GpuSim)
+    Prog->Eng = std::make_unique<GpuSimEngine>(Opts.Seed, Opts.Device,
+                                               Opts.Blk);
+  else if (Opts.NativeCpu)
+    Prog->Eng = std::make_unique<NativeEngine>(Opts.Seed);
+  else
+    Prog->Eng = std::make_unique<InterpEngine>(Opts.Seed);
+  Env &E = Prog->Eng->env();
+  const Model &Parsed = Prog->DM.TM.M;
+  for (size_t I = 0; I < HyperArgs.size(); ++I)
+    E[Parsed.Hypers[I]] = HyperArgs[I];
+  for (const auto &KV : Data) {
+    const ModelDecl *Decl = Parsed.findDecl(KV.first);
+    if (!Decl || Decl->Role != VarRole::Data)
+      return Status::error(strFormat(
+          "'%s' is not a data variable of this model", KV.first.c_str()));
+    E[KV.first] = KV.second;
+  }
+  for (const auto &Name : Parsed.dataNames())
+    if (!E.count(Name))
+      return Status::error(
+          strFormat("missing data for '%s'", Name.c_str()));
+
+  // Lower every base update to Low++ and register the procedures.
+  int Index = 0;
+  for (const auto &U : Prog->Sched.Updates) {
+    AUGUR_ASSIGN_OR_RETURN(
+        CompiledUpdate CU,
+        compileUpdate(Prog->DM, U, Opts, *Prog->Eng, Index++));
+    Prog->Updates.push_back(std::move(CU));
+  }
+
+  // Whole-model likelihood for diagnostics and acceptance checks.
+  Prog->Eng->addProc(genLikelihoodProc("ll_joint", Prog->DM.Joint.Factors,
+                                       "ll_ll_joint"));
+  return Prog;
+}

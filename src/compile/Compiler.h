@@ -1,0 +1,100 @@
+//===- compile/Compiler.h - The AugurV2 compiler driver --------*- C++ -*-===//
+///
+/// \file
+/// The end-to-end compilation pipeline (paper Fig. 3): parse ->
+/// typecheck against the actual argument types (AugurV2 compiles at
+/// runtime) -> Density IL -> Kernel IL (user schedule or heuristic) ->
+/// Low++ procedures per base update -> execution engine. The result is
+/// an MCMCProgram: a complete, runnable composite MCMC algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_COMPILE_COMPILER_H
+#define AUGUR_COMPILE_COMPILER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "density/Frontend.h"
+#include "exec/GpuSim.h"
+#include "kernel/Schedule.h"
+#include "lang/Parser.h"
+#include "mcmc/Drivers.h"
+
+namespace augur {
+
+/// Compilation options (the setCompileOpt of the paper's Fig. 2).
+struct CompileOptions {
+  enum class Target {
+    Cpu,    ///< interpret Low++ on the host
+    GpuSim, ///< execute on the SIMT device simulator (modeled time)
+  };
+  Target Tgt = Target::Cpu;
+  /// Cpu target only: emit C, compile with the host compiler, and
+  /// dlopen (procedures outside the native subset are interpreted).
+  bool NativeCpu = false;
+  /// User MCMC schedule, e.g. "ESlice mu (*) Gibbs z"; empty selects
+  /// the heuristic of Section 4.2.
+  std::string UserSchedule;
+  uint64_t Seed = 0xA594;
+  HmcSettings Hmc;
+  /// Backend parallelization options (GpuSim target; also used by the
+  /// ablation benches).
+  BlkOptions Blk;
+  /// Device model for the GpuSim target.
+  DeviceModel Device;
+};
+
+/// A compiled, executable composite MCMC algorithm.
+class MCMCProgram {
+public:
+  /// Initializes the parameter state by forward-sampling the priors
+  /// (data must already be bound). Must be called before step().
+  Status init();
+
+  /// Runs one full sweep: every base update once, in schedule order.
+  Status step();
+
+  /// Log joint density of the current state (runs the compiled
+  /// likelihood procedure).
+  double logJoint();
+
+  Env &state() { return Eng->env(); }
+  Engine &engine() { return *Eng; }
+  const DensityModel &densityModel() const { return DM; }
+  const KernelSchedule &schedule() const { return Sched; }
+  std::vector<CompiledUpdate> &updates() { return Updates; }
+
+private:
+  friend class Compiler;
+
+  std::unique_ptr<Engine> Eng;
+  DensityModel DM;
+  KernelSchedule Sched;
+  std::vector<CompiledUpdate> Updates;
+  CompileOptions Opts;
+};
+
+/// The compiler entry point.
+class Compiler {
+public:
+  /// Compiles \p ModelSrc given the hyper-parameter values \p HyperArgs
+  /// (in the order of the model's formals) and the observed \p Data
+  /// (by variable name). Mirrors aug.compile(args...)(data) of Fig. 2.
+  static Result<std::unique_ptr<MCMCProgram>>
+  compile(const std::string &ModelSrc, const CompileOptions &Opts,
+          const std::vector<Value> &HyperArgs, const Env &Data);
+
+  /// Generates the Low++ procedures for one base update and registers
+  /// them on \p Eng, returning the driver-facing handle. Exposed so the
+  /// extensibility test can drive it directly.
+  static Result<CompiledUpdate> compileUpdate(const DensityModel &DM,
+                                              const BaseUpdate &U,
+                                              const CompileOptions &Opts,
+                                              Engine &Eng, int Index);
+};
+
+} // namespace augur
+
+#endif // AUGUR_COMPILE_COMPILER_H

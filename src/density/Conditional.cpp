@@ -1,0 +1,288 @@
+//===- density/Conditional.cpp --------------------------------*- C++ -*-===//
+
+#include "density/Conditional.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+std::string Conditional::str() const {
+  std::string Out = "p(" + Var + " | ...) propto";
+  for (const auto &L : BlockLoops)
+    Out += strFormat(" block(%s <- %s until %s)", L.Var.c_str(),
+                     L.Lo->str().c_str(), L.Hi->str().c_str());
+  Out += "\n  prior: " + Prior.str();
+  for (const auto &F : Liks)
+    Out += "\n  lik:   " + F.str();
+  if (Approximate)
+    Out += "\n  (approximate)";
+  return Out;
+}
+
+namespace {
+
+/// Collects every maximal index chain rooted at variable \p Var inside
+/// \p E: occurrences of Var itself and of Var[e1][e2]... Returns chains
+/// as the list of index expressions (empty list = used whole).
+void collectOccurrences(const ExprPtr &E, const std::string &Var,
+                        std::vector<std::vector<ExprPtr>> &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+    return;
+  case Expr::Kind::Var:
+    if (E->varName() == Var)
+      Out.push_back({});
+    return;
+  case Expr::Kind::Index: {
+    // Walk down the index spine to find the root.
+    std::vector<ExprPtr> Chain;
+    ExprPtr Cur = E;
+    while (Cur->kind() == Expr::Kind::Index) {
+      Chain.push_back(Cur->idx());
+      Cur = Cur->base();
+    }
+    std::reverse(Chain.begin(), Chain.end());
+    if (Cur->kind() == Expr::Kind::Var && Cur->varName() == Var) {
+      Out.push_back(Chain);
+      // Still scan the index expressions themselves (e.g. v[z[v...]]).
+    }
+    for (const auto &Idx : Chain)
+      collectOccurrences(Idx, Var, Out);
+    return;
+  }
+  case Expr::Kind::Prim:
+    for (const auto &Arg : E->args())
+      collectOccurrences(Arg, Var, Out);
+    return;
+  }
+}
+
+bool sameChain(const std::vector<ExprPtr> &A, const std::vector<ExprPtr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!Expr::structEq(A[I], B[I]))
+      return false;
+  return true;
+}
+
+/// Substitutes a loop-variable rename throughout a factor.
+void renameInFactor(Factor &F, const std::string &From, const ExprPtr &To) {
+  for (auto &P : F.Params)
+    P = substVar(P, From, To);
+  F.At = substVar(F.At, From, To);
+  for (auto &L : F.Loops) {
+    L.Lo = substVar(L.Lo, From, To);
+    L.Hi = substVar(L.Hi, From, To);
+  }
+  for (auto &G : F.Guards) {
+    G.Lhs = substVar(G.Lhs, From, To);
+    G.Rhs = substVar(G.Rhs, From, To);
+  }
+}
+
+/// Substitutes occurrences of the index chain Var[Chain...] with
+/// Var[BlockVars...] inside \p E (used by the categorical normalization
+/// rule to re-express the target through its block index).
+ExprPtr substChain(const ExprPtr &E, const std::string &Var,
+                   const std::vector<ExprPtr> &Chain,
+                   const std::vector<std::string> &BlockVars) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+  case Expr::Kind::Var:
+    return E;
+  case Expr::Kind::Index: {
+    std::vector<ExprPtr> ThisChain;
+    ExprPtr Cur = E;
+    while (Cur->kind() == Expr::Kind::Index) {
+      ThisChain.push_back(Cur->idx());
+      Cur = Cur->base();
+    }
+    std::reverse(ThisChain.begin(), ThisChain.end());
+    if (Cur->kind() == Expr::Kind::Var && Cur->varName() == Var &&
+        sameChain(ThisChain, Chain)) {
+      ExprPtr New = Expr::var(Var);
+      for (const auto &BV : BlockVars)
+        New = Expr::index(std::move(New), Expr::var(BV));
+      return New;
+    }
+    ExprPtr Base = substChain(E->base(), Var, Chain, BlockVars);
+    ExprPtr Idx = substChain(E->idx(), Var, Chain, BlockVars);
+    if (Base == E->base() && Idx == E->idx())
+      return E;
+    return Expr::index(std::move(Base), std::move(Idx));
+  }
+  case Expr::Kind::Prim: {
+    bool Changed = false;
+    std::vector<ExprPtr> Args;
+    for (const auto &Arg : E->args()) {
+      Args.push_back(substChain(Arg, Var, Chain, BlockVars));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return Expr::prim(E->primOp(), std::move(Args));
+  }
+  }
+  return E;
+}
+
+/// Attempts the factoring rewrite (Section 3.3): all occurrences of the
+/// target inside \p F must be Var[j1]..[jm] with the j's being distinct
+/// loop variables of F whose bounds match the block loops syntactically.
+/// On success the matched loops are removed and renamed to the block
+/// variables. Returns false (leaving F untouched) if the rule does not
+/// apply.
+bool tryFactorRule(Factor &F, const std::string &Var,
+                   const std::vector<LoopBinding> &BlockLoops,
+                   const std::vector<std::vector<ExprPtr>> &Chains) {
+  size_t M = BlockLoops.size();
+  for (const auto &Chain : Chains) {
+    if (Chain.size() != M)
+      return false;
+    if (!sameChain(Chain, Chains.front()))
+      return false;
+    for (const auto &Idx : Chain)
+      if (Idx->kind() != Expr::Kind::Var)
+        return false;
+  }
+  // Match each chain position to an F loop by name, checking bounds.
+  Factor Work = F;
+  const std::vector<ExprPtr> &Chain = Chains.front();
+  for (size_t L = 0; L < M; ++L) {
+    const std::string &JName = Chain[L]->varName();
+    auto It = std::find_if(Work.Loops.begin(), Work.Loops.end(),
+                           [&](const LoopBinding &LB) {
+                             return LB.Var == JName;
+                           });
+    if (It == Work.Loops.end())
+      return false;
+    if (!Expr::structEq(It->Lo, BlockLoops[L].Lo) ||
+        !Expr::structEq(It->Hi, BlockLoops[L].Hi))
+      return false;
+    std::string From = It->Var;
+    Work.Loops.erase(It);
+    renameInFactor(Work, From, Expr::var(BlockLoops[L].Var));
+  }
+  F = std::move(Work);
+  return true;
+}
+
+} // namespace
+
+Result<Conditional> augur::computeConditional(const DensityModel &DM,
+                                              const std::string &Var) {
+  const Factor *PriorF = DM.priorFactorOf(Var);
+  if (!PriorF)
+    return Status::error(
+        strFormat("'%s' is not a model variable", Var.c_str()));
+  if (PriorF->Role != VarRole::Param)
+    return Status::error(strFormat(
+        "'%s' is observed data; conditionals are computed for parameters",
+        Var.c_str()));
+
+  Conditional C;
+  C.Var = Var;
+  C.BlockLoops = PriorF->Loops;
+  C.Prior = *PriorF;
+  C.Prior.Loops.clear();
+
+  std::vector<std::string> BlockVars;
+  for (const auto &L : C.BlockLoops)
+    BlockVars.push_back(L.Var);
+
+  for (const auto &F : DM.Joint.Factors) {
+    if (&F == PriorF)
+      continue;
+    if (!F.mentions(Var))
+      continue; // cancels in the ratio: no functional dependence on Var
+
+    std::vector<std::vector<ExprPtr>> Chains;
+    for (const auto &P : F.Params)
+      collectOccurrences(P, Var, Chains);
+    collectOccurrences(F.At, Var, Chains);
+
+    if (C.BlockLoops.empty()) {
+      // Scalar/unblocked target: the whole factor is part of the
+      // conditional as-is.
+      C.Liks.push_back(F);
+      continue;
+    }
+
+    Factor Lik = F;
+    // Rule order per the paper: categorical indexing first, then
+    // factoring. The indexing rule applies when the target is reached
+    // through a non-loop index expression (the mixture pattern).
+    bool AllSameIndirect =
+        C.BlockLoops.size() == 1 && !Chains.empty() &&
+        Chains.front().size() == 1 &&
+        Chains.front()[0]->kind() != Expr::Kind::Var;
+    if (AllSameIndirect) {
+      for (const auto &Chain : Chains)
+        AllSameIndirect &= sameChain(Chain, Chains.front());
+    }
+    if (AllSameIndirect) {
+      // Categorical normalization: guard k = e and rewrite v[e] -> v[k].
+      const ExprPtr &IdxExpr = Chains.front()[0];
+      // The paper requires e to be (rooted at) a Categorical variable
+      // with the block's range.
+      std::vector<std::string> IdxVars;
+      IdxExpr->collectVars(IdxVars);
+      bool RootIsCategorical = false;
+      for (const auto &IV : IdxVars) {
+        const ModelDecl *Decl = DM.TM.M.findDecl(IV);
+        if (Decl && (Decl->D == Dist::Categorical ||
+                     Decl->D == Dist::Bernoulli))
+          RootIsCategorical = true;
+      }
+      if (RootIsCategorical) {
+        for (auto &P : Lik.Params)
+          P = substChain(P, Var, Chains.front(), BlockVars);
+        Lik.At = substChain(Lik.At, Var, Chains.front(), BlockVars);
+        Lik.Guards.push_back(
+            {Expr::var(C.BlockLoops[0].Var), IdxExpr});
+        C.Liks.push_back(std::move(Lik));
+        continue;
+      }
+    }
+    if (tryFactorRule(Lik, Var, C.BlockLoops, Chains)) {
+      C.Liks.push_back(std::move(Lik));
+      continue;
+    }
+    // Neither rule applied: keep the factor whole. Sound (every term
+    // depending on Var is present) but block independence was not shown.
+    C.Approximate = true;
+    C.Liks.push_back(F);
+  }
+  return C;
+}
+
+std::vector<std::string> augur::markovBlanket(const DensityModel &DM,
+                                              const std::string &Var) {
+  std::vector<std::string> Out;
+  auto AddUnique = [&](const std::string &Name) {
+    if (Name == Var)
+      return;
+    if (!DM.priorFactorOf(Name))
+      return; // hyper-parameter or index variable
+    if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+      Out.push_back(Name);
+  };
+  for (const auto &F : DM.Joint.Factors) {
+    if (!F.mentions(Var))
+      continue;
+    std::vector<std::string> Vars;
+    for (const auto &P : F.Params)
+      P->collectVars(Vars);
+    F.At->collectVars(Vars);
+    for (const auto &Name : Vars)
+      AddUnique(Name);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

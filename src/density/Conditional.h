@@ -1,0 +1,79 @@
+//===- density/Conditional.h - Symbolic conditionals -----------*- C++ -*-===//
+///
+/// \file
+/// Symbolic computation of a model's full conditionals up to a
+/// normalizing constant (paper Section 3.3). Rather than reifying a
+/// Bayesian network graph, the compiler keeps structured products
+/// symbolic and applies two rewrite rules:
+///
+/// * Categorical normalization:
+///     PROD_{i<-gen_i} fn  ->  PROD_{k<-gen_k} PROD_{i<-gen_i} [fn]_{k=z_i}
+///   when the target variable is indexed through a categorical variable
+///   z_i (the mixture-model pattern), which exposes which data points a
+///   block element k depends on.
+///
+/// * Factoring:
+///     PROD_{i<-gen1} fn1 PROD_{j<-gen2} fn2 -> PROD_{i<-gen1} fn1 fn2[j:=i]
+///   when gen1 = gen2 syntactically (comprehension bounds are constant,
+///   so syntactic equality is sound).
+///
+/// The indexing rule is attempted first, then factoring, as in the
+/// paper. When neither applies the factor is kept whole and the
+/// conditional is marked approximate (precision, not soundness, is
+/// lost: the result still contains every factor that mentions the
+/// target, so MH-style updates remain correct).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_CONDITIONAL_H
+#define AUGUR_DENSITY_CONDITIONAL_H
+
+#include "density/DensityIR.h"
+#include "support/Result.h"
+
+namespace augur {
+
+/// The conditional p(v | everything else), up to normalization, in a
+/// block-structured form: the target's own comprehensions become the
+/// *block loops*; the prior factor and every likelihood factor are
+/// rewritten relative to those loops.
+struct Conditional {
+  std::string Var;
+
+  /// The target's own index loops (empty for a scalar/unindexed target).
+  /// Conditionally-independent across these loops, so a sampler may
+  /// update all block elements in parallel.
+  std::vector<LoopBinding> BlockLoops;
+
+  /// The prior factor p_D(params)(v[block vars]) with Loops stripped
+  /// (they became BlockLoops).
+  Factor Prior;
+
+  /// Likelihood factors mentioning v, rewritten so occurrences of the
+  /// target are expressed via the block variables where the rules
+  /// apply. Loops are the residual data loops; Guards tie block vars to
+  /// categorical indices introduced by the normalization rule.
+  std::vector<Factor> Liks;
+
+  /// True if some factor could not be factored/normalized against the
+  /// block loops; the conditional is then a sound but imprecise
+  /// over-approximation (extra independence was not discovered).
+  bool Approximate = false;
+
+  std::string str() const;
+};
+
+/// Computes the conditional of \p Var in \p DM. Fails only if \p Var is
+/// not a parameter of the model.
+Result<Conditional> computeConditional(const DensityModel &DM,
+                                       const std::string &Var);
+
+/// Returns the set of parameters whose conditionals must be recomputed
+/// when \p Var changes (the Markov blanket, derived from the factor
+/// structure). Used by tests against a brute-force graph oracle.
+std::vector<std::string> markovBlanket(const DensityModel &DM,
+                                       const std::string &Var);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_CONDITIONAL_H

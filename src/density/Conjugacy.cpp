@@ -1,0 +1,127 @@
+//===- density/Conjugacy.cpp ----------------------------------*- C++ -*-===//
+
+#include "density/Conjugacy.h"
+
+using namespace augur;
+
+const char *augur::conjKindName(ConjKind K) {
+  switch (K) {
+  case ConjKind::NormalMean:
+    return "Normal-Normal (mean)";
+  case ConjKind::MvNormalMean:
+    return "MvNormal-MvNormal (mean)";
+  case ConjKind::DirichletCategorical:
+    return "Dirichlet-Categorical";
+  case ConjKind::BetaBernoulli:
+    return "Beta-Bernoulli";
+  case ConjKind::GammaPoisson:
+    return "Gamma-Poisson";
+  case ConjKind::GammaExponential:
+    return "Gamma-Exponential";
+  case ConjKind::InvGammaNormalVariance:
+    return "InvGamma-Normal (variance)";
+  case ConjKind::InvWishartMvNormalCov:
+    return "InvWishart-MvNormal (covariance)";
+  }
+  return "<conjugacy>";
+}
+
+namespace {
+
+/// True if \p E is exactly the target atom: the variable \p Var indexed
+/// by precisely the block variables (or the bare variable when there are
+/// no block loops).
+bool isTargetAtom(const ExprPtr &E, const std::string &Var,
+                  const std::vector<LoopBinding> &BlockLoops) {
+  ExprPtr Cur = E;
+  for (size_t I = BlockLoops.size(); I > 0; --I) {
+    if (Cur->kind() != Expr::Kind::Index)
+      return false;
+    const ExprPtr &Idx = Cur->idx();
+    if (Idx->kind() != Expr::Kind::Var ||
+        Idx->varName() != BlockLoops[I - 1].Var)
+      return false;
+    Cur = Cur->base();
+  }
+  return Cur->kind() == Expr::Kind::Var && Cur->varName() == Var;
+}
+
+/// The (prior, likelihood, slot) conjugacy table itself.
+std::optional<ConjRelation> tableLookup(Dist Prior, Dist Lik) {
+  switch (Prior) {
+  case Dist::Normal:
+    if (Lik == Dist::Normal)
+      return ConjRelation{ConjKind::NormalMean, 0};
+    break;
+  case Dist::MvNormal:
+    if (Lik == Dist::MvNormal)
+      return ConjRelation{ConjKind::MvNormalMean, 0};
+    break;
+  case Dist::Dirichlet:
+    if (Lik == Dist::Categorical)
+      return ConjRelation{ConjKind::DirichletCategorical, 0};
+    break;
+  case Dist::Beta:
+    if (Lik == Dist::Bernoulli)
+      return ConjRelation{ConjKind::BetaBernoulli, 0};
+    break;
+  case Dist::Gamma:
+    if (Lik == Dist::Poisson)
+      return ConjRelation{ConjKind::GammaPoisson, 0};
+    if (Lik == Dist::Exponential)
+      return ConjRelation{ConjKind::GammaExponential, 0};
+    break;
+  case Dist::InvGamma:
+    if (Lik == Dist::Normal)
+      return ConjRelation{ConjKind::InvGammaNormalVariance, 1};
+    break;
+  case Dist::InvWishart:
+    if (Lik == Dist::MvNormal)
+      return ConjRelation{ConjKind::InvWishartMvNormalCov, 1};
+    break;
+  default:
+    break;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<ConjRelation> augur::detectConjugacy(const Conditional &C) {
+  // An imprecise conditional may hide dependencies; bail out (paper:
+  // "may fail to detect a conjugacy relation if the approximation of the
+  // conditional is imprecise").
+  if (C.Approximate)
+    return std::nullopt;
+  if (C.Liks.empty())
+    return std::nullopt;
+
+  Dist LikDist = C.Liks.front().D;
+  std::optional<ConjRelation> Rel = tableLookup(C.Prior.D, LikDist);
+  if (!Rel)
+    return std::nullopt;
+
+  // The prior's own parameters may not mention the target (no
+  // self-reference through hyper-structure).
+  if (C.Prior.mentionsInParams(C.Var))
+    return std::nullopt;
+
+  for (const auto &Lik : C.Liks) {
+    if (Lik.D != LikDist)
+      return std::nullopt;
+    // The target must sit exactly in the matched slot...
+    if (static_cast<size_t>(Rel->TargetSlot) >= Lik.Params.size())
+      return std::nullopt;
+    if (!isTargetAtom(Lik.Params[static_cast<size_t>(Rel->TargetSlot)],
+                      C.Var, C.BlockLoops))
+      return std::nullopt;
+    // ...and nowhere else (other parameter slots or the variate).
+    for (size_t I = 0; I < Lik.Params.size(); ++I)
+      if (I != static_cast<size_t>(Rel->TargetSlot) &&
+          Lik.Params[I]->mentionsVar(C.Var))
+        return std::nullopt;
+    if (Lik.At->mentionsVar(C.Var))
+      return std::nullopt;
+  }
+  return Rel;
+}

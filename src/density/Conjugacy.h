@@ -1,0 +1,55 @@
+//===- density/Conjugacy.h - Conjugacy relation detection ------*- C++ -*-===//
+///
+/// \file
+/// Detection of conjugacy relations on symbolic conditionals (paper
+/// Section 4.4). AugurV2 supports closed-form conditionals "via table
+/// lookup": this module implements the table as structural pattern
+/// matching on (prior distribution, likelihood distribution, parameter
+/// slot) triples. Detection can fail when the conditional approximation
+/// is imprecise or when recognizing the relation would need algebra
+/// beyond structural matching (both failure modes are called out in the
+/// paper); such variables fall back to generic updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_CONJUGACY_H
+#define AUGUR_DENSITY_CONJUGACY_H
+
+#include <optional>
+
+#include "density/Conditional.h"
+
+namespace augur {
+
+/// The conjugacy relations in the table.
+enum class ConjKind {
+  NormalMean,            ///< Normal prior on a Normal likelihood mean
+  MvNormalMean,          ///< MvNormal prior on a MvNormal likelihood mean
+  DirichletCategorical,  ///< Dirichlet prior on Categorical weights
+  BetaBernoulli,         ///< Beta prior on a Bernoulli probability
+  GammaPoisson,          ///< Gamma prior on a Poisson rate
+  GammaExponential,      ///< Gamma prior on an Exponential rate
+  InvGammaNormalVariance,///< InvGamma prior on a Normal variance
+  InvWishartMvNormalCov, ///< InvWishart prior on a MvNormal covariance
+};
+
+/// Human-readable name of the relation.
+const char *conjKindName(ConjKind K);
+
+/// A detected relation: the kind plus which likelihood parameter slot
+/// the target occupies (0-based).
+struct ConjRelation {
+  ConjKind Kind;
+  int TargetSlot;
+};
+
+/// Tries to match \p C against the conjugacy table. Requirements: the
+/// conditional must be exact (not approximate); every likelihood factor
+/// must use the same distribution with the target appearing *exactly*
+/// (as v or v[block vars]) in the matched parameter slot and nowhere
+/// else.
+std::optional<ConjRelation> detectConjugacy(const Conditional &C);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_CONJUGACY_H

@@ -1,0 +1,62 @@
+//===- density/DensityIR.cpp ----------------------------------*- C++ -*-===//
+
+#include "density/DensityIR.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+std::string Factor::str() const {
+  std::string Out;
+  for (const auto &L : Loops)
+    Out += strFormat("prod(%s <- %s until %s) ", L.Var.c_str(),
+                     L.Lo->str().c_str(), L.Hi->str().c_str());
+  std::string Atom;
+  {
+    std::vector<std::string> Args;
+    for (const auto &P : Params)
+      Args.push_back(P->str());
+    Atom = strFormat("%s(%s)(%s)", distInfo(D).Name,
+                     joinStrings(Args, ", ").c_str(), At->str().c_str());
+  }
+  if (Guards.empty())
+    return Out + Atom;
+  std::string Conds;
+  for (const auto &G : Guards) {
+    if (!Conds.empty())
+      Conds += ", ";
+    Conds += G.Lhs->str() + " = " + G.Rhs->str();
+  }
+  return Out + "[" + Atom + "]{" + Conds + "}";
+}
+
+bool Factor::mentions(const std::string &Var) const {
+  if (mentionsInParams(Var))
+    return true;
+  return At->mentionsVar(Var);
+}
+
+bool Factor::mentionsInParams(const std::string &Var) const {
+  for (const auto &P : Params)
+    if (P->mentionsVar(Var))
+      return true;
+  return false;
+}
+
+std::string DensityFn::str() const {
+  std::string Out;
+  for (const auto &F : Factors) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += F.str();
+  }
+  return Out;
+}
+
+ExprPtr augur::makeIndexedVar(const std::string &Name,
+                              const std::vector<std::string> &Indices) {
+  ExprPtr E = Expr::var(Name);
+  for (const auto &Idx : Indices)
+    E = Expr::index(std::move(E), Expr::var(Idx));
+  return E;
+}

@@ -1,0 +1,95 @@
+//===- density/DensityIR.h - The Density IL --------------------*- C++ -*-===//
+///
+/// \file
+/// The Density IL (paper Fig. 4) encodes the density factorization of a
+/// model. We keep densities in a normalized *factor list* form: the
+/// top-level density function is a product of factors, where each factor
+/// is a primitive density application under a stack of structured-product
+/// comprehensions and indicator guards:
+///
+///   fn  ::=  PROD_{loops} [ p_Dist(params)(at) ]_{guards}
+///
+/// This normal form is closed under the two conditional-approximation
+/// rewrites of Section 3.3 (factoring and categorical normalization) and
+/// maps directly onto loop nests during lowering to Low++. Let-bindings
+/// from Fig. 4 are inlined during frontend lowering, and general density
+/// composition `fn fn` is the concatenation of factor lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_DENSITYIR_H
+#define AUGUR_DENSITY_DENSITYIR_H
+
+#include <string>
+#include <vector>
+
+#include "lang/TypeCheck.h"
+
+namespace augur {
+
+/// One comprehension binding `Var <- Lo until Hi` in a structured
+/// product (the `gen` of Fig. 4).
+struct LoopBinding {
+  std::string Var;
+  ExprPtr Lo;
+  ExprPtr Hi;
+};
+
+/// An indicator condition `[fn]_{Lhs = Rhs}` (Fig. 4). In the factored
+/// normal form Lhs is always a loop/block variable.
+struct Guard {
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+/// One factor: a primitive density application under loops and guards.
+struct Factor {
+  std::vector<LoopBinding> Loops;
+  std::vector<Guard> Guards;
+  Dist D;
+  std::vector<ExprPtr> Params;
+  /// The point the density is evaluated at, e.g. mu[k] or x[n].
+  ExprPtr At;
+  /// Root variable of At.
+  std::string AtVar;
+  /// Whether At refers to observed data or a latent parameter.
+  VarRole Role = VarRole::Param;
+
+  /// Renders as e.g. "prod(k <- 0 until K) MvNormal(mu_0, Sigma_0)(mu[k])".
+  std::string str() const;
+
+  /// True if variable \p Var occurs in the parameters or variate.
+  bool mentions(const std::string &Var) const;
+
+  /// True if \p Var occurs in the parameter expressions (not the variate).
+  bool mentionsInParams(const std::string &Var) const;
+};
+
+/// A density function in factor-list normal form (product of factors).
+struct DensityFn {
+  std::vector<Factor> Factors;
+
+  std::string str() const;
+};
+
+/// A model lowered to its density factorization, together with the typed
+/// model it came from (kept for variable roles/types and shapes).
+struct DensityModel {
+  TypedModel TM;
+  DensityFn Joint;
+
+  const Factor *priorFactorOf(const std::string &Var) const {
+    for (const auto &F : Joint.Factors)
+      if (F.AtVar == Var)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Builds the variate expression Name[i1][i2]... for index variables.
+ExprPtr makeIndexedVar(const std::string &Name,
+                       const std::vector<std::string> &Indices);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_DENSITYIR_H

@@ -1,0 +1,309 @@
+//===- density/Eval.cpp ---------------------------------------*- C++ -*-===//
+
+#include "density/Eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "math/Special.h"
+
+using namespace augur;
+
+namespace {
+
+/// Resolves an index-chain expression (root variable plus evaluated
+/// integer indices) to a view into the environment.
+DV viewIndexedImpl(const Value &Root, const std::vector<int64_t> &Idxs) {
+  if (Root.isRealVec()) {
+    const BlockedReal &V = Root.realVec();
+    if (!V.isRagged()) {
+      assert(Idxs.size() == 1 && "flat vector takes one index");
+      return DV::real(V.at(Idxs[0]));
+    }
+    if (Idxs.size() == 1)
+      return DV::vec(V.row(Idxs[0]), V.rowLen(Idxs[0]));
+    assert(Idxs.size() == 2 && "at most two index levels supported");
+    return DV::real(V.at(Idxs[0], Idxs[1]));
+  }
+  if (Root.isIntVec()) {
+    const BlockedInt &V = Root.intVec();
+    if (!V.isRagged()) {
+      assert(Idxs.size() == 1 && "flat vector takes one index");
+      return DV::integer(V.at(Idxs[0]));
+    }
+    assert(Idxs.size() == 2 && "ragged int vector takes two indices");
+    return DV::integer(V.at(Idxs[0], Idxs[1]));
+  }
+  if (Root.isMatVec()) {
+    assert(Idxs.size() == 1 && "vector of matrices takes one index");
+    const MatVec &MV = Root.matVec();
+    return DV::mat(MV.at(Idxs[0]), MV.rows(), MV.cols());
+  }
+  assert(false && "unsupported indexing");
+  return DV::real(0.0);
+}
+
+DV viewWholeImpl(const Value &V) {
+  if (V.isIntScalar())
+    return DV::integer(V.asInt());
+  if (V.isRealScalar())
+    return DV::real(V.asReal());
+  if (V.isRealVec()) {
+    const BlockedReal &B = V.realVec();
+    assert(!B.isRagged() &&
+           "ragged vectors can only be used under an index");
+    return DV::vec(B.flat().data(), B.flatSize());
+  }
+  if (V.isMatrix())
+    return DV::mat(V.mat());
+  assert(false && "value cannot be viewed whole");
+  return DV::real(0.0);
+}
+
+} // namespace
+
+MutDV augur::mutViewValue(Value &V, const std::vector<int64_t> &Idxs) {
+  if (Idxs.empty()) {
+    if (V.isIntScalar())
+      return MutDV::integer(&V.intRef());
+    if (V.isRealScalar())
+      return MutDV::real(&V.realRef());
+    if (V.isRealVec()) {
+      assert(!V.realVec().isRagged() && "whole view of ragged vector");
+      return MutDV::vec(V.realVec().flat().data(), V.realVec().flatSize());
+    }
+    assert(V.isMatrix() && "unsupported whole destination");
+    return MutDV::mat(V.mat().data(), V.mat().rows(), V.mat().cols());
+  }
+  if (V.isRealVec()) {
+    BlockedReal &B = V.realVec();
+    if (!B.isRagged()) {
+      assert(Idxs.size() == 1 && "flat vector takes one index");
+      return MutDV::real(&B.at(Idxs[0]));
+    }
+    if (Idxs.size() == 1)
+      return MutDV::vec(B.row(Idxs[0]), B.rowLen(Idxs[0]));
+    assert(Idxs.size() == 2 && "at most two index levels");
+    return MutDV::real(&B.at(Idxs[0], Idxs[1]));
+  }
+  if (V.isIntVec()) {
+    BlockedInt &B = V.intVec();
+    if (!B.isRagged()) {
+      assert(Idxs.size() == 1 && "flat vector takes one index");
+      return MutDV::integer(&B.at(Idxs[0]));
+    }
+    assert(Idxs.size() == 2 && "ragged int vector takes two indices");
+    return MutDV::integer(&B.at(Idxs[0], Idxs[1]));
+  }
+  assert(V.isMatVec() && Idxs.size() == 1 && "unsupported destination");
+  MatVec &MV = V.matVec();
+  return MutDV::mat(MV.at(Idxs[0]), MV.rows(), MV.cols());
+}
+
+DV augur::viewValueWhole(const Value &V) { return viewWholeImpl(V); }
+
+DV augur::viewValueIndexed(const Value &Root,
+                           const std::vector<int64_t> &Idxs) {
+  return viewIndexedImpl(Root, Idxs);
+}
+
+DV augur::evalExpr(const ExprPtr &E, const EvalCtx &Ctx) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return DV::integer(E->intValue());
+  case Expr::Kind::RealLit:
+    return DV::real(E->realValue());
+  case Expr::Kind::Var: {
+    auto It = Ctx.LoopVars.find(E->varName());
+    if (It != Ctx.LoopVars.end())
+      return DV::integer(It->second);
+    const Value *V = Ctx.resolve(E->varName());
+    assert(V && "unbound variable at evaluation");
+    return viewWholeImpl(*V);
+  }
+  case Expr::Kind::Index: {
+    // Collect the index chain down to the root variable.
+    std::vector<ExprPtr> Chain;
+    ExprPtr Cur = E;
+    while (Cur->kind() == Expr::Kind::Index) {
+      Chain.push_back(Cur->idx());
+      Cur = Cur->base();
+    }
+    std::reverse(Chain.begin(), Chain.end());
+    assert(Cur->kind() == Expr::Kind::Var && "index root must be a variable");
+    const Value *V = Ctx.resolve(Cur->varName());
+    assert(V && "unbound variable at evaluation");
+    std::vector<int64_t> Idxs;
+    Idxs.reserve(Chain.size());
+    for (const auto &IdxE : Chain)
+      Idxs.push_back(evalIntExpr(IdxE, Ctx));
+    return viewIndexedImpl(*V, Idxs);
+  }
+  case Expr::Kind::Prim: {
+    PrimOp Op = E->primOp();
+    if (Op == PrimOp::Len) {
+      DV A = evalExpr(E->args()[0], Ctx);
+      assert(A.K == DV::Kind::Vec && "len expects a vector view");
+      return DV::integer(A.N);
+    }
+    if (Op == PrimOp::Rows) {
+      DV A = evalExpr(E->args()[0], Ctx);
+      assert(A.K == DV::Kind::Mat && "rows expects a matrix view");
+      return DV::integer(A.Rows);
+    }
+    if (Op == PrimOp::Dot) {
+      DV A = evalExpr(E->args()[0], Ctx);
+      DV B = evalExpr(E->args()[1], Ctx);
+      assert(A.K == DV::Kind::Vec && B.K == DV::Kind::Vec && A.N == B.N &&
+             "dot expects equal-length vectors");
+      return DV::real(dot(A.Ptr, B.Ptr, static_cast<size_t>(A.N)));
+    }
+    if (Op == PrimOp::Neg) {
+      DV A = evalExpr(E->args()[0], Ctx);
+      if (A.K == DV::Kind::Int)
+        return DV::integer(-A.I);
+      return DV::real(-A.D);
+    }
+    if (Op == PrimOp::Exp || Op == PrimOp::Log || Op == PrimOp::Sqrt ||
+        Op == PrimOp::Sigmoid) {
+      double A = evalExpr(E->args()[0], Ctx).asReal();
+      switch (Op) {
+      case PrimOp::Exp:
+        return DV::real(std::exp(A));
+      case PrimOp::Log:
+        return DV::real(std::log(A));
+      case PrimOp::Sqrt:
+        return DV::real(std::sqrt(A));
+      default:
+        return DV::real(sigmoid(A));
+      }
+    }
+    DV A = evalExpr(E->args()[0], Ctx);
+    DV B = evalExpr(E->args()[1], Ctx);
+    bool BothInt = A.K == DV::Kind::Int && B.K == DV::Kind::Int;
+    if (BothInt && Op != PrimOp::Div) {
+      switch (Op) {
+      case PrimOp::Add:
+        return DV::integer(A.I + B.I);
+      case PrimOp::Sub:
+        return DV::integer(A.I - B.I);
+      case PrimOp::Mul:
+        return DV::integer(A.I * B.I);
+      default:
+        break;
+      }
+    }
+    double X = A.asReal(), Y = B.asReal();
+    switch (Op) {
+    case PrimOp::Add:
+      return DV::real(X + Y);
+    case PrimOp::Sub:
+      return DV::real(X - Y);
+    case PrimOp::Mul:
+      return DV::real(X * Y);
+    case PrimOp::Div:
+      return DV::real(X / Y);
+    default:
+      assert(false && "unhandled primitive");
+      return DV::real(0.0);
+    }
+  }
+  }
+  assert(false && "malformed expression");
+  return DV::real(0.0);
+}
+
+int64_t augur::evalIntExpr(const ExprPtr &E, const EvalCtx &Ctx) {
+  DV V = evalExpr(E, Ctx);
+  assert(V.K == DV::Kind::Int && "expected an Int expression");
+  return V.I;
+}
+
+double augur::evalRealExpr(const ExprPtr &E, const EvalCtx &Ctx) {
+  DV V = evalExpr(E, Ctx);
+  assert((V.K == DV::Kind::Int || V.K == DV::Kind::Real) &&
+         "expected a scalar expression");
+  return V.asReal();
+}
+
+namespace {
+
+/// Recursively iterates the loop nest of \p F from loop \p Depth.
+double evalFactorFrom(const Factor &F, EvalCtx &Ctx, size_t Depth) {
+  if (Depth == F.Loops.size()) {
+    for (const auto &G : F.Guards) {
+      if (evalIntExpr(G.Lhs, Ctx) != evalIntExpr(G.Rhs, Ctx))
+        return 0.0; // indicator is 1, log-contribution 0
+    }
+    std::vector<DV> Params;
+    Params.reserve(F.Params.size());
+    for (const auto &P : F.Params)
+      Params.push_back(evalExpr(P, Ctx));
+    DV At = evalExpr(F.At, Ctx);
+    return distLogPdf(F.D, Params, At);
+  }
+  const LoopBinding &L = F.Loops[Depth];
+  int64_t Lo = evalIntExpr(L.Lo, Ctx);
+  int64_t Hi = evalIntExpr(L.Hi, Ctx);
+  double Sum = 0.0;
+  for (int64_t I = Lo; I < Hi; ++I) {
+    Ctx.LoopVars[L.Var] = I;
+    Sum += evalFactorFrom(F, Ctx, Depth + 1);
+  }
+  Ctx.LoopVars.erase(L.Var);
+  return Sum;
+}
+
+} // namespace
+
+double augur::evalFactorLogPdf(const Factor &F, EvalCtx &Ctx) {
+  return evalFactorFrom(F, Ctx, 0);
+}
+
+double augur::evalLogJoint(const DensityModel &DM, const Env &E) {
+  EvalCtx Ctx(E);
+  double Sum = 0.0;
+  for (const auto &F : DM.Joint.Factors)
+    Sum += evalFactorLogPdf(F, Ctx);
+  return Sum;
+}
+
+double augur::evalConditional(const Conditional &C, const Env &E) {
+  EvalCtx Ctx(E);
+  // Iterate the block loops; at each block element, evaluate the prior
+  // atom and every likelihood factor.
+  double Sum = 0.0;
+  std::function<void(size_t)> Rec = [&](size_t Depth) {
+    if (Depth == C.BlockLoops.size()) {
+      Sum += evalFactorLogPdf(C.Prior, Ctx);
+      for (const auto &F : C.Liks)
+        Sum += evalFactorLogPdf(F, Ctx);
+      return;
+    }
+    const LoopBinding &L = C.BlockLoops[Depth];
+    int64_t Lo = evalIntExpr(L.Lo, Ctx);
+    int64_t Hi = evalIntExpr(L.Hi, Ctx);
+    for (int64_t I = Lo; I < Hi; ++I) {
+      Ctx.LoopVars[L.Var] = I;
+      Rec(Depth + 1);
+    }
+    Ctx.LoopVars.erase(L.Var);
+  };
+  Rec(0);
+  return Sum;
+}
+
+double augur::evalConditionalAt(const Conditional &C, const Env &E,
+                                const std::vector<int64_t> &BlockIdx) {
+  assert(BlockIdx.size() == C.BlockLoops.size() &&
+         "block index arity mismatch");
+  EvalCtx Ctx(E);
+  for (size_t I = 0; I < BlockIdx.size(); ++I)
+    Ctx.LoopVars[C.BlockLoops[I].Var] = BlockIdx[I];
+  double Sum = evalFactorLogPdf(C.Prior, Ctx);
+  for (const auto &F : C.Liks)
+    Sum += evalFactorLogPdf(F, Ctx);
+  return Sum;
+}

@@ -1,0 +1,89 @@
+//===- density/Eval.h - Reference density evaluator ------------*- C++ -*-===//
+///
+/// \file
+/// A direct tree-walking evaluator over the Density IL. It is the
+/// semantic reference: generated Low++/Low-- code is tested against it,
+/// and library MCMC updates (slice, MH) may use it to evaluate
+/// conditionals. Types are assumed checked; violations assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_EVAL_H
+#define AUGUR_DENSITY_EVAL_H
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "density/Conditional.h"
+#include "density/DensityIR.h"
+#include "runtime/Value.h"
+
+namespace augur {
+
+/// Variable environment: hyper-parameters, model parameters, and data by
+/// name.
+using Env = std::map<std::string, Value>;
+
+/// Evaluation context: the environment plus current loop-variable
+/// bindings. An optional Lookup override lets an executor resolve
+/// variables through extra scopes (e.g. procedure locals) before the
+/// base environment.
+struct EvalCtx {
+  const Env *Vars = nullptr;
+  std::map<std::string, int64_t> LoopVars;
+  std::function<const Value *(const std::string &)> Lookup;
+
+  explicit EvalCtx(const Env &E) : Vars(&E) {}
+
+  const Value *resolve(const std::string &Name) const {
+    if (Lookup) {
+      if (const Value *V = Lookup(Name))
+        return V;
+    }
+    auto It = Vars->find(Name);
+    return It == Vars->end() ? nullptr : &It->second;
+  }
+};
+
+/// Read-only view of a whole value (scalars by value; flat vectors and
+/// matrices as views). Ragged vectors must be indexed instead.
+DV viewValueWhole(const Value &V);
+
+/// Read-only view of \p Root at an index chain.
+DV viewValueIndexed(const Value &Root, const std::vector<int64_t> &Idxs);
+
+/// Mutable view into the storage of \p V at an index chain (an empty
+/// chain addresses the whole value).
+MutDV mutViewValue(Value &V, const std::vector<int64_t> &Idxs);
+
+/// Evaluates \p E to a view (scalars by value; vectors/matrices as views
+/// into the environment's storage).
+DV evalExpr(const ExprPtr &E, const EvalCtx &Ctx);
+
+/// Evaluates \p E, requiring an Int result.
+int64_t evalIntExpr(const ExprPtr &E, const EvalCtx &Ctx);
+
+/// Evaluates \p E, requiring a scalar, as Real.
+double evalRealExpr(const ExprPtr &E, const EvalCtx &Ctx);
+
+/// Log density contributed by one factor (iterating its loops and
+/// applying its guards) in context \p Ctx.
+double evalFactorLogPdf(const Factor &F, EvalCtx &Ctx);
+
+/// Log joint density log p(theta, y) of the model under \p E.
+double evalLogJoint(const DensityModel &DM, const Env &E);
+
+/// Unnormalized log conditional log p(v | rest) summed over all block
+/// elements of the target.
+double evalConditional(const Conditional &C, const Env &E);
+
+/// Unnormalized log conditional restricted to one block element: the
+/// block variables are bound to \p BlockIdx (size must match
+/// C.BlockLoops).
+double evalConditionalAt(const Conditional &C, const Env &E,
+                         const std::vector<int64_t> &BlockIdx);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_EVAL_H

@@ -1,0 +1,169 @@
+//===- density/Forward.cpp ------------------------------------*- C++ -*-===//
+
+#include "density/Forward.h"
+
+#include <cassert>
+#include <functional>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+/// Element shape of a distribution draw given its evaluated parameters.
+struct ElemShape {
+  int64_t VecLen = 0;  ///< for Vec Real draws (Dirichlet, MvNormal)
+  int64_t MatDim = 0;  ///< for matrix draws (InvWishart)
+};
+
+ElemShape elemShapeOf(Dist D, const std::vector<DV> &Params) {
+  ElemShape S;
+  switch (D) {
+  case Dist::Dirichlet:
+  case Dist::MvNormal:
+    assert(Params[0].K == DV::Kind::Vec && "vector parameter expected");
+    S.VecLen = Params[0].N;
+    break;
+  case Dist::InvWishart:
+    assert(Params[1].K == DV::Kind::Mat && "matrix parameter expected");
+    S.MatDim = Params[1].Rows;
+    break;
+  default:
+    break;
+  }
+  return S;
+}
+
+std::vector<DV> evalParams(const ModelDecl &Decl, const EvalCtx &Ctx) {
+  std::vector<DV> Params;
+  Params.reserve(Decl.DistArgs.size());
+  for (const auto &Arg : Decl.DistArgs)
+    Params.push_back(evalExpr(Arg, Ctx));
+  return Params;
+}
+
+Status requireZeroLo(const ModelDecl &Decl, const EvalCtx &Ctx) {
+  for (const auto &C : Decl.Comps) {
+    if (C.Lo->kind() == Expr::Kind::IntLit && C.Lo->intValue() == 0)
+      continue;
+    return Status::error(strFormat(
+        "comprehension for '%s' must start at 0 (got '%s')",
+        Decl.Name.c_str(), C.Lo->str().c_str()));
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Result<Value> augur::allocateVar(const ModelDecl &Decl, const TypedModel &TM,
+                                 const Env &E) {
+  EvalCtx Ctx(E);
+  AUGUR_RETURN_IF_ERROR(requireZeroLo(Decl, Ctx));
+  const Type &FullTy = TM.VarTypes.at(Decl.Name);
+  size_t Depth = Decl.Comps.size();
+  const Type *ElemTy = &FullTy;
+  for (size_t I = 0; I < Depth; ++I)
+    ElemTy = &ElemTy->elem();
+
+  // Bind all loop indices to 0 to probe element shapes.
+  for (const auto &C : Decl.Comps)
+    Ctx.LoopVars[C.Var] = 0;
+
+  if (Depth == 0) {
+    if (ElemTy->isInt())
+      return Value::intScalar(0);
+    if (ElemTy->isReal())
+      return Value::realScalar(0.0);
+    std::vector<DV> Params = evalParams(Decl, Ctx);
+    ElemShape S = elemShapeOf(Decl.D, Params);
+    if (ElemTy->isVec())
+      return Value::realVec(BlockedReal::flat(S.VecLen, 0.0));
+    return Value::matrix(Matrix(S.MatDim, S.MatDim));
+  }
+
+  if (Depth == 1) {
+    int64_t N0 = evalIntExpr(Decl.Comps[0].Hi, Ctx);
+    if (ElemTy->isScalar()) {
+      if (ElemTy->isInt())
+        return Value::intVec(BlockedInt::flat(N0, 0), FullTy);
+      return Value::realVec(BlockedReal::flat(N0, 0.0), FullTy);
+    }
+    std::vector<DV> Params = evalParams(Decl, Ctx);
+    ElemShape S = elemShapeOf(Decl.D, Params);
+    if (ElemTy->isVec()) {
+      assert(ElemTy->elem().isReal() && "nested element must be Real");
+      return Value::realVec(BlockedReal::rect(N0, S.VecLen, 0.0), FullTy);
+    }
+    return Value::matVec(MatVec(N0, S.MatDim, S.MatDim));
+  }
+
+  if (Depth == 2) {
+    if (!ElemTy->isScalar())
+      return Status::error(strFormat(
+          "'%s': doubly-nested vectors must have scalar elements",
+          Decl.Name.c_str()));
+    int64_t N0 = evalIntExpr(Decl.Comps[0].Hi, Ctx);
+    // Row lengths may be ragged (inner bound mentions the outer index).
+    EvalCtx RowCtx(E);
+    std::vector<std::vector<double>> RealRows;
+    std::vector<std::vector<int64_t>> IntRows;
+    for (int64_t R = 0; R < N0; ++R) {
+      RowCtx.LoopVars[Decl.Comps[0].Var] = R;
+      int64_t Len = evalIntExpr(Decl.Comps[1].Hi, RowCtx);
+      if (ElemTy->isInt())
+        IntRows.emplace_back(static_cast<size_t>(Len), 0);
+      else
+        RealRows.emplace_back(static_cast<size_t>(Len), 0.0);
+    }
+    if (ElemTy->isInt())
+      return Value::intVec(BlockedInt::ragged(IntRows), FullTy);
+    return Value::realVec(BlockedReal::ragged(RealRows), FullTy);
+  }
+  return Status::error(strFormat(
+      "'%s': more than two comprehension levels are not supported",
+      Decl.Name.c_str()));
+}
+
+
+
+Status augur::forwardSampleDecl(const ModelDecl &Decl, const TypedModel &TM,
+                                Env &E, RNG &Rng) {
+  AUGUR_ASSIGN_OR_RETURN(Value Storage, allocateVar(Decl, TM, E));
+  E[Decl.Name] = std::move(Storage);
+  Value &Dest = E[Decl.Name];
+
+  EvalCtx Ctx(E);
+  std::vector<int64_t> Idxs(Decl.Comps.size(), 0);
+  // Iterate the comprehension nest, drawing each element.
+  std::function<void(size_t)> Rec = [&](size_t Depth) {
+    if (Depth == Decl.Comps.size()) {
+      std::vector<DV> Params = evalParams(Decl, Ctx);
+      distSample(Decl.D, Params, Rng, mutViewValue(Dest, Idxs));
+      return;
+    }
+    int64_t Hi = evalIntExpr(Decl.Comps[Depth].Hi, Ctx);
+    for (int64_t I = 0; I < Hi; ++I) {
+      Ctx.LoopVars[Decl.Comps[Depth].Var] = I;
+      Idxs[Depth] = I;
+      Rec(Depth + 1);
+    }
+    Ctx.LoopVars.erase(Decl.Comps[Depth].Var);
+  };
+  Rec(0);
+  return Status::success();
+}
+
+Status augur::forwardSampleModel(const DensityModel &DM, Env &E, RNG &Rng,
+                                 bool IncludeData) {
+  for (const auto &Decl : DM.TM.M.Decls) {
+    if (Decl.Role == VarRole::Data && !IncludeData) {
+      if (!E.count(Decl.Name))
+        return Status::error(strFormat(
+            "data variable '%s' was not supplied", Decl.Name.c_str()));
+      continue;
+    }
+    AUGUR_RETURN_IF_ERROR(forwardSampleDecl(Decl, DM.TM, E, Rng));
+  }
+  return Status::success();
+}

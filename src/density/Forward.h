@@ -1,0 +1,40 @@
+//===- density/Forward.h - Forward (ancestral) sampling --------*- C++ -*-===//
+///
+/// \file
+/// Forward sampling of a model: allocates storage for every declared
+/// variable (using the flattened representation) and draws it from its
+/// prior in declaration order. Used for (1) initializing the MCMC state,
+/// (2) generating the synthetic datasets of the evaluation section, and
+/// (3) property tests (prior draws must land in support, shapes must
+/// match the declared types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_FORWARD_H
+#define AUGUR_DENSITY_FORWARD_H
+
+#include "density/Eval.h"
+#include "support/RNG.h"
+
+namespace augur {
+
+/// Allocates (without sampling) the value of \p Decl given an
+/// environment containing everything declared before it. Entries are
+/// zero-initialized; discrete entries are 0.
+Result<Value> allocateVar(const ModelDecl &Decl, const TypedModel &TM,
+                          const Env &E);
+
+/// Draws \p Decl from its prior into \p E (which must already bind all
+/// earlier declarations). On return E[Decl.Name] holds the draw.
+Status forwardSampleDecl(const ModelDecl &Decl, const TypedModel &TM, Env &E,
+                         RNG &Rng);
+
+/// Forward-samples the whole model. If \p IncludeData, data variables
+/// are sampled too (synthetic data generation); otherwise they must
+/// already be bound in \p E.
+Status forwardSampleModel(const DensityModel &DM, Env &E, RNG &Rng,
+                          bool IncludeData);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_FORWARD_H

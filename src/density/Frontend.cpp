@@ -1,0 +1,22 @@
+//===- density/Frontend.cpp -----------------------------------*- C++ -*-===//
+
+#include "density/Frontend.h"
+
+using namespace augur;
+
+DensityModel augur::lowerToDensity(TypedModel TM) {
+  DensityModel DM;
+  for (const auto &Decl : TM.M.Decls) {
+    Factor F;
+    for (const auto &C : Decl.Comps)
+      F.Loops.push_back({C.Var, C.Lo, C.Hi});
+    F.D = Decl.D;
+    F.Params = Decl.DistArgs;
+    F.At = makeIndexedVar(Decl.Name, Decl.Indices);
+    F.AtVar = Decl.Name;
+    F.Role = Decl.Role;
+    DM.Joint.Factors.push_back(std::move(F));
+  }
+  DM.TM = std::move(TM);
+  return DM;
+}

@@ -1,0 +1,24 @@
+//===- density/Frontend.h - Model -> Density IL lowering -------*- C++ -*-===//
+///
+/// \file
+/// The compiler frontend (paper Section 3): translates a type-checked
+/// model into its density factorization in the Density IL. Each
+/// declaration `role v[i..] ~ D(args) for comps` becomes one factor
+/// `PROD_{comps} p_D(args)(v[i..])`, mirroring standard statistical
+/// practice of reading a generative model as a product of densities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_DENSITY_FRONTEND_H
+#define AUGUR_DENSITY_FRONTEND_H
+
+#include "density/DensityIR.h"
+
+namespace augur {
+
+/// Lowers \p TM to its density factorization.
+DensityModel lowerToDensity(TypedModel TM);
+
+} // namespace augur
+
+#endif // AUGUR_DENSITY_FRONTEND_H

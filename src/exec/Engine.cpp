@@ -1,0 +1,19 @@
+//===- exec/Engine.cpp ----------------------------------------*- C++ -*-===//
+
+#include "exec/Engine.h"
+
+#include <cassert>
+
+using namespace augur;
+
+Engine::~Engine() = default;
+
+void InterpEngine::runProc(const std::string &Name) {
+  auto It = Procs.find(Name);
+  assert(It != Procs.end() && "unknown procedure");
+  I.run(It->second);
+}
+
+void InterpEngine::addProc(LowppProc P) {
+  Procs[P.Name] = std::move(P);
+}

@@ -1,0 +1,68 @@
+//===- exec/Engine.h - Execution engine abstraction ------------*- C++ -*-===//
+///
+/// \file
+/// The interface MCMC library code uses to run compiled procedures.
+/// Engines own the model state (the environment) and an RNG. The
+/// interpreter engine executes Low++ directly on the CPU; the GPU
+/// device simulator (exec/GpuSim.h) additionally accounts modeled
+/// device time; the native engine (cgen) dlopens compiled C code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_EXEC_ENGINE_H
+#define AUGUR_EXEC_ENGINE_H
+
+#include <map>
+#include <string>
+
+#include "exec/Interp.h"
+
+namespace augur {
+
+/// Abstract execution engine: a named-procedure runner over an owned
+/// environment.
+class Engine {
+public:
+  virtual ~Engine();
+
+  /// Runs the procedure registered under \p Name.
+  virtual void runProc(const std::string &Name) = 0;
+
+  virtual Env &env() = 0;
+  virtual RNG &rng() = 0;
+
+  /// Registers a procedure (engines may lower it further).
+  virtual void addProc(LowppProc P) = 0;
+
+  /// True if a procedure named \p Name is registered.
+  virtual bool hasProc(const std::string &Name) const = 0;
+};
+
+/// CPU engine: direct Low++ interpretation.
+class InterpEngine : public Engine {
+public:
+  explicit InterpEngine(uint64_t Seed) : Rng(Seed), I(Globals, Rng) {}
+
+  void runProc(const std::string &Name) override;
+  Env &env() override { return Globals; }
+  RNG &rng() override { return Rng; }
+  void addProc(LowppProc P) override;
+  bool hasProc(const std::string &Name) const override {
+    return Procs.count(Name) != 0;
+  }
+
+  const LowppProc &proc(const std::string &Name) const {
+    return Procs.at(Name);
+  }
+  ExecCounters &counters() { return I.counters(); }
+
+private:
+  Env Globals;
+  RNG Rng;
+  Interp I;
+  std::map<std::string, LowppProc> Procs;
+};
+
+} // namespace augur
+
+#endif // AUGUR_EXEC_ENGINE_H

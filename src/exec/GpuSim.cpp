@@ -1,0 +1,116 @@
+//===- exec/GpuSim.cpp ----------------------------------------*- C++ -*-===//
+
+#include "exec/GpuSim.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+
+void GpuSimEngine::addProc(LowppProc P) {
+  std::string Name = P.Name;
+  Procs[Name] = std::move(P);
+  Lowered.erase(Name);
+}
+
+void GpuSimEngine::resetModeledTime() {
+  TotalSeconds = 0.0;
+  TotalSerialSeconds = 0.0;
+  for (auto &KV : Lowered) {
+    KV.second.ModeledSeconds = 0.0;
+    KV.second.Launches = 0;
+  }
+}
+
+GpuProcInfo &GpuSimEngine::getOrLower(const std::string &Name) {
+  auto It = Lowered.find(Name);
+  if (It != Lowered.end())
+    return It->second;
+  auto PIt = Procs.find(Name);
+  assert(PIt != Procs.end() && "unknown procedure");
+  GpuProcInfo Info;
+  Info.Blk = optimizeToBlk(PIt->second, Globals, Opts);
+  // Size inference bounds the device memory up front (Section 5.2); a
+  // failure here would mean the program cannot target the GPU at all.
+  Result<MemPlan> Plan = inferSizes(PIt->second, Globals);
+  assert(Plan.ok() && "size inference must succeed for GPU targets");
+  Info.Plan = Plan.take();
+  return Lowered.emplace(Name, std::move(Info)).first->second;
+}
+
+const GpuProcInfo &GpuSimEngine::procInfo(const std::string &Name) {
+  return getOrLower(Name);
+}
+
+double GpuSimEngine::costBlock(const Block &B, double &SerialSeconds) {
+  // Snapshot work counters, execute the block on the host, then charge
+  // the device model for the delta.
+  ExecCounters Before = I.counters();
+  I.clearAtomicHistogram();
+
+  int64_t Trips = 1;
+  if (B.K == Block::Kind::Seq) {
+    I.runBody(B.Body);
+  } else {
+    EvalCtx Ctx(Globals);
+    // Blk ranges never depend on loop variables (top-level blocks).
+    int64_t Lo = evalIntExpr(B.Lo, Ctx);
+    int64_t Hi = evalIntExpr(B.Hi, Ctx);
+    Trips = std::max<int64_t>(Hi - Lo, 0);
+    LStmtPtr Exec = stLoop(B.LK, B.Var, B.Lo, B.Hi, B.Body);
+    std::vector<LStmtPtr> Wrapped = {Exec};
+    I.runBody(Wrapped);
+  }
+
+  const ExecCounters &After = I.counters();
+  double Cycles =
+      double(After.Stmts - Before.Stmts) * Model.OpCycles +
+      double(After.DistOps - Before.DistOps) * Model.DistOpCycles +
+      double(After.LoopIters - Before.LoopIters) * Model.LoopIterCycles;
+
+  SerialSeconds += Cycles / (Model.HostClockGhz * 1e9);
+  double BlockCycles = 0.0;
+  switch (B.K) {
+  case Block::Kind::Seq:
+    BlockCycles = Cycles; // one thread does all the work
+    break;
+  case Block::Kind::Par: {
+    double PerThread = Trips > 0 ? Cycles / double(Trips) : 0.0;
+    double Waves =
+        std::ceil(double(std::max<int64_t>(Trips, 1)) / double(Model.lanes()));
+    BlockCycles = Waves * PerThread;
+    // Contended atomics serialize on the hottest address.
+    uint64_t MaxBucket = 0;
+    for (const auto &KV : I.atomicHistogram())
+      MaxBucket = std::max(MaxBucket, KV.second);
+    BlockCycles += double(MaxBucket) * Model.AtomicSerializeCycles;
+    break;
+  }
+  case Block::Kind::Sum: {
+    double PerThread = Trips > 0 ? Cycles / double(Trips) : 0.0;
+    double Waves =
+        std::ceil(double(std::max<int64_t>(Trips, 1)) / double(Model.lanes()));
+    BlockCycles = Waves * PerThread;
+    // Tree reduction instead of serialized atomics.
+    double Levels = std::ceil(std::log2(double(std::max<int64_t>(Trips, 2))));
+    BlockCycles += Levels * Model.ReduceCyclesPerLevel;
+    break;
+  }
+  }
+  return BlockCycles / (Model.ClockGhz * 1e9) + Model.KernelLaunchUs * 1e-6;
+}
+
+void GpuSimEngine::runProc(const std::string &Name) {
+  GpuProcInfo &Info = getOrLower(Name);
+  I.beginProcScope();
+  double Seconds = 0.0;
+  double SerialSeconds = 0.0;
+  for (const auto &B : Info.Blk.Blocks) {
+    Seconds += costBlock(B, SerialSeconds);
+    ++Info.Launches;
+  }
+  I.endProcScope();
+  Info.ModeledSeconds += Seconds;
+  TotalSeconds += Seconds;
+  TotalSerialSeconds += SerialSeconds;
+}

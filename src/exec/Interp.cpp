@@ -1,0 +1,378 @@
+//===- exec/Interp.cpp ----------------------------------------*- C++ -*-===//
+
+#include "exec/Interp.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "math/Special.h"
+#include "runtime/ConjugateOps.h"
+
+using namespace augur;
+
+namespace {
+
+/// Rough size in bytes of a value's payload (for the local high-water
+/// mark the size-inference tests compare against).
+int64_t payloadBytes(const Value &V) {
+  if (V.isIntScalar() || V.isRealScalar())
+    return 8;
+  if (V.isIntVec())
+    return V.intVec().flatSize() * 8;
+  if (V.isRealVec())
+    return V.realVec().flatSize() * 8;
+  if (V.isMatrix())
+    return V.mat().rows() * V.mat().cols() * 8;
+  return V.matVec().size() * V.matVec().rows() * V.matVec().cols() * 8;
+}
+
+void zeroValue(Value &V) {
+  if (V.isIntScalar())
+    V.intRef() = 0;
+  else if (V.isRealScalar())
+    V.realRef() = 0.0;
+  else if (V.isIntVec())
+    std::fill(V.intVec().flat().begin(), V.intVec().flat().end(), 0);
+  else if (V.isRealVec())
+    std::fill(V.realVec().flat().begin(), V.realVec().flat().end(), 0.0);
+  else if (V.isMatrix())
+    std::fill(V.mat().data(), V.mat().data() + V.mat().rows() * V.mat().cols(),
+              0.0);
+  else if (V.isMatVec()) {
+    MatVec &MV = V.matVec();
+    double *P = MV.at(0);
+    std::fill(P, P + MV.size() * MV.rows() * MV.cols(), 0.0);
+  }
+}
+
+DV readView(const MutDV &M) {
+  switch (M.K) {
+  case DV::Kind::Real:
+    return DV::real(*M.RealSlot);
+  case DV::Kind::Int:
+    return DV::integer(*M.IntSlot);
+  case DV::Kind::Vec:
+    return DV::vec(M.Ptr, M.N);
+  case DV::Kind::Mat:
+    return DV::mat(M.Ptr, M.Rows, M.Cols);
+  }
+  return DV::real(0.0);
+}
+
+
+} // namespace
+
+DV Interp::evalE(const ExprPtr &E) const {
+  return evalExpr(E, Ctx);
+}
+
+int64_t Interp::evalInt(const ExprPtr &E) const {
+  DV V = evalE(E);
+  assert(V.K == DV::Kind::Int && "expected Int");
+  return V.I;
+}
+
+double Interp::evalReal(const ExprPtr &E) const { return evalE(E).asReal(); }
+
+Value &Interp::resolveVar(const std::string &Name) {
+  // Shares the pointer-keyed cache with expression evaluation; writes
+  // through the same stable map nodes.
+  if (const Value *V = Ctx.Lookup(Name))
+    return *const_cast<Value *>(V);
+  // Output scalars (e.g. "ll") are created on first assignment.
+  (*Globals)[Name] = Value::realScalar(0.0);
+  ResolveCache.clear(); // drop the cached negative entry
+  return (*Globals)[Name];
+}
+
+MutDV Interp::resolveDest(const LValue &Dest) {
+  std::vector<int64_t> Idxs;
+  Idxs.reserve(Dest.Idxs.size());
+  for (const auto &E : Dest.Idxs)
+    Idxs.push_back(evalInt(E));
+  return mutViewValue(resolveVar(Dest.Var), Idxs);
+}
+
+void Interp::run(const LowppProc &P) {
+  beginProcScope();
+  execBody(P.Body);
+  endProcScope();
+}
+
+void Interp::beginProcScope() {
+  Locals.clear();
+  ResolveCache.clear();
+  Counters.LocalBytes = 0;
+}
+
+void Interp::endProcScope() {
+  Locals.clear();
+  ResolveCache.clear();
+  Counters.LocalBytes = 0;
+}
+
+void Interp::runBody(const std::vector<LStmtPtr> &Body) {
+  execBody(Body);
+}
+
+void Interp::execBody(const std::vector<LStmtPtr> &Body) {
+  for (const auto &S : Body)
+    execStmt(*S);
+}
+
+void Interp::execDeclLocal(const LStmt &S) {
+  std::vector<int64_t> Dims;
+  for (const auto &D : S.Dims)
+    Dims.push_back(evalInt(D));
+
+  // Reuse an existing allocation of the same shape (zeroed), so locals
+  // declared inside parallel loops do not re-allocate per iteration.
+  auto It = Locals.find(S.LocalName);
+  auto Shaped = [&](const Value &V) -> bool {
+    switch (S.LKind) {
+    case LocalKind::Int:
+      if (Dims.empty())
+        return V.isIntScalar();
+      if (Dims.size() == 1)
+        return V.isIntVec() && !V.intVec().isRagged() &&
+               V.intVec().size() == Dims[0];
+      return false;
+    case LocalKind::Real:
+    case LocalKind::RealVec:
+      if (Dims.empty())
+        return V.isRealScalar();
+      if (Dims.size() == 1)
+        return V.isRealVec() && !V.realVec().isRagged() &&
+               V.realVec().size() == Dims[0];
+      if (Dims.size() == 2)
+        return V.isRealVec() && V.realVec().isRagged() &&
+               V.realVec().size() == Dims[0] &&
+               V.realVec().flatSize() == Dims[0] * Dims[1];
+      return false;
+    case LocalKind::Mat:
+      if (Dims.size() == 1)
+        return V.isMatrix() && V.mat().rows() == Dims[0];
+      if (Dims.size() == 2)
+        return V.isMatVec() && V.matVec().size() == Dims[0] &&
+               V.matVec().rows() == Dims[1];
+      return false;
+    }
+    return false;
+  };
+  if (It != Locals.end() && Shaped(It->second)) {
+    zeroValue(It->second);
+    return;
+  }
+
+  Value V;
+  switch (S.LKind) {
+  case LocalKind::Int:
+    if (Dims.empty())
+      V = Value::intScalar(0);
+    else if (Dims.size() == 1)
+      V = Value::intVec(BlockedInt::flat(Dims[0], 0));
+    else
+      V = Value::intVec(BlockedInt::rect(Dims[0], Dims[1], 0),
+                        Type::vec(Type::vec(Type::intTy())));
+    break;
+  case LocalKind::Real:
+  case LocalKind::RealVec:
+    if (Dims.empty())
+      V = Value::realScalar(0.0);
+    else if (Dims.size() == 1)
+      V = Value::realVec(BlockedReal::flat(Dims[0], 0.0));
+    else
+      V = Value::realVec(BlockedReal::rect(Dims[0], Dims[1], 0.0),
+                         Type::vec(Type::vec(Type::realTy())));
+    break;
+  case LocalKind::Mat:
+    assert(!Dims.empty() && "matrix locals need a dimension");
+    if (Dims.size() == 1)
+      V = Value::matrix(Matrix(Dims[0], Dims[0]));
+    else
+      V = Value::matVec(MatVec(Dims[0], Dims[1], Dims[1]));
+    break;
+  }
+  if (It != Locals.end())
+    Counters.LocalBytes -= payloadBytes(It->second);
+  Counters.LocalBytes += payloadBytes(V);
+  Counters.PeakLocalBytes =
+      std::max(Counters.PeakLocalBytes, Counters.LocalBytes);
+  Locals[S.LocalName] = std::move(V);
+  // A new local may shadow what earlier references resolved to.
+  ResolveCache.clear();
+}
+
+void Interp::execSampleLogits(const LStmt &S) {
+  const Value &Scores = Locals.count(S.ScoresVar)
+                            ? Locals.at(S.ScoresVar)
+                            : Globals->at(S.ScoresVar);
+  int64_t N = evalInt(S.Count);
+  const double *Logits = Scores.realVec().flat().data();
+  assert(Scores.realVec().flatSize() >= N && "score buffer too small");
+  double Max = Logits[0];
+  for (int64_t I = 1; I < N; ++I)
+    Max = std::max(Max, Logits[I]);
+  double Sum = 0.0;
+  for (int64_t I = 0; I < N; ++I)
+    Sum += std::exp(Logits[I] - Max);
+  double U = Rng->uniform() * Sum;
+  int64_t Draw = N - 1;
+  double Acc = 0.0;
+  for (int64_t I = 0; I < N; ++I) {
+    Acc += std::exp(Logits[I] - Max);
+    if (U < Acc) {
+      Draw = I;
+      break;
+    }
+  }
+  MutDV Dest = resolveDest(S.Dest);
+  assert(Dest.K == DV::Kind::Int && "discrete draw needs an Int slot");
+  *Dest.IntSlot = Draw;
+}
+
+void Interp::execConjSample(const LStmt &S) {
+  std::vector<DV> Prior;
+  for (const auto &P : S.PriorParams)
+    Prior.push_back(evalE(P));
+  std::vector<DV> Extra;
+  for (const auto &E : S.Extra)
+    Extra.push_back(evalE(E));
+  std::vector<DV> Stats;
+  for (const auto &R : S.StatRefs)
+    Stats.push_back(readView(resolveDest(R)));
+  MutDV Dest = resolveDest(S.Dest);
+  // ConjKind and ConjOp enumerate the relations in the same order.
+  conjPosteriorSample(static_cast<ConjOp>(S.Conj), Prior, Extra, Stats,
+                      *Rng, Dest);
+}
+
+void Interp::execStmt(const LStmt &S) {
+  ++Counters.Stmts;
+  switch (S.K) {
+  case LStmt::Kind::Assign: {
+    MutDV Dest = resolveDest(S.Dest);
+    DV Rhs = evalE(S.Rhs);
+    if (S.Accum && AtmParDepth > 0)
+      noteAtomic(Dest.K == DV::Kind::Int
+                     ? static_cast<const void *>(Dest.IntSlot)
+                     : static_cast<const void *>(Dest.RealSlot));
+    if (Dest.K == DV::Kind::Int) {
+      assert(Rhs.K == DV::Kind::Int && "Int slot needs Int value");
+      if (S.Accum)
+        *Dest.IntSlot += Rhs.I;
+      else
+        *Dest.IntSlot = Rhs.I;
+      return;
+    }
+    assert(Dest.K == DV::Kind::Real && "assignments are scalar");
+    if (S.Accum)
+      *Dest.RealSlot += Rhs.asReal();
+    else
+      *Dest.RealSlot = Rhs.asReal();
+    return;
+  }
+  case LStmt::Kind::DeclLocal:
+    execDeclLocal(S);
+    return;
+  case LStmt::Kind::If: {
+    for (const auto &G : S.Guards)
+      if (evalInt(G.Lhs) != evalInt(G.Rhs))
+        return;
+    execBody(S.Then);
+    return;
+  }
+  case LStmt::Kind::Loop: {
+    int64_t Lo = evalInt(S.Lo);
+    int64_t Hi = evalInt(S.Hi);
+    if (S.LK == LoopKind::AtmPar)
+      ++AtmParDepth;
+    auto [SlotIt, Inserted] = Ctx.LoopVars.try_emplace(S.LoopVar, 0);
+    std::optional<int64_t> Saved =
+        Inserted ? std::nullopt : std::optional<int64_t>(SlotIt->second);
+    for (int64_t I = Lo; I < Hi; ++I) {
+      SlotIt->second = I;
+      ++Counters.LoopIters;
+      execBody(S.Body);
+    }
+    if (Saved)
+      SlotIt->second = *Saved;
+    else
+      Ctx.LoopVars.erase(SlotIt);
+    if (S.LK == LoopKind::AtmPar)
+      --AtmParDepth;
+    return;
+  }
+  case LStmt::Kind::AccumLL: {
+    ++Counters.DistOps;
+    std::vector<DV> Params;
+    for (const auto &P : S.Params)
+      Params.push_back(evalE(P));
+    DV At = evalE(S.At);
+    MutDV Dest = resolveDest(S.Dest);
+    assert(Dest.K == DV::Kind::Real && "log-likelihood accumulator");
+    if (AtmParDepth > 0)
+      noteAtomic(Dest.RealSlot);
+    *Dest.RealSlot += distLogPdf(S.D, Params, At);
+    return;
+  }
+  case LStmt::Kind::AccumGrad: {
+    ++Counters.DistOps;
+    std::vector<DV> Params;
+    for (const auto &P : S.Params)
+      Params.push_back(evalE(P));
+    DV At = evalE(S.At);
+    double Adj = evalReal(S.Adj);
+    MutDV Dest = resolveDest(S.Dest);
+    double *Out = Dest.K == DV::Kind::Real ? Dest.RealSlot : Dest.Ptr;
+    if (AtmParDepth > 0)
+      noteAtomic(Out);
+    distAccumGrad(S.D, S.GradArg, Params, At, Adj, Out);
+    return;
+  }
+  case LStmt::Kind::Sample: {
+    ++Counters.DistOps;
+    std::vector<DV> Params;
+    for (const auto &P : S.Params)
+      Params.push_back(evalE(P));
+    distSample(S.D, Params, *Rng, resolveDest(S.Dest));
+    return;
+  }
+  case LStmt::Kind::SampleLogits:
+    ++Counters.DistOps;
+    execSampleLogits(S);
+    return;
+  case LStmt::Kind::ConjSample:
+    ++Counters.DistOps;
+    execConjSample(S);
+    return;
+  case LStmt::Kind::AccumVec: {
+    MutDV Dest = resolveDest(S.Dest);
+    assert(Dest.K == DV::Kind::Vec && "vector accumulator");
+    DV Src = evalE(S.Rhs);
+    assert(Src.K == DV::Kind::Vec && Src.N == Dest.N && "shape mismatch");
+    if (AtmParDepth > 0)
+      noteAtomic(Dest.Ptr);
+    for (int64_t I = 0; I < Dest.N; ++I)
+      Dest.Ptr[I] += Src.Ptr[I];
+    return;
+  }
+  case LStmt::Kind::AccumOuter: {
+    MutDV Dest = resolveDest(S.Dest);
+    if (AtmParDepth > 0)
+      noteAtomic(Dest.Ptr);
+    assert(Dest.K == DV::Kind::Mat && "outer-product accumulator");
+    DV Y = evalE(S.OuterY);
+    DV M = evalE(S.OuterMean);
+    assert(Y.K == DV::Kind::Vec && M.K == DV::Kind::Vec &&
+           Y.N == Dest.Rows && M.N == Dest.Rows && "shape mismatch");
+    for (int64_t I = 0; I < Dest.Rows; ++I)
+      for (int64_t J = 0; J < Dest.Cols; ++J)
+        Dest.Ptr[I * Dest.Cols + J] +=
+            (Y.Ptr[I] - M.Ptr[I]) * (Y.Ptr[J] - M.Ptr[J]);
+    return;
+  }
+  }
+  assert(false && "unknown statement kind");
+}

@@ -1,0 +1,132 @@
+//===- exec/Interp.h - Low++ interpreter (CPU engine) ----------*- C++ -*-===//
+///
+/// \file
+/// Direct execution of Low++ procedures over a variable environment.
+/// This is the CPU execution engine: the reference implementation the
+/// native C backend is tested against, and the default engine when
+/// runtime native compilation is not requested.
+///
+/// The interpreter also collects the execution profile the GPU device
+/// simulator consumes (parallel-loop trip counts, atomic-increment
+/// location counts, per-statement operation counts); see exec/GpuSim.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_EXEC_INTERP_H
+#define AUGUR_EXEC_INTERP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "density/Eval.h"
+#include "lowpp/LowppIR.h"
+#include "support/RNG.h"
+
+namespace augur {
+
+/// Counters collected while executing procedures.
+struct ExecCounters {
+  uint64_t Stmts = 0;       ///< statements executed
+  uint64_t DistOps = 0;     ///< ll/grad/samp evaluations
+  uint64_t Atomics = 0;     ///< increments executed under AtmPar
+  uint64_t LoopIters = 0;   ///< loop iterations
+  int64_t LocalBytes = 0;   ///< current local allocation
+  int64_t PeakLocalBytes = 0; ///< high-water mark of local allocation
+
+  void reset() { *this = ExecCounters(); }
+};
+
+/// Executes Low++ procedures against a global environment. Globals are
+/// the model hyper-parameters, data, parameters, and designated output
+/// buffers (e.g. "ll", "adj_<var>"); locals are procedure-scoped.
+class Interp {
+public:
+  Interp(Env &Globals, RNG &Rng)
+      : Globals(&Globals), Rng(&Rng), Ctx(Globals) {
+    // Resolution cache: keyed by the *address* of the name string
+    // inside the (immutable, shared) IR node, so each variable
+    // reference is resolved once per procedure run. std::map nodes are
+    // reference-stable, making the cached Value pointers safe until
+    // locals are torn down (the cache is cleared at proc boundaries).
+    Ctx.Lookup = [this](const std::string &Name) -> const Value * {
+      auto Hit = ResolveCache.find(&Name);
+      if (Hit != ResolveCache.end())
+        return Hit->second;
+      const Value *V = nullptr;
+      auto It = Locals.find(Name);
+      if (It != Locals.end()) {
+        V = &It->second;
+      } else {
+        auto GIt = this->Globals->find(Name);
+        if (GIt != this->Globals->end())
+          V = &GIt->second;
+      }
+      ResolveCache.emplace(&Name, V);
+      return V;
+    };
+  }
+
+  /// Runs \p P to completion. Locals are freed on exit.
+  void run(const LowppProc &P);
+
+  /// Block-scoped execution (used by the GPU device simulator, which
+  /// costs one block at a time but needs procedure-scoped locals).
+  void beginProcScope();
+  void endProcScope();
+  void runBody(const std::vector<LStmtPtr> &Body);
+
+  /// Atomic-address tracking: when enabled, every atomic increment
+  /// under an AtmPar loop records its destination address, giving the
+  /// contention histogram the device model consumes.
+  void setTrackAtomics(bool Track) { TrackAtomics = Track; }
+  void clearAtomicHistogram() { AtomicHist.clear(); }
+  const std::unordered_map<uintptr_t, uint64_t> &atomicHistogram() const {
+    return AtomicHist;
+  }
+
+  ExecCounters &counters() { return Counters; }
+  const ExecCounters &counters() const { return Counters; }
+
+private:
+  void execStmt(const LStmt &S);
+  void execBody(const std::vector<LStmtPtr> &Body);
+
+
+  DV evalE(const ExprPtr &E) const;
+  int64_t evalInt(const ExprPtr &E) const;
+  double evalReal(const ExprPtr &E) const;
+
+  /// Resolves an lvalue to a mutable view (locals shadow globals).
+  MutDV resolveDest(const LValue &Dest);
+  Value &resolveVar(const std::string &Name);
+
+  void execDeclLocal(const LStmt &S);
+  void execConjSample(const LStmt &S);
+  void execSampleLogits(const LStmt &S);
+
+  void noteAtomic(const void *Addr) {
+    ++Counters.Atomics;
+    if (TrackAtomics)
+      ++AtomicHist[reinterpret_cast<uintptr_t>(Addr)];
+  }
+
+  Env *Globals;
+  RNG *Rng;
+  Env Locals;
+  mutable std::unordered_map<const std::string *, const Value *>
+      ResolveCache;
+  /// Persistent evaluation context; loop variables live directly in
+  /// Ctx.LoopVars (rebuilding the context per expression would copy the
+  /// map on every evaluation — the hot path of the whole engine).
+  EvalCtx Ctx;
+  int AtmParDepth = 0;
+  bool TrackAtomics = false;
+  std::unordered_map<uintptr_t, uint64_t> AtomicHist;
+  ExecCounters Counters;
+};
+
+} // namespace augur
+
+#endif // AUGUR_EXEC_INTERP_H

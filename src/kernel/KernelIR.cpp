@@ -1,0 +1,75 @@
+//===- kernel/KernelIR.cpp ------------------------------------*- C++ -*-===//
+
+#include "kernel/KernelIR.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+const char *augur::updateKindName(UpdateKind K) {
+  switch (K) {
+  case UpdateKind::Prop:
+    return "MH";
+  case UpdateKind::FC:
+    return "Gibbs";
+  case UpdateKind::Grad:
+    return "HMC";
+  case UpdateKind::Nuts:
+    return "NUTS";
+  case UpdateKind::Slice:
+    return "Slice";
+  case UpdateKind::ESlice:
+    return "ESlice";
+  }
+  return "<update>";
+}
+
+std::optional<UpdateKind> augur::updateKindByName(const std::string &Name) {
+  if (Name == "MH" || Name == "Prop")
+    return UpdateKind::Prop;
+  if (Name == "Gibbs" || Name == "FC")
+    return UpdateKind::FC;
+  if (Name == "HMC" || Name == "Grad")
+    return UpdateKind::Grad;
+  if (Name == "NUTS")
+    return UpdateKind::Nuts;
+  if (Name == "Slice")
+    return UpdateKind::Slice;
+  if (Name == "ESlice")
+    return UpdateKind::ESlice;
+  return std::nullopt;
+}
+
+std::string BaseUpdate::str() const {
+  std::string Unit = isSingle()
+                         ? "Single(" + Vars[0] + ")"
+                         : "Block(" + joinStrings(Vars, ", ") + ")";
+  std::string Out = std::string(updateKindName(Kind)) + " " + Unit;
+  if (Kind == UpdateKind::FC && Conj)
+    Out += strFormat(" [%s]", conjKindName(Conj->Kind));
+  else if (Kind == UpdateKind::FC)
+    Out += " [enumerated]";
+  return Out;
+}
+
+std::string KernelSchedule::str() const {
+  std::vector<std::string> Parts;
+  for (const auto &U : Updates)
+    Parts.push_back(U.str());
+  return joinStrings(Parts, " (*) ");
+}
+
+BlockCond augur::restrictJoint(const DensityModel &DM,
+                               const std::vector<std::string> &Vars) {
+  BlockCond BC;
+  BC.Vars = Vars;
+  for (const auto &F : DM.Joint.Factors) {
+    for (const auto &V : Vars) {
+      if (F.mentions(V)) {
+        BC.Factors.push_back(F);
+        break;
+      }
+    }
+  }
+  return BC;
+}

@@ -1,0 +1,112 @@
+//===- kernel/KernelIR.h - The Kernel IL -----------------------*- C++ -*-===//
+///
+/// \file
+/// The Kernel IL (paper Fig. 5) encodes the high-level structure of an
+/// MCMC algorithm as a composition of base updates:
+///
+///   sched  ::=  lambda(x...). k
+///   k      ::=  kappa ku alpha  |  k (*) k
+///   ku     ::=  Single(x) | Block(x...)
+///   kappa  ::=  Prop | FC | Grad | Slice | ESlice
+///
+/// A base update is parametric in alpha, the representation of the
+/// proportional conditional it targets. In this implementation alpha is
+/// instantiated in stages: at the middle-end each update carries its
+/// symbolic conditional (Density IL); the backend later attaches the
+/// compiled procedures (Low-- code) that implement the update's
+/// primitives (likelihood, closed-form conditional, gradient — Fig. 7).
+/// Composition (*) is ordered (sequencing is not commutative).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_KERNEL_KERNELIR_H
+#define AUGUR_KERNEL_KERNELIR_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "density/Conditional.h"
+#include "density/Conjugacy.h"
+
+namespace augur {
+
+/// The kind of a base MCMC update (the kappa of Fig. 5). Reflective and
+/// elliptical slice sampling are distinguished because they need
+/// different primitives (Fig. 7).
+enum class UpdateKind {
+  Prop,   ///< Metropolis-Hastings with a proposal (random-walk by default)
+  FC,     ///< closed-form full conditional (Gibbs)
+  Grad,   ///< gradient-based (HMC)
+  Nuts,   ///< No-U-Turn sampler (the paper's footnote-5 prototype)
+  Slice,  ///< reflective slice sampling (uses gradients)
+  ESlice, ///< elliptical slice sampling (requires a Gaussian prior)
+};
+
+/// Surface name used in user schedules ("Gibbs", "HMC", ...).
+const char *updateKindName(UpdateKind K);
+std::optional<UpdateKind> updateKindByName(const std::string &Name);
+
+/// How the full conditional of a Gibbs (FC) update is realized.
+enum class FCStrategy {
+  Conjugate, ///< via a detected conjugacy relation
+  Enumerate, ///< discrete finite support, normalized by direct summation
+};
+
+/// Tuning parameters for gradient-based updates.
+struct HmcSettings {
+  int LeapfrogSteps = 10;
+  double StepSize = 0.05;
+  int MaxNutsDepth = 8; ///< doubling limit for NUTS trajectories
+};
+
+/// Tuning parameters for proposal-based (MH) updates.
+struct PropSettings {
+  double RandomWalkScale = 0.5;
+};
+
+/// The joint restriction of the model density to the factors mentioning
+/// any of a block's variables: what Grad/Slice/ESlice/Prop updates
+/// evaluate and differentiate.
+struct BlockCond {
+  std::vector<std::string> Vars;
+  std::vector<Factor> Factors;
+};
+
+/// One base update kappa ku alpha.
+struct BaseUpdate {
+  UpdateKind Kind;
+  /// Single(x) when size 1; Block(x...) otherwise.
+  std::vector<std::string> Vars;
+
+  /// FC payload: the rewritten conditional plus its realization.
+  std::optional<Conditional> Cond;
+  std::optional<ConjRelation> Conj;
+  FCStrategy Strategy = FCStrategy::Conjugate;
+
+  /// Non-FC payload: the restricted joint density.
+  std::optional<BlockCond> Joint;
+
+  HmcSettings Hmc;
+  PropSettings Prop;
+
+  bool isSingle() const { return Vars.size() == 1; }
+  std::string str() const;
+};
+
+/// A composite kernel: the (*)-composition of base updates, applied
+/// left to right within one MCMC step.
+struct KernelSchedule {
+  std::vector<BaseUpdate> Updates;
+
+  std::string str() const;
+};
+
+/// Builds the restricted joint density for \p Vars (all factors of the
+/// model that mention at least one of them).
+BlockCond restrictJoint(const DensityModel &DM,
+                        const std::vector<std::string> &Vars);
+
+} // namespace augur
+
+#endif // AUGUR_KERNEL_KERNELIR_H

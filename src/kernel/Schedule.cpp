@@ -1,0 +1,266 @@
+//===- kernel/Schedule.cpp ------------------------------------*- C++ -*-===//
+
+#include "kernel/Schedule.h"
+
+#include <algorithm>
+
+#include "lang/Lexer.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+const ModelDecl *declOf(const DensityModel &DM, const std::string &Var) {
+  return DM.TM.M.findDecl(Var);
+}
+
+bool isDiscreteVar(const DensityModel &DM, const std::string &Var) {
+  const ModelDecl *Decl = declOf(DM, Var);
+  return Decl && distInfo(Decl->D).Discrete;
+}
+
+Support varSupport(const DensityModel &DM, const std::string &Var) {
+  const ModelDecl *Decl = declOf(DM, Var);
+  assert(Decl && "support query for unknown variable");
+  return distInfo(Decl->D).Supp;
+}
+
+/// Checks that the restricted joint of \p Vars is differentiable with
+/// respect to each of them (every distribution slot reached by a target
+/// has an implemented gradient).
+Status checkDifferentiable(const BlockCond &BC) {
+  for (const auto &F : BC.Factors) {
+    for (const auto &V : BC.Vars) {
+      if (F.At->mentionsVar(V) && !distHasGrad(F.D, 0))
+        return Status::error(strFormat(
+            "%s has no gradient with respect to its variate (needed "
+            "for '%s')",
+            distInfo(F.D).Name, V.c_str()));
+      for (size_t I = 0; I < F.Params.size(); ++I)
+        if (F.Params[I]->mentionsVar(V) &&
+            !distHasGrad(F.D, static_cast<int>(I) + 1))
+          return Status::error(strFormat(
+              "%s has no gradient with respect to parameter %zu (needed "
+              "for '%s')",
+              distInfo(F.D).Name, I + 1, V.c_str()));
+    }
+  }
+  return Status::success();
+}
+
+Status checkContinuousAndUnconstrained(const DensityModel &DM,
+                                       const std::string &Var,
+                                       const char *UpdateName) {
+  if (isDiscreteVar(DM, Var))
+    return Status::error(strFormat("%s cannot be applied to discrete "
+                                   "variable '%s'",
+                                   UpdateName, Var.c_str()));
+  Support S = varSupport(DM, Var);
+  if (S == Support::Simplex || S == Support::PDMatrix)
+    return Status::error(strFormat(
+        "%s cannot be applied to '%s' (simplex/PD-matrix support); use "
+        "Gibbs via its conjugacy relation instead",
+        UpdateName, Var.c_str()));
+  return Status::success();
+}
+
+} // namespace
+
+Result<BaseUpdate> augur::makeBaseUpdate(const DensityModel &DM,
+                                         UpdateKind Kind,
+                                         const std::vector<std::string> &Vars) {
+  if (Vars.empty())
+    return Status::error("a base update needs at least one variable");
+  for (const auto &V : Vars) {
+    const ModelDecl *Decl = declOf(DM, V);
+    if (!Decl)
+      return Status::error(
+          strFormat("unknown variable '%s' in schedule", V.c_str()));
+    if (Decl->Role != VarRole::Param)
+      return Status::error(strFormat(
+          "'%s' is observed data and cannot be updated", V.c_str()));
+  }
+
+  BaseUpdate U;
+  U.Kind = Kind;
+  U.Vars = Vars;
+
+  switch (Kind) {
+  case UpdateKind::FC: {
+    if (Vars.size() != 1)
+      return Status::error("Gibbs updates apply to a single variable");
+    AUGUR_ASSIGN_OR_RETURN(Conditional C, computeConditional(DM, Vars[0]));
+    U.Conj = detectConjugacy(C);
+    if (U.Conj) {
+      U.Strategy = FCStrategy::Conjugate;
+    } else if (isDiscreteVar(DM, Vars[0]) &&
+               varSupport(DM, Vars[0]) == Support::DiscreteFinite) {
+      // Approximate the closed form by direct summation over the
+      // support (paper Section 4.4).
+      U.Strategy = FCStrategy::Enumerate;
+    } else {
+      return Status::error(strFormat(
+          "cannot generate a Gibbs update for '%s': no conjugacy "
+          "relation detected and the support is not finite discrete",
+          Vars[0].c_str()));
+    }
+    U.Cond = std::move(C);
+    return U;
+  }
+  case UpdateKind::Grad:
+  case UpdateKind::Nuts:
+  case UpdateKind::Slice: {
+    const char *Name = updateKindName(Kind);
+    for (const auto &V : Vars)
+      AUGUR_RETURN_IF_ERROR(checkContinuousAndUnconstrained(DM, V, Name));
+    BlockCond BC = restrictJoint(DM, Vars);
+    AUGUR_RETURN_IF_ERROR(checkDifferentiable(BC));
+    U.Joint = std::move(BC);
+    return U;
+  }
+  case UpdateKind::ESlice: {
+    if (Vars.size() != 1)
+      return Status::error(
+          "elliptical slice updates apply to a single variable");
+    const ModelDecl *Decl = declOf(DM, Vars[0]);
+    if (Decl->D != Dist::Normal && Decl->D != Dist::MvNormal)
+      return Status::error(strFormat(
+          "ESlice requires a Gaussian prior on '%s' (found %s)",
+          Vars[0].c_str(), distInfo(Decl->D).Name));
+    for (const auto &Arg : Decl->DistArgs)
+      if (Arg->mentionsVar(Vars[0]))
+        return Status::error("ESlice prior parameters must not mention "
+                             "the target");
+    U.Joint = restrictJoint(DM, Vars);
+    return U;
+  }
+  case UpdateKind::Prop: {
+    for (const auto &V : Vars)
+      AUGUR_RETURN_IF_ERROR(checkContinuousAndUnconstrained(DM, V, "MH"));
+    U.Joint = restrictJoint(DM, Vars);
+    return U;
+  }
+  }
+  return Status::error("unknown update kind");
+}
+
+namespace {
+
+Status checkCoverage(const DensityModel &DM, const KernelSchedule &Sched) {
+  std::vector<std::string> Params = DM.TM.M.paramNames();
+  for (const auto &P : Params) {
+    int Count = 0;
+    for (const auto &U : Sched.Updates)
+      Count += std::count(U.Vars.begin(), U.Vars.end(), P);
+    if (Count == 0)
+      return Status::error(strFormat(
+          "schedule does not cover model parameter '%s'", P.c_str()));
+    if (Count > 1)
+      return Status::error(strFormat(
+          "schedule covers model parameter '%s' %d times", P.c_str(),
+          Count));
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Result<KernelSchedule>
+augur::parseUserSchedule(const DensityModel &DM, const std::string &Text) {
+  AUGUR_ASSIGN_OR_RETURN(std::vector<Token> Toks, tokenize(Text));
+  KernelSchedule Sched;
+  size_t Pos = 0;
+  auto At = [&](Tok K) { return Toks[Pos].K == K; };
+  while (true) {
+    if (!At(Tok::Ident))
+      return Status::error(strFormat(
+          "schedule: expected an update name, found '%s'",
+          Toks[Pos].Text.c_str()));
+    std::optional<UpdateKind> Kind = updateKindByName(Toks[Pos].Text);
+    if (!Kind)
+      return Status::error(strFormat("schedule: unknown update kind '%s'",
+                                     Toks[Pos].Text.c_str()));
+    ++Pos;
+    std::vector<std::string> Vars;
+    if (At(Tok::LParen)) {
+      ++Pos;
+      while (true) {
+        if (!At(Tok::Ident))
+          return Status::error("schedule: expected a variable name");
+        Vars.push_back(Toks[Pos].Text);
+        ++Pos;
+        if (At(Tok::Comma)) {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (!At(Tok::RParen))
+        return Status::error("schedule: expected ')'");
+      ++Pos;
+    } else if (At(Tok::Ident)) {
+      Vars.push_back(Toks[Pos].Text);
+      ++Pos;
+    } else {
+      return Status::error("schedule: expected a variable or '(list)'");
+    }
+    AUGUR_ASSIGN_OR_RETURN(BaseUpdate U, makeBaseUpdate(DM, *Kind, Vars));
+    Sched.Updates.push_back(std::move(U));
+    if (At(Tok::Eof))
+      break;
+    // The composition operator "(*)".
+    if (!(At(Tok::LParen) && Toks[Pos + 1].K == Tok::Star &&
+          Toks[Pos + 2].K == Tok::RParen))
+      return Status::error("schedule: expected '(*)' between updates");
+    Pos += 3;
+  }
+  AUGUR_RETURN_IF_ERROR(checkCoverage(DM, Sched));
+  return Sched;
+}
+
+Result<KernelSchedule> augur::heuristicSchedule(const DensityModel &DM) {
+  KernelSchedule Sched;
+  std::vector<std::string> Remaining;
+
+  // First pass: conjugate Gibbs wherever a relation is detected.
+  for (const auto &Decl : DM.TM.M.Decls) {
+    if (Decl.Role != VarRole::Param)
+      continue;
+    AUGUR_ASSIGN_OR_RETURN(Conditional C,
+                           computeConditional(DM, Decl.Name));
+    if (auto Conj = detectConjugacy(C)) {
+      BaseUpdate U;
+      U.Kind = UpdateKind::FC;
+      U.Vars = {Decl.Name};
+      U.Strategy = FCStrategy::Conjugate;
+      U.Conj = Conj;
+      U.Cond = std::move(C);
+      Sched.Updates.push_back(std::move(U));
+      continue;
+    }
+    Remaining.push_back(Decl.Name);
+  }
+
+  // Second pass: enumerated Gibbs for the remaining finite discrete.
+  std::vector<std::string> Continuous;
+  for (const auto &Var : Remaining) {
+    if (isDiscreteVar(DM, Var) &&
+        varSupport(DM, Var) == Support::DiscreteFinite) {
+      AUGUR_ASSIGN_OR_RETURN(BaseUpdate U,
+                             makeBaseUpdate(DM, UpdateKind::FC, {Var}));
+      Sched.Updates.push_back(std::move(U));
+      continue;
+    }
+    Continuous.push_back(Var);
+  }
+
+  // Third pass: one HMC block over everything still uncovered.
+  if (!Continuous.empty()) {
+    AUGUR_ASSIGN_OR_RETURN(
+        BaseUpdate U, makeBaseUpdate(DM, UpdateKind::Grad, Continuous));
+    Sched.Updates.push_back(std::move(U));
+  }
+  AUGUR_RETURN_IF_ERROR(checkCoverage(DM, Sched));
+  return Sched;
+}

@@ -1,0 +1,45 @@
+//===- kernel/Schedule.h - Schedules: parsing, heuristic, checks -*- C++ -===//
+///
+/// \file
+/// Building a Kernel IL program for a model (paper Section 4.2). A user
+/// may supply a schedule in the mini-language of Fig. 2:
+///
+///   "ESlice mu (*) Gibbs z"
+///   "HMC (sigma2, b, theta)"
+///
+/// (updates composed with "(*)", block updates parenthesized). The
+/// compiler checks it can realize the requested schedule and fails
+/// otherwise. Without a user schedule, the selection heuristic applies:
+/// conjugate parameters get Gibbs; remaining discrete parameters get
+/// enumerated Gibbs; remaining continuous parameters are grouped into a
+/// single HMC update.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_KERNEL_SCHEDULE_H
+#define AUGUR_KERNEL_SCHEDULE_H
+
+#include "density/DensityIR.h"
+#include "kernel/KernelIR.h"
+#include "support/Result.h"
+
+namespace augur {
+
+/// Parses and validates \p Text against \p DM, producing the Kernel IL
+/// program with conditionals attached. Every model parameter must be
+/// covered by exactly one update.
+Result<KernelSchedule> parseUserSchedule(const DensityModel &DM,
+                                         const std::string &Text);
+
+/// The automatic schedule heuristic of Section 4.2.
+Result<KernelSchedule> heuristicSchedule(const DensityModel &DM);
+
+/// Validates that \p Kind can be applied to \p Vars in \p DM; on success
+/// returns the fully-populated base update. This is the extension point
+/// for new base updates (Section 7.1).
+Result<BaseUpdate> makeBaseUpdate(const DensityModel &DM, UpdateKind Kind,
+                                  const std::vector<std::string> &Vars);
+
+} // namespace augur
+
+#endif // AUGUR_KERNEL_SCHEDULE_H

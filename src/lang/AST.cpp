@@ -1,0 +1,35 @@
+//===- lang/AST.cpp -------------------------------------------*- C++ -*-===//
+
+#include "lang/AST.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+std::string augur::printModel(const Model &M) {
+  std::string Out = "(" + joinStrings(M.Hypers, ", ") + ") => {\n";
+  for (const auto &Decl : M.Decls) {
+    Out += "  ";
+    Out += Decl.Role == VarRole::Param ? "param " : "data ";
+    Out += Decl.Name;
+    for (const auto &Idx : Decl.Indices)
+      Out += "[" + Idx + "]";
+    Out += " ~ ";
+    Out += distInfo(Decl.D).Name;
+    std::vector<std::string> Args;
+    for (const auto &Arg : Decl.DistArgs)
+      Args.push_back(Arg->str());
+    Out += "(" + joinStrings(Args, ", ") + ")";
+    if (!Decl.Comps.empty()) {
+      Out += "\n    for ";
+      std::vector<std::string> Comps;
+      for (const auto &C : Decl.Comps)
+        Comps.push_back(C.Var + " <- " + C.Lo->str() + " until " +
+                        C.Hi->str());
+      Out += joinStrings(Comps, ", ");
+    }
+    Out += " ;\n";
+  }
+  Out += "}\n";
+  return Out;
+}

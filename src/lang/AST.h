@@ -1,0 +1,86 @@
+//===- lang/AST.h - Modeling language AST ----------------------*- C++ -*-===//
+///
+/// \file
+/// Abstract syntax for the AugurV2 modeling language (paper Fig. 1). A
+/// model closes over its hyper-/meta-parameters and declares a sequence
+/// of random variables, each annotated `param` (latent, inferred) or
+/// `data` (observed, supplied by the user), with parallel comprehensions
+/// binding the index variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LANG_AST_H
+#define AUGUR_LANG_AST_H
+
+#include <string>
+#include <vector>
+
+#include "lang/Expr.h"
+#include "runtime/Distributions.h"
+
+namespace augur {
+
+/// A parallel comprehension binding `Var <- Lo until Hi`. Bounds may
+/// mention hyper-parameters, data (for ragged bounds like N[d]), and
+/// enclosing comprehension variables, but never model parameters, which
+/// keeps the model structure fixed (paper Section 2.2).
+struct Comp {
+  std::string Var;
+  ExprPtr Lo;
+  ExprPtr Hi;
+};
+
+/// The role of a declared random variable.
+enum class VarRole {
+  Param, ///< latent model parameter: inferred, output
+  Data,  ///< observed data: supplied as input
+};
+
+/// One declaration `role name[i]... ~ Dist(args) for i <- lo until hi, ...`.
+struct ModelDecl {
+  VarRole Role;
+  std::string Name;
+  /// Index variables on the left-hand side in nesting order; must match
+  /// the comprehension variables one-for-one (e.g. z[d][j]).
+  std::vector<std::string> Indices;
+  Dist D;
+  std::vector<ExprPtr> DistArgs;
+  std::vector<Comp> Comps;
+};
+
+/// A complete model: formal hyper-parameters (in the order the user
+/// supplies them at compile time) plus the declaration sequence.
+struct Model {
+  std::vector<std::string> Hypers;
+  std::vector<ModelDecl> Decls;
+
+  const ModelDecl *findDecl(const std::string &Name) const {
+    for (const auto &Decl : Decls)
+      if (Decl.Name == Name)
+        return &Decl;
+    return nullptr;
+  }
+
+  std::vector<std::string> paramNames() const {
+    std::vector<std::string> Names;
+    for (const auto &Decl : Decls)
+      if (Decl.Role == VarRole::Param)
+        Names.push_back(Decl.Name);
+    return Names;
+  }
+
+  std::vector<std::string> dataNames() const {
+    std::vector<std::string> Names;
+    for (const auto &Decl : Decls)
+      if (Decl.Role == VarRole::Data)
+        Names.push_back(Decl.Name);
+    return Names;
+  }
+};
+
+/// Renders a model back to surface syntax (round-trip tested).
+std::string printModel(const Model &M);
+
+} // namespace augur
+
+#endif // AUGUR_LANG_AST_H

@@ -1,0 +1,217 @@
+//===- lang/Expr.cpp ------------------------------------------*- C++ -*-===//
+
+#include "lang/Expr.h"
+
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+const char *augur::primOpName(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Add:
+    return "+";
+  case PrimOp::Sub:
+    return "-";
+  case PrimOp::Mul:
+    return "*";
+  case PrimOp::Div:
+    return "/";
+  case PrimOp::Neg:
+    return "neg";
+  case PrimOp::Exp:
+    return "exp";
+  case PrimOp::Log:
+    return "log";
+  case PrimOp::Sqrt:
+    return "sqrt";
+  case PrimOp::Sigmoid:
+    return "sigmoid";
+  case PrimOp::Dot:
+    return "dot";
+  case PrimOp::Len:
+    return "len";
+  case PrimOp::Rows:
+    return "rows";
+  }
+  return "<op>";
+}
+
+std::optional<PrimOp> augur::primOpByName(const std::string &Name) {
+  if (Name == "exp")
+    return PrimOp::Exp;
+  if (Name == "log")
+    return PrimOp::Log;
+  if (Name == "sqrt")
+    return PrimOp::Sqrt;
+  if (Name == "sigmoid")
+    return PrimOp::Sigmoid;
+  if (Name == "dot")
+    return PrimOp::Dot;
+  return std::nullopt;
+}
+
+ExprPtr Expr::intLit(int64_t V) {
+  auto E = ExprPtr(new Expr(Kind::IntLit));
+  E->IntVal = V;
+  return E;
+}
+
+ExprPtr Expr::realLit(double V) {
+  auto E = ExprPtr(new Expr(Kind::RealLit));
+  E->RealVal = V;
+  return E;
+}
+
+ExprPtr Expr::var(std::string Name) {
+  auto E = ExprPtr(new Expr(Kind::Var));
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::index(ExprPtr Base, ExprPtr Idx) {
+  auto E = ExprPtr(new Expr(Kind::Index));
+  E->Args = {std::move(Base), std::move(Idx)};
+  return E;
+}
+
+ExprPtr Expr::prim(PrimOp Op, std::vector<ExprPtr> Args) {
+  auto E = ExprPtr(new Expr(Kind::Prim));
+  E->Op = Op;
+  E->Args = std::move(Args);
+  return E;
+}
+
+bool Expr::structEq(const Expr &A, const Expr &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Kind::IntLit:
+    return A.IntVal == B.IntVal;
+  case Kind::RealLit:
+    return A.RealVal == B.RealVal;
+  case Kind::Var:
+    return A.Name == B.Name;
+  case Kind::Index:
+  case Kind::Prim:
+    if (A.K == Kind::Prim && A.Op != B.Op)
+      return false;
+    if (A.Args.size() != B.Args.size())
+      return false;
+    for (size_t I = 0; I < A.Args.size(); ++I)
+      if (!structEq(*A.Args[I], *B.Args[I]))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+bool Expr::mentionsVar(const std::string &VarName) const {
+  if (K == Kind::Var)
+    return Name == VarName;
+  for (const auto &Arg : Args)
+    if (Arg->mentionsVar(VarName))
+      return true;
+  return false;
+}
+
+void Expr::collectVars(std::vector<std::string> &Out) const {
+  if (K == Kind::Var) {
+    Out.push_back(Name);
+    return;
+  }
+  for (const auto &Arg : Args)
+    Arg->collectVars(Out);
+}
+
+std::string Expr::str() const {
+  switch (K) {
+  case Kind::IntLit:
+    return strFormat("%lld", static_cast<long long>(IntVal));
+  case Kind::RealLit:
+    return strFormat("%g", RealVal);
+  case Kind::Var:
+    return Name;
+  case Kind::Index:
+    return Args[0]->str() + "[" + Args[1]->str() + "]";
+  case Kind::Prim: {
+    if (Op == PrimOp::Add || Op == PrimOp::Sub || Op == PrimOp::Mul ||
+        Op == PrimOp::Div) {
+      assert(Args.size() == 2 && "binary operator arity");
+      return "(" + Args[0]->str() + " " + primOpName(Op) + " " +
+             Args[1]->str() + ")";
+    }
+    if (Op == PrimOp::Neg)
+      return "(-" + Args[0]->str() + ")";
+    std::vector<std::string> Parts;
+    for (const auto &Arg : Args)
+      Parts.push_back(Arg->str());
+    return std::string(primOpName(Op)) + "(" + joinStrings(Parts, ", ") + ")";
+  }
+  }
+  return "<expr>";
+}
+
+ExprPtr augur::substExpr(const ExprPtr &E, const ExprPtr &Pattern,
+                         const ExprPtr &Replacement) {
+  if (Expr::structEq(E, Pattern))
+    return Replacement;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+  case Expr::Kind::Var:
+    return E;
+  case Expr::Kind::Index: {
+    ExprPtr Base = substExpr(E->base(), Pattern, Replacement);
+    ExprPtr Idx = substExpr(E->idx(), Pattern, Replacement);
+    if (Base == E->base() && Idx == E->idx())
+      return E;
+    return Expr::index(std::move(Base), std::move(Idx));
+  }
+  case Expr::Kind::Prim: {
+    bool Changed = false;
+    std::vector<ExprPtr> Args;
+    Args.reserve(E->args().size());
+    for (const auto &Arg : E->args()) {
+      Args.push_back(substExpr(Arg, Pattern, Replacement));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return Expr::prim(E->primOp(), std::move(Args));
+  }
+  }
+  return E;
+}
+
+ExprPtr augur::substVar(const ExprPtr &E, const std::string &Name,
+                        const ExprPtr &Replacement) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+    return E;
+  case Expr::Kind::Var:
+    return E->varName() == Name ? Replacement : E;
+  case Expr::Kind::Index: {
+    ExprPtr Base = substVar(E->base(), Name, Replacement);
+    ExprPtr Idx = substVar(E->idx(), Name, Replacement);
+    if (Base == E->base() && Idx == E->idx())
+      return E;
+    return Expr::index(std::move(Base), std::move(Idx));
+  }
+  case Expr::Kind::Prim: {
+    bool Changed = false;
+    std::vector<ExprPtr> Args;
+    Args.reserve(E->args().size());
+    for (const auto &Arg : E->args()) {
+      Args.push_back(substVar(Arg, Name, Replacement));
+      Changed |= Args.back() != Arg;
+    }
+    if (!Changed)
+      return E;
+    return Expr::prim(E->primOp(), std::move(Args));
+  }
+  }
+  return E;
+}

@@ -1,0 +1,120 @@
+//===- lang/Expr.h - Shared expression IR ----------------------*- C++ -*-===//
+///
+/// \file
+/// The expression language `e` shared by the modeling language and the
+/// Density IL (paper Fig. 4): variables, literals, primitive operations
+/// `opn(e...)`, and indexing `e[e]`. Expressions are pure; distributions
+/// never appear inside them (a distribution application is a density
+/// function, not an expression).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LANG_EXPR_H
+#define AUGUR_LANG_EXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/Type.h"
+
+namespace augur {
+
+/// Primitive (deterministic) operations usable in model expressions.
+enum class PrimOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Exp,
+  Log,
+  Sqrt,
+  Sigmoid, ///< logistic function
+  Dot,     ///< inner product of two Vec Real
+  Len,     ///< length of a vector (generated code only, not surface syntax)
+  Rows,    ///< row count of a matrix (generated code only)
+};
+
+/// Surface name of \p Op ("+" or "sigmoid", ...).
+const char *primOpName(PrimOp Op);
+
+/// Looks up a named builtin function (not the infix operators).
+std::optional<PrimOp> primOpByName(const std::string &Name);
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// An expression node. Immutable after construction; nodes are shared
+/// freely via ExprPtr (the rewrite passes build new spines and share
+/// unchanged subtrees).
+class Expr {
+public:
+  enum class Kind { IntLit, RealLit, Var, Index, Prim };
+
+  static ExprPtr intLit(int64_t V);
+  static ExprPtr realLit(double V);
+  static ExprPtr var(std::string Name);
+  static ExprPtr index(ExprPtr Base, ExprPtr Idx);
+  static ExprPtr prim(PrimOp Op, std::vector<ExprPtr> Args);
+
+  // Convenience builders used heavily by lowering code.
+  static ExprPtr add(ExprPtr A, ExprPtr B) {
+    return prim(PrimOp::Add, {std::move(A), std::move(B)});
+  }
+  static ExprPtr mul(ExprPtr A, ExprPtr B) {
+    return prim(PrimOp::Mul, {std::move(A), std::move(B)});
+  }
+
+  Kind kind() const { return K; }
+
+  int64_t intValue() const { return IntVal; }
+  double realValue() const { return RealVal; }
+  const std::string &varName() const { return Name; }
+  const ExprPtr &base() const { return Args[0]; }  // Index
+  const ExprPtr &idx() const { return Args[1]; }   // Index
+  PrimOp primOp() const { return Op; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  /// Structural equality (used by the factoring rewrite to compare
+  /// comprehension bounds, paper Section 3.3).
+  static bool structEq(const Expr &A, const Expr &B);
+  static bool structEq(const ExprPtr &A, const ExprPtr &B) {
+    return structEq(*A, *B);
+  }
+
+  /// True if the variable \p Name occurs anywhere in the expression.
+  bool mentionsVar(const std::string &Name) const;
+
+  /// Collects the names of all variables mentioned.
+  void collectVars(std::vector<std::string> &Out) const;
+
+  /// Renders as surface syntax, e.g. "mu[z[n]]".
+  std::string str() const;
+
+private:
+  explicit Expr(Kind K) : K(K) {}
+
+  Kind K;
+  int64_t IntVal = 0;
+  double RealVal = 0.0;
+  std::string Name;           // Var
+  PrimOp Op = PrimOp::Add;    // Prim
+  std::vector<ExprPtr> Args;  // Prim args; for Index: {Base, Idx}
+};
+
+/// Substitutes variable \p Name with \p Replacement throughout \p E,
+/// returning a new expression (shares unchanged subtrees).
+ExprPtr substVar(const ExprPtr &E, const std::string &Name,
+                 const ExprPtr &Replacement);
+
+/// Replaces every subtree of \p E structurally equal to \p Pattern with
+/// \p Replacement (outermost match wins; shares unchanged subtrees).
+ExprPtr substExpr(const ExprPtr &E, const ExprPtr &Pattern,
+                  const ExprPtr &Replacement);
+
+} // namespace augur
+
+#endif // AUGUR_LANG_EXPR_H

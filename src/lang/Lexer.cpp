@@ -1,0 +1,205 @@
+//===- lang/Lexer.cpp -----------------------------------------*- C++ -*-===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipWhitespaceAndComments();
+      if (atEnd()) {
+        Toks.push_back(make(Tok::Eof, ""));
+        return Toks;
+      }
+      AUGUR_ASSIGN_OR_RETURN(Token T, next());
+      Toks.push_back(std::move(T));
+    }
+  }
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return atEnd() ? '\0' : Src[Pos]; }
+  char peekAt(size_t Off) const {
+    return Pos + Off >= Src.size() ? '\0' : Src[Pos + Off];
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAt(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Tok K, std::string Text) {
+    Token T;
+    T.K = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Col = Col;
+    return T;
+  }
+
+  Result<Token> next() {
+    int StartLine = Line, StartCol = Col;
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdent();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(/*Negative=*/false);
+    advance();
+    auto Punct = [&](Tok K, const char *Text) {
+      Token T = make(K, Text);
+      T.Line = StartLine;
+      T.Col = StartCol;
+      return T;
+    };
+    switch (C) {
+    case '(':
+      return Punct(Tok::LParen, "(");
+    case ')':
+      return Punct(Tok::RParen, ")");
+    case '{':
+      return Punct(Tok::LBrace, "{");
+    case '}':
+      return Punct(Tok::RBrace, "}");
+    case '[':
+      return Punct(Tok::LBracket, "[");
+    case ']':
+      return Punct(Tok::RBracket, "]");
+    case ',':
+      return Punct(Tok::Comma, ",");
+    case ';':
+      return Punct(Tok::Semi, ";");
+    case '~':
+      return Punct(Tok::Tilde, "~");
+    case '+':
+      return Punct(Tok::Plus, "+");
+    case '*':
+      return Punct(Tok::Star, "*");
+    case '/':
+      return Punct(Tok::Slash, "/");
+    case '=':
+      if (peek() == '>') {
+        advance();
+        return Punct(Tok::Arrow, "=>");
+      }
+      return Punct(Tok::Equals, "=");
+    case '<':
+      if (peek() == '-') {
+        advance();
+        return Punct(Tok::LeftArrow, "<-");
+      }
+      break;
+    case '-':
+      return Punct(Tok::Minus, "-");
+    default:
+      break;
+    }
+    return Status::error(strFormat("line %d:%d: unexpected character '%c'",
+                                   StartLine, StartCol, C));
+  }
+
+  Result<Token> lexIdent() {
+    int StartLine = Line, StartCol = Col;
+    std::string Text;
+    while (!atEnd() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_'))
+      Text.push_back(advance());
+    Tok K = Tok::Ident;
+    if (Text == "param")
+      K = Tok::KwParam;
+    else if (Text == "data")
+      K = Tok::KwData;
+    else if (Text == "let")
+      K = Tok::KwLet;
+    else if (Text == "for")
+      K = Tok::KwFor;
+    else if (Text == "until")
+      K = Tok::KwUntil;
+    Token T = make(K, std::move(Text));
+    T.Line = StartLine;
+    T.Col = StartCol;
+    return T;
+  }
+
+  Result<Token> lexNumber(bool Negative) {
+    int StartLine = Line, StartCol = Col;
+    std::string Text;
+    if (Negative)
+      Text.push_back('-');
+    bool IsReal = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    if (peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peekAt(1)))) {
+      IsReal = true;
+      Text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Off = 1;
+      if (peekAt(Off) == '+' || peekAt(Off) == '-')
+        ++Off;
+      if (std::isdigit(static_cast<unsigned char>(peekAt(Off)))) {
+        IsReal = true;
+        Text.push_back(advance()); // e
+        if (peek() == '+' || peek() == '-')
+          Text.push_back(advance());
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          Text.push_back(advance());
+      }
+    }
+    Token T = make(IsReal ? Tok::RealLit : Tok::IntLit, Text);
+    T.Line = StartLine;
+    T.Col = StartCol;
+    if (IsReal)
+      T.RealVal = std::strtod(Text.c_str(), nullptr);
+    else
+      T.IntVal = std::strtoll(Text.c_str(), nullptr, 10);
+    return T;
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+} // namespace
+
+Result<std::vector<Token>> augur::tokenize(const std::string &Source) {
+  return Lexer(Source).run();
+}

@@ -1,0 +1,65 @@
+//===- lang/Lexer.h - Modeling language lexer ------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the modeling language and the schedule mini-language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LANG_LEXER_H
+#define AUGUR_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/Result.h"
+
+namespace augur {
+
+/// Token kinds. Keywords are recognized from identifiers by the lexer.
+enum class Tok {
+  Ident,
+  IntLit,
+  RealLit,
+  // Keywords.
+  KwParam,
+  KwData,
+  KwLet,
+  KwFor,
+  KwUntil,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Tilde,
+  Equals,    ///< "=" (let bindings)
+  Arrow,     ///< "=>"
+  LeftArrow, ///< "<-"
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Eof,
+};
+
+/// A token with its source location (1-based line/column) for diagnostics.
+struct Token {
+  Tok K;
+  std::string Text;
+  int64_t IntVal = 0;
+  double RealVal = 0.0;
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Tokenizes \p Source. Comments run from "//" to end of line.
+Result<std::vector<Token>> tokenize(const std::string &Source);
+
+} // namespace augur
+
+#endif // AUGUR_LANG_LEXER_H

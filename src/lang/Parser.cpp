@@ -1,0 +1,279 @@
+//===- lang/Parser.cpp ----------------------------------------*- C++ -*-===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  Result<Model> parseModel() {
+    Model M;
+    AUGUR_RETURN_IF_ERROR(expect(Tok::LParen, "'(' opening the formals"));
+    if (!at(Tok::RParen)) {
+      while (true) {
+        AUGUR_ASSIGN_OR_RETURN(std::string Name, expectIdent("formal name"));
+        M.Hypers.push_back(std::move(Name));
+        if (!at(Tok::Comma))
+          break;
+        advance();
+      }
+    }
+    AUGUR_RETURN_IF_ERROR(expect(Tok::RParen, "')' closing the formals"));
+    AUGUR_RETURN_IF_ERROR(expect(Tok::Arrow, "'=>' after the formals"));
+    AUGUR_RETURN_IF_ERROR(expect(Tok::LBrace, "'{' opening the model body"));
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::KwLet)) {
+        // Deterministic transformation (paper Section 2.2): inlined by
+        // substitution into every later expression, like the Density
+        // IL's let-binding after normalization.
+        advance();
+        AUGUR_ASSIGN_OR_RETURN(std::string Name,
+                               expectIdent("let-bound name"));
+        AUGUR_RETURN_IF_ERROR(expect(Tok::Equals, "'=' in let binding"));
+        AUGUR_ASSIGN_OR_RETURN(ExprPtr Body, parseExpr());
+        AUGUR_RETURN_IF_ERROR(
+            expect(Tok::Semi, "';' ending the let binding"));
+        // Earlier lets may appear in this body.
+        for (const auto &L : Lets)
+          Body = substVar(Body, L.first, L.second);
+        Lets.emplace_back(std::move(Name), std::move(Body));
+        continue;
+      }
+      AUGUR_ASSIGN_OR_RETURN(ModelDecl Decl, parseDecl());
+      for (const auto &L : Lets) {
+        for (auto &Arg : Decl.DistArgs)
+          Arg = substVar(Arg, L.first, L.second);
+        for (auto &C : Decl.Comps) {
+          C.Lo = substVar(C.Lo, L.first, L.second);
+          C.Hi = substVar(C.Hi, L.first, L.second);
+        }
+      }
+      M.Decls.push_back(std::move(Decl));
+    }
+    advance(); // consume '}'
+    AUGUR_RETURN_IF_ERROR(expect(Tok::Eof, "end of input after the model"));
+    return M;
+  }
+
+  Result<ExprPtr> parseTopExpr() {
+    AUGUR_ASSIGN_OR_RETURN(ExprPtr E, parseExpr());
+    AUGUR_RETURN_IF_ERROR(expect(Tok::Eof, "end of expression"));
+    return E;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(Tok K) const { return cur().K == K; }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+
+  Status errorHere(const std::string &What) const {
+    return Status::error(strFormat("line %d:%d: expected %s, found '%s'",
+                                   cur().Line, cur().Col, What.c_str(),
+                                   cur().Text.c_str()));
+  }
+
+  Status expect(Tok K, const std::string &What) {
+    if (!at(K))
+      return errorHere(What);
+    advance();
+    return Status::success();
+  }
+
+  Result<std::string> expectIdent(const std::string &What) {
+    if (!at(Tok::Ident))
+      return errorHere(What);
+    std::string Name = cur().Text;
+    advance();
+    return Name;
+  }
+
+  // decl := ('param' | 'data') ident ('[' ident ']')* '~' Dist '(' args ')'
+  //         ('for' comp (',' comp)*)? ';'
+  Result<ModelDecl> parseDecl() {
+    ModelDecl Decl;
+    if (at(Tok::KwParam))
+      Decl.Role = VarRole::Param;
+    else if (at(Tok::KwData))
+      Decl.Role = VarRole::Data;
+    else
+      return errorHere("'param' or 'data'");
+    advance();
+    AUGUR_ASSIGN_OR_RETURN(Decl.Name, expectIdent("variable name"));
+    while (at(Tok::LBracket)) {
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(std::string Idx,
+                             expectIdent("index variable"));
+      Decl.Indices.push_back(std::move(Idx));
+      AUGUR_RETURN_IF_ERROR(expect(Tok::RBracket, "']'"));
+    }
+    AUGUR_RETURN_IF_ERROR(expect(Tok::Tilde, "'~'"));
+    AUGUR_ASSIGN_OR_RETURN(std::string DistName,
+                           expectIdent("distribution name"));
+    std::optional<Dist> D = distByName(DistName);
+    if (!D)
+      return Status::error(
+          strFormat("unknown distribution '%s'", DistName.c_str()));
+    Decl.D = *D;
+    AUGUR_RETURN_IF_ERROR(expect(Tok::LParen, "'(' opening arguments"));
+    if (!at(Tok::RParen)) {
+      while (true) {
+        AUGUR_ASSIGN_OR_RETURN(ExprPtr Arg, parseExpr());
+        Decl.DistArgs.push_back(std::move(Arg));
+        if (!at(Tok::Comma))
+          break;
+        advance();
+      }
+    }
+    AUGUR_RETURN_IF_ERROR(expect(Tok::RParen, "')' closing arguments"));
+    if (at(Tok::KwFor)) {
+      advance();
+      while (true) {
+        Comp C;
+        AUGUR_ASSIGN_OR_RETURN(C.Var, expectIdent("comprehension variable"));
+        AUGUR_RETURN_IF_ERROR(expect(Tok::LeftArrow, "'<-'"));
+        AUGUR_ASSIGN_OR_RETURN(C.Lo, parseExpr());
+        AUGUR_RETURN_IF_ERROR(expect(Tok::KwUntil, "'until'"));
+        AUGUR_ASSIGN_OR_RETURN(C.Hi, parseExpr());
+        Decl.Comps.push_back(std::move(C));
+        if (!at(Tok::Comma))
+          break;
+        advance();
+      }
+    }
+    AUGUR_RETURN_IF_ERROR(expect(Tok::Semi, "';' ending the declaration"));
+    if (Decl.Indices.size() != Decl.Comps.size())
+      return Status::error(strFormat(
+          "declaration of '%s' has %zu indices but %zu comprehensions",
+          Decl.Name.c_str(), Decl.Indices.size(), Decl.Comps.size()));
+    for (size_t I = 0; I < Decl.Indices.size(); ++I)
+      if (Decl.Indices[I] != Decl.Comps[I].Var)
+        return Status::error(strFormat(
+            "index '%s' of '%s' does not match comprehension variable '%s'",
+            Decl.Indices[I].c_str(), Decl.Name.c_str(),
+            Decl.Comps[I].Var.c_str()));
+    return Decl;
+  }
+
+  // Expression grammar with standard precedence:
+  //   expr    := term (('+'|'-') term)*
+  //   term    := factor (('*'|'/') factor)*
+  //   factor  := '-' factor | postfix
+  //   postfix := atom ('[' expr ']')*
+  //   atom    := literal | ident | ident '(' args ')' | '(' expr ')'
+  Result<ExprPtr> parseExpr() {
+    AUGUR_ASSIGN_OR_RETURN(ExprPtr Lhs, parseTerm());
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      PrimOp Op = at(Tok::Plus) ? PrimOp::Add : PrimOp::Sub;
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(ExprPtr Rhs, parseTerm());
+      Lhs = Expr::prim(Op, {std::move(Lhs), std::move(Rhs)});
+    }
+    return Lhs;
+  }
+
+  Result<ExprPtr> parseTerm() {
+    AUGUR_ASSIGN_OR_RETURN(ExprPtr Lhs, parseFactor());
+    while (at(Tok::Star) || at(Tok::Slash)) {
+      PrimOp Op = at(Tok::Star) ? PrimOp::Mul : PrimOp::Div;
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(ExprPtr Rhs, parseFactor());
+      Lhs = Expr::prim(Op, {std::move(Lhs), std::move(Rhs)});
+    }
+    return Lhs;
+  }
+
+  Result<ExprPtr> parseFactor() {
+    if (at(Tok::Minus)) {
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(ExprPtr Operand, parseFactor());
+      // Fold negation of literals so "-1" parses to a literal.
+      if (Operand->kind() == Expr::Kind::IntLit)
+        return Expr::intLit(-Operand->intValue());
+      if (Operand->kind() == Expr::Kind::RealLit)
+        return Expr::realLit(-Operand->realValue());
+      return Expr::prim(PrimOp::Neg, {std::move(Operand)});
+    }
+    return parsePostfix();
+  }
+
+  Result<ExprPtr> parsePostfix() {
+    AUGUR_ASSIGN_OR_RETURN(ExprPtr E, parseAtom());
+    while (at(Tok::LBracket)) {
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(ExprPtr Idx, parseExpr());
+      AUGUR_RETURN_IF_ERROR(expect(Tok::RBracket, "']'"));
+      E = Expr::index(std::move(E), std::move(Idx));
+    }
+    return E;
+  }
+
+  Result<ExprPtr> parseAtom() {
+    if (at(Tok::IntLit)) {
+      int64_t V = cur().IntVal;
+      advance();
+      return Expr::intLit(V);
+    }
+    if (at(Tok::RealLit)) {
+      double V = cur().RealVal;
+      advance();
+      return Expr::realLit(V);
+    }
+    if (at(Tok::LParen)) {
+      advance();
+      AUGUR_ASSIGN_OR_RETURN(ExprPtr E, parseExpr());
+      AUGUR_RETURN_IF_ERROR(expect(Tok::RParen, "')'"));
+      return E;
+    }
+    if (at(Tok::Ident)) {
+      std::string Name = cur().Text;
+      advance();
+      if (!at(Tok::LParen))
+        return Expr::var(std::move(Name));
+      // Builtin function call.
+      std::optional<PrimOp> Op = primOpByName(Name);
+      if (!Op)
+        return Status::error(
+            strFormat("unknown function '%s'", Name.c_str()));
+      advance();
+      std::vector<ExprPtr> Args;
+      if (!at(Tok::RParen)) {
+        while (true) {
+          AUGUR_ASSIGN_OR_RETURN(ExprPtr Arg, parseExpr());
+          Args.push_back(std::move(Arg));
+          if (!at(Tok::Comma))
+            break;
+          advance();
+        }
+      }
+      AUGUR_RETURN_IF_ERROR(expect(Tok::RParen, "')'"));
+      return Expr::prim(*Op, std::move(Args));
+    }
+    return errorHere("an expression");
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::vector<std::pair<std::string, ExprPtr>> Lets;
+};
+
+} // namespace
+
+Result<Model> augur::parseModel(const std::string &Source) {
+  AUGUR_ASSIGN_OR_RETURN(std::vector<Token> Toks, tokenize(Source));
+  return Parser(std::move(Toks)).parseModel();
+}
+
+Result<ExprPtr> augur::parseExpr(const std::string &Source) {
+  AUGUR_ASSIGN_OR_RETURN(std::vector<Token> Toks, tokenize(Source));
+  return Parser(std::move(Toks)).parseTopExpr();
+}

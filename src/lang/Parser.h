@@ -1,0 +1,39 @@
+//===- lang/Parser.h - Modeling language parser ----------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the modeling language of paper Fig. 1:
+///
+///   (K, N, mu_0, Sigma_0, pis, Sigma) => {
+///     param mu[k] ~ MvNormal(mu_0, Sigma_0)
+///       for k <- 0 until K ;
+///     param z[n] ~ Categorical(pis)
+///       for n <- 0 until N ;
+///     data x[n] ~ MvNormal(mu[z[n]], Sigma)
+///       for n <- 0 until N ;
+///   }
+///
+/// Multiple comprehension variables are allowed (`for d <- 0 until D,
+/// j <- 0 until N[d]`), giving nested (possibly ragged) random vectors
+/// such as LDA's z[d][j].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LANG_PARSER_H
+#define AUGUR_LANG_PARSER_H
+
+#include <string>
+
+#include "lang/AST.h"
+#include "support/Result.h"
+
+namespace augur {
+
+/// Parses a model from surface syntax.
+Result<Model> parseModel(const std::string &Source);
+
+/// Parses a standalone expression (exposed for tests).
+Result<ExprPtr> parseExpr(const std::string &Source);
+
+} // namespace augur
+
+#endif // AUGUR_LANG_PARSER_H

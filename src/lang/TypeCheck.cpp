@@ -1,0 +1,193 @@
+//===- lang/TypeCheck.cpp -------------------------------------*- C++ -*-===//
+
+#include "lang/TypeCheck.h"
+
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+const Type &TypedModel::typeOf(const std::string &Name) const {
+  auto It = VarTypes.find(Name);
+  if (It != VarTypes.end())
+    return It->second;
+  auto HIt = HyperTypes.find(Name);
+  assert(HIt != HyperTypes.end() && "unknown variable in typeOf");
+  return HIt->second;
+}
+
+Result<Type> augur::exprType(const ExprPtr &E,
+                             const std::map<std::string, Type> &Env) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Type::intTy();
+  case Expr::Kind::RealLit:
+    return Type::realTy();
+  case Expr::Kind::Var: {
+    auto It = Env.find(E->varName());
+    if (It == Env.end())
+      return Status::error(
+          strFormat("unbound variable '%s'", E->varName().c_str()));
+    return It->second;
+  }
+  case Expr::Kind::Index: {
+    AUGUR_ASSIGN_OR_RETURN(Type BaseTy, exprType(E->base(), Env));
+    AUGUR_ASSIGN_OR_RETURN(Type IdxTy, exprType(E->idx(), Env));
+    if (!IdxTy.isInt())
+      return Status::error(strFormat("index '%s' must be Int, got %s",
+                                     E->idx()->str().c_str(),
+                                     IdxTy.str().c_str()));
+    if (!BaseTy.isVec())
+      return Status::error(strFormat("cannot index non-vector '%s' of %s",
+                                     E->base()->str().c_str(),
+                                     BaseTy.str().c_str()));
+    return BaseTy.elem();
+  }
+  case Expr::Kind::Prim: {
+    std::vector<Type> ArgTys;
+    for (const auto &Arg : E->args()) {
+      AUGUR_ASSIGN_OR_RETURN(Type T, exprType(Arg, Env));
+      ArgTys.push_back(std::move(T));
+    }
+    auto WantScalar = [&](size_t I) -> Status {
+      if (!ArgTys[I].isScalar())
+        return Status::error(strFormat(
+            "operand %zu of '%s' must be a scalar, got %s", I + 1,
+            primOpName(E->primOp()), ArgTys[I].str().c_str()));
+      return Status::success();
+    };
+    switch (E->primOp()) {
+    case PrimOp::Add:
+    case PrimOp::Sub:
+    case PrimOp::Mul:
+    case PrimOp::Div: {
+      if (ArgTys.size() != 2)
+        return Status::error("binary operator expects two operands");
+      AUGUR_RETURN_IF_ERROR(WantScalar(0));
+      AUGUR_RETURN_IF_ERROR(WantScalar(1));
+      if (E->primOp() != PrimOp::Div && ArgTys[0].isInt() &&
+          ArgTys[1].isInt())
+        return Type::intTy();
+      return Type::realTy();
+    }
+    case PrimOp::Neg:
+      if (ArgTys.size() != 1)
+        return Status::error("negation expects one operand");
+      AUGUR_RETURN_IF_ERROR(WantScalar(0));
+      return ArgTys[0];
+    case PrimOp::Exp:
+    case PrimOp::Log:
+    case PrimOp::Sqrt:
+    case PrimOp::Sigmoid:
+      if (ArgTys.size() != 1)
+        return Status::error(strFormat("'%s' expects one operand",
+                                       primOpName(E->primOp())));
+      AUGUR_RETURN_IF_ERROR(WantScalar(0));
+      return Type::realTy();
+    case PrimOp::Len:
+      if (ArgTys.size() != 1 || !ArgTys[0].isVec())
+        return Status::error("len expects one vector operand");
+      return Type::intTy();
+    case PrimOp::Rows:
+      if (ArgTys.size() != 1 || !ArgTys[0].isMat())
+        return Status::error("rows expects one matrix operand");
+      return Type::intTy();
+    case PrimOp::Dot: {
+      if (ArgTys.size() != 2)
+        return Status::error("dot expects two operands");
+      for (size_t I = 0; I < 2; ++I)
+        if (!ArgTys[I].isVec() || !ArgTys[I].elem().isReal())
+          return Status::error(strFormat(
+              "operand %zu of dot must be Vec Real, got %s", I + 1,
+              ArgTys[I].str().c_str()));
+      return Type::realTy();
+    }
+    }
+    return Status::error("unknown primitive operation");
+  }
+  }
+  return Status::error("malformed expression");
+}
+
+/// Checks that every variable mentioned in \p E is bound in \p Env and is
+/// not one of \p Forbidden (used for comprehension bounds, which may not
+/// mention model parameters).
+static Status
+checkBoundMentions(const ExprPtr &E, const std::map<std::string, Type> &Env,
+                   const std::map<std::string, Type> &Forbidden) {
+  std::vector<std::string> Vars;
+  E->collectVars(Vars);
+  for (const auto &V : Vars) {
+    if (Forbidden.count(V))
+      return Status::error(strFormat(
+          "comprehension bound '%s' mentions model parameter '%s'; bounds "
+          "must be constant (paper Section 2.2)",
+          E->str().c_str(), V.c_str()));
+    if (!Env.count(V))
+      return Status::error(strFormat(
+          "comprehension bound '%s' mentions unbound variable '%s'",
+          E->str().c_str(), V.c_str()));
+  }
+  return Status::success();
+}
+
+Result<TypedModel>
+augur::typeCheck(Model M, const std::map<std::string, Type> &HyperTypes) {
+  TypedModel TM;
+  TM.HyperTypes = HyperTypes;
+
+  // Every formal must have a type; every type must belong to a formal.
+  for (const auto &Hyper : M.Hypers)
+    if (!HyperTypes.count(Hyper))
+      return Status::error(strFormat(
+          "no type/value supplied for model formal '%s'", Hyper.c_str()));
+
+  std::map<std::string, Type> Env = HyperTypes;
+  std::map<std::string, Type> ParamsSoFar;
+
+  for (const auto &Decl : M.Decls) {
+    if (Env.count(Decl.Name))
+      return Status::error(
+          strFormat("redeclaration of '%s'", Decl.Name.c_str()));
+
+    // Comprehension bounds: Int-typed, no model parameters. Bounds are
+    // checked in an environment *without* the declaration's own index
+    // variables for the outermost loop, adding each index as we go so a
+    // ragged inner bound may mention outer indices (e.g. N[d]).
+    std::map<std::string, Type> BoundEnv = Env;
+    for (const auto &C : Decl.Comps) {
+      AUGUR_RETURN_IF_ERROR(checkBoundMentions(C.Lo, BoundEnv, ParamsSoFar));
+      AUGUR_RETURN_IF_ERROR(checkBoundMentions(C.Hi, BoundEnv, ParamsSoFar));
+      AUGUR_ASSIGN_OR_RETURN(Type LoTy, exprType(C.Lo, BoundEnv));
+      AUGUR_ASSIGN_OR_RETURN(Type HiTy, exprType(C.Hi, BoundEnv));
+      if (!LoTy.isInt() || !HiTy.isInt())
+        return Status::error(strFormat(
+            "comprehension bounds of '%s' must be Int", Decl.Name.c_str()));
+      BoundEnv.emplace(C.Var, Type::intTy());
+    }
+
+    // Distribution arguments are typed with the indices in scope.
+    std::map<std::string, Type> ArgEnv = Env;
+    for (const auto &C : Decl.Comps)
+      ArgEnv.emplace(C.Var, Type::intTy());
+    std::vector<Type> ArgTys;
+    for (const auto &Arg : Decl.DistArgs) {
+      AUGUR_ASSIGN_OR_RETURN(Type T, exprType(Arg, ArgEnv));
+      ArgTys.push_back(std::move(T));
+    }
+    AUGUR_ASSIGN_OR_RETURN(Type ElemTy, distValueType(Decl.D, ArgTys));
+
+    // The declared variable is a vector nested once per comprehension.
+    Type VarTy = ElemTy;
+    for (size_t I = 0; I < Decl.Comps.size(); ++I)
+      VarTy = Type::vec(VarTy);
+    TM.VarTypes.emplace(Decl.Name, VarTy);
+    Env.emplace(Decl.Name, VarTy);
+    if (Decl.Role == VarRole::Param)
+      ParamsSoFar.emplace(Decl.Name, VarTy);
+  }
+
+  TM.M = std::move(M);
+  return TM;
+}

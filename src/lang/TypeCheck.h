@@ -1,0 +1,48 @@
+//===- lang/TypeCheck.h - Modeling language type checker -------*- C++ -*-===//
+///
+/// \file
+/// Type checking for the modeling language. The AugurV2 compiler runs at
+/// runtime, so hyper-parameter types come from the actual Python-side
+/// arguments (here: from the Values handed to compile()); the checker
+/// takes those types as the initial environment, infers the type of each
+/// declared random variable from its distribution, and enforces the two
+/// paper restrictions (Section 2.2): comprehension bounds cannot mention
+/// model parameters, and types are drawn from Int/Real/Vec/Mat with
+/// matrices of vectors rejected by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LANG_TYPECHECK_H
+#define AUGUR_LANG_TYPECHECK_H
+
+#include <map>
+#include <string>
+
+#include "lang/AST.h"
+#include "support/Result.h"
+
+namespace augur {
+
+/// A model together with the types the checker assigned.
+struct TypedModel {
+  Model M;
+  std::map<std::string, Type> HyperTypes;
+  /// Full nested type of every declared variable (params and data),
+  /// e.g. mu :: Vec (Vec Real) for the GMM means.
+  std::map<std::string, Type> VarTypes;
+
+  const Type &typeOf(const std::string &Name) const;
+};
+
+/// Infers the type of \p E in the environment \p Env (comprehension
+/// variables must already be bound to Int).
+Result<Type> exprType(const ExprPtr &E,
+                      const std::map<std::string, Type> &Env);
+
+/// Type checks \p M against the supplied hyper-parameter types.
+Result<TypedModel> typeCheck(Model M,
+                             const std::map<std::string, Type> &HyperTypes);
+
+} // namespace augur
+
+#endif // AUGUR_LANG_TYPECHECK_H

@@ -1,0 +1,148 @@
+//===- lowmm/SizeInference.cpp --------------------------------*- C++ -*-===//
+
+#include "lowmm/SizeInference.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+struct LoopFrame {
+  std::string Var;
+  ExprPtr Lo, Hi;
+  bool Parallel;
+  int64_t MaxExtent;
+};
+
+class SizeWalker {
+public:
+  explicit SizeWalker(const Env &E) : E(&E) {}
+
+  Status walk(const std::vector<LStmtPtr> &Body) {
+    for (const auto &S : Body)
+      AUGUR_RETURN_IF_ERROR(walkStmt(*S));
+    return Status::success();
+  }
+
+  MemPlan take() { return std::move(Plan); }
+
+private:
+  /// Evaluates \p Ex maximized over all bindings of the enclosing loop
+  /// variables it (transitively) depends on. Loop variables it does not
+  /// depend on are bound to 0.
+  Result<int64_t> maxEval(const ExprPtr &Ex) {
+    EvalCtx Ctx(*E);
+    int64_t Best = 0;
+    bool Any = false;
+    AUGUR_RETURN_IF_ERROR(maxEvalRec(Ex, 0, Ctx, Best, Any));
+    if (!Any)
+      return Status::error(
+          strFormat("size expression '%s' has an empty loop context",
+                    Ex->str().c_str()));
+    return Best;
+  }
+
+  Status maxEvalRec(const ExprPtr &Ex, size_t Depth, EvalCtx &Ctx,
+                    int64_t &Best, bool &Any) {
+    if (Depth == Stack.size()) {
+      int64_t V = evalIntExpr(Ex, Ctx);
+      Best = Any ? std::max(Best, V) : V;
+      Any = true;
+      return Status::success();
+    }
+    const LoopFrame &F = Stack[Depth];
+    // Does anything below (the expression or a deeper loop bound)
+    // depend on this loop variable?
+    bool Relevant = Ex->mentionsVar(F.Var);
+    for (size_t I = Depth + 1; I < Stack.size() && !Relevant; ++I)
+      Relevant = Stack[I].Lo->mentionsVar(F.Var) ||
+                 Stack[I].Hi->mentionsVar(F.Var);
+    if (!Relevant) {
+      Ctx.LoopVars[F.Var] = 0;
+      AUGUR_RETURN_IF_ERROR(maxEvalRec(Ex, Depth + 1, Ctx, Best, Any));
+      Ctx.LoopVars.erase(F.Var);
+      return Status::success();
+    }
+    int64_t Lo = evalIntExpr(F.Lo, Ctx);
+    int64_t Hi = evalIntExpr(F.Hi, Ctx);
+    for (int64_t I = Lo; I < Hi; ++I) {
+      Ctx.LoopVars[F.Var] = I;
+      AUGUR_RETURN_IF_ERROR(maxEvalRec(Ex, Depth + 1, Ctx, Best, Any));
+    }
+    Ctx.LoopVars.erase(F.Var);
+    return Status::success();
+  }
+
+  Status walkStmt(const LStmt &S) {
+    switch (S.K) {
+    case LStmt::Kind::DeclLocal:
+      return planLocal(S);
+    case LStmt::Kind::If:
+      return walk(S.Then);
+    case LStmt::Kind::Loop: {
+      LoopFrame F;
+      F.Var = S.LoopVar;
+      F.Lo = S.Lo;
+      F.Hi = S.Hi;
+      F.Parallel = S.LK != LoopKind::Seq;
+      AUGUR_ASSIGN_OR_RETURN(int64_t HiMax, maxEval(S.Hi));
+      F.MaxExtent = std::max<int64_t>(HiMax, 0);
+      Stack.push_back(std::move(F));
+      Status St = walk(S.Body);
+      Stack.pop_back();
+      return St;
+    }
+    default:
+      return Status::success();
+    }
+  }
+
+  Status planLocal(const LStmt &S) {
+    // Instance size: scalar 8 bytes; vectors: product of dims; matrix
+    // locals square their trailing dim.
+    int64_t ElemCount = 1;
+    for (size_t I = 0; I < S.Dims.size(); ++I) {
+      AUGUR_ASSIGN_OR_RETURN(int64_t D, maxEval(S.Dims[I]));
+      bool TrailingMatDim =
+          S.LKind == LocalKind::Mat && I + 1 == S.Dims.size();
+      ElemCount *= TrailingMatDim ? D * D : D;
+    }
+    int64_t Bytes = ElemCount * 8;
+
+    int64_t Instances = 1;
+    for (const auto &F : Stack)
+      if (F.Parallel)
+        Instances *= std::max<int64_t>(F.MaxExtent, 1);
+
+    for (auto &A : Plan.Allocs) {
+      if (A.Name != S.LocalName)
+        continue;
+      A.InstanceBytes = std::max(A.InstanceBytes, Bytes);
+      A.Instances = std::max(A.Instances, Instances);
+      return Status::success();
+    }
+    PlannedAlloc A;
+    A.Name = S.LocalName;
+    A.Kind = S.LKind;
+    A.InstanceBytes = Bytes;
+    A.Instances = Instances;
+    Plan.Allocs.push_back(std::move(A));
+    return Status::success();
+  }
+
+  const Env *E;
+  std::vector<LoopFrame> Stack;
+  MemPlan Plan;
+};
+
+} // namespace
+
+Result<MemPlan> augur::inferSizes(const LowppProc &P, const Env &E) {
+  SizeWalker W(E);
+  AUGUR_RETURN_IF_ERROR(W.walk(P.Body));
+  return W.take();
+}

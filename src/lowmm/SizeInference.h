@@ -1,0 +1,64 @@
+//===- lowmm/SizeInference.h - The Low-- IL and size inference -*- C++ -*-===//
+///
+/// \file
+/// The Low-- IL (paper Section 5.1-5.2) is structurally the Low++ IL
+/// with memory made explicit. Because AugurV2 models have fixed
+/// structure and the compiler runs with the data sizes in hand, every
+/// local buffer's size can be bounded *statically* (at compile-with-data
+/// time) and allocated up front — a requirement for GPU execution,
+/// where device code cannot allocate.
+///
+/// We represent the explicit-memory form as the Low++ procedure plus a
+/// memory plan: each DeclLocal is assigned a preallocated region whose
+/// size is the buffer size times the number of concurrent instances
+/// (one per thread of every enclosing parallel loop; sequential loops
+/// reuse a single instance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LOWMM_SIZEINFERENCE_H
+#define AUGUR_LOWMM_SIZEINFERENCE_H
+
+#include <string>
+#include <vector>
+
+#include "density/Eval.h"
+#include "lowpp/LowppIR.h"
+
+namespace augur {
+
+/// One planned allocation.
+struct PlannedAlloc {
+  std::string Name;
+  LocalKind Kind = LocalKind::Real;
+  /// Bytes for one instance of the buffer (max over loop contexts when
+  /// its dimensions depend on loop variables, e.g. ragged bounds).
+  int64_t InstanceBytes = 0;
+  /// Upper bound on concurrent instances (product of enclosing
+  /// parallel-loop extents).
+  int64_t Instances = 1;
+
+  int64_t totalBytes() const { return InstanceBytes * Instances; }
+};
+
+/// The memory plan of a procedure in explicit-memory (Low--) form.
+struct MemPlan {
+  std::vector<PlannedAlloc> Allocs;
+
+  /// Total device memory the procedure needs, in bytes.
+  int64_t totalBytes() const {
+    int64_t Sum = 0;
+    for (const auto &A : Allocs)
+      Sum += A.totalBytes();
+    return Sum;
+  }
+};
+
+/// Runs size inference for \p P against the concrete environment \p E
+/// (hyper-parameters and data must be bound; parameters must be
+/// allocated). Fails if some dimension cannot be bounded.
+Result<MemPlan> inferSizes(const LowppProc &P, const Env &E);
+
+} // namespace augur
+
+#endif // AUGUR_LOWMM_SIZEINFERENCE_H

@@ -1,0 +1,240 @@
+//===- lowpp/LowppIR.cpp --------------------------------------*- C++ -*-===//
+
+#include "lowpp/LowppIR.h"
+
+#include "support/Format.h"
+
+using namespace augur;
+
+const char *augur::loopKindName(LoopKind K) {
+  switch (K) {
+  case LoopKind::Seq:
+    return "Seq";
+  case LoopKind::Par:
+    return "Par";
+  case LoopKind::AtmPar:
+    return "AtmPar";
+  }
+  return "<loop>";
+}
+
+std::string LValue::str() const {
+  std::string Out = Var;
+  for (const auto &Idx : Idxs)
+    Out += "[" + Idx->str() + "]";
+  return Out;
+}
+
+namespace {
+
+std::string paramsStr(const std::vector<ExprPtr> &Params) {
+  std::vector<std::string> Parts;
+  for (const auto &P : Params)
+    Parts.push_back(P->str());
+  return joinStrings(Parts, ", ");
+}
+
+std::string indentStr(int Indent) { return std::string(Indent * 2, ' '); }
+
+std::string bodyStr(const std::vector<LStmtPtr> &Body, int Indent) {
+  std::string Out;
+  for (const auto &S : Body)
+    Out += S->str(Indent);
+  return Out;
+}
+
+} // namespace
+
+std::string LStmt::str(int Indent) const {
+  std::string Pad = indentStr(Indent);
+  switch (K) {
+  case Kind::Assign:
+    return Pad + Dest.str() + (Accum ? " += " : " = ") + Rhs->str() + ";\n";
+  case Kind::DeclLocal: {
+    std::string Out = Pad + "local " + LocalName;
+    for (const auto &Dim : Dims)
+      Out += "[" + Dim->str() + "]";
+    switch (LKind) {
+    case LocalKind::Int:
+      Out += " : Int";
+      break;
+    case LocalKind::Real:
+      Out += " : Real";
+      break;
+    case LocalKind::RealVec:
+      Out += " : Vec Real";
+      break;
+    case LocalKind::Mat:
+      Out += " : Mat Real";
+      break;
+    }
+    return Out + ";\n";
+  }
+  case Kind::If: {
+    std::string Conds;
+    for (const auto &G : Guards) {
+      if (!Conds.empty())
+        Conds += " && ";
+      Conds += G.Lhs->str() + " == " + G.Rhs->str();
+    }
+    return Pad + "if (" + Conds + ") {\n" + bodyStr(Then, Indent + 1) +
+           Pad + "}\n";
+  }
+  case Kind::Loop:
+    return Pad +
+           strFormat("loop %s (%s <- %s until %s) {\n", loopKindName(LK),
+                     LoopVar.c_str(), Lo->str().c_str(),
+                     Hi->str().c_str()) +
+           bodyStr(Body, Indent + 1) + Pad + "}\n";
+  case Kind::AccumLL:
+    return Pad + Dest.str() + " += " + distInfo(D).Name + "(" +
+           paramsStr(Params) + ").ll(" + At->str() + ");\n";
+  case Kind::AccumGrad:
+    return Pad + Dest.str() + " += " + Adj->str() + " * " +
+           distInfo(D).Name + "(" + paramsStr(Params) +
+           strFormat(").grad%d(", GradArg) + At->str() + ");\n";
+  case Kind::Sample:
+    return Pad + Dest.str() + " = " + distInfo(D).Name + "(" +
+           paramsStr(Params) + ").samp;\n";
+  case Kind::SampleLogits:
+    return Pad + Dest.str() + " = sample_logits(" + ScoresVar + ", " +
+           Count->str() + ");\n";
+  case Kind::ConjSample: {
+    std::string Stats;
+    for (const auto &S : StatRefs) {
+      if (!Stats.empty())
+        Stats += ", ";
+      Stats += S.str();
+    }
+    std::string ExtraStr = paramsStr(Extra);
+    return Pad + Dest.str() + " = conj[" + conjKindName(Conj) +
+           "](prior: " + paramsStr(PriorParams) + "; lik: " + ExtraStr +
+           "; stats: " + Stats + ");\n";
+  }
+  case Kind::AccumOuter:
+    return Pad + Dest.str() + " += outer(" + OuterY->str() + " - " +
+           OuterMean->str() + ");\n";
+  case Kind::AccumVec:
+    return Pad + Dest.str() + " += vec(" + Rhs->str() + ");\n";
+  }
+  return Pad + "<stmt>;\n";
+}
+
+std::string LowppProc::str() const {
+  std::string Out = Name + "() {\n" + bodyStr(Body, 1) + "}\n";
+  return Out;
+}
+
+LStmtPtr augur::stAssign(LValue Dest, ExprPtr Rhs, bool Accum) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::Assign;
+  S->Dest = std::move(Dest);
+  S->Rhs = std::move(Rhs);
+  S->Accum = Accum;
+  return S;
+}
+
+LStmtPtr augur::stDeclLocal(std::string Name, LocalKind K,
+                            std::vector<ExprPtr> Dims) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::DeclLocal;
+  S->LocalName = std::move(Name);
+  S->LKind = K;
+  S->Dims = std::move(Dims);
+  return S;
+}
+
+LStmtPtr augur::stIf(std::vector<Guard> Guards, std::vector<LStmtPtr> Then) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::If;
+  S->Guards = std::move(Guards);
+  S->Then = std::move(Then);
+  return S;
+}
+
+LStmtPtr augur::stLoop(LoopKind LK, std::string Var, ExprPtr Lo, ExprPtr Hi,
+                       std::vector<LStmtPtr> Body) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::Loop;
+  S->LK = LK;
+  S->LoopVar = std::move(Var);
+  S->Lo = std::move(Lo);
+  S->Hi = std::move(Hi);
+  S->Body = std::move(Body);
+  return S;
+}
+
+LStmtPtr augur::stAccumLL(LValue Dest, Dist D, std::vector<ExprPtr> Params,
+                          ExprPtr At) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::AccumLL;
+  S->Dest = std::move(Dest);
+  S->D = D;
+  S->Params = std::move(Params);
+  S->At = std::move(At);
+  return S;
+}
+
+LStmtPtr augur::stAccumGrad(LValue Dest, Dist D, int GradArg,
+                            std::vector<ExprPtr> Params, ExprPtr At,
+                            ExprPtr Adj) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::AccumGrad;
+  S->Dest = std::move(Dest);
+  S->D = D;
+  S->GradArg = GradArg;
+  S->Params = std::move(Params);
+  S->At = std::move(At);
+  S->Adj = std::move(Adj);
+  return S;
+}
+
+LStmtPtr augur::stSample(LValue Dest, Dist D, std::vector<ExprPtr> Params) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::Sample;
+  S->Dest = std::move(Dest);
+  S->D = D;
+  S->Params = std::move(Params);
+  return S;
+}
+
+LStmtPtr augur::stSampleLogits(LValue Dest, std::string ScoresVar,
+                               ExprPtr Count) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::SampleLogits;
+  S->Dest = std::move(Dest);
+  S->ScoresVar = std::move(ScoresVar);
+  S->Count = std::move(Count);
+  return S;
+}
+
+LStmtPtr augur::stConjSample(ConjKind Kind, LValue Dest,
+                             std::vector<ExprPtr> PriorParams,
+                             std::vector<ExprPtr> Extra,
+                             std::vector<LValue> StatRefs) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::ConjSample;
+  S->Conj = Kind;
+  S->Dest = std::move(Dest);
+  S->PriorParams = std::move(PriorParams);
+  S->Extra = std::move(Extra);
+  S->StatRefs = std::move(StatRefs);
+  return S;
+}
+
+LStmtPtr augur::stAccumVec(LValue DestVec, ExprPtr Src) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::AccumVec;
+  S->Dest = std::move(DestVec);
+  S->Rhs = std::move(Src);
+  return S;
+}
+
+LStmtPtr augur::stAccumOuter(LValue DestMat, ExprPtr Y, ExprPtr Mean) {
+  auto S = std::make_shared<LStmt>();
+  S->K = LStmt::Kind::AccumOuter;
+  S->Dest = std::move(DestMat);
+  S->OuterY = std::move(Y);
+  S->OuterMean = std::move(Mean);
+  return S;
+}

@@ -1,0 +1,163 @@
+//===- lowpp/LowppIR.h - The Low++ IL --------------------------*- C++ -*-===//
+///
+/// \file
+/// The Low++ IL (paper Fig. 6): an imperative language that exposes the
+/// parallelism of an MCMC update but abstracts memory management. Key
+/// features carried over from the paper:
+///
+/// * loops annotated Seq / Par / AtmPar (parallel provided increments
+///   are atomic);
+/// * a dedicated increment-and-assign `x += e` (atomic under AtmPar);
+/// * distribution operations ll / samp / grad-i.
+///
+/// One representational choice: in generated code a distribution
+/// operation is always immediately consumed by an assignment or sample
+/// store, so we model dist ops as dedicated statements (AccumLL,
+/// AccumGrad, Sample) rather than expression nodes; pure expressions
+/// reuse the shared Expr IR. Gradient argument indexing is 0-based with
+/// the variate as argument 0 (see runtime/Distributions.h).
+///
+/// Closed-form conditional *sampling* steps (given computed sufficient
+/// statistics) and a few vector/matrix helpers are runtime library
+/// calls, mirroring the paper's split between compiler-generated
+/// primitives and MCMC library code (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LOWPP_LOWPPIR_H
+#define AUGUR_LOWPP_LOWPPIR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "density/Conjugacy.h"
+#include "density/DensityIR.h"
+
+namespace augur {
+
+/// Loop annotations (paper Fig. 6).
+enum class LoopKind {
+  Seq,    ///< must run sequentially
+  Par,    ///< iterations independent
+  AtmPar, ///< parallel given atomic increments
+};
+
+const char *loopKindName(LoopKind K);
+
+/// An assignable location: a variable plus an index chain.
+struct LValue {
+  std::string Var;
+  std::vector<ExprPtr> Idxs;
+
+  static LValue scalar(std::string Var) { return {std::move(Var), {}}; }
+  static LValue indexed(std::string Var, std::vector<ExprPtr> Idxs) {
+    return {std::move(Var), std::move(Idxs)};
+  }
+  std::string str() const;
+};
+
+struct LStmt;
+using LStmtPtr = std::shared_ptr<LStmt>;
+
+/// The element kind of a generated local buffer.
+enum class LocalKind { Int, Real, RealVec, Mat };
+
+/// A Low++ statement.
+struct LStmt {
+  enum class Kind {
+    Assign,     ///< lvalue = e  /  lvalue += e
+    DeclLocal,  ///< declare a local buffer (memory still abstract)
+    If,         ///< guarded statement [s]_{lhs = rhs, ...}
+    Loop,       ///< loop lk (var <- lo until hi) { body }
+    AccumLL,    ///< lvalue += Dist(params).ll(at)
+    AccumGrad,  ///< lvalue += adj * Dist(params).grad_i(at)
+    Sample,     ///< lvalue = Dist(params).samp
+    SampleLogits, ///< lvalue = categorical draw from unnormalized logits
+    ConjSample, ///< lvalue = conjugate posterior draw (library call)
+    AccumOuter, ///< mat-lvalue += (y - m)(y - m)^T (library call)
+    AccumVec,   ///< vec-lvalue += vec-expr, elementwise (library call)
+  };
+
+  Kind K;
+
+  // Assign / AccumLL / AccumGrad / Sample / SampleLogits / ConjSample /
+  // AccumOuter destination.
+  LValue Dest;
+  bool Accum = false; ///< Assign: += instead of =
+
+  ExprPtr Rhs; ///< Assign
+
+  // DeclLocal.
+  std::string LocalName;
+  LocalKind LKind = LocalKind::Real;
+  std::vector<ExprPtr> Dims; ///< up to 2 dims; Mat locals use {n, n}
+
+  // If.
+  std::vector<Guard> Guards;
+  std::vector<LStmtPtr> Then;
+
+  // Loop.
+  LoopKind LK = LoopKind::Seq;
+  std::string LoopVar;
+  ExprPtr Lo, Hi;
+  std::vector<LStmtPtr> Body;
+
+  // Distribution statements.
+  Dist D = Dist::Normal;
+  std::vector<ExprPtr> Params;
+  ExprPtr At;
+  int GradArg = 0;  ///< AccumGrad: 0 = variate, i = i-th parameter
+  ExprPtr Adj;      ///< AccumGrad: adjoint multiplier
+
+  // SampleLogits.
+  std::string ScoresVar;
+  ExprPtr Count;
+
+  // ConjSample.
+  ConjKind Conj = ConjKind::NormalMean;
+  std::vector<ExprPtr> PriorParams;
+  std::vector<ExprPtr> Extra;    ///< e.g. likelihood covariance/variance
+  std::vector<LValue> StatRefs;  ///< sufficient-statistic buffer elements
+
+  // AccumOuter.
+  ExprPtr OuterY, OuterMean;
+
+  std::string str(int Indent = 0) const;
+};
+
+// Builders.
+LStmtPtr stAssign(LValue Dest, ExprPtr Rhs, bool Accum = false);
+LStmtPtr stDeclLocal(std::string Name, LocalKind K,
+                     std::vector<ExprPtr> Dims);
+LStmtPtr stIf(std::vector<Guard> Guards, std::vector<LStmtPtr> Then);
+LStmtPtr stLoop(LoopKind LK, std::string Var, ExprPtr Lo, ExprPtr Hi,
+                std::vector<LStmtPtr> Body);
+LStmtPtr stAccumLL(LValue Dest, Dist D, std::vector<ExprPtr> Params,
+                   ExprPtr At);
+LStmtPtr stAccumGrad(LValue Dest, Dist D, int GradArg,
+                     std::vector<ExprPtr> Params, ExprPtr At, ExprPtr Adj);
+LStmtPtr stSample(LValue Dest, Dist D, std::vector<ExprPtr> Params);
+LStmtPtr stSampleLogits(LValue Dest, std::string ScoresVar, ExprPtr Count);
+LStmtPtr stConjSample(ConjKind Kind, LValue Dest,
+                      std::vector<ExprPtr> PriorParams,
+                      std::vector<ExprPtr> Extra,
+                      std::vector<LValue> StatRefs);
+LStmtPtr stAccumOuter(LValue DestMat, ExprPtr Y, ExprPtr Mean);
+LStmtPtr stAccumVec(LValue DestVec, ExprPtr Src);
+
+/// A Low++ procedure. Procedures read and write the model state (global
+/// variables addressed by name, including designated output buffers such
+/// as "ll" or "adj_<var>") and may declare local buffers.
+struct LowppProc {
+  std::string Name;
+  std::vector<LStmtPtr> Body;
+  /// Names of output globals this proc (re)defines, e.g. {"ll"}.
+  std::vector<std::string> Outputs;
+
+  std::string str() const;
+};
+
+} // namespace augur
+
+#endif // AUGUR_LOWPP_LOWPPIR_H

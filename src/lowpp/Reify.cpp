@@ -1,0 +1,595 @@
+//===- lowpp/Reify.cpp ----------------------------------------*- C++ -*-===//
+
+#include "lowpp/Reify.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+ExprPtr lit0() { return Expr::realLit(0.0); }
+ExprPtr lit1() { return Expr::realLit(1.0); }
+
+/// Wraps \p Inner in the guard/loop structure of \p F: If for the
+/// guards, then F's loops inside-out with annotation \p LK.
+std::vector<LStmtPtr> wrapFactor(const Factor &F,
+                                 std::vector<LStmtPtr> Inner, LoopKind LK) {
+  if (!F.Guards.empty())
+    Inner = {stIf(F.Guards, std::move(Inner))};
+  for (size_t I = F.Loops.size(); I > 0; --I) {
+    const LoopBinding &L = F.Loops[I - 1];
+    Inner = {stLoop(LK, L.Var, L.Lo, L.Hi, std::move(Inner))};
+  }
+  return Inner;
+}
+
+/// Wraps \p Inner in explicit loop bindings (outermost first).
+std::vector<LStmtPtr> wrapLoops(const std::vector<LoopBinding> &Loops,
+                                std::vector<LStmtPtr> Inner, LoopKind LK) {
+  for (size_t I = Loops.size(); I > 0; --I) {
+    const LoopBinding &L = Loops[I - 1];
+    Inner = {stLoop(LK, L.Var, L.Lo, L.Hi, std::move(Inner))};
+  }
+  return Inner;
+}
+
+/// Fresh-name generator for locals and loop variables.
+class Gensym {
+public:
+  std::string fresh(const std::string &Base) {
+    return strFormat("%s_%d", Base.c_str(), Counter++);
+  }
+
+private:
+  int Counter = 0;
+};
+
+/// If \p E is a direct location (a bare variable in \p Targets, or an
+/// index chain rooted at one), returns the corresponding adjoint-buffer
+/// lvalue adj_<v>[idxs...].
+std::optional<LValue>
+directAdjLocation(const ExprPtr &E, const std::vector<std::string> &Targets) {
+  std::vector<ExprPtr> Chain;
+  ExprPtr Cur = E;
+  while (Cur->kind() == Expr::Kind::Index) {
+    Chain.push_back(Cur->idx());
+    Cur = Cur->base();
+  }
+  if (Cur->kind() != Expr::Kind::Var)
+    return std::nullopt;
+  if (std::find(Targets.begin(), Targets.end(), Cur->varName()) ==
+      Targets.end())
+    return std::nullopt;
+  std::reverse(Chain.begin(), Chain.end());
+  return LValue::indexed("adj_" + Cur->varName(), std::move(Chain));
+}
+
+bool mentionsAny(const ExprPtr &E, const std::vector<std::string> &Targets) {
+  for (const auto &T : Targets)
+    if (E->mentionsVar(T))
+      return true;
+  return false;
+}
+
+/// Reverse-mode adjoint propagation through a pure expression (the
+/// expression-level chain rule on top of Fig. 8's density translation).
+/// Accumulates Adj * dE/d(target leaf) into the adj buffers.
+void emitExprAdjoint(const ExprPtr &E, const ExprPtr &Adj,
+                     const std::vector<std::string> &Targets,
+                     std::vector<LStmtPtr> &Out, Gensym &Gen) {
+  if (!mentionsAny(E, Targets))
+    return;
+  if (auto Loc = directAdjLocation(E, Targets)) {
+    Out.push_back(stAssign(*Loc, Adj, /*Accum=*/true));
+    return;
+  }
+  if (E->kind() != Expr::Kind::Prim)
+    return; // index of a target by a target: discrete, no gradient flows
+  const auto &Args = E->args();
+  switch (E->primOp()) {
+  case PrimOp::Add:
+    emitExprAdjoint(Args[0], Adj, Targets, Out, Gen);
+    emitExprAdjoint(Args[1], Adj, Targets, Out, Gen);
+    return;
+  case PrimOp::Sub:
+    emitExprAdjoint(Args[0], Adj, Targets, Out, Gen);
+    emitExprAdjoint(Args[1], Expr::prim(PrimOp::Neg, {Adj}), Targets, Out,
+                    Gen);
+    return;
+  case PrimOp::Mul:
+    emitExprAdjoint(Args[0], Expr::mul(Adj, Args[1]), Targets, Out, Gen);
+    emitExprAdjoint(Args[1], Expr::mul(Adj, Args[0]), Targets, Out, Gen);
+    return;
+  case PrimOp::Div:
+    // d(a/b)/da = 1/b ; d(a/b)/db = -(a/b)/b.
+    emitExprAdjoint(Args[0], Expr::prim(PrimOp::Div, {Adj, Args[1]}),
+                    Targets, Out, Gen);
+    emitExprAdjoint(
+        Args[1],
+        Expr::prim(PrimOp::Neg,
+                   {Expr::prim(PrimOp::Div, {Expr::mul(Adj, E), Args[1]})}),
+        Targets, Out, Gen);
+    return;
+  case PrimOp::Neg:
+    emitExprAdjoint(Args[0], Expr::prim(PrimOp::Neg, {Adj}), Targets, Out,
+                    Gen);
+    return;
+  case PrimOp::Exp:
+    emitExprAdjoint(Args[0], Expr::mul(Adj, E), Targets, Out, Gen);
+    return;
+  case PrimOp::Log:
+    emitExprAdjoint(Args[0], Expr::prim(PrimOp::Div, {Adj, Args[0]}),
+                    Targets, Out, Gen);
+    return;
+  case PrimOp::Sqrt:
+    // d sqrt(u) = 1/(2 sqrt(u)).
+    emitExprAdjoint(Args[0],
+                    Expr::prim(PrimOp::Div,
+                               {Adj, Expr::mul(Expr::realLit(2.0), E)}),
+                    Targets, Out, Gen);
+    return;
+  case PrimOp::Sigmoid: {
+    // d sigma(u) = sigma(u)(1 - sigma(u)).
+    ExprPtr DSig = Expr::mul(E, Expr::prim(PrimOp::Sub, {lit1(), E}));
+    emitExprAdjoint(Args[0], Expr::mul(Adj, DSig), Targets, Out, Gen);
+    return;
+  }
+  case PrimOp::Dot: {
+    // Each side that reaches a target contributes elementwise:
+    // adj(side[j]) += Adj * other[j].
+    for (int Side = 0; Side < 2; ++Side) {
+      const ExprPtr &S = Args[static_cast<size_t>(Side)];
+      const ExprPtr &O = Args[static_cast<size_t>(1 - Side)];
+      if (!mentionsAny(S, Targets))
+        continue;
+      std::string J = Gen.fresh("j");
+      std::vector<LStmtPtr> Body;
+      emitExprAdjoint(Expr::index(S, Expr::var(J)),
+                      Expr::mul(Adj, Expr::index(O, Expr::var(J))), Targets,
+                      Body, Gen);
+      Out.push_back(stLoop(LoopKind::AtmPar, J, Expr::intLit(0),
+                           Expr::prim(PrimOp::Len, {O}), std::move(Body)));
+    }
+    return;
+  }
+  case PrimOp::Len:
+  case PrimOp::Rows:
+    return; // shape queries carry no gradient
+  }
+}
+
+} // namespace
+
+LowppProc augur::genLikelihoodProc(const std::string &Name,
+                                   const std::vector<Factor> &Factors,
+                                   const std::string &OutVar) {
+  LowppProc P;
+  P.Name = Name;
+  P.Outputs = {OutVar};
+  P.Body.push_back(stAssign(LValue::scalar(OutVar), lit0()));
+  for (const auto &F : Factors) {
+    std::vector<LStmtPtr> Inner = {
+        stAccumLL(LValue::scalar(OutVar), F.D, F.Params, F.At)};
+    // Accumulation into a single location: atomic-parallel loops, which
+    // the backend turns into a map-reduce (summation block).
+    auto Wrapped = wrapFactor(F, std::move(Inner), LoopKind::AtmPar);
+    P.Body.insert(P.Body.end(), Wrapped.begin(), Wrapped.end());
+  }
+  return P;
+}
+
+Result<LowppProc> augur::genGradProc(const std::string &Name,
+                                     const BlockCond &BC,
+                                     const std::vector<std::string> &Targets) {
+  LowppProc P;
+  P.Name = Name;
+  for (const auto &T : Targets)
+    P.Outputs.push_back("adj_" + T);
+  Gensym Gen;
+
+  for (const auto &F : BC.Factors) {
+    std::vector<LStmtPtr> Inner;
+    // Adjoint of the variate (argument 0).
+    if (mentionsAny(F.At, Targets)) {
+      auto Loc = directAdjLocation(F.At, Targets);
+      if (!Loc)
+        return Status::error(strFormat(
+            "cannot differentiate factor '%s': variate is not a direct "
+            "location",
+            F.str().c_str()));
+      Inner.push_back(stAccumGrad(*Loc, F.D, 0, F.Params, F.At, lit1()));
+    }
+    // Adjoints of the parameters (arguments 1..n).
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      const ExprPtr &Param = F.Params[I];
+      if (!mentionsAny(Param, Targets))
+        continue;
+      if (auto Loc = directAdjLocation(Param, Targets)) {
+        Inner.push_back(stAccumGrad(*Loc, F.D, static_cast<int>(I) + 1,
+                                    F.Params, F.At, lit1()));
+        continue;
+      }
+      // Composite scalar expression: compute the distribution's local
+      // gradient into a temporary, then chain through the expression.
+      std::string T = Gen.fresh("t_adj");
+      Inner.push_back(stDeclLocal(T, LocalKind::Real, {}));
+      Inner.push_back(stAccumGrad(LValue::scalar(T), F.D,
+                                  static_cast<int>(I) + 1, F.Params, F.At,
+                                  lit1()));
+      emitExprAdjoint(Param, Expr::var(T), Targets, Inner, Gen);
+    }
+    if (Inner.empty())
+      continue;
+    auto Wrapped = wrapFactor(F, std::move(Inner), LoopKind::AtmPar);
+    P.Body.insert(P.Body.end(), Wrapped.begin(), Wrapped.end());
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Conjugate Gibbs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared context while emitting one conjugate update.
+struct ConjCtx {
+  const Conditional &C;
+  const ConjRelation &Rel;
+  std::vector<std::string> BlockVars;
+  std::vector<ExprPtr> BlockDims;
+
+  explicit ConjCtx(const Conditional &C, const ConjRelation &Rel)
+      : C(C), Rel(Rel) {
+    for (const auto &L : C.BlockLoops) {
+      BlockVars.push_back(L.Var);
+      BlockDims.push_back(L.Hi);
+    }
+  }
+
+  /// Index expressions addressing the stat element for likelihood
+  /// factor \p F inside its accumulation loops: the guard right-hand
+  /// side where the block variable is guarded, the block variable
+  /// itself otherwise.
+  std::vector<ExprPtr> statIdxFor(const Factor &F) const {
+    std::vector<ExprPtr> Idxs;
+    for (const auto &BV : BlockVars) {
+      const Guard *Found = nullptr;
+      for (const auto &G : F.Guards)
+        if (G.Lhs->kind() == Expr::Kind::Var && G.Lhs->varName() == BV)
+          Found = &G;
+      Idxs.push_back(Found ? Found->Rhs : Expr::var(BV));
+    }
+    return Idxs;
+  }
+
+  /// Block loops that are NOT consumed by a guard of \p F (these must
+  /// be iterated explicitly around the accumulation).
+  std::vector<LoopBinding> unguardedBlockLoops(const Factor &F) const {
+    std::vector<LoopBinding> Loops;
+    for (const auto &L : C.BlockLoops) {
+      bool Guarded = false;
+      for (const auto &G : F.Guards)
+        if (G.Lhs->kind() == Expr::Kind::Var && G.Lhs->varName() == L.Var)
+          Guarded = true;
+      if (!Guarded)
+        Loops.push_back(L);
+    }
+    return Loops;
+  }
+
+  /// Rewrites \p E for use inside the accumulation loops: block
+  /// variables that are guarded are replaced by the guard expression.
+  ExprPtr accumSubst(const Factor &F, ExprPtr E) const {
+    for (const auto &G : F.Guards)
+      if (G.Lhs->kind() == Expr::Kind::Var)
+        E = substVar(E, G.Lhs->varName(), G.Rhs);
+    return E;
+  }
+
+  /// Rewrites \p E for use inside the *sampling* loop (block variables
+  /// in scope): occurrences of a guard's right-hand side are replaced
+  /// by the guarded block variable (e.g. Sigma[z[n]] -> Sigma[k]).
+  Result<ExprPtr> sampleSubst(const Factor &F, ExprPtr E) const {
+    for (const auto &G : F.Guards)
+      if (G.Lhs->kind() == Expr::Kind::Var)
+        E = substExpr(E, G.Rhs, G.Lhs);
+    // The result must be loop-invariant w.r.t. the factor's data loops.
+    std::vector<std::string> Vars;
+    E->collectVars(Vars);
+    for (const auto &L : F.Loops)
+      if (std::find(Vars.begin(), Vars.end(), L.Var) != Vars.end())
+        return Status::error(strFormat(
+            "likelihood parameter '%s' varies within the data loop; this "
+            "conjugate update is not realizable",
+            E->str().c_str()));
+    return E;
+  }
+
+  /// Wraps accumulation statements for \p F: unguarded block loops
+  /// (Par) around the factor's own loops (AtmPar) around guards other
+  /// than block guards.
+  std::vector<LStmtPtr> wrapAccum(const Factor &F,
+                                  std::vector<LStmtPtr> Inner) const {
+    // Guards on block variables are consumed by statIdxFor; any other
+    // guard must still be tested.
+    std::vector<Guard> Residual;
+    for (const auto &G : F.Guards) {
+      bool OnBlock = false;
+      for (const auto &BV : BlockVars)
+        if (G.Lhs->kind() == Expr::Kind::Var && G.Lhs->varName() == BV)
+          OnBlock = true;
+      if (!OnBlock)
+        Residual.push_back(G);
+    }
+    if (!Residual.empty())
+      Inner = {stIf(Residual, std::move(Inner))};
+    Inner = wrapLoops(F.Loops, std::move(Inner), LoopKind::AtmPar);
+    return wrapLoops(unguardedBlockLoops(F), std::move(Inner),
+                     LoopKind::Par);
+  }
+
+  LValue statRef(const std::string &Name) const {
+    std::vector<ExprPtr> Idxs;
+    for (const auto &BV : BlockVars)
+      Idxs.push_back(Expr::var(BV));
+    return LValue::indexed(Name, Idxs);
+  }
+
+  LValue statAt(const std::string &Name, std::vector<ExprPtr> Idxs) const {
+    return LValue::indexed(Name, std::move(Idxs));
+  }
+
+  LValue target() const {
+    std::vector<ExprPtr> Idxs;
+    for (const auto &BV : BlockVars)
+      Idxs.push_back(Expr::var(BV));
+    return LValue::indexed(C.Var, Idxs);
+  }
+};
+
+} // namespace
+
+Result<LowppProc> augur::genConjGibbsProc(const std::string &Name,
+                                          const Conditional &C,
+                                          const ConjRelation &Rel) {
+  LowppProc P;
+  P.Name = Name;
+  P.Outputs = {C.Var};
+  ConjCtx Ctx(C, Rel);
+  Gensym Gen;
+
+  auto DeclStat = [&](const std::string &Base, LocalKind K,
+                      std::vector<ExprPtr> ExtraDims) {
+    std::string N = Name + "_" + Base;
+    std::vector<ExprPtr> Dims = Ctx.BlockDims;
+    for (auto &D : ExtraDims)
+      Dims.push_back(std::move(D));
+    P.Body.push_back(stDeclLocal(N, K, std::move(Dims)));
+    return N;
+  };
+
+  const std::vector<ExprPtr> &Prior = C.Prior.Params;
+  std::vector<ExprPtr> SampleExtra;
+  std::vector<LValue> SampleStats;
+
+  switch (Rel.Kind) {
+  case ConjKind::NormalMean: {
+    std::string SumPrec = DeclStat("sumprec", LocalKind::Real, {});
+    std::string SumWY = DeclStat("sumwy", LocalKind::Real, {});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      ExprPtr Var = Ctx.accumSubst(F, F.Params[1]);
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(SumPrec, Idx),
+                   Expr::prim(PrimOp::Div, {lit1(), Var}), true),
+          stAssign(Ctx.statAt(SumWY, Idx),
+                   Expr::prim(PrimOp::Div, {F.At, Var}), true)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(SumPrec), Ctx.statRef(SumWY)};
+    break;
+  }
+  case ConjKind::MvNormalMean: {
+    ExprPtr DimE = Expr::prim(PrimOp::Len, {Prior[0]});
+    std::string Cnt = DeclStat("cnt", LocalKind::Real, {});
+    std::string SumY = DeclStat("sumy", LocalKind::RealVec, {DimE});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      // Vector accumulation through the runtime library (the paper's
+      // Cuda/C runtime provides vector operations, Section 6.2).
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(Cnt, Idx), lit1(), true),
+          stAccumVec(Ctx.statAt(SumY, Idx), F.At)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    // The likelihood covariance, re-expressed via the block index.
+    AUGUR_ASSIGN_OR_RETURN(
+        ExprPtr Cov, Ctx.sampleSubst(C.Liks.front(),
+                                     C.Liks.front().Params[1]));
+    SampleExtra = {Cov};
+    SampleStats = {Ctx.statRef(Cnt), Ctx.statRef(SumY)};
+    break;
+  }
+  case ConjKind::DirichletCategorical: {
+    ExprPtr DimE = Expr::prim(PrimOp::Len, {Prior[0]});
+    std::string Counts = DeclStat("counts", LocalKind::RealVec, {DimE});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      Idx.push_back(F.At); // count bucket = the categorical value
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(Counts, Idx), lit1(), true)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(Counts)};
+    break;
+  }
+  case ConjKind::BetaBernoulli: {
+    std::string C1 = DeclStat("cnt1", LocalKind::Real, {});
+    std::string C0 = DeclStat("cnt0", LocalKind::Real, {});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(C1, Idx), F.At, true),
+          stAssign(Ctx.statAt(C0, Idx),
+                   Expr::prim(PrimOp::Sub, {Expr::intLit(1), F.At}), true)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(C1), Ctx.statRef(C0)};
+    break;
+  }
+  case ConjKind::GammaPoisson:
+  case ConjKind::GammaExponential: {
+    std::string Cnt = DeclStat("cnt", LocalKind::Real, {});
+    std::string Sum = DeclStat("sum", LocalKind::Real, {});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(Cnt, Idx), lit1(), true),
+          stAssign(Ctx.statAt(Sum, Idx), F.At, true)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(Cnt), Ctx.statRef(Sum)};
+    break;
+  }
+  case ConjKind::InvGammaNormalVariance: {
+    std::string Cnt = DeclStat("cnt", LocalKind::Real, {});
+    std::string SumSq = DeclStat("sumsq", LocalKind::Real, {});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      ExprPtr Mean = Ctx.accumSubst(F, F.Params[0]);
+      ExprPtr Resid = Expr::prim(PrimOp::Sub, {F.At, Mean});
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(Cnt, Idx), lit1(), true),
+          stAssign(Ctx.statAt(SumSq, Idx), Expr::mul(Resid, Resid), true)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(Cnt), Ctx.statRef(SumSq)};
+    break;
+  }
+  case ConjKind::InvWishartMvNormalCov: {
+    ExprPtr DimE = Expr::prim(PrimOp::Rows, {Prior[1]});
+    std::string Cnt = DeclStat("cnt", LocalKind::Real, {});
+    std::string SumO = DeclStat("sumouter", LocalKind::Mat, {DimE});
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Idx = Ctx.statIdxFor(F);
+      ExprPtr Mean = Ctx.accumSubst(F, F.Params[0]);
+      std::vector<LStmtPtr> Inner = {
+          stAssign(Ctx.statAt(Cnt, Idx), lit1(), true),
+          stAccumOuter(Ctx.statAt(SumO, Idx), F.At, Mean)};
+      auto W = Ctx.wrapAccum(F, std::move(Inner));
+      P.Body.insert(P.Body.end(), W.begin(), W.end());
+    }
+    SampleStats = {Ctx.statRef(Cnt), Ctx.statRef(SumO)};
+    break;
+  }
+  }
+
+  // Sampling loop: every block element draws from its closed-form
+  // posterior in parallel.
+  std::vector<LStmtPtr> SampleBody = {stConjSample(
+      Rel.Kind, Ctx.target(), Prior, SampleExtra, SampleStats)};
+  auto Wrapped =
+      wrapLoops(C.BlockLoops, std::move(SampleBody), LoopKind::Par);
+  P.Body.insert(P.Body.end(), Wrapped.begin(), Wrapped.end());
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Enumerated discrete Gibbs
+//===----------------------------------------------------------------------===//
+
+Result<LowppProc> augur::genEnumGibbsProc(const std::string &Name,
+                                          const Conditional &C) {
+  LowppProc P;
+  P.Name = Name;
+  P.Outputs = {C.Var};
+  Gensym Gen;
+
+  ExprPtr SupportE;
+  if (C.Prior.D == Dist::Categorical)
+    SupportE = Expr::prim(PrimOp::Len, {C.Prior.Params[0]});
+  else if (C.Prior.D == Dist::Bernoulli)
+    SupportE = Expr::intLit(2);
+  else
+    return Status::error(strFormat(
+        "cannot enumerate the support of '%s' (prior %s)", C.Var.c_str(),
+        distInfo(C.Prior.D).Name));
+
+  std::vector<std::string> BlockVars;
+  for (const auto &L : C.BlockLoops)
+    BlockVars.push_back(L.Var);
+
+  std::string Scores = Gen.fresh(Name + "_scores");
+  std::string Cand = Gen.fresh("c");
+  ExprPtr CandE = Expr::var(Cand);
+  LValue ScoreAt = LValue::indexed(Scores, {CandE});
+  std::vector<ExprPtr> TargetIdxs;
+  for (const auto &BV : BlockVars)
+    TargetIdxs.push_back(Expr::var(BV));
+  LValue TargetElem = LValue::indexed(C.Var, TargetIdxs);
+
+  // Candidate scoring. When the conditional is *exact*, every
+  // occurrence of the target is precisely the block atom, so syntactic
+  // substitution of the candidate is valid and cheapest. An
+  // *approximate* conditional can hide other occurrence forms (e.g. the
+  // literal-indexed h[n][0] of a sigmoid belief network), so the
+  // candidate is scored by set-then-evaluate: write c into the element
+  // and evaluate the factors as written (the final draw overwrites it).
+  ExprPtr TargetAtom = makeIndexedVar(C.Var, BlockVars);
+  std::vector<LStmtPtr> PerCand;
+  PerCand.push_back(stAssign(ScoreAt, lit0()));
+  if (C.Approximate) {
+    PerCand.insert(PerCand.begin(), stAssign(TargetElem, CandE));
+    PerCand.push_back(
+        stAccumLL(ScoreAt, C.Prior.D, C.Prior.Params, C.Prior.At));
+    for (const auto &F : C.Liks) {
+      std::vector<LStmtPtr> Inner = {
+          stAccumLL(ScoreAt, F.D, F.Params, F.At)};
+      auto W = wrapFactor(F, std::move(Inner), LoopKind::Seq);
+      PerCand.insert(PerCand.end(), W.begin(), W.end());
+    }
+  } else {
+    std::vector<ExprPtr> PriorParams;
+    for (const auto &Pr : C.Prior.Params)
+      PriorParams.push_back(substExpr(Pr, TargetAtom, CandE));
+    PerCand.push_back(stAccumLL(ScoreAt, C.Prior.D, PriorParams, CandE));
+    for (const auto &F : C.Liks) {
+      std::vector<ExprPtr> Params;
+      for (const auto &Pr : F.Params)
+        Params.push_back(substExpr(Pr, TargetAtom, CandE));
+      ExprPtr At = substExpr(F.At, TargetAtom, CandE);
+      std::vector<LStmtPtr> Inner = {stAccumLL(ScoreAt, F.D, Params, At)};
+      // Residual loops of the likelihood run sequentially inside the
+      // candidate loop (they are per-element work).
+      auto W = wrapFactor(F, std::move(Inner), LoopKind::Seq);
+      PerCand.insert(PerCand.end(), W.begin(), W.end());
+    }
+  }
+
+  std::vector<LStmtPtr> PerElem;
+  PerElem.push_back(stDeclLocal(Scores, LocalKind::Real, {SupportE}));
+  PerElem.push_back(stLoop(LoopKind::Seq, Cand, Expr::intLit(0), SupportE,
+                           std::move(PerCand)));
+  PerElem.push_back(stSampleLogits(TargetElem, Scores, SupportE));
+
+  // Exact conditionals proved the block elements conditionally
+  // independent, so they update in parallel. An approximate conditional
+  // could not show that (elements of the same block may appear in each
+  // other's factors, e.g. sigmoid-belief-network hidden units), so the
+  // sweep must be sequential.
+  LoopKind BlockLK = C.Approximate ? LoopKind::Seq : LoopKind::Par;
+  auto Wrapped = wrapLoops(C.BlockLoops, std::move(PerElem), BlockLK);
+  P.Body.insert(P.Body.end(), Wrapped.begin(), Wrapped.end());
+  return P;
+}

@@ -1,0 +1,56 @@
+//===- lowpp/Reify.h - Density IL -> Low++ code generation -----*- C++ -*-===//
+///
+/// \file
+/// Generators for the MCMC primitives of paper Fig. 7, from symbolic
+/// conditionals (Density IL) to executable Low++ procedures:
+///
+/// * likelihood evaluation (a parallel map-reduce over the factors);
+/// * closed-form conditional derivation per conjugacy relation
+///   (sufficient-statistic loops plus a posterior-sampling loop);
+/// * enumerated discrete conditionals (normalize by direct summation);
+/// * gradient evaluation by source-to-source reverse-mode AD (Fig. 8).
+///
+/// Everything else a base update needs (leapfrog integration, slice
+/// stepping, acceptance ratios) is MCMC library code in src/mcmc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_LOWPP_REIFY_H
+#define AUGUR_LOWPP_REIFY_H
+
+#include "density/Conditional.h"
+#include "density/Conjugacy.h"
+#include "kernel/KernelIR.h"
+#include "lowpp/LowppIR.h"
+#include "support/Result.h"
+
+namespace augur {
+
+/// Generates a procedure computing the summed log density of \p Factors
+/// into the output global \p OutVar (which the proc zeroes first).
+LowppProc genLikelihoodProc(const std::string &Name,
+                            const std::vector<Factor> &Factors,
+                            const std::string &OutVar);
+
+/// Generates the reverse-mode AD adjoint procedure of \p BC with respect
+/// to \p Targets (paper Fig. 8). For each target v the gradient is
+/// accumulated into the global buffer "adj_<v>", which the caller must
+/// have zeroed (a library memset; the adjoint loops are AtmPar).
+Result<LowppProc> genGradProc(const std::string &Name, const BlockCond &BC,
+                              const std::vector<std::string> &Targets);
+
+/// Generates the complete conjugate Gibbs update for \p C / \p Rel:
+/// zero-stats loops, atomic statistic accumulation over the likelihood
+/// factors, then a parallel posterior-sampling loop over the block.
+Result<LowppProc> genConjGibbsProc(const std::string &Name,
+                                   const Conditional &C,
+                                   const ConjRelation &Rel);
+
+/// Generates the enumerated Gibbs update for a finite discrete target:
+/// per-element score vectors over the support, sampled via logits.
+Result<LowppProc> genEnumGibbsProc(const std::string &Name,
+                                   const Conditional &C);
+
+} // namespace augur
+
+#endif // AUGUR_LOWPP_REIFY_H

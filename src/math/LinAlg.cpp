@@ -1,0 +1,180 @@
+//===- math/LinAlg.cpp ----------------------------------------*- C++ -*-===//
+
+#include "math/LinAlg.h"
+
+#include <cmath>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+Matrix Matrix::identity(int64_t N) {
+  Matrix M(N, N);
+  for (int64_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+Matrix Matrix::diagonal(const std::vector<double> &Diag) {
+  int64_t N = static_cast<int64_t>(Diag.size());
+  Matrix M(N, N);
+  for (int64_t I = 0; I < N; ++I)
+    M.at(I, I) = Diag[static_cast<size_t>(I)];
+  return M;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix T(NumCols, NumRows);
+  for (int64_t R = 0; R < NumRows; ++R)
+    for (int64_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::operator+(const Matrix &O) const {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  Matrix S(NumRows, NumCols);
+  for (size_t I = 0; I < Data.size(); ++I)
+    S.Data[I] = Data[I] + O.Data[I];
+  return S;
+}
+
+Matrix Matrix::operator-(const Matrix &O) const {
+  assert(NumRows == O.NumRows && NumCols == O.NumCols && "shape mismatch");
+  Matrix S(NumRows, NumCols);
+  for (size_t I = 0; I < Data.size(); ++I)
+    S.Data[I] = Data[I] - O.Data[I];
+  return S;
+}
+
+Matrix Matrix::operator*(const Matrix &O) const {
+  assert(NumCols == O.NumRows && "inner dimensions must agree");
+  Matrix P(NumRows, O.NumCols);
+  for (int64_t R = 0; R < NumRows; ++R)
+    for (int64_t K = 0; K < NumCols; ++K) {
+      double V = at(R, K);
+      if (V == 0.0)
+        continue;
+      for (int64_t C = 0; C < O.NumCols; ++C)
+        P.at(R, C) += V * O.at(K, C);
+    }
+  return P;
+}
+
+Matrix Matrix::scaled(double S) const {
+  Matrix M(NumRows, NumCols);
+  for (size_t I = 0; I < Data.size(); ++I)
+    M.Data[I] = Data[I] * S;
+  return M;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &X) const {
+  assert(static_cast<int64_t>(X.size()) == NumCols && "shape mismatch");
+  std::vector<double> Y(static_cast<size_t>(NumRows), 0.0);
+  for (int64_t R = 0; R < NumRows; ++R) {
+    double Acc = 0.0;
+    for (int64_t C = 0; C < NumCols; ++C)
+      Acc += at(R, C) * X[static_cast<size_t>(C)];
+    Y[static_cast<size_t>(R)] = Acc;
+  }
+  return Y;
+}
+
+Result<Matrix> augur::cholesky(const Matrix &A) {
+  assert(A.rows() == A.cols() && "cholesky needs a square matrix");
+  int64_t N = A.rows();
+  Matrix L(N, N);
+  for (int64_t J = 0; J < N; ++J) {
+    double Diag = A.at(J, J);
+    for (int64_t K = 0; K < J; ++K)
+      Diag -= L.at(J, K) * L.at(J, K);
+    if (Diag <= 0.0 || !std::isfinite(Diag))
+      return Status::error(strFormat(
+          "matrix is not positive definite at pivot %lld (value %g)",
+          static_cast<long long>(J), Diag));
+    double Ljj = std::sqrt(Diag);
+    L.at(J, J) = Ljj;
+    for (int64_t I = J + 1; I < N; ++I) {
+      double Off = A.at(I, J);
+      for (int64_t K = 0; K < J; ++K)
+        Off -= L.at(I, K) * L.at(J, K);
+      L.at(I, J) = Off / Ljj;
+    }
+  }
+  return L;
+}
+
+std::vector<double> augur::solveLower(const Matrix &L,
+                                      const std::vector<double> &B) {
+  int64_t N = L.rows();
+  assert(static_cast<int64_t>(B.size()) == N && "shape mismatch");
+  std::vector<double> Y(B);
+  for (int64_t I = 0; I < N; ++I) {
+    double Acc = Y[static_cast<size_t>(I)];
+    for (int64_t K = 0; K < I; ++K)
+      Acc -= L.at(I, K) * Y[static_cast<size_t>(K)];
+    Y[static_cast<size_t>(I)] = Acc / L.at(I, I);
+  }
+  return Y;
+}
+
+std::vector<double>
+augur::solveLowerTransposed(const Matrix &L, const std::vector<double> &Y) {
+  int64_t N = L.rows();
+  assert(static_cast<int64_t>(Y.size()) == N && "shape mismatch");
+  std::vector<double> X(Y);
+  for (int64_t I = N - 1; I >= 0; --I) {
+    double Acc = X[static_cast<size_t>(I)];
+    for (int64_t K = I + 1; K < N; ++K)
+      Acc -= L.at(K, I) * X[static_cast<size_t>(K)];
+    X[static_cast<size_t>(I)] = Acc / L.at(I, I);
+  }
+  return X;
+}
+
+std::vector<double> augur::choleskySolve(const Matrix &L,
+                                         const std::vector<double> &B) {
+  return solveLowerTransposed(L, solveLower(L, B));
+}
+
+Matrix augur::choleskyInverse(const Matrix &L) {
+  int64_t N = L.rows();
+  Matrix Inv(N, N);
+  std::vector<double> E(static_cast<size_t>(N), 0.0);
+  for (int64_t C = 0; C < N; ++C) {
+    E[static_cast<size_t>(C)] = 1.0;
+    std::vector<double> Col = choleskySolve(L, E);
+    for (int64_t R = 0; R < N; ++R)
+      Inv.at(R, C) = Col[static_cast<size_t>(R)];
+    E[static_cast<size_t>(C)] = 0.0;
+  }
+  return Inv;
+}
+
+double augur::choleskyLogDet(const Matrix &L) {
+  double Sum = 0.0;
+  for (int64_t I = 0; I < L.rows(); ++I)
+    Sum += std::log(L.at(I, I));
+  return 2.0 * Sum;
+}
+
+double augur::dot(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot of mismatched vectors");
+  return dot(A.data(), B.data(), A.size());
+}
+
+double augur::dot(const double *A, const double *B, size_t N) {
+  double Acc = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Acc += A[I] * B[I];
+  return Acc;
+}
+
+void augur::addOuter(Matrix &A, const std::vector<double> &X, double S) {
+  int64_t N = A.rows();
+  assert(A.cols() == N && static_cast<int64_t>(X.size()) == N &&
+         "shape mismatch");
+  for (int64_t R = 0; R < N; ++R)
+    for (int64_t C = 0; C < N; ++C)
+      A.at(R, C) += S * X[static_cast<size_t>(R)] * X[static_cast<size_t>(C)];
+}

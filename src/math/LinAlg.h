@@ -1,0 +1,99 @@
+//===- math/LinAlg.h - Small dense linear algebra --------------*- C++ -*-===//
+///
+/// \file
+/// Dense matrix support for the runtime library. The GPU use case the
+/// paper calls out (many small matrix operations in parallel, e.g. one
+/// covariance per mixture component) means matrices here are small and
+/// owned; operations are straightforward O(n^3) kernels with Cholesky as
+/// the workhorse for MvNormal / InvWishart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MATH_LINALG_H
+#define AUGUR_MATH_LINALG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "support/Result.h"
+
+namespace augur {
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(int64_t Rows, int64_t Cols)
+      : NumRows(Rows), NumCols(Cols),
+        Data(static_cast<size_t>(Rows * Cols), 0.0) {}
+
+  static Matrix identity(int64_t N);
+  /// Builds a diagonal matrix from \p Diag.
+  static Matrix diagonal(const std::vector<double> &Diag);
+
+  int64_t rows() const { return NumRows; }
+  int64_t cols() const { return NumCols; }
+
+  double &at(int64_t R, int64_t C) {
+    assert(R >= 0 && R < NumRows && C >= 0 && C < NumCols &&
+           "matrix index out of range");
+    return Data[static_cast<size_t>(R * NumCols + C)];
+  }
+  double at(int64_t R, int64_t C) const {
+    assert(R >= 0 && R < NumRows && C >= 0 && C < NumCols &&
+           "matrix index out of range");
+    return Data[static_cast<size_t>(R * NumCols + C)];
+  }
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  bool operator==(const Matrix &O) const = default;
+
+  Matrix transpose() const;
+  Matrix operator+(const Matrix &O) const;
+  Matrix operator-(const Matrix &O) const;
+  Matrix operator*(const Matrix &O) const;
+  Matrix scaled(double S) const;
+
+  /// y = this * x.
+  std::vector<double> multiply(const std::vector<double> &X) const;
+
+private:
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Lower-triangular Cholesky factor L with A = L L^T. Fails if A is not
+/// (numerically) symmetric positive definite.
+Result<Matrix> cholesky(const Matrix &A);
+
+/// Solves L y = b for lower-triangular L.
+std::vector<double> solveLower(const Matrix &L, const std::vector<double> &B);
+
+/// Solves L^T x = y for lower-triangular L.
+std::vector<double> solveLowerTransposed(const Matrix &L,
+                                         const std::vector<double> &Y);
+
+/// Solves A x = b given the Cholesky factor L of A.
+std::vector<double> choleskySolve(const Matrix &L,
+                                  const std::vector<double> &B);
+
+/// Inverse of A from its Cholesky factor L.
+Matrix choleskyInverse(const Matrix &L);
+
+/// log det(A) from its Cholesky factor L.
+double choleskyLogDet(const Matrix &L);
+
+/// Dot product; sizes must match.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+double dot(const double *A, const double *B, size_t N);
+
+/// A += S * x x^T (symmetric rank-1 update).
+void addOuter(Matrix &A, const std::vector<double> &X, double S);
+
+} // namespace augur
+
+#endif // AUGUR_MATH_LINALG_H

@@ -1,0 +1,80 @@
+//===- math/Special.cpp ---------------------------------------*- C++ -*-===//
+
+#include "math/Special.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+
+double augur::logGamma(double X) {
+  assert(X > 0.0 && "logGamma defined for positive arguments");
+  return std::lgamma(X);
+}
+
+double augur::digamma(double X) {
+  assert(X > 0.0 && "digamma implemented for positive arguments");
+  // Shift up until the asymptotic series is accurate.
+  double Result = 0.0;
+  while (X < 10.0) {
+    Result -= 1.0 / X;
+    X += 1.0;
+  }
+  double Inv = 1.0 / X;
+  double Inv2 = Inv * Inv;
+  // Asymptotic expansion: ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - ...
+  Result += std::log(X) - 0.5 * Inv -
+            Inv2 * (1.0 / 12.0 - Inv2 * (1.0 / 120.0 - Inv2 / 252.0));
+  return Result;
+}
+
+double augur::logMvGamma(int P, double X) {
+  assert(P >= 1 && "dimension must be positive");
+  double Result = 0.25 * P * (P - 1) * std::log(M_PI);
+  for (int J = 1; J <= P; ++J)
+    Result += logGamma(X + 0.5 * (1 - J));
+  return Result;
+}
+
+double augur::logSumExp(const double *Xs, size_t N) {
+  assert(N > 0 && "logSumExp of an empty sequence");
+  double Max = Xs[0];
+  for (size_t I = 1; I < N; ++I)
+    Max = std::max(Max, Xs[I]);
+  if (!std::isfinite(Max))
+    return Max; // all -inf (or a stray inf/nan) propagates
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += std::exp(Xs[I] - Max);
+  return Max + std::log(Sum);
+}
+
+double augur::logSumExp(const std::vector<double> &Xs) {
+  return logSumExp(Xs.data(), Xs.size());
+}
+
+double augur::sigmoid(double X) {
+  if (X >= 0.0)
+    return 1.0 / (1.0 + std::exp(-X));
+  double E = std::exp(X);
+  return E / (1.0 + E);
+}
+
+double augur::logSigmoid(double X) {
+  // log(1/(1+e^-x)) = -log1p(e^-x) for x>=0; x - log1p(e^x) otherwise.
+  if (X >= 0.0)
+    return -std::log1p(std::exp(-X));
+  return X - std::log1p(std::exp(X));
+}
+
+double augur::stableSum(const double *Xs, size_t N) {
+  double Sum = 0.0;
+  double Comp = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double Y = Xs[I] - Comp;
+    double T = Sum + Y;
+    Comp = (T - Sum) - Y;
+    Sum = T;
+  }
+  return Sum;
+}

@@ -1,0 +1,42 @@
+//===- math/Special.h - Special functions ---------------------*- C++ -*-===//
+///
+/// \file
+/// Special functions used by the distribution library: log-gamma,
+/// digamma, log-sum-exp, the multivariate log-gamma, and numerically
+/// stable sigmoid/log1p helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MATH_SPECIAL_H
+#define AUGUR_MATH_SPECIAL_H
+
+#include <cstddef>
+#include <vector>
+
+namespace augur {
+
+/// log Gamma(X), X > 0.
+double logGamma(double X);
+
+/// Digamma (psi) function.
+double digamma(double X);
+
+/// Multivariate log-gamma log Gamma_P(X).
+double logMvGamma(int P, double X);
+
+/// Numerically stable log(sum_i exp(Xs[i])).
+double logSumExp(const double *Xs, size_t N);
+double logSumExp(const std::vector<double> &Xs);
+
+/// Numerically stable logistic sigmoid 1 / (1 + exp(-X)).
+double sigmoid(double X);
+
+/// Numerically stable log(sigmoid(X)).
+double logSigmoid(double X);
+
+/// Kahan-compensated sum of \p N doubles.
+double stableSum(const double *Xs, size_t N);
+
+} // namespace augur
+
+#endif // AUGUR_MATH_SPECIAL_H

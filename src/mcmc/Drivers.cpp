@@ -1,0 +1,478 @@
+//===- mcmc/Drivers.cpp ---------------------------------------*- C++ -*-===//
+
+#include "mcmc/Drivers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/Format.h"
+
+using namespace augur;
+
+void augur::zeroAdjBuffers(Env &E, const std::vector<std::string> &Vars) {
+  for (const auto &V : Vars) {
+    std::string Name = "adj_" + V;
+    auto It = E.find(Name);
+    if (It == E.end()) {
+      E[Name] = zerosLike(E.at(V));
+      continue;
+    }
+    Value &Adj = It->second;
+    if (Adj.isRealScalar())
+      Adj.realRef() = 0.0;
+    else if (Adj.isRealVec())
+      std::fill(Adj.realVec().flat().begin(), Adj.realVec().flat().end(),
+                0.0);
+    else
+      It->second = zerosLike(E.at(V));
+  }
+}
+
+namespace {
+
+/// The restricted log density (plus Jacobian) at the current state.
+double evalLL(McmcCtx &Ctx, const CompiledUpdate &CU) {
+  Ctx.Eng->runProc(CU.LLProc);
+  return Ctx.Eng->env().at("ll_" + CU.LLProc).asReal();
+}
+
+/// Gradient of the restricted log density in unconstrained space at the
+/// current (already unpacked) state.
+std::vector<double> evalGrad(McmcCtx &Ctx, const CompiledUpdate &CU,
+                             const FlatPacker &P,
+                             const std::vector<double> &U) {
+  zeroAdjBuffers(Ctx.Eng->env(), CU.U.Vars);
+  Ctx.Eng->runProc(CU.GradProc);
+  return P.chainGrad(U, Ctx.Eng->env());
+}
+
+/// Saved copies of the target variables (the proposal-state side of the
+/// Section 5.5 dual-state discipline).
+std::map<std::string, Value> saveTargets(const Env &E,
+                                         const std::vector<std::string> &Vars) {
+  std::map<std::string, Value> Saved;
+  for (const auto &V : Vars)
+    Saved.emplace(V, E.at(V));
+  return Saved;
+}
+
+void restoreTargets(Env &E, std::map<std::string, Value> Saved) {
+  for (auto &KV : Saved)
+    E[KV.first] = std::move(KV.second);
+}
+
+} // namespace
+
+Status augur::runGibbs(McmcCtx &Ctx, CompiledUpdate &CU) {
+  // Closed-form conditional draws are always accepted (AR = 1).
+  Ctx.Eng->runProc(CU.GibbsProc);
+  ++CU.Stats.Proposed;
+  ++CU.Stats.Accepted;
+  return Status::success();
+}
+
+Status augur::runHmc(McmcCtx &Ctx, CompiledUpdate &CU) {
+  Env &E = Ctx.Eng->env();
+  RNG &Rng = Ctx.Eng->rng();
+  const HmcSettings &S = CU.U.Hmc;
+
+  FlatPacker P(CU.U.Vars, CU.Transforms, E);
+  std::vector<double> U0 = P.pack(E);
+  auto Saved = saveTargets(E, CU.U.Vars);
+
+  double LL0 = evalLL(Ctx, CU) + P.logAbsJacobian(U0);
+  std::vector<double> U = U0;
+  std::vector<double> Mom(U.size());
+  double Kin0 = 0.0;
+  for (auto &M : Mom) {
+    M = Rng.gauss();
+    Kin0 += 0.5 * M * M;
+  }
+
+  // Leapfrog integration (library code; ~the "30 lines of C" the paper
+  // quotes for adding HMC).
+  std::vector<double> G = evalGrad(Ctx, CU, P, U);
+  for (int Step = 0; Step < S.LeapfrogSteps; ++Step) {
+    for (size_t I = 0; I < U.size(); ++I)
+      Mom[I] += 0.5 * S.StepSize * G[I];
+    for (size_t I = 0; I < U.size(); ++I)
+      U[I] += S.StepSize * Mom[I];
+    P.unpack(U, E);
+    G = evalGrad(Ctx, CU, P, U);
+    for (size_t I = 0; I < U.size(); ++I)
+      Mom[I] += 0.5 * S.StepSize * G[I];
+  }
+
+  double LL1 = evalLL(Ctx, CU) + P.logAbsJacobian(U);
+  double Kin1 = 0.0;
+  for (double M : Mom)
+    Kin1 += 0.5 * M * M;
+
+  ++CU.Stats.Proposed;
+  double LogAR = (LL1 - Kin1) - (LL0 - Kin0);
+  if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
+    ++CU.Stats.Accepted;
+    return Status::success();
+  }
+  restoreTargets(E, std::move(Saved));
+  return Status::success();
+}
+
+namespace {
+
+/// State threaded through the recursive NUTS tree construction
+/// (Hoffman & Gelman 2014, Algorithm 3 with the slice variable).
+struct NutsCtx {
+  McmcCtx *Mc;
+  CompiledUpdate *CU;
+  const FlatPacker *P;
+  double Eps;
+  double LogU;
+
+  /// log density (with Jacobian) at \p U; also refreshes the gradient.
+  double eval(const std::vector<double> &U, std::vector<double> &G) {
+    P->unpack(U, Mc->Eng->env());
+    G = evalGrad(*Mc, *CU, *P, U);
+    return evalLL(*Mc, *CU) + P->logAbsJacobian(U);
+  }
+};
+
+struct NutsTree {
+  std::vector<double> UMinus, RMinus, UPlus, RPlus;
+  std::vector<double> UProp; ///< proposal drawn from the subtree
+  int64_t N = 0;             ///< valid points in the subtree
+  bool Keep = true;          ///< no U-turn / divergence in the subtree
+};
+
+bool noUTurn(const std::vector<double> &UMinus,
+             const std::vector<double> &UPlus,
+             const std::vector<double> &RMinus,
+             const std::vector<double> &RPlus) {
+  double DotMinus = 0.0, DotPlus = 0.0;
+  for (size_t I = 0; I < UMinus.size(); ++I) {
+    double D = UPlus[I] - UMinus[I];
+    DotMinus += D * RMinus[I];
+    DotPlus += D * RPlus[I];
+  }
+  return DotMinus >= 0.0 && DotPlus >= 0.0;
+}
+
+/// One leapfrog step in direction Dir.
+void nutsLeapfrog(NutsCtx &NC, std::vector<double> &U,
+                  std::vector<double> &R, int Dir) {
+  std::vector<double> G;
+  NC.eval(U, G);
+  double E = NC.Eps * Dir;
+  for (size_t I = 0; I < U.size(); ++I)
+    R[I] += 0.5 * E * G[I];
+  for (size_t I = 0; I < U.size(); ++I)
+    U[I] += E * R[I];
+  NC.eval(U, G);
+  for (size_t I = 0; I < U.size(); ++I)
+    R[I] += 0.5 * E * G[I];
+}
+
+NutsTree buildTree(NutsCtx &NC, const std::vector<double> &U,
+                   const std::vector<double> &R, int Dir, int Depth,
+                   RNG &Rng) {
+  constexpr double DeltaMax = 1000.0;
+  if (Depth == 0) {
+    NutsTree T;
+    T.UMinus = U;
+    T.RMinus = R;
+    nutsLeapfrog(NC, T.UMinus, T.RMinus, Dir);
+    std::vector<double> G;
+    double Ld = NC.eval(T.UMinus, G);
+    double Kin = 0.0;
+    for (double M : T.RMinus)
+      Kin += 0.5 * M * M;
+    double LogJoint = Ld - Kin;
+    T.UPlus = T.UMinus;
+    T.RPlus = T.RMinus;
+    T.UProp = T.UMinus;
+    T.N = NC.LogU <= LogJoint ? 1 : 0;
+    T.Keep = std::isfinite(LogJoint) && NC.LogU < LogJoint + DeltaMax;
+    return T;
+  }
+  NutsTree Left = buildTree(NC, U, R, Dir, Depth - 1, Rng);
+  if (!Left.Keep)
+    return Left;
+  // Extend in the same direction from the outer edge.
+  NutsTree Right =
+      Dir > 0 ? buildTree(NC, Left.UPlus, Left.RPlus, Dir, Depth - 1, Rng)
+              : buildTree(NC, Left.UMinus, Left.RMinus, Dir, Depth - 1,
+                          Rng);
+  NutsTree T;
+  if (Dir > 0) {
+    T.UMinus = Left.UMinus;
+    T.RMinus = Left.RMinus;
+    T.UPlus = Right.UPlus;
+    T.RPlus = Right.RPlus;
+  } else {
+    T.UMinus = Right.UMinus;
+    T.RMinus = Right.RMinus;
+    T.UPlus = Left.UPlus;
+    T.RPlus = Left.RPlus;
+  }
+  T.N = Left.N + Right.N;
+  // Progressive sampling within the subtree.
+  T.UProp = Left.UProp;
+  if (T.N > 0 && Rng.uniform() < double(Right.N) / double(T.N))
+    T.UProp = Right.UProp;
+  T.Keep = Left.Keep && Right.Keep &&
+           noUTurn(T.UMinus, T.UPlus, T.RMinus, T.RPlus);
+  return T;
+}
+
+} // namespace
+
+Status augur::runNuts(McmcCtx &Ctx, CompiledUpdate &CU) {
+  Env &E = Ctx.Eng->env();
+  RNG &Rng = Ctx.Eng->rng();
+
+  FlatPacker P(CU.U.Vars, CU.Transforms, E);
+  std::vector<double> U0 = P.pack(E);
+  auto Saved = saveTargets(E, CU.U.Vars);
+
+  NutsCtx NC;
+  NC.Mc = &Ctx;
+  NC.CU = &CU;
+  NC.P = &P;
+  NC.Eps = CU.U.Hmc.StepSize;
+
+  std::vector<double> G;
+  double Ld0 = NC.eval(U0, G);
+  std::vector<double> R0(U0.size());
+  double Kin0 = 0.0;
+  for (auto &M : R0) {
+    M = Rng.gauss();
+    Kin0 += 0.5 * M * M;
+  }
+  NC.LogU = (Ld0 - Kin0) - Rng.exponential();
+
+  std::vector<double> UMinus = U0, UPlus = U0, RMinus = R0, RPlus = R0;
+  std::vector<double> UCur = U0;
+  int64_t N = 1;
+  bool Keep = true;
+  for (int Depth = 0; Keep && Depth < CU.U.Hmc.MaxNutsDepth; ++Depth) {
+    int Dir = Rng.uniform() < 0.5 ? -1 : 1;
+    NutsTree T = Dir > 0 ? buildTree(NC, UPlus, RPlus, Dir, Depth, Rng)
+                         : buildTree(NC, UMinus, RMinus, Dir, Depth, Rng);
+    if (Dir > 0) {
+      UPlus = T.UPlus;
+      RPlus = T.RPlus;
+    } else {
+      UMinus = T.UMinus;
+      RMinus = T.RMinus;
+    }
+    if (T.Keep && Rng.uniform() < double(T.N) / double(N))
+      UCur = T.UProp;
+    N += T.N;
+    Keep = T.Keep && noUTurn(UMinus, UPlus, RMinus, RPlus);
+  }
+
+  ++CU.Stats.Proposed;
+  bool Moved = UCur != U0;
+  if (Moved)
+    ++CU.Stats.Accepted;
+  if (Moved) {
+    P.unpack(UCur, E);
+    return Status::success();
+  }
+  restoreTargets(E, std::move(Saved));
+  return Status::success();
+}
+
+Status augur::runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
+  Env &E = Ctx.Eng->env();
+  RNG &Rng = Ctx.Eng->rng();
+  const HmcSettings &S = CU.U.Hmc; // reuse step size/count tuning
+
+  FlatPacker P(CU.U.Vars, CU.Transforms, E);
+  std::vector<double> U0 = P.pack(E);
+  auto Saved = saveTargets(E, CU.U.Vars);
+
+  double LL0 = evalLL(Ctx, CU) + P.logAbsJacobian(U0);
+  // Slice level: log y = ll - Exponential(1).
+  double Level = LL0 - Rng.exponential();
+
+  std::vector<double> U = U0;
+  std::vector<double> Mom(U.size());
+  for (auto &M : Mom)
+    M = Rng.gauss();
+
+  // Take fixed-size steps, reflecting in the gradient direction when
+  // the trajectory falls below the slice (Neal 2003, reflective slice).
+  for (int Step = 0; Step < S.LeapfrogSteps; ++Step) {
+    for (size_t I = 0; I < U.size(); ++I)
+      U[I] += S.StepSize * Mom[I];
+    P.unpack(U, E);
+    double LL = evalLL(Ctx, CU) + P.logAbsJacobian(U);
+    if (LL < Level) {
+      std::vector<double> G = evalGrad(Ctx, CU, P, U);
+      double GG = 0.0, MG = 0.0;
+      for (size_t I = 0; I < U.size(); ++I) {
+        GG += G[I] * G[I];
+        MG += Mom[I] * G[I];
+      }
+      if (GG > 0.0)
+        for (size_t I = 0; I < U.size(); ++I)
+          Mom[I] -= 2.0 * (MG / GG) * G[I];
+    }
+  }
+
+  P.unpack(U, E);
+  double LLFinal = evalLL(Ctx, CU) + P.logAbsJacobian(U);
+  ++CU.Stats.Proposed;
+  if (std::isfinite(LLFinal) && LLFinal >= Level) {
+    ++CU.Stats.Accepted;
+    return Status::success();
+  }
+  restoreTargets(E, std::move(Saved));
+  return Status::success();
+}
+
+Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
+  // Murray, Adams & MacKay (2010). Requires a Gaussian prior on the
+  // target; the ellipse handles the prior, LLProc evaluates the
+  // likelihood factors only.
+  Env &E = Ctx.Eng->env();
+  RNG &Rng = Ctx.Eng->rng();
+  const std::string &Var = CU.U.Vars[0];
+  const ModelDecl *Decl = Ctx.DM->TM.M.findDecl(Var);
+  assert(Decl && "elliptical slice target must be declared");
+
+  // Draw nu from the prior by forward-sampling the declaration into a
+  // scratch slot, preserving the current value.
+  Value Cur = E.at(Var);
+  AUGUR_RETURN_IF_ERROR(forwardSampleDecl(*Decl, Ctx.DM->TM, E, Rng));
+  Value Nu = E.at(Var);
+  E[Var] = Cur;
+
+  // Materialize the prior mean, aligned with the flat payload.
+  Value MeanV = zerosLike(Cur);
+  {
+    Value Saved = E.at(Var);
+    E[Var] = MeanV;
+    // The prior mean of a (Mv)Normal is its first parameter; element
+    // shapes match the variable, so evaluate it per block element.
+    EvalCtx EC(E);
+    const ModelDecl &D = *Decl;
+    std::function<void(size_t, std::vector<int64_t> &)> Rec =
+        [&](size_t Depth, std::vector<int64_t> &Idxs) {
+          if (Depth == D.Comps.size()) {
+            DV M = evalExpr(D.DistArgs[0], EC);
+            MutDV Dest = mutViewValue(E.at(Var), Idxs);
+            if (Dest.K == DV::Kind::Real)
+              *Dest.RealSlot = M.asReal();
+            else
+              for (int64_t I = 0; I < Dest.N; ++I)
+                Dest.Ptr[I] = M.Ptr[I];
+            return;
+          }
+          int64_t Hi = evalIntExpr(D.Comps[Depth].Hi, EC);
+          for (int64_t I = 0; I < Hi; ++I) {
+            EC.LoopVars[D.Comps[Depth].Var] = I;
+            Idxs.push_back(I);
+            Rec(Depth + 1, Idxs);
+            Idxs.pop_back();
+          }
+          EC.LoopVars.erase(D.Comps[Depth].Var);
+        };
+    std::vector<int64_t> Idxs;
+    Rec(0, Idxs);
+    MeanV = E.at(Var);
+    E[Var] = std::move(Saved);
+  }
+
+  auto FlatOf = [](const Value &V) -> std::vector<double> {
+    if (V.isRealScalar())
+      return {V.asReal()};
+    return V.realVec().flat();
+  };
+  auto SetFlat = [](Value &V, const std::vector<double> &X) {
+    if (V.isRealScalar()) {
+      V.realRef() = X[0];
+      return;
+    }
+    V.realVec().flat() = X;
+  };
+
+  std::vector<double> F = FlatOf(Cur);
+  std::vector<double> FNu = FlatOf(Nu);
+  std::vector<double> M = FlatOf(MeanV);
+
+  double LLCur = evalLL(Ctx, CU);
+  double Level = LLCur + std::log(Rng.uniform() + 1e-300);
+
+  double Theta = Rng.uniform(0.0, 2.0 * M_PI);
+  double Lo = Theta - 2.0 * M_PI, HiB = Theta;
+
+  ++CU.Stats.Proposed;
+  std::vector<double> Proposal(F.size());
+  for (int Iter = 0; Iter < 64; ++Iter) {
+    double C = std::cos(Theta), Sn = std::sin(Theta);
+    for (size_t I = 0; I < F.size(); ++I)
+      Proposal[I] = (F[I] - M[I]) * C + (FNu[I] - M[I]) * Sn + M[I];
+    SetFlat(E.at(Var), Proposal);
+    double LL = evalLL(Ctx, CU);
+    if (std::isfinite(LL) && LL > Level) {
+      ++CU.Stats.Accepted;
+      return Status::success();
+    }
+    // Shrink the bracket toward theta = 0 and retry.
+    if (Theta < 0.0)
+      Lo = Theta;
+    else
+      HiB = Theta;
+    Theta = Rng.uniform(Lo, HiB);
+  }
+  // Shrinkage failed to find a point (numerically pathological);
+  // restore the current state.
+  E[Var] = std::move(Cur);
+  return Status::success();
+}
+
+Status augur::runRandomWalkMh(McmcCtx &Ctx, CompiledUpdate &CU) {
+  Env &E = Ctx.Eng->env();
+  RNG &Rng = Ctx.Eng->rng();
+
+  FlatPacker P(CU.U.Vars, CU.Transforms, E);
+  std::vector<double> U0 = P.pack(E);
+  auto Saved = saveTargets(E, CU.U.Vars);
+  double LL0 = evalLL(Ctx, CU) + P.logAbsJacobian(U0);
+
+  std::vector<double> U = U0;
+  for (auto &X : U)
+    X += CU.U.Prop.RandomWalkScale * Rng.gauss();
+  P.unpack(U, E);
+  double LL1 = evalLL(Ctx, CU) + P.logAbsJacobian(U);
+
+  ++CU.Stats.Proposed;
+  double LogAR = LL1 - LL0; // symmetric proposal
+  if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
+    ++CU.Stats.Accepted;
+    return Status::success();
+  }
+  restoreTargets(E, std::move(Saved));
+  return Status::success();
+}
+
+Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
+  switch (CU.U.Kind) {
+  case UpdateKind::FC:
+    return runGibbs(Ctx, CU);
+  case UpdateKind::Grad:
+    return runHmc(Ctx, CU);
+  case UpdateKind::Nuts:
+    return runNuts(Ctx, CU);
+  case UpdateKind::Slice:
+    return runReflectiveSlice(Ctx, CU);
+  case UpdateKind::ESlice:
+    return runEllipticalSlice(Ctx, CU);
+  case UpdateKind::Prop:
+    return runRandomWalkMh(Ctx, CU);
+  }
+  return Status::error("unknown update kind");
+}

@@ -1,0 +1,72 @@
+//===- mcmc/Drivers.h - MCMC library code -----------------------*- C++ -*-===//
+///
+/// \file
+/// The MCMC library layer (paper Section 4.4): everything a base update
+/// needs beyond the compiled primitives — leapfrog integration and the
+/// acceptance ratio for HMC, stepping/shrinkage for slice samplers, the
+/// elliptical slice rotation, random-walk proposals, and the dual-state
+/// discipline of Section 5.5 (a rejected proposal restores the current
+/// state, so the state the next base update sees is always committed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MCMC_DRIVERS_H
+#define AUGUR_MCMC_DRIVERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "density/Forward.h"
+#include "exec/Engine.h"
+#include "kernel/KernelIR.h"
+#include "mcmc/Pack.h"
+
+namespace augur {
+
+/// Acceptance bookkeeping for updates that can reject.
+struct UpdateStats {
+  uint64_t Proposed = 0;
+  uint64_t Accepted = 0;
+
+  double acceptRate() const {
+    return Proposed == 0 ? 1.0 : double(Accepted) / double(Proposed);
+  }
+};
+
+/// A base update with its compiled procedures attached (the backend
+/// instantiation of the Kernel IL's alpha parameter).
+struct CompiledUpdate {
+  BaseUpdate U;
+  std::string GibbsProc;  ///< FC: the complete Gibbs procedure
+  std::string LLProc;     ///< non-FC: restricted log density
+  std::string GradProc;   ///< Grad/Slice: adjoint procedure
+  std::vector<VarTransform> Transforms; ///< parallel to U.Vars
+  UpdateStats Stats;
+};
+
+/// Zeroes (allocating on first use) the adjoint buffer adj_<var> for
+/// each target.
+void zeroAdjBuffers(Env &E, const std::vector<std::string> &Vars);
+
+/// Execution context shared by the drivers.
+struct McmcCtx {
+  Engine *Eng = nullptr;
+  const DensityModel *DM = nullptr;
+};
+
+/// Runs one base update (dispatching on its kind), preserving the
+/// dual-state invariant. Returns an error only on structural problems;
+/// statistical rejection is not an error.
+Status runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU);
+
+// Individual drivers (exposed for targeted tests).
+Status runGibbs(McmcCtx &Ctx, CompiledUpdate &CU);
+Status runHmc(McmcCtx &Ctx, CompiledUpdate &CU);
+Status runNuts(McmcCtx &Ctx, CompiledUpdate &CU);
+Status runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU);
+Status runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU);
+Status runRandomWalkMh(McmcCtx &Ctx, CompiledUpdate &CU);
+
+} // namespace augur
+
+#endif // AUGUR_MCMC_DRIVERS_H

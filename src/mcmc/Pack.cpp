@@ -1,0 +1,119 @@
+//===- mcmc/Pack.cpp ------------------------------------------*- C++ -*-===//
+
+#include "mcmc/Pack.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+
+VarTransform augur::transformForSupport(Support S) {
+  switch (S) {
+  case Support::Positive:
+    return VarTransform::Log;
+  default:
+    return VarTransform::Identity;
+  }
+}
+
+namespace {
+
+int64_t flatSizeOf(const Value &V) {
+  if (V.isRealScalar())
+    return 1;
+  if (V.isRealVec())
+    return V.realVec().flatSize();
+  assert(false && "only real scalars/vectors can be packed");
+  return 0;
+}
+
+/// Raw read access to the flat payload.
+double readFlat(const Value &V, int64_t I) {
+  if (V.isRealScalar())
+    return V.asReal();
+  return V.realVec().flat()[static_cast<size_t>(I)];
+}
+
+void writeFlat(Value &V, int64_t I, double X) {
+  if (V.isRealScalar()) {
+    V.realRef() = X;
+    return;
+  }
+  V.realVec().flat()[static_cast<size_t>(I)] = X;
+}
+
+} // namespace
+
+FlatPacker::FlatPacker(const std::vector<std::string> &Vars,
+                       const std::vector<VarTransform> &Transforms,
+                       const Env &E) {
+  assert(Vars.size() == Transforms.size() && "transform list mismatch");
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    const Value &V = E.at(Vars[I]);
+    Slot S;
+    S.Var = Vars[I];
+    S.Transform = Transforms[I];
+    S.Offset = TotalSize;
+    S.Size = flatSizeOf(V);
+    TotalSize += S.Size;
+    Slots.push_back(std::move(S));
+  }
+}
+
+std::vector<double> FlatPacker::pack(const Env &E) const {
+  std::vector<double> U(static_cast<size_t>(TotalSize));
+  for (const auto &S : Slots) {
+    const Value &V = E.at(S.Var);
+    for (int64_t I = 0; I < S.Size; ++I) {
+      double X = readFlat(V, I);
+      if (S.Transform == VarTransform::Log) {
+        assert(X > 0.0 && "log transform of a non-positive value");
+        X = std::log(X);
+      }
+      U[static_cast<size_t>(S.Offset + I)] = X;
+    }
+  }
+  return U;
+}
+
+void FlatPacker::unpack(const std::vector<double> &U, Env &E) const {
+  assert(static_cast<int64_t>(U.size()) == TotalSize && "size mismatch");
+  for (const auto &S : Slots) {
+    Value &V = E.at(S.Var);
+    for (int64_t I = 0; I < S.Size; ++I) {
+      double X = U[static_cast<size_t>(S.Offset + I)];
+      if (S.Transform == VarTransform::Log)
+        X = std::exp(X);
+      writeFlat(V, I, X);
+    }
+  }
+}
+
+double FlatPacker::logAbsJacobian(const std::vector<double> &U) const {
+  double Sum = 0.0;
+  for (const auto &S : Slots) {
+    if (S.Transform != VarTransform::Log)
+      continue;
+    for (int64_t I = 0; I < S.Size; ++I)
+      Sum += U[static_cast<size_t>(S.Offset + I)]; // log|dv/du| = u
+  }
+  return Sum;
+}
+
+std::vector<double> FlatPacker::chainGrad(const std::vector<double> &U,
+                                          const Env &E) const {
+  std::vector<double> G(static_cast<size_t>(TotalSize));
+  for (const auto &S : Slots) {
+    const Value &Adj = E.at("adj_" + S.Var);
+    for (int64_t I = 0; I < S.Size; ++I) {
+      double Gv = readFlat(Adj, I);
+      if (S.Transform == VarTransform::Log) {
+        double V = std::exp(U[static_cast<size_t>(S.Offset + I)]);
+        // d/du [ll(v(u)) + u] = v * dll/dv + 1.
+        Gv = V * Gv + 1.0;
+      }
+      G[static_cast<size_t>(S.Offset + I)] = Gv;
+    }
+  }
+  return G;
+}

@@ -1,0 +1,73 @@
+//===- mcmc/Pack.h - Flat packing of target variables ----------*- C++ -*-===//
+///
+/// \file
+/// Gradient- and proposal-based updates (HMC, reflective slice, MH)
+/// operate on a flat unconstrained position vector. The packer maps a
+/// set of target variables to and from that vector, applying a log
+/// transform to positive-support variables (with the corresponding
+/// Jacobian corrections for the density and gradient).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MCMC_PACK_H
+#define AUGUR_MCMC_PACK_H
+
+#include <string>
+#include <vector>
+
+#include "density/Eval.h"
+
+namespace augur {
+
+/// Per-variable transform to unconstrained space.
+enum class VarTransform {
+  Identity,
+  Log, ///< v = exp(u) for positive-support variables
+};
+
+/// Packs/unpacks a list of scalar- or vector-shaped variables into one
+/// flat vector.
+class FlatPacker {
+public:
+  struct Slot {
+    std::string Var;
+    VarTransform Transform;
+    int64_t Offset;
+    int64_t Size;
+  };
+
+  /// Builds a packer for \p Vars over the shapes currently in \p E.
+  /// \p Transforms must parallel \p Vars.
+  FlatPacker(const std::vector<std::string> &Vars,
+             const std::vector<VarTransform> &Transforms, const Env &E);
+
+  int64_t size() const { return TotalSize; }
+  const std::vector<Slot> &slots() const { return Slots; }
+
+  /// Reads the variables from \p E into unconstrained coordinates.
+  std::vector<double> pack(const Env &E) const;
+
+  /// Writes unconstrained coordinates \p U back into \p E.
+  void unpack(const std::vector<double> &U, Env &E) const;
+
+  /// Sum of log|dv/du| over all transformed coordinates (added to the
+  /// log density in unconstrained space).
+  double logAbsJacobian(const std::vector<double> &U) const;
+
+  /// Converts constrained-space gradients (read from the adj_<var>
+  /// buffers of \p E) to unconstrained-space gradients at \p U,
+  /// including the Jacobian term (d/du [ll + log|dv/du|]).
+  std::vector<double> chainGrad(const std::vector<double> &U,
+                                const Env &E) const;
+
+private:
+  std::vector<Slot> Slots;
+  int64_t TotalSize = 0;
+};
+
+/// Chooses the transform for a variable from its prior's support.
+VarTransform transformForSupport(Support S);
+
+} // namespace augur
+
+#endif // AUGUR_MCMC_PACK_H

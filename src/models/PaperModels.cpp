@@ -1,0 +1,89 @@
+//===- models/PaperModels.cpp ---------------------------------*- C++ -*-===//
+
+#include "models/PaperModels.h"
+
+namespace augur {
+namespace models {
+
+const char *GMM = R"model(
+// Gaussian Mixture Model (paper Fig. 1).
+(K, N, mu_0, Sigma_0, pis, Sigma) => {
+  param mu[k] ~ MvNormal(mu_0, Sigma_0)
+    for k <- 0 until K ;
+  param z[n] ~ Categorical(pis)
+    for n <- 0 until N ;
+  data x[n] ~ MvNormal(mu[z[n]], Sigma)
+    for n <- 0 until N ;
+}
+)model";
+
+const char *HLR = R"model(
+// Hierarchical Logistic Regression (paper Section 7.2).
+(lambda, N, Kf, x) => {
+  param sigma2 ~ Exponential(lambda) ;
+  param b ~ Normal(0.0, sigma2) ;
+  param theta[k] ~ Normal(0.0, sigma2)
+    for k <- 0 until Kf ;
+  data y[n] ~ Bernoulli(sigmoid(dot(x[n], theta) + b))
+    for n <- 0 until N ;
+}
+)model";
+
+const char *HGMM = R"model(
+// Hierarchical Gaussian Mixture Model (paper Section 7.2).
+(K, N, alpha, mu_0, Sigma_0, nu, Psi) => {
+  param pi ~ Dirichlet(alpha) ;
+  param mu[k] ~ MvNormal(mu_0, Sigma_0)
+    for k <- 0 until K ;
+  param Sigma[k] ~ InvWishart(nu, Psi)
+    for k <- 0 until K ;
+  param z[n] ~ Categorical(pi)
+    for n <- 0 until N ;
+  data y[n] ~ MvNormal(mu[z[n]], Sigma[z[n]])
+    for n <- 0 until N ;
+}
+)model";
+
+const char *HGMMKnownCov = R"model(
+// HGMM with known shared observation covariance (Fig. 10/11 setting).
+(K, N, alpha, mu_0, Sigma_0, Sigma) => {
+  param pi ~ Dirichlet(alpha) ;
+  param mu[k] ~ MvNormal(mu_0, Sigma_0)
+    for k <- 0 until K ;
+  param z[n] ~ Categorical(pi)
+    for n <- 0 until N ;
+  data y[n] ~ MvNormal(mu[z[n]], Sigma)
+    for n <- 0 until N ;
+}
+)model";
+
+const char *LDA = R"model(
+// Latent Dirichlet Allocation (paper Section 7.2).
+(K, D, V, alpha, beta, L) => {
+  param theta[d] ~ Dirichlet(alpha)
+    for d <- 0 until D ;
+  param phi[k] ~ Dirichlet(beta)
+    for k <- 0 until K ;
+  param z[d][j] ~ Categorical(theta[d])
+    for d <- 0 until D, j <- 0 until L[d] ;
+  data w[d][j] ~ Categorical(phi[z[d][j]])
+    for d <- 0 until D, j <- 0 until L[d] ;
+}
+)model";
+
+const char *SBN = R"model(
+// Sigmoid belief network with two hidden causes per observation.
+(N, prior_sd, p) => {
+  let wvar = prior_sd * prior_sd ;
+  param w1 ~ Normal(0.0, wvar) ;
+  param w2 ~ Normal(0.0, wvar) ;
+  param b ~ Normal(0.0, wvar) ;
+  param h[n][j] ~ Bernoulli(p)
+    for n <- 0 until N, j <- 0 until 2 ;
+  data x[n] ~ Bernoulli(sigmoid(b + w1 * h[n][0] + w2 * h[n][1]))
+    for n <- 0 until N ;
+}
+)model";
+
+} // namespace models
+} // namespace augur

@@ -1,0 +1,48 @@
+//===- models/PaperModels.h - The paper's benchmark models ----*- C++ -*-===//
+///
+/// \file
+/// Surface-syntax sources for the models used throughout the paper: the
+/// GMM running example (Fig. 1) and the three evaluation models of
+/// Section 7.2 (HLR, HGMM, LDA).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MODELS_PAPERMODELS_H
+#define AUGUR_MODELS_PAPERMODELS_H
+
+namespace augur {
+namespace models {
+
+/// Gaussian Mixture Model, paper Fig. 1.
+/// Formals: K, N, mu_0 (Vec Real), Sigma_0 (Mat), pis (Vec Real),
+/// Sigma (Mat). Params: mu (cluster means), z (assignments); data: x.
+extern const char *GMM;
+
+/// Hierarchical Logistic Regression (Section 7.2). Formals: lambda, N,
+/// Kf, x (Vec (Vec Real) features). Params: sigma2, b, theta; data: y.
+extern const char *HLR;
+
+/// Hierarchical GMM (Section 7.2): Dirichlet-weighted mixture with
+/// per-component InvWishart covariances.
+extern const char *HGMM;
+
+/// HGMM variant with shared, known covariances (the Fig. 10 / Fig. 11
+/// configuration: 2-D clusters, conjugate means), so all of Gibbs,
+/// Elliptical Slice and HMC apply to mu.
+extern const char *HGMMKnownCov;
+
+/// Latent Dirichlet Allocation (Section 7.2). Formals: K, D, V, alpha
+/// (Vec Real, size K), beta (Vec Real, size V), L (Vec Int doc lengths).
+/// Params: theta, phi, z; data: w.
+extern const char *LDA;
+
+/// A small sigmoid belief network (the paper's Section 2 names SBNs as
+/// part of the expressible fixed-structure class): two binary hidden
+/// units per observation feeding a Bernoulli through a sigmoid, with
+/// Gaussian weights and a deterministic `let` for the prior variance.
+extern const char *SBN;
+
+} // namespace models
+} // namespace augur
+
+#endif // AUGUR_MODELS_PAPERMODELS_H

@@ -1,0 +1,106 @@
+//===- runtime/ConjugateOps.cpp -------------------------------*- C++ -*-===//
+
+#include "runtime/ConjugateOps.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace augur;
+
+namespace {
+
+Matrix matFromView(const DV &V) {
+  assert(V.K == DV::Kind::Mat && "expected a matrix view");
+  Matrix M(V.Rows, V.Cols);
+  std::memcpy(M.data(), V.Ptr,
+              static_cast<size_t>(V.Rows * V.Cols) * sizeof(double));
+  return M;
+}
+
+} // namespace
+
+void augur::conjPosteriorSample(ConjOp Op, const std::vector<DV> &Prior,
+                                const std::vector<DV> &Extra,
+                                const std::vector<DV> &Stats, RNG &Rng,
+                                MutDV Dest) {
+  switch (Op) {
+  case ConjOp::NormalMean: {
+    double M0 = Prior[0].asReal(), V0 = Prior[1].asReal();
+    double Prec = 1.0 / V0 + Stats[0].asReal();
+    double PostVar = 1.0 / Prec;
+    double PostMean = PostVar * (M0 / V0 + Stats[1].asReal());
+    *Dest.RealSlot = Rng.gauss(PostMean, std::sqrt(PostVar));
+    return;
+  }
+  case ConjOp::MvNormalMean: {
+    int64_t D = Prior[0].N;
+    Matrix S0 = matFromView(Prior[1]);
+    Matrix Cov = matFromView(Extra[0]);
+    double Cnt = Stats[0].asReal();
+    const double *SumY = Stats[1].Ptr;
+    Result<Matrix> L0 = cholesky(S0);
+    Result<Matrix> LC = cholesky(Cov);
+    assert(L0.ok() && LC.ok() && "conjugate update needs PD covariances");
+    Matrix Prec0 = choleskyInverse(*L0);
+    Matrix PrecL = choleskyInverse(*LC);
+    Matrix Lambda = Prec0 + PrecL.scaled(Cnt);
+    std::vector<double> M0(Prior[0].Ptr, Prior[0].Ptr + D);
+    std::vector<double> Eta = Prec0.multiply(M0);
+    std::vector<double> SumYV(SumY, SumY + D);
+    std::vector<double> Eta2 = PrecL.multiply(SumYV);
+    for (int64_t I = 0; I < D; ++I)
+      Eta[static_cast<size_t>(I)] += Eta2[static_cast<size_t>(I)];
+    Result<Matrix> LL = cholesky(Lambda);
+    assert(LL.ok() && "posterior precision must be PD");
+    std::vector<double> Mean = choleskySolve(*LL, Eta);
+    Matrix PostCov = choleskyInverse(*LL);
+    distSample(Dist::MvNormal, {DV::vec(Mean), DV::mat(PostCov)}, Rng,
+               Dest);
+    return;
+  }
+  case ConjOp::DirichletCategorical: {
+    int64_t K = Prior[0].N;
+    assert(Stats[0].N == K && Dest.N == K && "simplex size mismatch");
+    std::vector<double> AlphaPost(static_cast<size_t>(K));
+    for (int64_t I = 0; I < K; ++I)
+      AlphaPost[static_cast<size_t>(I)] = Prior[0].Ptr[I] + Stats[0].Ptr[I];
+    distSample(Dist::Dirichlet, {DV::vec(AlphaPost)}, Rng, Dest);
+    return;
+  }
+  case ConjOp::BetaBernoulli: {
+    double A = Prior[0].asReal() + Stats[0].asReal();
+    double B = Prior[1].asReal() + Stats[1].asReal();
+    distSample(Dist::Beta, {DV::real(A), DV::real(B)}, Rng, Dest);
+    return;
+  }
+  case ConjOp::GammaPoisson: {
+    double A = Prior[0].asReal() + Stats[1].asReal(); // + sum y
+    double B = Prior[1].asReal() + Stats[0].asReal(); // + count
+    distSample(Dist::Gamma, {DV::real(A), DV::real(B)}, Rng, Dest);
+    return;
+  }
+  case ConjOp::GammaExponential: {
+    double A = Prior[0].asReal() + Stats[0].asReal(); // + count
+    double B = Prior[1].asReal() + Stats[1].asReal(); // + sum y
+    distSample(Dist::Gamma, {DV::real(A), DV::real(B)}, Rng, Dest);
+    return;
+  }
+  case ConjOp::InvGammaNormalVariance: {
+    double A = Prior[0].asReal() + 0.5 * Stats[0].asReal();
+    double B = Prior[1].asReal() + 0.5 * Stats[1].asReal();
+    distSample(Dist::InvGamma, {DV::real(A), DV::real(B)}, Rng, Dest);
+    return;
+  }
+  case ConjOp::InvWishartMvNormalCov: {
+    double Df = Prior[0].asReal() + Stats[0].asReal();
+    Matrix Psi = matFromView(Prior[1]);
+    Matrix SumO = matFromView(Stats[1]);
+    Matrix PsiPost = Psi + SumO;
+    distSample(Dist::InvWishart, {DV::real(Df), DV::mat(PsiPost)}, Rng,
+               Dest);
+    return;
+  }
+  }
+  assert(false && "unknown conjugate relation");
+}

@@ -1,0 +1,49 @@
+//===- runtime/ConjugateOps.h - Closed-form posterior draws ----*- C++ -*-===//
+///
+/// \file
+/// The closed-form posterior sampling step of each conjugacy relation,
+/// given the prior parameters and sufficient statistics. Shared by the
+/// Low++ interpreter's ConjSample statement and the Jags-like baseline
+/// (which computes the same statistics by walking its reified graph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_RUNTIME_CONJUGATEOPS_H
+#define AUGUR_RUNTIME_CONJUGATEOPS_H
+
+#include "runtime/Distributions.h"
+
+namespace augur {
+
+// Keep in sync with density/Conjugacy.h; redeclared here (runtime must
+// not depend on the compiler IRs).
+enum class ConjOp {
+  NormalMean,
+  MvNormalMean,
+  DirichletCategorical,
+  BetaBernoulli,
+  GammaPoisson,
+  GammaExponential,
+  InvGammaNormalVariance,
+  InvWishartMvNormalCov,
+};
+
+/// Draws from the conjugate posterior into \p Dest.
+///
+/// Statistic conventions (all as DV views):
+///   NormalMean:            {sumPrec, sumWY}
+///   MvNormalMean:          {cnt, sumY (vec)}; Extra = {likelihood cov}
+///   DirichletCategorical:  {counts (vec)}
+///   BetaBernoulli:         {cnt1, cnt0}
+///   GammaPoisson:          {cnt, sumY}
+///   GammaExponential:      {cnt, sumY}
+///   InvGammaNormalVariance:{cnt, sumSq}
+///   InvWishartMvNormalCov: {cnt, sumOuter (mat)}
+void conjPosteriorSample(ConjOp Op, const std::vector<DV> &Prior,
+                         const std::vector<DV> &Extra,
+                         const std::vector<DV> &Stats, RNG &Rng,
+                         MutDV Dest);
+
+} // namespace augur
+
+#endif // AUGUR_RUNTIME_CONJUGATEOPS_H

@@ -1,0 +1,569 @@
+//===- runtime/Distributions.cpp ------------------------------*- C++ -*-===//
+
+#include "runtime/Distributions.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "math/Special.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+static const double NegInf = -std::numeric_limits<double>::infinity();
+static const double Log2Pi = std::log(2.0 * M_PI);
+
+const DistInfo &augur::distInfo(Dist D) {
+  static const DistInfo Infos[] = {
+      {"Normal", 2, false, Support::Real},
+      {"MvNormal", 2, false, Support::Real},
+      {"Bernoulli", 1, true, Support::DiscreteFinite},
+      {"Categorical", 1, true, Support::DiscreteFinite},
+      {"Dirichlet", 1, false, Support::Simplex},
+      {"Exponential", 1, false, Support::Positive},
+      {"Gamma", 2, false, Support::Positive},
+      {"InvGamma", 2, false, Support::Positive},
+      {"Beta", 2, false, Support::UnitInterval},
+      {"Uniform", 2, false, Support::Bounded},
+      {"Poisson", 1, true, Support::DiscreteCount},
+      {"InvWishart", 2, false, Support::PDMatrix},
+  };
+  return Infos[static_cast<int>(D)];
+}
+
+std::optional<Dist> augur::distByName(const std::string &Name) {
+  static const Dist All[] = {
+      Dist::Normal,      Dist::MvNormal, Dist::Bernoulli, Dist::Categorical,
+      Dist::Dirichlet,   Dist::Exponential, Dist::Gamma,  Dist::InvGamma,
+      Dist::Beta,        Dist::Uniform,  Dist::Poisson,   Dist::InvWishart,
+  };
+  for (Dist D : All)
+    if (Name == distInfo(D).Name)
+      return D;
+  return std::nullopt;
+}
+
+Result<Type> augur::distValueType(Dist D, const std::vector<Type> &ParamTys) {
+  const DistInfo &Info = distInfo(D);
+  if (static_cast<int>(ParamTys.size()) != Info.NumParams)
+    return Status::error(
+        strFormat("%s expects %d parameters, got %zu", Info.Name,
+                  Info.NumParams, ParamTys.size()));
+  auto WantScalarReal = [&](int I) -> Status {
+    if (!ParamTys[I].isScalar())
+      return Status::error(strFormat("%s parameter %d must be a scalar",
+                                     Info.Name, I + 1));
+    return Status::success();
+  };
+  auto WantRealVec = [&](int I) -> Status {
+    if (!ParamTys[I].isVec() || !ParamTys[I].elem().isReal())
+      return Status::error(strFormat("%s parameter %d must be Vec Real",
+                                     Info.Name, I + 1));
+    return Status::success();
+  };
+  auto WantMat = [&](int I) -> Status {
+    if (!ParamTys[I].isMat())
+      return Status::error(
+          strFormat("%s parameter %d must be a matrix", Info.Name, I + 1));
+    return Status::success();
+  };
+  switch (D) {
+  case Dist::Normal:
+  case Dist::Gamma:
+  case Dist::InvGamma:
+  case Dist::Beta:
+  case Dist::Uniform:
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(0));
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(1));
+    return Type::realTy();
+  case Dist::Exponential:
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(0));
+    return Type::realTy();
+  case Dist::Bernoulli:
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(0));
+    return Type::intTy();
+  case Dist::Poisson:
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(0));
+    return Type::intTy();
+  case Dist::Categorical:
+    AUGUR_RETURN_IF_ERROR(WantRealVec(0));
+    return Type::intTy();
+  case Dist::Dirichlet:
+    AUGUR_RETURN_IF_ERROR(WantRealVec(0));
+    return Type::vec(Type::realTy());
+  case Dist::MvNormal:
+    AUGUR_RETURN_IF_ERROR(WantRealVec(0));
+    AUGUR_RETURN_IF_ERROR(WantMat(1));
+    return Type::vec(Type::realTy());
+  case Dist::InvWishart:
+    AUGUR_RETURN_IF_ERROR(WantScalarReal(0));
+    AUGUR_RETURN_IF_ERROR(WantMat(1));
+    return Type::mat();
+  }
+  return Status::error("unknown distribution");
+}
+
+//===----------------------------------------------------------------------===//
+// logPdf
+//===----------------------------------------------------------------------===//
+
+static double normalLogPdf(double X, double Mean, double Var) {
+  if (Var <= 0.0)
+    return NegInf;
+  double Z = X - Mean;
+  return -0.5 * (Log2Pi + std::log(Var) + Z * Z / Var);
+}
+
+/// Allocation-free Cholesky + solve for small dimensions (the common
+/// case: per-cluster covariances). Returns false if not PD.
+static bool smallCholQuad(const double *SigmaData, const double *X,
+                          const double *Mu, int64_t N, double &Quad,
+                          double &LogDet) {
+  constexpr int64_t MaxSmall = 16;
+  if (N > MaxSmall)
+    return false;
+  double L[MaxSmall * MaxSmall];
+  for (int64_t J = 0; J < N; ++J) {
+    double Diag = SigmaData[J * N + J];
+    for (int64_t K = 0; K < J; ++K)
+      Diag -= L[J * N + K] * L[J * N + K];
+    if (Diag <= 0.0 || !std::isfinite(Diag))
+      return false;
+    double Ljj = std::sqrt(Diag);
+    L[J * N + J] = Ljj;
+    for (int64_t I = J + 1; I < N; ++I) {
+      double Off = SigmaData[I * N + J];
+      for (int64_t K = 0; K < J; ++K)
+        Off -= L[I * N + K] * L[J * N + K];
+      L[I * N + J] = Off / Ljj;
+    }
+  }
+  double Y[MaxSmall];
+  for (int64_t I = 0; I < N; ++I) {
+    double Acc = X[I] - Mu[I];
+    for (int64_t K = 0; K < I; ++K)
+      Acc -= L[I * N + K] * Y[K];
+    Y[I] = Acc / L[I * N + I];
+  }
+  Quad = 0.0;
+  LogDet = 0.0;
+  for (int64_t I = 0; I < N; ++I) {
+    Quad += Y[I] * Y[I];
+    LogDet += std::log(L[I * N + I]);
+  }
+  LogDet *= 2.0;
+  return true;
+}
+
+static double mvNormalLogPdf(const DV &X, const DV &Mu, const DV &Sigma) {
+  assert(X.K == DV::Kind::Vec && Mu.K == DV::Kind::Vec &&
+         Sigma.K == DV::Kind::Mat && "MvNormal argument views");
+  int64_t N = X.N;
+  assert(Mu.N == N && Sigma.Rows == N && Sigma.Cols == N && "shape mismatch");
+  if (N <= 16) {
+    double Quad, LogDet;
+    if (!smallCholQuad(Sigma.Ptr, X.Ptr, Mu.Ptr, N, Quad, LogDet))
+      return NegInf;
+    return -0.5 * (N * Log2Pi + LogDet + Quad);
+  }
+  Matrix S(N, N);
+  std::memcpy(S.data(), Sigma.Ptr,
+              static_cast<size_t>(N * N) * sizeof(double));
+  Result<Matrix> L = cholesky(S);
+  if (!L.ok())
+    return NegInf;
+  std::vector<double> Diff(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I)
+    Diff[static_cast<size_t>(I)] = X.Ptr[I] - Mu.Ptr[I];
+  std::vector<double> Y = solveLower(*L, Diff);
+  double Quad = dot(Y, Y);
+  return -0.5 * (N * Log2Pi + choleskyLogDet(*L) + Quad);
+}
+
+static double invWishartLogPdf(const DV &X, double Df, const DV &Psi) {
+  assert(X.K == DV::Kind::Mat && Psi.K == DV::Kind::Mat &&
+         "InvWishart argument views");
+  int64_t P = X.Rows;
+  if (Df <= P - 1)
+    return NegInf;
+  Matrix XM(P, P), PsiM(P, P);
+  std::memcpy(XM.data(), X.Ptr, static_cast<size_t>(P * P) * sizeof(double));
+  std::memcpy(PsiM.data(), Psi.Ptr,
+              static_cast<size_t>(P * P) * sizeof(double));
+  Result<Matrix> LX = cholesky(XM);
+  Result<Matrix> LPsi = cholesky(PsiM);
+  if (!LX.ok() || !LPsi.ok())
+    return NegInf;
+  // tr(Psi X^{-1}) = sum_j psi_col_j . (X^{-1} e_j)
+  double Trace = 0.0;
+  std::vector<double> Col(static_cast<size_t>(P));
+  for (int64_t J = 0; J < P; ++J) {
+    for (int64_t I = 0; I < P; ++I)
+      Col[static_cast<size_t>(I)] = PsiM.at(I, J);
+    std::vector<double> Solved = choleskySolve(*LX, Col);
+    Trace += Solved[static_cast<size_t>(J)];
+  }
+  double LogDetPsi = choleskyLogDet(*LPsi);
+  double LogDetX = choleskyLogDet(*LX);
+  return 0.5 * Df * LogDetPsi - 0.5 * Df * P * std::log(2.0) -
+         logMvGamma(static_cast<int>(P), 0.5 * Df) -
+         0.5 * (Df + P + 1) * LogDetX - 0.5 * Trace;
+}
+
+double augur::distLogPdf(Dist D, const std::vector<DV> &Params, const DV &X) {
+  switch (D) {
+  case Dist::Normal:
+    return normalLogPdf(X.asReal(), Params[0].asReal(), Params[1].asReal());
+  case Dist::MvNormal:
+    return mvNormalLogPdf(X, Params[0], Params[1]);
+  case Dist::Bernoulli: {
+    double P = Params[0].asReal();
+    if (P < 0.0 || P > 1.0)
+      return NegInf;
+    int64_t V = X.I;
+    if (V != 0 && V != 1)
+      return NegInf;
+    double Prob = V == 1 ? P : 1.0 - P;
+    return Prob > 0.0 ? std::log(Prob) : NegInf;
+  }
+  case Dist::Categorical: {
+    const DV &Pi = Params[0];
+    int64_t V = X.I;
+    if (V < 0 || V >= Pi.N)
+      return NegInf;
+    double P = Pi.Ptr[V];
+    return P > 0.0 ? std::log(P) : NegInf;
+  }
+  case Dist::Dirichlet: {
+    const DV &Alpha = Params[0];
+    assert(X.K == DV::Kind::Vec && X.N == Alpha.N && "shape mismatch");
+    double Sum = 0.0, SumAlpha = 0.0, LogB = 0.0;
+    for (int64_t I = 0; I < Alpha.N; ++I) {
+      double A = Alpha.Ptr[I];
+      double V = X.Ptr[I];
+      if (A <= 0.0 || V <= 0.0 || V >= 1.0)
+        return NegInf;
+      Sum += (A - 1.0) * std::log(V);
+      SumAlpha += A;
+      LogB += logGamma(A);
+    }
+    return Sum + logGamma(SumAlpha) - LogB;
+  }
+  case Dist::Exponential: {
+    double Rate = Params[0].asReal();
+    double V = X.asReal();
+    if (Rate <= 0.0 || V < 0.0)
+      return NegInf;
+    return std::log(Rate) - Rate * V;
+  }
+  case Dist::Gamma: {
+    double Shape = Params[0].asReal(), Rate = Params[1].asReal();
+    double V = X.asReal();
+    if (Shape <= 0.0 || Rate <= 0.0 || V <= 0.0)
+      return NegInf;
+    return Shape * std::log(Rate) - logGamma(Shape) +
+           (Shape - 1.0) * std::log(V) - Rate * V;
+  }
+  case Dist::InvGamma: {
+    double Shape = Params[0].asReal(), Scale = Params[1].asReal();
+    double V = X.asReal();
+    if (Shape <= 0.0 || Scale <= 0.0 || V <= 0.0)
+      return NegInf;
+    return Shape * std::log(Scale) - logGamma(Shape) -
+           (Shape + 1.0) * std::log(V) - Scale / V;
+  }
+  case Dist::Beta: {
+    double A = Params[0].asReal(), B = Params[1].asReal();
+    double V = X.asReal();
+    if (A <= 0.0 || B <= 0.0 || V <= 0.0 || V >= 1.0)
+      return NegInf;
+    return (A - 1.0) * std::log(V) + (B - 1.0) * std::log(1.0 - V) +
+           logGamma(A + B) - logGamma(A) - logGamma(B);
+  }
+  case Dist::Uniform: {
+    double Lo = Params[0].asReal(), Hi = Params[1].asReal();
+    double V = X.asReal();
+    if (Hi <= Lo || V < Lo || V > Hi)
+      return NegInf;
+    return -std::log(Hi - Lo);
+  }
+  case Dist::Poisson: {
+    double Rate = Params[0].asReal();
+    int64_t V = X.I;
+    if (Rate <= 0.0 || V < 0)
+      return NegInf;
+    return V * std::log(Rate) - Rate - logGamma(static_cast<double>(V) + 1.0);
+  }
+  case Dist::InvWishart:
+    return invWishartLogPdf(X, Params[0].asReal(), Params[1]);
+  }
+  return NegInf;
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling
+//===----------------------------------------------------------------------===//
+
+static void sampleMvNormal(const DV &Mu, const DV &Sigma, RNG &Rng,
+                           MutDV Out) {
+  int64_t N = Mu.N;
+  assert(Out.K == DV::Kind::Vec && Out.N == N && "bad MvNormal destination");
+  Matrix S(N, N);
+  std::memcpy(S.data(), Sigma.Ptr,
+              static_cast<size_t>(N * N) * sizeof(double));
+  Result<Matrix> L = cholesky(S);
+  assert(L.ok() && "MvNormal covariance must be positive definite");
+  std::vector<double> Z(static_cast<size_t>(N));
+  for (auto &V : Z)
+    V = Rng.gauss();
+  for (int64_t I = 0; I < N; ++I) {
+    double Acc = Mu.Ptr[I];
+    for (int64_t J = 0; J <= I; ++J)
+      Acc += L->at(I, J) * Z[static_cast<size_t>(J)];
+    Out.Ptr[I] = Acc;
+  }
+}
+
+static void sampleDirichlet(const DV &Alpha, RNG &Rng, MutDV Out) {
+  assert(Out.K == DV::Kind::Vec && Out.N == Alpha.N &&
+         "bad Dirichlet destination");
+  double Sum = 0.0;
+  for (int64_t I = 0; I < Alpha.N; ++I) {
+    double G = Rng.gamma(Alpha.Ptr[I]);
+    Out.Ptr[I] = G;
+    Sum += G;
+  }
+  assert(Sum > 0.0 && "Dirichlet draw collapsed to zero");
+  for (int64_t I = 0; I < Alpha.N; ++I)
+    Out.Ptr[I] /= Sum;
+}
+
+static int64_t sampleCategorical(const DV &Pi, RNG &Rng) {
+  double U = Rng.uniform();
+  double Acc = 0.0;
+  for (int64_t I = 0; I < Pi.N; ++I) {
+    Acc += Pi.Ptr[I];
+    if (U < Acc)
+      return I;
+  }
+  return Pi.N - 1;
+}
+
+static int64_t samplePoisson(double Rate, RNG &Rng) {
+  // Knuth for small rates; normal approximation cutover for large.
+  if (Rate < 30.0) {
+    double L = std::exp(-Rate);
+    int64_t K = 0;
+    double P = 1.0;
+    do {
+      ++K;
+      P *= Rng.uniform();
+    } while (P > L);
+    return K - 1;
+  }
+  double V = std::floor(Rate + std::sqrt(Rate) * Rng.gauss() + 0.5);
+  return V < 0.0 ? 0 : static_cast<int64_t>(V);
+}
+
+static void sampleInvWishart(double Df, const DV &Psi, RNG &Rng, MutDV Out) {
+  int64_t P = Psi.Rows;
+  assert(Out.K == DV::Kind::Mat && Out.Rows == P && Out.Cols == P &&
+         "bad InvWishart destination");
+  Matrix PsiM(P, P);
+  std::memcpy(PsiM.data(), Psi.Ptr,
+              static_cast<size_t>(P * P) * sizeof(double));
+  // X ~ IW(df, Psi)  <=>  X = W^{-1},  W ~ Wishart(df, Psi^{-1}).
+  Result<Matrix> LPsi = cholesky(PsiM);
+  assert(LPsi.ok() && "InvWishart scale must be positive definite");
+  Matrix PsiInv = choleskyInverse(*LPsi);
+  Result<Matrix> LS = cholesky(PsiInv);
+  assert(LS.ok() && "inverse scale must be positive definite");
+  // Bartlett: A lower-triangular, A_ii ~ sqrt(chi2(df - i)), A_ij ~ N(0,1).
+  Matrix A(P, P);
+  for (int64_t I = 0; I < P; ++I) {
+    double Chi2 = 2.0 * Rng.gamma(0.5 * (Df - static_cast<double>(I)));
+    A.at(I, I) = std::sqrt(Chi2);
+    for (int64_t J = 0; J < I; ++J)
+      A.at(I, J) = Rng.gauss();
+  }
+  Matrix LA = *LS * A;
+  Matrix W = LA * LA.transpose();
+  Result<Matrix> LW = cholesky(W);
+  assert(LW.ok() && "Wishart draw must be positive definite");
+  Matrix X = choleskyInverse(*LW);
+  std::memcpy(Out.Ptr, X.data(), static_cast<size_t>(P * P) * sizeof(double));
+}
+
+void augur::distSample(Dist D, const std::vector<DV> &Params, RNG &Rng,
+                       MutDV Out) {
+  switch (D) {
+  case Dist::Normal:
+    *Out.RealSlot = Rng.gauss(Params[0].asReal(),
+                              std::sqrt(Params[1].asReal()));
+    return;
+  case Dist::MvNormal:
+    sampleMvNormal(Params[0], Params[1], Rng, Out);
+    return;
+  case Dist::Bernoulli:
+    *Out.IntSlot = Rng.uniform() < Params[0].asReal() ? 1 : 0;
+    return;
+  case Dist::Categorical:
+    *Out.IntSlot = sampleCategorical(Params[0], Rng);
+    return;
+  case Dist::Dirichlet:
+    sampleDirichlet(Params[0], Rng, Out);
+    return;
+  case Dist::Exponential:
+    *Out.RealSlot = Rng.exponential() / Params[0].asReal();
+    return;
+  case Dist::Gamma:
+    *Out.RealSlot = Rng.gamma(Params[0].asReal()) / Params[1].asReal();
+    return;
+  case Dist::InvGamma:
+    *Out.RealSlot = Params[1].asReal() / Rng.gamma(Params[0].asReal());
+    return;
+  case Dist::Beta: {
+    double A = Rng.gamma(Params[0].asReal());
+    double B = Rng.gamma(Params[1].asReal());
+    *Out.RealSlot = A / (A + B);
+    return;
+  }
+  case Dist::Uniform:
+    *Out.RealSlot = Rng.uniform(Params[0].asReal(), Params[1].asReal());
+    return;
+  case Dist::Poisson:
+    *Out.IntSlot = samplePoisson(Params[0].asReal(), Rng);
+    return;
+  case Dist::InvWishart:
+    sampleInvWishart(Params[0].asReal(), Params[1], Rng, Out);
+    return;
+  }
+  assert(false && "unknown distribution in distSample");
+}
+
+//===----------------------------------------------------------------------===//
+// Gradients
+//===----------------------------------------------------------------------===//
+
+bool augur::distHasGrad(Dist D, int ArgIdx) {
+  switch (D) {
+  case Dist::Normal:
+    return ArgIdx <= 2;
+  case Dist::MvNormal:
+    return ArgIdx <= 1; // variate and mean
+  case Dist::Bernoulli:
+    return ArgIdx == 1;
+  case Dist::Categorical:
+    return ArgIdx == 1;
+  case Dist::Dirichlet:
+    return ArgIdx == 0;
+  case Dist::Exponential:
+    return ArgIdx <= 1;
+  case Dist::Gamma:
+    return ArgIdx == 0 || ArgIdx == 2;
+  case Dist::InvGamma:
+    return ArgIdx == 0;
+  case Dist::Beta:
+    return ArgIdx == 0;
+  case Dist::Uniform:
+    return ArgIdx == 0;
+  case Dist::Poisson:
+    return ArgIdx == 1;
+  case Dist::InvWishart:
+    return false;
+  }
+  return false;
+}
+
+void augur::distAccumGrad(Dist D, int ArgIdx, const std::vector<DV> &Params,
+                          const DV &X, double Adj, double *Out) {
+  assert(distHasGrad(D, ArgIdx) && "gradient not implemented");
+  switch (D) {
+  case Dist::Normal: {
+    double Mean = Params[0].asReal(), Var = Params[1].asReal();
+    double Z = X.asReal() - Mean;
+    if (ArgIdx == 0)
+      Out[0] += Adj * (-Z / Var);
+    else if (ArgIdx == 1)
+      Out[0] += Adj * (Z / Var);
+    else
+      Out[0] += Adj * (-0.5 / Var + 0.5 * Z * Z / (Var * Var));
+    return;
+  }
+  case Dist::MvNormal: {
+    // d/dx = -Sigma^{-1}(x - mu); d/dmu is the negation.
+    int64_t N = X.N;
+    Matrix S(N, N);
+    std::memcpy(S.data(), Params[1].Ptr,
+                static_cast<size_t>(N * N) * sizeof(double));
+    Result<Matrix> L = cholesky(S);
+    assert(L.ok() && "MvNormal covariance must be positive definite");
+    std::vector<double> Diff(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Diff[static_cast<size_t>(I)] = X.Ptr[I] - Params[0].Ptr[I];
+    std::vector<double> G = choleskySolve(*L, Diff);
+    double Sign = ArgIdx == 0 ? -1.0 : 1.0;
+    for (int64_t I = 0; I < N; ++I)
+      Out[I] += Adj * Sign * G[static_cast<size_t>(I)];
+    return;
+  }
+  case Dist::Bernoulli: {
+    double P = Params[0].asReal();
+    double G = X.I == 1 ? 1.0 / P : -1.0 / (1.0 - P);
+    Out[0] += Adj * G;
+    return;
+  }
+  case Dist::Categorical: {
+    const DV &Pi = Params[0];
+    int64_t V = X.I;
+    assert(V >= 0 && V < Pi.N && "categorical variate out of range");
+    Out[V] += Adj / Pi.Ptr[V];
+    return;
+  }
+  case Dist::Dirichlet: {
+    const DV &Alpha = Params[0];
+    for (int64_t I = 0; I < Alpha.N; ++I)
+      Out[I] += Adj * (Alpha.Ptr[I] - 1.0) / X.Ptr[I];
+    return;
+  }
+  case Dist::Exponential: {
+    double Rate = Params[0].asReal();
+    if (ArgIdx == 0)
+      Out[0] += Adj * (-Rate);
+    else
+      Out[0] += Adj * (1.0 / Rate - X.asReal());
+    return;
+  }
+  case Dist::Gamma: {
+    double Shape = Params[0].asReal(), Rate = Params[1].asReal();
+    if (ArgIdx == 0)
+      Out[0] += Adj * ((Shape - 1.0) / X.asReal() - Rate);
+    else // wrt rate
+      Out[0] += Adj * (Shape / Rate - X.asReal());
+    return;
+  }
+  case Dist::InvGamma: {
+    double Shape = Params[0].asReal(), Scale = Params[1].asReal();
+    double V = X.asReal();
+    Out[0] += Adj * (-(Shape + 1.0) / V + Scale / (V * V));
+    return;
+  }
+  case Dist::Beta: {
+    double A = Params[0].asReal(), B = Params[1].asReal();
+    double V = X.asReal();
+    Out[0] += Adj * ((A - 1.0) / V - (B - 1.0) / (1.0 - V));
+    return;
+  }
+  case Dist::Uniform:
+    return; // flat density: zero gradient on the support
+  case Dist::Poisson: {
+    double Rate = Params[0].asReal();
+    Out[0] += Adj * (static_cast<double>(X.I) / Rate - 1.0);
+    return;
+  }
+  case Dist::InvWishart:
+    assert(false && "InvWishart gradients are not supported");
+    return;
+  }
+}

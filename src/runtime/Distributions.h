@@ -1,0 +1,193 @@
+//===- runtime/Distributions.h - Primitive distributions ------*- C++ -*-===//
+///
+/// \file
+/// The primitive distribution library (paper Section 6.2). AugurV2 models
+/// may only use primitive distributions with known PDF/PMF, and generated
+/// inference code needs three operations per distribution (Fig. 6):
+/// log-likelihood (`ll`), sampling (`samp`), and per-argument gradients
+/// (`grad i`). Gradients are indexed with the variate as argument 0 and
+/// the distribution parameters as arguments 1..n.
+///
+/// Parameterizations (documented in README):
+///   Normal(mean, variance)           over Real
+///   MvNormal(mean: Vec, cov: Mat)    over Vec Real
+///   Bernoulli(p)                     over Int {0,1}
+///   Categorical(pi: Vec)             over Int {0..K-1}
+///   Dirichlet(alpha: Vec)            over the simplex (Vec Real)
+///   Exponential(rate)                over Real+
+///   Gamma(shape, rate)               over Real+
+///   InvGamma(shape, scale)           over Real+
+///   Beta(a, b)                       over (0,1)
+///   Uniform(lo, hi)                  over [lo,hi]
+///   Poisson(rate)                    over Int >= 0
+///   InvWishart(df, scale: Mat)       over PD matrices
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_RUNTIME_DISTRIBUTIONS_H
+#define AUGUR_RUNTIME_DISTRIBUTIONS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "math/LinAlg.h"
+#include "support/RNG.h"
+#include "support/Result.h"
+#include "runtime/Type.h"
+
+namespace augur {
+
+/// Identifies a primitive distribution.
+enum class Dist {
+  Normal,
+  MvNormal,
+  Bernoulli,
+  Categorical,
+  Dirichlet,
+  Exponential,
+  Gamma,
+  InvGamma,
+  Beta,
+  Uniform,
+  Poisson,
+  InvWishart,
+};
+
+/// Support of a distribution, used when MCMC updates need unconstrained
+/// reparameterization (e.g. HMC on a variance parameter).
+enum class Support {
+  Real,          ///< all of R (or R^d)
+  Positive,      ///< (0, inf)
+  UnitInterval,  ///< (0, 1)
+  Simplex,       ///< probability simplex
+  Bounded,       ///< [lo, hi] with bounds from the parameters
+  DiscreteFinite,///< {0..K-1}
+  DiscreteCount, ///< {0,1,2,...}
+  PDMatrix,      ///< positive-definite matrices
+};
+
+/// Static metadata about a primitive distribution.
+struct DistInfo {
+  const char *Name;     ///< surface-syntax name, e.g. "MvNormal"
+  int NumParams;        ///< number of parameters
+  bool Discrete;        ///< discrete variate?
+  Support Supp;
+};
+
+/// Metadata lookup for \p D.
+const DistInfo &distInfo(Dist D);
+
+/// Parses a surface-syntax distribution name ("Normal", ...).
+std::optional<Dist> distByName(const std::string &Name);
+
+/// Result type of the distribution given parameter types; fails if the
+/// parameter types are ill-formed for \p D.
+Result<Type> distValueType(Dist D, const std::vector<Type> &ParamTys);
+
+/// A read-only view of a distribution argument or variate. Distribution
+/// kernels operate on raw views so the interpreter and generated native
+/// code can share them without copying.
+struct DV {
+  enum class Kind { Real, Int, Vec, Mat };
+
+  Kind K = Kind::Real;
+  double D = 0.0;        ///< Kind::Real payload
+  int64_t I = 0;         ///< Kind::Int payload
+  const double *Ptr = nullptr; ///< Vec / Mat payload
+  int64_t N = 0;         ///< Vec length
+  int64_t Rows = 0, Cols = 0;  ///< Mat shape (Ptr holds row-major data)
+
+  static DV real(double V) {
+    DV X;
+    X.K = Kind::Real;
+    X.D = V;
+    return X;
+  }
+  static DV integer(int64_t V) {
+    DV X;
+    X.K = Kind::Int;
+    X.I = V;
+    return X;
+  }
+  static DV vec(const double *P, int64_t Len) {
+    DV X;
+    X.K = Kind::Vec;
+    X.Ptr = P;
+    X.N = Len;
+    return X;
+  }
+  static DV vec(const std::vector<double> &V) {
+    return vec(V.data(), static_cast<int64_t>(V.size()));
+  }
+  static DV mat(const double *P, int64_t R, int64_t C) {
+    DV X;
+    X.K = Kind::Mat;
+    X.Ptr = P;
+    X.Rows = R;
+    X.Cols = C;
+    return X;
+  }
+  static DV mat(const Matrix &M) { return mat(M.data(), M.rows(), M.cols()); }
+
+  double asReal() const { return K == Kind::Int ? double(I) : D; }
+};
+
+/// A mutable destination for sampling (scalar slot or buffer view).
+struct MutDV {
+  DV::Kind K = DV::Kind::Real;
+  double *RealSlot = nullptr;
+  int64_t *IntSlot = nullptr;
+  double *Ptr = nullptr; ///< Vec / Mat destination
+  int64_t N = 0;
+  int64_t Rows = 0, Cols = 0;
+
+  static MutDV real(double *Slot) {
+    MutDV X;
+    X.K = DV::Kind::Real;
+    X.RealSlot = Slot;
+    return X;
+  }
+  static MutDV integer(int64_t *Slot) {
+    MutDV X;
+    X.K = DV::Kind::Int;
+    X.IntSlot = Slot;
+    return X;
+  }
+  static MutDV vec(double *P, int64_t Len) {
+    MutDV X;
+    X.K = DV::Kind::Vec;
+    X.Ptr = P;
+    X.N = Len;
+    return X;
+  }
+  static MutDV mat(double *P, int64_t R, int64_t C) {
+    MutDV X;
+    X.K = DV::Kind::Mat;
+    X.Ptr = P;
+    X.Rows = R;
+    X.Cols = C;
+    return X;
+  }
+};
+
+/// log p_D(X | Params). Out-of-support variates return -infinity.
+double distLogPdf(Dist D, const std::vector<DV> &Params, const DV &X);
+
+/// Draws from p_D(. | Params) into \p Out.
+void distSample(Dist D, const std::vector<DV> &Params, RNG &Rng, MutDV Out);
+
+/// Accumulates Adj * d/d(arg_I) log p_D(X | Params) into \p Out.
+/// ArgIdx 0 is the variate; 1..n are the parameters. \p Out must point to
+/// a buffer of the argument's flat size (1 for scalars). Only defined for
+/// continuous arguments; asserts otherwise.
+void distAccumGrad(Dist D, int ArgIdx, const std::vector<DV> &Params,
+                   const DV &X, double Adj, double *Out);
+
+/// True if d/d(arg) log p is implemented for \p ArgIdx of \p D.
+bool distHasGrad(Dist D, int ArgIdx);
+
+} // namespace augur
+
+#endif // AUGUR_RUNTIME_DISTRIBUTIONS_H

@@ -1,0 +1,23 @@
+//===- runtime/Type.cpp ---------------------------------------*- C++ -*-===//
+
+#include "runtime/Type.h"
+
+using namespace augur;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Int:
+    return "Int";
+  case Kind::Real:
+    return "Real";
+  case Kind::Mat:
+    return MatBase == Kind::Int ? "Mat Int" : "Mat Real";
+  case Kind::Vec: {
+    std::string Inner = Elem->str();
+    if (Elem->isVec() || Elem->isMat())
+      return "Vec (" + Inner + ")";
+    return "Vec " + Inner;
+  }
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,109 @@
+//===- runtime/Type.h - The simple type system ------------------*- C++ -*-===//
+///
+/// \file
+/// The type system shared by the modeling language and every IL
+/// (paper, Fig. 4): base types Int and Real, vectors `Vec tau` of any
+/// element type, and matrices `Mat sigma` of a base type. Vectors of
+/// matrices are allowed; matrices of vectors are not constructible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_RUNTIME_TYPE_H
+#define AUGUR_RUNTIME_TYPE_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+namespace augur {
+
+/// A type in the AugurV2 type system. Immutable; cheap to copy (vector
+/// element types are shared).
+class Type {
+public:
+  enum class Kind { Int, Real, Vec, Mat };
+
+  static Type intTy() { return Type(Kind::Int); }
+  static Type realTy() { return Type(Kind::Real); }
+  static Type vec(Type Elem) {
+    Type T(Kind::Vec);
+    T.Elem = std::make_shared<Type>(std::move(Elem));
+    return T;
+  }
+  /// Matrix of a base type; \p Base must be Int or Real.
+  static Type mat(Kind Base = Kind::Real) {
+    assert((Base == Kind::Int || Base == Kind::Real) &&
+           "matrices hold base types only");
+    Type T(Kind::Mat);
+    T.MatBase = Base;
+    return T;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isReal() const { return K == Kind::Real; }
+  bool isVec() const { return K == Kind::Vec; }
+  bool isMat() const { return K == Kind::Mat; }
+  bool isScalar() const { return isInt() || isReal(); }
+
+  /// Element type of a vector.
+  const Type &elem() const {
+    assert(isVec() && "elem() on a non-vector type");
+    return *Elem;
+  }
+
+  /// Base scalar kind of a matrix.
+  Kind matBase() const {
+    assert(isMat() && "matBase() on a non-matrix type");
+    return MatBase;
+  }
+
+  /// Nesting depth of vectors (Int -> 0, Vec Real -> 1, Vec (Vec Real) -> 2).
+  int vecDepth() const {
+    int Depth = 0;
+    const Type *T = this;
+    while (T->isVec()) {
+      ++Depth;
+      T = T->Elem.get();
+    }
+    return Depth;
+  }
+
+  /// Innermost non-vector type.
+  const Type &scalarBase() const {
+    const Type *T = this;
+    while (T->isVec())
+      T = T->Elem.get();
+    return *T;
+  }
+
+  bool operator==(const Type &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Int:
+    case Kind::Real:
+      return true;
+    case Kind::Mat:
+      return MatBase == O.MatBase;
+    case Kind::Vec:
+      return *Elem == *O.Elem;
+    }
+    return false;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  /// Renders the type as in the paper, e.g. "Vec (Vec Real)".
+  std::string str() const;
+
+private:
+  explicit Type(Kind K) : K(K) {}
+
+  Kind K;
+  std::shared_ptr<Type> Elem; // set iff K == Vec
+  Kind MatBase = Kind::Real;  // meaningful iff K == Mat
+};
+
+} // namespace augur
+
+#endif // AUGUR_RUNTIME_TYPE_H

@@ -1,0 +1,52 @@
+//===- runtime/Value.cpp --------------------------------------*- C++ -*-===//
+
+#include "runtime/Value.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace augur;
+
+Matrix MatVec::get(int64_t I) const {
+  Matrix M(Rows, Cols);
+  std::memcpy(M.data(), at(I),
+              static_cast<size_t>(Rows * Cols) * sizeof(double));
+  return M;
+}
+
+void MatVec::set(int64_t I, const Matrix &M) {
+  assert(M.rows() == Rows && M.cols() == Cols && "shape mismatch");
+  std::memcpy(at(I), M.data(),
+              static_cast<size_t>(Rows * Cols) * sizeof(double));
+}
+
+Value Value::intVec(BlockedInt V, Type Ty) {
+  assert(Ty.isVec() && Ty.scalarBase().isInt() && "type/payload mismatch");
+  return Value(std::move(Ty), std::move(V));
+}
+
+Value Value::realVec(BlockedReal V, Type Ty) {
+  assert(Ty.isVec() && Ty.scalarBase().isReal() && "type/payload mismatch");
+  return Value(std::move(Ty), std::move(V));
+}
+
+Value augur::zerosLike(const Value &V) {
+  if (V.isIntScalar())
+    return Value::intScalar(0);
+  if (V.isRealScalar())
+    return Value::realScalar(0.0);
+  if (V.isIntVec()) {
+    BlockedInt Z = V.intVec();
+    std::fill(Z.flat().begin(), Z.flat().end(), 0);
+    return Value::intVec(std::move(Z), V.type());
+  }
+  if (V.isRealVec()) {
+    BlockedReal Z = V.realVec();
+    std::fill(Z.flat().begin(), Z.flat().end(), 0.0);
+    return Value::realVec(std::move(Z), V.type());
+  }
+  if (V.isMatrix())
+    return Value::matrix(Matrix(V.mat().rows(), V.mat().cols()));
+  const MatVec &MV = V.matVec();
+  return Value::matVec(MatVec(MV.size(), MV.rows(), MV.cols()));
+}

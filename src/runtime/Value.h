@@ -1,0 +1,239 @@
+//===- runtime/Value.h - Runtime values and flattened storage -*- C++ -*-===//
+///
+/// \file
+/// Runtime representation of AugurV2 values. As in the paper (Section
+/// 6.2), vectors of vectors (ragged arrays) are stored *flattened*: a
+/// contiguous data array paired with an offsets structure that provides
+/// random access. The flat array makes it possible to map an operation
+/// across all elements without chasing pointers (the GPU-friendly layout)
+/// and improves locality for CPU inference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_RUNTIME_VALUE_H
+#define AUGUR_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "math/LinAlg.h"
+#include "runtime/Type.h"
+
+namespace augur {
+
+/// Flattened, possibly-ragged vector storage.
+///
+/// Depth 1 (Vec sigma): Offsets is empty and Data holds the elements.
+/// Depth 2 (Vec (Vec sigma)): Offsets has NumRows+1 entries; row I is
+/// Data[Offsets[I] .. Offsets[I+1]).
+template <typename T> class Blocked {
+public:
+  Blocked() = default;
+
+  /// Builds a flat depth-1 vector.
+  static Blocked flat(std::vector<T> Elems) {
+    Blocked B;
+    B.Data = std::move(Elems);
+    return B;
+  }
+
+  /// Builds a flat depth-1 vector of \p N copies of \p Fill.
+  static Blocked flat(int64_t N, T Fill) {
+    Blocked B;
+    B.Data.assign(static_cast<size_t>(N), Fill);
+    return B;
+  }
+
+  /// Builds a depth-2 ragged vector from nested rows.
+  static Blocked ragged(const std::vector<std::vector<T>> &Rows) {
+    Blocked B;
+    B.Offsets.reserve(Rows.size() + 1);
+    B.Offsets.push_back(0);
+    for (const auto &Row : Rows) {
+      B.Data.insert(B.Data.end(), Row.begin(), Row.end());
+      B.Offsets.push_back(static_cast<int64_t>(B.Data.size()));
+    }
+    return B;
+  }
+
+  /// Builds a depth-2 rectangular vector (NumRows rows of RowLen).
+  static Blocked rect(int64_t NumRows, int64_t RowLen, T Fill) {
+    Blocked B;
+    B.Data.assign(static_cast<size_t>(NumRows * RowLen), Fill);
+    B.Offsets.reserve(static_cast<size_t>(NumRows) + 1);
+    for (int64_t I = 0; I <= NumRows; ++I)
+      B.Offsets.push_back(I * RowLen);
+    return B;
+  }
+
+  bool isRagged() const { return !Offsets.empty(); }
+
+  /// Number of top-level elements (rows for depth 2).
+  int64_t size() const {
+    if (isRagged())
+      return static_cast<int64_t>(Offsets.size()) - 1;
+    return static_cast<int64_t>(Data.size());
+  }
+
+  /// Total number of scalars in the flat payload.
+  int64_t flatSize() const { return static_cast<int64_t>(Data.size()); }
+
+  // Depth-1 element access.
+  T &at(int64_t I) {
+    assert(!isRagged() && "scalar at() on a ragged vector");
+    assert(I >= 0 && I < size() && "index out of range");
+    return Data[static_cast<size_t>(I)];
+  }
+  T at(int64_t I) const {
+    assert(!isRagged() && "scalar at() on a ragged vector");
+    assert(I >= 0 && I < size() && "index out of range");
+    return Data[static_cast<size_t>(I)];
+  }
+
+  // Depth-2 row access into the flat payload.
+  int64_t rowBegin(int64_t Row) const {
+    assert(isRagged() && "row access on a flat vector");
+    assert(Row >= 0 && Row < size() && "row out of range");
+    return Offsets[static_cast<size_t>(Row)];
+  }
+  int64_t rowLen(int64_t Row) const {
+    assert(isRagged() && "row access on a flat vector");
+    assert(Row >= 0 && Row < size() && "row out of range");
+    return Offsets[static_cast<size_t>(Row) + 1] -
+           Offsets[static_cast<size_t>(Row)];
+  }
+  T *row(int64_t Row) {
+    return Data.data() + rowBegin(Row);
+  }
+  const T *row(int64_t Row) const {
+    return Data.data() + rowBegin(Row);
+  }
+  T &at(int64_t Row, int64_t Col) {
+    assert(Col >= 0 && Col < rowLen(Row) && "column out of range");
+    return Data[static_cast<size_t>(rowBegin(Row) + Col)];
+  }
+  T at(int64_t Row, int64_t Col) const {
+    assert(Col >= 0 && Col < rowLen(Row) && "column out of range");
+    return Data[static_cast<size_t>(rowBegin(Row) + Col)];
+  }
+
+  std::vector<T> &flat() { return Data; }
+  const std::vector<T> &flat() const { return Data; }
+  const std::vector<int64_t> &offsets() const { return Offsets; }
+
+  bool operator==(const Blocked &O) const = default;
+
+private:
+  std::vector<T> Data;
+  std::vector<int64_t> Offsets;
+};
+
+using BlockedReal = Blocked<double>;
+using BlockedInt = Blocked<int64_t>;
+
+/// A uniform-shaped vector of matrices (e.g. one covariance per mixture
+/// component), stored as one contiguous buffer.
+class MatVec {
+public:
+  MatVec() = default;
+  MatVec(int64_t Count, int64_t Rows, int64_t Cols)
+      : Count(Count), Rows(Rows), Cols(Cols),
+        Data(static_cast<size_t>(Count * Rows * Cols), 0.0) {}
+
+  int64_t size() const { return Count; }
+  int64_t rows() const { return Rows; }
+  int64_t cols() const { return Cols; }
+
+  double *at(int64_t I) {
+    assert(I >= 0 && I < Count && "matrix index out of range");
+    return Data.data() + static_cast<size_t>(I * Rows * Cols);
+  }
+  const double *at(int64_t I) const {
+    assert(I >= 0 && I < Count && "matrix index out of range");
+    return Data.data() + static_cast<size_t>(I * Rows * Cols);
+  }
+
+  /// Copies element \p I out as a Matrix.
+  Matrix get(int64_t I) const;
+  /// Copies \p M into element \p I (shapes must match).
+  void set(int64_t I, const Matrix &M);
+
+  bool operator==(const MatVec &O) const = default;
+
+private:
+  int64_t Count = 0;
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  std::vector<double> Data;
+};
+
+/// A runtime value: a scalar, a (possibly ragged, flattened) vector, a
+/// matrix, or a vector of matrices. Each value carries its Type.
+class Value {
+public:
+  Value() : Ty(Type::intTy()), Payload(int64_t(0)) {}
+
+  static Value intScalar(int64_t V) { return Value(Type::intTy(), V); }
+  static Value realScalar(double V) { return Value(Type::realTy(), V); }
+  static Value intVec(BlockedInt V, Type Ty = Type::vec(Type::intTy()));
+  static Value realVec(BlockedReal V, Type Ty = Type::vec(Type::realTy()));
+  static Value matrix(Matrix M) { return Value(Type::mat(), std::move(M)); }
+  static Value matVec(MatVec MV) {
+    return Value(Type::vec(Type::mat()), std::move(MV));
+  }
+
+  const Type &type() const { return Ty; }
+
+  bool isIntScalar() const {
+    return std::holds_alternative<int64_t>(Payload);
+  }
+  bool isRealScalar() const { return std::holds_alternative<double>(Payload); }
+  bool isIntVec() const { return std::holds_alternative<BlockedInt>(Payload); }
+  bool isRealVec() const {
+    return std::holds_alternative<BlockedReal>(Payload);
+  }
+  bool isMatrix() const { return std::holds_alternative<Matrix>(Payload); }
+  bool isMatVec() const { return std::holds_alternative<MatVec>(Payload); }
+
+  int64_t asInt() const { return std::get<int64_t>(Payload); }
+  double asReal() const {
+    if (isIntScalar())
+      return static_cast<double>(asInt());
+    return std::get<double>(Payload);
+  }
+
+  /// Mutable scalar slots (for in-place updates by samplers).
+  int64_t &intRef() { return std::get<int64_t>(Payload); }
+  double &realRef() { return std::get<double>(Payload); }
+
+  BlockedInt &intVec() { return std::get<BlockedInt>(Payload); }
+  const BlockedInt &intVec() const { return std::get<BlockedInt>(Payload); }
+  BlockedReal &realVec() { return std::get<BlockedReal>(Payload); }
+  const BlockedReal &realVec() const {
+    return std::get<BlockedReal>(Payload);
+  }
+  Matrix &mat() { return std::get<Matrix>(Payload); }
+  const Matrix &mat() const { return std::get<Matrix>(Payload); }
+  MatVec &matVec() { return std::get<MatVec>(Payload); }
+  const MatVec &matVec() const { return std::get<MatVec>(Payload); }
+
+  bool operator==(const Value &O) const { return Payload == O.Payload; }
+
+private:
+  template <typename P>
+  Value(Type Ty, P Pay) : Ty(std::move(Ty)), Payload(std::move(Pay)) {}
+
+  Type Ty;
+  std::variant<int64_t, double, BlockedInt, BlockedReal, Matrix, MatVec>
+      Payload;
+};
+
+/// A zero-filled value with the same shape and type as \p V (used for
+/// gradient/adjoint buffers and dual-state copies).
+Value zerosLike(const Value &V);
+
+} // namespace augur
+
+#endif // AUGUR_RUNTIME_VALUE_H

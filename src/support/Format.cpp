@@ -1,0 +1,58 @@
+//===- support/Format.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace augur;
+
+std::string augur::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, ArgsCopy);
+    Out.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string augur::joinStrings(const std::vector<std::string> &Parts,
+                               const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool augur::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> augur::splitWhitespace(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- support/Format.h - printf-style std::string formatting -*- C++ -*-===//
+///
+/// \file
+/// String formatting helpers shared by diagnostics and pretty printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SUPPORT_FORMAT_H
+#define AUGUR_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace augur {
+
+/// Formats \p Fmt printf-style into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Splits \p S on any whitespace, dropping empty tokens.
+std::vector<std::string> splitWhitespace(const std::string &S);
+
+} // namespace augur
+
+#endif // AUGUR_SUPPORT_FORMAT_H

@@ -1,0 +1,107 @@
+//===- support/RNG.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/RNG.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace augur;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void RNG::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitmix64(S);
+  HasCachedGauss = false;
+}
+
+uint64_t RNG::next() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double RNG::uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double RNG::uniform(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int64_t RNG::uniformInt(int64_t N) {
+  assert(N > 0 && "uniformInt needs a positive bound");
+  // Rejection-free for our purposes; bias is negligible for N << 2^64.
+  return static_cast<int64_t>(next() % static_cast<uint64_t>(N));
+}
+
+double RNG::gauss() {
+  if (HasCachedGauss) {
+    HasCachedGauss = false;
+    return CachedGauss;
+  }
+  // Box-Muller; uniform() can return 0 so guard the log.
+  double U1 = uniform();
+  while (U1 <= 0.0)
+    U1 = uniform();
+  double U2 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  CachedGauss = R * std::sin(Theta);
+  HasCachedGauss = true;
+  return R * std::cos(Theta);
+}
+
+double RNG::gamma(double Shape) {
+  assert(Shape > 0.0 && "gamma shape must be positive");
+  // Marsaglia-Tsang squeeze; boost shapes below 1.
+  if (Shape < 1.0) {
+    double U = uniform();
+    while (U <= 0.0)
+      U = uniform();
+    return gamma(Shape + 1.0) * std::pow(U, 1.0 / Shape);
+  }
+  double D = Shape - 1.0 / 3.0;
+  double C = 1.0 / std::sqrt(9.0 * D);
+  while (true) {
+    double X = gauss();
+    double V = 1.0 + C * X;
+    if (V <= 0.0)
+      continue;
+    V = V * V * V;
+    double U = uniform();
+    if (U < 1.0 - 0.0331 * X * X * X * X)
+      return D * V;
+    if (U > 0.0 && std::log(U) < 0.5 * X * X + D * (1.0 - V + std::log(V)))
+      return D * V;
+  }
+}
+
+double RNG::exponential() {
+  double U = uniform();
+  while (U <= 0.0)
+    U = uniform();
+  return -std::log(U);
+}
+
+RNG RNG::split() {
+  RNG Child;
+  Child.reseed(next() ^ 0xd1b54a32d192ed03ull);
+  return Child;
+}

@@ -1,0 +1,62 @@
+//===- support/RNG.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+///
+/// \file
+/// The random number generator used by every sampler in the system.
+/// xoshiro256++ seeded via splitmix64: fast, high quality, and fully
+/// deterministic given a seed, which the test suite relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SUPPORT_RNG_H
+#define AUGUR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace augur {
+
+/// xoshiro256++ generator with distribution helpers for the primitives the
+/// runtime needs (uniform, Gaussian, gamma). Richer distributions live in
+/// runtime/Distributions and are built from these.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit draw.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in [0, N). Requires N > 0.
+  int64_t uniformInt(int64_t N);
+
+  /// Standard Gaussian draw (Box-Muller with caching).
+  double gauss();
+
+  /// Gaussian with the given mean and standard deviation.
+  double gauss(double Mean, double StdDev) { return Mean + StdDev * gauss(); }
+
+  /// Gamma(Shape, 1) draw via Marsaglia-Tsang; Shape > 0.
+  double gamma(double Shape);
+
+  /// Exponential(1) draw.
+  double exponential();
+
+  /// Splits off an independently-seeded generator (for per-chain RNGs).
+  RNG split();
+
+private:
+  uint64_t State[4];
+  double CachedGauss = 0.0;
+  bool HasCachedGauss = false;
+};
+
+} // namespace augur
+
+#endif // AUGUR_SUPPORT_RNG_H

@@ -1,0 +1,121 @@
+//===- support/Result.h - Lightweight error handling ----------*- C++ -*-===//
+//
+// Part of the AugurV2-repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error handling for the AugurV2 compiler. Library code does not throw;
+/// fallible operations return Status (no payload) or Result<T> (payload or
+/// error). Both carry a human-readable message in the failure case,
+/// following the style of LLVM's Error/Expected but without the
+/// must-be-checked machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SUPPORT_RESULT_H
+#define AUGUR_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace augur {
+
+/// A success-or-error value with a diagnostic message on failure.
+class Status {
+public:
+  /// Constructs a success value.
+  Status() = default;
+
+  /// Constructs a failure carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !Message.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the diagnostic message; only valid on failure.
+  const std::string &message() const {
+    assert(!ok() && "no message on a success Status");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// A value of type T or a failure message.
+template <typename T> class Result {
+public:
+  /// Implicitly constructs a success result.
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Implicitly converts a failed Status into a failed Result.
+  Result(Status S) : Err(std::move(S)) {
+    assert(!Err.ok() && "cannot build a Result from a success Status");
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "accessing value of a failed Result");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "accessing value of a failed Result");
+    return *Value;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// Moves the value out of a success result.
+  T take() {
+    assert(ok() && "taking value of a failed Result");
+    return std::move(*Value);
+  }
+
+  const std::string &message() const { return Err.message(); }
+
+  /// Returns the failure as a Status (valid only on failure).
+  Status status() const {
+    assert(!ok() && "status() on a success Result");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err = Status::success();
+};
+
+} // namespace augur
+
+/// Propagates a failed Status out of the enclosing function.
+#define AUGUR_RETURN_IF_ERROR(expr)                                           \
+  do {                                                                        \
+    ::augur::Status StatusForMacro_ = (expr);                                 \
+    if (!StatusForMacro_.ok())                                                \
+      return StatusForMacro_;                                                 \
+  } while (false)
+
+/// Unwraps a Result into \p lhs or propagates the failure.
+#define AUGUR_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  AUGUR_ASSIGN_OR_RETURN_IMPL_(lhs, (expr), AUGUR_CONCAT_(ResTmp_, __LINE__))
+#define AUGUR_CONCAT_IMPL_(a, b) a##b
+#define AUGUR_CONCAT_(a, b) AUGUR_CONCAT_IMPL_(a, b)
+#define AUGUR_ASSIGN_OR_RETURN_IMPL_(lhs, expr, tmp)                          \
+  auto tmp = (expr);                                                          \
+  if (!tmp.ok())                                                              \
+    return tmp.status();                                                      \
+  lhs = tmp.take()
+
+#endif // AUGUR_SUPPORT_RESULT_H

@@ -1,0 +1,410 @@
+//===- tests/backend_test.cpp - Low--/Blk/GpuSim backend ------*- C++ -*-===//
+//
+// Size inference bounds (Section 5.2), Blk lowering and the three
+// Section 5.4 optimizations, and the GPU device simulator's qualitative
+// behaviour (contention penalties, sum-block benefit, small-data
+// launch-overhead losses).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "api/Infer.h"
+#include "blk/Passes.h"
+#include "density/Frontend.h"
+#include "exec/GpuSim.h"
+#include "lang/Parser.h"
+#include "lowmm/SizeInference.h"
+#include "lowpp/Reify.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+namespace {
+
+DensityModel loadModel(const char *Src,
+                       const std::map<std::string, Type> &H) {
+  auto M = parseModel(Src);
+  EXPECT_TRUE(M.ok()) << M.message();
+  auto TM = typeCheck(M.take(), H);
+  EXPECT_TRUE(TM.ok()) << TM.message();
+  return lowerToDensity(TM.take());
+}
+
+std::map<std::string, Type> gmmTypes() {
+  Type VecR = Type::vec(Type::realTy());
+  return {{"K", Type::intTy()},   {"N", Type::intTy()},
+          {"mu_0", VecR},         {"Sigma_0", Type::mat()},
+          {"pis", VecR},          {"Sigma", Type::mat()}};
+}
+
+Env gmmEnv(int64_t K, int64_t N) {
+  Env E;
+  E["K"] = Value::intScalar(K);
+  E["N"] = Value::intScalar(N);
+  E["mu_0"] = Value::realVec(BlockedReal::flat(2, 0.0));
+  E["Sigma_0"] = Value::matrix(Matrix::diagonal({9.0, 9.0}));
+  E["pis"] = Value::realVec(BlockedReal::flat(K, 1.0 / double(K)));
+  E["Sigma"] = Value::matrix(Matrix::diagonal({1.0, 1.0}));
+  E["mu"] = Value::realVec(BlockedReal::rect(K, 2, 0.0),
+                           Type::vec(Type::vec(Type::realTy())));
+  E["z"] = Value::intVec(BlockedInt::flat(N, 0));
+  E["x"] = Value::realVec(BlockedReal::rect(N, 2, 0.5),
+                          Type::vec(Type::vec(Type::realTy())));
+  return E;
+}
+
+} // namespace
+
+TEST(SizeInference, GibbsMuStatsAreBounded) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto C = computeConditional(DM, "mu").take();
+  auto Rel = detectConjugacy(C);
+  ASSERT_TRUE(Rel.has_value());
+  auto Proc = genConjGibbsProc("gibbs_mu", C, *Rel).take();
+  Env E = gmmEnv(3, 50);
+  auto Plan = inferSizes(Proc, E);
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  // Stats: cnt[K] and sumy[K][2]: 3*8 + 6*8 bytes.
+  EXPECT_EQ(Plan->totalBytes(), 3 * 8 + 6 * 8);
+}
+
+TEST(SizeInference, EnumGibbsScoresScaleWithParallelism) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto C = computeConditional(DM, "z").take();
+  auto Proc = genEnumGibbsProc("gibbs_z", C).take();
+  Env E = gmmEnv(3, 50);
+  auto Plan = inferSizes(Proc, E);
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  // One K-sized score buffer per thread of the N-wide parallel loop.
+  ASSERT_EQ(Plan->Allocs.size(), 1u);
+  EXPECT_EQ(Plan->Allocs[0].InstanceBytes, 3 * 8);
+  EXPECT_EQ(Plan->Allocs[0].Instances, 50);
+  EXPECT_EQ(Plan->totalBytes(), 50 * 3 * 8);
+}
+
+TEST(SizeInference, InterpreterPeakWithinStaticBound) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto C = computeConditional(DM, "z").take();
+  auto Proc = genEnumGibbsProc("gibbs_z", C).take();
+  Env E = gmmEnv(3, 50);
+  auto Plan = inferSizes(Proc, E);
+  ASSERT_TRUE(Plan.ok());
+  RNG Rng(1);
+  Interp I(E, Rng);
+  I.run(Proc);
+  EXPECT_LE(I.counters().PeakLocalBytes, Plan->totalBytes());
+  EXPECT_GT(I.counters().PeakLocalBytes, 0);
+}
+
+TEST(SizeInference, RaggedDimsTakeTheMax) {
+  // A local sized by a ragged per-row bound must be bounded by the max.
+  Type VecI = Type::vec(Type::intTy());
+  DensityModel DM = loadModel(
+      "(D, L, pis) => { param z[d][j] ~ Categorical(pis) "
+      "for d <- 0 until D, j <- 0 until L[d] ; }",
+      {{"D", Type::intTy()}, {"L", VecI},
+       {"pis", Type::vec(Type::realTy())}});
+  auto C = computeConditional(DM, "z").take();
+  auto Proc = genEnumGibbsProc("gibbs_z", C).take();
+  Env E;
+  E["D"] = Value::intScalar(3);
+  E["L"] = Value::intVec(BlockedInt::flat({2, 7, 4}));
+  E["pis"] = Value::realVec(BlockedReal::flat(5, 0.2));
+  E["z"] = Value::intVec(BlockedInt::ragged({{0, 0}, {0, 0, 0, 0, 0, 0, 0},
+                                             {0, 0, 0, 0}}),
+                         Type::vec(Type::vec(Type::intTy())));
+  auto Plan = inferSizes(Proc, E);
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  ASSERT_EQ(Plan->Allocs.size(), 1u);
+  // Scores buffer: 5 categories; instances: one per (d, j) thread pair:
+  // parallel loops d (3) and j (max 7) -> conservative bound 21.
+  EXPECT_EQ(Plan->Allocs[0].InstanceBytes, 5 * 8);
+  EXPECT_EQ(Plan->Allocs[0].Instances, 21);
+}
+
+TEST(BlkLowering, LikelihoodBecomesParAndSeqBlocks) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  LowppProc LL = genLikelihoodProc("ll_joint", DM.Joint.Factors, "ll");
+  BlkProc B = lowerToBlk(LL);
+  // "ll = 0" -> seqBlk, then one parallel block per factor.
+  ASSERT_EQ(B.Blocks.size(), 4u);
+  EXPECT_EQ(B.Blocks[0].K, Block::Kind::Seq);
+  EXPECT_EQ(B.Blocks[1].K, Block::Kind::Par);
+  EXPECT_EQ(B.Blocks[1].LK, LoopKind::AtmPar);
+  EXPECT_EQ(B.Blocks[2].Var, "n");
+}
+
+TEST(BlkPasses, SumBlockConversionOnLikelihood) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  LowppProc LL = genLikelihoodProc("ll_joint", DM.Joint.Factors, "ll");
+  Env E = gmmEnv(3, 1000);
+  BlkProc B = lowerToBlk(LL);
+  BlkOptions O;
+  int Converted = convertSumBlocks(B, E, O);
+  // All three factor loops accumulate into the single location "ll":
+  // contention ratio N/1 and K/1; K=3 is under the threshold.
+  EXPECT_EQ(Converted, 2);
+  EXPECT_EQ(B.Blocks[1].K, Block::Kind::Par); // K=3: stays atomic
+  EXPECT_EQ(B.Blocks[2].K, Block::Kind::Sum);
+  EXPECT_EQ(B.Blocks[2].SumDest.Var, "ll");
+  EXPECT_EQ(B.Blocks[3].K, Block::Kind::Sum);
+}
+
+TEST(BlkPasses, NoConversionWhenDestinationVaries) {
+  // Gradient accumulation into adj_mu[z[n]] hits K locations; with
+  // K=3 << N the max bucket is large, but the *destination* mentions
+  // data, not the loop variable... the paper's estimate is threads /
+  // locations; our conservative rule requires a loop-invariant single
+  // location, which adj_mu[z[n]] is not.
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  BlockCond BC = restrictJoint(DM, {"mu"});
+  auto Grad = genGradProc("grad_mu", BC, {"mu"}).take();
+  Env E = gmmEnv(3, 1000);
+  BlkProc B = lowerToBlk(Grad);
+  BlkOptions O;
+  int Converted = convertSumBlocks(B, E, O);
+  EXPECT_EQ(Converted, 0);
+}
+
+TEST(BlkPasses, ScalarGradientConvertsToSumBlock) {
+  // The paper's Section 5.4 example: adj_var += ... from N threads into
+  // one location becomes a summation block.
+  DensityModel DM = loadModel(
+      "(N) => { param v ~ InvGamma(2.0, 2.0) ; "
+      "data y[n] ~ Normal(0.0, v) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  BlockCond BC = restrictJoint(DM, {"v"});
+  auto Grad = genGradProc("grad_v", BC, {"v"}).take();
+  Env E;
+  E["N"] = Value::intScalar(5000);
+  E["v"] = Value::realScalar(1.0);
+  E["y"] = Value::realVec(BlockedReal::flat(5000, 0.3));
+  BlkProc B = lowerToBlk(Grad);
+  BlkOptions O;
+  int Converted = convertSumBlocks(B, E, O);
+  EXPECT_GE(Converted, 1);
+  bool FoundSum = false;
+  for (const auto &Blk : B.Blocks)
+    FoundSum |= Blk.K == Block::Kind::Sum &&
+                Blk.SumDest.Var == "adj_v";
+  EXPECT_TRUE(FoundSum) << B.str();
+}
+
+TEST(BlkPasses, CommuteSwapsSmallOuterLargeInner) {
+  // parBlk Par (k <- 0 until K) { loop Par (n <- 0 until N) } with
+  // K << N commutes so N becomes the thread dimension.
+  LowppProc P;
+  P.Name = "commute_demo";
+  P.Body.push_back(stLoop(
+      LoopKind::Par, "k", Expr::intLit(0), Expr::var("K"),
+      {stLoop(LoopKind::Par, "n", Expr::intLit(0), Expr::var("N"),
+              {stAssign(LValue::indexed("out", {Expr::var("n")}),
+                        Expr::var("k"), true)})}));
+  Env E;
+  E["K"] = Value::intScalar(4);
+  E["N"] = Value::intScalar(10000);
+  E["out"] = Value::realVec(BlockedReal::flat(10000, 0.0));
+  BlkProc B = lowerToBlk(P);
+  BlkOptions O;
+  EXPECT_EQ(commuteLoops(B, E, O), 1);
+  ASSERT_EQ(B.Blocks.size(), 1u);
+  EXPECT_EQ(B.Blocks[0].Var, "n");
+  ASSERT_EQ(B.Blocks[0].Body.size(), 1u);
+  EXPECT_EQ(B.Blocks[0].Body[0]->LoopVar, "k");
+}
+
+TEST(BlkPasses, NoCommuteWhenInnerBoundIsRagged) {
+  LowppProc P;
+  P.Name = "ragged_demo";
+  P.Body.push_back(stLoop(
+      LoopKind::Par, "d", Expr::intLit(0), Expr::var("D"),
+      {stLoop(LoopKind::Par, "j", Expr::intLit(0),
+              Expr::index(Expr::var("L"), Expr::var("d")),
+              {stAssign(LValue::scalar("acc"), Expr::var("j"), true)})}));
+  Env E;
+  E["D"] = Value::intScalar(2);
+  E["L"] = Value::intVec(BlockedInt::flat({100, 100}));
+  BlkProc B = lowerToBlk(P);
+  BlkOptions O;
+  EXPECT_EQ(commuteLoops(B, E, O), 0);
+}
+
+TEST(BlkPasses, DirichletConjSampleInlines) {
+  // LDA phi update: the Dirichlet posterior draw inlines into a Gamma
+  // loop + normalization (the paper's inlining example).
+  Type VecR = Type::vec(Type::realTy());
+  DensityModel DM = loadModel(models::LDA,
+                              {{"K", Type::intTy()},
+                               {"D", Type::intTy()},
+                               {"V", Type::intTy()},
+                               {"alpha", VecR},
+                               {"beta", VecR},
+                               {"L", Type::vec(Type::intTy())}});
+  auto C = computeConditional(DM, "phi").take();
+  auto Rel = detectConjugacy(C);
+  ASSERT_TRUE(Rel.has_value());
+  auto Proc = genConjGibbsProc("gibbs_phi", C, *Rel).take();
+  bool Changed = false;
+  LowppProc Inlined = inlinePrimitives(Proc, &Changed);
+  EXPECT_TRUE(Changed);
+  std::string Text = Inlined.str();
+  EXPECT_NE(Text.find("Gamma("), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("conj[Dirichlet"), std::string::npos) << Text;
+}
+
+TEST(BlkPasses, InlinedDirichletSamplesCorrectly) {
+  // Semantics check: the inlined Gamma/normalize form still draws from
+  // the right posterior (theta | z counts {3,1} with alpha=(1,1)).
+  Type VecR = Type::vec(Type::realTy());
+  DensityModel DM = loadModel(models::LDA,
+                              {{"K", Type::intTy()},
+                               {"D", Type::intTy()},
+                               {"V", Type::intTy()},
+                               {"alpha", VecR},
+                               {"beta", VecR},
+                               {"L", Type::vec(Type::intTy())}});
+  auto C = computeConditional(DM, "theta").take();
+  auto Proc = genConjGibbsProc("gibbs_theta", C,
+                               *detectConjugacy(C)).take();
+  LowppProc Inlined = inlinePrimitives(Proc);
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["D"] = Value::intScalar(1);
+  E["V"] = Value::intScalar(3);
+  E["alpha"] = Value::realVec(BlockedReal::flat({1.0, 1.0}));
+  E["beta"] = Value::realVec(BlockedReal::flat(3, 0.5));
+  E["L"] = Value::intVec(BlockedInt::flat({4}));
+  E["z"] = Value::intVec(BlockedInt::ragged({{0, 0, 0, 1}}),
+                         Type::vec(Type::vec(Type::intTy())));
+  E["theta"] = Value::realVec(BlockedReal::rect(1, 2, 0.5),
+                              Type::vec(Type::vec(Type::realTy())));
+  RNG Rng(59);
+  Interp I(E, Rng);
+  const int Draws = 20000;
+  double Mean0 = 0.0;
+  for (int It = 0; It < Draws; ++It) {
+    I.run(Inlined);
+    double T0 = E.at("theta").realVec().at(0, 0);
+    double T1 = E.at("theta").realVec().at(0, 1);
+    ASSERT_NEAR(T0 + T1, 1.0, 1e-9);
+    Mean0 += T0;
+  }
+  EXPECT_NEAR(Mean0 / Draws, 4.0 / 6.0, 0.01);
+}
+
+TEST(GpuSim, SumBlockBeatsContendedAtomics) {
+  // The HLR/Adult observation of Section 7.2: a scalar gradient
+  // reduction over many points is far cheaper as a map-reduce than as
+  // N threads contending on one address.
+  DensityModel DM = loadModel(
+      "(N) => { param v ~ InvGamma(2.0, 2.0) ; "
+      "data y[n] ~ Normal(0.0, v) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  BlockCond BC = restrictJoint(DM, {"v"});
+  auto Grad = genGradProc("grad_v", BC, {"v"}).take();
+
+  auto ModelTime = [&](bool ConvertSum) {
+    BlkOptions O;
+    O.ConvertSumBlocks = ConvertSum;
+    GpuSimEngine Eng(7, DeviceModel(), O);
+    Env &E = Eng.env();
+    E["N"] = Value::intScalar(20000);
+    E["v"] = Value::realScalar(1.0);
+    E["y"] = Value::realVec(BlockedReal::flat(20000, 0.3));
+    E["adj_v"] = Value::realScalar(0.0);
+    Eng.addProc(Grad);
+    Eng.runProc("grad_v");
+    return Eng.modeledSeconds();
+  };
+  double WithSum = ModelTime(true);
+  double WithoutSum = ModelTime(false);
+  EXPECT_LT(WithSum * 5.0, WithoutSum)
+      << "sum=" << WithSum << " atomics=" << WithoutSum;
+}
+
+TEST(GpuSim, CommutingReducesModeledTime) {
+  LowppProc P;
+  P.Name = "commute_time";
+  P.Body.push_back(stLoop(
+      LoopKind::Par, "k", Expr::intLit(0), Expr::var("K"),
+      {stLoop(LoopKind::Par, "n", Expr::intLit(0), Expr::var("N"),
+              {stAssign(LValue::indexed("out", {Expr::var("n")}),
+                        Expr::var("k"))})}));
+  auto ModelTime = [&](bool Commute) {
+    BlkOptions O;
+    O.CommuteLoops = Commute;
+    GpuSimEngine Eng(7, DeviceModel(), O);
+    Env &E = Eng.env();
+    E["K"] = Value::intScalar(4);
+    E["N"] = Value::intScalar(50000);
+    E["out"] = Value::realVec(BlockedReal::flat(50000, 0.0));
+    Eng.addProc(P);
+    Eng.runProc("commute_time");
+    return Eng.modeledSeconds();
+  };
+  double Commuted = ModelTime(true);
+  double Straight = ModelTime(false);
+  EXPECT_LT(Commuted * 3.0, Straight)
+      << "commuted=" << Commuted << " straight=" << Straight;
+}
+
+TEST(GpuSim, GmmGibbsRunsBitExactStatistically) {
+  // The simulator executes on the host: inference results must be as
+  // good as the CPU engine's.
+  Infer Aug(models::GMM);
+  CompileOptions O;
+  O.Tgt = CompileOptions::Target::GpuSim;
+  Aug.setCompileOpt(O);
+  RNG DataRng(67);
+  BlockedReal X = BlockedReal::rect(100, 2, 0.0);
+  for (int64_t I = 0; I < 100; ++I) {
+    int C = static_cast<int>(DataRng.uniformInt(2));
+    X.at(I, 0) = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+    X.at(I, 1) = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+  }
+  Env Data;
+  Data["x"] = Value::realVec(std::move(X),
+                             Type::vec(Type::vec(Type::realTy())));
+  ASSERT_TRUE(Aug.compile({Value::intScalar(2), Value::intScalar(100),
+                           Value::realVec(BlockedReal::flat(2, 0.0)),
+                           Value::matrix(Matrix::diagonal({25.0, 25.0})),
+                           Value::realVec(BlockedReal::flat(2, 0.5)),
+                           Value::matrix(Matrix::identity(2))},
+                          Data)
+                  .ok());
+  SampleOptions SO;
+  SO.NumSamples = 60;
+  auto S = Aug.sample(SO);
+  ASSERT_TRUE(S.ok()) << S.message();
+  auto *Gpu = dynamic_cast<GpuSimEngine *>(&Aug.program().engine());
+  ASSERT_NE(Gpu, nullptr);
+  EXPECT_GT(Gpu->modeledSeconds(), 0.0);
+  // Cluster means separate.
+  const auto &Last = S->Draws.at("mu").back().realVec();
+  EXPECT_GT(std::abs(Last.at(0, 0) - Last.at(1, 0)) +
+                std::abs(Last.at(0, 1) - Last.at(1, 1)),
+            4.0);
+}
+
+TEST(GpuSim, LargerDataImprovesGpuUtilization) {
+  // Fig. 12's trend: modeled GPU time grows sublinearly in N while CPU
+  // work grows linearly, so the speedup grows with data size.
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  LowppProc LL = genLikelihoodProc("ll_joint", DM.Joint.Factors, "ll");
+  auto TimeAtN = [&](int64_t N) {
+    GpuSimEngine Eng(7);
+    Env &E = Eng.env();
+    for (auto &KV : gmmEnv(3, N))
+      E[KV.first] = KV.second;
+    Eng.addProc(LL);
+    Eng.runProc("ll_joint");
+    return Eng.modeledSeconds();
+  };
+  double T1k = TimeAtN(1000);
+  double T32k = TimeAtN(32000);
+  // 32x the data costs far less than 32x the modeled time.
+  EXPECT_LT(T32k, 8.0 * T1k) << "t1k=" << T1k << " t32k=" << T32k;
+}

@@ -1,0 +1,260 @@
+//===- tests/baselines_test.cpp - Jags-like and Stan-like -----*- C++ -*-===//
+//
+// The baselines must be *statistically correct* (their posteriors agree
+// with AugurV2's and with analytic answers) so the performance
+// comparisons in the benches measure architecture, not bugs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/jags/Jags.h"
+#include "baselines/stan/StanSampler.h"
+#include "density/Frontend.h"
+#include "lang/Parser.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+using namespace augur::stanb;
+
+namespace {
+
+DensityModel loadModel(const char *Src,
+                       const std::map<std::string, Type> &H) {
+  auto M = parseModel(Src);
+  EXPECT_TRUE(M.ok()) << M.message();
+  auto TM = typeCheck(M.take(), H);
+  EXPECT_TRUE(TM.ok()) << TM.message();
+  return lowerToDensity(TM.take());
+}
+
+} // namespace
+
+TEST(JagsBaseline, ConjugateScalarPosterior) {
+  DensityModel DM = loadModel(
+      "(N) => { param m ~ Normal(0.0, 100.0) ; "
+      "data y[n] ~ Normal(m, 4.0) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  const int64_t N = 40;
+  RNG DataRng(3);
+  Env E;
+  E["N"] = Value::intScalar(N);
+  BlockedReal Y = BlockedReal::flat(N, 0.0);
+  double SumY = 0.0;
+  for (int64_t I = 0; I < N; ++I) {
+    Y.at(I) = DataRng.gauss(2.0, 2.0);
+    SumY += Y.at(I);
+  }
+  E["y"] = Value::realVec(std::move(Y));
+  auto J = JagsSampler::build(DM, std::move(E), 17);
+  ASSERT_TRUE(J.ok()) << J.message();
+  ASSERT_TRUE((*J)->init().ok());
+  EXPECT_EQ((*J)->nodeCount(), N + 1);
+  double Sum = 0.0;
+  const int Draws = 4000;
+  for (int I = 0; I < Draws; ++I) {
+    ASSERT_TRUE((*J)->step().ok());
+    Sum += (*J)->state().at("m").asReal();
+  }
+  double PostVar = 1.0 / (1.0 / 100.0 + N / 4.0);
+  double PostMean = PostVar * (SumY / 4.0);
+  EXPECT_NEAR(Sum / Draws, PostMean, 0.05);
+}
+
+TEST(JagsBaseline, GmmRecoversClusters) {
+  Type VecR = Type::vec(Type::realTy());
+  DensityModel DM = loadModel(models::HGMMKnownCov,
+                              {{"K", Type::intTy()},
+                               {"N", Type::intTy()},
+                               {"alpha", VecR},
+                               {"mu_0", VecR},
+                               {"Sigma_0", Type::mat()},
+                               {"Sigma", Type::mat()}});
+  const int64_t N = 120;
+  RNG DataRng(5);
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["N"] = Value::intScalar(N);
+  E["alpha"] = Value::realVec(BlockedReal::flat(2, 1.0));
+  E["mu_0"] = Value::realVec(BlockedReal::flat(2, 0.0));
+  E["Sigma_0"] = Value::matrix(Matrix::diagonal({25.0, 25.0}));
+  E["Sigma"] = Value::matrix(Matrix::identity(2));
+  BlockedReal Y = BlockedReal::rect(N, 2, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    int C = static_cast<int>(DataRng.uniformInt(2));
+    Y.at(I, 0) = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+    Y.at(I, 1) = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+  }
+  E["y"] = Value::realVec(std::move(Y),
+                          Type::vec(Type::vec(Type::realTy())));
+  auto J = JagsSampler::build(DM, std::move(E), 19);
+  ASSERT_TRUE(J.ok()) << J.message();
+  ASSERT_TRUE((*J)->init().ok());
+  double M00 = 0, M10 = 0;
+  const int Draws = 100;
+  for (int I = 0; I < Draws; ++I) {
+    ASSERT_TRUE((*J)->step().ok());
+    if (I < Draws / 2)
+      continue;
+    M00 += (*J)->state().at("mu").realVec().at(0, 0);
+    M10 += (*J)->state().at("mu").realVec().at(1, 0);
+  }
+  M00 /= Draws / 2;
+  M10 /= Draws / 2;
+  // One mean near +4, the other near -4 (label symmetric).
+  EXPECT_NEAR(std::abs(M00 - M10), 8.0, 1.2) << M00 << " " << M10;
+  EXPECT_TRUE(std::isfinite((*J)->logJoint()));
+}
+
+TEST(JagsBaseline, HlrSliceFallbackMoves) {
+  DensityModel DM = loadModel(models::HLR,
+                              {{"lambda", Type::realTy()},
+                               {"N", Type::intTy()},
+                               {"Kf", Type::intTy()},
+                               {"x", Type::vec(Type::vec(Type::realTy()))}});
+  const int64_t N = 60, Kf = 2;
+  RNG DataRng(7);
+  Env E;
+  E["lambda"] = Value::realScalar(1.0);
+  E["N"] = Value::intScalar(N);
+  E["Kf"] = Value::intScalar(Kf);
+  BlockedReal X = BlockedReal::rect(N, Kf, 0.0);
+  BlockedInt Y = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    double Dot = 0.0;
+    for (int64_t K = 0; K < Kf; ++K) {
+      X.at(I, K) = DataRng.gauss();
+      Dot += X.at(I, K) * (K == 0 ? 2.0 : -2.0);
+    }
+    Y.at(I) = DataRng.uniform() < 1.0 / (1.0 + std::exp(-Dot)) ? 1 : 0;
+  }
+  E["x"] = Value::realVec(std::move(X),
+                          Type::vec(Type::vec(Type::realTy())));
+  E["y"] = Value::intVec(std::move(Y));
+  auto J = JagsSampler::build(DM, std::move(E), 23);
+  ASSERT_TRUE(J.ok()) << J.message();
+  ASSERT_TRUE((*J)->init().ok());
+  double T0 = 0.0;
+  const int Draws = 150;
+  for (int I = 0; I < Draws; ++I) {
+    ASSERT_TRUE((*J)->step().ok());
+    ASSERT_GT((*J)->state().at("sigma2").asReal(), 0.0);
+    if (I >= Draws / 2)
+      T0 += (*J)->state().at("theta").realVec().at(0);
+  }
+  EXPECT_GT(T0 / (Draws / 2), 0.8); // recovers the positive weight
+}
+
+TEST(TapeADTest, GradMatchesFiniteDifferences) {
+  // d/dx of a composite expression via the tape.
+  auto F = [](Tape &T, TVar X, TVar Y) {
+    return tLog(X) * tSigmoid(Y) + X / Y - tExp(X * 0.1) +
+           tSqrt(Y) - (2.0 - X);
+  };
+  Tape T;
+  TVar X(&T, T.input(1.7)), Y(&T, T.input(2.3));
+  TVar Out = F(T, X, Y);
+  T.backward(Out.index());
+  double Gx = T.adj(X.index()), Gy = T.adj(Y.index());
+  const double H = 1e-6;
+  auto Eval = [&](double Xv, double Yv) {
+    Tape T2;
+    TVar X2(&T2, T2.input(Xv)), Y2(&T2, T2.input(Yv));
+    return F(T2, X2, Y2).val();
+  };
+  EXPECT_NEAR(Gx, (Eval(1.7 + H, 2.3) - Eval(1.7 - H, 2.3)) / (2 * H),
+              1e-5);
+  EXPECT_NEAR(Gy, (Eval(1.7, 2.3 + H) - Eval(1.7, 2.3 - H)) / (2 * H),
+              1e-5);
+}
+
+TEST(TapeADTest, LogSumExpStableAndCorrect) {
+  Tape T;
+  std::vector<TVar> Xs = {TVar(&T, T.input(1000.0)),
+                          TVar(&T, T.input(1000.0))};
+  TVar L = tLogSumExp(Xs);
+  EXPECT_NEAR(L.val(), 1000.0 + std::log(2.0), 1e-9);
+  T.backward(L.index());
+  EXPECT_NEAR(T.adj(Xs[0].index()), 0.5, 1e-9);
+}
+
+TEST(StanBaseline, HlrRecoversWeights) {
+  RNG DataRng(11);
+  const int N = 150, Kf = 2;
+  std::vector<std::vector<double>> X(N, std::vector<double>(Kf));
+  std::vector<int> Y(N);
+  for (int I = 0; I < N; ++I) {
+    double Dot = 0.5;
+    for (int K = 0; K < Kf; ++K) {
+      X[I][K] = DataRng.gauss();
+      Dot += X[I][K] * (K == 0 ? 2.0 : -2.0);
+    }
+    Y[I] = DataRng.uniform() < 1.0 / (1.0 + std::exp(-Dot)) ? 1 : 0;
+  }
+  StanSampler S(std::make_unique<HlrStanModel>(1.0, X, Y), 31);
+  S.warmup(150);
+  EXPECT_GT(S.stepSize(), 0.0);
+  double T0 = 0, T1 = 0;
+  int Kept = 0;
+  for (int I = 0; I < 150; ++I) {
+    S.sampleOnce();
+    T0 += S.position()[2];
+    T1 += S.position()[3];
+    ++Kept;
+  }
+  EXPECT_GT(T0 / Kept, 0.8);
+  EXPECT_LT(T1 / Kept, -0.8);
+  EXPECT_GT(S.acceptRate(), 0.5);
+  // sigma2 = exp(u0) is positive by construction.
+  EXPECT_GT(std::exp(S.position()[0]), 0.0);
+}
+
+TEST(StanBaseline, MarginalGmmSeparatesMeans) {
+  RNG DataRng(13);
+  const int N = 100;
+  std::vector<std::vector<double>> Y(N, std::vector<double>(2));
+  for (int I = 0; I < N; ++I) {
+    int C = static_cast<int>(DataRng.uniformInt(2));
+    Y[I][0] = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+    Y[I][1] = DataRng.gauss(C ? 4.0 : -4.0, 1.0);
+  }
+  auto Model = std::make_unique<MarginalGmmStanModel>(
+      2, std::vector<double>{1.0, 1.0}, std::vector<double>{0.0, 0.0},
+      Matrix::diagonal({25.0, 25.0}), Matrix::identity(2), Y);
+  const MarginalGmmStanModel *ModelPtr = Model.get();
+  StanSampler S(std::move(Model), 37);
+  S.warmup(200);
+  for (int I = 0; I < 200; ++I)
+    S.sampleOnce();
+  std::vector<double> Pi;
+  std::vector<std::vector<double>> Mu;
+  ModelPtr->constrain(S.position(), Pi, Mu);
+  EXPECT_NEAR(Pi[0] + Pi[1], 1.0, 1e-9);
+  EXPECT_GT(Pi[0], 0.15);
+  EXPECT_GT(Pi[1], 0.15);
+  // Means land on opposite corners.
+  EXPECT_NEAR(std::abs(Mu[0][0] - Mu[1][0]), 8.0, 1.5)
+      << Mu[0][0] << " vs " << Mu[1][0];
+}
+
+TEST(StanBaseline, TapeGrowsWithData) {
+  // The instrumentation overhead Stan pays: tape size scales with the
+  // data (AugurV2's source-to-source AD allocates nothing per point).
+  auto MakeSampler = [](int N) {
+    RNG DataRng(41);
+    std::vector<std::vector<double>> X(N, std::vector<double>(2));
+    std::vector<int> Y(N, 1);
+    for (auto &Row : X)
+      for (auto &V : Row)
+        V = DataRng.gauss();
+    return std::make_unique<StanSampler>(
+        std::make_unique<HlrStanModel>(1.0, X, Y), 1);
+  };
+  auto S1 = MakeSampler(100);
+  S1->logDensity();
+  auto S2 = MakeSampler(1000);
+  S2->logDensity();
+  EXPECT_GT(S2->lastTapeSize(), 5 * S1->lastTapeSize());
+}

@@ -1,0 +1,457 @@
+//===- tests/density_test.cpp - Density IL and conditionals ---*- C++ -*-===//
+//
+// Exercises the frontend lowering, the symbolic conditional computation
+// (both rewrite rules of Section 3.3), conjugacy detection, Markov
+// blankets against a brute-force oracle, and forward sampling.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "density/Conditional.h"
+#include "density/Conjugacy.h"
+#include "density/Eval.h"
+#include "density/Forward.h"
+#include "density/Frontend.h"
+#include "lang/Parser.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+namespace {
+
+DensityModel loadModel(const char *Src,
+                       const std::map<std::string, Type> &H) {
+  auto M = parseModel(Src);
+  EXPECT_TRUE(M.ok()) << M.message();
+  auto TM = typeCheck(M.take(), H);
+  EXPECT_TRUE(TM.ok()) << TM.message();
+  return lowerToDensity(TM.take());
+}
+
+std::map<std::string, Type> gmmTypes() {
+  Type VecR = Type::vec(Type::realTy());
+  return {{"K", Type::intTy()},   {"N", Type::intTy()},
+          {"mu_0", VecR},         {"Sigma_0", Type::mat()},
+          {"pis", VecR},          {"Sigma", Type::mat()}};
+}
+
+std::map<std::string, Type> hgmmTypes() {
+  Type VecR = Type::vec(Type::realTy());
+  return {{"K", Type::intTy()},     {"N", Type::intTy()},
+          {"alpha", VecR},          {"mu_0", VecR},
+          {"Sigma_0", Type::mat()}, {"nu", Type::realTy()},
+          {"Psi", Type::mat()}};
+}
+
+std::map<std::string, Type> ldaTypes() {
+  Type VecR = Type::vec(Type::realTy());
+  return {{"K", Type::intTy()}, {"D", Type::intTy()},
+          {"V", Type::intTy()}, {"alpha", VecR},
+          {"beta", VecR},       {"L", Type::vec(Type::intTy())}};
+}
+
+std::map<std::string, Type> hlrTypes() {
+  return {{"lambda", Type::realTy()},
+          {"N", Type::intTy()},
+          {"Kf", Type::intTy()},
+          {"x", Type::vec(Type::vec(Type::realTy()))}};
+}
+
+/// A small concrete GMM environment (K=2 clusters in 2 dimensions,
+/// N=4 points) used for evaluation tests.
+Env smallGmmEnv() {
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["N"] = Value::intScalar(4);
+  E["mu_0"] = Value::realVec(BlockedReal::flat({0.0, 0.0}));
+  E["Sigma_0"] = Value::matrix(Matrix::diagonal({4.0, 4.0}));
+  E["pis"] = Value::realVec(BlockedReal::flat({0.4, 0.6}));
+  E["Sigma"] = Value::matrix(Matrix::diagonal({1.0, 1.0}));
+  E["mu"] = Value::realVec(
+      BlockedReal::ragged({{-1.0, 0.5}, {2.0, -0.5}}),
+      Type::vec(Type::vec(Type::realTy())));
+  E["z"] = Value::intVec(BlockedInt::flat({0, 1, 1, 0}));
+  E["x"] = Value::realVec(
+      BlockedReal::ragged(
+          {{-1.2, 0.4}, {2.2, -0.6}, {1.8, -0.2}, {-0.8, 0.7}}),
+      Type::vec(Type::vec(Type::realTy())));
+  return E;
+}
+
+/// Brute-force log joint for the small GMM, written out by hand.
+double gmmLogJointByHand(const Env &E) {
+  double LogP = 0.0;
+  const auto &Mu = E.at("mu").realVec();
+  const auto &Z = E.at("z").intVec();
+  const auto &X = E.at("x").realVec();
+  std::vector<DV> Prior = {DV::vec(E.at("mu_0").realVec().flat()),
+                           DV::mat(E.at("Sigma_0").mat())};
+  for (int64_t K = 0; K < 2; ++K)
+    LogP += distLogPdf(Dist::MvNormal, Prior, DV::vec(Mu.row(K), 2));
+  for (int64_t N = 0; N < 4; ++N) {
+    LogP += distLogPdf(Dist::Categorical,
+                       {DV::vec(E.at("pis").realVec().flat())},
+                       DV::integer(Z.at(N)));
+    LogP += distLogPdf(Dist::MvNormal,
+                       {DV::vec(Mu.row(Z.at(N)), 2),
+                        DV::mat(E.at("Sigma").mat())},
+                       DV::vec(X.row(N), 2));
+  }
+  return LogP;
+}
+
+} // namespace
+
+TEST(Frontend, GmmFactorization) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  ASSERT_EQ(DM.Joint.Factors.size(), 3u);
+  EXPECT_EQ(DM.Joint.Factors[0].AtVar, "mu");
+  EXPECT_EQ(DM.Joint.Factors[0].str(),
+            "prod(k <- 0 until K) MvNormal(mu_0, Sigma_0)(mu[k])");
+  EXPECT_EQ(DM.Joint.Factors[2].str(),
+            "prod(n <- 0 until N) MvNormal(mu[z[n]], Sigma)(x[n])");
+  EXPECT_EQ(DM.Joint.Factors[2].Role, VarRole::Data);
+}
+
+TEST(Frontend, EvalLogJointMatchesHandComputation) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  Env E = smallGmmEnv();
+  EXPECT_NEAR(evalLogJoint(DM, E), gmmLogJointByHand(E), 1e-10);
+}
+
+TEST(ConditionalTest, GmmMuUsesCategoricalNormalization) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto C = computeConditional(DM, "mu");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_FALSE(C->Approximate);
+  ASSERT_EQ(C->BlockLoops.size(), 1u);
+  EXPECT_EQ(C->BlockLoops[0].Var, "k");
+  ASSERT_EQ(C->Liks.size(), 1u);
+  // The likelihood factor was rewritten: mu[z[n]] -> mu[k] guarded by
+  // k = z[n] (the mixture-model normalization rule).
+  const Factor &Lik = C->Liks[0];
+  ASSERT_EQ(Lik.Guards.size(), 1u);
+  EXPECT_EQ(Lik.Guards[0].Lhs->str(), "k");
+  EXPECT_EQ(Lik.Guards[0].Rhs->str(), "z[n]");
+  EXPECT_EQ(Lik.Params[0]->str(), "mu[k]");
+  ASSERT_EQ(Lik.Loops.size(), 1u);
+  EXPECT_EQ(Lik.Loops[0].Var, "n");
+}
+
+TEST(ConditionalTest, GmmZUsesFactoring) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto C = computeConditional(DM, "z");
+  ASSERT_TRUE(C.ok()) << C.message();
+  EXPECT_FALSE(C->Approximate);
+  ASSERT_EQ(C->BlockLoops.size(), 1u);
+  EXPECT_EQ(C->BlockLoops[0].Var, "n");
+  ASSERT_EQ(C->Liks.size(), 1u);
+  // After factoring, the data factor loses its loop: x[n]'s term only.
+  EXPECT_TRUE(C->Liks[0].Loops.empty());
+  EXPECT_TRUE(C->Liks[0].Guards.empty());
+  EXPECT_EQ(C->Liks[0].Params[0]->str(), "mu[z[n]]");
+}
+
+TEST(ConditionalTest, RewritePreservesDensity) {
+  // Summing the rewritten conditional's guarded factors over all block
+  // elements must reproduce exactly the factors of the joint that
+  // mention the variable (pointwise, on a concrete environment).
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  Env E = smallGmmEnv();
+  auto C = computeConditional(DM, "mu");
+  ASSERT_TRUE(C.ok());
+  EvalCtx Ctx(E);
+  double FromJoint = 0.0;
+  for (const auto &F : DM.Joint.Factors)
+    if (F.mentions("mu"))
+      FromJoint += evalFactorLogPdf(F, Ctx);
+  EXPECT_NEAR(evalConditional(*C, E), FromJoint, 1e-10);
+}
+
+TEST(ConditionalTest, ConditionalAtSumsToFull) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  Env E = smallGmmEnv();
+  auto C = computeConditional(DM, "mu");
+  ASSERT_TRUE(C.ok());
+  double Sum = 0.0;
+  for (int64_t K = 0; K < 2; ++K)
+    Sum += evalConditionalAt(*C, E, {K});
+  EXPECT_NEAR(Sum, evalConditional(*C, E), 1e-10);
+}
+
+TEST(ConditionalTest, HgmmAllParams) {
+  DensityModel DM = loadModel(models::HGMM, hgmmTypes());
+  for (const char *Var : {"pi", "mu", "Sigma", "z"}) {
+    auto C = computeConditional(DM, Var);
+    ASSERT_TRUE(C.ok()) << Var << ": " << C.message();
+    EXPECT_FALSE(C->Approximate) << Var;
+  }
+  // pi's conditional: prior Dirichlet + the categorical assignments.
+  auto C = computeConditional(DM, "pi");
+  ASSERT_EQ(C->Liks.size(), 1u);
+  EXPECT_EQ(C->Liks[0].D, Dist::Categorical);
+  EXPECT_TRUE(C->BlockLoops.empty());
+  // Sigma's conditional gets the same guard as mu's.
+  auto CS = computeConditional(DM, "Sigma");
+  ASSERT_EQ(CS->Liks.size(), 1u);
+  ASSERT_EQ(CS->Liks[0].Guards.size(), 1u);
+  EXPECT_EQ(CS->Liks[0].Params[1]->str(), "Sigma[k]");
+}
+
+TEST(ConditionalTest, LdaThetaFactorsAndPhiNormalizes) {
+  DensityModel DM = loadModel(models::LDA, ldaTypes());
+  // theta: factoring on the shared document loop d.
+  auto CT = computeConditional(DM, "theta");
+  ASSERT_TRUE(CT.ok());
+  EXPECT_FALSE(CT->Approximate);
+  ASSERT_EQ(CT->BlockLoops.size(), 1u);
+  EXPECT_EQ(CT->BlockLoops[0].Var, "d");
+  ASSERT_EQ(CT->Liks.size(), 1u);
+  ASSERT_EQ(CT->Liks[0].Loops.size(), 1u); // residual word loop j
+  EXPECT_EQ(CT->Liks[0].Loops[0].Var, "j");
+  EXPECT_TRUE(CT->Liks[0].Guards.empty());
+  // phi: categorical normalization through z[d][j].
+  auto CP = computeConditional(DM, "phi");
+  ASSERT_TRUE(CP.ok());
+  EXPECT_FALSE(CP->Approximate);
+  ASSERT_EQ(CP->Liks.size(), 1u);
+  ASSERT_EQ(CP->Liks[0].Guards.size(), 1u);
+  EXPECT_EQ(CP->Liks[0].Guards[0].Lhs->str(), "k");
+  EXPECT_EQ(CP->Liks[0].Guards[0].Rhs->str(), "z[d][j]");
+  EXPECT_EQ(CP->Liks[0].Params[0]->str(), "phi[k]");
+  ASSERT_EQ(CP->Liks[0].Loops.size(), 2u);
+  // z: two-level factoring against (d, j).
+  auto CZ = computeConditional(DM, "z");
+  ASSERT_TRUE(CZ.ok());
+  EXPECT_FALSE(CZ->Approximate);
+  EXPECT_EQ(CZ->BlockLoops.size(), 2u);
+  ASSERT_EQ(CZ->Liks.size(), 1u);
+  EXPECT_TRUE(CZ->Liks[0].Loops.empty());
+}
+
+TEST(ConditionalTest, HlrScalarTargets) {
+  DensityModel DM = loadModel(models::HLR, hlrTypes());
+  auto CS = computeConditional(DM, "sigma2");
+  ASSERT_TRUE(CS.ok());
+  EXPECT_TRUE(CS->BlockLoops.empty());
+  // sigma2's conditional includes b's and theta's priors plus its own.
+  EXPECT_EQ(CS->Liks.size(), 2u);
+  auto CB = computeConditional(DM, "b");
+  ASSERT_TRUE(CB.ok());
+  ASSERT_EQ(CB->Liks.size(), 1u);
+  EXPECT_EQ(CB->Liks[0].D, Dist::Bernoulli);
+  // theta used whole inside dot(): the data factor joins unrewritten,
+  // which loses the per-coordinate structure but stays sound.
+  auto CTh = computeConditional(DM, "theta");
+  ASSERT_TRUE(CTh.ok());
+  ASSERT_EQ(CTh->Liks.size(), 1u);
+}
+
+TEST(ConditionalTest, ErrorsOnDataAndUnknown) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  EXPECT_FALSE(computeConditional(DM, "x").ok());
+  EXPECT_FALSE(computeConditional(DM, "nope").ok());
+}
+
+TEST(MarkovBlanketTest, GmmBlankets) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  // mu's blanket: z (through the data factor). x is data, not a param,
+  // but appears; blanket contains only params.
+  EXPECT_EQ(markovBlanket(DM, "mu"), (std::vector<std::string>{"x", "z"}));
+  EXPECT_EQ(markovBlanket(DM, "z"), (std::vector<std::string>{"mu", "x"}));
+}
+
+TEST(MarkovBlanketTest, LdaBlankets) {
+  DensityModel DM = loadModel(models::LDA, ldaTypes());
+  EXPECT_EQ(markovBlanket(DM, "theta"), (std::vector<std::string>{"z"}));
+  EXPECT_EQ(markovBlanket(DM, "phi"), (std::vector<std::string>{"w", "z"}));
+  EXPECT_EQ(markovBlanket(DM, "z"),
+            (std::vector<std::string>{"phi", "theta", "w"}));
+}
+
+TEST(ConjugacyTest, GmmRelations) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  auto CMu = computeConditional(DM, "mu").take();
+  auto Rel = detectConjugacy(CMu);
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::MvNormalMean);
+  EXPECT_EQ(Rel->TargetSlot, 0);
+  // z is discrete, sampled by enumeration, not a conjugacy relation
+  // (its prior is Categorical which is not a prior in the table).
+  auto CZ = computeConditional(DM, "z").take();
+  EXPECT_FALSE(detectConjugacy(CZ).has_value());
+}
+
+TEST(ConjugacyTest, HgmmRelations) {
+  DensityModel DM = loadModel(models::HGMM, hgmmTypes());
+  auto Rel = detectConjugacy(computeConditional(DM, "pi").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::DirichletCategorical);
+  Rel = detectConjugacy(computeConditional(DM, "mu").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::MvNormalMean);
+  Rel = detectConjugacy(computeConditional(DM, "Sigma").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::InvWishartMvNormalCov);
+  EXPECT_EQ(Rel->TargetSlot, 1);
+}
+
+TEST(ConjugacyTest, LdaRelations) {
+  DensityModel DM = loadModel(models::LDA, ldaTypes());
+  auto Rel = detectConjugacy(computeConditional(DM, "theta").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::DirichletCategorical);
+  Rel = detectConjugacy(computeConditional(DM, "phi").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::DirichletCategorical);
+}
+
+TEST(ConjugacyTest, HlrHasNoConjugateLikelihoods) {
+  DensityModel DM = loadModel(models::HLR, hlrTypes());
+  // b's likelihood mean is sigmoid(dot(x,theta)+b): structurally not
+  // the bare target, so the Normal-Normal relation must NOT fire.
+  EXPECT_FALSE(
+      detectConjugacy(computeConditional(DM, "b").take()).has_value());
+  EXPECT_FALSE(
+      detectConjugacy(computeConditional(DM, "theta").take()).has_value());
+  // sigma2's prior is Exponential: not in the table.
+  EXPECT_FALSE(
+      detectConjugacy(computeConditional(DM, "sigma2").take()).has_value());
+}
+
+TEST(ConjugacyTest, ScalarNormalNormalChain) {
+  DensityModel DM = loadModel(
+      "(N) => { param m ~ Normal(0.0, 100.0) ; "
+      "data y[n] ~ Normal(m, 1.0) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  auto Rel = detectConjugacy(computeConditional(DM, "m").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::NormalMean);
+}
+
+TEST(ConjugacyTest, InvGammaVarianceAndBetaBernoulliAndGammaPoisson) {
+  DensityModel DM1 = loadModel(
+      "(N) => { param v ~ InvGamma(2.0, 2.0) ; "
+      "data y[n] ~ Normal(0.0, v) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  auto Rel = detectConjugacy(computeConditional(DM1, "v").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::InvGammaNormalVariance);
+
+  DensityModel DM2 = loadModel(
+      "(N) => { param p ~ Beta(1.0, 1.0) ; "
+      "data y[n] ~ Bernoulli(p) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  Rel = detectConjugacy(computeConditional(DM2, "p").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::BetaBernoulli);
+
+  DensityModel DM3 = loadModel(
+      "(N) => { param r ~ Gamma(2.0, 1.0) ; "
+      "data y[n] ~ Poisson(r) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  Rel = detectConjugacy(computeConditional(DM3, "r").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::GammaPoisson);
+
+  DensityModel DM4 = loadModel(
+      "(N) => { param r ~ Gamma(2.0, 1.0) ; "
+      "data y[n] ~ Exponential(r) for n <- 0 until N ; }",
+      {{"N", Type::intTy()}});
+  Rel = detectConjugacy(computeConditional(DM4, "r").take());
+  ASSERT_TRUE(Rel.has_value());
+  EXPECT_EQ(Rel->Kind, ConjKind::GammaExponential);
+}
+
+TEST(ForwardTest, GmmShapesAndSupport) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  Env E;
+  E["K"] = Value::intScalar(3);
+  E["N"] = Value::intScalar(10);
+  E["mu_0"] = Value::realVec(BlockedReal::flat({0.0, 0.0}));
+  E["Sigma_0"] = Value::matrix(Matrix::diagonal({4.0, 4.0}));
+  E["pis"] = Value::realVec(BlockedReal::flat(3, 1.0 / 3.0));
+  E["Sigma"] = Value::matrix(Matrix::diagonal({1.0, 1.0}));
+  RNG Rng(1);
+  ASSERT_TRUE(forwardSampleModel(DM, E, Rng, /*IncludeData=*/true).ok());
+  ASSERT_TRUE(E.count("mu") && E.count("z") && E.count("x"));
+  EXPECT_EQ(E["mu"].realVec().size(), 3);
+  EXPECT_EQ(E["mu"].realVec().rowLen(0), 2);
+  EXPECT_EQ(E["z"].intVec().size(), 10);
+  for (int64_t I = 0; I < 10; ++I) {
+    EXPECT_GE(E["z"].intVec().at(I), 0);
+    EXPECT_LT(E["z"].intVec().at(I), 3);
+  }
+  EXPECT_EQ(E["x"].realVec().size(), 10);
+  // The joint density of a forward draw must be finite.
+  EXPECT_TRUE(std::isfinite(evalLogJoint(DM, E)));
+}
+
+TEST(ForwardTest, LdaRaggedShapes) {
+  DensityModel DM = loadModel(models::LDA, ldaTypes());
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["D"] = Value::intScalar(3);
+  E["V"] = Value::intScalar(5);
+  E["alpha"] = Value::realVec(BlockedReal::flat(2, 0.5));
+  E["beta"] = Value::realVec(BlockedReal::flat(5, 0.5));
+  E["L"] = Value::intVec(BlockedInt::flat({4, 2, 6}));
+  RNG Rng(2);
+  ASSERT_TRUE(forwardSampleModel(DM, E, Rng, /*IncludeData=*/true).ok());
+  const BlockedInt &Z = E["z"].intVec();
+  ASSERT_TRUE(Z.isRagged());
+  EXPECT_EQ(Z.size(), 3);
+  EXPECT_EQ(Z.rowLen(0), 4);
+  EXPECT_EQ(Z.rowLen(1), 2);
+  EXPECT_EQ(Z.rowLen(2), 6);
+  const BlockedReal &Theta = E["theta"].realVec();
+  EXPECT_EQ(Theta.size(), 3);
+  EXPECT_EQ(Theta.rowLen(1), 2);
+  // Rows of theta are on the simplex.
+  for (int64_t D = 0; D < 3; ++D) {
+    double Sum = 0.0;
+    for (int64_t J = 0; J < 2; ++J)
+      Sum += Theta.at(D, J);
+    EXPECT_NEAR(Sum, 1.0, 1e-9);
+  }
+  EXPECT_TRUE(std::isfinite(evalLogJoint(DM, E)));
+}
+
+TEST(ForwardTest, HgmmMatVecAllocation) {
+  DensityModel DM = loadModel(models::HGMM, hgmmTypes());
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["N"] = Value::intScalar(6);
+  E["alpha"] = Value::realVec(BlockedReal::flat(2, 1.0));
+  E["mu_0"] = Value::realVec(BlockedReal::flat(2, 0.0));
+  E["Sigma_0"] = Value::matrix(Matrix::diagonal({9.0, 9.0}));
+  E["nu"] = Value::realScalar(5.0);
+  E["Psi"] = Value::matrix(Matrix::diagonal({1.0, 1.0}));
+  RNG Rng(3);
+  ASSERT_TRUE(forwardSampleModel(DM, E, Rng, /*IncludeData=*/true).ok());
+  ASSERT_TRUE(E["Sigma"].isMatVec());
+  EXPECT_EQ(E["Sigma"].matVec().size(), 2);
+  EXPECT_EQ(E["Sigma"].matVec().rows(), 2);
+  // Sampled covariances are positive definite.
+  for (int64_t K = 0; K < 2; ++K)
+    EXPECT_TRUE(cholesky(E["Sigma"].matVec().get(K)).ok());
+  EXPECT_TRUE(std::isfinite(evalLogJoint(DM, E)));
+}
+
+TEST(ForwardTest, MissingDataDiagnosed) {
+  DensityModel DM = loadModel(models::GMM, gmmTypes());
+  Env E;
+  E["K"] = Value::intScalar(2);
+  E["N"] = Value::intScalar(4);
+  E["mu_0"] = Value::realVec(BlockedReal::flat(2, 0.0));
+  E["Sigma_0"] = Value::matrix(Matrix::identity(2));
+  E["pis"] = Value::realVec(BlockedReal::flat(2, 0.5));
+  E["Sigma"] = Value::matrix(Matrix::identity(2));
+  RNG Rng(4);
+  Status S = forwardSampleModel(DM, E, Rng, /*IncludeData=*/false);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("x"), std::string::npos);
+}

@@ -1,0 +1,379 @@
+//===- tests/distributions_test.cpp - distribution library tests -*- C++ -===//
+//
+// Checks logpdf values against closed forms, sampling moments against
+// analytic moments, and analytic gradients against finite differences.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "runtime/Distributions.h"
+
+using namespace augur;
+
+namespace {
+
+double fdGrad(Dist D, int ArgIdx, const std::vector<DV> &Params, const DV &X,
+              double *Slot) {
+  // Central finite difference wrt the scalar pointed to by Slot.
+  const double H = 1e-6;
+  double Orig = *Slot;
+  *Slot = Orig + H;
+  double Up = distLogPdf(D, Params, X);
+  *Slot = Orig - H;
+  double Down = distLogPdf(D, Params, X);
+  *Slot = Orig;
+  return (Up - Down) / (2.0 * H);
+}
+
+} // namespace
+
+TEST(DistMeta, InfoAndLookup) {
+  EXPECT_STREQ(distInfo(Dist::MvNormal).Name, "MvNormal");
+  EXPECT_EQ(distInfo(Dist::Normal).NumParams, 2);
+  EXPECT_TRUE(distInfo(Dist::Categorical).Discrete);
+  EXPECT_FALSE(distInfo(Dist::Dirichlet).Discrete);
+  ASSERT_TRUE(distByName("InvWishart").has_value());
+  EXPECT_EQ(*distByName("InvWishart"), Dist::InvWishart);
+  EXPECT_FALSE(distByName("NotADist").has_value());
+}
+
+TEST(DistMeta, ValueTypes) {
+  Result<Type> T =
+      distValueType(Dist::Normal, {Type::realTy(), Type::realTy()});
+  ASSERT_TRUE(T.ok());
+  EXPECT_TRUE(T->isReal());
+  T = distValueType(Dist::Categorical, {Type::vec(Type::realTy())});
+  ASSERT_TRUE(T.ok());
+  EXPECT_TRUE(T->isInt());
+  T = distValueType(Dist::MvNormal, {Type::vec(Type::realTy()), Type::mat()});
+  ASSERT_TRUE(T.ok());
+  EXPECT_EQ(T->str(), "Vec Real");
+  T = distValueType(Dist::InvWishart, {Type::realTy(), Type::mat()});
+  ASSERT_TRUE(T.ok());
+  EXPECT_TRUE(T->isMat());
+  // Arity and shape errors are diagnosed.
+  EXPECT_FALSE(distValueType(Dist::Normal, {Type::realTy()}).ok());
+  EXPECT_FALSE(distValueType(Dist::Categorical, {Type::realTy()}).ok());
+}
+
+TEST(DistLogPdf, NormalClosedForm) {
+  double L = distLogPdf(Dist::Normal, {DV::real(1.0), DV::real(4.0)},
+                        DV::real(3.0));
+  double Expected = -0.5 * (std::log(2 * M_PI) + std::log(4.0) + 4.0 / 4.0);
+  EXPECT_NEAR(L, Expected, 1e-12);
+  // Non-positive variance is out of support.
+  EXPECT_EQ(distLogPdf(Dist::Normal, {DV::real(0.0), DV::real(-1.0)},
+                       DV::real(0.0)),
+            -INFINITY);
+}
+
+TEST(DistLogPdf, MvNormalMatchesDiagonalProductOfNormals) {
+  std::vector<double> Mu = {1.0, -2.0};
+  Matrix S = Matrix::diagonal({4.0, 9.0});
+  std::vector<double> X = {2.0, 0.0};
+  double L = distLogPdf(Dist::MvNormal, {DV::vec(Mu), DV::mat(S)},
+                        DV::vec(X));
+  double Expected =
+      distLogPdf(Dist::Normal, {DV::real(1.0), DV::real(4.0)},
+                 DV::real(2.0)) +
+      distLogPdf(Dist::Normal, {DV::real(-2.0), DV::real(9.0)},
+                 DV::real(0.0));
+  EXPECT_NEAR(L, Expected, 1e-10);
+}
+
+TEST(DistLogPdf, CategoricalAndBernoulli) {
+  std::vector<double> Pi = {0.2, 0.5, 0.3};
+  EXPECT_NEAR(distLogPdf(Dist::Categorical, {DV::vec(Pi)}, DV::integer(1)),
+              std::log(0.5), 1e-12);
+  EXPECT_EQ(distLogPdf(Dist::Categorical, {DV::vec(Pi)}, DV::integer(5)),
+            -INFINITY);
+  EXPECT_NEAR(distLogPdf(Dist::Bernoulli, {DV::real(0.7)}, DV::integer(1)),
+              std::log(0.7), 1e-12);
+  EXPECT_NEAR(distLogPdf(Dist::Bernoulli, {DV::real(0.7)}, DV::integer(0)),
+              std::log(0.3), 1e-12);
+}
+
+TEST(DistLogPdf, DirichletUniformCase) {
+  // Dirichlet(1,1,1) is uniform on the simplex: density Gamma(3) = 2.
+  std::vector<double> Alpha = {1.0, 1.0, 1.0};
+  std::vector<double> X = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(distLogPdf(Dist::Dirichlet, {DV::vec(Alpha)}, DV::vec(X)),
+              std::log(2.0), 1e-12);
+}
+
+TEST(DistLogPdf, GammaExponentialConsistency) {
+  // Gamma(1, rate) == Exponential(rate).
+  for (double X : {0.1, 1.0, 3.0}) {
+    double G = distLogPdf(Dist::Gamma, {DV::real(1.0), DV::real(2.0)},
+                          DV::real(X));
+    double E = distLogPdf(Dist::Exponential, {DV::real(2.0)}, DV::real(X));
+    EXPECT_NEAR(G, E, 1e-12);
+  }
+}
+
+TEST(DistLogPdf, InvGammaMatchesGammaOfInverse) {
+  // If X ~ InvGamma(a, s) then 1/X ~ Gamma(a, s); densities relate by
+  // the Jacobian x^{-2}: log f_IG(x) = log f_G(1/x) - 2 log x.
+  double A = 3.0, S = 2.0, X = 0.7;
+  double IG =
+      distLogPdf(Dist::InvGamma, {DV::real(A), DV::real(S)}, DV::real(X));
+  double G = distLogPdf(Dist::Gamma, {DV::real(A), DV::real(S)},
+                        DV::real(1.0 / X));
+  EXPECT_NEAR(IG, G - 2.0 * std::log(X), 1e-10);
+}
+
+TEST(DistLogPdf, BetaUniformCase) {
+  EXPECT_NEAR(distLogPdf(Dist::Beta, {DV::real(1.0), DV::real(1.0)},
+                         DV::real(0.42)),
+              0.0, 1e-12);
+}
+
+TEST(DistLogPdf, PoissonClosedForm) {
+  // P(X=2 | rate 3) = 9 e^{-3} / 2.
+  EXPECT_NEAR(distLogPdf(Dist::Poisson, {DV::real(3.0)}, DV::integer(2)),
+              std::log(9.0 / 2.0) - 3.0, 1e-12);
+}
+
+TEST(DistLogPdf, UniformDensity) {
+  EXPECT_NEAR(distLogPdf(Dist::Uniform, {DV::real(2.0), DV::real(6.0)},
+                         DV::real(3.0)),
+              -std::log(4.0), 1e-12);
+  EXPECT_EQ(distLogPdf(Dist::Uniform, {DV::real(2.0), DV::real(6.0)},
+                       DV::real(7.0)),
+            -INFINITY);
+}
+
+TEST(DistLogPdf, InvWishartIdentityCase) {
+  // For p=1: IW(df, psi) is InvGamma(df/2, psi/2).
+  double Df = 5.0, Psi = 3.0, X = 0.8;
+  Matrix PsiM(1, 1), XM(1, 1);
+  PsiM.at(0, 0) = Psi;
+  XM.at(0, 0) = X;
+  double IW = distLogPdf(Dist::InvWishart, {DV::real(Df), DV::mat(PsiM)},
+                         DV::mat(XM));
+  double IG = distLogPdf(Dist::InvGamma, {DV::real(0.5 * Df),
+                                          DV::real(0.5 * Psi)},
+                         DV::real(X));
+  EXPECT_NEAR(IW, IG, 1e-10);
+}
+
+TEST(DistSample, NormalMoments) {
+  RNG Rng(101);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    double X = 0.0;
+    distSample(Dist::Normal, {DV::real(2.0), DV::real(9.0)}, Rng,
+               MutDV::real(&X));
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 2.0, 0.05);
+  EXPECT_NEAR(SumSq / N - (Sum / N) * (Sum / N), 9.0, 0.2);
+}
+
+TEST(DistSample, CategoricalFrequencies) {
+  RNG Rng(103);
+  std::vector<double> Pi = {0.1, 0.6, 0.3};
+  int Counts[3] = {0, 0, 0};
+  const int N = 60000;
+  for (int I = 0; I < N; ++I) {
+    int64_t Z = -1;
+    distSample(Dist::Categorical, {DV::vec(Pi)}, Rng, MutDV::integer(&Z));
+    ASSERT_GE(Z, 0);
+    ASSERT_LT(Z, 3);
+    ++Counts[Z];
+  }
+  for (int K = 0; K < 3; ++K)
+    EXPECT_NEAR(double(Counts[K]) / N, Pi[static_cast<size_t>(K)], 0.01);
+}
+
+TEST(DistSample, DirichletMean) {
+  RNG Rng(107);
+  std::vector<double> Alpha = {2.0, 3.0, 5.0};
+  std::vector<double> Mean(3, 0.0);
+  const int N = 30000;
+  std::vector<double> Draw(3);
+  for (int I = 0; I < N; ++I) {
+    distSample(Dist::Dirichlet, {DV::vec(Alpha)}, Rng,
+               MutDV::vec(Draw.data(), 3));
+    double RowSum = 0.0;
+    for (int K = 0; K < 3; ++K) {
+      Mean[static_cast<size_t>(K)] += Draw[static_cast<size_t>(K)];
+      RowSum += Draw[static_cast<size_t>(K)];
+    }
+    ASSERT_NEAR(RowSum, 1.0, 1e-9);
+  }
+  for (int K = 0; K < 3; ++K)
+    EXPECT_NEAR(Mean[static_cast<size_t>(K)] / N,
+                Alpha[static_cast<size_t>(K)] / 10.0, 0.01);
+}
+
+TEST(DistSample, MvNormalMeanAndCovariance) {
+  RNG Rng(109);
+  std::vector<double> Mu = {1.0, -1.0};
+  Matrix S(2, 2);
+  S.at(0, 0) = 2.0;
+  S.at(0, 1) = S.at(1, 0) = 0.8;
+  S.at(1, 1) = 1.0;
+  const int N = 60000;
+  double M0 = 0.0, M1 = 0.0, C00 = 0.0, C01 = 0.0, C11 = 0.0;
+  std::vector<double> X(2);
+  for (int I = 0; I < N; ++I) {
+    distSample(Dist::MvNormal, {DV::vec(Mu), DV::mat(S)}, Rng,
+               MutDV::vec(X.data(), 2));
+    M0 += X[0];
+    M1 += X[1];
+    C00 += (X[0] - 1.0) * (X[0] - 1.0);
+    C01 += (X[0] - 1.0) * (X[1] + 1.0);
+    C11 += (X[1] + 1.0) * (X[1] + 1.0);
+  }
+  EXPECT_NEAR(M0 / N, 1.0, 0.03);
+  EXPECT_NEAR(M1 / N, -1.0, 0.03);
+  EXPECT_NEAR(C00 / N, 2.0, 0.06);
+  EXPECT_NEAR(C01 / N, 0.8, 0.04);
+  EXPECT_NEAR(C11 / N, 1.0, 0.03);
+}
+
+TEST(DistSample, GammaInvGammaExponentialBetaPoissonMeans) {
+  RNG Rng(113);
+  const int N = 60000;
+  double SumG = 0, SumIG = 0, SumE = 0, SumB = 0;
+  int64_t SumP = 0;
+  for (int I = 0; I < N; ++I) {
+    double X;
+    int64_t K;
+    distSample(Dist::Gamma, {DV::real(3.0), DV::real(2.0)}, Rng,
+               MutDV::real(&X));
+    SumG += X;
+    distSample(Dist::InvGamma, {DV::real(3.0), DV::real(2.0)}, Rng,
+               MutDV::real(&X));
+    SumIG += X;
+    distSample(Dist::Exponential, {DV::real(4.0)}, Rng, MutDV::real(&X));
+    SumE += X;
+    distSample(Dist::Beta, {DV::real(2.0), DV::real(6.0)}, Rng,
+               MutDV::real(&X));
+    SumB += X;
+    distSample(Dist::Poisson, {DV::real(3.5)}, Rng, MutDV::integer(&K));
+    SumP += K;
+  }
+  EXPECT_NEAR(SumG / N, 1.5, 0.02);        // shape/rate
+  EXPECT_NEAR(SumIG / N, 1.0, 0.03);       // scale/(shape-1)
+  EXPECT_NEAR(SumE / N, 0.25, 0.005);      // 1/rate
+  EXPECT_NEAR(SumB / N, 0.25, 0.005);      // a/(a+b)
+  EXPECT_NEAR(double(SumP) / N, 3.5, 0.05);
+}
+
+TEST(DistSample, InvWishartMeanMatchesFormula) {
+  // E[IW(df, Psi)] = Psi / (df - p - 1).
+  RNG Rng(127);
+  double Df = 7.0;
+  Matrix Psi(2, 2);
+  Psi.at(0, 0) = 2.0;
+  Psi.at(0, 1) = Psi.at(1, 0) = 0.5;
+  Psi.at(1, 1) = 1.0;
+  const int N = 20000;
+  Matrix Mean(2, 2);
+  Matrix Draw(2, 2);
+  for (int I = 0; I < N; ++I) {
+    distSample(Dist::InvWishart, {DV::real(Df), DV::mat(Psi)}, Rng,
+               MutDV::mat(Draw.data(), 2, 2));
+    Mean = Mean + Draw;
+  }
+  double Denom = Df - 2 - 1;
+  for (int64_t R = 0; R < 2; ++R)
+    for (int64_t C = 0; C < 2; ++C)
+      EXPECT_NEAR(Mean.at(R, C) / N, Psi.at(R, C) / Denom, 0.05)
+          << R << "," << C;
+}
+
+TEST(DistGrad, ScalarGradsMatchFiniteDifferences) {
+  struct Case {
+    Dist D;
+    std::vector<double> Params;
+    double X;
+  };
+  std::vector<Case> Cases = {
+      {Dist::Normal, {1.0, 4.0}, 2.5},
+      {Dist::Exponential, {2.0}, 0.7},
+      {Dist::Gamma, {3.0, 2.0}, 1.3},
+      {Dist::InvGamma, {3.0, 2.0}, 0.9},
+      {Dist::Beta, {2.0, 5.0}, 0.3},
+  };
+  for (auto &C : Cases) {
+    std::vector<DV> Params;
+    for (double P : C.Params)
+      Params.push_back(DV::real(P));
+    // Gradient wrt the variate (arg 0).
+    if (distHasGrad(C.D, 0)) {
+      double Analytic = 0.0;
+      DV X = DV::real(C.X);
+      distAccumGrad(C.D, 0, Params, X, 1.0, &Analytic);
+      double Fd = fdGrad(C.D, 0, Params, X, &X.D);
+      EXPECT_NEAR(Analytic, Fd, 1e-4 * (1.0 + std::abs(Fd)))
+          << distInfo(C.D).Name << " d/dx";
+    }
+    // Gradient wrt each continuous parameter.
+    for (int A = 1; A <= static_cast<int>(C.Params.size()); ++A) {
+      if (!distHasGrad(C.D, A))
+        continue;
+      double Analytic = 0.0;
+      DV X = DV::real(C.X);
+      distAccumGrad(C.D, A, Params, X, 1.0, &Analytic);
+      double Fd = fdGrad(C.D, A, Params, X, &Params[A - 1].D);
+      EXPECT_NEAR(Analytic, Fd, 1e-4 * (1.0 + std::abs(Fd)))
+          << distInfo(C.D).Name << " d/dtheta" << A;
+    }
+  }
+}
+
+TEST(DistGrad, AdjointScalingAndAccumulation) {
+  // distAccumGrad accumulates Adj * grad into the slot.
+  std::vector<DV> Params = {DV::real(0.0), DV::real(1.0)};
+  double Slot = 10.0;
+  distAccumGrad(Dist::Normal, 0, Params, DV::real(2.0), 3.0, &Slot);
+  // d/dx log N(2 | 0,1) = -2; 10 + 3*(-2) = 4.
+  EXPECT_NEAR(Slot, 4.0, 1e-12);
+}
+
+TEST(DistGrad, MvNormalGradMatchesFiniteDifferences) {
+  std::vector<double> Mu = {0.5, -0.25};
+  Matrix S(2, 2);
+  S.at(0, 0) = 1.5;
+  S.at(0, 1) = S.at(1, 0) = 0.4;
+  S.at(1, 1) = 0.9;
+  std::vector<double> X = {1.0, 0.3};
+  std::vector<DV> Params = {DV::vec(Mu), DV::mat(S)};
+  // wrt the variate.
+  std::vector<double> Grad(2, 0.0);
+  distAccumGrad(Dist::MvNormal, 0, Params, DV::vec(X), 1.0, Grad.data());
+  const double H = 1e-6;
+  for (int I = 0; I < 2; ++I) {
+    double Orig = X[static_cast<size_t>(I)];
+    X[static_cast<size_t>(I)] = Orig + H;
+    double Up = distLogPdf(Dist::MvNormal, Params, DV::vec(X));
+    X[static_cast<size_t>(I)] = Orig - H;
+    double Down = distLogPdf(Dist::MvNormal, Params, DV::vec(X));
+    X[static_cast<size_t>(I)] = Orig;
+    EXPECT_NEAR(Grad[static_cast<size_t>(I)], (Up - Down) / (2 * H), 1e-5);
+  }
+  // wrt the mean: equal and opposite for MvNormal.
+  std::vector<double> GradMu(2, 0.0);
+  distAccumGrad(Dist::MvNormal, 1, Params, DV::vec(X), 1.0, GradMu.data());
+  for (int I = 0; I < 2; ++I)
+    EXPECT_NEAR(GradMu[static_cast<size_t>(I)],
+                -Grad[static_cast<size_t>(I)], 1e-10);
+}
+
+TEST(DistGrad, CategoricalWrtWeights) {
+  std::vector<double> Pi = {0.2, 0.5, 0.3};
+  std::vector<double> Grad(3, 0.0);
+  distAccumGrad(Dist::Categorical, 1, {DV::vec(Pi)}, DV::integer(1), 2.0,
+                Grad.data());
+  EXPECT_EQ(Grad[0], 0.0);
+  EXPECT_NEAR(Grad[1], 2.0 / 0.5, 1e-12);
+  EXPECT_EQ(Grad[2], 0.0);
+}

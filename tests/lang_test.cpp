@@ -1,0 +1,262 @@
+//===- tests/lang_test.cpp - lexer/parser/typechecker tests ---*- C++ -*-===//
+
+#include <gtest/gtest.h>
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+TEST(Lexer, TokenKindsAndLocations) {
+  auto Toks = tokenize("param mu[k] ~ MvNormal(mu_0)\n  for k <- 0 until K ;");
+  ASSERT_TRUE(Toks.ok());
+  ASSERT_GE(Toks->size(), 5u);
+  EXPECT_EQ((*Toks)[0].K, Tok::KwParam);
+  EXPECT_EQ((*Toks)[1].K, Tok::Ident);
+  EXPECT_EQ((*Toks)[1].Text, "mu");
+  EXPECT_EQ((*Toks)[2].K, Tok::LBracket);
+  EXPECT_EQ(Toks->back().K, Tok::Eof);
+  // 'for' on line 2.
+  bool FoundFor = false;
+  for (const auto &T : *Toks)
+    if (T.K == Tok::KwFor) {
+      FoundFor = true;
+      EXPECT_EQ(T.Line, 2);
+    }
+  EXPECT_TRUE(FoundFor);
+}
+
+TEST(Lexer, NumbersAndComments) {
+  auto Toks = tokenize("// a comment\n1 2.5 1e3 0.5e-2 7");
+  ASSERT_TRUE(Toks.ok());
+  ASSERT_EQ(Toks->size(), 6u); // 5 numbers + eof
+  EXPECT_EQ((*Toks)[0].K, Tok::IntLit);
+  EXPECT_EQ((*Toks)[0].IntVal, 1);
+  EXPECT_EQ((*Toks)[1].K, Tok::RealLit);
+  EXPECT_DOUBLE_EQ((*Toks)[1].RealVal, 2.5);
+  EXPECT_EQ((*Toks)[2].K, Tok::RealLit);
+  EXPECT_DOUBLE_EQ((*Toks)[2].RealVal, 1000.0);
+  EXPECT_DOUBLE_EQ((*Toks)[3].RealVal, 0.005);
+  EXPECT_EQ((*Toks)[4].K, Tok::IntLit);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_FALSE(tokenize("param $x").ok());
+}
+
+TEST(ExprParse, PrecedenceAndAssociativity) {
+  auto E = parseExpr("a + b * c - d");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->str(), "((a + (b * c)) - d)");
+  E = parseExpr("-x + y");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->str(), "((-x) + y)");
+  E = parseExpr("(a + b) / 2");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->str(), "((a + b) / 2)");
+}
+
+TEST(ExprParse, IndexingAndCalls) {
+  auto E = parseExpr("mu[z[n]]");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->kind(), Expr::Kind::Index);
+  EXPECT_EQ((*E)->str(), "mu[z[n]]");
+  E = parseExpr("sigmoid(dot(x[n], theta) + b)");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->str(), "sigmoid((dot(x[n], theta) + b))");
+  EXPECT_FALSE(parseExpr("unknownfn(3)").ok());
+}
+
+TEST(ExprParse, NegativeLiteralsFold) {
+  auto E = parseExpr("-3");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->kind(), Expr::Kind::IntLit);
+  EXPECT_EQ((*E)->intValue(), -3);
+  E = parseExpr("-2.5");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ((*E)->realValue(), -2.5);
+}
+
+TEST(ExprUtils, StructEqAndMentions) {
+  auto A = parseExpr("mu[z[n]] + 1").take();
+  auto B = parseExpr("mu[z[n]] + 1").take();
+  auto C = parseExpr("mu[z[k]] + 1").take();
+  EXPECT_TRUE(Expr::structEq(A, B));
+  EXPECT_FALSE(Expr::structEq(A, C));
+  EXPECT_TRUE(A->mentionsVar("z"));
+  EXPECT_FALSE(A->mentionsVar("k"));
+}
+
+TEST(ExprUtils, SubstVar) {
+  auto E = parseExpr("mu[j] + j * 2").take();
+  ExprPtr S = substVar(E, "j", Expr::var("i"));
+  EXPECT_EQ(S->str(), "(mu[i] + (i * 2))");
+  // Sharing: substituting an absent variable returns the same node.
+  EXPECT_EQ(substVar(E, "q", Expr::var("i")), E);
+}
+
+TEST(ModelParse, GmmStructure) {
+  auto M = parseModel(models::GMM);
+  ASSERT_TRUE(M.ok()) << M.message();
+  EXPECT_EQ(M->Hypers.size(), 6u);
+  ASSERT_EQ(M->Decls.size(), 3u);
+  EXPECT_EQ(M->Decls[0].Name, "mu");
+  EXPECT_EQ(M->Decls[0].Role, VarRole::Param);
+  EXPECT_EQ(M->Decls[0].D, Dist::MvNormal);
+  ASSERT_EQ(M->Decls[0].Comps.size(), 1u);
+  EXPECT_EQ(M->Decls[0].Comps[0].Var, "k");
+  EXPECT_EQ(M->Decls[2].Role, VarRole::Data);
+  EXPECT_EQ(M->Decls[2].DistArgs[0]->str(), "mu[z[n]]");
+}
+
+TEST(ModelParse, LdaHasNestedComprehension) {
+  auto M = parseModel(models::LDA);
+  ASSERT_TRUE(M.ok()) << M.message();
+  const ModelDecl *Z = M->findDecl("z");
+  ASSERT_NE(Z, nullptr);
+  ASSERT_EQ(Z->Comps.size(), 2u);
+  EXPECT_EQ(Z->Comps[1].Hi->str(), "L[d]"); // ragged bound
+  EXPECT_EQ(Z->Indices[1], "j");
+}
+
+TEST(ModelParse, AllPaperModelsParse) {
+  for (const char *Src : {models::GMM, models::HLR, models::HGMM,
+                          models::HGMMKnownCov, models::LDA}) {
+    auto M = parseModel(Src);
+    EXPECT_TRUE(M.ok()) << M.message();
+  }
+}
+
+TEST(ModelParse, RoundTripThroughPrinter) {
+  auto M = parseModel(models::GMM);
+  ASSERT_TRUE(M.ok());
+  std::string Printed = printModel(*M);
+  auto M2 = parseModel(Printed);
+  ASSERT_TRUE(M2.ok()) << M2.message() << "\n" << Printed;
+  EXPECT_EQ(printModel(*M2), Printed);
+}
+
+TEST(ModelParse, Diagnostics) {
+  // Mismatched indices vs comprehensions.
+  auto Bad = parseModel("(K) => { param mu[k][j] ~ Normal(0.0, 1.0) "
+                        "for k <- 0 until K ; }");
+  ASSERT_FALSE(Bad.ok());
+  // Unknown distribution.
+  Bad = parseModel("(K) => { param mu ~ Zipf(2.0) ; }");
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_NE(Bad.message().find("Zipf"), std::string::npos);
+  // Missing semicolon.
+  Bad = parseModel("(K) => { param mu ~ Normal(0.0, 1.0) }");
+  ASSERT_FALSE(Bad.ok());
+}
+
+namespace {
+
+std::map<std::string, Type> gmmHyperTypes() {
+  Type VecR = Type::vec(Type::realTy());
+  return {{"K", Type::intTy()},   {"N", Type::intTy()},
+          {"mu_0", VecR},         {"Sigma_0", Type::mat()},
+          {"pis", VecR},          {"Sigma", Type::mat()}};
+}
+
+} // namespace
+
+TEST(TypeCheckTest, GmmTypes) {
+  auto M = parseModel(models::GMM);
+  ASSERT_TRUE(M.ok());
+  auto TM = typeCheck(M.take(), gmmHyperTypes());
+  ASSERT_TRUE(TM.ok()) << TM.message();
+  EXPECT_EQ(TM->VarTypes.at("mu").str(), "Vec (Vec Real)");
+  EXPECT_EQ(TM->VarTypes.at("z").str(), "Vec Int");
+  EXPECT_EQ(TM->VarTypes.at("x").str(), "Vec (Vec Real)");
+}
+
+TEST(TypeCheckTest, HgmmTypesIncludeVecMat) {
+  auto M = parseModel(models::HGMM);
+  ASSERT_TRUE(M.ok());
+  Type VecR = Type::vec(Type::realTy());
+  std::map<std::string, Type> H = {
+      {"K", Type::intTy()}, {"N", Type::intTy()},  {"alpha", VecR},
+      {"mu_0", VecR},       {"Sigma_0", Type::mat()}, {"nu", Type::realTy()},
+      {"Psi", Type::mat()}};
+  auto TM = typeCheck(M.take(), H);
+  ASSERT_TRUE(TM.ok()) << TM.message();
+  EXPECT_EQ(TM->VarTypes.at("Sigma").str(), "Vec (Mat Real)");
+  EXPECT_EQ(TM->VarTypes.at("pi").str(), "Vec Real");
+}
+
+TEST(TypeCheckTest, LdaTypes) {
+  auto M = parseModel(models::LDA);
+  ASSERT_TRUE(M.ok());
+  Type VecR = Type::vec(Type::realTy());
+  std::map<std::string, Type> H = {
+      {"K", Type::intTy()}, {"D", Type::intTy()}, {"V", Type::intTy()},
+      {"alpha", VecR},      {"beta", VecR},
+      {"L", Type::vec(Type::intTy())}};
+  auto TM = typeCheck(M.take(), H);
+  ASSERT_TRUE(TM.ok()) << TM.message();
+  EXPECT_EQ(TM->VarTypes.at("z").str(), "Vec (Vec Int)");
+  EXPECT_EQ(TM->VarTypes.at("theta").str(), "Vec (Vec Real)");
+}
+
+TEST(TypeCheckTest, HlrUsesPrimOps) {
+  auto M = parseModel(models::HLR);
+  ASSERT_TRUE(M.ok());
+  std::map<std::string, Type> H = {
+      {"lambda", Type::realTy()},
+      {"N", Type::intTy()},
+      {"Kf", Type::intTy()},
+      {"x", Type::vec(Type::vec(Type::realTy()))}};
+  auto TM = typeCheck(M.take(), H);
+  ASSERT_TRUE(TM.ok()) << TM.message();
+  EXPECT_EQ(TM->VarTypes.at("theta").str(), "Vec Real");
+  EXPECT_EQ(TM->VarTypes.at("y").str(), "Vec Int");
+  EXPECT_EQ(TM->VarTypes.at("sigma2").str(), "Real");
+}
+
+TEST(TypeCheckTest, RejectsParamInBounds) {
+  // z's bound mentions the model parameter m.
+  auto M = parseModel("(N) => { param m ~ Poisson(3.0) ; "
+                      "param z[i] ~ Normal(0.0, 1.0) for i <- 0 until m ; }");
+  ASSERT_TRUE(M.ok()) << M.message();
+  auto TM = typeCheck(M.take(), {{"N", Type::intTy()}});
+  ASSERT_FALSE(TM.ok());
+  EXPECT_NE(TM.message().find("model parameter"), std::string::npos);
+}
+
+TEST(TypeCheckTest, RejectsBadDistArgs) {
+  auto M = parseModel("(K) => { param p ~ Categorical(K) ; }");
+  ASSERT_TRUE(M.ok());
+  auto TM = typeCheck(M.take(), {{"K", Type::intTy()}});
+  EXPECT_FALSE(TM.ok());
+}
+
+TEST(TypeCheckTest, RejectsNonIntBounds) {
+  auto M = parseModel("(S) => { param z[i] ~ Normal(0.0, 1.0) "
+                      "for i <- 0 until S ; }");
+  ASSERT_TRUE(M.ok());
+  auto TM = typeCheck(M.take(), {{"S", Type::realTy()}});
+  ASSERT_FALSE(TM.ok());
+}
+
+TEST(TypeCheckTest, RejectsUnboundAndRedeclared) {
+  auto M = parseModel("(K) => { param a ~ Normal(q, 1.0) ; }");
+  ASSERT_TRUE(M.ok());
+  EXPECT_FALSE(typeCheck(M.take(), {{"K", Type::intTy()}}).ok());
+  M = parseModel("(K) => { param a ~ Normal(0.0, 1.0) ; "
+                 "param a ~ Normal(0.0, 1.0) ; }");
+  ASSERT_TRUE(M.ok());
+  EXPECT_FALSE(typeCheck(M.take(), {{"K", Type::intTy()}}).ok());
+}
+
+TEST(TypeCheckTest, MissingHyperTypeDiagnosed) {
+  auto M = parseModel(models::GMM);
+  ASSERT_TRUE(M.ok());
+  auto H = gmmHyperTypes();
+  H.erase("pis");
+  auto TM = typeCheck(M.take(), H);
+  ASSERT_FALSE(TM.ok());
+  EXPECT_NE(TM.message().find("pis"), std::string::npos);
+}

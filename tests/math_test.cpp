@@ -1,0 +1,190 @@
+//===- tests/math_test.cpp - math library unit tests ----------*- C++ -*-===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/LinAlg.h"
+#include "math/Special.h"
+
+using namespace augur;
+
+TEST(Special, LogGammaMatchesFactorials) {
+  EXPECT_NEAR(logGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(logGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(logGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(Special, DigammaRecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x for a sweep of x.
+  for (double X : {0.3, 0.9, 1.5, 3.7, 10.0, 42.5})
+    EXPECT_NEAR(digamma(X + 1.0), digamma(X) + 1.0 / X, 1e-9) << "x=" << X;
+}
+
+TEST(Special, DigammaKnownValue) {
+  // psi(1) = -gamma (Euler-Mascheroni).
+  EXPECT_NEAR(digamma(1.0), -0.5772156649015329, 1e-9);
+}
+
+TEST(Special, LogSumExpStability) {
+  std::vector<double> Xs = {1000.0, 1000.0};
+  EXPECT_NEAR(logSumExp(Xs), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> Small = {-1000.0, -1001.0};
+  EXPECT_NEAR(logSumExp(Small), -1000.0 + std::log1p(std::exp(-1.0)), 1e-9);
+}
+
+TEST(Special, LogSumExpAllNegInf) {
+  std::vector<double> Xs = {-INFINITY, -INFINITY};
+  EXPECT_EQ(logSumExp(Xs), -INFINITY);
+}
+
+TEST(Special, SigmoidSymmetryAndStability) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  for (double X : {-40.0, -3.0, 0.7, 35.0}) {
+    EXPECT_NEAR(sigmoid(X) + sigmoid(-X), 1.0, 1e-12);
+    EXPECT_NEAR(logSigmoid(X), std::log(sigmoid(X)),
+                1e-9 * std::abs(logSigmoid(X)) + 1e-12);
+  }
+  EXPECT_GT(sigmoid(-745.0), 0.0); // must not underflow to log(0) path blowup
+}
+
+TEST(Special, LogMvGammaReducesToLogGamma) {
+  EXPECT_NEAR(logMvGamma(1, 2.5), logGamma(2.5), 1e-12);
+  // Recurrence: Gamma_2(a) = pi^{1/2} Gamma(a) Gamma(a - 1/2).
+  double A = 3.0;
+  EXPECT_NEAR(logMvGamma(2, A),
+              0.5 * std::log(M_PI) + logGamma(A) + logGamma(A - 0.5), 1e-10);
+}
+
+TEST(Special, StableSumCompensates) {
+  std::vector<double> Xs;
+  Xs.push_back(1.0);
+  for (int I = 0; I < 10000; ++I)
+    Xs.push_back(1e-16);
+  double S = stableSum(Xs.data(), Xs.size());
+  EXPECT_NEAR(S, 1.0 + 1e-12, 1e-15);
+}
+
+TEST(LinAlg, IdentityAndDiagonal) {
+  Matrix I = Matrix::identity(3);
+  EXPECT_EQ(I.at(0, 0), 1.0);
+  EXPECT_EQ(I.at(0, 1), 0.0);
+  Matrix D = Matrix::diagonal({2.0, 3.0});
+  EXPECT_EQ(D.at(1, 1), 3.0);
+  EXPECT_EQ(D.at(1, 0), 0.0);
+}
+
+TEST(LinAlg, MatrixMultiply) {
+  Matrix A(2, 3);
+  Matrix B(3, 2);
+  int V = 1;
+  for (int64_t R = 0; R < 2; ++R)
+    for (int64_t C = 0; C < 3; ++C)
+      A.at(R, C) = V++;
+  V = 1;
+  for (int64_t R = 0; R < 3; ++R)
+    for (int64_t C = 0; C < 2; ++C)
+      B.at(R, C) = V++;
+  Matrix P = A * B;
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_EQ(P.at(0, 0), 22.0);
+  EXPECT_EQ(P.at(0, 1), 28.0);
+  EXPECT_EQ(P.at(1, 0), 49.0);
+  EXPECT_EQ(P.at(1, 1), 64.0);
+}
+
+static Matrix makeSpd3() {
+  // A = B B^T + I for a fixed B is SPD.
+  Matrix B(3, 3);
+  double Vals[9] = {1.0, 0.2, -0.5, 0.7, 2.0, 0.1, -0.3, 0.4, 1.5};
+  for (int64_t R = 0; R < 3; ++R)
+    for (int64_t C = 0; C < 3; ++C)
+      B.at(R, C) = Vals[R * 3 + C];
+  Matrix A = B * B.transpose();
+  for (int64_t I = 0; I < 3; ++I)
+    A.at(I, I) += 1.0;
+  return A;
+}
+
+TEST(LinAlg, CholeskyReconstructs) {
+  Matrix A = makeSpd3();
+  Result<Matrix> L = cholesky(A);
+  ASSERT_TRUE(L.ok());
+  Matrix R = *L * L->transpose();
+  for (int64_t I = 0; I < 3; ++I)
+    for (int64_t J = 0; J < 3; ++J)
+      EXPECT_NEAR(R.at(I, J), A.at(I, J), 1e-10);
+}
+
+TEST(LinAlg, CholeskyRejectsIndefinite) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1.0;
+  A.at(0, 1) = A.at(1, 0) = 2.0;
+  A.at(1, 1) = 1.0; // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(A).ok());
+}
+
+TEST(LinAlg, CholeskySolveInvertsMultiply) {
+  Matrix A = makeSpd3();
+  std::vector<double> X = {1.0, -2.0, 0.5};
+  std::vector<double> B = A.multiply(X);
+  Result<Matrix> L = cholesky(A);
+  ASSERT_TRUE(L.ok());
+  std::vector<double> XHat = choleskySolve(*L, B);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_NEAR(XHat[I], X[I], 1e-9);
+}
+
+TEST(LinAlg, CholeskyInverseAgainstMultiply) {
+  Matrix A = makeSpd3();
+  Result<Matrix> L = cholesky(A);
+  ASSERT_TRUE(L.ok());
+  Matrix Inv = choleskyInverse(*L);
+  Matrix P = A * Inv;
+  for (int64_t I = 0; I < 3; ++I)
+    for (int64_t J = 0; J < 3; ++J)
+      EXPECT_NEAR(P.at(I, J), I == J ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(LinAlg, LogDetMatchesTwoByTwo) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 4.0;
+  A.at(0, 1) = A.at(1, 0) = 1.0;
+  A.at(1, 1) = 3.0;
+  Result<Matrix> L = cholesky(A);
+  ASSERT_TRUE(L.ok());
+  EXPECT_NEAR(choleskyLogDet(*L), std::log(4.0 * 3.0 - 1.0), 1e-10);
+}
+
+TEST(LinAlg, DotAndOuter) {
+  std::vector<double> A = {1.0, 2.0, 3.0};
+  std::vector<double> B = {4.0, 5.0, 6.0};
+  EXPECT_EQ(dot(A, B), 32.0);
+  Matrix M(3, 3);
+  addOuter(M, A, 2.0);
+  EXPECT_EQ(M.at(1, 2), 2.0 * 2.0 * 3.0);
+  EXPECT_EQ(M.at(0, 0), 2.0);
+}
+
+TEST(LinAlg, TriangularSolves) {
+  Matrix A = makeSpd3();
+  Result<Matrix> L = cholesky(A);
+  ASSERT_TRUE(L.ok());
+  std::vector<double> B = {1.0, 2.0, 3.0};
+  std::vector<double> Y = solveLower(*L, B);
+  // L y = b
+  for (int64_t I = 0; I < 3; ++I) {
+    double Acc = 0.0;
+    for (int64_t J = 0; J <= I; ++J)
+      Acc += L->at(I, J) * Y[static_cast<size_t>(J)];
+    EXPECT_NEAR(Acc, B[static_cast<size_t>(I)], 1e-10);
+  }
+  std::vector<double> X = solveLowerTransposed(*L, Y);
+  // L^T x = y
+  for (int64_t I = 0; I < 3; ++I) {
+    double Acc = 0.0;
+    for (int64_t J = I; J < 3; ++J)
+      Acc += L->at(J, I) * X[static_cast<size_t>(J)];
+    EXPECT_NEAR(Acc, Y[static_cast<size_t>(I)], 1e-10);
+  }
+}

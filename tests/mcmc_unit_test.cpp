@@ -1,0 +1,167 @@
+//===- tests/mcmc_unit_test.cpp - packer/kernel/schedule units -*- C++ -*-===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "api/Infer.h"
+#include "density/Frontend.h"
+#include "lang/Parser.h"
+#include "mcmc/Pack.h"
+#include "models/PaperModels.h"
+
+using namespace augur;
+
+TEST(FlatPacker, PackUnpackRoundTripsMixedShapes) {
+  Env E;
+  E["a"] = Value::realScalar(2.5);
+  E["v"] = Value::realVec(BlockedReal::flat({1.0, -2.0, 3.0}));
+  E["m"] = Value::realVec(BlockedReal::rect(2, 2, 0.5),
+                          Type::vec(Type::vec(Type::realTy())));
+  FlatPacker P({"a", "v", "m"},
+               {VarTransform::Identity, VarTransform::Identity,
+                VarTransform::Identity},
+               E);
+  EXPECT_EQ(P.size(), 1 + 3 + 4);
+  std::vector<double> U = P.pack(E);
+  EXPECT_EQ(U[0], 2.5);
+  EXPECT_EQ(U[2], -2.0);
+  for (auto &X : U)
+    X += 1.0;
+  P.unpack(U, E);
+  EXPECT_EQ(E.at("a").asReal(), 3.5);
+  EXPECT_EQ(E.at("v").realVec().at(1), -1.0);
+  EXPECT_EQ(E.at("m").realVec().at(1, 1), 1.5);
+}
+
+TEST(FlatPacker, LogTransformAndJacobian) {
+  Env E;
+  E["s"] = Value::realScalar(4.0);
+  FlatPacker P({"s"}, {VarTransform::Log}, E);
+  std::vector<double> U = P.pack(E);
+  EXPECT_NEAR(U[0], std::log(4.0), 1e-12);
+  EXPECT_NEAR(P.logAbsJacobian(U), std::log(4.0), 1e-12);
+  U[0] = std::log(9.0);
+  P.unpack(U, E);
+  EXPECT_NEAR(E.at("s").asReal(), 9.0, 1e-12);
+  // chainGrad: d/du [ll + u] = v * g + 1.
+  E["adj_s"] = Value::realScalar(0.25);
+  std::vector<double> G = P.chainGrad(U, E);
+  EXPECT_NEAR(G[0], 9.0 * 0.25 + 1.0, 1e-12);
+}
+
+TEST(FlatPacker, TransformForSupport) {
+  EXPECT_EQ(transformForSupport(Support::Positive), VarTransform::Log);
+  EXPECT_EQ(transformForSupport(Support::Real), VarTransform::Identity);
+  EXPECT_EQ(transformForSupport(Support::UnitInterval),
+            VarTransform::Identity);
+}
+
+namespace {
+
+DensityModel hlrModel() {
+  auto M = parseModel(models::HLR);
+  auto TM = typeCheck(M.take(),
+                      {{"lambda", Type::realTy()},
+                       {"N", Type::intTy()},
+                       {"Kf", Type::intTy()},
+                       {"x", Type::vec(Type::vec(Type::realTy()))}});
+  return lowerToDensity(TM.take());
+}
+
+} // namespace
+
+TEST(ScheduleParse, BlockSyntaxAndPrinting) {
+  DensityModel DM = hlrModel();
+  auto S = parseUserSchedule(DM, "HMC (sigma2, b, theta)");
+  ASSERT_TRUE(S.ok()) << S.message();
+  ASSERT_EQ(S->Updates.size(), 1u);
+  EXPECT_FALSE(S->Updates[0].isSingle());
+  EXPECT_EQ(S->str(), "HMC Block(sigma2, b, theta)");
+  // NUTS is a schedulable name.
+  auto S2 = parseUserSchedule(DM, "NUTS (sigma2, b, theta)");
+  ASSERT_TRUE(S2.ok()) << S2.message();
+  EXPECT_TRUE(S2->Updates[0].Kind == UpdateKind::Nuts);
+}
+
+TEST(ScheduleParse, SyntaxErrors) {
+  DensityModel DM = hlrModel();
+  EXPECT_FALSE(parseUserSchedule(DM, "Gibbs").ok());
+  EXPECT_FALSE(parseUserSchedule(DM, "Wibble sigma2").ok());
+  EXPECT_FALSE(
+      parseUserSchedule(DM, "HMC (sigma2, b, theta) Gibbs b").ok());
+  EXPECT_FALSE(parseUserSchedule(DM, "HMC (sigma2 b)").ok());
+  // Double coverage.
+  auto S = parseUserSchedule(DM, "HMC (sigma2, b, theta) (*) MH b");
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("2 times"), std::string::npos);
+}
+
+TEST(ScheduleParse, GibbsRequiresRealizability) {
+  DensityModel DM = hlrModel();
+  // theta has no conjugacy relation and is continuous: Gibbs must fail
+  // with the paper's check-and-fail behaviour.
+  auto S = parseUserSchedule(DM, "Gibbs sigma2 (*) Gibbs b (*) Gibbs theta");
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("conjugacy"), std::string::npos);
+}
+
+TEST(RestrictJoint, PicksExactlyMentioningFactors) {
+  DensityModel DM = hlrModel();
+  BlockCond BC = restrictJoint(DM, {"b"});
+  // b's prior + the data factor.
+  ASSERT_EQ(BC.Factors.size(), 2u);
+  EXPECT_EQ(BC.Factors[0].AtVar, "b");
+  EXPECT_EQ(BC.Factors[1].AtVar, "y");
+  BlockCond All = restrictJoint(DM, {"sigma2", "b", "theta"});
+  EXPECT_EQ(All.Factors.size(), 4u); // everything
+}
+
+TEST(ZeroAdjBuffers, AllocatesThenZeroesInPlace) {
+  Env E;
+  E["v"] = Value::realVec(BlockedReal::flat(3, 1.0));
+  zeroAdjBuffers(E, {"v"});
+  ASSERT_TRUE(E.count("adj_v"));
+  EXPECT_EQ(E.at("adj_v").realVec().at(1), 0.0);
+  E["adj_v"].realVec().at(1) = 7.0;
+  const double *Before = E.at("adj_v").realVec().flat().data();
+  zeroAdjBuffers(E, {"v"});
+  EXPECT_EQ(E.at("adj_v").realVec().at(1), 0.0);
+  // In-place: no reallocation (node addresses must stay stable for the
+  // interpreter's resolution cache).
+  EXPECT_EQ(E.at("adj_v").realVec().flat().data(), Before);
+}
+
+TEST(KernelPrinting, CompositeString) {
+  Type VecR = Type::vec(Type::realTy());
+  auto M = parseModel(models::GMM);
+  auto TM = typeCheck(M.take(), {{"K", Type::intTy()},
+                                 {"N", Type::intTy()},
+                                 {"mu_0", VecR},
+                                 {"Sigma_0", Type::mat()},
+                                 {"pis", VecR},
+                                 {"Sigma", Type::mat()}});
+  DensityModel DM = lowerToDensity(TM.take());
+  auto S = heuristicSchedule(DM);
+  ASSERT_TRUE(S.ok()) << S.message();
+  EXPECT_EQ(S->str(),
+            "Gibbs Single(mu) [MvNormal-MvNormal (mean)] (*) "
+            "Gibbs Single(z) [enumerated]");
+}
+
+TEST(ConditionalPrinting, ShowsGuardsAndLoops) {
+  Type VecR = Type::vec(Type::realTy());
+  auto M = parseModel(models::GMM);
+  auto TM = typeCheck(M.take(), {{"K", Type::intTy()},
+                                 {"N", Type::intTy()},
+                                 {"mu_0", VecR},
+                                 {"Sigma_0", Type::mat()},
+                                 {"pis", VecR},
+                                 {"Sigma", Type::mat()}});
+  DensityModel DM = lowerToDensity(TM.take());
+  auto C = computeConditional(DM, "mu").take();
+  std::string Text = C.str();
+  EXPECT_NE(Text.find("p(mu | ...) propto"), std::string::npos);
+  EXPECT_NE(Text.find("block(k <- 0 until K)"), std::string::npos);
+  EXPECT_NE(Text.find("{k = z[n]}"), std::string::npos) << Text;
+}

@@ -1,0 +1,211 @@
+//===- tests/property_dist_test.cpp - Distribution properties -*- C++ -*-===//
+//
+// Parameterized property tests over the primitive distribution library:
+// (1) the density integrates to 1 over the support, (2) samples are
+// distributed according to the density (empirical vs integrated CDF at
+// several quantiles), (3) analytic gradients match finite differences
+// across a parameter sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "runtime/Distributions.h"
+
+using namespace augur;
+
+namespace {
+
+/// A scalar continuous distribution instance under test.
+struct ScalarCase {
+  const char *Name;
+  Dist D;
+  std::vector<double> Params;
+  double SupportLo, SupportHi; ///< effective numeric support for quadrature
+
+  friend std::ostream &operator<<(std::ostream &OS, const ScalarCase &C) {
+    OS << C.Name << "(";
+    for (size_t I = 0; I < C.Params.size(); ++I)
+      OS << (I ? "," : "") << C.Params[I];
+    return OS << ")";
+  }
+};
+
+std::vector<DV> viewsOf(const std::vector<double> &Params) {
+  std::vector<DV> Out;
+  for (double P : Params)
+    Out.push_back(DV::real(P));
+  return Out;
+}
+
+double pdfAt(const ScalarCase &C, double X) {
+  return std::exp(distLogPdf(C.D, viewsOf(C.Params), DV::real(X)));
+}
+
+/// Trapezoid quadrature of the density over the effective support.
+double integratePdf(const ScalarCase &C, double UpTo) {
+  const int Steps = 20000;
+  double Lo = C.SupportLo, Hi = std::min(C.SupportHi, UpTo);
+  double H = (Hi - Lo) / Steps;
+  double Sum = 0.5 * (pdfAt(C, Lo + 1e-12) + pdfAt(C, Hi));
+  for (int I = 1; I < Steps; ++I)
+    Sum += pdfAt(C, Lo + I * H);
+  return Sum * H;
+}
+
+class ScalarDistProperty : public ::testing::TestWithParam<ScalarCase> {};
+
+} // namespace
+
+TEST_P(ScalarDistProperty, DensityIntegratesToOne) {
+  const ScalarCase &C = GetParam();
+  EXPECT_NEAR(integratePdf(C, C.SupportHi), 1.0, 2e-3) << C;
+}
+
+TEST_P(ScalarDistProperty, SamplesFollowTheDensity) {
+  const ScalarCase &C = GetParam();
+  RNG Rng(0xC0FFEE ^ static_cast<uint64_t>(C.D));
+  const int N = 40000;
+  std::vector<double> Draws(N);
+  for (int I = 0; I < N; ++I) {
+    double X = 0.0;
+    distSample(C.D, viewsOf(C.Params), Rng, MutDV::real(&X));
+    ASSERT_GE(X, C.SupportLo - 1e-9) << C;
+    Draws[static_cast<size_t>(I)] = X;
+  }
+  std::sort(Draws.begin(), Draws.end());
+  // Compare the empirical CDF with the integrated CDF at 3 quantiles.
+  for (double Q : {0.25, 0.5, 0.9}) {
+    double X = Draws[static_cast<size_t>(Q * N)];
+    double Cdf = integratePdf(C, X);
+    EXPECT_NEAR(Cdf, Q, 0.02) << C << " at quantile " << Q;
+  }
+}
+
+TEST_P(ScalarDistProperty, GradientsMatchFiniteDifferences) {
+  const ScalarCase &C = GetParam();
+  // Probe at three interior points of the support.
+  for (double Frac : {0.2, 0.5, 0.8}) {
+    double Span = std::min(C.SupportHi, 10.0) - C.SupportLo;
+    double X = C.SupportLo + Frac * Span;
+    if (pdfAt(C, X) < 1e-12)
+      continue;
+    const double H = 1e-6;
+    std::vector<DV> Params = viewsOf(C.Params);
+    // Variate gradient.
+    if (distHasGrad(C.D, 0)) {
+      double G = 0.0;
+      distAccumGrad(C.D, 0, Params, DV::real(X), 1.0, &G);
+      double Fd = (distLogPdf(C.D, Params, DV::real(X + H)) -
+                   distLogPdf(C.D, Params, DV::real(X - H))) /
+                  (2 * H);
+      EXPECT_NEAR(G, Fd, 1e-4 * (1 + std::abs(Fd))) << C << " x=" << X;
+    }
+    // Parameter gradients.
+    for (size_t P = 0; P < C.Params.size(); ++P) {
+      if (!distHasGrad(C.D, static_cast<int>(P) + 1))
+        continue;
+      double G = 0.0;
+      distAccumGrad(C.D, static_cast<int>(P) + 1, Params, DV::real(X),
+                    1.0, &G);
+      std::vector<DV> Up = Params, Down = Params;
+      Up[P] = DV::real(C.Params[P] + H);
+      Down[P] = DV::real(C.Params[P] - H);
+      double Fd = (distLogPdf(C.D, Up, DV::real(X)) -
+                   distLogPdf(C.D, Down, DV::real(X))) /
+                  (2 * H);
+      EXPECT_NEAR(G, Fd, 1e-4 * (1 + std::abs(Fd)))
+          << C << " param " << P;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Continuous, ScalarDistProperty,
+    ::testing::Values(
+        ScalarCase{"Normal", Dist::Normal, {0.5, 2.0}, -15.0, 16.0},
+        ScalarCase{"NormalTight", Dist::Normal, {-3.0, 0.25}, -9.0, 3.0},
+        ScalarCase{"Exponential", Dist::Exponential, {1.5}, 0.0, 20.0},
+        ScalarCase{"Gamma", Dist::Gamma, {3.0, 2.0}, 0.0, 25.0},
+        ScalarCase{"GammaWide", Dist::Gamma, {1.3, 0.8}, 0.0, 35.0},
+        ScalarCase{"InvGamma", Dist::InvGamma, {3.0, 2.0}, 0.0, 60.0},
+        ScalarCase{"Beta", Dist::Beta, {2.0, 5.0}, 0.0, 1.0},
+        ScalarCase{"BetaAsym", Dist::Beta, {1.5, 1.2}, 0.0, 1.0},
+        ScalarCase{"Uniform", Dist::Uniform, {-1.0, 3.0}, -1.0, 3.0}));
+
+namespace {
+
+/// Discrete distributions: PMF sums to 1; empirical frequencies match.
+struct DiscreteCase {
+  const char *Name;
+  Dist D;
+  std::vector<double> ScalarParams;
+  std::vector<double> VecParam; ///< Categorical weights if non-empty
+  int64_t SupportSize;          ///< values checked: 0..SupportSize-1
+
+  friend std::ostream &operator<<(std::ostream &OS,
+                                  const DiscreteCase &C) {
+    return OS << C.Name;
+  }
+};
+
+class DiscreteDistProperty
+    : public ::testing::TestWithParam<DiscreteCase> {};
+
+std::vector<DV> discreteViews(const DiscreteCase &C) {
+  std::vector<DV> Out;
+  if (!C.VecParam.empty())
+    Out.push_back(DV::vec(C.VecParam));
+  for (double P : C.ScalarParams)
+    Out.push_back(DV::real(P));
+  return Out;
+}
+
+} // namespace
+
+TEST_P(DiscreteDistProperty, PmfSumsToOne) {
+  const DiscreteCase &C = GetParam();
+  double Sum = 0.0;
+  for (int64_t V = 0; V < C.SupportSize; ++V)
+    Sum += std::exp(distLogPdf(C.D, discreteViews(C), DV::integer(V)));
+  EXPECT_NEAR(Sum, 1.0, 5e-5) << C; // truncation tail allowed
+}
+
+TEST_P(DiscreteDistProperty, FrequenciesMatchPmf) {
+  const DiscreteCase &C = GetParam();
+  RNG Rng(0xBEEF ^ static_cast<uint64_t>(C.D));
+  const int N = 60000;
+  std::vector<int64_t> Counts(static_cast<size_t>(C.SupportSize) + 1, 0);
+  for (int I = 0; I < N; ++I) {
+    int64_t V = 0;
+    distSample(C.D, discreteViews(C), Rng, MutDV::integer(&V));
+    ASSERT_GE(V, 0);
+    if (V < C.SupportSize)
+      ++Counts[static_cast<size_t>(V)];
+    else
+      ++Counts.back(); // Poisson tail bucket
+  }
+  for (int64_t V = 0; V < C.SupportSize; ++V) {
+    double P = std::exp(distLogPdf(C.D, discreteViews(C), DV::integer(V)));
+    EXPECT_NEAR(double(Counts[static_cast<size_t>(V)]) / N, P, 0.012)
+        << C << " value " << V;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Discrete, DiscreteDistProperty,
+    ::testing::Values(
+        DiscreteCase{"Bernoulli", Dist::Bernoulli, {0.3}, {}, 2},
+        DiscreteCase{"Categorical",
+                     Dist::Categorical,
+                     {},
+                     {0.1, 0.2, 0.3, 0.4},
+                     4},
+        DiscreteCase{"CategoricalSkewed",
+                     Dist::Categorical,
+                     {},
+                     {0.9, 0.05, 0.05},
+                     3},
+        DiscreteCase{"Poisson", Dist::Poisson, {2.5}, {}, 14}));

@@ -1,0 +1,159 @@
+//===- tests/support_test.cpp - support library unit tests ----*- C++ -*-===//
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/Format.h"
+#include "support/RNG.h"
+#include "support/Result.h"
+
+using namespace augur;
+
+TEST(Result, StatusSuccessAndError) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(Ok.ok());
+  Status Err = Status::error("boom");
+  EXPECT_FALSE(Err.ok());
+  EXPECT_EQ(Err.message(), "boom");
+}
+
+TEST(Result, ResultHoldsValue) {
+  Result<int> R(42);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, 42);
+  EXPECT_EQ(R.take(), 42);
+}
+
+TEST(Result, ResultHoldsError) {
+  Result<int> R(Status::error("nope"));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.message(), "nope");
+}
+
+static Status failIfNegative(int X) {
+  if (X < 0)
+    return Status::error("negative");
+  return Status::success();
+}
+
+static Result<int> doubled(int X) {
+  AUGUR_RETURN_IF_ERROR(failIfNegative(X));
+  return 2 * X;
+}
+
+static Result<int> quadrupled(int X) {
+  AUGUR_ASSIGN_OR_RETURN(int D, doubled(X));
+  return 2 * D;
+}
+
+TEST(Result, MacrosPropagate) {
+  Result<int> Ok = quadrupled(3);
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(*Ok, 12);
+  Result<int> Bad = quadrupled(-1);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.message(), "negative");
+}
+
+TEST(Format, StrFormat) {
+  EXPECT_EQ(strFormat("x=%d y=%.1f %s", 3, 2.5, "z"), "x=3 y=2.5 z");
+  EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(Format, JoinAndSplit) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  std::vector<std::string> Toks = splitWhitespace("  foo  bar\tbaz\n");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0], "foo");
+  EXPECT_EQ(Toks[2], "baz");
+  EXPECT_TRUE(startsWith("Gibbs z", "Gibbs"));
+  EXPECT_FALSE(startsWith("Gi", "Gibbs"));
+}
+
+TEST(RNG, DeterministicGivenSeed) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RNG, UniformInRange) {
+  RNG Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    double U = Rng.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RNG, UniformMeanVariance) {
+  RNG Rng(11);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I) {
+    double U = Rng.uniform();
+    Sum += U;
+    SumSq += U * U;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.5, 5e-3);
+  EXPECT_NEAR(Var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(RNG, GaussMomentsMatchStandardNormal) {
+  RNG Rng(13);
+  double Sum = 0.0, SumSq = 0.0, SumCube = 0.0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I) {
+    double G = Rng.gauss();
+    Sum += G;
+    SumSq += G * G;
+    SumCube += G * G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.03);
+  EXPECT_NEAR(SumCube / N, 0.0, 0.08);
+}
+
+TEST(RNG, GammaMeanMatchesShape) {
+  RNG Rng(17);
+  for (double Shape : {0.5, 1.0, 2.5, 9.0}) {
+    double Sum = 0.0;
+    const int N = 100000;
+    for (int I = 0; I < N; ++I)
+      Sum += Rng.gamma(Shape);
+    EXPECT_NEAR(Sum / N, Shape, 0.05 * Shape + 0.02) << "shape " << Shape;
+  }
+}
+
+TEST(RNG, UniformIntCoversSupport) {
+  RNG Rng(19);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = Rng.uniformInt(7);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 7);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RNG, SplitIsIndependent) {
+  RNG A(23);
+  RNG B = A.split();
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}

@@ -1,0 +1,106 @@
+//===- tests/value_test.cpp - runtime value / storage tests ---*- C++ -*-===//
+
+#include <gtest/gtest.h>
+
+#include "runtime/Type.h"
+#include "runtime/Value.h"
+
+using namespace augur;
+
+TEST(Type, BasicPredicatesAndPrinting) {
+  EXPECT_TRUE(Type::intTy().isInt());
+  EXPECT_TRUE(Type::realTy().isReal());
+  Type VV = Type::vec(Type::vec(Type::realTy()));
+  EXPECT_TRUE(VV.isVec());
+  EXPECT_EQ(VV.vecDepth(), 2);
+  EXPECT_TRUE(VV.scalarBase().isReal());
+  EXPECT_EQ(VV.str(), "Vec (Vec Real)");
+  EXPECT_EQ(Type::vec(Type::intTy()).str(), "Vec Int");
+  EXPECT_EQ(Type::mat().str(), "Mat Real");
+  EXPECT_EQ(Type::vec(Type::mat()).str(), "Vec (Mat Real)");
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::vec(Type::realTy()), Type::vec(Type::realTy()));
+  EXPECT_NE(Type::vec(Type::realTy()), Type::vec(Type::intTy()));
+  EXPECT_NE(Type::intTy(), Type::realTy());
+  EXPECT_EQ(Type::mat(), Type::mat());
+}
+
+TEST(Blocked, FlatVectorAccess) {
+  BlockedReal V = BlockedReal::flat({1.0, 2.0, 3.0});
+  EXPECT_FALSE(V.isRagged());
+  EXPECT_EQ(V.size(), 3);
+  EXPECT_EQ(V.at(1), 2.0);
+  V.at(1) = 9.0;
+  EXPECT_EQ(V.at(1), 9.0);
+}
+
+TEST(Blocked, RaggedMatchesNestedOracle) {
+  std::vector<std::vector<int64_t>> Rows = {{1, 2, 3}, {}, {4}, {5, 6}};
+  BlockedInt B = BlockedInt::ragged(Rows);
+  EXPECT_TRUE(B.isRagged());
+  ASSERT_EQ(B.size(), 4);
+  EXPECT_EQ(B.flatSize(), 6);
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    ASSERT_EQ(B.rowLen(static_cast<int64_t>(R)),
+              static_cast<int64_t>(Rows[R].size()));
+    for (size_t C = 0; C < Rows[R].size(); ++C)
+      EXPECT_EQ(B.at(static_cast<int64_t>(R), static_cast<int64_t>(C)),
+                Rows[R][C]);
+  }
+}
+
+TEST(Blocked, RectangularRows) {
+  BlockedReal B = BlockedReal::rect(3, 4, 0.5);
+  EXPECT_EQ(B.size(), 3);
+  EXPECT_EQ(B.rowLen(2), 4);
+  EXPECT_EQ(B.at(2, 3), 0.5);
+  B.row(1)[2] = 7.0;
+  EXPECT_EQ(B.at(1, 2), 7.0);
+  // Flat payload is contiguous across rows (the paper's flattening).
+  EXPECT_EQ(B.flat()[1 * 4 + 2], 7.0);
+}
+
+TEST(MatVecStorage, GetSetRoundTrip) {
+  MatVec MV(3, 2, 2);
+  Matrix M(2, 2);
+  M.at(0, 0) = 1.0;
+  M.at(1, 1) = 2.0;
+  MV.set(1, M);
+  Matrix Out = MV.get(1);
+  EXPECT_EQ(Out, M);
+  EXPECT_EQ(MV.get(0).at(0, 0), 0.0);
+  // Contiguity: element 1 starts at offset 4.
+  EXPECT_EQ(MV.at(1)[0], 1.0);
+}
+
+TEST(ValueTest, ScalarsAndTypes) {
+  Value I = Value::intScalar(7);
+  EXPECT_TRUE(I.isIntScalar());
+  EXPECT_EQ(I.asInt(), 7);
+  EXPECT_EQ(I.asReal(), 7.0);
+  EXPECT_TRUE(I.type().isInt());
+  Value R = Value::realScalar(2.5);
+  EXPECT_TRUE(R.isRealScalar());
+  EXPECT_EQ(R.asReal(), 2.5);
+}
+
+TEST(ValueTest, VectorsCarryTypes) {
+  Value V = Value::realVec(BlockedReal::rect(2, 3, 1.0),
+                           Type::vec(Type::vec(Type::realTy())));
+  EXPECT_TRUE(V.isRealVec());
+  EXPECT_EQ(V.type().vecDepth(), 2);
+  EXPECT_EQ(V.realVec().at(1, 2), 1.0);
+  Value Z = Value::intVec(BlockedInt::flat(5, 0));
+  EXPECT_EQ(Z.intVec().size(), 5);
+}
+
+TEST(ValueTest, MatrixAndMatVec) {
+  Value M = Value::matrix(Matrix::identity(2));
+  EXPECT_TRUE(M.isMatrix());
+  EXPECT_EQ(M.mat().at(0, 0), 1.0);
+  Value MV = Value::matVec(MatVec(2, 3, 3));
+  EXPECT_TRUE(MV.isMatVec());
+  EXPECT_EQ(MV.type().str(), "Vec (Mat Real)");
+}
