@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ad"
+  "../bench/ablation_ad.pdb"
+  "CMakeFiles/ablation_ad.dir/ablation_ad.cpp.o"
+  "CMakeFiles/ablation_ad.dir/ablation_ad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_commute"
+  "../bench/ablation_commute.pdb"
+  "CMakeFiles/ablation_commute.dir/ablation_commute.cpp.o"
+  "CMakeFiles/ablation_commute.dir/ablation_commute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

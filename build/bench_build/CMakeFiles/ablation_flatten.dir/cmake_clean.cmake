@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flatten"
+  "../bench/ablation_flatten.pdb"
+  "CMakeFiles/ablation_flatten.dir/ablation_flatten.cpp.o"
+  "CMakeFiles/ablation_flatten.dir/ablation_flatten.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sumblock"
+  "../bench/ablation_sumblock.pdb"
+  "CMakeFiles/ablation_sumblock.dir/ablation_sumblock.cpp.o"
+  "CMakeFiles/ablation_sumblock.dir/ablation_sumblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sumblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

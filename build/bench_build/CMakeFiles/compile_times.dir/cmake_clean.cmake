@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compile_times"
+  "../bench/compile_times.pdb"
+  "CMakeFiles/compile_times.dir/compile_times.cpp.o"
+  "CMakeFiles/compile_times.dir/compile_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_hgmm_logpred"
+  "../bench/fig10_hgmm_logpred.pdb"
+  "CMakeFiles/fig10_hgmm_logpred.dir/fig10_hgmm_logpred.cpp.o"
+  "CMakeFiles/fig10_hgmm_logpred.dir/fig10_hgmm_logpred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hgmm_logpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

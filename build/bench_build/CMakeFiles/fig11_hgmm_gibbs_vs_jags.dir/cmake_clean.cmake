@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_hgmm_gibbs_vs_jags"
+  "../bench/fig11_hgmm_gibbs_vs_jags.pdb"
+  "CMakeFiles/fig11_hgmm_gibbs_vs_jags.dir/fig11_hgmm_gibbs_vs_jags.cpp.o"
+  "CMakeFiles/fig11_hgmm_gibbs_vs_jags.dir/fig11_hgmm_gibbs_vs_jags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hgmm_gibbs_vs_jags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

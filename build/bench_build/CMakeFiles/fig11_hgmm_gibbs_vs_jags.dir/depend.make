@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_hgmm_gibbs_vs_jags.
+# This may be replaced when dependencies are built.

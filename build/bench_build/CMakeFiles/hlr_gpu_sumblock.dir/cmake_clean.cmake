@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hlr_gpu_sumblock"
+  "../bench/hlr_gpu_sumblock.pdb"
+  "CMakeFiles/hlr_gpu_sumblock.dir/hlr_gpu_sumblock.cpp.o"
+  "CMakeFiles/hlr_gpu_sumblock.dir/hlr_gpu_sumblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlr_gpu_sumblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

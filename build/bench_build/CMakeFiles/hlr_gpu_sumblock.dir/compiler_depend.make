@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hlr_gpu_sumblock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hlr_gpu_sumblock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hlr_hmc_cpu"
+  "../bench/hlr_hmc_cpu.pdb"
+  "CMakeFiles/hlr_hmc_cpu.dir/hlr_hmc_cpu.cpp.o"
+  "CMakeFiles/hlr_hmc_cpu.dir/hlr_hmc_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlr_hmc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/belief_network.cpp" "examples_build/CMakeFiles/example_belief_network.dir/belief_network.cpp.o" "gcc" "examples_build/CMakeFiles/example_belief_network.dir/belief_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_cgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lowmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lowpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_jags.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_stan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

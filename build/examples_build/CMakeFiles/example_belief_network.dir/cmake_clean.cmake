@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_belief_network"
+  "../examples/example_belief_network.pdb"
+  "CMakeFiles/example_belief_network.dir/belief_network.cpp.o"
+  "CMakeFiles/example_belief_network.dir/belief_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_belief_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

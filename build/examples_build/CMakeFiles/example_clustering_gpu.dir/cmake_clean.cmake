@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_clustering_gpu"
+  "../examples/example_clustering_gpu.pdb"
+  "CMakeFiles/example_clustering_gpu.dir/clustering_gpu.cpp.o"
+  "CMakeFiles/example_clustering_gpu.dir/clustering_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clustering_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_logistic_regression"
+  "../examples/example_logistic_regression.pdb"
+  "CMakeFiles/example_logistic_regression.dir/logistic_regression.cpp.o"
+  "CMakeFiles/example_logistic_regression.dir/logistic_regression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_topic_model"
+  "../examples/example_topic_model.pdb"
+  "CMakeFiles/example_topic_model.dir/topic_model.cpp.o"
+  "CMakeFiles/example_topic_model.dir/topic_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_api.dir/api/Diagnostics.cpp.o"
+  "CMakeFiles/augur_api.dir/api/Diagnostics.cpp.o.d"
+  "CMakeFiles/augur_api.dir/api/Infer.cpp.o"
+  "CMakeFiles/augur_api.dir/api/Infer.cpp.o.d"
+  "libaugur_api.a"
+  "libaugur_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaugur_api.a"
+)

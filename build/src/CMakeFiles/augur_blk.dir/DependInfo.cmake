@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blk/BlkIR.cpp" "src/CMakeFiles/augur_blk.dir/blk/BlkIR.cpp.o" "gcc" "src/CMakeFiles/augur_blk.dir/blk/BlkIR.cpp.o.d"
+  "/root/repo/src/blk/Passes.cpp" "src/CMakeFiles/augur_blk.dir/blk/Passes.cpp.o" "gcc" "src/CMakeFiles/augur_blk.dir/blk/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_lowmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lowpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

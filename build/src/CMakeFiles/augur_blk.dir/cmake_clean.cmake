@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_blk.dir/blk/BlkIR.cpp.o"
+  "CMakeFiles/augur_blk.dir/blk/BlkIR.cpp.o.d"
+  "CMakeFiles/augur_blk.dir/blk/Passes.cpp.o"
+  "CMakeFiles/augur_blk.dir/blk/Passes.cpp.o.d"
+  "libaugur_blk.a"
+  "libaugur_blk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_blk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_cgen.dir/cgen/CEmit.cpp.o"
+  "CMakeFiles/augur_cgen.dir/cgen/CEmit.cpp.o.d"
+  "CMakeFiles/augur_cgen.dir/cgen/CudaEmit.cpp.o"
+  "CMakeFiles/augur_cgen.dir/cgen/CudaEmit.cpp.o.d"
+  "CMakeFiles/augur_cgen.dir/cgen/Native.cpp.o"
+  "CMakeFiles/augur_cgen.dir/cgen/Native.cpp.o.d"
+  "libaugur_cgen.a"
+  "libaugur_cgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_cgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

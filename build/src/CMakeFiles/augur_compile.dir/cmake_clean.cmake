@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_compile.dir/compile/Compiler.cpp.o"
+  "CMakeFiles/augur_compile.dir/compile/Compiler.cpp.o.d"
+  "libaugur_compile.a"
+  "libaugur_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/density/Conditional.cpp" "src/CMakeFiles/augur_density.dir/density/Conditional.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/Conditional.cpp.o.d"
+  "/root/repo/src/density/Conjugacy.cpp" "src/CMakeFiles/augur_density.dir/density/Conjugacy.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/Conjugacy.cpp.o.d"
+  "/root/repo/src/density/DensityIR.cpp" "src/CMakeFiles/augur_density.dir/density/DensityIR.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/DensityIR.cpp.o.d"
+  "/root/repo/src/density/Eval.cpp" "src/CMakeFiles/augur_density.dir/density/Eval.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/Eval.cpp.o.d"
+  "/root/repo/src/density/Forward.cpp" "src/CMakeFiles/augur_density.dir/density/Forward.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/Forward.cpp.o.d"
+  "/root/repo/src/density/Frontend.cpp" "src/CMakeFiles/augur_density.dir/density/Frontend.cpp.o" "gcc" "src/CMakeFiles/augur_density.dir/density/Frontend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_density.dir/density/Conditional.cpp.o"
+  "CMakeFiles/augur_density.dir/density/Conditional.cpp.o.d"
+  "CMakeFiles/augur_density.dir/density/Conjugacy.cpp.o"
+  "CMakeFiles/augur_density.dir/density/Conjugacy.cpp.o.d"
+  "CMakeFiles/augur_density.dir/density/DensityIR.cpp.o"
+  "CMakeFiles/augur_density.dir/density/DensityIR.cpp.o.d"
+  "CMakeFiles/augur_density.dir/density/Eval.cpp.o"
+  "CMakeFiles/augur_density.dir/density/Eval.cpp.o.d"
+  "CMakeFiles/augur_density.dir/density/Forward.cpp.o"
+  "CMakeFiles/augur_density.dir/density/Forward.cpp.o.d"
+  "CMakeFiles/augur_density.dir/density/Frontend.cpp.o"
+  "CMakeFiles/augur_density.dir/density/Frontend.cpp.o.d"
+  "libaugur_density.a"
+  "libaugur_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_exec.dir/exec/Engine.cpp.o"
+  "CMakeFiles/augur_exec.dir/exec/Engine.cpp.o.d"
+  "CMakeFiles/augur_exec.dir/exec/GpuSim.cpp.o"
+  "CMakeFiles/augur_exec.dir/exec/GpuSim.cpp.o.d"
+  "CMakeFiles/augur_exec.dir/exec/Interp.cpp.o"
+  "CMakeFiles/augur_exec.dir/exec/Interp.cpp.o.d"
+  "libaugur_exec.a"
+  "libaugur_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

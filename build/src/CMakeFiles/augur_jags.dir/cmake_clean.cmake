@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_jags.dir/baselines/jags/Jags.cpp.o"
+  "CMakeFiles/augur_jags.dir/baselines/jags/Jags.cpp.o.d"
+  "libaugur_jags.a"
+  "libaugur_jags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_jags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_kernel.dir/kernel/KernelIR.cpp.o"
+  "CMakeFiles/augur_kernel.dir/kernel/KernelIR.cpp.o.d"
+  "CMakeFiles/augur_kernel.dir/kernel/Schedule.cpp.o"
+  "CMakeFiles/augur_kernel.dir/kernel/Schedule.cpp.o.d"
+  "libaugur_kernel.a"
+  "libaugur_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/AST.cpp" "src/CMakeFiles/augur_lang.dir/lang/AST.cpp.o" "gcc" "src/CMakeFiles/augur_lang.dir/lang/AST.cpp.o.d"
+  "/root/repo/src/lang/Expr.cpp" "src/CMakeFiles/augur_lang.dir/lang/Expr.cpp.o" "gcc" "src/CMakeFiles/augur_lang.dir/lang/Expr.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/CMakeFiles/augur_lang.dir/lang/Lexer.cpp.o" "gcc" "src/CMakeFiles/augur_lang.dir/lang/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/CMakeFiles/augur_lang.dir/lang/Parser.cpp.o" "gcc" "src/CMakeFiles/augur_lang.dir/lang/Parser.cpp.o.d"
+  "/root/repo/src/lang/TypeCheck.cpp" "src/CMakeFiles/augur_lang.dir/lang/TypeCheck.cpp.o" "gcc" "src/CMakeFiles/augur_lang.dir/lang/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_lang.dir/lang/AST.cpp.o"
+  "CMakeFiles/augur_lang.dir/lang/AST.cpp.o.d"
+  "CMakeFiles/augur_lang.dir/lang/Expr.cpp.o"
+  "CMakeFiles/augur_lang.dir/lang/Expr.cpp.o.d"
+  "CMakeFiles/augur_lang.dir/lang/Lexer.cpp.o"
+  "CMakeFiles/augur_lang.dir/lang/Lexer.cpp.o.d"
+  "CMakeFiles/augur_lang.dir/lang/Parser.cpp.o"
+  "CMakeFiles/augur_lang.dir/lang/Parser.cpp.o.d"
+  "CMakeFiles/augur_lang.dir/lang/TypeCheck.cpp.o"
+  "CMakeFiles/augur_lang.dir/lang/TypeCheck.cpp.o.d"
+  "libaugur_lang.a"
+  "libaugur_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_lowmm.dir/lowmm/SizeInference.cpp.o"
+  "CMakeFiles/augur_lowmm.dir/lowmm/SizeInference.cpp.o.d"
+  "libaugur_lowmm.a"
+  "libaugur_lowmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_lowmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

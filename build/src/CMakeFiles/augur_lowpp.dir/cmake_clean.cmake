@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_lowpp.dir/lowpp/LowppIR.cpp.o"
+  "CMakeFiles/augur_lowpp.dir/lowpp/LowppIR.cpp.o.d"
+  "CMakeFiles/augur_lowpp.dir/lowpp/Reify.cpp.o"
+  "CMakeFiles/augur_lowpp.dir/lowpp/Reify.cpp.o.d"
+  "libaugur_lowpp.a"
+  "libaugur_lowpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_lowpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for augur_lowpp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_math.dir/math/LinAlg.cpp.o"
+  "CMakeFiles/augur_math.dir/math/LinAlg.cpp.o.d"
+  "CMakeFiles/augur_math.dir/math/Special.cpp.o"
+  "CMakeFiles/augur_math.dir/math/Special.cpp.o.d"
+  "libaugur_math.a"
+  "libaugur_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

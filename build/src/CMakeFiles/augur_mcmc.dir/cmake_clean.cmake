@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_mcmc.dir/mcmc/Drivers.cpp.o"
+  "CMakeFiles/augur_mcmc.dir/mcmc/Drivers.cpp.o.d"
+  "CMakeFiles/augur_mcmc.dir/mcmc/Pack.cpp.o"
+  "CMakeFiles/augur_mcmc.dir/mcmc/Pack.cpp.o.d"
+  "libaugur_mcmc.a"
+  "libaugur_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_models.dir/models/PaperModels.cpp.o"
+  "CMakeFiles/augur_models.dir/models/PaperModels.cpp.o.d"
+  "libaugur_models.a"
+  "libaugur_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

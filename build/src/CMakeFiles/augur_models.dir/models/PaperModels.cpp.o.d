@@ -1,0 +1,3 @@
+src/CMakeFiles/augur_models.dir/models/PaperModels.cpp.o: \
+ /root/repo/src/models/PaperModels.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/models/PaperModels.h

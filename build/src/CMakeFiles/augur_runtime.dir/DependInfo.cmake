@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/ConjugateOps.cpp" "src/CMakeFiles/augur_runtime.dir/runtime/ConjugateOps.cpp.o" "gcc" "src/CMakeFiles/augur_runtime.dir/runtime/ConjugateOps.cpp.o.d"
+  "/root/repo/src/runtime/Distributions.cpp" "src/CMakeFiles/augur_runtime.dir/runtime/Distributions.cpp.o" "gcc" "src/CMakeFiles/augur_runtime.dir/runtime/Distributions.cpp.o.d"
+  "/root/repo/src/runtime/Type.cpp" "src/CMakeFiles/augur_runtime.dir/runtime/Type.cpp.o" "gcc" "src/CMakeFiles/augur_runtime.dir/runtime/Type.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/CMakeFiles/augur_runtime.dir/runtime/Value.cpp.o" "gcc" "src/CMakeFiles/augur_runtime.dir/runtime/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_runtime.dir/runtime/ConjugateOps.cpp.o"
+  "CMakeFiles/augur_runtime.dir/runtime/ConjugateOps.cpp.o.d"
+  "CMakeFiles/augur_runtime.dir/runtime/Distributions.cpp.o"
+  "CMakeFiles/augur_runtime.dir/runtime/Distributions.cpp.o.d"
+  "CMakeFiles/augur_runtime.dir/runtime/Type.cpp.o"
+  "CMakeFiles/augur_runtime.dir/runtime/Type.cpp.o.d"
+  "CMakeFiles/augur_runtime.dir/runtime/Value.cpp.o"
+  "CMakeFiles/augur_runtime.dir/runtime/Value.cpp.o.d"
+  "libaugur_runtime.a"
+  "libaugur_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_stan.dir/baselines/stan/StanSampler.cpp.o"
+  "CMakeFiles/augur_stan.dir/baselines/stan/StanSampler.cpp.o.d"
+  "CMakeFiles/augur_stan.dir/baselines/stan/TapeAD.cpp.o"
+  "CMakeFiles/augur_stan.dir/baselines/stan/TapeAD.cpp.o.d"
+  "libaugur_stan.a"
+  "libaugur_stan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_stan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

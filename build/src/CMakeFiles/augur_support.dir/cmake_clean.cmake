@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augur_support.dir/support/Format.cpp.o"
+  "CMakeFiles/augur_support.dir/support/Format.cpp.o.d"
+  "CMakeFiles/augur_support.dir/support/RNG.cpp.o"
+  "CMakeFiles/augur_support.dir/support/RNG.cpp.o.d"
+  "libaugur_support.a"
+  "libaugur_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augur_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend_test.cpp" "tests/CMakeFiles/augur_tests.dir/backend_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/backend_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/augur_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cgen_test.cpp" "tests/CMakeFiles/augur_tests.dir/cgen_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/cgen_test.cpp.o.d"
+  "/root/repo/tests/density_test.cpp" "tests/CMakeFiles/augur_tests.dir/density_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/density_test.cpp.o.d"
+  "/root/repo/tests/diagnostics_test.cpp" "tests/CMakeFiles/augur_tests.dir/diagnostics_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/distributions_test.cpp" "tests/CMakeFiles/augur_tests.dir/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/distributions_test.cpp.o.d"
+  "/root/repo/tests/extensibility_test.cpp" "tests/CMakeFiles/augur_tests.dir/extensibility_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/extensibility_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/augur_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lang_test.cpp" "tests/CMakeFiles/augur_tests.dir/lang_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/lang_test.cpp.o.d"
+  "/root/repo/tests/let_test.cpp" "tests/CMakeFiles/augur_tests.dir/let_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/let_test.cpp.o.d"
+  "/root/repo/tests/lowpp_test.cpp" "tests/CMakeFiles/augur_tests.dir/lowpp_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/lowpp_test.cpp.o.d"
+  "/root/repo/tests/math_test.cpp" "tests/CMakeFiles/augur_tests.dir/math_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/math_test.cpp.o.d"
+  "/root/repo/tests/mcmc_unit_test.cpp" "tests/CMakeFiles/augur_tests.dir/mcmc_unit_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/mcmc_unit_test.cpp.o.d"
+  "/root/repo/tests/property_dist_test.cpp" "tests/CMakeFiles/augur_tests.dir/property_dist_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/property_dist_test.cpp.o.d"
+  "/root/repo/tests/property_kernel_test.cpp" "tests/CMakeFiles/augur_tests.dir/property_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/property_kernel_test.cpp.o.d"
+  "/root/repo/tests/sbn_test.cpp" "tests/CMakeFiles/augur_tests.dir/sbn_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/sbn_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/augur_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/value_test.cpp" "tests/CMakeFiles/augur_tests.dir/value_test.cpp.o" "gcc" "tests/CMakeFiles/augur_tests.dir/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/augur_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_cgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_blk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lowmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lowpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_jags.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_stan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/augur_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
