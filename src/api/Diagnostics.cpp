@@ -143,16 +143,13 @@ augur::runChains(const std::string &ModelSource, CompileOptions Opts,
                  const SampleOptions &SO, int NumChains) {
   if (NumChains < 1)
     return Status::error("need at least one chain");
+  // Chain c runs with seed philoxMix(Opts.Seed, c); when Opts.Par asks
+  // for parallelism the chains execute concurrently over the pool.
+  Opts.Par.Chains = NumChains;
+  Infer Aug(ModelSource);
+  Aug.setCompileOpt(Opts);
+  AUGUR_RETURN_IF_ERROR(Aug.compile(HyperArgs, Data));
   MultiChainResult Out;
-  RNG SeedRng(Opts.Seed);
-  for (int C = 0; C < NumChains; ++C) {
-    CompileOptions ChainOpts = Opts;
-    ChainOpts.Seed = SeedRng.next();
-    Infer Aug(ModelSource);
-    Aug.setCompileOpt(ChainOpts);
-    AUGUR_RETURN_IF_ERROR(Aug.compile(HyperArgs, Data));
-    AUGUR_ASSIGN_OR_RETURN(SampleSet S, Aug.sample(SO));
-    Out.Chains.push_back(std::move(S));
-  }
+  AUGUR_ASSIGN_OR_RETURN(Out.Chains, Aug.sampleChains(SO));
   return Out;
 }

@@ -3,8 +3,35 @@
 #include "api/Infer.h"
 
 #include "support/Format.h"
+#include "support/PhiloxRNG.h"
 
 using namespace augur;
+
+namespace {
+
+/// Sample collection over an already-initialized program (shared by
+/// single-chain sample() and the per-chain bodies of sampleChains).
+Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
+                                 const std::vector<std::string> &Record) {
+  SampleSet Out;
+  for (int B = 0; B < SO.BurnIn; ++B)
+    AUGUR_RETURN_IF_ERROR(Prog.step());
+  for (int S = 0; S < SO.NumSamples; ++S) {
+    for (int T = 0; T < SO.Thin; ++T)
+      AUGUR_RETURN_IF_ERROR(Prog.step());
+    for (const auto &Var : Record) {
+      auto It = Prog.state().find(Var);
+      if (It == Prog.state().end())
+        return Status::error(
+            strFormat("unknown parameter '%s'", Var.c_str()));
+      Out.Draws[Var].push_back(It->second);
+    }
+    Out.LogJoint.push_back(SO.TrackLogJoint ? Prog.logJoint() : 0.0);
+  }
+  return Out;
+}
+
+} // namespace
 
 double SampleSet::scalarMean(const std::string &Var) const {
   auto It = Draws.find(Var);
@@ -19,6 +46,8 @@ double SampleSet::scalarMean(const std::string &Var) const {
 Status Infer::compile(std::vector<Value> HyperArgs, Env Data) {
   AUGUR_ASSIGN_OR_RETURN(
       Prog, Compiler::compile(Source, Opts, HyperArgs, Data));
+  ChainArgs = std::move(HyperArgs);
+  ChainData = std::move(Data);
   return Prog->init();
 }
 
@@ -28,21 +57,56 @@ Result<SampleSet> Infer::sample(const SampleOptions &SO) {
   std::vector<std::string> Record = SO.Record;
   if (Record.empty())
     Record = Prog->densityModel().TM.M.paramNames();
+  return collectSamples(*Prog, SO, Record);
+}
 
-  SampleSet Out;
-  for (int B = 0; B < SO.BurnIn; ++B)
-    AUGUR_RETURN_IF_ERROR(Prog->step());
-  for (int S = 0; S < SO.NumSamples; ++S) {
-    for (int T = 0; T < SO.Thin; ++T)
-      AUGUR_RETURN_IF_ERROR(Prog->step());
-    for (const auto &Var : Record) {
-      auto It = Prog->state().find(Var);
-      if (It == Prog->state().end())
-        return Status::error(
-            strFormat("unknown parameter '%s'", Var.c_str()));
-      Out.Draws[Var].push_back(It->second);
-    }
-    Out.LogJoint.push_back(SO.TrackLogJoint ? Prog->logJoint() : 0.0);
+Result<std::vector<SampleSet>> Infer::sampleChains(const SampleOptions &SO) {
+  if (!Prog)
+    return Status::error(
+        "sampleChains() called before a successful compile()");
+  int NumChains = Opts.Par.Chains < 1 ? 1 : Opts.Par.Chains;
+  std::vector<std::string> Record = SO.Record;
+  if (Record.empty())
+    Record = Prog->densityModel().TM.M.paramNames();
+
+  // Compile sequentially (program construction touches the process-wide
+  // pool and the host compiler), then sample the chains concurrently:
+  // each program owns its state and RNG, so chains share nothing.
+  std::vector<std::unique_ptr<MCMCProgram>> Progs;
+  for (int C = 0; C < NumChains; ++C) {
+    CompileOptions ChainOpts = Opts;
+    ChainOpts.Seed = philoxMix(Opts.Seed, uint64_t(C));
+    AUGUR_ASSIGN_OR_RETURN(
+        std::unique_ptr<MCMCProgram> P,
+        Compiler::compile(Source, ChainOpts, ChainArgs, ChainData));
+    AUGUR_RETURN_IF_ERROR(P->init());
+    Progs.push_back(std::move(P));
   }
-  return Out;
+
+  std::vector<SampleSet> Sets;
+  Sets.resize(size_t(NumChains));
+  std::vector<Status> ChainStatus(size_t(NumChains), Status::success());
+  auto RunChain = [&](int64_t C) {
+    Result<SampleSet> R = collectSamples(*Progs[size_t(C)], SO, Record);
+    if (R.ok())
+      Sets[size_t(C)] = R.take();
+    else
+      ChainStatus[size_t(C)] = R.status();
+  };
+  if (Opts.Par.NumThreads != 1 && NumChains > 1) {
+    // Whole chains are the outer parallel dimension; Par/AtmPar loops
+    // inside a chain then execute inline on the chain's worker.
+    ThreadPool::global(Opts.Par.resolvedThreads())
+        .parallelFor(0, NumChains, 1,
+                     [&](int64_t Lo, int64_t Hi, int /*Lane*/) {
+                       for (int64_t C = Lo; C < Hi; ++C)
+                         RunChain(C);
+                     });
+  } else {
+    for (int64_t C = 0; C < NumChains; ++C)
+      RunChain(C);
+  }
+  for (const auto &St : ChainStatus)
+    AUGUR_RETURN_IF_ERROR(St);
+  return Sets;
 }

@@ -71,6 +71,16 @@ public:
     return sample(SO);
   }
 
+  /// Runs CompileOptions::Par.Chains independent chains and returns one
+  /// SampleSet per chain, ordered by chain index. Chain c is compiled
+  /// with seed philoxMix(Opts.Seed, c), so the result set is a pure
+  /// function of the options — independent of thread count and of
+  /// whether the chains run sequentially or over the pool (they run
+  /// concurrently when Par.NumThreads != 1). compile() must have
+  /// succeeded (it validates the model and supplies the chain
+  /// arguments).
+  Result<std::vector<SampleSet>> sampleChains(const SampleOptions &SO);
+
   /// The compiled program (valid after compile()).
   MCMCProgram &program() {
     assert(Prog && "compile() has not succeeded");
@@ -82,6 +92,10 @@ private:
   std::string Source;
   CompileOptions Opts;
   std::unique_ptr<MCMCProgram> Prog;
+  /// Arguments retained from compile() so sampleChains can build one
+  /// program per chain.
+  std::vector<Value> ChainArgs;
+  Env ChainData;
 };
 
 } // namespace augur

@@ -108,6 +108,102 @@ static inline double augur_dirichlet_ll(const double *a, i64 n,
 }
 )c";
 
+/// The pthread-backed pool linked into parallel modules: the C-side
+/// mirror of parallel/ThreadPool. Workers claim grain-sized chunks off
+/// an atomic cursor; the caller participates and then waits on the
+/// region's completion latch. augur_set_threads is exported so the host
+/// engine can size the pool after dlopen (before the first region).
+const char *ParallelPrelude = R"c(
+#include <pthread.h>
+typedef void (*augur_loop_fn)(void *env, i64 lo, i64 hi);
+static i64 augur_num_threads = 1;
+static i64 augur_grain = 16;
+static struct {
+  pthread_mutex_t m;
+  pthread_cond_t work_cv, done_cv;
+  i64 generation;   /* bumped per region to wake workers */
+  i64 active;       /* workers still draining the current region */
+  i64 started;      /* worker threads spawned */
+  augur_loop_fn fn;
+  void *env;
+  i64 hi, chunk;
+  i64 cursor;       /* next unclaimed index; __atomic advanced */
+} augur_pool = {PTHREAD_MUTEX_INITIALIZER, PTHREAD_COND_INITIALIZER,
+                PTHREAD_COND_INITIALIZER, 0, 0, 0, 0, 0, 0, 0, 0};
+static void augur_run_chunks(void) {
+  for (;;) {
+    i64 b = __atomic_fetch_add(&augur_pool.cursor, augur_pool.chunk,
+                               __ATOMIC_RELAXED);
+    if (b >= augur_pool.hi) return;
+    i64 e = b + augur_pool.chunk;
+    if (e > augur_pool.hi) e = augur_pool.hi;
+    augur_pool.fn(augur_pool.env, b, e);
+  }
+}
+static void *augur_pool_worker(void *arg) {
+  i64 seen = 0;
+  (void)arg;
+  for (;;) {
+    pthread_mutex_lock(&augur_pool.m);
+    while (augur_pool.generation == seen)
+      pthread_cond_wait(&augur_pool.work_cv, &augur_pool.m);
+    seen = augur_pool.generation;
+    pthread_mutex_unlock(&augur_pool.m);
+    augur_run_chunks();
+    pthread_mutex_lock(&augur_pool.m);
+    if (--augur_pool.active == 0)
+      pthread_cond_signal(&augur_pool.done_cv);
+    pthread_mutex_unlock(&augur_pool.m);
+  }
+  return 0;
+}
+void augur_set_threads(i64 n, i64 grain) {
+  if (n >= 1) augur_num_threads = n;
+  if (grain >= 1) augur_grain = grain;
+}
+static void augur_parallel_for(i64 lo, i64 hi, augur_loop_fn fn, void *env) {
+  if (hi <= lo) return;
+  i64 want = augur_num_threads - 1;
+  if (want <= 0 || hi - lo <= augur_grain) {
+    fn(env, lo, hi);
+    return;
+  }
+  while (augur_pool.started < want) {
+    pthread_t t;
+    if (pthread_create(&t, 0, augur_pool_worker, 0) != 0) break;
+    pthread_detach(t);
+    ++augur_pool.started;
+  }
+  augur_pool.fn = fn;
+  augur_pool.env = env;
+  augur_pool.hi = hi;
+  augur_pool.chunk = augur_grain;
+  __atomic_store_n(&augur_pool.cursor, lo, __ATOMIC_RELEASE);
+  pthread_mutex_lock(&augur_pool.m);
+  augur_pool.active = augur_pool.started;
+  ++augur_pool.generation;
+  pthread_cond_broadcast(&augur_pool.work_cv);
+  pthread_mutex_unlock(&augur_pool.m);
+  augur_run_chunks(); /* caller participates */
+  pthread_mutex_lock(&augur_pool.m);
+  while (augur_pool.active != 0)
+    pthread_cond_wait(&augur_pool.done_cv, &augur_pool.m);
+  pthread_mutex_unlock(&augur_pool.m);
+}
+static inline void augur_atomic_add_f64(double *p, double v) {
+  unsigned long long *ip = (unsigned long long *)p;
+  union { double d; unsigned long long u; } old, want;
+  old.u = __atomic_load_n(ip, __ATOMIC_RELAXED);
+  do {
+    want.d = old.d + v;
+  } while (!__atomic_compare_exchange_n(ip, &old.u, want.u, 1,
+                                        __ATOMIC_RELAXED, __ATOMIC_RELAXED));
+}
+static inline void augur_atomic_add_i64(i64 *p, i64 v) {
+  __atomic_fetch_add(p, v, __ATOMIC_RELAXED);
+}
+)c";
+
 struct VecRef {
   std::string Ptr;
   std::string Len;
@@ -115,7 +211,8 @@ struct VecRef {
 
 class CEmitter {
 public:
-  CEmitter(const LowppProc &P, const Env &E) : P(P), E(&E) {}
+  CEmitter(const LowppProc &P, const Env &E, const CEmitOptions &Opts)
+      : P(P), E(&E), Parallel(Opts.NumThreads != 1) {}
 
   Result<CModule> run() {
     AUGUR_RETURN_IF_ERROR(collectGlobals());
@@ -127,7 +224,10 @@ public:
     CModule M;
     M.ProcName = P.Name;
     M.Fields = Fields;
+    M.Parallel = Parallel;
     M.Source = RuntimePrelude;
+    if (Parallel)
+      M.Source += ParallelPrelude;
     M.Source += "\ntypedef struct {\n";
     for (const auto &F : Fields) {
       switch (F.K) {
@@ -144,6 +244,8 @@ public:
       }
     }
     M.Source += "} augur_frame;\n\n";
+    for (const auto &Fn : OutlinedFns)
+      M.Source += Fn;
     M.Source += "void " + P.Name + "(augur_frame *f) {\n" + Body + "}\n";
     return M;
   }
@@ -460,11 +562,16 @@ private:
     case LStmt::Kind::Assign: {
       AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
       AUGUR_ASSIGN_OR_RETURN(std::string R, emitScalar(S.Rhs));
+      if (S.Accum && atomicCtx()) {
+        const char *Fn = lvalueIsInt(S.Dest) ? "augur_atomic_add_i64"
+                                             : "augur_atomic_add_f64";
+        return Pad + std::string(Fn) + "(&" + L + ", " + R + ");\n";
+      }
       return Pad + L + (S.Accum ? " += " : " = ") + R + ";\n";
     }
     case LStmt::Kind::DeclLocal: {
       if (S.Dims.empty()) {
-        ScalarLocals.insert(S.LocalName);
+        ScalarLocals[S.LocalName] = S.LKind == LocalKind::Int;
         const char *Ty = S.LKind == LocalKind::Int ? "i64" : "double";
         return Pad + std::string(Ty) + " " + S.LocalName + " = 0;\n";
       }
@@ -473,6 +580,8 @@ private:
             "only scalar and 1-D locals are native-emittable");
       AUGUR_ASSIGN_OR_RETURN(std::string D, emitScalar(S.Dims[0]));
       VecLocals[S.LocalName] = "(" + D + ")";
+      if (S.LKind == LocalKind::Int)
+        IntVecLocals.insert(S.LocalName);
       const char *Ty = S.LKind == LocalKind::Int ? "i64" : "double";
       std::string Out =
           Pad + std::string(Ty) + " " + S.LocalName + "[" + D + "];\n";
@@ -499,6 +608,47 @@ private:
     case LStmt::Kind::Loop: {
       AUGUR_ASSIGN_OR_RETURN(std::string Lo, emitScalar(S.Lo));
       AUGUR_ASSIGN_OR_RETURN(std::string Hi, emitScalar(S.Hi));
+      // Pooled emission: a Par/AtmPar loop whose body closes over
+      // nothing but the frame is outlined into a chunk function and
+      // dispatched through augur_parallel_for. Loops that reference
+      // enclosing locals/loop vars (or nest inside an outlined region)
+      // stay sequential for-loops inside their region.
+      if (Parallel && S.LK != LoopKind::Seq && !InOutlined &&
+          LoopVars.empty() && ScalarLocals.empty() && VecLocals.empty()) {
+        std::string FnName =
+            strFormat("%s_pbody%d", P.Name.c_str(), int(OutlinedFns.size()));
+        InOutlined = true;
+        if (S.LK == LoopKind::AtmPar)
+          ++AtmDepth;
+        LoopVars.insert(S.LoopVar);
+        std::string Fn = "static void " + FnName +
+                         "(void *vf, i64 lo, i64 hi) {\n"
+                         "  augur_frame *f = (augur_frame *)vf;\n"
+                         "  for (i64 " +
+                         S.LoopVar + " = lo; " + S.LoopVar + " < hi; ++" +
+                         S.LoopVar + ") {" +
+                         strFormat(" /* %s */\n", loopKindName(S.LK));
+        Status BodyStatus = Status::success();
+        for (const auto &Sub : S.Body) {
+          Result<std::string> T = emitStmt(*Sub, 2);
+          if (!T.ok()) {
+            BodyStatus = T.status();
+            break;
+          }
+          Fn += T.value();
+        }
+        LoopVars.erase(S.LoopVar);
+        if (S.LK == LoopKind::AtmPar)
+          --AtmDepth;
+        InOutlined = false;
+        AUGUR_RETURN_IF_ERROR(BodyStatus);
+        Fn += "  }\n}\n\n";
+        OutlinedFns.push_back(Fn);
+        return Pad + "augur_parallel_for(" + Lo + ", " + Hi + ", " +
+               FnName + ", (void *)f);\n";
+      }
+      if (S.LK == LoopKind::AtmPar)
+        ++AtmDepth;
       LoopVars.insert(S.LoopVar);
       std::string Out =
           Pad + strFormat("for (i64 %s = ", S.LoopVar.c_str()) + Lo +
@@ -511,11 +661,15 @@ private:
         Out += T;
       }
       LoopVars.erase(S.LoopVar);
+      if (S.LK == LoopKind::AtmPar)
+        --AtmDepth;
       return Out + Pad + "}\n";
     }
     case LStmt::Kind::AccumLL: {
       AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
       AUGUR_ASSIGN_OR_RETURN(std::string Call, emitDistCall("ll", S));
+      if (atomicCtx())
+        return Pad + "augur_atomic_add_f64(&" + L + ", " + Call + ");\n";
       return Pad + L + " += " + Call + ";\n";
     }
     case LStmt::Kind::AccumGrad: {
@@ -530,6 +684,9 @@ private:
             "vector-valued gradients are not native-emittable");
       AUGUR_ASSIGN_OR_RETURN(std::string Call,
                              emitDistCall(Op.c_str(), S));
+      if (atomicCtx())
+        return Pad + "augur_atomic_add_f64(&" + L + ", (" + Adj + ") * " +
+               Call + ");\n";
       return Pad + L + " += (" + Adj + ") * " + Call + ";\n";
     }
     case LStmt::Kind::Sample:
@@ -544,17 +701,42 @@ private:
     return Status::error("unknown statement");
   }
 
+  /// True when an accumulation must be emitted as an atomic add: inside
+  /// an outlined chunk function, under at least one AtmPar loop.
+  bool atomicCtx() const { return InOutlined && AtmDepth > 0; }
+
+  /// Whether an accumulation destination holds i64 (else double).
+  bool lvalueIsInt(const LValue &L) const {
+    auto SIt = ScalarLocals.find(L.Var);
+    if (SIt != ScalarLocals.end())
+      return SIt->second;
+    if (VecLocals.count(L.Var))
+      return IntVecLocals.count(L.Var) != 0;
+    auto GIt = Globals.find(L.Var);
+    if (GIt == Globals.end())
+      return false;
+    return GIt->second.K == GKind::IntScalar ||
+           GIt->second.K == GKind::IntVecFlat ||
+           GIt->second.K == GKind::IntVecRagged;
+  }
+
   const LowppProc &P;
   const Env *E;
+  bool Parallel;
   std::map<std::string, Global> Globals;
   std::vector<FrameField> Fields;
   std::set<std::string> LoopVars;
-  std::set<std::string> ScalarLocals;
+  std::map<std::string, bool> ScalarLocals; // name -> is i64
   std::map<std::string, std::string> VecLocals; // name -> length expr
+  std::set<std::string> IntVecLocals;
+  std::vector<std::string> OutlinedFns; // chunk fns, emission order
+  bool InOutlined = false;
+  int AtmDepth = 0;
 };
 
 } // namespace
 
-Result<CModule> augur::emitC(const LowppProc &P, const Env &E) {
-  return CEmitter(P, E).run();
+Result<CModule> augur::emitC(const LowppProc &P, const Env &E,
+                             const CEmitOptions &Opts) {
+  return CEmitter(P, E, Opts).run();
 }

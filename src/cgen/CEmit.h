@@ -48,12 +48,26 @@ struct CModule {
   std::string ProcName;
   std::string Source;
   std::vector<FrameField> Fields;
+  bool Parallel = false; ///< module carries the pthread pool runtime
+};
+
+/// Parallel emission options. The default (NumThreads == 1) emits the
+/// plain sequential module. With NumThreads != 1 the module carries a
+/// persistent pthread pool; top-level Par/AtmPar loops are outlined
+/// into chunk functions dispatched through augur_parallel_for, and
+/// AtmPar accumulations become atomic adds. The emitted module exports
+/// `void augur_set_threads(i64 n, i64 grain)` so the host can size the
+/// pool after dlopen (NumThreads here only selects the code shape).
+struct CEmitOptions {
+  int NumThreads = 1;
+  int64_t Grain = 16;
 };
 
 /// Emits C for \p P. \p E supplies the shapes/kinds of the globals the
 /// procedure references. Fails (with a reason) on constructs outside
 /// the native subset.
-Result<CModule> emitC(const LowppProc &P, const Env &E);
+Result<CModule> emitC(const LowppProc &P, const Env &E,
+                      const CEmitOptions &Opts = CEmitOptions());
 
 } // namespace augur
 

@@ -42,7 +42,10 @@ NativeEngine::getOrCompile(const std::string &Name) {
       env()[Out] = Value::realScalar(0.0);
   }
 
-  Result<CModule> Mod = emitC(proc(Name), env());
+  CEmitOptions EmitOpts;
+  EmitOpts.NumThreads = Par.NumThreads == 1 ? 1 : Par.resolvedThreads();
+  EmitOpts.Grain = Par.Grain;
+  Result<CModule> Mod = emitC(proc(Name), env(), EmitOpts);
   if (!Mod.ok()) {
     NP.Reason = Mod.message();
     return Compiled.emplace(Name, std::move(NP)).first->second;
@@ -59,13 +62,21 @@ NativeEngine::getOrCompile(const std::string &Name) {
     std::ofstream Out(CPath);
     Out << Mod->Source;
   }
-  std::string Cmd = Cc + " -O2 -fPIC -shared -o " + SoPath + " " + CPath +
-                    " -lm 2>/dev/null";
+  std::string Cmd = Cc + " -O2 -fPIC -shared";
+  if (Mod->Parallel)
+    Cmd += " -pthread -fno-strict-aliasing";
+  Cmd += " -o " + SoPath + " " + CPath + " -lm 2>/dev/null";
   if (std::system(Cmd.c_str()) != 0) {
     NP.Reason = "host C compiler failed";
     return Compiled.emplace(Name, std::move(NP)).first->second;
   }
-  NP.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  // A parallel module spawns detached pool workers whose code lives in
+  // the module; RTLD_NODELETE keeps it mapped after dlclose so a worker
+  // parked in pthread_cond_wait never resumes into unmapped memory.
+  int Flags = RTLD_NOW | RTLD_LOCAL;
+  if (Mod->Parallel)
+    Flags |= RTLD_NODELETE;
+  NP.Handle = dlopen(SoPath.c_str(), Flags);
   if (!NP.Handle) {
     NP.Reason = strFormat("dlopen failed: %s", dlerror());
     return Compiled.emplace(Name, std::move(NP)).first->second;
@@ -76,6 +87,12 @@ NativeEngine::getOrCompile(const std::string &Name) {
     NP.Reason = "symbol not found in compiled library";
     dlclose(NP.Handle);
     NP.Handle = nullptr;
+  }
+  if (NP.Handle && Mod->Parallel) {
+    using SetThreadsTy = void (*)(int64_t, int64_t);
+    if (auto *Set = reinterpret_cast<SetThreadsTy>(
+            dlsym(NP.Handle, "augur_set_threads")))
+      Set(Par.resolvedThreads(), Par.Grain);
   }
   NP.Fields = Mod->Fields;
   return Compiled.emplace(Name, std::move(NP)).first->second;

@@ -32,6 +32,15 @@ public:
 
   void runProc(const std::string &Name) override;
 
+  /// Parallel mode: the interpreter (fallback path) runs pooled loops
+  /// on \p Pool, and subsequently compiled modules carry the pthread
+  /// pool runtime sized to the config. Must be set before the first
+  /// runProc (already-compiled sequential modules are not recompiled).
+  void setParallel(ThreadPool *Pool, const ParallelConfig &Cfg) override {
+    InterpEngine::setParallel(Pool, Cfg);
+    Par = Cfg;
+  }
+
   /// True if \p Name executed natively on its last run.
   bool isNative(const std::string &Name) const {
     auto It = Compiled.find(Name);
@@ -54,6 +63,7 @@ private:
   void buildFrame(const NativeProc &NP, std::vector<char> &Buf);
 
   std::string Cc;
+  ParallelConfig Par;
   std::map<std::string, NativeProc> Compiled;
 };
 

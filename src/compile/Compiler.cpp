@@ -130,6 +130,9 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
     Prog->Eng = std::make_unique<NativeEngine>(Opts.Seed);
   else
     Prog->Eng = std::make_unique<InterpEngine>(Opts.Seed);
+  if (Opts.Tgt == CompileOptions::Target::Cpu && Opts.Par.NumThreads != 1)
+    Prog->Eng->setParallel(&ThreadPool::global(Opts.Par.resolvedThreads()),
+                           Opts.Par);
   Env &E = Prog->Eng->env();
   const Model &Parsed = Prog->DM.TM.M;
   for (size_t I = 0; I < HyperArgs.size(); ++I)

@@ -21,6 +21,7 @@
 #include "kernel/Schedule.h"
 #include "lang/Parser.h"
 #include "mcmc/Drivers.h"
+#include "parallel/ThreadPool.h"
 
 namespace augur {
 
@@ -44,6 +45,12 @@ struct CompileOptions {
   BlkOptions Blk;
   /// Device model for the GpuSim target.
   DeviceModel Device;
+  /// Cpu target only: the parallel runtime (see DESIGN.md "Parallel
+  /// runtime"). NumThreads == 1 (default) keeps the legacy sequential
+  /// execution; any other value runs Par/AtmPar loops on the
+  /// work-stealing pool with per-iteration RNG streams, making samples
+  /// independent of the pool width.
+  ParallelConfig Par;
 };
 
 /// A compiled, executable composite MCMC algorithm.

@@ -36,6 +36,14 @@ public:
 
   /// True if a procedure named \p Name is registered.
   virtual bool hasProc(const std::string &Name) const = 0;
+
+  /// Attaches the parallel runtime: Par/AtmPar loops (and, for the
+  /// native engine, emitted C loops) execute over \p Pool with the
+  /// configured grain. Default is a no-op (engine stays sequential).
+  virtual void setParallel(ThreadPool *Pool, const ParallelConfig &Cfg) {
+    (void)Pool;
+    (void)Cfg;
+  }
 };
 
 /// CPU engine: direct Low++ interpretation.
@@ -49,6 +57,9 @@ public:
   void addProc(LowppProc P) override;
   bool hasProc(const std::string &Name) const override {
     return Procs.count(Name) != 0;
+  }
+  void setParallel(ThreadPool *Pool, const ParallelConfig &Cfg) override {
+    I.setParallel(Pool, Cfg.Grain);
   }
 
   const LowppProc &proc(const std::string &Name) const {

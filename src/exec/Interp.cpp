@@ -2,6 +2,7 @@
 
 #include "exec/Interp.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -46,6 +47,29 @@ void zeroValue(Value &V) {
   }
 }
 
+/// Whether executing \p S can consume random bits (directly or in a
+/// nested statement). Decides if a pooled loop draws a stream seed.
+bool stmtSamples(const LStmt &S) {
+  switch (S.K) {
+  case LStmt::Kind::Sample:
+  case LStmt::Kind::SampleLogits:
+  case LStmt::Kind::ConjSample:
+    return true;
+  case LStmt::Kind::If:
+    for (const auto &T : S.Then)
+      if (stmtSamples(*T))
+        return true;
+    return false;
+  case LStmt::Kind::Loop:
+    for (const auto &B : S.Body)
+      if (stmtSamples(*B))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
 DV readView(const MutDV &M) {
   switch (M.K) {
   case DV::Kind::Real:
@@ -80,10 +104,107 @@ Value &Interp::resolveVar(const std::string &Name) {
   // through the same stable map nodes.
   if (const Value *V = Ctx.Lookup(Name))
     return *const_cast<Value *>(V);
-  // Output scalars (e.g. "ll") are created on first assignment.
-  (*Globals)[Name] = Value::realScalar(0.0);
+  // Output scalars (e.g. "ll") are created on first assignment. A
+  // worker must not insert into the shared global map concurrently;
+  // its on-demand slot lives in the worker's own locals instead.
+  Env &Home = ParentLocals ? Locals : *Globals;
+  Home[Name] = Value::realScalar(0.0);
   ResolveCache.clear(); // drop the cached negative entry
-  return (*Globals)[Name];
+  return Home[Name];
+}
+
+void Interp::accumReal(double *Slot, double V) const {
+  if (atomicMode()) {
+    std::atomic_ref<double> A(*Slot);
+    double Old = A.load(std::memory_order_relaxed);
+    while (!A.compare_exchange_weak(Old, Old + V, std::memory_order_relaxed))
+      ;
+  } else {
+    *Slot += V;
+  }
+}
+
+void Interp::accumInt(int64_t *Slot, int64_t V) const {
+  if (atomicMode())
+    std::atomic_ref<int64_t>(*Slot).fetch_add(V, std::memory_order_relaxed);
+  else
+    *Slot += V;
+}
+
+bool Interp::bodySamples(const LStmt &S) const {
+  auto It = SamplingCache.find(&S);
+  if (It != SamplingCache.end())
+    return It->second;
+  bool Any = false;
+  for (const auto &B : S.Body)
+    if (stmtSamples(*B)) {
+      Any = true;
+      break;
+    }
+  SamplingCache.emplace(&S, Any);
+  return Any;
+}
+
+void Interp::execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi) {
+  if (Hi <= Lo)
+    return;
+  // One sequential draw from the chain's master RNG keys this region's
+  // per-iteration streams: iteration I samples from PhiloxRNG(LoopSeed,
+  // I) no matter which lane runs it, so the chain is bit-identical for
+  // every pool width. Loops that never sample (likelihood/gradient
+  // accumulation) must not perturb the chain, hence the draw is gated.
+  bool Samples = bodySamples(S);
+  uint64_t LoopSeed = Samples ? Rng->next() : 0;
+
+  int N = Pool->numThreads();
+  if (int(WorkerInterps.size()) < N)
+    WorkerInterps.resize(size_t(N));
+  int WorkerDepth = AtmParDepth + (S.LK == LoopKind::AtmPar ? 1 : 0);
+  for (int L = 0; L < N; ++L) {
+    if (!WorkerInterps[size_t(L)]) {
+      WorkerInterps[size_t(L)] = std::make_unique<Interp>(*Globals, *Rng);
+      Interp &Fresh = *WorkerInterps[size_t(L)];
+      Fresh.Rng = &Fresh.StreamRng; // never the shared master generator
+      Fresh.ParentLocals = &Locals;
+      Fresh.InParallelRegion = true;
+    }
+    Interp &W = *WorkerInterps[size_t(L)];
+    W.TrackAtomics = TrackAtomics;
+    W.AtmParDepth = WorkerDepth;
+    W.Ctx.LoopVars = Ctx.LoopVars; // enclosing loop indices
+    W.Locals.clear();
+    W.ResolveCache.clear();
+    W.Counters.reset();
+    W.AtomicHist.clear();
+  }
+
+  auto Chunk = [&](int64_t B, int64_t E, int Lane) {
+    Interp &W = *WorkerInterps[size_t(Lane)];
+    auto [SlotIt, Inserted] = W.Ctx.LoopVars.try_emplace(S.LoopVar, 0);
+    (void)Inserted;
+    for (int64_t I = B; I < E; ++I) {
+      SlotIt->second = I;
+      if (Samples)
+        W.StreamRng.resetStream(LoopSeed, uint64_t(I));
+      ++W.Counters.LoopIters;
+      W.execBody(S.Body);
+    }
+  };
+  ParForStats St = Pool->parallelFor(Lo, Hi, Grain, Chunk);
+
+  for (int L = 0; L < N; ++L) {
+    Interp &W = *WorkerInterps[size_t(L)];
+    Counters.merge(W.Counters);
+    for (const auto &[Addr, Count] : W.AtomicHist)
+      AtomicHist[Addr] += Count;
+  }
+  ++Counters.ParLoops;
+  Counters.ParIters += uint64_t(Hi - Lo);
+  Counters.ParChunks += St.Chunks;
+  Counters.ParSteals += St.Steals;
+  Counters.ParBusyNanos += St.BusyNanos;
+  Counters.ParThreadNanos +=
+      St.WallNanos * uint64_t(St.Inline ? 1 : Pool->numThreads());
 }
 
 MutDV Interp::resolveDest(const LValue &Dest) {
@@ -205,9 +326,9 @@ void Interp::execDeclLocal(const LStmt &S) {
 }
 
 void Interp::execSampleLogits(const LStmt &S) {
-  const Value &Scores = Locals.count(S.ScoresVar)
-                            ? Locals.at(S.ScoresVar)
-                            : Globals->at(S.ScoresVar);
+  const Value *ScoresP = Ctx.Lookup(S.ScoresVar);
+  assert(ScoresP && "score buffer not declared");
+  const Value &Scores = *ScoresP;
   int64_t N = evalInt(S.Count);
   const double *Logits = Scores.realVec().flat().data();
   assert(Scores.realVec().flatSize() >= N && "score buffer too small");
@@ -261,14 +382,14 @@ void Interp::execStmt(const LStmt &S) {
     if (Dest.K == DV::Kind::Int) {
       assert(Rhs.K == DV::Kind::Int && "Int slot needs Int value");
       if (S.Accum)
-        *Dest.IntSlot += Rhs.I;
+        accumInt(Dest.IntSlot, Rhs.I);
       else
         *Dest.IntSlot = Rhs.I;
       return;
     }
     assert(Dest.K == DV::Kind::Real && "assignments are scalar");
     if (S.Accum)
-      *Dest.RealSlot += Rhs.asReal();
+      accumReal(Dest.RealSlot, Rhs.asReal());
     else
       *Dest.RealSlot = Rhs.asReal();
     return;
@@ -286,6 +407,10 @@ void Interp::execStmt(const LStmt &S) {
   case LStmt::Kind::Loop: {
     int64_t Lo = evalInt(S.Lo);
     int64_t Hi = evalInt(S.Hi);
+    if (Pool && S.LK != LoopKind::Seq) {
+      execParallelLoop(S, Lo, Hi);
+      return;
+    }
     if (S.LK == LoopKind::AtmPar)
       ++AtmParDepth;
     auto [SlotIt, Inserted] = Ctx.LoopVars.try_emplace(S.LoopVar, 0);
@@ -314,7 +439,7 @@ void Interp::execStmt(const LStmt &S) {
     assert(Dest.K == DV::Kind::Real && "log-likelihood accumulator");
     if (AtmParDepth > 0)
       noteAtomic(Dest.RealSlot);
-    *Dest.RealSlot += distLogPdf(S.D, Params, At);
+    accumReal(Dest.RealSlot, distLogPdf(S.D, Params, At));
     return;
   }
   case LStmt::Kind::AccumGrad: {
@@ -328,7 +453,21 @@ void Interp::execStmt(const LStmt &S) {
     double *Out = Dest.K == DV::Kind::Real ? Dest.RealSlot : Dest.Ptr;
     if (AtmParDepth > 0)
       noteAtomic(Out);
-    distAccumGrad(S.D, S.GradArg, Params, At, Adj, Out);
+    if (atomicMode()) {
+      // distAccumGrad does plain `Out[i] +=` over up to N adjoint
+      // elements; stage into a private buffer and publish atomically.
+      int64_t N = Dest.K == DV::Kind::Real ? 1
+                  : Dest.K == DV::Kind::Vec
+                      ? Dest.N
+                      : Dest.Rows * Dest.Cols;
+      GradTmp.assign(size_t(N), 0.0);
+      distAccumGrad(S.D, S.GradArg, Params, At, Adj, GradTmp.data());
+      for (int64_t I = 0; I < N; ++I)
+        if (GradTmp[size_t(I)] != 0.0)
+          accumReal(Out + I, GradTmp[size_t(I)]);
+    } else {
+      distAccumGrad(S.D, S.GradArg, Params, At, Adj, Out);
+    }
     return;
   }
   case LStmt::Kind::Sample: {
@@ -355,7 +494,7 @@ void Interp::execStmt(const LStmt &S) {
     if (AtmParDepth > 0)
       noteAtomic(Dest.Ptr);
     for (int64_t I = 0; I < Dest.N; ++I)
-      Dest.Ptr[I] += Src.Ptr[I];
+      accumReal(Dest.Ptr + I, Src.Ptr[I]);
     return;
   }
   case LStmt::Kind::AccumOuter: {
@@ -369,8 +508,8 @@ void Interp::execStmt(const LStmt &S) {
            Y.N == Dest.Rows && M.N == Dest.Rows && "shape mismatch");
     for (int64_t I = 0; I < Dest.Rows; ++I)
       for (int64_t J = 0; J < Dest.Cols; ++J)
-        Dest.Ptr[I * Dest.Cols + J] +=
-            (Y.Ptr[I] - M.Ptr[I]) * (Y.Ptr[J] - M.Ptr[J]);
+        accumReal(Dest.Ptr + I * Dest.Cols + J,
+                  (Y.Ptr[I] - M.Ptr[I]) * (Y.Ptr[J] - M.Ptr[J]));
     return;
   }
   }

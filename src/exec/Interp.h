@@ -17,16 +17,25 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "density/Eval.h"
 #include "lowpp/LowppIR.h"
+#include "parallel/ThreadPool.h"
+#include "support/PhiloxRNG.h"
 #include "support/RNG.h"
 
 namespace augur {
 
 /// Counters collected while executing procedures.
+///
+/// Thread-safety: during a parallel region every worker accumulates
+/// into its own ExecCounters instance; the parent merges them (with
+/// merge()) after the fork-join barrier, so no counter is ever written
+/// concurrently.
 struct ExecCounters {
   uint64_t Stmts = 0;       ///< statements executed
   uint64_t DistOps = 0;     ///< ll/grad/samp evaluations
@@ -34,6 +43,38 @@ struct ExecCounters {
   uint64_t LoopIters = 0;   ///< loop iterations
   int64_t LocalBytes = 0;   ///< current local allocation
   int64_t PeakLocalBytes = 0; ///< high-water mark of local allocation
+
+  // Parallel-loop occupancy profile (pooled Par/AtmPar executions).
+  uint64_t ParLoops = 0;       ///< parallel regions executed on the pool
+  uint64_t ParIters = 0;       ///< iterations executed inside them
+  uint64_t ParChunks = 0;      ///< work chunks executed
+  uint64_t ParSteals = 0;      ///< chunks obtained by work stealing
+  uint64_t ParBusyNanos = 0;   ///< summed per-chunk execution time
+  uint64_t ParThreadNanos = 0; ///< wall time x pool width (capacity)
+
+  /// Fraction of available thread-time spent executing parallel-loop
+  /// chunks (1.0 when no pooled loop has run).
+  double parOccupancy() const {
+    if (ParThreadNanos == 0)
+      return 1.0;
+    double F = double(ParBusyNanos) / double(ParThreadNanos);
+    return F > 1.0 ? 1.0 : F;
+  }
+
+  /// Folds a worker's counters into this one (post-join, sequential).
+  void merge(const ExecCounters &W) {
+    Stmts += W.Stmts;
+    DistOps += W.DistOps;
+    Atomics += W.Atomics;
+    LoopIters += W.LoopIters;
+    PeakLocalBytes += W.PeakLocalBytes; // workers allocate concurrently
+    ParLoops += W.ParLoops;
+    ParIters += W.ParIters;
+    ParChunks += W.ParChunks;
+    ParSteals += W.ParSteals;
+    ParBusyNanos += W.ParBusyNanos;
+    ParThreadNanos += W.ParThreadNanos;
+  }
 
   void reset() { *this = ExecCounters(); }
 };
@@ -58,7 +99,15 @@ public:
       auto It = Locals.find(Name);
       if (It != Locals.end()) {
         V = &It->second;
-      } else {
+      } else if (ParentLocals) {
+        // Worker interpreter: locals of the forking interpreter (e.g.
+        // sufficient-statistic buffers) are visible through stable map
+        // nodes; the parent map is not mutated while workers run.
+        auto PIt = ParentLocals->find(Name);
+        if (PIt != ParentLocals->end())
+          V = &PIt->second;
+      }
+      if (!V) {
         auto GIt = this->Globals->find(Name);
         if (GIt != this->Globals->end())
           V = &GIt->second;
@@ -66,6 +115,19 @@ public:
       ResolveCache.emplace(&Name, V);
       return V;
     };
+  }
+
+  /// Enables pooled execution of Par/AtmPar loops. With a pool attached
+  /// the interpreter switches to the parallel-mode semantics described
+  /// in DESIGN.md ("Parallel runtime"): each sampling loop iteration
+  /// draws from a counter-based stream keyed by (master draw,
+  /// iteration), so the samples are identical for any pool width;
+  /// AtmPar increments become atomic adds (floating-point reduction
+  /// order, and only it, may vary). Pass nullptr to restore the
+  /// sequential legacy stream.
+  void setParallel(ThreadPool *P, int64_t LoopGrain = 16) {
+    Pool = P;
+    Grain = LoopGrain < 1 ? 1 : LoopGrain;
   }
 
   /// Runs \p P to completion. Locals are freed on exit.
@@ -93,6 +155,16 @@ private:
   void execStmt(const LStmt &S);
   void execBody(const std::vector<LStmtPtr> &Body);
 
+  /// Runs one Par/AtmPar loop over the pool (parallel mode only).
+  void execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi);
+  /// Whether the loop body contains sampling statements (cached per
+  /// statement node; decides if a stream seed must be drawn).
+  bool bodySamples(const LStmt &S) const;
+  /// True when increments must use atomic read-modify-write (inside a
+  /// pooled AtmPar region).
+  bool atomicMode() const { return InParallelRegion && AtmParDepth > 0; }
+  void accumReal(double *Slot, double V) const;
+  void accumInt(int64_t *Slot, int64_t V) const;
 
   DV evalE(const ExprPtr &E) const;
   int64_t evalInt(const ExprPtr &E) const;
@@ -125,6 +197,18 @@ private:
   bool TrackAtomics = false;
   std::unordered_map<uintptr_t, uint64_t> AtomicHist;
   ExecCounters Counters;
+
+  // Parallel runtime state (see exec/Interp.cpp execParallelLoop).
+  ThreadPool *Pool = nullptr;      ///< root only; workers run sequentially
+  int64_t Grain = 16;
+  const Env *ParentLocals = nullptr; ///< worker: forking interp's locals
+  bool InParallelRegion = false;     ///< worker: executing a pooled loop
+  PhiloxRNG StreamRng;               ///< worker: per-iteration stream
+  std::vector<double> GradTmp;       ///< staging for atomic grad adds
+  mutable std::unordered_map<const LStmt *, bool> SamplingCache;
+  /// Lane-indexed worker interpreters, constructed lazily and reused
+  /// across regions (avoids rebuilding closures/maps every loop).
+  std::vector<std::unique_ptr<Interp>> WorkerInterps;
 };
 
 } // namespace augur

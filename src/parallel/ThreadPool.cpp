@@ -1,0 +1,189 @@
+//===- parallel/ThreadPool.cpp --------------------------------*- C++ -*-===//
+
+#include "parallel/ThreadPool.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace augur;
+
+thread_local int ThreadPool::CurrentWorker = -1;
+
+static uint64_t nowNanos() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+ThreadPool::ThreadPool(int NumThreads) {
+  if (NumThreads < 1)
+    NumThreads = 1;
+  Queues.reserve(size_t(NumThreads));
+  for (int I = 0; I < NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  // Lane 0 is the calling thread; lanes 1..N-1 are pool threads.
+  Threads.reserve(size_t(NumThreads - 1));
+  for (int I = 1; I < NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (auto &T : Threads)
+    T.join();
+}
+
+bool ThreadPool::takeChunk(int Worker, std::pair<int64_t, int64_t> &Out,
+                           bool &Stolen) {
+  // Own deque first, newest chunk (LIFO keeps the working set warm).
+  {
+    WorkerQueue &Q = *Queues[size_t(Worker)];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Chunks.empty()) {
+      Out = Q.Chunks.back();
+      Q.Chunks.pop_back();
+      Stolen = false;
+      return true;
+    }
+  }
+  // Steal oldest-first from the other deques.
+  int N = numThreads();
+  for (int Off = 1; Off < N; ++Off) {
+    WorkerQueue &Q = *Queues[size_t((Worker + Off) % N)];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Chunks.empty()) {
+      Out = Q.Chunks.front();
+      Q.Chunks.pop_front();
+      Stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::runRegion(int Worker) {
+  std::pair<int64_t, int64_t> Chunk;
+  bool Stolen = false;
+  while (takeChunk(Worker, Chunk, Stolen)) {
+    // Load the body only after holding a chunk: the chunk's region
+    // published its body before enqueuing it.
+    const auto *Fn = Body.load(std::memory_order_acquire);
+    if (Stolen)
+      Steals.fetch_add(1, std::memory_order_relaxed);
+    uint64_t T0 = nowNanos();
+    (*Fn)(Chunk.first, Chunk.second, Worker);
+    BusyNanos.fetch_add(nowNanos() - T0, std::memory_order_relaxed);
+    if (ChunksLeft.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk: wake the caller. Taking the mutex orders the wake
+      // after the caller's predicate check, so the signal cannot be
+      // lost.
+      std::lock_guard<std::mutex> Lock(M);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop(int Worker) {
+  CurrentWorker = Worker;
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCv.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+    }
+    runRegion(Worker);
+  }
+}
+
+ParForStats ThreadPool::parallelFor(
+    int64_t Lo, int64_t Hi, int64_t Grain,
+    const std::function<void(int64_t, int64_t, int)> &Body) {
+  ParForStats Stats;
+  if (Hi <= Lo)
+    return Stats;
+  if (Grain < 1)
+    Grain = 1;
+  uint64_t NumChunks = uint64_t((Hi - Lo + Grain - 1) / Grain);
+  uint64_t T0 = nowNanos();
+
+  // Inline execution: single-lane pool, a single chunk, or a nested
+  // call from inside a worker (its lane keeps servicing the body).
+  if (numThreads() == 1 || NumChunks == 1 || CurrentWorker >= 0) {
+    int Lane = CurrentWorker >= 0 ? CurrentWorker : 0;
+    for (int64_t B = Lo; B < Hi; B += Grain) {
+      int64_t E = B + Grain < Hi ? B + Grain : Hi;
+      Body(B, E, Lane);
+    }
+    Stats.Chunks = NumChunks;
+    Stats.WallNanos = nowNanos() - T0;
+    Stats.BusyNanos = Stats.WallNanos;
+    Stats.Inline = true;
+    return Stats;
+  }
+
+  assert(ChunksLeft.load() == 0 && "overlapping parallelFor regions");
+  // Publish region state strictly before the first chunk is visible.
+  Steals.store(0, std::memory_order_relaxed);
+  BusyNanos.store(0, std::memory_order_relaxed);
+  ChunksLeft.store(NumChunks, std::memory_order_release);
+  this->Body.store(&Body, std::memory_order_release);
+  // Deal chunks round-robin across the worker deques.
+  int N = numThreads();
+  {
+    int Lane = 0;
+    for (int64_t B = Lo; B < Hi; B += Grain) {
+      int64_t E = B + Grain < Hi ? B + Grain : Hi;
+      WorkerQueue &Q = *Queues[size_t(Lane)];
+      std::lock_guard<std::mutex> Lock(Q.M);
+      Q.Chunks.emplace_back(B, E);
+      Lane = (Lane + 1) % N;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Generation;
+  }
+  WorkCv.notify_all();
+
+  // The caller participates as lane 0, then waits for stragglers.
+  CurrentWorker = 0;
+  runRegion(0);
+  CurrentWorker = -1;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCv.wait(Lock, [&] {
+      return ChunksLeft.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  Stats.Chunks = NumChunks;
+  Stats.Steals = Steals.load(std::memory_order_relaxed);
+  Stats.BusyNanos = BusyNanos.load(std::memory_order_relaxed);
+  Stats.WallNanos = nowNanos() - T0;
+  return Stats;
+}
+
+ThreadPool &ThreadPool::global(int NumThreads) {
+  static std::unique_ptr<ThreadPool> Pool;
+  static std::mutex PoolM;
+  std::lock_guard<std::mutex> Lock(PoolM);
+  int Want = NumThreads;
+  if (Want <= 0) {
+    unsigned Hw = std::thread::hardware_concurrency();
+    Want = Hw == 0 ? 1 : int(Hw);
+  }
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Want);
+  else if (NumThreads > 0 && Pool->numThreads() != Want)
+    Pool = std::make_unique<ThreadPool>(Want);
+  return *Pool;
+}

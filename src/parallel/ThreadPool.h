@@ -1,0 +1,144 @@
+//===- parallel/ThreadPool.h - Work-stealing CPU runtime -------*- C++ -*-===//
+///
+/// \file
+/// The parallel CPU runtime: a work-stealing fork-join thread pool with
+/// a chunked parallelFor primitive. This is what actually executes the
+/// data-parallelism the Low++ IL exposes (paper Section 4.3): the
+/// interpreter maps `Par`/`AtmPar` loops onto parallelFor, the native C
+/// backend links an equivalent pthread pool into the emitted module,
+/// and the multi-chain runner schedules whole chains over it.
+///
+/// Scheduling: parallelFor splits [Lo, Hi) into grain-sized chunks and
+/// deals them round-robin onto per-worker deques. Each worker drains
+/// its own deque LIFO and steals FIFO from victims when empty, so load
+/// imbalance (e.g. ragged LDA documents) self-corrects. The calling
+/// thread participates as worker 0, and a parallelFor issued from
+/// inside a worker (nested parallelism, or a chain running on the pool)
+/// executes inline on that worker — the pool never deadlocks on
+/// nesting and never oversubscribes the machine.
+///
+/// Determinism contract: the pool itself guarantees only that `Body` is
+/// invoked exactly once per index. Bit-reproducibility across thread
+/// counts is achieved one level up by keying RNG streams per index
+/// (support/PhiloxRNG.h) and making writes either disjoint (Par) or
+/// atomic (AtmPar); see DESIGN.md "Parallel runtime".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_PARALLEL_THREADPOOL_H
+#define AUGUR_PARALLEL_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace augur {
+
+/// User-facing parallel execution options (surfaced through
+/// CompileOptions and the Infer API).
+struct ParallelConfig {
+  /// Worker count for within-chain parallelism; 0 means
+  /// hardware_concurrency, 1 disables the pool (sequential execution).
+  int NumThreads = 1;
+  /// Loop iterations per work chunk.
+  int64_t Grain = 16;
+  /// Independent chains for multi-chain sampling.
+  int Chains = 1;
+
+  int resolvedThreads() const {
+    if (NumThreads > 0)
+      return NumThreads;
+    unsigned Hw = std::thread::hardware_concurrency();
+    return Hw == 0 ? 1 : static_cast<int>(Hw);
+  }
+};
+
+/// Execution statistics of one parallelFor region (consumed by the
+/// interpreter's occupancy counters and the speedup bench).
+struct ParForStats {
+  uint64_t Chunks = 0;     ///< chunks executed
+  uint64_t Steals = 0;     ///< chunks taken from another worker's deque
+  uint64_t WallNanos = 0;  ///< region wall time
+  uint64_t BusyNanos = 0;  ///< sum of per-chunk execution time
+  bool Inline = false;     ///< ran inline (1 thread / nested / tiny range)
+
+  /// Fraction of the region's thread-seconds spent executing chunks.
+  double occupancy(int NumThreads) const {
+    if (WallNanos == 0 || NumThreads <= 0)
+      return 1.0;
+    double Frac = double(BusyNanos) / (double(WallNanos) * NumThreads);
+    return Frac > 1.0 ? 1.0 : Frac;
+  }
+};
+
+/// Fork-join work-stealing pool. NumThreads counts the calling thread:
+/// a pool of N spawns N-1 workers and the caller executes chunks too.
+class ThreadPool {
+public:
+  explicit ThreadPool(int NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  int numThreads() const { return int(Queues.size()); }
+
+  /// Runs Body(ChunkLo, ChunkHi, Worker) over grain-sized chunks of
+  /// [Lo, Hi). Worker identifies the executing lane in
+  /// [0, numThreads()) so callers can maintain per-worker state; every
+  /// concurrently-running Body invocation sees a distinct Worker.
+  /// Blocks until all chunks have finished. Re-entrant: calls from
+  /// inside a worker run inline on that worker's lane.
+  ParForStats parallelFor(int64_t Lo, int64_t Hi, int64_t Grain,
+                          const std::function<void(int64_t, int64_t, int)> &Body);
+
+  /// True when the calling thread is a pool lane (parallelFor would run
+  /// inline).
+  static bool inWorker() { return CurrentWorker >= 0; }
+
+  /// The process-wide pool, sized on first use from \p NumThreads
+  /// (0 = hardware_concurrency). Subsequent calls with a different
+  /// non-zero size rebuild the pool; call only from the main thread.
+  static ThreadPool &global(int NumThreads = 0);
+
+private:
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<std::pair<int64_t, int64_t>> Chunks;
+  };
+
+  void workerLoop(int Worker);
+  void runRegion(int Worker);
+  bool takeChunk(int Worker, std::pair<int64_t, int64_t> &Out, bool &Stolen);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex M;
+  std::condition_variable WorkCv, DoneCv;
+  uint64_t Generation = 0;
+  bool Stopping = false;
+
+  // Current region's body. Published (release) before any chunk of the
+  // region is enqueued and loaded (acquire) after a chunk is taken, so
+  // even a worker waking late from a previous region executes a chunk
+  // with the body it belongs to. Intentionally left dangling between
+  // regions: with no chunks queued it is never dereferenced.
+  std::atomic<const std::function<void(int64_t, int64_t, int)> *> Body{
+      nullptr};
+  std::atomic<uint64_t> ChunksLeft{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> BusyNanos{0};
+
+  static thread_local int CurrentWorker;
+};
+
+} // namespace augur
+
+#endif // AUGUR_PARALLEL_THREADPOOL_H

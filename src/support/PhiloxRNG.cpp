@@ -1,0 +1,67 @@
+//===- support/PhiloxRNG.cpp ----------------------------------*- C++ -*-===//
+
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+
+// Multiplier and Weyl constants from the Philox reference
+// implementation (Random123).
+static constexpr uint32_t PHILOX_M0 = 0xD2511F53u;
+static constexpr uint32_t PHILOX_M1 = 0xCD9E8D57u;
+static constexpr uint32_t PHILOX_W0 = 0x9E3779B9u;
+static constexpr uint32_t PHILOX_W1 = 0xBB67AE85u;
+
+PhiloxBlock augur::philox4x32(const uint32_t Ctr[4], const uint32_t Key[2]) {
+  uint32_t C0 = Ctr[0], C1 = Ctr[1], C2 = Ctr[2], C3 = Ctr[3];
+  uint32_t K0 = Key[0], K1 = Key[1];
+  for (int Round = 0; Round < 10; ++Round) {
+    if (Round > 0) {
+      K0 += PHILOX_W0;
+      K1 += PHILOX_W1;
+    }
+    uint64_t P0 = uint64_t(PHILOX_M0) * C0;
+    uint64_t P1 = uint64_t(PHILOX_M1) * C2;
+    uint32_t Hi0 = uint32_t(P0 >> 32), Lo0 = uint32_t(P0);
+    uint32_t Hi1 = uint32_t(P1 >> 32), Lo1 = uint32_t(P1);
+    uint32_t N0 = Hi1 ^ C1 ^ K0;
+    uint32_t N1 = Lo1;
+    uint32_t N2 = Hi0 ^ C3 ^ K1;
+    uint32_t N3 = Lo0;
+    C0 = N0;
+    C1 = N1;
+    C2 = N2;
+    C3 = N3;
+  }
+  return PhiloxBlock{{C0, C1, C2, C3}};
+}
+
+uint64_t augur::philoxMix(uint64_t Key, uint64_t Ctr) {
+  uint32_t K[2] = {uint32_t(Key), uint32_t(Key >> 32)};
+  uint32_t C[4] = {uint32_t(Ctr), uint32_t(Ctr >> 32), 0, 0};
+  PhiloxBlock B = philox4x32(C, K);
+  return uint64_t(B.W[0]) | (uint64_t(B.W[1]) << 32);
+}
+
+void PhiloxRNG::resetStream(uint64_t StreamSeed, uint64_t Iter) {
+  Key[0] = uint32_t(StreamSeed);
+  Key[1] = uint32_t(StreamSeed >> 32);
+  IterHalf[0] = uint32_t(Iter);
+  IterHalf[1] = uint32_t(Iter >> 32);
+  Draw = 0;
+  HasBuffered = false;
+  clearCachedGauss();
+}
+
+uint64_t PhiloxRNG::next() {
+  if (HasBuffered) {
+    HasBuffered = false;
+    return Buffered;
+  }
+  uint32_t Ctr[4] = {uint32_t(Draw), uint32_t(Draw >> 32), IterHalf[0],
+                     IterHalf[1]};
+  ++Draw;
+  PhiloxBlock B = philox4x32(Ctr, Key);
+  Buffered = uint64_t(B.W[2]) | (uint64_t(B.W[3]) << 32);
+  HasBuffered = true;
+  return uint64_t(B.W[0]) | (uint64_t(B.W[1]) << 32);
+}

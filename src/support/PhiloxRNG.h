@@ -1,0 +1,79 @@
+//===- support/PhiloxRNG.h - Counter-based splittable RNG -----*- C++ -*-===//
+///
+/// \file
+/// A Philox-4x32-10 counter-based generator (Salmon et al., "Parallel
+/// Random Numbers: As Easy as 1, 2, 3", SC'11). Unlike the stateful
+/// xoshiro generator in support/RNG.h, a counter-based generator is a
+/// pure function from (key, counter) to random bits, which makes it the
+/// right primitive for data-parallel execution: every loop iteration
+/// gets its own stream keyed by (stream seed, iteration), and the bits
+/// an iteration draws are independent of which thread runs it, how the
+/// range is chunked, or how many threads exist.
+///
+/// The parallel runtime keys streams hierarchically:
+///
+///   chain seed  = philoxMix(user seed, chain index)
+///   stream seed = one sequential draw from the chain's master RNG at
+///                 each parallel-loop entry (so it encodes chain and
+///                 sweep position), see exec/Interp
+///   counter     = (iteration, draw index within the iteration)
+///
+/// which realizes the (seed, chain, sweep, iter) keying scheme with a
+/// 64-bit key and a 128-bit counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SUPPORT_PHILOXRNG_H
+#define AUGUR_SUPPORT_PHILOXRNG_H
+
+#include <cstdint>
+
+#include "support/RNG.h"
+
+namespace augur {
+
+/// One Philox-4x32-10 block: encrypts the 128-bit counter \p Ctr under
+/// the 64-bit key \p Key into 128 random bits (validated against the
+/// Random123 known-answer vectors in the test suite).
+struct PhiloxBlock {
+  uint32_t W[4];
+};
+PhiloxBlock philox4x32(const uint32_t Ctr[4], const uint32_t Key[2]);
+
+/// One-block convenience hash: 64 bits of philox4x32 output for key
+/// \p Key and counter \p Ctr. Used to derive independent per-chain
+/// seeds from (user seed, chain index).
+uint64_t philoxMix(uint64_t Key, uint64_t Ctr);
+
+/// RNG whose raw 64-bit draws come from Philox-4x32-10 blocks. The
+/// distribution helpers (uniform/gauss/gamma/...) are inherited from
+/// RNG and consume bits through the virtual next(), so a PhiloxRNG can
+/// stand in anywhere an RNG is expected.
+class PhiloxRNG : public RNG {
+public:
+  /// Stream for iteration \p Iter of the parallel region keyed by
+  /// \p StreamSeed.
+  PhiloxRNG(uint64_t StreamSeed, uint64_t Iter) {
+    resetStream(StreamSeed, Iter);
+  }
+  PhiloxRNG() : PhiloxRNG(0, 0) {}
+
+  /// Re-keys the generator to (\p StreamSeed, \p Iter) and rewinds the
+  /// draw counter; cheap enough to call per loop iteration.
+  void resetStream(uint64_t StreamSeed, uint64_t Iter);
+
+  /// Raw 64-bit draw: the next unconsumed half of a Philox block, with
+  /// the draw index forming the low counter words.
+  uint64_t next() override;
+
+private:
+  uint32_t Key[2];
+  uint32_t IterHalf[2]; ///< counter words 2..3: the iteration index
+  uint64_t Draw = 0;    ///< blocks consumed within this stream
+  uint64_t Buffered = 0;
+  bool HasBuffered = false;
+};
+
+} // namespace augur
+
+#endif // AUGUR_SUPPORT_PHILOXRNG_H

@@ -17,15 +17,20 @@ namespace augur {
 /// xoshiro256++ generator with distribution helpers for the primitives the
 /// runtime needs (uniform, Gaussian, gamma). Richer distributions live in
 /// runtime/Distributions and are built from these.
+///
+/// next() is virtual so the counter-based generator the parallel
+/// runtime uses (support/PhiloxRNG.h) can substitute its own bit
+/// source while reusing every distribution helper.
 class RNG {
 public:
   explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+  virtual ~RNG() = default;
 
   /// Re-initializes the state from \p Seed via splitmix64.
   void reseed(uint64_t Seed);
 
   /// Returns the next raw 64-bit draw.
-  uint64_t next();
+  virtual uint64_t next();
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -50,6 +55,11 @@ public:
 
   /// Splits off an independently-seeded generator (for per-chain RNGs).
   RNG split();
+
+protected:
+  /// Drops any buffered Box-Muller second draw (derived generators must
+  /// call this when they re-key their stream).
+  void clearCachedGauss() { HasCachedGauss = false; }
 
 private:
   uint64_t State[4];
