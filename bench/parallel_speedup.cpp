@@ -20,6 +20,7 @@
 #include "../bench/BenchCommon.h"
 #include "exec/Engine.h"
 #include "support/Format.h"
+#include "telemetry/Telemetry.h"
 
 using namespace augur;
 using namespace augur::bench;
@@ -33,6 +34,9 @@ struct RunResult {
   double Occupancy = 1.0;
   double StealFraction = 0.0;
   uint64_t ParLoops = 0;
+  uint64_t ParIters = 0;
+  uint64_t ParChunks = 0;
+  uint64_t ParSteals = 0;
 };
 
 struct BenchRow {
@@ -54,22 +58,32 @@ RunResult runSweeps(const char *Model, const std::vector<Value> &Args,
     std::fprintf(stderr, "compile failed: %s\n", St.message().c_str());
     std::exit(1);
   }
-  auto *Eng = dynamic_cast<InterpEngine *>(&Aug.program().engine());
-  if (Eng)
-    Eng->counters().reset(); // profile the timed sweeps only
+  // Attach a bench-local telemetry recorder so the occupancy columns
+  // come from the unified metrics sink (the same keys AUGUR_TELEMETRY
+  // exports), profiling the timed sweeps only.
+  Recorder Rec;
+  TelemetryConfig TC;
+  TC.Enabled = true;
+  Rec.configure(TC);
+  Aug.program().engine().setTelemetry(&Rec, "exec/");
   Timer T;
   for (int I = 0; I < NumSweeps; ++I)
     if (!Aug.program().step().ok())
       std::exit(1);
   RunResult R;
   R.Seconds = T.seconds();
-  if (Eng) {
-    const ExecCounters &C = Eng->counters();
-    R.Occupancy = C.parOccupancy();
-    R.ParLoops = C.ParLoops;
-    R.StealFraction =
-        C.ParChunks ? double(C.ParSteals) / double(C.ParChunks) : 0.0;
+  R.ParLoops = Rec.counterValue("exec/par_loops");
+  R.ParIters = Rec.counterValue("exec/par_iters");
+  R.ParChunks = Rec.counterValue("exec/par_chunks");
+  R.ParSteals = Rec.counterValue("exec/par_steals");
+  uint64_t Busy = Rec.counterValue("exec/par_busy_nanos");
+  uint64_t Avail = Rec.counterValue("exec/par_thread_nanos");
+  if (Avail) {
+    double F = double(Busy) / double(Avail);
+    R.Occupancy = F > 1.0 ? 1.0 : F;
   }
+  R.StealFraction =
+      R.ParChunks ? double(R.ParSteals) / double(R.ParChunks) : 0.0;
   return R;
 }
 
@@ -154,10 +168,14 @@ int main() {
                  "    {\"model\": \"%s\", \"seq_seconds\": %.6f, "
                  "\"par_seconds\": %.6f, \"speedup\": %.4f, "
                  "\"occupancy\": %.4f, \"steal_fraction\": %.4f, "
-                 "\"par_loops\": %llu}%s\n",
+                 "\"par_loops\": %llu, \"par_iters\": %llu, "
+                 "\"par_chunks\": %llu, \"par_steals\": %llu}%s\n",
                  R.Name.c_str(), R.Seq.Seconds, R.Par.Seconds, Speedup,
                  R.Par.Occupancy, R.Par.StealFraction,
                  (unsigned long long)R.Par.ParLoops,
+                 (unsigned long long)R.Par.ParIters,
+                 (unsigned long long)R.Par.ParChunks,
+                 (unsigned long long)R.Par.ParSteals,
                  I + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ]\n}\n");

@@ -125,6 +125,25 @@ double MultiChainResult::ess(const std::string &Var, int64_t Elem) const {
   return Total;
 }
 
+const std::map<std::string, double> &
+MultiChainResult::acceptRates(int Chain) const {
+  assert(Chain >= 0 && size_t(Chain) < Chains.size() && "bad chain index");
+  return Chains[size_t(Chain)].AcceptRates;
+}
+
+double MultiChainResult::acceptRate(int Chain,
+                                    const std::string &UpdateName) const {
+  const auto &Rates = acceptRates(Chain);
+  auto It = Rates.find(UpdateName);
+  assert(It != Rates.end() && "unknown update name");
+  return It->second;
+}
+
+const std::vector<double> &MultiChainResult::logJoint(int Chain) const {
+  assert(Chain >= 0 && size_t(Chain) < Chains.size() && "bad chain index");
+  return Chains[size_t(Chain)].LogJoint;
+}
+
 double MultiChainResult::mean(const std::string &Var, int64_t Elem) const {
   double Sum = 0.0;
   size_t Count = 0;

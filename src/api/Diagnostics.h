@@ -45,6 +45,16 @@ struct MultiChainResult {
   double ess(const std::string &Var, int64_t Elem = 0) const;
   /// Pooled posterior mean across chains.
   double mean(const std::string &Var, int64_t Elem = 0) const;
+
+  /// Per-chain acceptance rates, keyed by update display name (e.g.
+  /// "HMC(mu)"). Complements ess()/rHat(): a chain that rejects every
+  /// proposal shows up here before it shows up as a bad R-hat.
+  const std::map<std::string, double> &acceptRates(int Chain) const;
+  /// Acceptance rate of one update on one chain (1.0 for Gibbs).
+  double acceptRate(int Chain, const std::string &UpdateName) const;
+  /// Per-chain log-joint trace over retained samples (nonzero when the
+  /// run used SampleOptions::TrackLogJoint).
+  const std::vector<double> &logJoint(int Chain) const;
 };
 
 /// Runs \p NumChains independent chains of the same model/options, each

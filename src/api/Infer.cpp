@@ -12,8 +12,10 @@ namespace {
 /// Sample collection over an already-initialized program (shared by
 /// single-chain sample() and the per-chain bodies of sampleChains).
 Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
-                                 const std::vector<std::string> &Record) {
+                                 const std::vector<std::string> &Record,
+                                 int ChainId = 0) {
   SampleSet Out;
+  Out.ChainId = ChainId;
   for (int B = 0; B < SO.BurnIn; ++B)
     AUGUR_RETURN_IF_ERROR(Prog.step());
   for (int S = 0; S < SO.NumSamples; ++S) {
@@ -28,6 +30,8 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
     }
     Out.LogJoint.push_back(SO.TrackLogJoint ? Prog.logJoint() : 0.0);
   }
+  for (const auto &CU : Prog.updates())
+    Out.AcceptRates[updateDisplayName(CU.U)] = CU.Stats.acceptRate();
   return Out;
 }
 
@@ -76,22 +80,30 @@ Result<std::vector<SampleSet>> Infer::sampleChains(const SampleOptions &SO) {
   for (int C = 0; C < NumChains; ++C) {
     CompileOptions ChainOpts = Opts;
     ChainOpts.Seed = philoxMix(Opts.Seed, uint64_t(C));
-    AUGUR_ASSIGN_OR_RETURN(
-        std::unique_ptr<MCMCProgram> P,
-        Compiler::compile(Source, ChainOpts, ChainArgs, ChainData));
-    AUGUR_RETURN_IF_ERROR(P->init());
-    Progs.push_back(std::move(P));
+    ChainOpts.ChainIndex = C;
+    Result<std::unique_ptr<MCMCProgram>> P =
+        Compiler::compile(Source, ChainOpts, ChainArgs, ChainData);
+    if (!P.ok())
+      return Status::error(
+          strFormat("chain %d: %s", C, P.message().c_str()));
+    Status Init = (*P)->init();
+    if (!Init.ok())
+      return Status::error(
+          strFormat("chain %d: %s", C, Init.message().c_str()));
+    Progs.push_back(P.take());
   }
 
   std::vector<SampleSet> Sets;
   Sets.resize(size_t(NumChains));
   std::vector<Status> ChainStatus(size_t(NumChains), Status::success());
   auto RunChain = [&](int64_t C) {
-    Result<SampleSet> R = collectSamples(*Progs[size_t(C)], SO, Record);
+    Result<SampleSet> R =
+        collectSamples(*Progs[size_t(C)], SO, Record, int(C));
     if (R.ok())
       Sets[size_t(C)] = R.take();
     else
-      ChainStatus[size_t(C)] = R.status();
+      ChainStatus[size_t(C)] = Status::error(strFormat(
+          "chain %d: %s", int(C), R.message().c_str()));
   };
   if (Opts.Par.NumThreads != 1 && NumChains > 1) {
     // Whole chains are the outer parallel dimension; Par/AtmPar loops

@@ -31,6 +31,11 @@ namespace augur {
 struct SampleSet {
   std::map<std::string, std::vector<Value>> Draws;
   std::vector<double> LogJoint; ///< log joint per retained sample
+  /// Which chain produced this set (0 for single-chain sample()).
+  int ChainId = 0;
+  /// Final acceptance rate per base update, keyed by the update's
+  /// display name (e.g. "HMC(mu)"); filled after collection.
+  std::map<std::string, double> AcceptRates;
 
   size_t size() const { return LogJoint.size(); }
 

@@ -108,6 +108,28 @@ static inline double augur_dirichlet_ll(const double *a, i64 n,
 }
 )c";
 
+/// The telemetry side of the emitted module: a fixed counter table
+/// mirroring the interpreter's parallel-loop occupancy profile, read
+/// back (and reset) by the host engine through the exported
+/// augur_get_profile. Slots: 0 par_loops, 1 par_iters, 2 par_chunks,
+/// 3 par_steals (always 0 — the shared-cursor pool has no steal
+/// distinction), 4 par_busy_nanos, 5 par_thread_nanos. Emitted into
+/// every module so the host can query one uniform schema; a sequential
+/// module simply reports zeros.
+const char *ProfilePrelude = R"c(
+#include <time.h>
+static i64 augur_prof[6];
+static inline i64 augur_now_nanos(void) {
+  struct timespec augur_ts;
+  clock_gettime(CLOCK_MONOTONIC, &augur_ts);
+  return (i64)augur_ts.tv_sec * 1000000000 + (i64)augur_ts.tv_nsec;
+}
+void augur_get_profile(i64 *out) {
+  for (int i = 0; i < 6; ++i)
+    out[i] = __atomic_exchange_n(&augur_prof[i], 0, __ATOMIC_RELAXED);
+}
+)c";
+
 /// The pthread-backed pool linked into parallel modules: the C-side
 /// mirror of parallel/ThreadPool. Workers claim grain-sized chunks off
 /// an atomic cursor; the caller participates and then waits on the
@@ -137,7 +159,11 @@ static void augur_run_chunks(void) {
     if (b >= augur_pool.hi) return;
     i64 e = b + augur_pool.chunk;
     if (e > augur_pool.hi) e = augur_pool.hi;
+    i64 c0 = augur_now_nanos();
     augur_pool.fn(augur_pool.env, b, e);
+    __atomic_fetch_add(&augur_prof[2], 1, __ATOMIC_RELAXED);
+    __atomic_fetch_add(&augur_prof[4], augur_now_nanos() - c0,
+                       __ATOMIC_RELAXED);
   }
 }
 static void *augur_pool_worker(void *arg) {
@@ -163,9 +189,16 @@ void augur_set_threads(i64 n, i64 grain) {
 }
 static void augur_parallel_for(i64 lo, i64 hi, augur_loop_fn fn, void *env) {
   if (hi <= lo) return;
+  i64 t0 = augur_now_nanos();
+  __atomic_fetch_add(&augur_prof[0], 1, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&augur_prof[1], hi - lo, __ATOMIC_RELAXED);
   i64 want = augur_num_threads - 1;
   if (want <= 0 || hi - lo <= augur_grain) {
     fn(env, lo, hi);
+    i64 wall = augur_now_nanos() - t0;
+    __atomic_fetch_add(&augur_prof[2], 1, __ATOMIC_RELAXED);
+    __atomic_fetch_add(&augur_prof[4], wall, __ATOMIC_RELAXED);
+    __atomic_fetch_add(&augur_prof[5], wall, __ATOMIC_RELAXED);
     return;
   }
   while (augur_pool.started < want) {
@@ -189,6 +222,9 @@ static void augur_parallel_for(i64 lo, i64 hi, augur_loop_fn fn, void *env) {
   while (augur_pool.active != 0)
     pthread_cond_wait(&augur_pool.done_cv, &augur_pool.m);
   pthread_mutex_unlock(&augur_pool.m);
+  __atomic_fetch_add(&augur_prof[5],
+                     (augur_now_nanos() - t0) * (augur_pool.started + 1),
+                     __ATOMIC_RELAXED);
 }
 static inline void augur_atomic_add_f64(double *p, double v) {
   unsigned long long *ip = (unsigned long long *)p;
@@ -226,6 +262,7 @@ public:
     M.Fields = Fields;
     M.Parallel = Parallel;
     M.Source = RuntimePrelude;
+    M.Source += ProfilePrelude;
     if (Parallel)
       M.Source += ParallelPrelude;
     M.Source += "\ntypedef struct {\n";

@@ -42,6 +42,11 @@ NativeEngine::getOrCompile(const std::string &Name) {
       env()[Out] = Value::realScalar(0.0);
   }
 
+  // The lazy Low-- / C-emission / host-cc phase of the pipeline; spans
+  // land next to the eager compile/* phases in the trace.
+  ScopedSpan CgenSpan(Recorder::global(), "compile/cgen/" + Name,
+                      "compile");
+
   CEmitOptions EmitOpts;
   EmitOpts.NumThreads = Par.NumThreads == 1 ? 1 : Par.resolvedThreads();
   EmitOpts.Grain = Par.Grain;
@@ -50,6 +55,7 @@ NativeEngine::getOrCompile(const std::string &Name) {
     NP.Reason = Mod.message();
     return Compiled.emplace(Name, std::move(NP)).first->second;
   }
+  CgenSpan.arg("source_bytes", double(Mod->Source.size()));
 
   char Dir[] = "/tmp/augur_native_XXXXXX";
   if (!mkdtemp(Dir)) {
@@ -94,6 +100,9 @@ NativeEngine::getOrCompile(const std::string &Name) {
             dlsym(NP.Handle, "augur_set_threads")))
       Set(Par.resolvedThreads(), Par.Grain);
   }
+  if (NP.Handle)
+    NP.Profile = reinterpret_cast<NativeProc::ProfFnTy>(
+        dlsym(NP.Handle, "augur_get_profile"));
   NP.Fields = Mod->Fields;
   return Compiled.emplace(Name, std::move(NP)).first->second;
 }
@@ -151,4 +160,21 @@ void NativeEngine::runProc(const std::string &Name) {
   std::vector<char> Frame;
   buildFrame(NP, Frame);
   NP.Entry(Frame.data());
+
+  // Fold the module's occupancy profile into the attached recorder
+  // under the same keys the interpreter records, so a native run
+  // exports the exact interpreter schema. Only nonzero slots are
+  // folded: a sequential module reports zeros, matching the
+  // interpreter's silence for sequential execution.
+  Recorder *T = telemetry();
+  if (NP.Profile && T && T->enabled()) {
+    long long Prof[6] = {0, 0, 0, 0, 0, 0};
+    NP.Profile(Prof);
+    const ExecTelemetryKeys &K = telemetryKeys();
+    const std::string *Keys[6] = {&K.Loops, &K.Iters,  &K.Chunks,
+                                  &K.Steals, &K.Busy, &K.Thread};
+    for (int I = 0; I < 6; ++I)
+      if (Prof[I] > 0)
+        T->count(*Keys[I], uint64_t(Prof[I]));
+  }
 }

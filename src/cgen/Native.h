@@ -53,7 +53,11 @@ public:
 private:
   struct NativeProc {
     using FnTy = void (*)(void *);
+    /// Reads and resets the module's augur_prof table (6 slots; see
+    /// cgen/CEmit.cpp ProfilePrelude for the layout).
+    using ProfFnTy = void (*)(long long *);
     FnTy Entry = nullptr;
+    ProfFnTy Profile = nullptr;
     std::vector<FrameField> Fields;
     void *Handle = nullptr;
     std::string Reason; ///< fallback reason if Entry is null

@@ -17,8 +17,22 @@ Status MCMCProgram::step() {
   McmcCtx Ctx;
   Ctx.Eng = Eng.get();
   Ctx.DM = &DM;
+  Ctx.Telem = &Recorder::global();
   for (auto &CU : Updates)
     AUGUR_RETURN_IF_ERROR(runBaseUpdate(Ctx, CU));
+  Recorder &R = Recorder::global();
+  if (R.enabled() && !SweepLJKey.empty()) {
+    R.count(SweepCountKey);
+    // Running log-joint, once per sweep: one extra likelihood run that
+    // never consumes RNG. Gated off the GpuSim target so the modeled
+    // device-time accounting is unchanged by telemetry.
+    if (R.config().SweepLogJoint &&
+        Opts.Tgt == CompileOptions::Target::Cpu) {
+      double LJ = logJoint();
+      R.observe(SweepLJKey, LJ);
+      R.gauge(SweepLJKey, LJ);
+    }
+  }
   return Status::success();
 }
 
@@ -99,6 +113,12 @@ Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
 Result<std::unique_ptr<MCMCProgram>>
 Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
                   const std::vector<Value> &HyperArgs, const Env &Data) {
+  ensureGlobalTelemetry(Opts.Telemetry);
+  Recorder &Rec = Recorder::global();
+  ScopedSpan TotalSpan(Rec, "compile/total", "compile");
+
+  // Frontend: parse + typecheck against the concrete argument types.
+  uint64_t PhaseT0 = Recorder::nowNanos();
   AUGUR_ASSIGN_OR_RETURN(Model M, parseModel(ModelSrc));
   if (HyperArgs.size() != M.Hypers.size())
     return Status::error(strFormat(
@@ -107,19 +127,39 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   std::map<std::string, Type> HyperTypes;
   for (size_t I = 0; I < HyperArgs.size(); ++I)
     HyperTypes.emplace(M.Hypers[I], HyperArgs[I].type());
+  size_t NumDecls = M.Decls.size();
   AUGUR_ASSIGN_OR_RETURN(TypedModel TM,
                          typeCheck(std::move(M), HyperTypes));
+  if (Rec.enabled()) {
+    Rec.span("compile/frontend", "compile", PhaseT0, Recorder::nowNanos(),
+             {{"decls", double(NumDecls)}});
+    Rec.count("compile/ir/decls", NumDecls);
+  }
 
   auto Prog = std::make_unique<MCMCProgram>();
   Prog->Opts = Opts;
+
+  // Density IL: the model as a product of log-density factors.
+  PhaseT0 = Recorder::nowNanos();
   Prog->DM = lowerToDensity(std::move(TM));
+  if (Rec.enabled()) {
+    Rec.span("compile/density", "compile", PhaseT0, Recorder::nowNanos(),
+             {{"factors", double(Prog->DM.Joint.Factors.size())}});
+    Rec.count("compile/ir/factors", Prog->DM.Joint.Factors.size());
+  }
 
   // Kernel IL: user schedule or the selection heuristic.
+  PhaseT0 = Recorder::nowNanos();
   if (!Opts.UserSchedule.empty()) {
     AUGUR_ASSIGN_OR_RETURN(
         Prog->Sched, parseUserSchedule(Prog->DM, Opts.UserSchedule));
   } else {
     AUGUR_ASSIGN_OR_RETURN(Prog->Sched, heuristicSchedule(Prog->DM));
+  }
+  if (Rec.enabled()) {
+    Rec.span("compile/kernel", "compile", PhaseT0, Recorder::nowNanos(),
+             {{"updates", double(Prog->Sched.Updates.size())}});
+    Rec.count("compile/ir/updates", Prog->Sched.Updates.size());
   }
 
   // Execution engine and initial environment.
@@ -133,6 +173,10 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   if (Opts.Tgt == CompileOptions::Target::Cpu && Opts.Par.NumThreads != 1)
     Prog->Eng->setParallel(&ThreadPool::global(Opts.Par.resolvedThreads()),
                            Opts.Par);
+  std::string ChainPrefix = strFormat("chain%d/", Opts.ChainIndex);
+  Prog->Eng->setTelemetry(&Rec, ChainPrefix + "exec/");
+  Prog->SweepLJKey = ChainPrefix + "sweep/log_joint";
+  Prog->SweepCountKey = ChainPrefix + "sweep/count";
   Env &E = Prog->Eng->env();
   const Model &Parsed = Prog->DM.TM.M;
   for (size_t I = 0; I < HyperArgs.size(); ++I)
@@ -150,16 +194,26 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
           strFormat("missing data for '%s'", Name.c_str()));
 
   // Lower every base update to Low++ and register the procedures.
+  PhaseT0 = Recorder::nowNanos();
   int Index = 0;
+  size_t NumProcs = 1; // ll_joint
   for (const auto &U : Prog->Sched.Updates) {
     AUGUR_ASSIGN_OR_RETURN(
         CompiledUpdate CU,
         compileUpdate(Prog->DM, U, Opts, *Prog->Eng, Index++));
+    CU.Keys.build(ChainPrefix, CU.U);
+    NumProcs += (CU.GibbsProc.empty() ? 0 : 1) +
+                (CU.LLProc.empty() ? 0 : 1) + (CU.GradProc.empty() ? 0 : 1);
     Prog->Updates.push_back(std::move(CU));
   }
 
   // Whole-model likelihood for diagnostics and acceptance checks.
   Prog->Eng->addProc(genLikelihoodProc("ll_joint", Prog->DM.Joint.Factors,
                                        "ll_ll_joint"));
+  if (Rec.enabled()) {
+    Rec.span("compile/lowpp", "compile", PhaseT0, Recorder::nowNanos(),
+             {{"procs", double(NumProcs)}});
+    Rec.count("compile/ir/procs", NumProcs);
+  }
   return Prog;
 }

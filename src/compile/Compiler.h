@@ -22,6 +22,7 @@
 #include "lang/Parser.h"
 #include "mcmc/Drivers.h"
 #include "parallel/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 namespace augur {
 
@@ -51,6 +52,14 @@ struct CompileOptions {
   /// work-stealing pool with per-iteration RNG streams, making samples
   /// independent of the pool width.
   ParallelConfig Par;
+  /// Inference telemetry (DESIGN.md "Telemetry"). Disabled by default;
+  /// the env var AUGUR_TELEMETRY=1 force-enables regardless of this
+  /// field. Telemetry never consumes RNG, so enabling it leaves the
+  /// sample stream bit-identical.
+  TelemetryConfig Telemetry;
+  /// Which chain this program belongs to; prefixes all runtime metric
+  /// keys ("chain<k>/...") and error messages from multi-chain runs.
+  int ChainIndex = 0;
 };
 
 /// A compiled, executable composite MCMC algorithm.
@@ -81,6 +90,8 @@ private:
   KernelSchedule Sched;
   std::vector<CompiledUpdate> Updates;
   CompileOptions Opts;
+  std::string SweepLJKey;    ///< "chain<k>/sweep/log_joint"
+  std::string SweepCountKey; ///< "chain<k>/sweep/count"
 };
 
 /// The compiler entry point.

@@ -44,6 +44,13 @@ public:
     (void)Pool;
     (void)Cfg;
   }
+
+  /// Attaches a telemetry sink for execution-layer metrics, recorded
+  /// under `<Prefix>...` keys (e.g. "chain0/exec/"). Default no-op.
+  virtual void setTelemetry(Recorder *R, const std::string &Prefix) {
+    (void)R;
+    (void)Prefix;
+  }
 };
 
 /// CPU engine: direct Low++ interpretation.
@@ -61,11 +68,16 @@ public:
   void setParallel(ThreadPool *Pool, const ParallelConfig &Cfg) override {
     I.setParallel(Pool, Cfg.Grain);
   }
+  void setTelemetry(Recorder *R, const std::string &Prefix) override {
+    I.setTelemetry(R, Prefix);
+  }
 
   const LowppProc &proc(const std::string &Name) const {
     return Procs.at(Name);
   }
   ExecCounters &counters() { return I.counters(); }
+  Recorder *telemetry() const { return I.telemetry(); }
+  const ExecTelemetryKeys &telemetryKeys() const { return I.telemetryKeys(); }
 
 private:
   Env Globals;

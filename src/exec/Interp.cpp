@@ -198,13 +198,15 @@ void Interp::execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi) {
     for (const auto &[Addr, Count] : W.AtomicHist)
       AtomicHist[Addr] += Count;
   }
-  ++Counters.ParLoops;
-  Counters.ParIters += uint64_t(Hi - Lo);
-  Counters.ParChunks += St.Chunks;
-  Counters.ParSteals += St.Steals;
-  Counters.ParBusyNanos += St.BusyNanos;
-  Counters.ParThreadNanos +=
-      St.WallNanos * uint64_t(St.Inline ? 1 : Pool->numThreads());
+  if (Telem && Telem->enabled()) {
+    Telem->count(TelemKeys.Loops);
+    Telem->count(TelemKeys.Iters, uint64_t(Hi - Lo));
+    Telem->count(TelemKeys.Chunks, St.Chunks);
+    Telem->count(TelemKeys.Steals, St.Steals);
+    Telem->count(TelemKeys.Busy, St.BusyNanos);
+    Telem->count(TelemKeys.Thread,
+                 St.WallNanos * uint64_t(St.Inline ? 1 : Pool->numThreads()));
+  }
 }
 
 MutDV Interp::resolveDest(const LValue &Dest) {

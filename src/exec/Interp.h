@@ -27,6 +27,7 @@
 #include "parallel/ThreadPool.h"
 #include "support/PhiloxRNG.h"
 #include "support/RNG.h"
+#include "telemetry/Telemetry.h"
 
 namespace augur {
 
@@ -44,23 +45,6 @@ struct ExecCounters {
   int64_t LocalBytes = 0;   ///< current local allocation
   int64_t PeakLocalBytes = 0; ///< high-water mark of local allocation
 
-  // Parallel-loop occupancy profile (pooled Par/AtmPar executions).
-  uint64_t ParLoops = 0;       ///< parallel regions executed on the pool
-  uint64_t ParIters = 0;       ///< iterations executed inside them
-  uint64_t ParChunks = 0;      ///< work chunks executed
-  uint64_t ParSteals = 0;      ///< chunks obtained by work stealing
-  uint64_t ParBusyNanos = 0;   ///< summed per-chunk execution time
-  uint64_t ParThreadNanos = 0; ///< wall time x pool width (capacity)
-
-  /// Fraction of available thread-time spent executing parallel-loop
-  /// chunks (1.0 when no pooled loop has run).
-  double parOccupancy() const {
-    if (ParThreadNanos == 0)
-      return 1.0;
-    double F = double(ParBusyNanos) / double(ParThreadNanos);
-    return F > 1.0 ? 1.0 : F;
-  }
-
   /// Folds a worker's counters into this one (post-join, sequential).
   void merge(const ExecCounters &W) {
     Stmts += W.Stmts;
@@ -68,15 +52,31 @@ struct ExecCounters {
     Atomics += W.Atomics;
     LoopIters += W.LoopIters;
     PeakLocalBytes += W.PeakLocalBytes; // workers allocate concurrently
-    ParLoops += W.ParLoops;
-    ParIters += W.ParIters;
-    ParChunks += W.ParChunks;
-    ParSteals += W.ParSteals;
-    ParBusyNanos += W.ParBusyNanos;
-    ParThreadNanos += W.ParThreadNanos;
   }
 
   void reset() { *this = ExecCounters(); }
+};
+
+/// Prebuilt metric keys for the parallel-loop occupancy profile, so the
+/// pooled-loop epilogue records without per-region string allocation.
+/// The same key names are folded from the emitted-C `augur_prof` table
+/// (cgen/Native.cpp), keeping the two backends' schemas identical.
+struct ExecTelemetryKeys {
+  std::string Loops;   ///< "<prefix>par_loops"
+  std::string Iters;   ///< "<prefix>par_iters"
+  std::string Chunks;  ///< "<prefix>par_chunks"
+  std::string Steals;  ///< "<prefix>par_steals"
+  std::string Busy;    ///< "<prefix>par_busy_nanos"
+  std::string Thread;  ///< "<prefix>par_thread_nanos"
+
+  void build(const std::string &Prefix) {
+    Loops = Prefix + "par_loops";
+    Iters = Prefix + "par_iters";
+    Chunks = Prefix + "par_chunks";
+    Steals = Prefix + "par_steals";
+    Busy = Prefix + "par_busy_nanos";
+    Thread = Prefix + "par_thread_nanos";
+  }
 };
 
 /// Executes Low++ procedures against a global environment. Globals are
@@ -129,6 +129,19 @@ public:
     Pool = P;
     Grain = LoopGrain < 1 ? 1 : LoopGrain;
   }
+
+  /// Attaches a telemetry sink: each pooled Par/AtmPar region records
+  /// its occupancy profile (loops, iters, chunks, steals, busy and
+  /// available thread-time) under `<Prefix>par_*`. Recording is gated
+  /// on \p R being enabled, so an attached-but-disabled recorder costs
+  /// one relaxed load per region. Pass nullptr to detach.
+  void setTelemetry(Recorder *R, const std::string &Prefix) {
+    Telem = R;
+    if (R)
+      TelemKeys.build(Prefix);
+  }
+  Recorder *telemetry() const { return Telem; }
+  const ExecTelemetryKeys &telemetryKeys() const { return TelemKeys; }
 
   /// Runs \p P to completion. Locals are freed on exit.
   void run(const LowppProc &P);
@@ -201,6 +214,8 @@ private:
   // Parallel runtime state (see exec/Interp.cpp execParallelLoop).
   ThreadPool *Pool = nullptr;      ///< root only; workers run sequentially
   int64_t Grain = 16;
+  Recorder *Telem = nullptr;       ///< occupancy-profile sink (optional)
+  ExecTelemetryKeys TelemKeys;
   const Env *ParentLocals = nullptr; ///< worker: forking interp's locals
   bool InParallelRegion = false;     ///< worker: executing a pooled loop
   PhiloxRNG StreamRng;               ///< worker: per-iteration stream

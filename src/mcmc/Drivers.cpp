@@ -10,6 +10,28 @@
 
 using namespace augur;
 
+std::string augur::updateDisplayName(const BaseUpdate &U) {
+  std::string Name = updateKindName(U.Kind);
+  Name += "(";
+  for (size_t I = 0; I < U.Vars.size(); ++I) {
+    if (I)
+      Name += ",";
+    Name += U.Vars[I];
+  }
+  Name += ")";
+  return Name;
+}
+
+namespace {
+
+/// The attached-and-enabled metrics sink, or nullptr (the one branch
+/// every driver pays when telemetry is off).
+Recorder *telem(const McmcCtx &Ctx) {
+  return Ctx.Telem && Ctx.Telem->enabled() ? Ctx.Telem : nullptr;
+}
+
+} // namespace
+
 void augur::zeroAdjBuffers(Env &E, const std::vector<std::string> &Vars) {
   for (const auto &V : Vars) {
     std::string Name = "adj_" + V;
@@ -111,6 +133,15 @@ Status augur::runHmc(McmcCtx &Ctx, CompiledUpdate &CU) {
 
   ++CU.Stats.Proposed;
   double LogAR = (LL1 - Kin1) - (LL0 - Kin0);
+  if (Recorder *T = telem(Ctx)) {
+    double GNorm = 0.0;
+    for (double X : G)
+      GNorm += X * X;
+    T->observe(CU.Keys.GradNorm, std::sqrt(GNorm));
+    // A non-finite trajectory is the standard HMC divergence signal.
+    if (!std::isfinite(LogAR))
+      T->count(CU.Keys.Divergences);
+  }
   if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
     ++CU.Stats.Accepted;
     return Status::success();
@@ -129,6 +160,7 @@ struct NutsCtx {
   const FlatPacker *P;
   double Eps;
   double LogU;
+  uint64_t Divergences = 0; ///< leaves with a non-finite log joint
 
   /// log density (with Jacobian) at \p U; also refreshes the gradient.
   double eval(const std::vector<double> &U, std::vector<double> &G) {
@@ -192,6 +224,8 @@ NutsTree buildTree(NutsCtx &NC, const std::vector<double> &U,
     T.RPlus = T.RMinus;
     T.UProp = T.UMinus;
     T.N = NC.LogU <= LogJoint ? 1 : 0;
+    if (!std::isfinite(LogJoint))
+      ++NC.Divergences;
     T.Keep = std::isfinite(LogJoint) && NC.LogU < LogJoint + DeltaMax;
     return T;
   }
@@ -273,6 +307,14 @@ Status augur::runNuts(McmcCtx &Ctx, CompiledUpdate &CU) {
   }
 
   ++CU.Stats.Proposed;
+  if (Recorder *T = telem(Ctx)) {
+    double GNorm = 0.0;
+    for (double X : G)
+      GNorm += X * X;
+    T->observe(CU.Keys.GradNorm, std::sqrt(GNorm));
+    if (NC.Divergences)
+      T->count(CU.Keys.Divergences, NC.Divergences);
+  }
   bool Moved = UCur != U0;
   if (Moved)
     ++CU.Stats.Accepted;
@@ -304,12 +346,14 @@ Status augur::runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
 
   // Take fixed-size steps, reflecting in the gradient direction when
   // the trajectory falls below the slice (Neal 2003, reflective slice).
+  uint64_t Reflections = 0;
   for (int Step = 0; Step < S.LeapfrogSteps; ++Step) {
     for (size_t I = 0; I < U.size(); ++I)
       U[I] += S.StepSize * Mom[I];
     P.unpack(U, E);
     double LL = evalLL(Ctx, CU) + P.logAbsJacobian(U);
     if (LL < Level) {
+      ++Reflections;
       std::vector<double> G = evalGrad(Ctx, CU, P, U);
       double GG = 0.0, MG = 0.0;
       for (size_t I = 0; I < U.size(); ++I) {
@@ -325,6 +369,9 @@ Status augur::runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
   P.unpack(U, E);
   double LLFinal = evalLL(Ctx, CU) + P.logAbsJacobian(U);
   ++CU.Stats.Proposed;
+  if (Recorder *T = telem(Ctx))
+    if (Reflections)
+      T->count(CU.Keys.SliceShrinks, Reflections);
   if (std::isfinite(LLFinal) && LLFinal >= Level) {
     ++CU.Stats.Accepted;
     return Status::success();
@@ -419,6 +466,9 @@ Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
     double LL = evalLL(Ctx, CU);
     if (std::isfinite(LL) && LL > Level) {
       ++CU.Stats.Accepted;
+      if (Recorder *T = telem(Ctx))
+        if (Iter)
+          T->count(CU.Keys.SliceShrinks, uint64_t(Iter));
       return Status::success();
     }
     // Shrink the bracket toward theta = 0 and retry.
@@ -430,6 +480,8 @@ Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
   }
   // Shrinkage failed to find a point (numerically pathological);
   // restore the current state.
+  if (Recorder *T = telem(Ctx))
+    T->count(CU.Keys.SliceShrinks, 64);
   E[Var] = std::move(Cur);
   return Status::success();
 }
@@ -459,7 +511,9 @@ Status augur::runRandomWalkMh(McmcCtx &Ctx, CompiledUpdate &CU) {
   return Status::success();
 }
 
-Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
+namespace {
+
+Status dispatchUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
   switch (CU.U.Kind) {
   case UpdateKind::FC:
     return runGibbs(Ctx, CU);
@@ -475,4 +529,27 @@ Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
     return runRandomWalkMh(Ctx, CU);
   }
   return Status::error("unknown update kind");
+}
+
+} // namespace
+
+Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
+  Recorder *T = telem(Ctx);
+  if (!T)
+    return dispatchUpdate(Ctx, CU);
+  // Per-kernel metrics: one span per execution plus the counters the
+  // exporter turns into acceptance rates. Keys are prebuilt, and none
+  // of this consumes RNG, so samples are unchanged by telemetry.
+  uint64_t Proposed0 = CU.Stats.Proposed;
+  uint64_t Accepted0 = CU.Stats.Accepted;
+  uint64_t Start = Recorder::nowNanos();
+  Status St = dispatchUpdate(Ctx, CU);
+  uint64_t End = Recorder::nowNanos();
+  T->span(CU.Keys.SpanName, "update", Start, End);
+  T->count(CU.Keys.TimeNanos, End - Start);
+  // Zero deltas still materialize the key, so the accept_rate pair is
+  // always derivable and both backends export the same key set.
+  T->count(CU.Keys.Proposed, CU.Stats.Proposed - Proposed0);
+  T->count(CU.Keys.Accepted, CU.Stats.Accepted - Accepted0);
+  return St;
 }

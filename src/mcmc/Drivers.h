@@ -20,6 +20,7 @@
 #include "exec/Engine.h"
 #include "kernel/KernelIR.h"
 #include "mcmc/Pack.h"
+#include "telemetry/Telemetry.h"
 
 namespace augur {
 
@@ -33,6 +34,34 @@ struct UpdateStats {
   }
 };
 
+/// Human-readable identity of a base update, e.g. "HMC(mu,sigma)" —
+/// the per-kernel label used by telemetry keys and per-chain stats.
+std::string updateDisplayName(const BaseUpdate &U);
+
+/// Prebuilt telemetry keys for one base update (built once at compile
+/// time so the per-update hot path never allocates key strings). All
+/// keys share the prefix "chain<k>/update/<display-name>/".
+struct UpdateTelemetryKeys {
+  std::string SpanName;    ///< "chain<k>/update/<display>" (trace span)
+  std::string Proposed;    ///< ".../proposed"
+  std::string Accepted;    ///< ".../accepted"
+  std::string TimeNanos;   ///< ".../time_ns"
+  std::string SliceShrinks;///< ".../slice_shrinks" (slice kinds)
+  std::string Divergences; ///< ".../divergences" (HMC/NUTS)
+  std::string GradNorm;    ///< ".../grad_norm" histogram (HMC/NUTS)
+
+  void build(const std::string &ChainPrefix, const BaseUpdate &U) {
+    SpanName = ChainPrefix + "update/" + updateDisplayName(U);
+    std::string Base = SpanName + "/";
+    Proposed = Base + "proposed";
+    Accepted = Base + "accepted";
+    TimeNanos = Base + "time_ns";
+    SliceShrinks = Base + "slice_shrinks";
+    Divergences = Base + "divergences";
+    GradNorm = Base + "grad_norm";
+  }
+};
+
 /// A base update with its compiled procedures attached (the backend
 /// instantiation of the Kernel IL's alpha parameter).
 struct CompiledUpdate {
@@ -42,6 +71,7 @@ struct CompiledUpdate {
   std::string GradProc;   ///< Grad/Slice: adjoint procedure
   std::vector<VarTransform> Transforms; ///< parallel to U.Vars
   UpdateStats Stats;
+  UpdateTelemetryKeys Keys;
 };
 
 /// Zeroes (allocating on first use) the adjoint buffer adj_<var> for
@@ -52,6 +82,9 @@ void zeroAdjBuffers(Env &E, const std::vector<std::string> &Vars);
 struct McmcCtx {
   Engine *Eng = nullptr;
   const DensityModel *DM = nullptr;
+  /// Optional metrics sink; drivers record per-update statistics only
+  /// while it is attached and enabled (and never consume RNG for it).
+  Recorder *Telem = nullptr;
 };
 
 /// Runs one base update (dispatching on its kind), preserving the

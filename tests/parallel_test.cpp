@@ -404,6 +404,8 @@ TEST(ParallelInterp, SamplingIsDeterministicForFixedConfig) {
 }
 
 TEST(ParallelCounters, OccupancyProfileIsPopulated) {
+  // The occupancy profile lives on the telemetry Recorder (one metrics
+  // sink for every layer) rather than bespoke ExecCounters fields.
   const int64_t N = 2000;
   ThreadPool Pool(4);
   Env E;
@@ -412,28 +414,53 @@ TEST(ParallelCounters, OccupancyProfileIsPopulated) {
   RNG Rng(5);
   Interp I(E, Rng);
   I.setParallel(&Pool, 16);
+  Recorder Rec;
+  TelemetryConfig TC;
+  TC.Enabled = true;
+  Rec.configure(TC);
+  I.setTelemetry(&Rec, "exec/");
   I.run(sampleVecProc());
 
-  const ExecCounters &C = I.counters();
-  EXPECT_EQ(C.ParLoops, 1u);
-  EXPECT_EQ(C.ParIters, uint64_t(N));
-  EXPECT_GE(C.ParChunks, uint64_t(N / 16));
-  EXPECT_GT(C.ParThreadNanos, 0u);
-  double Occ = C.parOccupancy();
-  EXPECT_GT(Occ, 0.0);
-  EXPECT_LE(Occ, 1.0);
+  EXPECT_EQ(Rec.counterValue("exec/par_loops"), 1u);
+  EXPECT_EQ(Rec.counterValue("exec/par_iters"), uint64_t(N));
+  EXPECT_GE(Rec.counterValue("exec/par_chunks"), uint64_t(N / 16));
+  uint64_t Thread = Rec.counterValue("exec/par_thread_nanos");
+  uint64_t Busy = Rec.counterValue("exec/par_busy_nanos");
+  EXPECT_GT(Thread, 0u);
+  EXPECT_GT(Busy, 0u);
   // Iteration work is also attributed to the per-worker counters.
-  EXPECT_GE(C.LoopIters, uint64_t(N));
+  EXPECT_GE(I.counters().LoopIters, uint64_t(N));
 }
 
 TEST(ParallelCounters, SequentialRunsLeaveParProfileEmpty) {
   Env E = sumSquaresEnv(100);
   RNG Rng(1);
   Interp I(E, Rng);
+  Recorder Rec;
+  TelemetryConfig TC;
+  TC.Enabled = true;
+  Rec.configure(TC);
+  I.setTelemetry(&Rec, "exec/");
   I.run(sumSquaresProc());
-  EXPECT_EQ(I.counters().ParLoops, 0u);
-  EXPECT_EQ(I.counters().ParThreadNanos, 0u);
-  EXPECT_EQ(I.counters().parOccupancy(), 1.0);
+  EXPECT_EQ(Rec.counterValue("exec/par_loops"), 0u);
+  EXPECT_EQ(Rec.counterValue("exec/par_thread_nanos"), 0u);
+  EXPECT_TRUE(Rec.counters().empty());
+}
+
+TEST(ParallelCounters, DisabledRecorderRecordsNothingFromPooledLoops) {
+  const int64_t N = 500;
+  ThreadPool Pool(4);
+  Env E;
+  E["N"] = Value::intScalar(N);
+  E["y"] = Value::realVec(BlockedReal::flat(N, 0.0));
+  RNG Rng(5);
+  Interp I(E, Rng);
+  I.setParallel(&Pool, 16);
+  Recorder Rec; // never enabled
+  I.setTelemetry(&Rec, "exec/");
+  I.run(sampleVecProc());
+  EXPECT_EQ(Rec.debugShardCount(), 0u);
+  EXPECT_TRUE(Rec.counters().empty());
 }
 
 //===----------------------------------------------------------------------===//
