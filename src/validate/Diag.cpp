@@ -1,0 +1,57 @@
+//===- validate/Diag.cpp --------------------------------------*- C++ -*-===//
+
+#include "validate/Diag.h"
+
+#include <exception>
+
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+const char *augur::validate::phaseName(Phase P) {
+  switch (P) {
+  case Phase::Generate:
+    return "generate";
+  case Phase::Compile:
+    return "compile";
+  case Phase::Init:
+    return "init";
+  case Phase::Sample:
+    return "sample";
+  case Phase::Compare:
+    return "compare";
+  case Phase::GradCheck:
+    return "gradcheck";
+  case Phase::Geweke:
+    return "geweke";
+  }
+  return "unknown";
+}
+
+std::string Diag::str() const {
+  std::string Out = strFormat("[validate] phase=%s seed=0x%llx",
+                              phaseName(Where),
+                              static_cast<unsigned long long>(Seed));
+  if (!Backend.empty())
+    Out += " backend=" + Backend;
+  if (!Schedule.empty())
+    Out += " schedule=\"" + Schedule + "\"";
+  Out += "\n  " + Message;
+  if (!ModelSource.empty())
+    Out += "\nmodel:\n" + ModelSource;
+  return Out;
+}
+
+Status augur::validate::guarded(const std::function<Status()> &Fn,
+                                const std::string &What) {
+  try {
+    return Fn();
+  } catch (const std::exception &E) {
+    return Status::error(
+        strFormat("%s: uncaught exception: %s", What.c_str(), E.what()));
+  } catch (...) {
+    return Status::error(
+        strFormat("%s: uncaught non-standard exception", What.c_str()));
+  }
+}

@@ -1,0 +1,62 @@
+//===- validate/Diag.h - Structured validation diagnostics -----*- C++ -*-===//
+///
+/// \file
+/// Structured failure reporting for the validation subsystem. A fuzzed
+/// model that fails is only actionable if the report carries everything
+/// needed to replay it: the generator seed, the phase that failed
+/// (compile vs. init vs. sampling vs. comparison), and the
+/// pretty-printed (possibly shrunk) model source. Bare exceptions from
+/// deep inside the compiler or runtime are caught at the validation
+/// boundary and converted into these diagnostics, so a fuzz run never
+/// dies with an opaque `std::out_of_range`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_VALIDATE_DIAG_H
+#define AUGUR_VALIDATE_DIAG_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/Result.h"
+
+namespace augur {
+namespace validate {
+
+/// Where in the pipeline a validation run failed.
+enum class Phase {
+  Generate,  ///< the model generator itself
+  Compile,   ///< parse / typecheck / density / kernel / lowering
+  Init,      ///< prior initialization of the chain state
+  Sample,    ///< running the chain
+  Compare,   ///< cross-backend comparison of the sample streams
+  GradCheck, ///< finite-difference gradient comparison
+  Geweke,    ///< joint-distribution sampler test
+};
+
+const char *phaseName(Phase P);
+
+/// A structured validation failure: everything needed to replay and
+/// triage it without re-running the fuzzer.
+struct Diag {
+  Phase Where = Phase::Generate;
+  uint64_t Seed = 0;          ///< generator seed (replays the model)
+  std::string ModelSource;    ///< pretty-printed (shrunk) model
+  std::string Schedule;       ///< user schedule ("" = heuristic)
+  std::string Message;        ///< what went wrong
+  std::string Backend;        ///< which backend ("interp", "native", "")
+
+  /// Renders the full report (seed, phase, message, model source).
+  std::string str() const;
+};
+
+/// Runs \p Fn, converting any escaping std::exception into a failed
+/// Status tagged with \p What (the phase name is prepended by callers
+/// that know it). Statuses pass through unchanged.
+Status guarded(const std::function<Status()> &Fn, const std::string &What);
+
+} // namespace validate
+} // namespace augur
+
+#endif // AUGUR_VALIDATE_DIAG_H

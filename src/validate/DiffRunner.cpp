@@ -1,0 +1,245 @@
+//===- validate/DiffRunner.cpp --------------------------------*- C++ -*-===//
+
+#include "validate/DiffRunner.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "cgen/Native.h"
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+/// Strict bit-level equality of two doubles (distinguishes -0.0 from
+/// 0.0; NaNs of equal payload compare equal — a backend divergence in
+/// NaN payloads is still a divergence).
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+bool bitEq(const std::vector<double> &A, const std::vector<double> &B) {
+  if (A.size() != B.size())
+    return false;
+  return A.empty() ||
+         std::memcmp(A.data(), B.data(), A.size() * sizeof(double)) == 0;
+}
+
+/// Bit-identical value comparison across backends.
+bool bitIdentical(const Value &A, const Value &B) {
+  if (A.isIntScalar() || B.isIntScalar())
+    return A.isIntScalar() && B.isIntScalar() && A.asInt() == B.asInt();
+  if (A.isRealScalar() || B.isRealScalar())
+    return A.isRealScalar() && B.isRealScalar() &&
+           bitEq(A.asReal(), B.asReal());
+  if (A.isIntVec() || B.isIntVec())
+    return A.isIntVec() && B.isIntVec() &&
+           A.intVec().flat() == B.intVec().flat();
+  if (A.isRealVec() || B.isRealVec())
+    return A.isRealVec() && B.isRealVec() &&
+           bitEq(A.realVec().flat(), B.realVec().flat());
+  if (A.isMatrix() || B.isMatrix()) {
+    if (!A.isMatrix() || !B.isMatrix())
+      return false;
+    const Matrix &MA = A.mat(), &MB = B.mat();
+    if (MA.rows() != MB.rows() || MA.cols() != MB.cols())
+      return false;
+    return std::memcmp(MA.data(), MB.data(),
+                       size_t(MA.rows() * MA.cols()) * sizeof(double)) == 0;
+  }
+  return A == B; // MatVec and anything else: structural equality
+}
+
+struct BackendRun {
+  Status St = Status::success();
+  Phase Where = Phase::Compile;
+  SampleSet Samples;
+  int NumNativeProcs = 0;
+};
+
+/// Compiles and samples \p GM on one backend, converting exceptions and
+/// Status failures into a phase-tagged result.
+BackendRun runBackend(const GeneratedModel &GM, bool Native,
+                      const DiffOptions &Opts) {
+  BackendRun Out;
+  Out.St = guarded(
+      [&]() -> Status {
+        Infer Aug(GM.Source);
+        CompileOptions CO;
+        CO.NativeCpu = Native;
+        CO.Seed = Opts.ChainSeed;
+        CO.UserSchedule = GM.Schedule;
+        Aug.setCompileOpt(CO);
+        Out.Where = Phase::Compile;
+        AUGUR_RETURN_IF_ERROR(Aug.compile(GM.HyperArgs, GM.Data));
+        if (Opts.InjectB && Native)
+          Opts.InjectB(Aug.program());
+        Out.Where = Phase::Sample;
+        SampleOptions SO;
+        SO.NumSamples = Opts.NumSamples;
+        SO.BurnIn = Opts.BurnIn;
+        AUGUR_ASSIGN_OR_RETURN(Out.Samples, Aug.sample(SO));
+        if (Native) {
+          auto *NE = dynamic_cast<NativeEngine *>(&Aug.program().engine());
+          if (NE)
+            for (const auto &CU : Aug.program().updates()) {
+              if (!CU.LLProc.empty() && NE->isNative(CU.LLProc))
+                ++Out.NumNativeProcs;
+              if (!CU.GradProc.empty() && NE->isNative(CU.GradProc))
+                ++Out.NumNativeProcs;
+            }
+        }
+        return Status::success();
+      },
+      Native ? "native" : "interp");
+  return Out;
+}
+
+/// Posterior mean of the first scalar component of every recorded
+/// parameter (the statistic used in statistical-equivalence mode).
+double firstComponentMean(const std::vector<Value> &Draws) {
+  double Sum = 0.0;
+  for (const auto &V : Draws) {
+    if (V.isRealScalar() || V.isIntScalar())
+      Sum += V.asReal();
+    else if (V.isRealVec() && V.realVec().flatSize() > 0)
+      Sum += V.realVec().flat()[0];
+    else if (V.isIntVec() && !V.intVec().flat().empty())
+      Sum += double(V.intVec().flat()[0]);
+  }
+  return Sum / double(Draws.size());
+}
+
+} // namespace
+
+DiffReport augur::validate::diffBackends(const GeneratedModel &GM,
+                                         const DiffOptions &Opts) {
+  DiffReport Rep;
+  BackendRun A = runBackend(GM, /*Native=*/false, Opts);
+  BackendRun B = runBackend(GM, /*Native=*/true, Opts);
+  Rep.NumNativeProcs = B.NumNativeProcs;
+
+  auto fail = [&](Phase Where, const std::string &Backend,
+                  const std::string &Msg) {
+    Rep.Passed = false;
+    Rep.Failure.Where = Where;
+    Rep.Failure.Seed = GM.Seed;
+    Rep.Failure.ModelSource = GM.Source;
+    Rep.Failure.Schedule = GM.Schedule;
+    Rep.Failure.Backend = Backend;
+    Rep.Failure.Message = Msg;
+  };
+
+  if (!A.St.ok() && !B.St.ok()) {
+    // Both backends rejected the model. Identical messages mean the
+    // model is simply outside the supported fragment; diverging
+    // messages are themselves a differential finding.
+    if (A.St.message() == B.St.message()) {
+      Rep.Passed = true;
+      Rep.Skipped = true;
+      return Rep;
+    }
+    fail(Phase::Compare, "both",
+         strFormat("backends fail differently: interp: %s / native: %s",
+                   A.St.message().c_str(), B.St.message().c_str()));
+    return Rep;
+  }
+  if (!A.St.ok() || !B.St.ok()) {
+    const BackendRun &Bad = A.St.ok() ? B : A;
+    fail(Bad.Where, A.St.ok() ? "native" : "interp", Bad.St.message());
+    return Rep;
+  }
+
+  // Compare the streams draw by draw.
+  if (A.Samples.Draws.size() != B.Samples.Draws.size()) {
+    fail(Phase::Compare, "both", "backends recorded different parameters");
+    return Rep;
+  }
+  for (const auto &KV : A.Samples.Draws) {
+    auto It = B.Samples.Draws.find(KV.first);
+    if (It == B.Samples.Draws.end() ||
+        It->second.size() != KV.second.size()) {
+      fail(Phase::Compare, "both",
+           strFormat("parameter '%s' missing or stream length differs",
+                     KV.first.c_str()));
+      return Rep;
+    }
+    if (Opts.RequireBitIdentical) {
+      for (size_t I = 0; I < KV.second.size(); ++I) {
+        if (!bitIdentical(KV.second[I], It->second[I])) {
+          fail(Phase::Compare, "both",
+               strFormat("sample streams diverge at draw %zu of '%s'",
+                         I, KV.first.c_str()));
+          return Rep;
+        }
+      }
+    } else {
+      double MA = firstComponentMean(KV.second);
+      double MB = firstComponentMean(It->second);
+      if (std::abs(MA - MB) > Opts.StatTol) {
+        fail(Phase::Compare, "both",
+             strFormat("posterior means of '%s' differ: %g vs %g",
+                       KV.first.c_str(), MA, MB));
+        return Rep;
+      }
+    }
+  }
+  Rep.Passed = true;
+  return Rep;
+}
+
+FuzzReport augur::validate::fuzzOne(uint64_t Seed, const GenOptions &GOpts,
+                                    const DiffOptions &DOpts) {
+  FuzzReport Rep;
+  ModelSpec Spec = generateSpec(Seed, GOpts);
+
+  auto runSpec = [&](const ModelSpec &S) -> DiffReport {
+    Result<GeneratedModel> GM = materialize(S);
+    if (!GM.ok()) {
+      // The generator must only emit well-typed models; a
+      // materialization failure is a generator bug, reported as such.
+      DiffReport R;
+      R.Passed = false;
+      R.Failure.Where = Phase::Generate;
+      R.Failure.Seed = S.Seed;
+      R.Failure.ModelSource = S.source();
+      R.Failure.Message = GM.message();
+      return R;
+    }
+    return diffBackends(*GM, DOpts);
+  };
+
+  DiffReport First = runSpec(Spec);
+  if (First.Passed) {
+    Rep.Passed = true;
+    Rep.Skipped = First.Skipped;
+    return Rep;
+  }
+  Rep.Original = Spec.source();
+
+  // Greedy shrink: take any one-step-smaller spec that still fails,
+  // repeat until none does (or the step budget runs out).
+  DiffReport Last = First;
+  const int MaxSteps = 64;
+  for (int Step = 0; Step < MaxSteps; ++Step) {
+    bool Shrunk = false;
+    for (const ModelSpec &Cand : shrinkCandidates(Spec)) {
+      DiffReport R = runSpec(Cand);
+      if (!R.Passed && !R.Skipped) {
+        Spec = Cand;
+        Last = R;
+        ++Rep.ShrinkSteps;
+        Shrunk = true;
+        break;
+      }
+    }
+    if (!Shrunk)
+      break;
+  }
+  Rep.Passed = false;
+  Rep.Failure = Last.Failure;
+  Rep.Failure.Seed = Seed; // always replayable from the original seed
+  return Rep;
+}

@@ -1,0 +1,81 @@
+//===- validate/DiffRunner.h - Cross-backend differential tests -*- C++ -*-===//
+///
+/// \file
+/// Differential execution of one model across backends: compile through
+/// the Low++ interpreter and through the emitted-C native path, run
+/// identical seeded chains, and require bit-identical sample streams.
+/// Both paths consume the same RNG in the same order (sampling
+/// procedures run in the interpreter on both engines; the native path
+/// substitutes compiled C only for likelihood/gradient procedures), so
+/// any divergence — down to the last bit of a double — is a miscompile
+/// in emission, lowering, or the native runtime.
+///
+/// A failing generated model is automatically shrunk: the runner
+/// re-materializes one-step-smaller specs (dropping sites, halving
+/// plates) and keeps shrinking while the failure reproduces, so the
+/// diagnostic carries a minimal reproducer plus the original seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_VALIDATE_DIFFRUNNER_H
+#define AUGUR_VALIDATE_DIFFRUNNER_H
+
+#include <functional>
+
+#include "validate/ModelGen.h"
+
+namespace augur {
+namespace validate {
+
+/// Options for one differential run.
+struct DiffOptions {
+  int NumSamples = 25;
+  int BurnIn = 5;
+  uint64_t ChainSeed = 0xD1FF; ///< seed for both backends' chains
+  /// Bit-identical comparison (the default for interpreter vs. emitted
+  /// C, which share the sampling path). When false, compares posterior
+  /// means within StatTol instead — for backends whose kernels
+  /// legitimately differ.
+  bool RequireBitIdentical = true;
+  double StatTol = 0.25;
+  /// Test hook: mutates the second (native) program after init, to
+  /// verify that an injected miscompile is caught and shrunk.
+  std::function<void(MCMCProgram &)> InjectB;
+};
+
+/// Result of one differential run.
+struct DiffReport {
+  bool Passed = false;
+  /// Both backends rejected the model with the same Status (counts as
+  /// consistent behavior, not a differential failure).
+  bool Skipped = false;
+  /// Update procedures the native backend actually ran as compiled C
+  /// (0 for all-conjugate schedules, whose sampling procedures fall
+  /// back to the interpreter on both engines). Tests assert this is
+  /// nonzero when the schedule has likelihood/gradient kernels, so the
+  /// differential coverage is real.
+  int NumNativeProcs = 0;
+  Diag Failure; ///< valid when !Passed && !Skipped
+};
+
+/// Runs \p GM on both backends and compares the streams.
+DiffReport diffBackends(const GeneratedModel &GM, const DiffOptions &Opts);
+
+/// Result of fuzzing one seed, including the shrunk reproducer.
+struct FuzzReport {
+  bool Passed = false;
+  bool Skipped = false;
+  Diag Failure;          ///< reported against the *shrunk* model
+  std::string Original;  ///< pre-shrink model source (when failed)
+  int ShrinkSteps = 0;   ///< accepted shrink steps
+};
+
+/// Generates the model for \p Seed, runs it differentially, and shrinks
+/// on failure to a minimal reproducer.
+FuzzReport fuzzOne(uint64_t Seed, const GenOptions &GOpts,
+                   const DiffOptions &DOpts);
+
+} // namespace validate
+} // namespace augur
+
+#endif // AUGUR_VALIDATE_DIFFRUNNER_H

@@ -1,0 +1,183 @@
+//===- validate/Geweke.cpp ------------------------------------*- C++ -*-===//
+
+#include "validate/Geweke.h"
+
+#include <cmath>
+
+#include "api/Diagnostics.h"
+#include "density/Forward.h"
+#include "density/Frontend.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "support/Format.h"
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+/// First scalar component of a value (the Geweke test-function basis).
+double firstComp(const Value &V) {
+  if (V.isRealScalar() || V.isIntScalar())
+    return V.asReal();
+  if (V.isRealVec() && V.realVec().flatSize() > 0)
+    return V.realVec().flat()[0];
+  if (V.isIntVec() && !V.intVec().flat().empty())
+    return double(V.intVec().flat()[0]);
+  if (V.isMatrix() && V.mat().rows() > 0)
+    return V.mat().data()[0];
+  return 0.0;
+}
+
+struct Moments {
+  double Sum = 0.0, SumSq = 0.0;
+  int64_t N = 0;
+
+  void add(double X) {
+    Sum += X;
+    SumSq += X * X;
+    ++N;
+  }
+  double mean() const { return N ? Sum / double(N) : 0.0; }
+  double var() const {
+    if (N < 2)
+      return 0.0;
+    double M = mean();
+    return std::max(0.0, SumSq / double(N) - M * M);
+  }
+};
+
+} // namespace
+
+Result<GewekeReport> augur::validate::gewekeTest(
+    const std::string &Src, const std::string &Schedule,
+    const std::vector<Value> &HyperArgs, const GewekeOptions &Opts) {
+  GewekeReport Rep;
+  Status St = guarded(
+      [&]() -> Status {
+        // Frontend once, for the forward-simulation stream.
+        AUGUR_ASSIGN_OR_RETURN(Model M, parseModel(Src));
+        if (HyperArgs.size() != M.Hypers.size())
+          return Status::error("geweke: hyper-argument count mismatch");
+        std::map<std::string, Type> HT;
+        Env Hypers;
+        for (size_t I = 0; I < HyperArgs.size(); ++I) {
+          HT.emplace(M.Hypers[I], HyperArgs[I].type());
+          Hypers[M.Hypers[I]] = HyperArgs[I];
+        }
+        AUGUR_ASSIGN_OR_RETURN(TypedModel TM, typeCheck(std::move(M), HT));
+        DensityModel DM = lowerToDensity(std::move(TM));
+
+        std::vector<std::string> Params = DM.TM.M.paramNames();
+        std::vector<std::string> DataVars = DM.TM.M.dataNames();
+        // Test functions: f and f^2 per parameter, f per data variable
+        // (the data functions catch broken data resampling).
+        std::vector<std::string> Names;
+        for (const auto &P : Params) {
+          Names.push_back(P);
+          Names.push_back(P + "^2");
+        }
+        for (const auto &D : DataVars)
+          Names.push_back("data(" + D + ")");
+        size_t NumFns = Names.size();
+
+        auto eval = [&](const Env &E, std::vector<double> &Out) {
+          Out.clear();
+          for (const auto &P : Params) {
+            double X = firstComp(E.at(P));
+            Out.push_back(X);
+            Out.push_back(X * X);
+          }
+          for (const auto &D : DataVars)
+            Out.push_back(firstComp(E.at(D)));
+        };
+
+        // Stream 1: independent forward draws from the joint prior.
+        std::vector<Moments> Fwd(NumFns);
+        {
+          Env E = Hypers;
+          PhiloxRNG Rng(Opts.Seed, /*Iter=*/3);
+          std::vector<double> Fx;
+          for (int I = 0; I < Opts.NumForward; ++I) {
+            AUGUR_RETURN_IF_ERROR(
+                forwardSampleModel(DM, E, Rng, /*IncludeData=*/true));
+            eval(E, Fx);
+            for (size_t J = 0; J < NumFns; ++J)
+              Fwd[J].add(Fx[J]);
+          }
+        }
+
+        // Stream 2: the successive-conditional sampler. Compile against
+        // an initial dataset, then overwrite it so (theta_0, y_0) is an
+        // exact joint prior draw and the chain starts stationary.
+        Env InitData;
+        {
+          Env E = Hypers;
+          PhiloxRNG Rng(Opts.Seed, /*Iter=*/2);
+          AUGUR_RETURN_IF_ERROR(
+              forwardSampleModel(DM, E, Rng, /*IncludeData=*/true));
+          for (const auto &D : DataVars)
+            InitData[D] = E.at(D);
+        }
+        Infer Aug(Src);
+        CompileOptions CO;
+        CO.UserSchedule = Schedule;
+        CO.Seed = philoxMix(Opts.Seed, 4);
+        CO.Hmc = Opts.Hmc;
+        Aug.setCompileOpt(CO);
+        AUGUR_RETURN_IF_ERROR(Aug.compile(HyperArgs, InitData));
+
+        MCMCProgram &Prog = Aug.program();
+        Env &E = Prog.state();
+        const TypedModel &PTM = Prog.densityModel().TM;
+        auto resampleData = [&]() -> Status {
+          for (const auto &Decl : PTM.M.Decls)
+            if (Decl.Role == VarRole::Data)
+              AUGUR_RETURN_IF_ERROR(forwardSampleDecl(
+                  Decl, PTM, E, Prog.engine().rng()));
+          return Status::success();
+        };
+        AUGUR_RETURN_IF_ERROR(resampleData()); // y_0 ~ p(y | theta_0)
+
+        std::vector<std::vector<double>> Traces(NumFns);
+        std::vector<double> Fx;
+        for (int T = 0; T < Opts.NumChain; ++T) {
+          AUGUR_RETURN_IF_ERROR(Prog.step());
+          if (Opts.ResampleData)
+            AUGUR_RETURN_IF_ERROR(resampleData());
+          eval(E, Fx);
+          for (size_t J = 0; J < NumFns; ++J)
+            Traces[J].push_back(Fx[J]);
+        }
+
+        // Compare the two streams per test function.
+        for (size_t J = 0; J < NumFns; ++J) {
+          Moments Chain;
+          for (double X : Traces[J])
+            Chain.add(X);
+          double VarF = Fwd[J].var(), VarC = Chain.var();
+          GewekeStat S;
+          S.Name = Names[J];
+          S.ForwardMean = Fwd[J].mean();
+          S.ChainMean = Chain.mean();
+          if (VarF < 1e-300 && VarC < 1e-300) {
+            S.Z = 0.0; // constant test function on both streams
+          } else {
+            double Ess = std::max(
+                2.0, effectiveSampleSize(Traces[J]));
+            double Se2 = VarF / double(Fwd[J].N) + VarC / Ess;
+            S.Z = (S.ForwardMean - S.ChainMean) /
+                  std::sqrt(std::max(Se2, 1e-300));
+          }
+          Rep.MaxAbsZ = std::max(Rep.MaxAbsZ, std::abs(S.Z));
+          Rep.Stats.push_back(std::move(S));
+        }
+        Rep.Passed = Rep.MaxAbsZ < Opts.ZThreshold;
+        return Status::success();
+      },
+      "geweke");
+  if (!St.ok())
+    return St;
+  return Rep;
+}

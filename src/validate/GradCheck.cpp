@@ -1,0 +1,191 @@
+//===- validate/GradCheck.cpp ---------------------------------*- C++ -*-===//
+
+#include "validate/GradCheck.h"
+
+#include <cmath>
+
+#include "mcmc/Drivers.h"
+#include "mcmc/Pack.h"
+#include "support/Format.h"
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+/// Owned, mutable copy of a DV so coordinates can be perturbed.
+struct OwnedDV {
+  DV::Kind K = DV::Kind::Real;
+  double D = 0.0;
+  int64_t I = 0;
+  std::vector<double> Buf;
+  int64_t N = 0, Rows = 0, Cols = 0;
+
+  explicit OwnedDV(const DV &V) : K(V.K), D(V.D), I(V.I) {
+    if (V.K == DV::Kind::Vec) {
+      N = V.N;
+      Buf.assign(V.Ptr, V.Ptr + V.N);
+    } else if (V.K == DV::Kind::Mat) {
+      Rows = V.Rows;
+      Cols = V.Cols;
+      Buf.assign(V.Ptr, V.Ptr + V.Rows * V.Cols);
+    }
+  }
+
+  DV view() const {
+    switch (K) {
+    case DV::Kind::Real:
+      return DV::real(D);
+    case DV::Kind::Int:
+      return DV::integer(I);
+    case DV::Kind::Vec:
+      return DV::vec(Buf.data(), N);
+    case DV::Kind::Mat:
+      return DV::mat(Buf.data(), Rows, Cols);
+    }
+    return DV::real(0.0);
+  }
+
+  int64_t flatSize() const {
+    switch (K) {
+    case DV::Kind::Real:
+      return 1;
+    case DV::Kind::Int:
+      return 1;
+    case DV::Kind::Vec:
+      return N;
+    case DV::Kind::Mat:
+      return Rows * Cols;
+    }
+    return 0;
+  }
+
+  double coord(int64_t C) const {
+    return K == DV::Kind::Real ? D : Buf[size_t(C)];
+  }
+  void setCoord(int64_t C, double V) {
+    if (K == DV::Kind::Real)
+      D = V;
+    else
+      Buf[size_t(C)] = V;
+  }
+};
+
+double relErr(double A, double B) {
+  double Denom = std::max({1.0, std::abs(A), std::abs(B)});
+  return std::abs(A - B) / Denom;
+}
+
+} // namespace
+
+double augur::validate::distGradMaxRelErr(Dist D, int ArgIdx,
+                                          const std::vector<DV> &Params,
+                                          const DV &X, double Eps) {
+  std::vector<OwnedDV> P;
+  P.reserve(Params.size());
+  for (const auto &V : Params)
+    P.emplace_back(V);
+  OwnedDV XO(X);
+  OwnedDV &Target = ArgIdx == 0 ? XO : P[size_t(ArgIdx - 1)];
+
+  auto logPdf = [&]() {
+    std::vector<DV> PV;
+    PV.reserve(P.size());
+    for (const auto &O : P)
+      PV.push_back(O.view());
+    return distLogPdf(D, PV, XO.view());
+  };
+
+  int64_t Size = Target.flatSize();
+  std::vector<double> Grad(size_t(Size), 0.0);
+  {
+    std::vector<DV> PV;
+    for (const auto &O : P)
+      PV.push_back(O.view());
+    distAccumGrad(D, ArgIdx, PV, XO.view(), 1.0, Grad.data());
+  }
+
+  double MaxErr = 0.0;
+  for (int64_t C = 0; C < Size; ++C) {
+    double V0 = Target.coord(C);
+    double H = Eps * std::max(1.0, std::abs(V0));
+    Target.setCoord(C, V0 + H);
+    double Fp = logPdf();
+    Target.setCoord(C, V0 - H);
+    double Fm = logPdf();
+    Target.setCoord(C, V0);
+    double Fd = (Fp - Fm) / (2.0 * H);
+    MaxErr = std::max(MaxErr, relErr(Grad[size_t(C)], Fd));
+  }
+  return MaxErr;
+}
+
+Result<GradCheckReport> augur::validate::checkModelGradients(
+    const std::string &Src, const std::string &Schedule,
+    const std::vector<Value> &HyperArgs, const Env &Data,
+    const GradCheckOptions &Opts) {
+  GradCheckReport Rep;
+  Status St = guarded(
+      [&]() -> Status {
+        Infer Aug(Src);
+        CompileOptions CO;
+        CO.UserSchedule = Schedule;
+        CO.Seed = Opts.Seed;
+        Aug.setCompileOpt(CO);
+        AUGUR_RETURN_IF_ERROR(Aug.compile(HyperArgs, Data));
+
+        MCMCProgram &Prog = Aug.program();
+        Env &E = Prog.state();
+        PhiloxRNG Rng(Opts.Seed, /*Iter=*/7);
+
+        for (auto &CU : Prog.updates()) {
+          if (CU.GradProc.empty())
+            continue;
+          FlatPacker P(CU.U.Vars, CU.Transforms, E);
+          std::vector<double> U0 = P.pack(E);
+
+          // The compiled restricted log density in unconstrained
+          // coordinates (what the compiled gradient must match).
+          auto llAt = [&](const std::vector<double> &U) {
+            P.unpack(U, E);
+            Prog.engine().runProc(CU.LLProc);
+            return E.at("ll_" + CU.LLProc).asReal() + P.logAbsJacobian(U);
+          };
+
+          for (int Pt = 0; Pt < Opts.NumPoints; ++Pt) {
+            std::vector<double> U = U0;
+            // Randomize the evaluation point (staying well inside the
+            // support: unconstrained coordinates are unbounded).
+            for (auto &C : U)
+              C += 0.25 * Rng.gauss();
+            P.unpack(U, E);
+
+            zeroAdjBuffers(E, CU.U.Vars);
+            Prog.engine().runProc(CU.GradProc);
+            std::vector<double> G = P.chainGrad(U, E);
+
+            for (size_t I = 0; I < U.size(); ++I) {
+              std::vector<double> Up = U, Um = U;
+              Up[I] += Opts.Eps;
+              Um[I] -= Opts.Eps;
+              double Fd = (llAt(Up) - llAt(Um)) / (2.0 * Opts.Eps);
+              double Err = relErr(G[I], Fd);
+              ++Rep.NumChecked;
+              Rep.MaxRelErr = std::max(Rep.MaxRelErr, Err);
+              if (Err > Opts.RelTol) {
+                Rep.Passed = false;
+                Rep.Failures.push_back({updateDisplayName(CU.U), int(I),
+                                        G[I], Fd, Err});
+              }
+            }
+          }
+          P.unpack(U0, E); // restore the chain state
+        }
+        return Status::success();
+      },
+      "gradcheck");
+  if (!St.ok())
+    return St;
+  return Rep;
+}

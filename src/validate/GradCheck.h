@@ -1,0 +1,67 @@
+//===- validate/GradCheck.h - Finite-difference gradient checks -*- C++ -*-===//
+///
+/// \file
+/// Validates the source-to-source AD of Section 4.4 numerically. Two
+/// levels: (1) per-distribution — distAccumGrad against central finite
+/// differences of distLogPdf for every argument that exposes a
+/// gradient; (2) per-model — the compiled gradient procedure of every
+/// Grad/NUTS/Slice base update (including the unconstraining transform
+/// and its Jacobian, exactly what HMC integrates) against central
+/// finite differences of the compiled restricted log density, per
+/// unconstrained coordinate at randomized points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_VALIDATE_GRADCHECK_H
+#define AUGUR_VALIDATE_GRADCHECK_H
+
+#include <string>
+#include <vector>
+
+#include "api/Infer.h"
+#include "validate/Diag.h"
+
+namespace augur {
+namespace validate {
+
+/// Max relative error of distAccumGrad vs. central finite differences
+/// of distLogPdf for argument \p ArgIdx (0 = variate, 1.. = params) at
+/// the given point. Vector and matrix arguments are perturbed one
+/// coordinate at a time. \p Eps is the relative FD step.
+double distGradMaxRelErr(Dist D, int ArgIdx, const std::vector<DV> &Params,
+                         const DV &X, double Eps = 1e-6);
+
+struct GradCheckOptions {
+  int NumPoints = 2;    ///< randomized evaluation points per update
+  double Eps = 1e-5;    ///< FD step in unconstrained space
+  double RelTol = 1e-5; ///< acceptance threshold per coordinate
+  uint64_t Seed = 0x6AAD;
+};
+
+/// One coordinate whose compiled gradient disagrees with the FD.
+struct GradCheckFinding {
+  std::string Update; ///< display name, e.g. "HMC(mu)"
+  int Coord = 0;      ///< unconstrained coordinate index
+  double Compiled = 0.0;
+  double Fd = 0.0;
+  double RelErr = 0.0;
+};
+
+struct GradCheckReport {
+  bool Passed = true;
+  double MaxRelErr = 0.0;
+  int NumChecked = 0; ///< (update, point, coordinate) triples compared
+  std::vector<GradCheckFinding> Failures;
+};
+
+/// Compiles \p Src (interpreter backend) under \p Schedule and checks
+/// every update that carries a compiled gradient procedure.
+Result<GradCheckReport>
+checkModelGradients(const std::string &Src, const std::string &Schedule,
+                    const std::vector<Value> &HyperArgs, const Env &Data,
+                    const GradCheckOptions &Opts);
+
+} // namespace validate
+} // namespace augur
+
+#endif // AUGUR_VALIDATE_GRADCHECK_H

@@ -1,0 +1,394 @@
+//===- validate/ModelGen.cpp ----------------------------------*- C++ -*-===//
+
+#include "validate/ModelGen.h"
+
+#include <algorithm>
+
+#include "density/Forward.h"
+#include "density/Frontend.h"
+#include "kernel/Schedule.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "support/Format.h"
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+/// Formats a real literal so the parser round-trips it (always keeps a
+/// decimal point).
+std::string lit(double V) {
+  std::string S = strFormat("%.3f", V);
+  return S;
+}
+
+/// Pools of generated sites usable as distribution arguments, by the
+/// type/support an argument slot needs.
+struct Pools {
+  std::vector<std::string> Locs;      ///< scalar Real
+  std::vector<std::string> Scales;    ///< scalar positive
+  std::vector<std::string> Probs;     ///< scalar in (0,1)
+  std::vector<std::string> Weights;   ///< simplex vectors (size K)
+  std::vector<std::string> PlateLocs; ///< K-plates of scalar locations
+  std::vector<std::string> Assigns;   ///< N-plates of Categorical draws
+};
+
+std::string pick(const std::vector<std::string> &Pool, RNG &R) {
+  return Pool[size_t(R.uniformInt(int64_t(Pool.size())))];
+}
+
+/// A scalar location argument: an earlier location parameter (making
+/// the model hierarchical) or a literal.
+std::string locArg(const Pools &P, RNG &R, std::vector<std::string> &Deps) {
+  if (!P.Locs.empty() && R.uniform() < 0.5) {
+    std::string Name = pick(P.Locs, R);
+    Deps.push_back(Name);
+    return Name;
+  }
+  return lit(R.uniform(-2.0, 2.0));
+}
+
+/// A scalar positive argument (variance / rate): an earlier scale
+/// parameter or a literal.
+std::string scaleArg(const Pools &P, RNG &R, std::vector<std::string> &Deps) {
+  if (!P.Scales.empty() && R.uniform() < 0.5) {
+    std::string Name = pick(P.Scales, R);
+    Deps.push_back(Name);
+    return Name;
+  }
+  return lit(R.uniform(0.5, 3.0));
+}
+
+/// A weights argument: an earlier Dirichlet draw or the `pis` hyper.
+std::string weightsArg(const Pools &P, RNG &R,
+                       std::vector<std::string> &Deps) {
+  if (!P.Weights.empty() && R.uniform() < 0.7) {
+    std::string Name = pick(P.Weights, R);
+    Deps.push_back(Name);
+    return Name;
+  }
+  return "pis";
+}
+
+std::string kernelFor(bool Discrete, RNG &R, const GenOptions &Opts,
+                      bool WantSchedule) {
+  if (!WantSchedule || !Opts.UserSchedules)
+    return "";
+  if (Discrete)
+    return "Gibbs";
+  switch (R.uniformInt(3)) {
+  case 0:
+    return "HMC";
+  case 1:
+    return "Slice";
+  default:
+    return "MH";
+  }
+}
+
+} // namespace
+
+std::string ModelSpec::source() const {
+  std::string Out = "(N, K, alpha, pis) => {\n";
+  for (const auto &S : Sites) {
+    Out += S.Role == VarRole::Param ? "  param " : "  data ";
+    Out += S.Name;
+    if (S.Plate == "N")
+      Out += "[n]";
+    else if (S.Plate == "K")
+      Out += "[k]";
+    Out += " ~ " + S.DistName + "(";
+    for (size_t I = 0; I < S.Args.size(); ++I)
+      Out += (I ? ", " : "") + S.Args[I];
+    Out += ")";
+    if (S.Plate == "N")
+      Out += " for n <- 0 until N";
+    else if (S.Plate == "K")
+      Out += " for k <- 0 until K";
+    Out += " ;\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string ModelSpec::schedule() const {
+  std::string Out;
+  for (const auto &S : Sites) {
+    if (S.Role != VarRole::Param)
+      continue;
+    if (S.Kernel.empty())
+      return ""; // incomplete coverage: use the heuristic
+    Out += (Out.empty() ? "" : " (*) ") + S.Kernel + " " + S.Name;
+  }
+  return Out;
+}
+
+ModelSpec augur::validate::generateSpec(uint64_t Seed,
+                                        const GenOptions &Opts) {
+  PhiloxRNG R(Seed, /*Iter=*/0);
+  ModelSpec Spec;
+  Spec.Seed = Seed;
+  Spec.K = 2 + R.uniformInt(3);
+  Spec.N = 3 + R.uniformInt(std::max<int64_t>(1, Opts.MaxN - 2));
+  bool WantSchedule = Opts.UserSchedules && R.uniform() < 0.5;
+
+  Pools P;
+  int Serial = 0;
+  auto fresh = [&](const char *Prefix) {
+    return strFormat("%s%d", Prefix, Serial++);
+  };
+
+  int NumParams = 1 + int(R.uniformInt(Opts.MaxParamSites));
+  for (int I = 0; I < NumParams; ++I) {
+    SiteSpec S;
+    S.Role = VarRole::Param;
+    // Kind weights: scalar sites dominate; plates/weights/assignments
+    // appear once their prerequisites make them interesting.
+    int Kind = int(R.uniformInt(6));
+    switch (Kind) {
+    case 0: { // scalar location
+      S.Name = fresh("m");
+      S.DistName = "Normal";
+      S.Args = {locArg(P, R, S.Deps), scaleArg(P, R, S.Deps)};
+      S.Kernel = kernelFor(false, R, Opts, WantSchedule);
+      P.Locs.push_back(S.Name);
+      break;
+    }
+    case 1: { // scalar scale (positive support)
+      S.Name = fresh("v");
+      switch (R.uniformInt(3)) {
+      case 0:
+        S.DistName = "InvGamma";
+        S.Args = {lit(R.uniform(3.0, 6.0)), lit(R.uniform(2.0, 6.0))};
+        break;
+      case 1:
+        S.DistName = "Gamma";
+        S.Args = {lit(R.uniform(2.0, 5.0)), lit(R.uniform(1.0, 3.0))};
+        break;
+      default:
+        S.DistName = "Exponential";
+        S.Args = {lit(R.uniform(0.5, 2.0))};
+        break;
+      }
+      S.Kernel = kernelFor(false, R, Opts, WantSchedule);
+      P.Scales.push_back(S.Name);
+      break;
+    }
+    case 2: { // scalar probability
+      S.Name = fresh("p");
+      S.DistName = "Beta";
+      S.Args = {lit(R.uniform(1.0, 4.0)), lit(R.uniform(1.0, 4.0))};
+      S.Kernel = kernelFor(false, R, Opts, WantSchedule);
+      P.Probs.push_back(S.Name);
+      break;
+    }
+    case 3: { // mixture weights
+      S.Name = fresh("w");
+      S.DistName = "Dirichlet";
+      S.Args = {"alpha"};
+      // Simplex-supported: only the heuristic (conjugate Gibbs when a
+      // Categorical consumes it) handles this reliably.
+      S.Kernel = "";
+      P.Weights.push_back(S.Name);
+      break;
+    }
+    case 4: { // K-plate of locations (hierarchical when Locs nonempty)
+      S.Name = fresh("mu");
+      S.DistName = "Normal";
+      S.Plate = "K";
+      S.Args = {locArg(P, R, S.Deps), scaleArg(P, R, S.Deps)};
+      S.Kernel = kernelFor(false, R, Opts, WantSchedule);
+      P.PlateLocs.push_back(S.Name);
+      break;
+    }
+    default: { // assignment plate
+      S.Name = fresh("z");
+      S.DistName = "Categorical";
+      S.Plate = "N";
+      S.Args = {weightsArg(P, R, S.Deps)};
+      S.Kernel = kernelFor(true, R, Opts, WantSchedule);
+      P.Assigns.push_back(S.Name);
+      break;
+    }
+    }
+    Spec.Sites.push_back(std::move(S));
+  }
+
+  int NumData = 1 + int(R.uniformInt(Opts.MaxDataSites));
+  for (int I = 0; I < NumData; ++I) {
+    SiteSpec S;
+    S.Role = VarRole::Data;
+    S.Plate = "N";
+    bool CanMix = !P.PlateLocs.empty() && !P.Assigns.empty();
+    int Kind = CanMix && R.uniform() < 0.5 ? 0 : 1 + int(R.uniformInt(4));
+    switch (Kind) {
+    case 0: { // mixture likelihood: plate indexed through an assignment
+      S.Name = fresh("x");
+      S.DistName = "Normal";
+      std::string Mu = pick(P.PlateLocs, R);
+      std::string Z = pick(P.Assigns, R);
+      S.Deps = {Mu, Z};
+      S.Args = {Mu + "[" + Z + "[n]]", scaleArg(P, R, S.Deps)};
+      break;
+    }
+    case 1: { // plain Normal observations
+      S.Name = fresh("y");
+      S.DistName = "Normal";
+      S.Args = {locArg(P, R, S.Deps), scaleArg(P, R, S.Deps)};
+      break;
+    }
+    case 2: { // Bernoulli: direct probability or a sigmoid link
+      S.Name = fresh("y");
+      S.DistName = "Bernoulli";
+      if (!P.Probs.empty() && R.uniform() < 0.6) {
+        std::string Pr = pick(P.Probs, R);
+        S.Deps = {Pr};
+        S.Args = {Pr};
+      } else {
+        std::vector<std::string> Deps;
+        std::string Loc = locArg(P, R, Deps);
+        S.Deps = Deps;
+        S.Args = {"sigmoid(" + Loc + ")"};
+      }
+      break;
+    }
+    case 3: { // Poisson counts
+      S.Name = fresh("y");
+      S.DistName = "Poisson";
+      S.Args = {scaleArg(P, R, S.Deps)};
+      break;
+    }
+    default: { // Categorical observations
+      S.Name = fresh("y");
+      S.DistName = "Categorical";
+      S.Args = {weightsArg(P, R, S.Deps)};
+      break;
+    }
+    }
+    Spec.Sites.push_back(std::move(S));
+  }
+
+  // A Dirichlet draw nothing consumes has no conjugate Gibbs update and
+  // no gradient-based fallback (simplex support), so the compiler would
+  // reject the model. Give every dangling weights site a Categorical
+  // consumer, which is also the statistically interesting case.
+  for (const auto &W : P.Weights) {
+    bool Consumed = false;
+    for (const auto &S : Spec.Sites)
+      Consumed |= std::find(S.Deps.begin(), S.Deps.end(), W) !=
+                  S.Deps.end();
+    if (Consumed)
+      continue;
+    SiteSpec S;
+    S.Role = VarRole::Data;
+    S.Plate = "N";
+    S.Name = fresh("y");
+    S.DistName = "Categorical";
+    S.Args = {W};
+    S.Deps = {W};
+    Spec.Sites.push_back(std::move(S));
+  }
+  return Spec;
+}
+
+Result<GeneratedModel> augur::validate::materialize(const ModelSpec &Spec) {
+  GeneratedModel GM;
+  GM.Seed = Spec.Seed;
+  GM.Source = Spec.source();
+  GM.Schedule = Spec.schedule();
+
+  GM.HyperArgs = {Value::intScalar(Spec.N), Value::intScalar(Spec.K),
+                  Value::realVec(BlockedReal::flat(Spec.K, 1.5)),
+                  Value::realVec(
+                      BlockedReal::flat(Spec.K, 1.0 / double(Spec.K)))};
+
+  // Parse/typecheck/lower once to forward-simulate the data sites and
+  // validate any requested schedule. Exceptions are converted to
+  // structured failures at this boundary.
+  Status St = guarded(
+      [&]() -> Status {
+        AUGUR_ASSIGN_OR_RETURN(Model M, parseModel(GM.Source));
+        std::map<std::string, Type> HT = {
+            {"N", Type::intTy()},
+            {"K", Type::intTy()},
+            {"alpha", Type::vec(Type::realTy())},
+            {"pis", Type::vec(Type::realTy())}};
+        AUGUR_ASSIGN_OR_RETURN(TypedModel TM, typeCheck(std::move(M), HT));
+        DensityModel DM = lowerToDensity(std::move(TM));
+
+        Env E;
+        E["N"] = GM.HyperArgs[0];
+        E["K"] = GM.HyperArgs[1];
+        E["alpha"] = GM.HyperArgs[2];
+        E["pis"] = GM.HyperArgs[3];
+        PhiloxRNG DataRng(Spec.Seed, /*Iter=*/1);
+        AUGUR_RETURN_IF_ERROR(
+            forwardSampleModel(DM, E, DataRng, /*IncludeData=*/true));
+        for (const auto &Name : DM.TM.M.dataNames())
+          GM.Data[Name] = E.at(Name);
+
+        // A schedule the compiler cannot realize (e.g. Slice on a
+        // target with a non-differentiable likelihood) falls back to
+        // the heuristic rather than failing the whole model.
+        if (!GM.Schedule.empty() &&
+            !parseUserSchedule(DM, GM.Schedule).ok())
+          GM.Schedule.clear();
+        return Status::success();
+      },
+      "materialize");
+  if (!St.ok())
+    return St;
+  return GM;
+}
+
+Result<GeneratedModel> augur::validate::generateModel(uint64_t Seed,
+                                                      const GenOptions &Opts) {
+  return materialize(generateSpec(Seed, Opts));
+}
+
+std::vector<ModelSpec>
+augur::validate::shrinkCandidates(const ModelSpec &Spec) {
+  std::vector<ModelSpec> Out;
+
+  // Drop one site at a time: a site is removable if nothing later
+  // depends on it and it is not the last remaining param.
+  int NumParams = 0;
+  for (const auto &S : Spec.Sites)
+    if (S.Role == VarRole::Param)
+      ++NumParams;
+  for (size_t I = 0; I < Spec.Sites.size(); ++I) {
+    const SiteSpec &S = Spec.Sites[I];
+    if (S.Role == VarRole::Param && NumParams <= 1)
+      continue;
+    bool Referenced = false;
+    for (size_t J = 0; J < Spec.Sites.size(); ++J) {
+      if (J == I)
+        continue;
+      const auto &Deps = Spec.Sites[J].Deps;
+      if (std::find(Deps.begin(), Deps.end(), S.Name) != Deps.end()) {
+        Referenced = true;
+        break;
+      }
+    }
+    if (Referenced)
+      continue;
+    ModelSpec C = Spec;
+    C.Sites.erase(C.Sites.begin() + long(I));
+    Out.push_back(std::move(C));
+  }
+
+  // Halve the plates.
+  if (Spec.N > 1) {
+    ModelSpec C = Spec;
+    C.N = std::max<int64_t>(1, Spec.N / 2);
+    Out.push_back(std::move(C));
+  }
+  if (Spec.K > 2) {
+    ModelSpec C = Spec;
+    C.K = std::max<int64_t>(2, Spec.K / 2);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- validate/ModelGen.h - Seeded random model generator -----*- C++ -*-===//
+///
+/// \file
+/// Generates well-typed modeling-language programs by sampling the
+/// grammar: scalar location/scale/probability parameters, Dirichlet
+/// weights, K-plates of locations (optionally hierarchical on earlier
+/// scalars), Categorical assignment plates, and data likelihoods over
+/// them (conjugate and non-conjugate, including mixtures that index a
+/// plate through an assignment vector). Every structural decision is
+/// drawn from a PhiloxRNG keyed by a single 64-bit seed, so a failing
+/// model replays exactly from that seed — and the generated spec is a
+/// plain list of sites, which is what the shrinker mutates when it
+/// minimizes a failing model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_VALIDATE_MODELGEN_H
+#define AUGUR_VALIDATE_MODELGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/Infer.h"
+#include "validate/Diag.h"
+
+namespace augur {
+namespace validate {
+
+/// Knobs bounding the generator's grammar walk.
+struct GenOptions {
+  int MaxParamSites = 4;  ///< 1..MaxParamSites latent declarations
+  int MaxDataSites = 2;   ///< 1..MaxDataSites observed declarations
+  int64_t MaxN = 12;      ///< observation-plate bound (>= 3)
+  bool UserSchedules = true; ///< sometimes emit an explicit schedule
+};
+
+/// One declaration of a generated model. Args are surface-syntax
+/// expression strings (they may reference earlier site names and the
+/// plate loop variable).
+struct SiteSpec {
+  VarRole Role;
+  std::string Name;
+  std::string DistName;
+  std::vector<std::string> Args;
+  std::string Plate;  ///< "" (scalar), "N", or "K"
+  std::vector<std::string> Deps; ///< earlier sites referenced in Args
+  /// Requested base update ("HMC", "Slice", "MH", "Gibbs"); empty for
+  /// all sites means the heuristic schedule.
+  std::string Kernel;
+};
+
+/// A generated model in structured form: everything materialize() needs
+/// to rebuild source, arguments, and synthetic data deterministically.
+struct ModelSpec {
+  uint64_t Seed = 0;
+  int64_t N = 4; ///< observation-plate size
+  int64_t K = 2; ///< component-plate size
+  std::vector<SiteSpec> Sites;
+
+  /// Renders the model's surface syntax.
+  std::string source() const;
+  /// The "(*)"-joined user schedule, or "" for the heuristic.
+  std::string schedule() const;
+};
+
+/// A materialized model, ready to hand to the compiler: the source plus
+/// hyper-argument values (in formal order) and forward-simulated data.
+struct GeneratedModel {
+  uint64_t Seed = 0;
+  std::string Source;
+  std::string Schedule; ///< "" = heuristic
+  std::vector<Value> HyperArgs;
+  Env Data;
+};
+
+/// Samples a model spec from the grammar under \p Seed.
+ModelSpec generateSpec(uint64_t Seed, const GenOptions &Opts);
+
+/// Materializes \p Spec: builds hyper values sized by (N, K),
+/// forward-simulates the data declarations from the prior (PhiloxRNG
+/// stream (Seed, 1)), and validates the requested schedule against the
+/// model (falling back to the heuristic if the compiler cannot realize
+/// it). Fails only if the spec itself is ill-formed.
+Result<GeneratedModel> materialize(const ModelSpec &Spec);
+
+/// Convenience: generateSpec + materialize.
+Result<GeneratedModel> generateModel(uint64_t Seed, const GenOptions &Opts);
+
+/// One-step shrink candidates of \p Spec, in decreasing order of
+/// aggressiveness: dropping each removable site (never one another site
+/// depends on; never the last param), then halving the plate sizes.
+/// Every candidate is well-formed by construction.
+std::vector<ModelSpec> shrinkCandidates(const ModelSpec &Spec);
+
+} // namespace validate
+} // namespace augur
+
+#endif // AUGUR_VALIDATE_MODELGEN_H

@@ -23,13 +23,22 @@ struct KernelCase {
   const char *Schedule;
   int NumSamples;
   int BurnIn;
-  double MeanTol;
-  double VarTol;
+  /// Assumed worst-case effective-sample fraction for this kernel on a
+  /// unimodal scalar target. Tolerances are derived from it and the
+  /// sample count (Z * sigma / sqrt(EssFrac * N)) instead of being
+  /// hand-tuned constants, so changing a case's NumSamples rescales its
+  /// acceptance band automatically.
+  double EssFrac;
 
   friend std::ostream &operator<<(std::ostream &OS, const KernelCase &C) {
     return OS << C.Name;
   }
 };
+
+/// Per-check z threshold: ~6e-5 one-sided false-positive rate, small
+/// enough that the full parameterized suite stays deterministic-green
+/// under seed churn without hiding real bias.
+constexpr double Z = 4.0;
 
 class KernelInvariance : public ::testing::TestWithParam<KernelCase> {};
 
@@ -76,19 +85,28 @@ TEST_P(KernelInvariance, ScalarNormalPosteriorIsPreserved) {
 
   double PostVar = 1.0 / (1.0 / 9.0 + N / 4.0);
   double PostMean = PostVar * (SumY / 4.0);
-  EXPECT_NEAR(Mean, PostMean, C.MeanTol) << C.Schedule;
-  EXPECT_NEAR(Var, PostVar, C.VarTol) << C.Schedule;
+  // Monte-Carlo error of the two estimators over EffN effective draws:
+  // sd(mean) = sigma / sqrt(EffN), sd(var) ~= sigma^2 * sqrt(2 / EffN)
+  // (the latter exact for iid Gaussian draws).
+  double EffN = C.EssFrac * double(C.NumSamples);
+  double MeanTol = Z * std::sqrt(PostVar / EffN);
+  double VarTol = Z * PostVar * std::sqrt(2.0 / EffN);
+  EXPECT_NEAR(Mean, PostMean, MeanTol) << C.Schedule;
+  EXPECT_NEAR(Var, PostVar, VarTol) << C.Schedule;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, KernelInvariance,
     ::testing::Values(
-        KernelCase{"Gibbs", "Gibbs m", 6000, 100, 0.03, 0.04},
-        KernelCase{"HMC", "HMC m", 6000, 300, 0.04, 0.05},
-        KernelCase{"NUTS", "NUTS m", 5000, 300, 0.05, 0.06},
-        KernelCase{"Slice", "Slice m", 8000, 300, 0.05, 0.06},
-        KernelCase{"ESlice", "ESlice m", 8000, 300, 0.04, 0.05},
-        KernelCase{"MH", "MH m", 20000, 500, 0.05, 0.06}));
+        // Conjugate Gibbs draws the scalar directly from its full
+        // conditional: iid, EssFrac 1. The others mix geometrically;
+        // fractions are conservative floors for this target.
+        KernelCase{"Gibbs", "Gibbs m", 6000, 100, 1.0},
+        KernelCase{"HMC", "HMC m", 6000, 300, 0.25},
+        KernelCase{"NUTS", "NUTS m", 5000, 300, 0.25},
+        KernelCase{"Slice", "Slice m", 8000, 300, 0.2},
+        KernelCase{"ESlice", "ESlice m", 8000, 300, 0.25},
+        KernelCase{"MH", "MH m", 20000, 500, 0.05}));
 
 namespace {
 
@@ -109,13 +127,26 @@ TEST_P(CompositionOrder, BothOrdersAgree) {
   const int64_t N = 200;
   RNG DataRng(43);
   BlockedReal Y = BlockedReal::flat(N, 0.0);
-  double SumY = 0.0;
+  double SumY = 0.0, SumSqY = 0.0;
   for (int64_t I = 0; I < N; ++I) {
     Y.at(I) = DataRng.gauss(-1.0, std::sqrt(2.0));
     SumY += Y.at(I);
+    SumSqY += Y.at(I) * Y.at(I);
   }
   Env Data;
   Data["y"] = Value::realVec(std::move(Y));
+
+  // Derived acceptance bands, centered on the (approximate) posterior
+  // rather than the data-generating truth: condition v's InvGamma
+  // posterior on m at the empirical mean, then widen by the
+  // Monte-Carlo error over EffN effective draws.
+  double EmpMean = SumY / double(N);
+  double Sse = SumSqY - double(N) * EmpMean * EmpMean;
+  double VShape = 4.0 + double(N) / 2.0;
+  double VScale = 6.0 + 0.5 * Sse;
+  double PostV = VScale / (VShape - 1.0);
+  double PostSdV = PostV / std::sqrt(VShape - 2.0);
+  double PostSdM = std::sqrt(PostV / double(N));
 
   Infer Aug(Src);
   CompileOptions O;
@@ -127,8 +158,17 @@ TEST_P(CompositionOrder, BothOrdersAgree) {
   SO.BurnIn = 200;
   auto S = Aug.sample(SO);
   ASSERT_TRUE(S.ok()) << S.message();
-  EXPECT_NEAR(S->scalarMean("m"), SumY / N, 0.08) << Schedule;
-  EXPECT_NEAR(S->scalarMean("v"), 2.0, 0.35) << Schedule;
+  // EssFrac floor across the four composite schedules (the ESlice and
+  // HMC mixtures decorrelate slower than pure Gibbs); the extra
+  // posterior-sd term covers the conditional-vs-marginal approximation
+  // and the prior's (tiny) shrinkage of the posterior center.
+  double EffN = 0.2 * double(SO.NumSamples);
+  EXPECT_NEAR(S->scalarMean("m"), EmpMean,
+              Z * PostSdM / std::sqrt(EffN) + PostSdM)
+      << Schedule;
+  EXPECT_NEAR(S->scalarMean("v"), PostV,
+              Z * PostSdV / std::sqrt(EffN) + PostSdV)
+      << Schedule;
 }
 
 INSTANTIATE_TEST_SUITE_P(Orders, CompositionOrder,

@@ -1,0 +1,189 @@
+//===- tests/validate_diff_test.cpp - Backend differential tests -*- C++ -*-===//
+//
+// Pinned-seed regression tests: each of the paper's example models is
+// compiled through the Low++ interpreter and through the emitted-C
+// native backend with identical chain seeds, and the two sample streams
+// must be bit-identical. Where the schedule carries likelihood or
+// gradient kernels the test also asserts that the native backend really
+// ran compiled C for them (NumNativeProcs > 0), so a silent fallback to
+// the interpreter cannot hollow out the comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/PaperModels.h"
+#include "validate/DiffRunner.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+DiffOptions smallChain(uint64_t Seed) {
+  DiffOptions D;
+  D.NumSamples = 20;
+  D.BurnIn = 4;
+  D.ChainSeed = Seed;
+  return D;
+}
+
+void expectBitIdentical(const GeneratedModel &GM, const DiffOptions &D,
+                        bool RequireNative) {
+  DiffReport R = diffBackends(GM, D);
+  EXPECT_FALSE(R.Skipped) << R.Failure.str();
+  EXPECT_TRUE(R.Passed) << R.Failure.str();
+  if (RequireNative) {
+    EXPECT_GT(R.NumNativeProcs, 0)
+        << "schedule has LL/grad kernels but nothing ran as compiled C";
+  }
+}
+
+GeneratedModel gmmModel(const std::string &Schedule, int64_t N,
+                        uint64_t DataSeed) {
+  GeneratedModel GM;
+  GM.Seed = DataSeed;
+  GM.Source = models::GMM;
+  GM.Schedule = Schedule;
+  const int64_t K = 2;
+  GM.HyperArgs = {Value::intScalar(K),
+                  Value::intScalar(N),
+                  Value::realVec(BlockedReal::flat(2, 0.0)),
+                  Value::matrix(Matrix::diagonal({25.0, 25.0})),
+                  Value::realVec(BlockedReal::flat(K, 1.0 / double(K))),
+                  Value::matrix(Matrix::diagonal({1.0, 1.0}))};
+  RNG Rng(DataSeed);
+  BlockedReal X = BlockedReal::rect(N, 2, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    double C = Rng.uniformInt(2) ? 4.0 : -4.0;
+    X.at(I, 0) = Rng.gauss(C, 1.0);
+    X.at(I, 1) = Rng.gauss(C, 1.0);
+  }
+  GM.Data["x"] =
+      Value::realVec(std::move(X), Type::vec(Type::vec(Type::realTy())));
+  return GM;
+}
+
+} // namespace
+
+TEST(ValidateDiff, QuickstartGmmEslicePlusGibbs) {
+  // The paper's Fig. 2 user schedule. The MvNormal likelihood falls
+  // back to the interpreter on the native engine (matrix ops are not
+  // emitted), so this checks the fallback path's stream parity; the
+  // HLR and SBN cases below pin down genuinely-native coverage.
+  expectBitIdentical(gmmModel("ESlice mu (*) Gibbs z", 40, 0xD1F1),
+                     smallChain(0xD1F1), /*RequireNative=*/false);
+}
+
+TEST(ValidateDiff, QuickstartGmmHeuristicGibbs) {
+  // All-conjugate heuristic schedule: both engines sample in the
+  // interpreter, so this checks state setup and recording parity.
+  expectBitIdentical(gmmModel("", 40, 0xD1F2), smallChain(0xD1F2),
+                     /*RequireNative=*/false);
+}
+
+TEST(ValidateDiff, HgmmKnownCovHeuristic) {
+  GeneratedModel GM;
+  GM.Seed = 0xD1F3;
+  GM.Source = models::HGMMKnownCov;
+  const int64_t K = 2, N = 30;
+  GM.HyperArgs = {Value::intScalar(K),
+                  Value::intScalar(N),
+                  Value::realVec(BlockedReal::flat(K, 1.0)),
+                  Value::realVec(BlockedReal::flat(2, 0.0)),
+                  Value::matrix(Matrix::diagonal({25.0, 25.0})),
+                  Value::matrix(Matrix::identity(2))};
+  RNG Rng(5);
+  BlockedReal Y = BlockedReal::rect(N, 2, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    double C = Rng.uniformInt(2) ? 4.0 : -4.0;
+    Y.at(I, 0) = Rng.gauss(C, 1.0);
+    Y.at(I, 1) = Rng.gauss(C, 1.0);
+  }
+  GM.Data["y"] =
+      Value::realVec(std::move(Y), Type::vec(Type::vec(Type::realTy())));
+  expectBitIdentical(GM, smallChain(0xD1F3), /*RequireNative=*/false);
+}
+
+TEST(ValidateDiff, LdaHeuristic) {
+  GeneratedModel GM;
+  GM.Seed = 0xD1F4;
+  GM.Source = models::LDA;
+  const int64_t K = 2, D = 4, V = 6;
+  RNG Rng(101);
+  BlockedInt L = BlockedInt::flat(D, 0);
+  std::vector<std::vector<int64_t>> Docs;
+  for (int64_t I = 0; I < D; ++I) {
+    int64_t Len = 5 + Rng.uniformInt(4);
+    L.at(I) = Len;
+    std::vector<int64_t> Doc;
+    for (int64_t J = 0; J < Len; ++J)
+      Doc.push_back(Rng.uniformInt(V));
+    Docs.push_back(std::move(Doc));
+  }
+  GM.HyperArgs = {Value::intScalar(K),
+                  Value::intScalar(D),
+                  Value::intScalar(V),
+                  Value::realVec(BlockedReal::flat(K, 0.5)),
+                  Value::realVec(BlockedReal::flat(V, 0.5)),
+                  Value::intVec(L)};
+  GM.Data["w"] = Value::intVec(BlockedInt::ragged(Docs),
+                               Type::vec(Type::vec(Type::intTy())));
+  expectBitIdentical(GM, smallChain(0xD1F4), /*RequireNative=*/false);
+}
+
+TEST(ValidateDiff, HlrHeuristicHmc) {
+  // Non-conjugate logistic regression: the heuristic schedule is a
+  // single HMC block, whose likelihood and gradient procedures the
+  // native backend compiles to C — the strongest differential check.
+  GeneratedModel GM;
+  GM.Seed = 0xD1F5;
+  GM.Source = models::HLR;
+  const int64_t N = 40, Kf = 3;
+  RNG Rng(89);
+  BlockedReal X = BlockedReal::rect(N, Kf, 0.0);
+  BlockedInt Y = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    double Dot = 0.5;
+    for (int64_t J = 0; J < Kf; ++J) {
+      X.at(I, J) = Rng.gauss();
+      Dot += X.at(I, J) * (J == 0 ? 2.0 : -1.0);
+    }
+    Y.at(I) = Rng.uniform() < 1.0 / (1.0 + std::exp(-Dot)) ? 1 : 0;
+  }
+  GM.HyperArgs = {Value::realScalar(1.0), Value::intScalar(N),
+                  Value::intScalar(Kf),
+                  Value::realVec(X, Type::vec(Type::vec(Type::realTy())))};
+  GM.Data["y"] = Value::intVec(std::move(Y));
+  expectBitIdentical(GM, smallChain(0xD1F5), /*RequireNative=*/true);
+}
+
+TEST(ValidateDiff, SbnEnumGibbsPlusHmc) {
+  GeneratedModel GM;
+  GM.Seed = 0xD1F6;
+  GM.Source = models::SBN;
+  GM.Schedule = "Gibbs h (*) HMC (w1, w2, b)";
+  const int64_t N = 6;
+  RNG Rng(97);
+  BlockedInt X = BlockedInt::flat(N, 0);
+  for (int64_t I = 0; I < N; ++I)
+    X.at(I) = Rng.uniformInt(2);
+  GM.HyperArgs = {Value::intScalar(N), Value::realScalar(2.0),
+                  Value::realScalar(0.5)};
+  GM.Data["x"] = Value::intVec(std::move(X));
+  expectBitIdentical(GM, smallChain(0xD1F6), /*RequireNative=*/true);
+}
+
+TEST(ValidateDiff, SameSeedIsReproducibleAcrossRuns) {
+  // The differential harness itself must be deterministic: two runs of
+  // the same pinned configuration agree draw for draw (the property
+  // that makes every failure in this file replayable).
+  GeneratedModel GM = gmmModel("ESlice mu (*) Gibbs z", 25, 0xD1F7);
+  DiffReport A = diffBackends(GM, smallChain(0xD1F7));
+  DiffReport B = diffBackends(GM, smallChain(0xD1F7));
+  EXPECT_EQ(A.Passed, B.Passed);
+  EXPECT_EQ(A.NumNativeProcs, B.NumNativeProcs);
+  EXPECT_TRUE(A.Passed) << A.Failure.str();
+}

@@ -1,0 +1,163 @@
+//===- tests/validate_fuzz_test.cpp - Model-fuzzing smoke tests -*- C++ -*-===//
+//
+// The CI-sized slice of the differential fuzzer: generate seeded random
+// models and require bit-identical interpreter vs. emitted-C sample
+// streams for each. The budget is sharded across several gtest cases so
+// `ctest -j` runs them in parallel; AUGUR_FUZZ_BUDGET scales the total
+// model count (nightly runs export a large budget, `fuzz_models` runs
+// arbitrary ones). Also covers the harness itself: generator
+// determinism and well-typedness, the structured-diagnostic paths, and
+// an injected miscompile that must be caught, replayable, and shrunk.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "validate/DiffRunner.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+/// Total smoke budget: 25 models by default (ISSUE floor), overridable
+/// through AUGUR_FUZZ_BUDGET.
+int fuzzBudget() {
+  if (const char *B = std::getenv("AUGUR_FUZZ_BUDGET"))
+    return std::max(1, std::atoi(B));
+  return 25;
+}
+
+constexpr int NumShards = 5;
+constexpr uint64_t SmokeSeedBase = 0xF022;
+
+/// Runs this shard's contiguous slice of [SmokeSeedBase, base+budget).
+void runShard(int Shard) {
+  int Budget = fuzzBudget();
+  int Per = (Budget + NumShards - 1) / NumShards;
+  int Lo = Shard * Per;
+  int Hi = std::min(Budget, Lo + Per);
+  GenOptions GOpts;
+  DiffOptions DOpts;
+  DOpts.NumSamples = 20;
+  for (int I = Lo; I < Hi; ++I) {
+    uint64_t Seed = SmokeSeedBase + uint64_t(I);
+    FuzzReport R = fuzzOne(Seed, GOpts, DOpts);
+    EXPECT_TRUE(R.Passed) << "replay: fuzz_models --replay 0x" << std::hex
+                          << Seed << std::dec << "\n"
+                          << R.Failure.str()
+                          << (R.ShrinkSteps ? "\n(shrunk from)\n" : "")
+                          << R.Original;
+  }
+}
+
+} // namespace
+
+TEST(ValidateFuzz, SmokeShard0) { runShard(0); }
+TEST(ValidateFuzz, SmokeShard1) { runShard(1); }
+TEST(ValidateFuzz, SmokeShard2) { runShard(2); }
+TEST(ValidateFuzz, SmokeShard3) { runShard(3); }
+TEST(ValidateFuzz, SmokeShard4) { runShard(4); }
+
+TEST(ValidateFuzz, GeneratorIsDeterministic) {
+  // One 64-bit seed fully determines source, schedule, and data — the
+  // property that makes `--replay 0x<seed>` exact.
+  GenOptions GOpts;
+  auto A = generateModel(0xABCD, GOpts);
+  auto B = generateModel(0xABCD, GOpts);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(A->Source, B->Source);
+  EXPECT_EQ(A->Schedule, B->Schedule);
+  ASSERT_EQ(A->Data.size(), B->Data.size());
+  for (const auto &KV : A->Data) {
+    auto It = B->Data.find(KV.first);
+    ASSERT_NE(It, B->Data.end()) << KV.first;
+    EXPECT_TRUE(KV.second == It->second) << KV.first;
+  }
+}
+
+TEST(ValidateFuzz, GeneratorEmitsWellTypedModels) {
+  // materialize() re-parses and forward-simulates every spec; a failure
+  // here is a generator bug, not a compiler bug.
+  GenOptions GOpts;
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    auto GM = generateModel(Seed, GOpts);
+    EXPECT_TRUE(GM.ok()) << "seed " << Seed << ": " << GM.message();
+  }
+}
+
+TEST(ValidateFuzz, InjectedMiscompileIsCaughtAndShrunk) {
+  // Simulate a miscompile: perturb one real scalar in the native
+  // program's state after init. The differential run must fail, the
+  // failure must replay from the original seed, and the reproducer must
+  // shrink to something no larger than the original model.
+  const uint64_t Seed = SmokeSeedBase;
+  GenOptions GOpts;
+  DiffOptions DOpts;
+  DOpts.NumSamples = 20;
+  DOpts.InjectB = [](MCMCProgram &P) {
+    for (auto &KV : P.state()) {
+      if (KV.second.isRealScalar()) {
+        KV.second = Value::realScalar(KV.second.asReal() + 0.5);
+        return;
+      }
+      if (KV.second.isRealVec() && KV.second.realVec().flatSize() > 0) {
+        BlockedReal V = KV.second.realVec();
+        V.flat()[0] += 0.5;
+        KV.second = Value::realVec(std::move(V));
+        return;
+      }
+    }
+  };
+
+  // Sanity: without the injection this seed passes (it is the first
+  // smoke-shard seed).
+  DiffOptions Clean = DOpts;
+  Clean.InjectB = nullptr;
+  FuzzReport Ok = fuzzOne(Seed, GOpts, Clean);
+  ASSERT_TRUE(Ok.Passed);
+  ASSERT_FALSE(Ok.Skipped);
+
+  FuzzReport R = fuzzOne(Seed, GOpts, DOpts);
+  ASSERT_FALSE(R.Passed) << "injected miscompile was not detected";
+  EXPECT_EQ(R.Failure.Seed, Seed); // replayable from the original seed
+  EXPECT_FALSE(R.Original.empty());
+  EXPECT_GT(R.ShrinkSteps, 0);
+  EXPECT_LT(R.Failure.ModelSource.size(), R.Original.size());
+  // The diagnostic is self-contained: phase, seed, and model source.
+  std::string D = R.Failure.str();
+  EXPECT_NE(D.find("seed"), std::string::npos) << D;
+  EXPECT_NE(D.find(phaseName(R.Failure.Where)), std::string::npos) << D;
+  EXPECT_NE(D.find(R.Failure.ModelSource), std::string::npos) << D;
+}
+
+TEST(ValidateFuzz, ConsistentRejectionIsSkipNotFailure) {
+  // A model both backends reject with the same Status is outside the
+  // supported fragment — consistent behavior, not a differential bug.
+  GeneratedModel GM;
+  GM.Seed = 0xBAD;
+  GM.Source = "(N) => { param m ~ Normal(0.0, 1.0) ; "
+              "data y[n] ~ Normal(m, 1.0) for n <- 0 until N ; }";
+  GM.Schedule = "Gibbs nosuchvar";
+  GM.HyperArgs = {Value::intScalar(3)};
+  GM.Data["y"] = Value::realVec(BlockedReal::flat(3, 0.0));
+  DiffReport R = diffBackends(GM, DiffOptions{});
+  EXPECT_TRUE(R.Passed);
+  EXPECT_TRUE(R.Skipped);
+}
+
+TEST(ValidateFuzz, ExceptionsBecomeStructuredDiagnostics) {
+  // guarded() is the boundary that turns a throwing compiler or runtime
+  // into a Status the harness can attach phase/seed/model context to.
+  Status St = guarded(
+      []() -> Status { throw std::runtime_error("kaboom"); }, "native");
+  EXPECT_FALSE(St.ok());
+  EXPECT_NE(St.message().find("kaboom"), std::string::npos) << St.message();
+  EXPECT_NE(St.message().find("native"), std::string::npos) << St.message();
+
+  Status Ok = guarded([]() -> Status { return Status::success(); }, "x");
+  EXPECT_TRUE(Ok.ok());
+}

@@ -1,0 +1,154 @@
+//===- tools/fuzz_models.cpp - Differential model fuzzer -------*- C++ -*-===//
+//
+// Generates random well-typed models and runs each one differentially
+// through the interpreter and the emitted-C native backend, asserting
+// bit-identical seeded sample streams; optionally also runs
+// finite-difference gradient checks on every compiled gradient kernel.
+// Failures print a replayable seed and an automatically shrunk minimal
+// model.
+//
+//   $ fuzz_models [--count N] [--seed S] [--samples M] [--gradcheck]
+//                 [--replay SEED] [-v]
+//
+// The AUGUR_FUZZ_BUDGET environment variable overrides --count (the CI
+// smoke budget is small; nightly runs export a large budget).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "validate/DiffRunner.h"
+#include "validate/GradCheck.h"
+
+using namespace augur;
+using namespace augur::validate;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--count N] [--seed S] [--samples M] "
+               "[--gradcheck] [--replay SEED] [-v]\n",
+               Argv0);
+  return 2;
+}
+
+/// Gradient-checks one generated model (every compiled Grad kernel).
+bool gradCheckModel(const GeneratedModel &GM, bool Verbose) {
+  GradCheckOptions GO;
+  GO.Seed = GM.Seed;
+  auto R = checkModelGradients(GM.Source, GM.Schedule, GM.HyperArgs,
+                               GM.Data, GO);
+  if (!R.ok()) {
+    std::printf("  gradcheck error: %s\n", R.message().c_str());
+    return false;
+  }
+  if (!R->Passed) {
+    for (const auto &F : R->Failures)
+      std::printf("  gradcheck FAIL %s coord %d: compiled=%.12g "
+                  "fd=%.12g relerr=%.3g\n",
+                  F.Update.c_str(), F.Coord, F.Compiled, F.Fd, F.RelErr);
+    return false;
+  }
+  if (Verbose && R->NumChecked)
+    std::printf("  gradcheck ok: %d coords, max relerr %.3g\n",
+                R->NumChecked, R->MaxRelErr);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Count = 50;
+  uint64_t SeedBase = 0xF022;
+  int Samples = 25;
+  bool GradCheck = false;
+  bool Verbose = false;
+  bool Replay = false;
+  uint64_t ReplaySeed = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--count" && I + 1 < argc)
+      Count = std::atoi(argv[++I]);
+    else if (A == "--seed" && I + 1 < argc)
+      SeedBase = std::strtoull(argv[++I], nullptr, 0);
+    else if (A == "--samples" && I + 1 < argc)
+      Samples = std::atoi(argv[++I]);
+    else if (A == "--gradcheck")
+      GradCheck = true;
+    else if (A == "--replay" && I + 1 < argc) {
+      Replay = true;
+      ReplaySeed = std::strtoull(argv[++I], nullptr, 0);
+    } else if (A == "-v")
+      Verbose = true;
+    else
+      return usage(argv[0]);
+  }
+  if (const char *Budget = std::getenv("AUGUR_FUZZ_BUDGET"))
+    Count = std::atoi(Budget);
+
+  GenOptions GOpts;
+  DiffOptions DOpts;
+  DOpts.NumSamples = Samples;
+
+  if (Replay) {
+    // Replay one seed with full reporting (the workflow after a CI
+    // fuzz failure: fuzz_models --replay 0x<seed> -v).
+    auto GM = generateModel(ReplaySeed, GOpts);
+    if (!GM.ok()) {
+      std::printf("generate failed: %s\n", GM.message().c_str());
+      return 1;
+    }
+    std::printf("seed 0x%llx schedule \"%s\"\nmodel:\n%s\n",
+                (unsigned long long)ReplaySeed, GM->Schedule.c_str(),
+                GM->Source.c_str());
+    FuzzReport R = fuzzOne(ReplaySeed, GOpts, DOpts);
+    if (!R.Passed) {
+      std::printf("%s\n", R.Failure.str().c_str());
+      return 1;
+    }
+    bool GradOk = !GradCheck || gradCheckModel(*GM, Verbose);
+    std::printf("seed 0x%llx: %s\n", (unsigned long long)ReplaySeed,
+                GradOk ? (R.Skipped ? "skipped (both backends reject)"
+                                    : "ok")
+                       : "gradcheck failed");
+    return GradOk ? 0 : 1;
+  }
+
+  int Failed = 0, Skipped = 0;
+  for (int I = 0; I < Count; ++I) {
+    uint64_t Seed = SeedBase + uint64_t(I);
+    FuzzReport R = fuzzOne(Seed, GOpts, DOpts);
+    if (R.Skipped)
+      ++Skipped;
+    if (!R.Passed) {
+      ++Failed;
+      std::printf("=== FAILURE (replay: fuzz_models --replay 0x%llx) ===\n",
+                  (unsigned long long)Seed);
+      std::printf("%s\n", R.Failure.str().c_str());
+      if (R.ShrinkSteps)
+        std::printf("(shrunk %d steps from)\n%s\n", R.ShrinkSteps,
+                    R.Original.c_str());
+      continue;
+    }
+    if (GradCheck && !R.Skipped) {
+      auto GM = generateModel(Seed, GOpts);
+      if (GM.ok() && !gradCheckModel(*GM, Verbose)) {
+        ++Failed;
+        std::printf("=== GRADCHECK FAILURE seed 0x%llx ===\n%s\n",
+                    (unsigned long long)Seed, GM->Source.c_str());
+      }
+    }
+    if (Verbose)
+      std::printf("seed 0x%llx: %s\n", (unsigned long long)Seed,
+                  R.Skipped ? "skipped" : "ok");
+  }
+  std::printf("fuzz_models: %d models, %d failed, %d skipped "
+              "(both backends reject)\n",
+              Count, Failed, Skipped);
+  return Failed ? 1 : 0;
+}
