@@ -1,0 +1,332 @@
+//===- bench/incremental_fc.cpp - Factor-cache speedup bench --*- C++ -*-===//
+//
+// Measures the Markov-blanket-sparse log-joint maintenance (DESIGN.md
+// section 11) against the full-recompute baseline on the paper's
+// mixture/topic models. Per model, two identically-seeded chains run
+// with the factor cache on and off; each sweep ends with one log-joint
+// evaluation (the PR-2 per-sweep telemetry pattern). Reported per
+// model:
+//
+//   * per_sweep_logjoint_speedup — full ll_joint time per sweep over
+//     cache maintenance time per sweep (the headline number),
+//   * whole_sweep_speedup — end-to-end sweep+logjoint wall time ratio,
+//   * fc counters and the streams_identical bit-check of the final
+//     states (caching must not perturb the chain).
+//
+// Also reports a conjugate-Gibbs microbench guarding the interpreter's
+// scratch-buffer reuse (exec/Interp.cpp execConjSample/AccumLL).
+//
+// Writes BENCH_incremental_fc.json into the working directory (skipped
+// in --smoke mode, which runs tiny sizes and asserts fc/cache_hits > 0
+// through the telemetry pipeline instead).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../bench/BenchCommon.h"
+#include "telemetry/Telemetry.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+bool Smoke = false;
+
+bool bitEqValue(const Value &A, const Value &B) {
+  if (A.isRealScalar() && B.isRealScalar()) {
+    double X = A.asReal(), Y = B.asReal();
+    return std::memcmp(&X, &Y, sizeof(double)) == 0;
+  }
+  if (A.isRealVec() && B.isRealVec()) {
+    const auto &FA = A.realVec().flat(), &FB = B.realVec().flat();
+    return FA.size() == FB.size() &&
+           (FA.empty() || std::memcmp(FA.data(), FB.data(),
+                                      FA.size() * sizeof(double)) == 0);
+  }
+  return A == B; // ints, matrices, matvecs: structural equality
+}
+
+std::string strFormatDims(int64_t K, int64_t D, int64_t N) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "(k=%lld, d=%lld, n=%lld)", (long long)K,
+                (long long)D, (long long)N);
+  return Buf;
+}
+
+struct ModelSpec {
+  std::string Name;
+  const char *Source = nullptr;
+  std::vector<Value> Args;
+  Env Data;
+  std::string Dims;
+};
+
+struct RunResult {
+  double SweepSecs = 0.0;   ///< step + logJoint, total
+  double LJSecs = 0.0;      ///< logJoint calls only
+  uint64_t MaintNanos = 0;  ///< cache maintenance (cached run)
+  uint64_t FactorsEvaluated = 0, CacheHits = 0, ByproductRefreshes = 0;
+  size_t NumFactors = 0;
+  double MeanBlanket = 0.0;
+  Env FinalState;
+};
+
+RunResult runChain(const ModelSpec &M, bool CacheOn, int Sweeps) {
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.Seed = 0xFCB0;
+  CO.IncrementalFC = CacheOn;
+  Aug.setCompileOpt(CO);
+  Status St = Aug.compile(M.Args, M.Data);
+  if (!St.ok()) {
+    std::fprintf(stderr, "%s: compile failed: %s\n", M.Name.c_str(),
+                 St.message().c_str());
+    std::exit(1);
+  }
+  MCMCProgram &Prog = Aug.program();
+  RunResult R;
+  Timer Whole;
+  for (int T = 0; T < Sweeps; ++T) {
+    if (!Prog.step().ok())
+      std::exit(1);
+    Timer LJ;
+    double V = Prog.logJoint();
+    R.LJSecs += LJ.seconds();
+    if (!std::isfinite(V)) {
+      std::fprintf(stderr, "%s: non-finite log joint\n", M.Name.c_str());
+      std::exit(1);
+    }
+  }
+  R.SweepSecs = Whole.seconds();
+  if (FactorCache *C = Prog.factorCache()) {
+    R.MaintNanos = C->MaintNanos;
+    R.FactorsEvaluated = C->FactorsEvaluated;
+    R.CacheHits = C->CacheHits;
+    R.ByproductRefreshes = C->ByproductRefreshes;
+    R.NumFactors = C->numFactors();
+    // Exactness spot check: the incremental value must equal a full
+    // recompute bit-for-bit.
+    double Inc = Prog.logJoint();
+    Prog.invalidateCache();
+    double Full = Prog.logJoint();
+    if (std::memcmp(&Inc, &Full, sizeof(double)) != 0) {
+      std::fprintf(stderr, "%s: cached log joint %.17g != recompute %.17g\n",
+                   M.Name.c_str(), Inc, Full);
+      std::exit(1);
+    }
+  }
+  if (const DepGraph *DG = Prog.depGraph())
+    R.MeanBlanket = DG->meanBlanketSize();
+  for (const auto &F : Prog.densityModel().Joint.Factors)
+    if (F.Role == VarRole::Param)
+      R.FinalState[F.AtVar] = Prog.state().at(F.AtVar);
+  return R;
+}
+
+ModelSpec gmmSpec() {
+  ModelSpec M;
+  M.Name = "gmm";
+  M.Source = models::GMM;
+  const int64_t K = 3, D = 2, N = Smoke ? 60 : 2000;
+  MixtureData Data = mixtureData(K, D, N, 0xFCB1);
+  std::vector<double> Diag(size_t(D), 25.0), Unit(size_t(D), 1.0);
+  M.Args = {Value::intScalar(K),
+            Value::intScalar(N),
+            Value::realVec(BlockedReal::flat(D, 0.0)),
+            Value::matrix(Matrix::diagonal(Diag)),
+            Value::realVec(BlockedReal::flat(K, 1.0 / double(K))),
+            Value::matrix(Matrix::diagonal(Unit))};
+  M.Data["x"] = Value::realVec(Data.Points,
+                               Type::vec(Type::vec(Type::realTy())));
+  M.Dims = strFormatDims(K, D, N);
+  return M;
+}
+
+ModelSpec hgmmSpec() {
+  ModelSpec M;
+  M.Name = "hgmm";
+  M.Source = models::HGMM;
+  const int64_t K = 3, D = 2, N = Smoke ? 60 : 2000;
+  MixtureData Data = mixtureData(K, D, N, 0xFCB2);
+  M.Args = hgmmArgs(K, D, N);
+  M.Data["y"] = Value::realVec(Data.Points,
+                               Type::vec(Type::vec(Type::realTy())));
+  M.Dims = strFormatDims(K, D, N);
+  return M;
+}
+
+ModelSpec ldaSpec() {
+  ModelSpec M;
+  M.Name = "lda";
+  M.Source = models::LDA;
+  const int64_t K = Smoke ? 2 : 5;
+  const int64_t D = Smoke ? 6 : 50;
+  const int64_t V = Smoke ? 12 : 500;
+  const int64_t MeanLen = Smoke ? 8 : 40;
+  Corpus C = ldaCorpus(V, D, MeanLen, K, 0xFCB3);
+  M.Args = {Value::intScalar(K),
+            Value::intScalar(D),
+            Value::intScalar(V),
+            Value::realVec(BlockedReal::flat(K, 0.5)),
+            Value::realVec(BlockedReal::flat(V, 0.5)),
+            Value::intVec(C.Lengths)};
+  M.Data["w"] = Value::intVec(C.Words,
+                              Type::vec(Type::vec(Type::intTy())));
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "(k=%lld, d=%lld, v=%lld, tok=%lld)",
+                (long long)K, (long long)D, (long long)V,
+                (long long)C.Tokens);
+  M.Dims = Buf;
+  return M;
+}
+
+bool statesIdentical(const Env &A, const Env &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const auto &KV : A) {
+    auto It = B.find(KV.first);
+    if (It == B.end() || !bitEqValue(KV.second, It->second))
+      return false;
+  }
+  return true;
+}
+
+/// Conjugate-Gibbs microbench: interpreter sweeps of the all-conjugate
+/// heuristic GMM schedule, dominated by execConjSample/AccumLL — the
+/// paths the reusable scratch buffers (exec/Interp.h) optimize.
+double conjGibbsMicrobench() {
+  ModelSpec M = gmmSpec();
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.Seed = 0xFCB4;
+  Aug.setCompileOpt(CO);
+  if (!Aug.compile(M.Args, M.Data).ok())
+    std::exit(1);
+  const int Sweeps = Smoke ? 3 : 30;
+  Timer T;
+  for (int I = 0; I < Sweeps; ++I)
+    if (!Aug.program().step().ok())
+      std::exit(1);
+  return T.seconds() * 1e6 / double(Sweeps);
+}
+
+struct Row {
+  ModelSpec Spec;
+  RunResult On, Off;
+  int Sweeps = 0;
+  bool Identical = false;
+  double LJSpeedup = 0.0, SweepSpeedup = 0.0;
+};
+
+Row benchModel(ModelSpec Spec) {
+  Row R;
+  R.Sweeps = Smoke ? 5 : 20;
+  R.Off = runChain(Spec, /*CacheOn=*/false, R.Sweeps);
+  R.On = runChain(Spec, /*CacheOn=*/true, R.Sweeps);
+  R.Identical = statesIdentical(R.On.FinalState, R.Off.FinalState);
+  double MaintUs = double(R.On.MaintNanos) / 1e3 / double(R.Sweeps);
+  double FullUs = R.Off.LJSecs * 1e6 / double(R.Sweeps);
+  R.LJSpeedup = MaintUs > 0.0 ? FullUs / MaintUs : 0.0;
+  R.SweepSpeedup = R.On.SweepSecs > 0.0 ? R.Off.SweepSecs / R.On.SweepSecs
+                                        : 0.0;
+  R.Spec = std::move(Spec);
+  std::printf("%-6s %-28s lj full %9.1f us/sweep, maint %9.1f us/sweep "
+              "-> %5.1fx (sweep %4.2fx)  evals %llu hits %llu byp %llu  %s\n",
+              R.Spec.Name.c_str(), R.Spec.Dims.c_str(), FullUs, MaintUs,
+              R.LJSpeedup, R.SweepSpeedup,
+              (unsigned long long)R.On.FactorsEvaluated,
+              (unsigned long long)R.On.CacheHits,
+              (unsigned long long)R.On.ByproductRefreshes,
+              R.Identical ? "streams-identical" : "STREAMS DIVERGE");
+  if (!R.Identical)
+    std::exit(1);
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--smoke")
+      Smoke = true;
+
+  Recorder &R = Recorder::global();
+  if (Smoke) {
+    // Smoke mode routes the cache statistics through the telemetry
+    // pipeline and asserts the counters arrive.
+    TelemetryConfig TC;
+    TC.Enabled = true;
+    R.configure(TC);
+  }
+
+  std::printf("== Incremental full conditionals: log-joint maintenance vs "
+              "full recompute (%s) ==\n", Smoke ? "smoke" : "default sizes");
+  std::vector<Row> Rows;
+  Rows.push_back(benchModel(gmmSpec()));
+  Rows.push_back(benchModel(hgmmSpec()));
+  Rows.push_back(benchModel(ldaSpec()));
+
+  double ConjUs = conjGibbsMicrobench();
+  std::printf("conj-gibbs microbench: %.1f us/sweep (scratch-buffer reuse "
+              "guard)\n", ConjUs);
+
+  if (Smoke) {
+    uint64_t Hits = R.counterValue("chain0/fc/cache_hits");
+    uint64_t Evals = R.counterValue("chain0/fc/factors_evaluated");
+    std::printf("telemetry: fc/cache_hits=%llu fc/factors_evaluated=%llu\n",
+                (unsigned long long)Hits, (unsigned long long)Evals);
+    if (Hits == 0 || Evals == 0) {
+      std::fprintf(stderr, "smoke: expected nonzero fc counters\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  FILE *F = std::fopen("BENCH_incremental_fc.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_incremental_fc.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"incremental_fc\",\n");
+  std::fprintf(F, "  \"sweeps_per_run\": %d,\n", Rows[0].Sweeps);
+  std::fprintf(F, "  \"conj_gibbs_us_per_sweep\": %.1f,\n", ConjUs);
+  std::fprintf(F, "  \"models\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &Rw = Rows[I];
+    std::fprintf(F, "    {\n");
+    std::fprintf(F, "      \"name\": \"%s\",\n", Rw.Spec.Name.c_str());
+    std::fprintf(F, "      \"dims\": \"%s\",\n", Rw.Spec.Dims.c_str());
+    std::fprintf(F, "      \"factors\": %zu,\n", Rw.On.NumFactors);
+    std::fprintf(F, "      \"mean_blanket_size\": %.2f,\n",
+                 Rw.On.MeanBlanket);
+    std::fprintf(F, "      \"lj_full_us_per_sweep\": %.2f,\n",
+                 Rw.Off.LJSecs * 1e6 / double(Rw.Sweeps));
+    std::fprintf(F, "      \"fc_maint_us_per_sweep\": %.2f,\n",
+                 double(Rw.On.MaintNanos) / 1e3 / double(Rw.Sweeps));
+    std::fprintf(F, "      \"per_sweep_logjoint_speedup\": %.2f,\n",
+                 Rw.LJSpeedup);
+    std::fprintf(F, "      \"sweep_us_off\": %.2f,\n",
+                 Rw.Off.SweepSecs * 1e6 / double(Rw.Sweeps));
+    std::fprintf(F, "      \"sweep_us_on\": %.2f,\n",
+                 Rw.On.SweepSecs * 1e6 / double(Rw.Sweeps));
+    std::fprintf(F, "      \"whole_sweep_speedup\": %.2f,\n",
+                 Rw.SweepSpeedup);
+    std::fprintf(F, "      \"fc_factors_evaluated\": %llu,\n",
+                 (unsigned long long)Rw.On.FactorsEvaluated);
+    std::fprintf(F, "      \"fc_cache_hits\": %llu,\n",
+                 (unsigned long long)Rw.On.CacheHits);
+    std::fprintf(F, "      \"fc_byproduct_refreshes\": %llu,\n",
+                 (unsigned long long)Rw.On.ByproductRefreshes);
+    std::fprintf(F, "      \"streams_identical\": %s\n",
+                 Rw.Identical ? "true" : "false");
+    std::fprintf(F, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_incremental_fc.json\n");
+  return 0;
+}

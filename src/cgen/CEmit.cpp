@@ -636,6 +636,7 @@ private:
         Cond += "(" + A + ") == (" + B + ")";
       }
       std::string Out = Pad + "if (" + Cond + ") {\n";
+      LocalScope Scope(*this); // C block scope: locals die at the brace
       for (const auto &Sub : S.Then) {
         AUGUR_ASSIGN_OR_RETURN(std::string T, emitStmt(*Sub, Indent + 1));
         Out += T;
@@ -658,6 +659,7 @@ private:
         if (S.LK == LoopKind::AtmPar)
           ++AtmDepth;
         LoopVars.insert(S.LoopVar);
+        LocalScope Scope(*this);
         std::string Fn = "static void " + FnName +
                          "(void *vf, i64 lo, i64 hi) {\n"
                          "  augur_frame *f = (augur_frame *)vf;\n"
@@ -687,6 +689,7 @@ private:
       if (S.LK == LoopKind::AtmPar)
         ++AtmDepth;
       LoopVars.insert(S.LoopVar);
+      LocalScope Scope(*this);
       std::string Out =
           Pad + strFormat("for (i64 %s = ", S.LoopVar.c_str()) + Lo +
           "; " + S.LoopVar + " < " + Hi + "; ++" + S.LoopVar + ") {" +
@@ -756,6 +759,26 @@ private:
            GIt->second.K == GKind::IntVecFlat ||
            GIt->second.K == GKind::IntVecRagged;
   }
+
+  /// Restores the local-variable registries when a C block scope
+  /// closes. Without this a DeclLocal inside a loop or if body would
+  /// leak into the registries for the rest of the procedure, wrongly
+  /// suppressing outlining of later top-level Par loops (the outlining
+  /// guard requires no live locals) and resolving out-of-scope names.
+  struct LocalScope {
+    CEmitter &Em;
+    std::map<std::string, bool> SavedScalars;
+    std::map<std::string, std::string> SavedVecs;
+    std::set<std::string> SavedIntVecs;
+    explicit LocalScope(CEmitter &Em)
+        : Em(Em), SavedScalars(Em.ScalarLocals), SavedVecs(Em.VecLocals),
+          SavedIntVecs(Em.IntVecLocals) {}
+    ~LocalScope() {
+      Em.ScalarLocals = std::move(SavedScalars);
+      Em.VecLocals = std::move(SavedVecs);
+      Em.IntVecLocals = std::move(SavedIntVecs);
+    }
+  };
 
   const LowppProc &P;
   const Env *E;

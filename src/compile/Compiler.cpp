@@ -2,15 +2,53 @@
 
 #include "compile/Compiler.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "cgen/Native.h"
+#include "density/Eval.h"
 #include "lowpp/Reify.h"
 #include "support/Format.h"
 
 using namespace augur;
 
+namespace {
+
+/// Resolves CompileOptions::IncrementalFC against the env override.
+bool incrementalFCEnabled(const CompileOptions &Opts) {
+  if (const char *S = std::getenv("AUGUR_INCREMENTAL_FC"))
+    return std::string(S) != "0";
+  return Opts.IncrementalFC;
+}
+
+/// True when a factor's own loops are the conditional's block loops:
+/// same count, and each level's bounds structurally equal after
+/// renaming the factor's earlier loop variables to the block variables
+/// (inner bounds may reference outer loop vars, e.g. ragged corpora).
+bool loopsAlign(const std::vector<LoopBinding> &Loops,
+                const std::vector<LoopBinding> &Block) {
+  if (Loops.size() != Block.size())
+    return false;
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    ExprPtr Lo = Loops[I].Lo, Hi = Loops[I].Hi;
+    for (size_t J = 0; J < I; ++J) {
+      ExprPtr From = Expr::var(Loops[J].Var), To = Expr::var(Block[J].Var);
+      Lo = substExpr(Lo, From, To);
+      Hi = substExpr(Hi, From, To);
+    }
+    if (!Expr::structEq(Lo, Block[I].Lo) || !Expr::structEq(Hi, Block[I].Hi))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
 Status MCMCProgram::init() {
-  return forwardSampleModel(DM, Eng->env(), Eng->rng(),
-                            /*IncludeData=*/false);
+  AUGUR_RETURN_IF_ERROR(forwardSampleModel(DM, Eng->env(), Eng->rng(),
+                                           /*IncludeData=*/false));
+  invalidateCache();
+  return Status::success();
 }
 
 Status MCMCProgram::step() {
@@ -18,13 +56,15 @@ Status MCMCProgram::step() {
   Ctx.Eng = Eng.get();
   Ctx.DM = &DM;
   Ctx.Telem = &Recorder::global();
+  Ctx.Cache = Cache.get();
   for (auto &CU : Updates)
     AUGUR_RETURN_IF_ERROR(runBaseUpdate(Ctx, CU));
   Recorder &R = Recorder::global();
   if (R.enabled() && !SweepLJKey.empty()) {
     R.count(SweepCountKey);
-    // Running log-joint, once per sweep: one extra likelihood run that
-    // never consumes RNG. Gated off the GpuSim target so the modeled
+    // Running log-joint, once per sweep: never consumes RNG, and with
+    // the factor cache attached costs only the factors dirtied since
+    // the last sweep. Gated off the GpuSim target so the modeled
     // device-time accounting is unchanged by telemetry.
     if (R.config().SweepLogJoint &&
         Opts.Tgt == CompileOptions::Target::Cpu) {
@@ -32,19 +72,39 @@ Status MCMCProgram::step() {
       R.observe(SweepLJKey, LJ);
       R.gauge(SweepLJKey, LJ);
     }
+    if (Cache) {
+      // Per-sweep deltas; zero deltas still materialize the keys so
+      // every chain reports the same key set.
+      R.count(FCEvalKey, Cache->FactorsEvaluated - FCLastEval);
+      R.count(FCHitsKey, Cache->CacheHits - FCLastHits);
+      R.count(FCBypKey, Cache->ByproductRefreshes - FCLastByp);
+      R.count(FCMaintKey, Cache->MaintNanos - FCLastMaint);
+      FCLastEval = Cache->FactorsEvaluated;
+      FCLastHits = Cache->CacheHits;
+      FCLastByp = Cache->ByproductRefreshes;
+      FCLastMaint = Cache->MaintNanos;
+    }
   }
   return Status::success();
 }
 
 double MCMCProgram::logJoint() {
+  if (Cache)
+    return Cache->logJoint();
   Eng->runProc("ll_joint");
   return Eng->env().at("ll_ll_joint").asReal();
+}
+
+void MCMCProgram::invalidateCache() {
+  if (Cache)
+    Cache->markAllDirty();
 }
 
 Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
                                                const BaseUpdate &U,
                                                const CompileOptions &Opts,
-                                               Engine &Eng, int Index) {
+                                               Engine &Eng, int Index,
+                                               const DepGraph *DG) {
   CompiledUpdate CU;
   CU.U = U;
   CU.U.Hmc = Opts.Hmc;
@@ -64,11 +124,54 @@ Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
                              genConjGibbsProc(Name, *U.Cond, *U.Conj));
       Eng.addProc(std::move(P));
     } else {
-      AUGUR_ASSIGN_OR_RETURN(LowppProc P, genEnumGibbsProc(Name, *U.Cond));
+      // Byproduct plan: where the Section 3.3 rewrites sliced a blanket
+      // factor down to the block index, the scoring pass already
+      // computes its per-index contribution at the committed state —
+      // route those scores into the factor-contribution table so the
+      // cache refreshes for free. The byproduct is emitted whenever the
+      // dependency graph is available (i.e. on the CPU target), NOT
+      // gated on IncrementalFC, so cache-on and cache-off runs execute
+      // identical procedures.
+      EnumFCByproduct Byp;
+      std::vector<int> Covered;
+      if (DG && !U.Cond->Approximate && !U.Cond->BlockLoops.empty()) {
+        const std::string &Var = U.Vars[0];
+        int PriorId = DG->priorFactorId(Var);
+        std::vector<FactorDep> LikEdges;
+        for (const FactorDep &E : DG->deps(Var))
+          if (E.FactorId != PriorId)
+            LikEdges.push_back(E);
+        // The conditional's Liks were collected in factor order, so
+        // they are parallel to the non-prior dependence edges; bail out
+        // of the byproduct entirely if that ever stops holding.
+        if (PriorId >= 0 && LikEdges.size() == U.Cond->Liks.size()) {
+          const Factor &PF = DM.Joint.Factors[size_t(PriorId)];
+          if (PF.Guards.empty() && loopsAlign(PF.Loops, U.Cond->BlockLoops)) {
+            Byp.PriorSlice = fcSliceName(PriorId);
+            Covered.push_back(PriorId);
+          }
+          Byp.LikSlices.resize(U.Cond->Liks.size());
+          for (size_t J = 0; J < U.Cond->Liks.size(); ++J) {
+            const Factor &L = U.Cond->Liks[J];
+            const Factor &Orig =
+                DM.Joint.Factors[size_t(LikEdges[J].FactorId)];
+            if (LikEdges[J].Sliced && L.Loops.empty() && L.Guards.empty() &&
+                loopsAlign(Orig.Loops, U.Cond->BlockLoops)) {
+              Byp.LikSlices[J] = fcSliceName(LikEdges[J].FactorId);
+              Covered.push_back(LikEdges[J].FactorId);
+            }
+          }
+        }
+      }
+      AUGUR_ASSIGN_OR_RETURN(
+          LowppProc P,
+          genEnumGibbsProc(Name, *U.Cond, Covered.empty() ? nullptr : &Byp));
       Eng.addProc(std::move(P));
+      std::sort(Covered.begin(), Covered.end());
+      CU.RefreshIds = std::move(Covered);
     }
     CU.GibbsProc = Name;
-    return CU;
+    break;
   }
   case UpdateKind::Grad:
   case UpdateKind::Nuts:
@@ -83,7 +186,7 @@ Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
     Eng.addProc(std::move(G));
     CU.LLProc = LLName;
     CU.GradProc = GradName;
-    return CU;
+    break;
   }
   case UpdateKind::ESlice: {
     assert(U.Joint && "elliptical slice carries its restricted joint");
@@ -96,7 +199,7 @@ Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
     std::string LLName = strFormat("llp_%d", Index);
     Eng.addProc(genLikelihoodProc(LLName, Liks, "ll_" + LLName));
     CU.LLProc = LLName;
-    return CU;
+    break;
   }
   case UpdateKind::Prop: {
     assert(U.Joint && "MH update carries its restricted joint");
@@ -104,10 +207,19 @@ Result<CompiledUpdate> Compiler::compileUpdate(const DensityModel &DM,
     Eng.addProc(
         genLikelihoodProc(LLName, U.Joint->Factors, "ll_" + LLName));
     CU.LLProc = LLName;
-    return CU;
+    break;
   }
   }
-  return Status::error("unknown update kind");
+
+  // Factor-cache contract: an accepted move dirties the target sites'
+  // blankets, minus whatever the update's own scoring pass refreshed.
+  if (DG) {
+    std::vector<int> Blanket = DG->blanketOf(CU.U.Vars);
+    std::set_difference(Blanket.begin(), Blanket.end(),
+                        CU.RefreshIds.begin(), CU.RefreshIds.end(),
+                        std::back_inserter(CU.DirtyIds));
+  }
+  return CU;
 }
 
 Result<std::unique_ptr<MCMCProgram>>
@@ -193,14 +305,46 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
       return Status::error(
           strFormat("missing data for '%s'", Name.c_str()));
 
+  // Factor dependency analysis + contribution table (CPU target). The
+  // slice buffers and their evaluator procedures exist in BOTH cache
+  // modes so the compiled program is identical with caching on or off;
+  // IncrementalFC only decides whether a FactorCache is attached.
+  size_t NumProcs = 1; // ll_joint
+  if (Opts.Tgt == CompileOptions::Target::Cpu) {
+    PhaseT0 = Recorder::nowNanos();
+    Prog->DG = std::make_unique<DepGraph>(Prog->DM);
+    EvalCtx ExtCtx(E);
+    for (size_t I = 0; I < Prog->DM.Joint.Factors.size(); ++I) {
+      const Factor &F = Prog->DM.Joint.Factors[I];
+      // Pre-allocate the slice buffer with its real extent: the native
+      // backend would otherwise default missing outputs to scalars.
+      int64_t Extent =
+          F.Loops.empty() ? 1 : evalIntExpr(F.Loops[0].Hi, ExtCtx);
+      E[fcSliceName(int(I))] = Value::realVec(
+          BlockedReal::flat(std::max<int64_t>(Extent, 1), 0.0));
+      Prog->Eng->addProc(
+          genFactorSliceProc(fcProcName(int(I)), F, fcSliceName(int(I))));
+      ++NumProcs;
+    }
+    if (Rec.enabled()) {
+      Rec.span("compile/depgraph", "compile", PhaseT0, Recorder::nowNanos(),
+               {{"factors", double(Prog->DM.Joint.Factors.size())},
+                {"mean_blanket", Prog->DG->meanBlanketSize()}});
+      for (const auto &Decl : Prog->DM.TM.M.Decls)
+        if (Decl.Role == VarRole::Param)
+          Rec.observe(ChainPrefix + "fc/blanket_size",
+                      double(Prog->DG->blanket(Decl.Name).size()));
+    }
+  }
+
   // Lower every base update to Low++ and register the procedures.
   PhaseT0 = Recorder::nowNanos();
   int Index = 0;
-  size_t NumProcs = 1; // ll_joint
   for (const auto &U : Prog->Sched.Updates) {
     AUGUR_ASSIGN_OR_RETURN(
         CompiledUpdate CU,
-        compileUpdate(Prog->DM, U, Opts, *Prog->Eng, Index++));
+        compileUpdate(Prog->DM, U, Opts, *Prog->Eng, Index++,
+                      Prog->DG.get()));
     CU.Keys.build(ChainPrefix, CU.U);
     NumProcs += (CU.GibbsProc.empty() ? 0 : 1) +
                 (CU.LLProc.empty() ? 0 : 1) + (CU.GradProc.empty() ? 0 : 1);
@@ -214,6 +358,19 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
     Rec.span("compile/lowpp", "compile", PhaseT0, Recorder::nowNanos(),
              {{"procs", double(NumProcs)}});
     Rec.count("compile/ir/procs", NumProcs);
+  }
+
+  if (Prog->DG && incrementalFCEnabled(Opts)) {
+    std::vector<FactorCache::Entry> Entries;
+    for (size_t I = 0; I < Prog->DM.Joint.Factors.size(); ++I)
+      Entries.push_back({fcProcName(int(I)), fcSliceName(int(I)),
+                         /*Partial=*/0.0, /*Dirty=*/true});
+    Prog->Cache =
+        std::make_unique<FactorCache>(*Prog->Eng, std::move(Entries));
+    Prog->FCEvalKey = ChainPrefix + "fc/factors_evaluated";
+    Prog->FCHitsKey = ChainPrefix + "fc/cache_hits";
+    Prog->FCBypKey = ChainPrefix + "fc/byproduct_refreshes";
+    Prog->FCMaintKey = ChainPrefix + "fc/maint_ns";
   }
   return Prog;
 }

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "density/DepGraph.h"
 #include "density/Frontend.h"
+#include "exec/FactorCache.h"
 #include "exec/GpuSim.h"
 #include "kernel/Schedule.h"
 #include "lang/Parser.h"
@@ -60,6 +62,13 @@ struct CompileOptions {
   /// Which chain this program belongs to; prefixes all runtime metric
   /// keys ("chain<k>/...") and error messages from multi-chain runs.
   int ChainIndex = 0;
+  /// Cpu target only: maintain the running log joint incrementally via
+  /// the factor-contribution cache (exec/FactorCache.h) instead of
+  /// re-running ll_joint. Sample streams are bit-identical either way
+  /// (the cache never consumes RNG and the generated procedures are the
+  /// same in both modes). The env var AUGUR_INCREMENTAL_FC overrides
+  /// this field: "0" disables, any other value enables.
+  bool IncrementalFC = true;
 };
 
 /// A compiled, executable composite MCMC algorithm.
@@ -72,9 +81,23 @@ public:
   /// Runs one full sweep: every base update once, in schedule order.
   Status step();
 
-  /// Log joint density of the current state (runs the compiled
-  /// likelihood procedure).
+  /// Log joint density of the current state. With the incremental
+  /// factor cache attached this re-evaluates only factors marked dirty
+  /// since the last call; otherwise it runs the compiled ll_joint
+  /// procedure.
   double logJoint();
+
+  /// Marks every cached factor stale. Must be called after any state
+  /// mutation that bypasses the compiled updates (e.g. writing into
+  /// state() directly, or re-sampling data in place).
+  void invalidateCache();
+
+  /// The incremental log-joint cache, or nullptr when disabled (GpuSim
+  /// target, or IncrementalFC off).
+  FactorCache *factorCache() { return Cache.get(); }
+
+  /// The factor dependency graph (CPU target), or nullptr.
+  const DepGraph *depGraph() const { return DG.get(); }
 
   Env &state() { return Eng->env(); }
   Engine &engine() { return *Eng; }
@@ -90,8 +113,16 @@ private:
   KernelSchedule Sched;
   std::vector<CompiledUpdate> Updates;
   CompileOptions Opts;
+  std::unique_ptr<DepGraph> DG;      ///< CPU target only
+  std::unique_ptr<FactorCache> Cache;///< CPU target + IncrementalFC
   std::string SweepLJKey;    ///< "chain<k>/sweep/log_joint"
   std::string SweepCountKey; ///< "chain<k>/sweep/count"
+  std::string FCEvalKey;     ///< "chain<k>/fc/factors_evaluated"
+  std::string FCHitsKey;     ///< "chain<k>/fc/cache_hits"
+  std::string FCBypKey;      ///< "chain<k>/fc/byproduct_refreshes"
+  std::string FCMaintKey;    ///< "chain<k>/fc/maint_ns"
+  // Last-flushed cache statistics (step() reports per-sweep deltas).
+  uint64_t FCLastEval = 0, FCLastHits = 0, FCLastByp = 0, FCLastMaint = 0;
 };
 
 /// The compiler entry point.
@@ -106,11 +137,15 @@ public:
 
   /// Generates the Low++ procedures for one base update and registers
   /// them on \p Eng, returning the driver-facing handle. Exposed so the
-  /// extensibility test can drive it directly.
+  /// extensibility test can drive it directly. When \p DG is given the
+  /// update also declares its factor-cache contract (DirtyIds, and for
+  /// enumerated Gibbs the slice buffers it refreshes as a byproduct of
+  /// scoring).
   static Result<CompiledUpdate> compileUpdate(const DensityModel &DM,
                                               const BaseUpdate &U,
                                               const CompileOptions &Opts,
-                                              Engine &Eng, int Index);
+                                              Engine &Eng, int Index,
+                                              const DepGraph *DG = nullptr);
 };
 
 } // namespace augur

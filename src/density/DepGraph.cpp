@@ -1,0 +1,103 @@
+//===- density/DepGraph.cpp -----------------------------------*- C++ -*-===//
+
+#include "density/DepGraph.h"
+
+#include <algorithm>
+
+#include "density/Conditional.h"
+#include "support/Format.h"
+
+using namespace augur;
+
+std::string augur::fcSliceName(int Id) {
+  return strFormat("fcslice_%d", Id);
+}
+
+std::string augur::fcProcName(int Id) { return strFormat("llfac_%d", Id); }
+
+DepGraph::DepGraph(const DensityModel &DM) {
+  NumFactors = DM.Joint.Factors.size();
+  for (const auto &Decl : DM.TM.M.Decls) {
+    if (Decl.Role != VarRole::Param)
+      continue;
+    const std::string &Var = Decl.Name;
+    std::vector<FactorDep> Edges;
+
+    // The conditional rewrites (Section 3.3) tell us, per likelihood
+    // factor, whether the dependence was factored down to the block
+    // index. A likelihood that came out of the factoring rule has its
+    // matched loops consumed and no guards; the categorical
+    // normalization rule leaves a guard, and a failed rewrite leaves
+    // the factor whole (Approximate) — neither is top-index-sliced.
+    std::map<std::string, bool> SlicedByAtVar;
+    bool HaveCond = false;
+    bool BlockNonEmpty = false;
+    if (Result<Conditional> C = computeConditional(DM, Var); C.ok()) {
+      HaveCond = true;
+      BlockNonEmpty = !C->BlockLoops.empty();
+      for (const auto &L : C->Liks)
+        SlicedByAtVar[L.AtVar] = !C->Approximate && BlockNonEmpty &&
+                                 L.Loops.empty() && L.Guards.empty();
+    }
+
+    for (size_t I = 0; I < DM.Joint.Factors.size(); ++I) {
+      const Factor &F = DM.Joint.Factors[I];
+      bool IsPrior = F.AtVar == Var;
+      if (!IsPrior && !F.mentions(Var))
+        continue;
+      FactorDep D;
+      D.FactorId = static_cast<int>(I);
+      if (IsPrior) {
+        PriorIds[Var] = D.FactorId;
+        // The prior factor's top loop *is* the block loop: element i
+        // contributes exactly row i.
+        D.Sliced = HaveCond && BlockNonEmpty;
+      } else {
+        auto It = SlicedByAtVar.find(F.AtVar);
+        D.Sliced = It != SlicedByAtVar.end() && It->second;
+      }
+      Edges.push_back(D);
+    }
+    std::vector<int> Ids;
+    for (const auto &E : Edges)
+      Ids.push_back(E.FactorId);
+    Blankets[Var] = std::move(Ids);
+    Deps[Var] = std::move(Edges);
+  }
+}
+
+const std::vector<int> &DepGraph::blanket(const std::string &Var) const {
+  auto It = Blankets.find(Var);
+  return It == Blankets.end() ? Empty : It->second;
+}
+
+std::vector<int>
+DepGraph::blanketOf(const std::vector<std::string> &Vars) const {
+  std::vector<int> Out;
+  for (const auto &V : Vars) {
+    const std::vector<int> &B = blanket(V);
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+const std::vector<FactorDep> &DepGraph::deps(const std::string &Var) const {
+  auto It = Deps.find(Var);
+  return It == Deps.end() ? EmptyDeps : It->second;
+}
+
+int DepGraph::priorFactorId(const std::string &Var) const {
+  auto It = PriorIds.find(Var);
+  return It == PriorIds.end() ? -1 : It->second;
+}
+
+double DepGraph::meanBlanketSize() const {
+  if (Blankets.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const auto &KV : Blankets)
+    Sum += double(KV.second.size());
+  return Sum / double(Blankets.size());
+}

@@ -1,0 +1,64 @@
+//===- exec/FactorCache.cpp -----------------------------------*- C++ -*-===//
+
+#include "exec/FactorCache.h"
+
+#include <cassert>
+
+using namespace augur;
+
+double FactorCache::foldSlice(const std::string &Slice) const {
+  const Value &V = Eng->env().at(Slice);
+  assert(V.isRealVec() && "factor slice buffers are real vectors");
+  const std::vector<double> &Flat = V.realVec().flat();
+  // Ascending-index fold from 0.0: the canonical summation order shared
+  // with the byproduct refresh (see the header's ordering policy).
+  double Sum = 0.0;
+  for (double X : Flat)
+    Sum += X;
+  return Sum;
+}
+
+void FactorCache::refresh(Entry &E) {
+  Eng->runProc(E.Proc);
+  E.Partial = foldSlice(E.Slice);
+  E.Dirty = false;
+  ++FactorsEvaluated;
+}
+
+double FactorCache::logJoint() {
+  uint64_t T0 = Recorder::nowNanos();
+  double LJ = 0.0;
+  for (Entry &E : Entries) {
+    if (E.Dirty)
+      refresh(E);
+    else
+      ++CacheHits;
+    LJ += E.Partial;
+  }
+  MaintNanos += Recorder::nowNanos() - T0;
+  return LJ;
+}
+
+void FactorCache::markDirty(const std::vector<int> &Ids) {
+  for (int Id : Ids)
+    if (Id >= 0 && size_t(Id) < Entries.size())
+      Entries[size_t(Id)].Dirty = true;
+}
+
+void FactorCache::markAllDirty() {
+  for (Entry &E : Entries)
+    E.Dirty = true;
+}
+
+void FactorCache::noteByproduct(const std::vector<int> &Ids) {
+  uint64_t T0 = Recorder::nowNanos();
+  for (int Id : Ids) {
+    if (Id < 0 || size_t(Id) >= Entries.size())
+      continue;
+    Entry &E = Entries[size_t(Id)];
+    E.Partial = foldSlice(E.Slice);
+    E.Dirty = false;
+    ++ByproductRefreshes;
+  }
+  MaintNanos += Recorder::nowNanos() - T0;
+}

@@ -1,0 +1,85 @@
+//===- exec/FactorCache.h - Incremental log-joint cache --------*- C++ -*-===//
+///
+/// \file
+/// Memoized per-factor log-density contributions with delta updates:
+/// the running log joint is the fold of per-factor partials, each
+/// partial the fold of that factor's per-top-index slice buffer
+/// (fcslice_<id>, written by the generated llfac_<id> procedures or
+/// refreshed in place by the enumerated-Gibbs byproduct). Kernels mark
+/// the factor ids of the Markov blanket they mutated (density/DepGraph)
+/// dirty; logJoint() re-evaluates only those.
+///
+/// Float-summation-order policy (DESIGN.md section 11): a factor
+/// partial is the ascending-index fold of its slice buffer starting
+/// from 0.0, and the log joint is the ascending-factor-id fold of the
+/// partials starting from 0.0. Byproduct refreshes write the slice
+/// entries with bit-identical values in the same per-entry order, so a
+/// cached log joint equals a from-scratch recompute to the last ulp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_EXEC_FACTORCACHE_H
+#define AUGUR_EXEC_FACTORCACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/Engine.h"
+
+namespace augur {
+
+/// The factor-contribution cache of one compiled program. Host-side on
+/// every CPU engine (interpreted or native), so both backends maintain
+/// it with identical arithmetic.
+class FactorCache {
+public:
+  /// One cached factor.
+  struct Entry {
+    std::string Proc;  ///< slice-evaluator procedure (llfac_<id>)
+    std::string Slice; ///< per-top-index buffer global (fcslice_<id>)
+    double Partial = 0.0;
+    bool Dirty = true;
+  };
+
+  FactorCache(Engine &Eng, std::vector<Entry> Entries)
+      : Eng(&Eng), Entries(std::move(Entries)) {}
+
+  /// The log joint of the current state: re-evaluates dirty factors
+  /// (running their slice procedures), folds partials in factor-id
+  /// order. Clean factors are cache hits.
+  double logJoint();
+
+  /// Marks the given factor ids stale (a kernel mutated a variable in
+  /// their scope). Ids out of range are ignored.
+  void markDirty(const std::vector<int> &Ids);
+
+  /// Invalidates every factor (external state mutation, re-init).
+  void markAllDirty();
+
+  /// Adopts byproduct-refreshed slices: the factors' buffers were fully
+  /// rewritten by a sampler (enumerated Gibbs), so only the fold is
+  /// recomputed — no density evaluation.
+  void noteByproduct(const std::vector<int> &Ids);
+
+  size_t numFactors() const { return Entries.size(); }
+  bool dirty(int Id) const { return Entries[size_t(Id)].Dirty; }
+
+  // Maintenance statistics (flushed to telemetry by MCMCProgram::step
+  // under chain<k>/fc/*; read directly by the bench).
+  uint64_t FactorsEvaluated = 0;  ///< slice procedures run
+  uint64_t CacheHits = 0;         ///< clean factors at logJoint()
+  uint64_t ByproductRefreshes = 0;///< fold-only refreshes
+  uint64_t MaintNanos = 0;        ///< total time in cache maintenance
+
+private:
+  void refresh(Entry &E);
+  double foldSlice(const std::string &Slice) const;
+
+  Engine *Eng;
+  std::vector<Entry> Entries;
+};
+
+} // namespace augur
+
+#endif // AUGUR_EXEC_FACTORCACHE_H

@@ -356,19 +356,19 @@ void Interp::execSampleLogits(const LStmt &S) {
 }
 
 void Interp::execConjSample(const LStmt &S) {
-  std::vector<DV> Prior;
+  PriorScratch.clear();
   for (const auto &P : S.PriorParams)
-    Prior.push_back(evalE(P));
-  std::vector<DV> Extra;
+    PriorScratch.push_back(evalE(P));
+  ExtraScratch.clear();
   for (const auto &E : S.Extra)
-    Extra.push_back(evalE(E));
-  std::vector<DV> Stats;
+    ExtraScratch.push_back(evalE(E));
+  StatsScratch.clear();
   for (const auto &R : S.StatRefs)
-    Stats.push_back(readView(resolveDest(R)));
+    StatsScratch.push_back(readView(resolveDest(R)));
   MutDV Dest = resolveDest(S.Dest);
   // ConjKind and ConjOp enumerate the relations in the same order.
-  conjPosteriorSample(static_cast<ConjOp>(S.Conj), Prior, Extra, Stats,
-                      *Rng, Dest);
+  conjPosteriorSample(static_cast<ConjOp>(S.Conj), PriorScratch,
+                      ExtraScratch, StatsScratch, *Rng, Dest);
 }
 
 void Interp::execStmt(const LStmt &S) {
@@ -433,7 +433,8 @@ void Interp::execStmt(const LStmt &S) {
   }
   case LStmt::Kind::AccumLL: {
     ++Counters.DistOps;
-    std::vector<DV> Params;
+    std::vector<DV> &Params = ParamScratch;
+    Params.clear();
     for (const auto &P : S.Params)
       Params.push_back(evalE(P));
     DV At = evalE(S.At);
@@ -446,7 +447,8 @@ void Interp::execStmt(const LStmt &S) {
   }
   case LStmt::Kind::AccumGrad: {
     ++Counters.DistOps;
-    std::vector<DV> Params;
+    std::vector<DV> &Params = ParamScratch;
+    Params.clear();
     for (const auto &P : S.Params)
       Params.push_back(evalE(P));
     DV At = evalE(S.At);
@@ -474,7 +476,8 @@ void Interp::execStmt(const LStmt &S) {
   }
   case LStmt::Kind::Sample: {
     ++Counters.DistOps;
-    std::vector<DV> Params;
+    std::vector<DV> &Params = ParamScratch;
+    Params.clear();
     for (const auto &P : S.Params)
       Params.push_back(evalE(P));
     distSample(S.D, Params, *Rng, resolveDest(S.Dest));

@@ -220,6 +220,13 @@ private:
   bool InParallelRegion = false;     ///< worker: executing a pooled loop
   PhiloxRNG StreamRng;               ///< worker: per-iteration stream
   std::vector<double> GradTmp;       ///< staging for atomic grad adds
+  /// Reused parameter-view scratch: AccumLL/AccumGrad/Sample/ConjSample
+  /// are leaf statements (evaluating a parameter never re-enters
+  /// execStmt), so one buffer per role serves every call without
+  /// per-statement heap allocation. Worker interpreters are separate
+  /// instances, so pooled loops never share these.
+  std::vector<DV> ParamScratch;
+  std::vector<DV> PriorScratch, ExtraScratch, StatsScratch;
   mutable std::unordered_map<const LStmt *, bool> SamplingCache;
   /// Lane-indexed worker interpreters, constructed lazily and reused
   /// across regions (avoids rebuilding closures/maps every loop).

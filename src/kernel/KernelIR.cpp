@@ -63,10 +63,12 @@ BlockCond augur::restrictJoint(const DensityModel &DM,
                                const std::vector<std::string> &Vars) {
   BlockCond BC;
   BC.Vars = Vars;
-  for (const auto &F : DM.Joint.Factors) {
+  for (size_t I = 0; I < DM.Joint.Factors.size(); ++I) {
+    const Factor &F = DM.Joint.Factors[I];
     for (const auto &V : Vars) {
       if (F.mentions(V)) {
         BC.Factors.push_back(F);
+        BC.FactorIds.push_back(static_cast<int>(I));
         break;
       }
     }

@@ -71,6 +71,11 @@ struct PropSettings {
 struct BlockCond {
   std::vector<std::string> Vars;
   std::vector<Factor> Factors;
+  /// Provenance: index of each factor in DM.Joint.Factors, parallel to
+  /// Factors (ascending, since restriction preserves model order). The
+  /// dependency layer (density/DepGraph.h, exec/FactorCache.h) keys
+  /// per-factor log-density contributions by these ids.
+  std::vector<int> FactorIds;
 };
 
 /// One base update kappa ku alpha.

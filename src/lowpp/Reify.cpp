@@ -182,6 +182,44 @@ LowppProc augur::genLikelihoodProc(const std::string &Name,
   return P;
 }
 
+LowppProc augur::genFactorSliceProc(const std::string &Name,
+                                    const Factor &F,
+                                    const std::string &SliceVar) {
+  LowppProc P;
+  P.Name = Name;
+  P.Outputs = {SliceVar};
+  std::string Row = Name + "_row";
+  LValue RowAt = LValue::scalar(Row);
+
+  // Row value: guards and residual (inner) loops fold sequentially into
+  // the zero-initialized row local, in program order.
+  std::vector<LStmtPtr> Inner = {stAccumLL(RowAt, F.D, F.Params, F.At)};
+  if (!F.Guards.empty())
+    Inner = {stIf(F.Guards, std::move(Inner))};
+  for (size_t I = F.Loops.size(); I > 1; --I) {
+    const LoopBinding &L = F.Loops[I - 1];
+    Inner = {stLoop(LoopKind::Seq, L.Var, L.Lo, L.Hi, std::move(Inner))};
+  }
+
+  ExprPtr SliceIdx =
+      F.Loops.empty() ? Expr::intLit(0) : Expr::var(F.Loops[0].Var);
+  std::vector<LStmtPtr> Body;
+  Body.push_back(stDeclLocal(Row, LocalKind::Real, {}));
+  Body.insert(Body.end(), Inner.begin(), Inner.end());
+  Body.push_back(stAssign(LValue::indexed(SliceVar, {SliceIdx}),
+                          Expr::var(Row)));
+
+  if (F.Loops.empty()) {
+    P.Body = std::move(Body);
+    return P;
+  }
+  // Distinct top-loop iterations write distinct slice entries: Par.
+  const LoopBinding &Top = F.Loops[0];
+  P.Body.push_back(
+      stLoop(LoopKind::Par, Top.Var, Top.Lo, Top.Hi, std::move(Body)));
+  return P;
+}
+
 Result<LowppProc> augur::genGradProc(const std::string &Name,
                                      const BlockCond &BC,
                                      const std::vector<std::string> &Targets) {
@@ -510,11 +548,19 @@ Result<LowppProc> augur::genConjGibbsProc(const std::string &Name,
 //===----------------------------------------------------------------------===//
 
 Result<LowppProc> augur::genEnumGibbsProc(const std::string &Name,
-                                          const Conditional &C) {
+                                          const Conditional &C,
+                                          const EnumFCByproduct *Byp) {
   LowppProc P;
   P.Name = Name;
   P.Outputs = {C.Var};
   Gensym Gen;
+  // Byproduct refresh is only sound for exact conditionals (the chosen
+  // candidate's factor score is the factor's contribution at exactly
+  // this block element); the compiler never plans one otherwise.
+  assert((!Byp || !C.Approximate) &&
+         "byproduct refresh requires an exact conditional");
+  if (C.Approximate)
+    Byp = nullptr;
 
   ExprPtr SupportE;
   if (C.Prior.D == Dist::Categorical)
@@ -547,6 +593,8 @@ Result<LowppProc> augur::genEnumGibbsProc(const std::string &Name,
   // candidate is scored by set-then-evaluate: write c into the element
   // and evaluate the factors as written (the final draw overwrites it).
   ExprPtr TargetAtom = makeIndexedVar(C.Var, BlockVars);
+  std::vector<std::string> ByproductDecls;   ///< per-factor score buffers
+  std::vector<LStmtPtr> ByproductWriteback;  ///< post-draw slice updates
   std::vector<LStmtPtr> PerCand;
   PerCand.push_back(stAssign(ScoreAt, lit0()));
   if (C.Approximate) {
@@ -560,28 +608,114 @@ Result<LowppProc> augur::genEnumGibbsProc(const std::string &Name,
       PerCand.insert(PerCand.end(), W.begin(), W.end());
     }
   } else {
+    // With a byproduct plan, each covered factor scores into its own
+    // buffer first and the buffer value is then added to the combined
+    // score. Since each per-factor score is a single accumulation into
+    // a zeroed slot, `0 + ll` is exact and the combined score receives
+    // bit-identical addends in the original order — the sample stream
+    // is unchanged by the byproduct machinery.
+    std::vector<std::string> FacScores; // per covered factor, decl order
+    auto ScoreVia = [&](const std::string &Buf, Dist D,
+                        std::vector<ExprPtr> Params, ExprPtr At) {
+      LValue BufAt = LValue::indexed(Buf, {CandE});
+      PerCand.push_back(stAssign(BufAt, lit0()));
+      PerCand.push_back(stAccumLL(BufAt, D, std::move(Params), At));
+      PerCand.push_back(stAssign(
+          ScoreAt, Expr::index(Expr::var(Buf), CandE), /*Accum=*/true));
+    };
+
     std::vector<ExprPtr> PriorParams;
     for (const auto &Pr : C.Prior.Params)
       PriorParams.push_back(substExpr(Pr, TargetAtom, CandE));
-    PerCand.push_back(stAccumLL(ScoreAt, C.Prior.D, PriorParams, CandE));
-    for (const auto &F : C.Liks) {
+    std::string PriorBuf;
+    if (Byp && !Byp->PriorSlice.empty()) {
+      PriorBuf = Gen.fresh(Name + "_psc");
+      FacScores.push_back(PriorBuf);
+      ScoreVia(PriorBuf, C.Prior.D, std::move(PriorParams), CandE);
+    } else {
+      PerCand.push_back(
+          stAccumLL(ScoreAt, C.Prior.D, PriorParams, CandE));
+    }
+    std::vector<std::string> LikBufs(C.Liks.size());
+    for (size_t J = 0; J < C.Liks.size(); ++J) {
+      const Factor &F = C.Liks[J];
       std::vector<ExprPtr> Params;
       for (const auto &Pr : F.Params)
         Params.push_back(substExpr(Pr, TargetAtom, CandE));
       ExprPtr At = substExpr(F.At, TargetAtom, CandE);
+      bool Covered = Byp && J < Byp->LikSlices.size() &&
+                     !Byp->LikSlices[J].empty();
+      if (Covered) {
+        // Covered factors are fully factored: no residual loops/guards
+        // (the compiler's plan requires it), so one accumulation.
+        assert(F.Loops.empty() && F.Guards.empty() &&
+               "sliced factor must be fully factored");
+        LikBufs[J] = Gen.fresh(Name + "_lsc");
+        FacScores.push_back(LikBufs[J]);
+        ScoreVia(LikBufs[J], F.D, std::move(Params), At);
+        continue;
+      }
       std::vector<LStmtPtr> Inner = {stAccumLL(ScoreAt, F.D, Params, At)};
       // Residual loops of the likelihood run sequentially inside the
       // candidate loop (they are per-element work).
       auto W = wrapFactor(F, std::move(Inner), LoopKind::Seq);
       PerCand.insert(PerCand.end(), W.begin(), W.end());
     }
+
+    if (Byp) {
+      // Slice refresh: zero the covered buffers up front (distinct
+      // indices: Par), then have every block element add the chosen
+      // candidate's per-factor score at its top-loop slice entry. The
+      // resulting slice holds exactly the fold genFactorSliceProc
+      // computes, in the same order.
+      std::vector<std::string> Slices;
+      if (!Byp->PriorSlice.empty())
+        Slices.push_back(Byp->PriorSlice);
+      for (const auto &S : Byp->LikSlices)
+        if (!S.empty())
+          Slices.push_back(S);
+      std::string Z = Gen.fresh("t");
+      std::vector<LStmtPtr> ZBody;
+      for (const auto &S : Slices)
+        ZBody.push_back(
+            stAssign(LValue::indexed(S, {Expr::var(Z)}), lit0()));
+      P.Body.push_back(stLoop(LoopKind::Par, Z, C.BlockLoops[0].Lo,
+                              C.BlockLoops[0].Hi, std::move(ZBody)));
+      for (const auto &S : Slices)
+        P.Outputs.push_back(S);
+    }
+
+    // Post-draw writeback statements (appended to PerElem below).
+    if (Byp) {
+      ExprPtr Chosen = makeIndexedVar(C.Var, BlockVars);
+      ExprPtr SliceIdx = Expr::var(BlockVars[0]);
+      auto Writeback = [&](const std::string &Slice,
+                           const std::string &Buf,
+                           std::vector<LStmtPtr> &Out) {
+        Out.push_back(stAssign(LValue::indexed(Slice, {SliceIdx}),
+                               Expr::index(Expr::var(Buf), Chosen),
+                               /*Accum=*/true));
+      };
+      std::vector<LStmtPtr> WB;
+      if (!Byp->PriorSlice.empty())
+        Writeback(Byp->PriorSlice, PriorBuf, WB);
+      for (size_t J = 0; J < C.Liks.size(); ++J)
+        if (!LikBufs[J].empty())
+          Writeback(Byp->LikSlices[J], LikBufs[J], WB);
+      ByproductDecls = std::move(FacScores);
+      ByproductWriteback = std::move(WB);
+    }
   }
 
   std::vector<LStmtPtr> PerElem;
   PerElem.push_back(stDeclLocal(Scores, LocalKind::Real, {SupportE}));
+  for (const auto &Buf : ByproductDecls)
+    PerElem.push_back(stDeclLocal(Buf, LocalKind::Real, {SupportE}));
   PerElem.push_back(stLoop(LoopKind::Seq, Cand, Expr::intLit(0), SupportE,
                            std::move(PerCand)));
   PerElem.push_back(stSampleLogits(TargetElem, Scores, SupportE));
+  PerElem.insert(PerElem.end(), ByproductWriteback.begin(),
+                 ByproductWriteback.end());
 
   // Exact conditionals proved the block elements conditionally
   // independent, so they update in parallel. An approximate conditional

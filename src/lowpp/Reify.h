@@ -32,6 +32,31 @@ LowppProc genLikelihoodProc(const std::string &Name,
                             const std::vector<Factor> &Factors,
                             const std::string &OutVar);
 
+/// Generates the per-factor slice evaluator of the factor-contribution
+/// table (DESIGN.md "Markov-blanket-sparse full conditionals"): for each
+/// top-loop index t of \p F the procedure folds the factor's inner
+/// loops/guards into a zero-initialized row local (in program order) and
+/// stores it to SliceVar[t]; a loop-free factor writes SliceVar[0]. The
+/// top loop is Par with disjoint slice writes, so the table is
+/// deterministic for any pool width. The caller folds SliceVar in index
+/// order to obtain the factor's log-density partial — the same two-level
+/// summation order the enumerated-Gibbs byproduct refresh produces,
+/// which is what keeps cached and recomputed log-joints bit-identical.
+LowppProc genFactorSliceProc(const std::string &Name, const Factor &F,
+                             const std::string &SliceVar);
+
+/// Byproduct maintenance plan for an enumerated Gibbs update: while
+/// scoring candidates the procedure also refreshes the slice buffers of
+/// the factors in the target's Markov blanket (the chosen candidate's
+/// score per factor *is* the factor's new contribution at that block
+/// element). PriorSlice names the target's own prior-factor buffer; the
+/// LikSlices entries are parallel to Conditional::Liks, with an empty
+/// string for factors the static analysis could not slice-align.
+struct EnumFCByproduct {
+  std::string PriorSlice;
+  std::vector<std::string> LikSlices;
+};
+
 /// Generates the reverse-mode AD adjoint procedure of \p BC with respect
 /// to \p Targets (paper Fig. 8). For each target v the gradient is
 /// accumulated into the global buffer "adj_<v>", which the caller must
@@ -48,8 +73,15 @@ Result<LowppProc> genConjGibbsProc(const std::string &Name,
 
 /// Generates the enumerated Gibbs update for a finite discrete target:
 /// per-element score vectors over the support, sampled via logits.
+/// With \p Byp attached (exact conditionals only) the procedure scores
+/// each blanket factor into its own buffer — preserving the summation
+/// order of the combined score bit-for-bit — and, after the draw, adds
+/// the chosen candidate's per-factor score to that factor's slice
+/// buffer, refreshing the factor-contribution table as a byproduct of
+/// work the sampler already did.
 Result<LowppProc> genEnumGibbsProc(const std::string &Name,
-                                   const Conditional &C);
+                                   const Conditional &C,
+                                   const EnumFCByproduct *Byp = nullptr);
 
 } // namespace augur
 

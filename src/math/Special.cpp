@@ -2,19 +2,22 @@
 
 #include "math/Special.h"
 
+#include <array>
 #include <cassert>
 #include <cmath>
 
 using namespace augur;
 
-double augur::logGamma(double X) {
-  assert(X > 0.0 && "logGamma defined for positive arguments");
-  return std::lgamma(X);
-}
+namespace {
 
-double augur::digamma(double X) {
-  assert(X > 0.0 && "digamma implemented for positive arguments");
-  // Shift up until the asymptotic series is accurate.
+/// Integer-and-half fast path: Gamma/InvGamma/Beta/Dirichlet/Wishart
+/// densities call logGamma/digamma overwhelmingly at small arguments of
+/// the form k/2 (conjugate posteriors add counts to half-integer
+/// shapes). Cache those lazily; the stored values come from the exact
+/// same slow-path code, so the fast path is bitwise transparent.
+constexpr int HalfTableSize = 512; // covers X in (0, 256] at k/2 grid
+
+double digammaSlow(double X) {
   double Result = 0.0;
   while (X < 10.0) {
     Result -= 1.0 / X;
@@ -26,6 +29,52 @@ double augur::digamma(double X) {
   Result += std::log(X) - 0.5 * Inv -
             Inv2 * (1.0 / 12.0 - Inv2 * (1.0 / 120.0 - Inv2 / 252.0));
   return Result;
+}
+
+/// Index into the k/2 grid, or -1 when X is not on it (or too large).
+inline int halfIndex(double X) {
+  double T = X + X;
+  if (T != std::floor(T) || T < 1.0 || T > double(HalfTableSize))
+    return -1;
+  return int(T) - 1; // k/2 with k in [1, HalfTableSize]
+}
+
+const std::array<double, HalfTableSize> &lgammaHalfTable() {
+  static const std::array<double, HalfTableSize> Table = [] {
+    std::array<double, HalfTableSize> T{};
+    for (int K = 1; K <= HalfTableSize; ++K)
+      T[size_t(K - 1)] = std::lgamma(0.5 * K);
+    return T;
+  }();
+  return Table;
+}
+
+const std::array<double, HalfTableSize> &digammaHalfTable() {
+  static const std::array<double, HalfTableSize> Table = [] {
+    std::array<double, HalfTableSize> T{};
+    for (int K = 1; K <= HalfTableSize; ++K)
+      T[size_t(K - 1)] = digammaSlow(0.5 * K);
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace
+
+double augur::logGamma(double X) {
+  assert(X > 0.0 && "logGamma defined for positive arguments");
+  int I = halfIndex(X);
+  if (I >= 0)
+    return lgammaHalfTable()[size_t(I)];
+  return std::lgamma(X);
+}
+
+double augur::digamma(double X) {
+  assert(X > 0.0 && "digamma implemented for positive arguments");
+  int I = halfIndex(X);
+  if (I >= 0)
+    return digammaHalfTable()[size_t(I)];
+  return digammaSlow(X);
 }
 
 double augur::logMvGamma(int P, double X) {

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/FactorCache.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -84,11 +85,29 @@ void restoreTargets(Env &E, std::map<std::string, Value> Saved) {
     E[KV.first] = std::move(KV.second);
 }
 
+/// Declares to the factor cache that this update's committed state
+/// changed: every factor in the sites' Markov blanket is stale. Called
+/// on accepted moves only (rejections restore the state bit-for-bit).
+void cacheMarkMutated(McmcCtx &Ctx, const CompiledUpdate &CU) {
+  if (Ctx.Cache && !CU.DirtyIds.empty())
+    Ctx.Cache->markDirty(CU.DirtyIds);
+}
+
 } // namespace
 
 Status augur::runGibbs(McmcCtx &Ctx, CompiledUpdate &CU) {
   // Closed-form conditional draws are always accepted (AR = 1).
   Ctx.Eng->runProc(CU.GibbsProc);
+  if (Ctx.Cache) {
+    // An enumerated-Gibbs procedure with a byproduct plan rewrote the
+    // slice buffers of its RefreshIds during scoring; adopting them is
+    // a fold, not a re-evaluation. Anything else in the blanket is
+    // simply stale.
+    if (!CU.RefreshIds.empty())
+      Ctx.Cache->noteByproduct(CU.RefreshIds);
+    if (!CU.DirtyIds.empty())
+      Ctx.Cache->markDirty(CU.DirtyIds);
+  }
   ++CU.Stats.Proposed;
   ++CU.Stats.Accepted;
   return Status::success();
@@ -144,6 +163,7 @@ Status augur::runHmc(McmcCtx &Ctx, CompiledUpdate &CU) {
   }
   if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
     ++CU.Stats.Accepted;
+    cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
   restoreTargets(E, std::move(Saved));
@@ -320,6 +340,7 @@ Status augur::runNuts(McmcCtx &Ctx, CompiledUpdate &CU) {
     ++CU.Stats.Accepted;
   if (Moved) {
     P.unpack(UCur, E);
+    cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
   restoreTargets(E, std::move(Saved));
@@ -374,6 +395,7 @@ Status augur::runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
       T->count(CU.Keys.SliceShrinks, Reflections);
   if (std::isfinite(LLFinal) && LLFinal >= Level) {
     ++CU.Stats.Accepted;
+    cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
   restoreTargets(E, std::move(Saved));
@@ -466,6 +488,7 @@ Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
     double LL = evalLL(Ctx, CU);
     if (std::isfinite(LL) && LL > Level) {
       ++CU.Stats.Accepted;
+      cacheMarkMutated(Ctx, CU);
       if (Recorder *T = telem(Ctx))
         if (Iter)
           T->count(CU.Keys.SliceShrinks, uint64_t(Iter));
@@ -505,6 +528,7 @@ Status augur::runRandomWalkMh(McmcCtx &Ctx, CompiledUpdate &CU) {
   double LogAR = LL1 - LL0; // symmetric proposal
   if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
     ++CU.Stats.Accepted;
+    cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
   restoreTargets(E, std::move(Saved));

@@ -24,6 +24,8 @@
 
 namespace augur {
 
+class FactorCache;
+
 /// Acceptance bookkeeping for updates that can reject.
 struct UpdateStats {
   uint64_t Proposed = 0;
@@ -70,6 +72,12 @@ struct CompiledUpdate {
   std::string LLProc;     ///< non-FC: restricted log density
   std::string GradProc;   ///< Grad/Slice: adjoint procedure
   std::vector<VarTransform> Transforms; ///< parallel to U.Vars
+  /// Factor-cache contract (density/DepGraph): the update declares
+  /// which factor ids its sites dirty when a move is accepted, and
+  /// which slice buffers its procedure refreshes as a byproduct
+  /// (enumerated Gibbs). Empty when no cache is attached.
+  std::vector<int> DirtyIds;
+  std::vector<int> RefreshIds;
   UpdateStats Stats;
   UpdateTelemetryKeys Keys;
 };
@@ -85,6 +93,11 @@ struct McmcCtx {
   /// Optional metrics sink; drivers record per-update statistics only
   /// while it is attached and enabled (and never consume RNG for it).
   Recorder *Telem = nullptr;
+  /// Optional incremental log-joint cache. Drivers mark an update's
+  /// DirtyIds when (and only when) the move mutated the committed
+  /// state — a rejected proposal restores the state, so the cache
+  /// stays coherent without speculation. Never consumes RNG.
+  FactorCache *Cache = nullptr;
 };
 
 /// Runs one base update (dispatching on its kind), preserving the

@@ -136,6 +136,9 @@ Result<GewekeReport> augur::validate::gewekeTest(
             if (Decl.Role == VarRole::Data)
               AUGUR_RETURN_IF_ERROR(forwardSampleDecl(
                   Decl, PTM, E, Prog.engine().rng()));
+          // Data changed under the program's feet — every cached factor
+          // contribution is stale.
+          Prog.invalidateCache();
           return Status::success();
         };
         AUGUR_RETURN_IF_ERROR(resampleData()); // y_0 ~ p(y | theta_0)

@@ -1,0 +1,466 @@
+//===- tests/incremental_fc_test.cpp - Factor-cache tests -------*- C++ -*-===//
+//
+// Markov-blanket-sparse full conditionals (DESIGN.md section 11):
+//
+//  * DepGraph: the static factor-dependency analysis matches the known
+//    blanket/slicing structure of the paper models.
+//  * Stream identity: sample streams are bit-identical with the
+//    incremental log-joint cache on vs. off, on both the interpreter
+//    and the emitted-C backend (the cache never consumes RNG and both
+//    modes execute identical procedures).
+//  * Exactness: the incrementally-maintained log joint equals a full
+//    recompute to the last bit after every sweep (the cache and the
+//    full pass share one float-summation order).
+//  * Sparsity: per-sweep maintenance evaluates strictly fewer factors
+//    than a full recompute, and reports fc/* telemetry.
+//  * Special-function fast path: cached half-integer lgamma/digamma are
+//    bitwise equal to the slow path.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "api/Infer.h"
+#include "density/DepGraph.h"
+#include "math/Special.h"
+#include "models/PaperModels.h"
+#include "telemetry/Telemetry.h"
+
+using namespace augur;
+
+namespace {
+
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+bool bitIdentical(const Value &A, const Value &B) {
+  if (A.isIntScalar() || B.isIntScalar())
+    return A.isIntScalar() && B.isIntScalar() && A.asInt() == B.asInt();
+  if (A.isRealScalar() || B.isRealScalar())
+    return A.isRealScalar() && B.isRealScalar() &&
+           bitEq(A.asReal(), B.asReal());
+  if (A.isIntVec() || B.isIntVec())
+    return A.isIntVec() && B.isIntVec() &&
+           A.intVec().flat() == B.intVec().flat();
+  if (A.isRealVec() || B.isRealVec()) {
+    if (!A.isRealVec() || !B.isRealVec())
+      return false;
+    const std::vector<double> &FA = A.realVec().flat();
+    const std::vector<double> &FB = B.realVec().flat();
+    return FA.size() == FB.size() &&
+           (FA.empty() || std::memcmp(FA.data(), FB.data(),
+                                      FA.size() * sizeof(double)) == 0);
+  }
+  if (A.isMatrix() || B.isMatrix()) {
+    if (!A.isMatrix() || !B.isMatrix())
+      return false;
+    const Matrix &MA = A.mat(), &MB = B.mat();
+    return MA.rows() == MB.rows() && MA.cols() == MB.cols() &&
+           std::memcmp(MA.data(), MB.data(),
+                       size_t(MA.rows() * MA.cols()) * sizeof(double)) == 0;
+  }
+  return A == B;
+}
+
+/// One model instance: source, arguments, data, schedule.
+struct TestModel {
+  const char *Source = nullptr;
+  std::string Schedule;
+  std::vector<Value> HyperArgs;
+  Env Data;
+};
+
+TestModel gmmModel(const std::string &Schedule, int64_t N, uint64_t Seed) {
+  TestModel M;
+  M.Source = models::GMM;
+  M.Schedule = Schedule;
+  const int64_t K = 2;
+  M.HyperArgs = {Value::intScalar(K),
+                 Value::intScalar(N),
+                 Value::realVec(BlockedReal::flat(2, 0.0)),
+                 Value::matrix(Matrix::diagonal({25.0, 25.0})),
+                 Value::realVec(BlockedReal::flat(K, 1.0 / double(K))),
+                 Value::matrix(Matrix::diagonal({1.0, 1.0}))};
+  RNG Rng(Seed);
+  BlockedReal X = BlockedReal::rect(N, 2, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    double C = Rng.uniformInt(2) ? 4.0 : -4.0;
+    X.at(I, 0) = Rng.gauss(C, 1.0);
+    X.at(I, 1) = Rng.gauss(C, 1.0);
+  }
+  M.Data["x"] =
+      Value::realVec(std::move(X), Type::vec(Type::vec(Type::realTy())));
+  return M;
+}
+
+TestModel hgmmKnownCovModel(int64_t N, uint64_t Seed) {
+  TestModel M;
+  M.Source = models::HGMMKnownCov;
+  const int64_t K = 2;
+  M.HyperArgs = {Value::intScalar(K),
+                 Value::intScalar(N),
+                 Value::realVec(BlockedReal::flat(K, 1.0)),
+                 Value::realVec(BlockedReal::flat(2, 0.0)),
+                 Value::matrix(Matrix::diagonal({25.0, 25.0})),
+                 Value::matrix(Matrix::identity(2))};
+  RNG Rng(Seed);
+  BlockedReal Y = BlockedReal::rect(N, 2, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    double C = Rng.uniformInt(2) ? 4.0 : -4.0;
+    Y.at(I, 0) = Rng.gauss(C, 1.0);
+    Y.at(I, 1) = Rng.gauss(C, 1.0);
+  }
+  M.Data["y"] =
+      Value::realVec(std::move(Y), Type::vec(Type::vec(Type::realTy())));
+  return M;
+}
+
+TestModel ldaModel(int64_t D, uint64_t Seed) {
+  TestModel M;
+  M.Source = models::LDA;
+  const int64_t K = 2, V = 6;
+  RNG Rng(Seed);
+  BlockedInt L = BlockedInt::flat(D, 0);
+  std::vector<std::vector<int64_t>> Docs;
+  for (int64_t I = 0; I < D; ++I) {
+    int64_t Len = 5 + Rng.uniformInt(4);
+    L.at(I) = Len;
+    std::vector<int64_t> Doc;
+    for (int64_t J = 0; J < Len; ++J)
+      Doc.push_back(Rng.uniformInt(V));
+    Docs.push_back(std::move(Doc));
+  }
+  M.HyperArgs = {Value::intScalar(K),
+                 Value::intScalar(D),
+                 Value::intScalar(V),
+                 Value::realVec(BlockedReal::flat(K, 0.5)),
+                 Value::realVec(BlockedReal::flat(V, 0.5)),
+                 Value::intVec(L)};
+  M.Data["w"] = Value::intVec(BlockedInt::ragged(Docs),
+                              Type::vec(Type::vec(Type::intTy())));
+  return M;
+}
+
+/// Compiles \p M with the given cache mode and backend, draws a short
+/// chain, and returns the recorded draws.
+SampleSet runChain(const TestModel &M, bool Native, bool CacheOn,
+                   uint64_t Seed) {
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.NativeCpu = Native;
+  CO.Seed = Seed;
+  CO.UserSchedule = M.Schedule;
+  CO.IncrementalFC = CacheOn;
+  Aug.setCompileOpt(CO);
+  Status St = Aug.compile(M.HyperArgs, M.Data);
+  EXPECT_TRUE(St.ok()) << St.message();
+  SampleOptions SO;
+  SO.NumSamples = 15;
+  SO.BurnIn = 3;
+  auto S = Aug.sample(SO);
+  EXPECT_TRUE(S.ok()) << S.message();
+  return S.ok() ? *S : SampleSet();
+}
+
+void expectStreamsIdentical(const TestModel &M, bool Native,
+                            uint64_t Seed) {
+  SampleSet On = runChain(M, Native, /*CacheOn=*/true, Seed);
+  SampleSet Off = runChain(M, Native, /*CacheOn=*/false, Seed);
+  ASSERT_EQ(On.Draws.size(), Off.Draws.size());
+  for (const auto &KV : On.Draws) {
+    auto It = Off.Draws.find(KV.first);
+    ASSERT_NE(It, Off.Draws.end()) << KV.first;
+    ASSERT_EQ(KV.second.size(), It->second.size()) << KV.first;
+    for (size_t I = 0; I < KV.second.size(); ++I)
+      EXPECT_TRUE(bitIdentical(KV.second[I], It->second[I]))
+          << "draw " << I << " of '" << KV.first
+          << "' diverges with caching " << (Native ? "(native)" : "(interp)");
+  }
+}
+
+/// Steps \p Sweeps sweeps; after each, the incrementally-maintained log
+/// joint must equal a from-scratch recompute bit-for-bit.
+void expectCachedEqualsRecompute(const TestModel &M, bool Native,
+                                 int Sweeps, uint64_t Seed) {
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.NativeCpu = Native;
+  CO.Seed = Seed;
+  CO.UserSchedule = M.Schedule;
+  Aug.setCompileOpt(CO);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  MCMCProgram &Prog = Aug.program();
+  ASSERT_NE(Prog.factorCache(), nullptr);
+  for (int T = 0; T < Sweeps; ++T) {
+    ASSERT_TRUE(Prog.step().ok());
+    double Inc = Prog.logJoint();
+    Prog.invalidateCache();
+    double Full = Prog.logJoint();
+    ASSERT_TRUE(std::isfinite(Inc));
+    EXPECT_TRUE(bitEq(Inc, Full))
+        << "sweep " << T << ": incremental " << Inc << " vs full " << Full;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dependency analysis
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalFCDepGraph, GmmBlanketsAndSlicing) {
+  TestModel M = gmmModel("", 20, 0xFC01);
+  Infer Aug(M.Source);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  const DepGraph *DG = Aug.program().depGraph();
+  ASSERT_NE(DG, nullptr);
+  // Factors in declaration order: mu prior (0), z prior (1), x lik (2).
+  ASSERT_EQ(DG->numFactors(), 3u);
+  EXPECT_EQ(DG->blanket("mu"), (std::vector<int>{0, 2}));
+  EXPECT_EQ(DG->blanket("z"), (std::vector<int>{1, 2}));
+  EXPECT_EQ(DG->priorFactorId("mu"), 0);
+  EXPECT_EQ(DG->priorFactorId("z"), 1);
+  EXPECT_EQ(DG->blanketOf({"mu", "z"}), (std::vector<int>{0, 1, 2}));
+  // z's edges: its prior is block-sliced, and the factoring rule slices
+  // the likelihood down to index n. mu reaches x only through the
+  // categorical normalization guard [k = z[n]], which is not a slice.
+  const std::vector<FactorDep> &ZDeps = DG->deps("z");
+  ASSERT_EQ(ZDeps.size(), 2u);
+  EXPECT_TRUE(ZDeps[0].Sliced);
+  EXPECT_TRUE(ZDeps[1].Sliced);
+  const std::vector<FactorDep> &MuDeps = DG->deps("mu");
+  ASSERT_EQ(MuDeps.size(), 2u);
+  EXPECT_FALSE(MuDeps[1].Sliced);
+  EXPECT_GT(DG->meanBlanketSize(), 0.0);
+  // The data factor is absent from no latent's blanket here, but a
+  // data-only query must come back empty rather than asserting.
+  EXPECT_TRUE(DG->blanket("x").empty());
+}
+
+TEST(IncrementalFCDepGraph, LdaBlankets) {
+  TestModel M = ldaModel(4, 0xFC02);
+  Infer Aug(M.Source);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  const DepGraph *DG = Aug.program().depGraph();
+  ASSERT_NE(DG, nullptr);
+  // theta prior (0), phi prior (1), z prior (2), w lik (3).
+  ASSERT_EQ(DG->numFactors(), 4u);
+  EXPECT_EQ(DG->blanket("theta"), (std::vector<int>{0, 2}));
+  EXPECT_EQ(DG->blanket("phi"), (std::vector<int>{1, 3}));
+  EXPECT_EQ(DG->blanket("z"), (std::vector<int>{2, 3}));
+  EXPECT_EQ(DG->priorFactorId("z"), 2);
+}
+
+TEST(IncrementalFCDepGraph, EnumGibbsRefreshCoversItsBlanket) {
+  // GMM z: both blanket factors are sliced, so the enumerated-Gibbs
+  // byproduct refreshes them and the accepted move dirties nothing.
+  TestModel M = gmmModel("", 20, 0xFC03);
+  Infer Aug(M.Source);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  for (const auto &CU : Aug.program().updates()) {
+    if (CU.U.Vars[0] != "z")
+      continue;
+    EXPECT_EQ(CU.RefreshIds, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(CU.DirtyIds.empty());
+    return;
+  }
+  FAIL() << "heuristic schedule has no z update";
+}
+
+//===----------------------------------------------------------------------===//
+// Stream identity, caching on vs. off
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalFCStreams, GmmHeuristicInterp) {
+  expectStreamsIdentical(gmmModel("", 40, 0xFC10), false, 0xFC10);
+}
+
+TEST(IncrementalFCStreams, GmmHeuristicNative) {
+  expectStreamsIdentical(gmmModel("", 40, 0xFC10), true, 0xFC10);
+}
+
+TEST(IncrementalFCStreams, GmmHmcPlusGibbsInterp) {
+  expectStreamsIdentical(gmmModel("HMC mu (*) Gibbs z", 30, 0xFC11), false,
+                         0xFC11);
+}
+
+TEST(IncrementalFCStreams, HgmmKnownCovHeuristicInterp) {
+  expectStreamsIdentical(hgmmKnownCovModel(30, 0xFC12), false, 0xFC12);
+}
+
+TEST(IncrementalFCStreams, HgmmKnownCovHeuristicNative) {
+  expectStreamsIdentical(hgmmKnownCovModel(30, 0xFC12), true, 0xFC12);
+}
+
+TEST(IncrementalFCStreams, LdaHeuristicInterp) {
+  expectStreamsIdentical(ldaModel(4, 0xFC13), false, 0xFC13);
+}
+
+TEST(IncrementalFCStreams, LdaHeuristicNative) {
+  expectStreamsIdentical(ldaModel(4, 0xFC13), true, 0xFC13);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental log joint == full recompute, to the last bit
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalFCLogJoint, GmmMixedHmcGibbs) {
+  expectCachedEqualsRecompute(gmmModel("HMC mu (*) Gibbs z", 30, 0xFC20),
+                              false, 20, 0xFC20);
+}
+
+TEST(IncrementalFCLogJoint, GmmEsliceGibbs) {
+  expectCachedEqualsRecompute(gmmModel("ESlice mu (*) Gibbs z", 30, 0xFC21),
+                              false, 20, 0xFC21);
+}
+
+TEST(IncrementalFCLogJoint, HgmmKnownCovHeuristic) {
+  expectCachedEqualsRecompute(hgmmKnownCovModel(30, 0xFC22), false, 20,
+                              0xFC22);
+}
+
+TEST(IncrementalFCLogJoint, LdaHeuristic) {
+  expectCachedEqualsRecompute(ldaModel(4, 0xFC23), false, 20, 0xFC23);
+}
+
+TEST(IncrementalFCLogJoint, LdaHeuristicNative) {
+  expectCachedEqualsRecompute(ldaModel(4, 0xFC23), true, 10, 0xFC23);
+}
+
+//===----------------------------------------------------------------------===//
+// Sparsity and telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalFCStats, MaintenanceIsBlanketSparse) {
+  TestModel M = gmmModel("", 40, 0xFC30);
+  Infer Aug(M.Source);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  MCMCProgram &Prog = Aug.program();
+  FactorCache *C = Prog.factorCache();
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->numFactors(), 3u);
+  const int Sweeps = 25;
+  for (int T = 0; T < Sweeps; ++T) {
+    ASSERT_TRUE(Prog.step().ok());
+    ASSERT_TRUE(std::isfinite(Prog.logJoint()));
+  }
+  EXPECT_GT(C->CacheHits, 0u);
+  EXPECT_GT(C->ByproductRefreshes, 0u);
+  // A full recompute per sweep would run Sweeps * numFactors slice
+  // procedures (plus the initial fill); the blanket-sparse path must
+  // beat that strictly.
+  EXPECT_LT(C->FactorsEvaluated, uint64_t(Sweeps) * C->numFactors());
+}
+
+TEST(IncrementalFCStats, DisabledModesHaveNoCache) {
+  TestModel M = gmmModel("", 20, 0xFC31);
+  {
+    Infer Aug(M.Source);
+    CompileOptions CO;
+    CO.IncrementalFC = false;
+    Aug.setCompileOpt(CO);
+    ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+    EXPECT_EQ(Aug.program().factorCache(), nullptr);
+    EXPECT_NE(Aug.program().depGraph(), nullptr);
+    EXPECT_TRUE(std::isfinite(Aug.program().logJoint()));
+  }
+  {
+    Infer Aug(M.Source);
+    CompileOptions CO;
+    CO.Tgt = CompileOptions::Target::GpuSim;
+    Aug.setCompileOpt(CO);
+    ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+    EXPECT_EQ(Aug.program().factorCache(), nullptr);
+    EXPECT_EQ(Aug.program().depGraph(), nullptr);
+  }
+}
+
+TEST(IncrementalFCTelemetry, FcCountersReported) {
+  Recorder &R = Recorder::global();
+  TelemetryConfig TC;
+  TC.Enabled = true;
+  R.configure(TC);
+  R.reset();
+
+  TestModel M = gmmModel("", 30, 0xFC32);
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.Telemetry.Enabled = true;
+  Aug.setCompileOpt(CO);
+  ASSERT_TRUE(Aug.compile(M.HyperArgs, M.Data).ok());
+  auto S = Aug.sample(10);
+  ASSERT_TRUE(S.ok()) << S.message();
+
+  std::map<std::string, uint64_t> Counters = R.counters();
+  EXPECT_GT(Counters["chain0/fc/cache_hits"], 0u);
+  EXPECT_GT(Counters["chain0/fc/factors_evaluated"], 0u);
+  EXPECT_GT(Counters["chain0/fc/byproduct_refreshes"], 0u);
+  EXPECT_TRUE(Counters.count("chain0/fc/maint_ns"));
+  std::map<std::string, HistogramStats> Hists = R.histograms();
+  EXPECT_TRUE(Hists.count("chain0/fc/blanket_size"));
+
+  R.reset();
+  TelemetryConfig Off;
+  R.configure(Off);
+}
+
+//===----------------------------------------------------------------------===//
+// Special-function fast paths
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The reference digamma (shift + asymptotic series), duplicated from
+/// math/Special.cpp so the test pins the cached table to the exact
+/// slow-path bits.
+double digammaReference(double X) {
+  double Result = 0.0;
+  while (X < 10.0) {
+    Result -= 1.0 / X;
+    X += 1.0;
+  }
+  double Inv = 1.0 / X;
+  double Inv2 = Inv * Inv;
+  Result += std::log(X) - 0.5 * Inv -
+            Inv2 * (1.0 / 12.0 - Inv2 * (1.0 / 120.0 - Inv2 / 252.0));
+  return Result;
+}
+
+} // namespace
+
+TEST(IncrementalFCSpecial, HalfIntegerLogGammaIsBitwiseExact) {
+  for (int K = 1; K <= 512; ++K) {
+    double X = 0.5 * K;
+    EXPECT_TRUE(bitEq(logGamma(X), std::lgamma(X))) << "X = " << X;
+  }
+  // Off-grid and beyond-table arguments take the slow path unchanged.
+  for (double X : {0.3, 1.0000001, 17.25, 256.5, 300.0, 1234.5})
+    EXPECT_TRUE(bitEq(logGamma(X), std::lgamma(X))) << "X = " << X;
+}
+
+TEST(IncrementalFCSpecial, HalfIntegerDigammaIsBitwiseExact) {
+  for (int K = 1; K <= 512; ++K) {
+    double X = 0.5 * K;
+    EXPECT_TRUE(bitEq(digamma(X), digammaReference(X))) << "X = " << X;
+  }
+  for (double X : {0.3, 1.0000001, 17.25, 256.5, 300.0, 1234.5})
+    EXPECT_TRUE(bitEq(digamma(X), digammaReference(X))) << "X = " << X;
+}
+
+TEST(IncrementalFCSpecial, KnownValuesStayAccurate) {
+  const double EulerGamma = 0.57721566490153286;
+  EXPECT_NEAR(logGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  EXPECT_NEAR(logGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(logGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(digamma(1.0), -EulerGamma, 1e-9);
+  EXPECT_NEAR(digamma(0.5), -EulerGamma - 2.0 * std::log(2.0), 1e-9);
+  // Recurrence psi(x+1) = psi(x) + 1/x across the k/2 grid.
+  for (int K = 1; K <= 20; ++K) {
+    double X = 0.5 * K;
+    EXPECT_NEAR(digamma(X + 1.0), digamma(X) + 1.0 / X, 1e-9) << X;
+  }
+}
