@@ -1,0 +1,273 @@
+//===- bench/guardrail_overhead.cpp - Fault-tolerance cost bench -*- C++-*-===//
+//
+// Measures what the robustness layer (DESIGN.md section 12) costs a
+// healthy chain:
+//
+//   * guardrail_overhead_pct — wall-time overhead of the per-update
+//     finite checks (guardrails on vs. off, identically-seeded chains;
+//     the streams are bit-identical by construction, which is also
+//     asserted). The acceptance target is <= 2%; the JSON records the
+//     measured number either way.
+//   * checkpoint_us_per_write / checkpoint_ms_per_1k_sweeps — cost of
+//     snapshotting and durably writing full chain state, amortized to
+//     the default every-k-sweeps cadence.
+//
+// Writes BENCH_robust.json into the working directory (skipped in
+// --smoke mode, which runs tiny sizes and asserts the invariants only).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "../bench/BenchCommon.h"
+
+using namespace augur;
+using namespace augur::bench;
+
+namespace {
+
+bool Smoke = false;
+
+bool bitEqValue(const Value &A, const Value &B) {
+  if (A.isRealScalar() && B.isRealScalar()) {
+    double X = A.asReal(), Y = B.asReal();
+    return std::memcmp(&X, &Y, sizeof(double)) == 0;
+  }
+  if (A.isRealVec() && B.isRealVec()) {
+    const auto &FA = A.realVec().flat(), &FB = B.realVec().flat();
+    return FA.size() == FB.size() &&
+           (FA.empty() || std::memcmp(FA.data(), FB.data(),
+                                      FA.size() * sizeof(double)) == 0);
+  }
+  return A == B;
+}
+
+struct ModelSpec {
+  std::string Name;
+  const char *Source = nullptr;
+  std::string Schedule;
+  std::vector<Value> Args;
+  Env Data;
+};
+
+ModelSpec gmmSpec() {
+  ModelSpec M;
+  M.Name = "gmm";
+  M.Source = models::GMM;
+  const int64_t K = 3, D = 2, N = Smoke ? 60 : 2000;
+  MixtureData Data = mixtureData(K, D, N, 0x6B01);
+  std::vector<double> Diag(size_t(D), 25.0), Unit(size_t(D), 1.0);
+  M.Args = {Value::intScalar(K),
+            Value::intScalar(N),
+            Value::realVec(BlockedReal::flat(D, 0.0)),
+            Value::matrix(Matrix::diagonal(Diag)),
+            Value::realVec(BlockedReal::flat(K, 1.0 / double(K))),
+            Value::matrix(Matrix::diagonal(Unit))};
+  M.Data["x"] = Value::realVec(Data.Points,
+                               Type::vec(Type::vec(Type::realTy())));
+  return M;
+}
+
+ModelSpec gmmHmcSpec() {
+  ModelSpec M = gmmSpec();
+  M.Name = "gmm-hmc";
+  M.Schedule = "HMC mu (*) Gibbs z";
+  return M;
+}
+
+struct RunResult {
+  double Secs = 0.0;
+  Env FinalState;
+};
+
+RunResult runChain(const ModelSpec &M, bool Guarded, int Sweeps) {
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.Seed = 0x6B10;
+  CO.UserSchedule = M.Schedule;
+  CO.Guard.Enabled = Guarded;
+  Aug.setCompileOpt(CO);
+  Status St = Aug.compile(M.Args, M.Data);
+  if (!St.ok()) {
+    std::fprintf(stderr, "%s: compile failed: %s\n", M.Name.c_str(),
+                 St.message().c_str());
+    std::exit(1);
+  }
+  MCMCProgram &Prog = Aug.program();
+  RunResult R;
+  Timer T;
+  for (int I = 0; I < Sweeps; ++I)
+    if (!Prog.step().ok())
+      std::exit(1);
+  R.Secs = T.seconds();
+  for (const auto &F : Prog.densityModel().Joint.Factors)
+    if (F.Role == VarRole::Param)
+      R.FinalState[F.AtVar] = Prog.state().at(F.AtVar);
+  return R;
+}
+
+bool statesIdentical(const Env &A, const Env &B) {
+  if (A.size() != B.size())
+    return false;
+  for (const auto &KV : A) {
+    auto It = B.find(KV.first);
+    if (It == B.end() || !bitEqValue(KV.second, It->second))
+      return false;
+  }
+  return true;
+}
+
+struct Row {
+  std::string Name;
+  int Sweeps = 0;
+  double OffUs = 0.0, OnUs = 0.0, OverheadPct = 0.0;
+  bool Identical = false;
+};
+
+Row benchGuardrails(const ModelSpec &M) {
+  Row R;
+  R.Name = M.Name;
+  R.Sweeps = Smoke ? 5 : 200;
+  // Warm up compilers/caches, then measure the better of 3 repetitions
+  // per mode to shave scheduler noise off a <=2% comparison.
+  const int Reps = Smoke ? 1 : 3;
+  RunResult Off, On;
+  double OffBest = 1e300, OnBest = 1e300;
+  for (int I = 0; I < Reps; ++I) {
+    RunResult A = runChain(M, /*Guarded=*/false, R.Sweeps);
+    RunResult B = runChain(M, /*Guarded=*/true, R.Sweeps);
+    if (A.Secs < OffBest) {
+      OffBest = A.Secs;
+      Off = std::move(A);
+    }
+    if (B.Secs < OnBest) {
+      OnBest = B.Secs;
+      On = std::move(B);
+    }
+  }
+  R.OffUs = OffBest * 1e6 / double(R.Sweeps);
+  R.OnUs = OnBest * 1e6 / double(R.Sweeps);
+  R.OverheadPct = R.OffUs > 0.0 ? (R.OnUs / R.OffUs - 1.0) * 100.0 : 0.0;
+  R.Identical = statesIdentical(On.FinalState, Off.FinalState);
+  std::printf("%-8s guard off %9.1f us/sweep, on %9.1f us/sweep -> "
+              "%+5.2f%%  %s\n",
+              R.Name.c_str(), R.OffUs, R.OnUs, R.OverheadPct,
+              R.Identical ? "streams-identical" : "STREAMS DIVERGE");
+  if (!R.Identical)
+    std::exit(1);
+  return R;
+}
+
+/// Checkpoint write cost: run a chain with CheckpointEvery=10 and
+/// compare against the same chain without checkpointing; also time the
+/// writes in isolation through the api path.
+struct CkptRow {
+  double UsPerWrite = 0.0;
+  double MsPer1kSweeps = 0.0;
+  int Every = 10;
+};
+
+CkptRow benchCheckpoint(const ModelSpec &M) {
+  CkptRow R;
+  char Dir[] = "/tmp/augur_bench_ckpt_XXXXXX";
+  if (!mkdtemp(Dir)) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  Infer Aug(M.Source);
+  CompileOptions CO;
+  CO.Seed = 0x6B20;
+  Aug.setCompileOpt(CO);
+  if (!Aug.compile(M.Args, M.Data).ok())
+    std::exit(1);
+  SampleOptions SO;
+  SO.NumSamples = Smoke ? 10 : 100;
+  SO.CheckpointDir = Dir;
+  SO.CheckpointEvery = R.Every;
+  Timer WithT;
+  auto With = Aug.sample(SO);
+  double WithSecs = WithT.seconds();
+  if (!With.ok()) {
+    std::fprintf(stderr, "checkpointed run failed: %s\n",
+                 With.message().c_str());
+    std::exit(1);
+  }
+  Infer Aug2(M.Source);
+  Aug2.setCompileOpt(CO);
+  if (!Aug2.compile(M.Args, M.Data).ok())
+    std::exit(1);
+  SampleOptions Plain = SO;
+  Plain.CheckpointDir.clear();
+  Timer PlainT;
+  auto Without = Aug2.sample(Plain);
+  double PlainSecs = PlainT.seconds();
+  if (!Without.ok())
+    std::exit(1);
+  // Periodic writes land at multiples of Every strictly before the
+  // final sweep; the final sweep gets its own write.
+  int Writes = (SO.NumSamples - 1) / R.Every + 1;
+  double ExtraUs = (WithSecs - PlainSecs) * 1e6;
+  R.UsPerWrite = ExtraUs > 0.0 ? ExtraUs / double(Writes) : 0.0;
+  R.MsPer1kSweeps = R.UsPerWrite * (1000.0 / double(R.Every)) / 1e3;
+  std::printf("checkpoint: %d writes over %d sweeps, ~%.1f us/write "
+              "(~%.2f ms per 1k sweeps at every=%d)\n",
+              Writes, SO.NumSamples, R.UsPerWrite, R.MsPer1kSweeps,
+              R.Every);
+  std::string Cmd = std::string("rm -rf ") + Dir;
+  if (std::system(Cmd.c_str()) != 0) {
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--smoke")
+      Smoke = true;
+
+  std::printf("== Guardrail overhead & checkpoint cost (%s) ==\n",
+              Smoke ? "smoke" : "default sizes");
+  std::vector<Row> Rows;
+  Rows.push_back(benchGuardrails(gmmSpec()));
+  Rows.push_back(benchGuardrails(gmmHmcSpec()));
+  CkptRow Ckpt = benchCheckpoint(gmmSpec());
+
+  if (Smoke)
+    return 0;
+
+  FILE *F = std::fopen("BENCH_robust.json", "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write BENCH_robust.json\n");
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"robust\",\n");
+  std::fprintf(F, "  \"models\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(F, "    {\n");
+    std::fprintf(F, "      \"name\": \"%s\",\n", R.Name.c_str());
+    std::fprintf(F, "      \"sweeps_per_run\": %d,\n", R.Sweeps);
+    std::fprintf(F, "      \"sweep_us_guard_off\": %.2f,\n", R.OffUs);
+    std::fprintf(F, "      \"sweep_us_guard_on\": %.2f,\n", R.OnUs);
+    std::fprintf(F, "      \"guardrail_overhead_pct\": %.2f,\n",
+                 R.OverheadPct);
+    std::fprintf(F, "      \"streams_identical\": %s\n",
+                 R.Identical ? "true" : "false");
+    std::fprintf(F, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"checkpoint\": {\n");
+  std::fprintf(F, "    \"every_sweeps\": %d,\n", Ckpt.Every);
+  std::fprintf(F, "    \"us_per_write\": %.1f,\n", Ckpt.UsPerWrite);
+  std::fprintf(F, "    \"ms_per_1k_sweeps\": %.2f\n", Ckpt.MsPer1kSweeps);
+  std::fprintf(F, "  }\n}\n");
+  std::fclose(F);
+  std::printf("wrote BENCH_robust.json\n");
+  return 0;
+}

@@ -4,10 +4,28 @@
 
 #include <cassert>
 #include <cmath>
+#include <new>
 
+#include "exec/ExecError.h"
 #include "support/Format.h"
 
 using namespace augur;
+
+Status augur::execFaultStatus(const char *Where) {
+  try {
+    throw;
+  } catch (const ExecError &E) {
+    return Status::error(strFormat(
+        "%s: execution fault in %s%s%s%s: %s", Where, E.StmtKind.c_str(),
+        E.Slot.empty() ? "" : " '", E.Slot.c_str(), E.Slot.empty() ? "" : "'",
+        E.Detail.c_str()));
+  } catch (const std::bad_alloc &) {
+    return Status::error(
+        strFormat("%s: allocation failure during execution", Where));
+  } catch (const std::exception &E) {
+    return Status::error(strFormat("%s: %s", Where, E.what()));
+  }
+}
 
 double augur::effectiveSampleSize(const std::vector<double> &Trace) {
   size_t N = Trace.size();

@@ -21,6 +21,13 @@
 
 namespace augur {
 
+/// Converts the in-flight exception into a structured error Status.
+/// Call only from a catch block at the api sampling boundary; it
+/// rethrows internally to dispatch on the exception type (ExecError,
+/// std::bad_alloc, std::exception). Library callers therefore always
+/// see a Status — no execution-layer exception escapes the api.
+Status execFaultStatus(const char *Where);
+
 /// Effective sample size of a scalar trace via the initial positive
 /// sequence estimator (Geyer): N / (1 + 2 sum of autocorrelations).
 double effectiveSampleSize(const std::vector<double> &Trace);

@@ -33,6 +33,10 @@ struct SampleSet {
   std::vector<double> LogJoint; ///< log joint per retained sample
   /// Which chain produced this set (0 for single-chain sample()).
   int ChainId = 0;
+  /// Sweeps replayed from a checkpoint before this set's first draw
+  /// (0 for a fresh run). A resumed set holds only the *remaining*
+  /// samples; draws emitted before the crash lived in the dead process.
+  uint64_t ResumedSweeps = 0;
   /// Final acceptance rate per base update, keyed by the update's
   /// display name (e.g. "HMC(mu)"); filled after collection.
   std::map<std::string, double> AcceptRates;
@@ -53,6 +57,20 @@ struct SampleOptions {
   /// Record the log joint at every retained draw (costs one likelihood
   /// evaluation per sample).
   bool TrackLogJoint = false;
+  /// Fault tolerance (DESIGN.md section 12). Non-empty enables
+  /// checkpointing: each chain snapshots its full state (latents, RNG,
+  /// step sizes, guard/accept counters) to `<dir>/chain<k>.agck`,
+  /// crash-safely. A later run with the same model, options, and seed
+  /// finds the snapshot, resumes, and reproduces the remaining sample
+  /// stream bit-identically. The directory must already exist.
+  std::string CheckpointDir;
+  /// Sweeps between periodic checkpoint writes; 0 writes only the
+  /// final checkpoint (resume then restarts an interrupted run from
+  /// scratch, but a *completed* run is still skippable).
+  int CheckpointEvery = 0;
+  /// Resume from an existing valid checkpoint in CheckpointDir
+  /// (default). False ignores and overwrites any snapshot present.
+  bool Resume = true;
 };
 
 /// The inference object.

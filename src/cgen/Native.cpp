@@ -10,6 +10,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "robust/FaultInject.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -46,6 +47,14 @@ NativeEngine::getOrCompile(const std::string &Name) {
   // land next to the eager compile/* phases in the trace.
   ScopedSpan CgenSpan(Recorder::global(), "compile/cgen/" + Name,
                       "compile");
+
+  // Fault-injection probe: a native toolchain failure (missing cc,
+  // emit bug, dlopen error). Must degrade to the interpreter with a
+  // structured reason, never crash or abort the run.
+  if (robust::faultFire(robust::FaultClass::NativeCompileFail)) {
+    NP.Reason = "fault-injected native compile failure";
+    return Compiled.emplace(Name, std::move(NP)).first->second;
+  }
 
   CEmitOptions EmitOpts;
   EmitOpts.NumThreads = Par.NumThreads == 1 ? 1 : Par.resolvedThreads();

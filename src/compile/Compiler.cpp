@@ -8,6 +8,7 @@
 #include "cgen/Native.h"
 #include "density/Eval.h"
 #include "lowpp/Reify.h"
+#include "robust/FaultInject.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -57,6 +58,7 @@ Status MCMCProgram::step() {
   Ctx.DM = &DM;
   Ctx.Telem = &Recorder::global();
   Ctx.Cache = Cache.get();
+  Ctx.Guard = &Opts.Guard;
   for (auto &CU : Updates)
     AUGUR_RETURN_IF_ERROR(runBaseUpdate(Ctx, CU));
   Recorder &R = Recorder::global();
@@ -229,6 +231,14 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   Recorder &Rec = Recorder::global();
   ScopedSpan TotalSpan(Rec, "compile/total", "compile");
 
+  // Robustness configuration, resolved once per compile: guardrail env
+  // overrides fold into the program's options, and the fault-injection
+  // spec (env wins over the field) arms the process-wide injector.
+  CompileOptions Resolved = Opts;
+  AUGUR_RETURN_IF_ERROR(robust::applyGuardrailEnv(Resolved.Guard));
+  AUGUR_RETURN_IF_ERROR(
+      robust::FaultInjector::global().configureFromOptions(Opts.FaultSpec));
+
   // Frontend: parse + typecheck against the concrete argument types.
   uint64_t PhaseT0 = Recorder::nowNanos();
   AUGUR_ASSIGN_OR_RETURN(Model M, parseModel(ModelSrc));
@@ -249,7 +259,7 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   }
 
   auto Prog = std::make_unique<MCMCProgram>();
-  Prog->Opts = Opts;
+  Prog->Opts = Resolved;
 
   // Density IL: the model as a product of log-density factors.
   PhaseT0 = Recorder::nowNanos();

@@ -69,6 +69,18 @@ struct CompileOptions {
   /// same in both modes). The env var AUGUR_INCREMENTAL_FC overrides
   /// this field: "0" disables, any other value enables.
   bool IncrementalFC = true;
+  /// Numerical guardrails (DESIGN.md "Fault tolerance"): per-update
+  /// finite checks with quarantine, step-size backoff for diverged
+  /// gradient updates, and the HMC -> Slice -> MH fallback ladder.
+  /// The env var AUGUR_GUARDRAILS overrides individual knobs. On a
+  /// healthy model guardrails never consume RNG, so enabling them
+  /// leaves the sample stream bit-identical.
+  robust::GuardrailOptions Guard;
+  /// Fault-injection spec for robustness tests (robust/FaultInject.h
+  /// grammar); installed into the process-wide injector at compile
+  /// time. The env var AUGUR_FAULT_SPEC wins over this field. Empty
+  /// (the default) disables injection.
+  std::string FaultSpec;
 };
 
 /// A compiled, executable composite MCMC algorithm.
@@ -104,6 +116,9 @@ public:
   const DensityModel &densityModel() const { return DM; }
   const KernelSchedule &schedule() const { return Sched; }
   std::vector<CompiledUpdate> &updates() { return Updates; }
+  /// The options this program was compiled with (env overrides already
+  /// folded in).
+  const CompileOptions &options() const { return Opts; }
 
 private:
   friend class Compiler;

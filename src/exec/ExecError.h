@@ -1,0 +1,48 @@
+//===- exec/ExecError.h - Structured runtime execution errors --*- C++ -*-===//
+///
+/// \file
+/// The one exception type the execution layer throws. Interpreter
+/// invariants used to be plain assert()s — hollow under NDEBUG, so a
+/// release build would corrupt memory instead of failing. They are now
+/// always-on checks that throw ExecError carrying the statement kind
+/// and the slot (variable) involved; the api layer catches at the
+/// sampling boundary and converts to a structured Diag Status
+/// (api/Diagnostics.h execFaultStatus), so library callers still see
+/// Status, never an escaped exception.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_EXEC_EXECERROR_H
+#define AUGUR_EXEC_EXECERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace augur {
+
+/// A violated execution-layer invariant: which statement kind tripped,
+/// on which slot, and why.
+class ExecError : public std::runtime_error {
+public:
+  ExecError(std::string StmtKind, std::string Slot, std::string Detail)
+      : std::runtime_error("exec: " + StmtKind +
+                           (Slot.empty() ? std::string() : " '" + Slot + "'") +
+                           ": " + Detail),
+        StmtKind(std::move(StmtKind)), Slot(std::move(Slot)),
+        Detail(std::move(Detail)) {}
+
+  const std::string StmtKind; ///< e.g. "Assign", "SampleLogits"
+  const std::string Slot;     ///< destination/source variable, may be empty
+  const std::string Detail;   ///< what went wrong
+};
+
+/// Always-on invariant check (the assert() replacement).
+inline void execCheck(bool Cond, const char *StmtKind, const std::string &Slot,
+                      const char *Detail) {
+  if (!Cond)
+    throw ExecError(StmtKind, Slot, Detail);
+}
+
+} // namespace augur
+
+#endif // AUGUR_EXEC_EXECERROR_H

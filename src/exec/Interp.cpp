@@ -6,8 +6,11 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <new>
 
+#include "exec/ExecError.h"
 #include "math/Special.h"
+#include "robust/FaultInject.h"
 #include "runtime/ConjugateOps.h"
 
 using namespace augur;
@@ -93,7 +96,8 @@ DV Interp::evalE(const ExprPtr &E) const {
 
 int64_t Interp::evalInt(const ExprPtr &E) const {
   DV V = evalE(E);
-  assert(V.K == DV::Kind::Int && "expected Int");
+  execCheck(V.K == DV::Kind::Int, "Expr", "",
+            "expected an Int-valued expression (index/bound/guard)");
   return V.I;
 }
 
@@ -179,6 +183,11 @@ void Interp::execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi) {
   }
 
   auto Chunk = [&](int64_t B, int64_t E, int Lane) {
+    // Fault-injection probe: a worker lane dying mid-region. The pool
+    // must drain the region and rethrow on the caller, not deadlock.
+    if (robust::faultFire(robust::FaultClass::WorkerFault))
+      throw ExecError("ParallelLoop", S.LoopVar,
+                      "fault-injected worker-thread failure");
     Interp &W = *WorkerInterps[size_t(Lane)];
     auto [SlotIt, Inserted] = W.Ctx.LoopVars.try_emplace(S.LoopVar, 0);
     (void)Inserted;
@@ -288,6 +297,11 @@ void Interp::execDeclLocal(const LStmt &S) {
     return;
   }
 
+  // Fault-injection probe: model a failed buffer allocation on the
+  // fresh-allocation path (reused locals never allocate).
+  if (robust::faultFire(robust::FaultClass::AllocFail))
+    throw std::bad_alloc();
+
   Value V;
   switch (S.LKind) {
   case LocalKind::Int:
@@ -310,7 +324,8 @@ void Interp::execDeclLocal(const LStmt &S) {
                          Type::vec(Type::vec(Type::realTy())));
     break;
   case LocalKind::Mat:
-    assert(!Dims.empty() && "matrix locals need a dimension");
+    execCheck(!Dims.empty(), "DeclLocal", S.LocalName,
+              "matrix locals need a dimension");
     if (Dims.size() == 1)
       V = Value::matrix(Matrix(Dims[0], Dims[0]));
     else
@@ -329,11 +344,15 @@ void Interp::execDeclLocal(const LStmt &S) {
 
 void Interp::execSampleLogits(const LStmt &S) {
   const Value *ScoresP = Ctx.Lookup(S.ScoresVar);
-  assert(ScoresP && "score buffer not declared");
+  execCheck(ScoresP != nullptr, "SampleLogits", S.ScoresVar,
+            "score buffer not declared");
   const Value &Scores = *ScoresP;
   int64_t N = evalInt(S.Count);
+  execCheck(Scores.isRealVec(), "SampleLogits", S.ScoresVar,
+            "score buffer must be a real vector");
   const double *Logits = Scores.realVec().flat().data();
-  assert(Scores.realVec().flatSize() >= N && "score buffer too small");
+  execCheck(Scores.realVec().flatSize() >= N, "SampleLogits", S.ScoresVar,
+            "score buffer too small for the enumerated support");
   double Max = Logits[0];
   for (int64_t I = 1; I < N; ++I)
     Max = std::max(Max, Logits[I]);
@@ -351,7 +370,8 @@ void Interp::execSampleLogits(const LStmt &S) {
     }
   }
   MutDV Dest = resolveDest(S.Dest);
-  assert(Dest.K == DV::Kind::Int && "discrete draw needs an Int slot");
+  execCheck(Dest.K == DV::Kind::Int, "SampleLogits", S.Dest.Var,
+            "discrete draw needs an Int slot");
   *Dest.IntSlot = Draw;
 }
 
@@ -382,14 +402,16 @@ void Interp::execStmt(const LStmt &S) {
                      ? static_cast<const void *>(Dest.IntSlot)
                      : static_cast<const void *>(Dest.RealSlot));
     if (Dest.K == DV::Kind::Int) {
-      assert(Rhs.K == DV::Kind::Int && "Int slot needs Int value");
+      execCheck(Rhs.K == DV::Kind::Int, "Assign", S.Dest.Var,
+                "Int slot needs an Int value");
       if (S.Accum)
         accumInt(Dest.IntSlot, Rhs.I);
       else
         *Dest.IntSlot = Rhs.I;
       return;
     }
-    assert(Dest.K == DV::Kind::Real && "assignments are scalar");
+    execCheck(Dest.K == DV::Kind::Real, "Assign", S.Dest.Var,
+              "assignments are scalar");
     if (S.Accum)
       accumReal(Dest.RealSlot, Rhs.asReal());
     else
@@ -439,7 +461,8 @@ void Interp::execStmt(const LStmt &S) {
       Params.push_back(evalE(P));
     DV At = evalE(S.At);
     MutDV Dest = resolveDest(S.Dest);
-    assert(Dest.K == DV::Kind::Real && "log-likelihood accumulator");
+    execCheck(Dest.K == DV::Kind::Real, "AccumLL", S.Dest.Var,
+              "log-likelihood accumulator must be a real scalar slot");
     if (AtmParDepth > 0)
       noteAtomic(Dest.RealSlot);
     accumReal(Dest.RealSlot, distLogPdf(S.D, Params, At));
@@ -493,9 +516,11 @@ void Interp::execStmt(const LStmt &S) {
     return;
   case LStmt::Kind::AccumVec: {
     MutDV Dest = resolveDest(S.Dest);
-    assert(Dest.K == DV::Kind::Vec && "vector accumulator");
+    execCheck(Dest.K == DV::Kind::Vec, "AccumVec", S.Dest.Var,
+              "vector accumulator required");
     DV Src = evalE(S.Rhs);
-    assert(Src.K == DV::Kind::Vec && Src.N == Dest.N && "shape mismatch");
+    execCheck(Src.K == DV::Kind::Vec && Src.N == Dest.N, "AccumVec",
+              S.Dest.Var, "source/destination shape mismatch");
     if (AtmParDepth > 0)
       noteAtomic(Dest.Ptr);
     for (int64_t I = 0; I < Dest.N; ++I)
@@ -506,11 +531,13 @@ void Interp::execStmt(const LStmt &S) {
     MutDV Dest = resolveDest(S.Dest);
     if (AtmParDepth > 0)
       noteAtomic(Dest.Ptr);
-    assert(Dest.K == DV::Kind::Mat && "outer-product accumulator");
+    execCheck(Dest.K == DV::Kind::Mat, "AccumOuter", S.Dest.Var,
+              "outer-product accumulator must be a matrix");
     DV Y = evalE(S.OuterY);
     DV M = evalE(S.OuterMean);
-    assert(Y.K == DV::Kind::Vec && M.K == DV::Kind::Vec &&
-           Y.N == Dest.Rows && M.N == Dest.Rows && "shape mismatch");
+    execCheck(Y.K == DV::Kind::Vec && M.K == DV::Kind::Vec &&
+                  Y.N == Dest.Rows && M.N == Dest.Rows,
+              "AccumOuter", S.Dest.Var, "operand shape mismatch");
     for (int64_t I = 0; I < Dest.Rows; ++I)
       for (int64_t J = 0; J < Dest.Cols; ++J)
         accumReal(Dest.Ptr + I * Dest.Cols + J,
@@ -518,5 +545,5 @@ void Interp::execStmt(const LStmt &S) {
     return;
   }
   }
-  assert(false && "unknown statement kind");
+  throw ExecError("Stmt", "", "unknown statement kind");
 }

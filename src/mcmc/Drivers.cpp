@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "exec/FactorCache.h"
+#include "robust/FaultInject.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -29,6 +31,11 @@ namespace {
 /// every driver pays when telemetry is off).
 Recorder *telem(const McmcCtx &Ctx) {
   return Ctx.Telem && Ctx.Telem->enabled() ? Ctx.Telem : nullptr;
+}
+
+/// The attached-and-enabled guardrail policy, or nullptr.
+const robust::GuardrailOptions *guard(const McmcCtx &Ctx) {
+  return Ctx.Guard && Ctx.Guard->Enabled ? Ctx.Guard : nullptr;
 }
 
 } // namespace
@@ -57,7 +64,16 @@ namespace {
 /// The restricted log density (plus Jacobian) at the current state.
 double evalLL(McmcCtx &Ctx, const CompiledUpdate &CU) {
   Ctx.Eng->runProc(CU.LLProc);
-  return Ctx.Eng->env().at("ll_" + CU.LLProc).asReal();
+  double LL = Ctx.Eng->env().at("ll_" + CU.LLProc).asReal();
+  // Fault injection for the guardrail tests: corrupt the density the
+  // way a numerically pathological model would.
+  if (robust::FaultInjector::armed()) {
+    if (robust::faultFire(robust::FaultClass::NanDensity))
+      LL = std::numeric_limits<double>::quiet_NaN();
+    if (robust::faultFire(robust::FaultClass::InfDensity))
+      LL = std::numeric_limits<double>::infinity();
+  }
+  return LL;
 }
 
 /// Gradient of the restricted log density in unconstrained space at the
@@ -93,11 +109,105 @@ void cacheMarkMutated(McmcCtx &Ctx, const CompiledUpdate &CU) {
     Ctx.Cache->markDirty(CU.DirtyIds);
 }
 
+/// Saved copies of the real-valued targets only (integer draws cannot
+/// go non-finite, so the Gibbs finite check skips them for free).
+std::map<std::string, Value> saveRealTargets(
+    const Env &E, const std::vector<std::string> &Vars) {
+  std::map<std::string, Value> Saved;
+  for (const auto &V : Vars) {
+    const Value &Val = E.at(V);
+    if (!Val.isIntScalar() && !Val.isIntVec())
+      Saved.emplace(V, Val);
+  }
+  return Saved;
+}
+
+bool valueAllFinite(const Value &V) {
+  if (V.isRealScalar())
+    return std::isfinite(V.asReal());
+  if (V.isRealVec()) {
+    for (double X : V.realVec().flat())
+      if (!std::isfinite(X))
+        return false;
+    return true;
+  }
+  if (V.isMatrix()) {
+    const Matrix &M = V.mat();
+    const double *P = M.data();
+    for (int64_t I = 0, N = M.rows() * M.cols(); I < N; ++I)
+      if (!std::isfinite(P[I]))
+        return false;
+    return true;
+  }
+  if (V.isMatVec()) {
+    const MatVec &MV = V.matVec();
+    if (MV.size() > 0) {
+      const double *P = MV.at(0);
+      for (int64_t I = 0, N = MV.size() * MV.rows() * MV.cols(); I < N; ++I)
+        if (!std::isfinite(P[I]))
+          return false;
+    }
+    return true;
+  }
+  return true; // integer payloads
+}
+
+bool targetsAllFinite(const Env &E,
+                      const std::map<std::string, Value> &Saved) {
+  for (const auto &KV : Saved)
+    if (!valueAllFinite(E.at(KV.first)))
+      return false;
+  return true;
+}
+
+/// Quarantines an update whose committed state went non-finite: the
+/// saved (finite) state comes back, and the whole blanket is marked
+/// stale so the cache recomputes from the restored values — including
+/// byproduct slices a Gibbs procedure may have rewritten mid-score.
+void quarantine(McmcCtx &Ctx, CompiledUpdate &CU,
+                std::map<std::string, Value> Saved) {
+  restoreTargets(Ctx.Eng->env(), std::move(Saved));
+  if (Ctx.Cache) {
+    if (!CU.DirtyIds.empty())
+      Ctx.Cache->markDirty(CU.DirtyIds);
+    if (!CU.RefreshIds.empty())
+      Ctx.Cache->markDirty(CU.RefreshIds);
+  }
+  ++CU.Guard.Quarantines;
+  CU.LastDiverged = true;
+}
+
 } // namespace
 
 Status augur::runGibbs(McmcCtx &Ctx, CompiledUpdate &CU) {
+  // With guardrails on, keep a copy of the real-valued targets so a
+  // non-finite conditional draw (numerically collapsed component,
+  // injected fault) can be quarantined instead of poisoning the chain.
+  std::map<std::string, Value> Saved;
+  if (guard(Ctx))
+    Saved = saveRealTargets(Ctx.Eng->env(), CU.U.Vars);
+
   // Closed-form conditional draws are always accepted (AR = 1).
   Ctx.Eng->runProc(CU.GibbsProc);
+
+  if (guard(Ctx) && !Saved.empty()) {
+    if (robust::faultFire(robust::FaultClass::NanDensity)) {
+      // Corrupt the draw the way a degenerate conditional would.
+      Value &V = Ctx.Eng->env().at(Saved.begin()->first);
+      double Nan = std::numeric_limits<double>::quiet_NaN();
+      if (V.isRealScalar())
+        V.realRef() = Nan;
+      else if (V.isRealVec() && !V.realVec().flat().empty())
+        V.realVec().flat()[0] = Nan;
+      else if (V.isMatrix() && V.mat().rows() > 0)
+        *V.mat().data() = Nan;
+    }
+    if (!targetsAllFinite(Ctx.Eng->env(), Saved)) {
+      quarantine(Ctx, CU, std::move(Saved));
+      ++CU.Stats.Proposed;
+      return Status::success();
+    }
+  }
   if (Ctx.Cache) {
     // An enumerated-Gibbs procedure with a byproduct plan rewrote the
     // slice buffers of its RefreshIds during scoring; adopting them is
@@ -161,11 +271,14 @@ Status augur::runHmc(McmcCtx &Ctx, CompiledUpdate &CU) {
     if (!std::isfinite(LogAR))
       T->count(CU.Keys.Divergences);
   }
-  if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
+  CU.LastDiverged = !std::isfinite(LogAR);
+  if (std::isfinite(LogAR) && logUniform(Rng) < LogAR) {
     ++CU.Stats.Accepted;
     cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
+  if (CU.LastDiverged && guard(Ctx))
+    ++CU.Guard.Quarantines;
   restoreTargets(E, std::move(Saved));
   return Status::success();
 }
@@ -335,6 +448,7 @@ Status augur::runNuts(McmcCtx &Ctx, CompiledUpdate &CU) {
     if (NC.Divergences)
       T->count(CU.Keys.Divergences, NC.Divergences);
   }
+  CU.LastDiverged = NC.Divergences != 0;
   bool Moved = UCur != U0;
   if (Moved)
     ++CU.Stats.Accepted;
@@ -393,11 +507,14 @@ Status augur::runReflectiveSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
   if (Recorder *T = telem(Ctx))
     if (Reflections)
       T->count(CU.Keys.SliceShrinks, Reflections);
+  CU.LastDiverged = !std::isfinite(LLFinal) || !std::isfinite(Level);
   if (std::isfinite(LLFinal) && LLFinal >= Level) {
     ++CU.Stats.Accepted;
     cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
+  if (CU.LastDiverged && guard(Ctx))
+    ++CU.Guard.Quarantines;
   restoreTargets(E, std::move(Saved));
   return Status::success();
 }
@@ -473,7 +590,7 @@ Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
   std::vector<double> M = FlatOf(MeanV);
 
   double LLCur = evalLL(Ctx, CU);
-  double Level = LLCur + std::log(Rng.uniform() + 1e-300);
+  double Level = LLCur + logUniform(Rng);
 
   double Theta = Rng.uniform(0.0, 2.0 * M_PI);
   double Lo = Theta - 2.0 * M_PI, HiB = Theta;
@@ -505,6 +622,9 @@ Status augur::runEllipticalSlice(McmcCtx &Ctx, CompiledUpdate &CU) {
   // restore the current state.
   if (Recorder *T = telem(Ctx))
     T->count(CU.Keys.SliceShrinks, 64);
+  CU.LastDiverged = true;
+  if (guard(Ctx))
+    ++CU.Guard.Quarantines;
   E[Var] = std::move(Cur);
   return Status::success();
 }
@@ -526,19 +646,22 @@ Status augur::runRandomWalkMh(McmcCtx &Ctx, CompiledUpdate &CU) {
 
   ++CU.Stats.Proposed;
   double LogAR = LL1 - LL0; // symmetric proposal
-  if (std::isfinite(LogAR) && std::log(Rng.uniform() + 1e-300) < LogAR) {
+  CU.LastDiverged = !std::isfinite(LL1);
+  if (std::isfinite(LogAR) && logUniform(Rng) < LogAR) {
     ++CU.Stats.Accepted;
     cacheMarkMutated(Ctx, CU);
     return Status::success();
   }
+  if (CU.LastDiverged && guard(Ctx))
+    ++CU.Guard.Quarantines;
   restoreTargets(E, std::move(Saved));
   return Status::success();
 }
 
 namespace {
 
-Status dispatchUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
-  switch (CU.U.Kind) {
+Status dispatchUpdate(McmcCtx &Ctx, CompiledUpdate &CU, UpdateKind Kind) {
+  switch (Kind) {
   case UpdateKind::FC:
     return runGibbs(Ctx, CU);
   case UpdateKind::Grad:
@@ -555,19 +678,92 @@ Status dispatchUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
   return Status::error("unknown update kind");
 }
 
+/// The kind the fallback ladder actually runs at the site's current
+/// rung. Gradient kinds walk HMC/NUTS -> reflective slice -> MH (the
+/// fallbacks reuse the compiled LLProc/GradProc, so no recompilation);
+/// a scheduled Slice site skips straight to MH. FC, ESlice, and Prop
+/// never demote: FC cannot diverge persistently (quarantine handles
+/// it), ESlice's restricted density omits the prior factor the other
+/// drivers expect, and Prop is already the terminal rung.
+UpdateKind ladderKind(const CompiledUpdate &CU) {
+  switch (CU.U.Kind) {
+  case UpdateKind::Grad:
+  case UpdateKind::Nuts:
+    if (CU.Guard.Rung == robust::RungBase)
+      return CU.U.Kind;
+    return CU.Guard.Rung == robust::RungSlice ? UpdateKind::Slice
+                                              : UpdateKind::Prop;
+  case UpdateKind::Slice:
+    return CU.Guard.Rung == robust::RungBase ? UpdateKind::Slice
+                                             : UpdateKind::Prop;
+  default:
+    return CU.U.Kind;
+  }
+}
+
+bool kindCanDemote(UpdateKind K) {
+  return K == UpdateKind::Grad || K == UpdateKind::Nuts ||
+         K == UpdateKind::Slice;
+}
+
+/// Dispatches with the guardrail layers wrapped around the driver:
+/// bounded step-size backoff for diverged gradient updates, then the
+/// consecutive-failure ladder. Consumes RNG beyond the unguarded
+/// dispatch only when a retry actually runs, so healthy chains are
+/// bit-identical with guardrails on or off.
+Status runGuarded(McmcCtx &Ctx, CompiledUpdate &CU,
+                  const robust::GuardrailOptions &G) {
+  UpdateKind Kind = ladderKind(CU);
+  CU.LastDiverged = false;
+  Status St = dispatchUpdate(Ctx, CU, Kind);
+
+  if ((Kind == UpdateKind::Grad || Kind == UpdateKind::Nuts) &&
+      CU.LastDiverged && St.ok() && G.MaxStepRetries > 0) {
+    // Backoff: retry the diverged trajectory with a shrinking step
+    // size. The step size is restored afterwards — backoff is a rescue,
+    // not an adaptation, so a later sweep starts from the tuned value.
+    double Step0 = CU.U.Hmc.StepSize;
+    for (int R = 0; R < G.MaxStepRetries && CU.LastDiverged && St.ok();
+         ++R) {
+      CU.U.Hmc.StepSize *= G.Backoff;
+      ++CU.Guard.Retries;
+      CU.LastDiverged = false;
+      St = dispatchUpdate(Ctx, CU, Kind);
+    }
+    CU.U.Hmc.StepSize = Step0;
+  }
+  AUGUR_RETURN_IF_ERROR(St);
+
+  if (!kindCanDemote(CU.U.Kind))
+    return St;
+  if (!CU.LastDiverged) {
+    CU.Guard.noteClean();
+    return St;
+  }
+  if (CU.Guard.noteFailed(G))
+    CU.Guard.demote();
+  return St;
+}
+
 } // namespace
 
 Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
   Recorder *T = telem(Ctx);
+  const robust::GuardrailOptions *G = guard(Ctx);
   if (!T)
-    return dispatchUpdate(Ctx, CU);
+    return G ? runGuarded(Ctx, CU, *G)
+             : dispatchUpdate(Ctx, CU, CU.U.Kind);
   // Per-kernel metrics: one span per execution plus the counters the
   // exporter turns into acceptance rates. Keys are prebuilt, and none
   // of this consumes RNG, so samples are unchanged by telemetry.
   uint64_t Proposed0 = CU.Stats.Proposed;
   uint64_t Accepted0 = CU.Stats.Accepted;
+  uint64_t Retries0 = CU.Guard.Retries;
+  uint64_t Fallbacks0 = CU.Guard.Fallbacks;
+  uint64_t Quarantines0 = CU.Guard.Quarantines;
   uint64_t Start = Recorder::nowNanos();
-  Status St = dispatchUpdate(Ctx, CU);
+  Status St = G ? runGuarded(Ctx, CU, *G)
+                : dispatchUpdate(Ctx, CU, CU.U.Kind);
   uint64_t End = Recorder::nowNanos();
   T->span(CU.Keys.SpanName, "update", Start, End);
   T->count(CU.Keys.TimeNanos, End - Start);
@@ -575,5 +771,8 @@ Status augur::runBaseUpdate(McmcCtx &Ctx, CompiledUpdate &CU) {
   // always derivable and both backends export the same key set.
   T->count(CU.Keys.Proposed, CU.Stats.Proposed - Proposed0);
   T->count(CU.Keys.Accepted, CU.Stats.Accepted - Accepted0);
+  T->count(CU.Keys.GuardRetries, CU.Guard.Retries - Retries0);
+  T->count(CU.Keys.GuardFallbacks, CU.Guard.Fallbacks - Fallbacks0);
+  T->count(CU.Keys.GuardQuarantines, CU.Guard.Quarantines - Quarantines0);
   return St;
 }

@@ -20,6 +20,7 @@
 #include "exec/Engine.h"
 #include "kernel/KernelIR.h"
 #include "mcmc/Pack.h"
+#include "robust/Guardrail.h"
 #include "telemetry/Telemetry.h"
 
 namespace augur {
@@ -51,6 +52,9 @@ struct UpdateTelemetryKeys {
   std::string SliceShrinks;///< ".../slice_shrinks" (slice kinds)
   std::string Divergences; ///< ".../divergences" (HMC/NUTS)
   std::string GradNorm;    ///< ".../grad_norm" histogram (HMC/NUTS)
+  std::string GuardRetries;    ///< ".../guard_retries" (backoff retries)
+  std::string GuardFallbacks;  ///< ".../guard_fallbacks" (rung demotions)
+  std::string GuardQuarantines;///< ".../guard_quarantines" (restores)
 
   void build(const std::string &ChainPrefix, const BaseUpdate &U) {
     SpanName = ChainPrefix + "update/" + updateDisplayName(U);
@@ -61,6 +65,9 @@ struct UpdateTelemetryKeys {
     SliceShrinks = Base + "slice_shrinks";
     Divergences = Base + "divergences";
     GradNorm = Base + "grad_norm";
+    GuardRetries = Base + "guard_retries";
+    GuardFallbacks = Base + "guard_fallbacks";
+    GuardQuarantines = Base + "guard_quarantines";
   }
 };
 
@@ -80,6 +87,14 @@ struct CompiledUpdate {
   std::vector<int> RefreshIds;
   UpdateStats Stats;
   UpdateTelemetryKeys Keys;
+  /// Guardrail state for this site (ladder rung, failure streak,
+  /// cumulative retry/fallback/quarantine counts). Checkpointed so a
+  /// resumed chain continues at the same rung.
+  robust::GuardState Guard;
+  /// Set by the drivers when the last execution hit a numerical
+  /// divergence (non-finite density or trajectory); consumed by the
+  /// guarded dispatcher to drive backoff and the fallback ladder.
+  bool LastDiverged = false;
 };
 
 /// Zeroes (allocating on first use) the adjoint buffer adj_<var> for
@@ -98,6 +113,11 @@ struct McmcCtx {
   /// state — a rejected proposal restores the state, so the cache
   /// stays coherent without speculation. Never consumes RNG.
   FactorCache *Cache = nullptr;
+  /// Optional numerical guardrails (robust/Guardrail.h). Null or
+  /// !Enabled restores the unguarded behavior exactly: on a healthy
+  /// model the guarded and unguarded sample streams are bit-identical,
+  /// because guardrails consume RNG only after a divergence.
+  const robust::GuardrailOptions *Guard = nullptr;
 };
 
 /// Runs one base update (dispatching on its kind), preserving the

@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <utility>
 
 using namespace augur;
 
@@ -75,7 +76,16 @@ void ThreadPool::runRegion(int Worker) {
     if (Stolen)
       Steals.fetch_add(1, std::memory_order_relaxed);
     uint64_t T0 = nowNanos();
-    (*Fn)(Chunk.first, Chunk.second, Worker);
+    try {
+      (*Fn)(Chunk.first, Chunk.second, Worker);
+    } catch (...) {
+      // Capture the first failure and keep draining: every chunk must
+      // still be accounted for or the caller would wait forever and the
+      // pool would be poisoned for the next region.
+      std::lock_guard<std::mutex> Lock(ErrM);
+      if (!RegionError)
+        RegionError = std::current_exception();
+    }
     BusyNanos.fetch_add(nowNanos() - T0, std::memory_order_relaxed);
     if (ChunksLeft.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last chunk: wake the caller. Taking the mutex orders the wake
@@ -132,6 +142,10 @@ ParForStats ThreadPool::parallelFor(
 
   assert(ChunksLeft.load() == 0 && "overlapping parallelFor regions");
   // Publish region state strictly before the first chunk is visible.
+  {
+    std::lock_guard<std::mutex> Lock(ErrM);
+    RegionError = nullptr;
+  }
   Steals.store(0, std::memory_order_relaxed);
   BusyNanos.store(0, std::memory_order_relaxed);
   ChunksLeft.store(NumChunks, std::memory_order_release);
@@ -169,6 +183,14 @@ ParForStats ThreadPool::parallelFor(
   Stats.Steals = Steals.load(std::memory_order_relaxed);
   Stats.BusyNanos = BusyNanos.load(std::memory_order_relaxed);
   Stats.WallNanos = nowNanos() - T0;
+
+  std::exception_ptr Err;
+  {
+    std::lock_guard<std::mutex> Lock(ErrM);
+    Err = std::exchange(RegionError, nullptr);
+  }
+  if (Err)
+    std::rethrow_exception(Err);
   return Stats;
 }
 

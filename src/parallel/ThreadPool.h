@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,12 @@ public:
   /// concurrently-running Body invocation sees a distinct Worker.
   /// Blocks until all chunks have finished. Re-entrant: calls from
   /// inside a worker run inline on that worker's lane.
+  ///
+  /// Exception safety: a Body that throws no longer terminates the
+  /// process. The first exception any lane observes is captured, the
+  /// region still drains every remaining chunk (so the pool is reusable
+  /// and no lane blocks forever), and the exception is rethrown on the
+  /// calling thread after the join.
   ParForStats parallelFor(int64_t Lo, int64_t Hi, int64_t Grain,
                           const std::function<void(int64_t, int64_t, int)> &Body);
 
@@ -135,6 +142,11 @@ private:
   std::atomic<uint64_t> ChunksLeft{0};
   std::atomic<uint64_t> Steals{0};
   std::atomic<uint64_t> BusyNanos{0};
+
+  /// First exception thrown by any lane in the current region; rethrown
+  /// on the calling thread after the join.
+  std::mutex ErrM;
+  std::exception_ptr RegionError;
 
   static thread_local int CurrentWorker;
 };

@@ -1,0 +1,423 @@
+//===- robust/Checkpoint.cpp ----------------------------------*- C++ -*-===//
+
+#include "robust/Checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "robust/FaultInject.h"
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::robust;
+
+uint64_t augur::robust::fnv1a(const void *Data, size_t Len, uint64_t H) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t augur::robust::fnv1a(const std::string &S, uint64_t H) {
+  return fnv1a(S.data(), S.size(), H);
+}
+
+std::string augur::robust::checkpointPath(const std::string &Dir,
+                                          uint64_t ChainId) {
+  return strFormat("%s/chain%llu.agck", Dir.c_str(),
+                   static_cast<unsigned long long>(ChainId));
+}
+
+bool augur::robust::checkpointExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}
+
+namespace {
+
+constexpr uint32_t Magic = 0x4b434741u; // "AGCK" little-endian
+constexpr size_t HeaderBytes = 24;
+
+/// Appends raw little payload pieces to a byte buffer.
+class Writer {
+public:
+  std::vector<unsigned char> Buf;
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void f64(double V) { raw(&V, sizeof V); }
+  void str(const std::string &S) {
+    u64(S.size());
+    raw(S.data(), S.size());
+  }
+  void u64s(const std::vector<uint64_t> &V) {
+    u64(V.size());
+    raw(V.data(), V.size() * sizeof(uint64_t));
+  }
+  void i64s(const std::vector<int64_t> &V) {
+    u64(V.size());
+    raw(V.data(), V.size() * sizeof(int64_t));
+  }
+  void f64s(const std::vector<double> &V) {
+    u64(V.size());
+    raw(V.data(), V.size() * sizeof(double));
+  }
+  void f64s(const double *P, size_t N) {
+    u64(N);
+    raw(P, N * sizeof(double));
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+};
+
+/// Bounds-checked reads over the payload; any overrun poisons the
+/// reader and surfaces as one structured error at the end.
+class Reader {
+public:
+  Reader(const unsigned char *Data, size_t Len) : P(Data), Left(Len) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  double f64() {
+    double V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  std::string str() {
+    uint64_t N = u64();
+    if (!fits(N) || N == 0)
+      return std::string();
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    Left -= N;
+    return S;
+  }
+  std::vector<uint64_t> u64s() { return vec<uint64_t>(); }
+  std::vector<int64_t> i64s() { return vec<int64_t>(); }
+  std::vector<double> f64s() { return vec<double>(); }
+
+  bool failed() const { return Failed; }
+  size_t remaining() const { return Left; }
+
+private:
+  template <typename T> std::vector<T> vec() {
+    uint64_t N = u64();
+    // Divide, don't multiply: N * sizeof(T) can wrap for a corrupt N.
+    if (N > Left / sizeof(T)) {
+      fits(Left + 1); // force the failed state
+      return {};
+    }
+    if (!fits(N * sizeof(T)) || N == 0)
+      return {};
+    std::vector<T> V(N);
+    std::memcpy(V.data(), P, N * sizeof(T));
+    P += N * sizeof(T);
+    Left -= N * sizeof(T);
+    return V;
+  }
+
+  bool fits(uint64_t N) {
+    if (Failed || N > Left) {
+      Failed = true;
+      Left = 0;
+      return false;
+    }
+    return true;
+  }
+  void raw(void *Out, size_t N) {
+    if (!fits(N))
+      return;
+    std::memcpy(Out, P, N);
+    P += N;
+    Left -= N;
+  }
+
+  const unsigned char *P;
+  size_t Left;
+  bool Failed = false;
+};
+
+enum ValueTag : uint8_t {
+  TagIntScalar = 0,
+  TagRealScalar = 1,
+  TagIntVec = 2,
+  TagRealVec = 3,
+  TagMatrix = 4,
+  TagMatVec = 5,
+};
+
+void putValue(Writer &W, const Value &V) {
+  if (V.isIntScalar()) {
+    W.u8(TagIntScalar);
+    W.u64(static_cast<uint64_t>(V.asInt()));
+  } else if (V.isRealScalar()) {
+    W.u8(TagRealScalar);
+    W.f64(V.asReal());
+  } else if (V.isIntVec()) {
+    W.u8(TagIntVec);
+    W.i64s(V.intVec().flat());
+    W.i64s(V.intVec().offsets());
+  } else if (V.isRealVec()) {
+    W.u8(TagRealVec);
+    W.f64s(V.realVec().flat());
+    W.i64s(V.realVec().offsets());
+  } else if (V.isMatrix()) {
+    W.u8(TagMatrix);
+    W.u64(static_cast<uint64_t>(V.mat().rows()));
+    W.u64(static_cast<uint64_t>(V.mat().cols()));
+    W.f64s(V.mat().data(),
+           static_cast<size_t>(V.mat().rows() * V.mat().cols()));
+  } else {
+    W.u8(TagMatVec);
+    const MatVec &MV = V.matVec();
+    W.u64(static_cast<uint64_t>(MV.size()));
+    W.u64(static_cast<uint64_t>(MV.rows()));
+    W.u64(static_cast<uint64_t>(MV.cols()));
+    W.f64s(MV.size() > 0 ? MV.at(0) : nullptr,
+           static_cast<size_t>(MV.size() * MV.rows() * MV.cols()));
+  }
+}
+
+Result<Value> getValue(Reader &R) {
+  uint8_t Tag = R.u8();
+  switch (Tag) {
+  case TagIntScalar:
+    return Value::intScalar(static_cast<int64_t>(R.u64()));
+  case TagRealScalar:
+    return Value::realScalar(R.f64());
+  case TagIntVec: {
+    std::vector<int64_t> Data = R.i64s();
+    std::vector<int64_t> Offsets = R.i64s();
+    return Value::intVec(
+        BlockedInt::fromParts(std::move(Data), std::move(Offsets)));
+  }
+  case TagRealVec: {
+    std::vector<double> Data = R.f64s();
+    std::vector<int64_t> Offsets = R.i64s();
+    return Value::realVec(
+        BlockedReal::fromParts(std::move(Data), std::move(Offsets)));
+  }
+  case TagMatrix: {
+    int64_t Rows = static_cast<int64_t>(R.u64());
+    int64_t Cols = static_cast<int64_t>(R.u64());
+    std::vector<double> Data = R.f64s();
+    if (R.failed() || static_cast<int64_t>(Data.size()) != Rows * Cols)
+      return Status::error("checkpoint: matrix payload shape mismatch");
+    Matrix M(Rows, Cols);
+    if (!Data.empty())
+      std::memcpy(M.data(), Data.data(), Data.size() * sizeof(double));
+    return Value::matrix(std::move(M));
+  }
+  case TagMatVec: {
+    int64_t Count = static_cast<int64_t>(R.u64());
+    int64_t Rows = static_cast<int64_t>(R.u64());
+    int64_t Cols = static_cast<int64_t>(R.u64());
+    std::vector<double> Data = R.f64s();
+    if (R.failed() ||
+        static_cast<int64_t>(Data.size()) != Count * Rows * Cols)
+      return Status::error("checkpoint: matvec payload shape mismatch");
+    MatVec MV(Count, Rows, Cols);
+    if (!Data.empty())
+      std::memcpy(MV.at(0), Data.data(), Data.size() * sizeof(double));
+    return Value::matVec(std::move(MV));
+  }
+  default:
+    return Status::error(
+        strFormat("checkpoint: unknown value tag %u", unsigned(Tag)));
+  }
+}
+
+std::vector<unsigned char> serializePayload(const ChainCheckpoint &CP) {
+  Writer W;
+  W.u64(CP.ModelFingerprint);
+  W.u64(CP.ChainId);
+  W.u64(CP.SweepsDone);
+  W.u64(CP.SamplesKept);
+  W.u64s(CP.RngWords);
+  W.u64(CP.Slots.size());
+  for (const auto &[Name, V] : CP.Slots) {
+    W.str(Name);
+    putValue(W, V);
+  }
+  W.u64(CP.Scalars.size());
+  for (const auto &[Name, V] : CP.Scalars) {
+    W.str(Name);
+    W.f64(V);
+  }
+  W.u64(CP.Counters.size());
+  for (const auto &[Name, V] : CP.Counters) {
+    W.str(Name);
+    W.u64(V);
+  }
+  return std::move(W.Buf);
+}
+
+Result<ChainCheckpoint> parsePayload(const unsigned char *Data, size_t Len) {
+  Reader R(Data, Len);
+  ChainCheckpoint CP;
+  CP.ModelFingerprint = R.u64();
+  CP.ChainId = R.u64();
+  CP.SweepsDone = R.u64();
+  CP.SamplesKept = R.u64();
+  CP.RngWords = R.u64s();
+  uint64_t NumSlots = R.u64();
+  for (uint64_t I = 0; I < NumSlots && !R.failed(); ++I) {
+    std::string Name = R.str();
+    AUGUR_ASSIGN_OR_RETURN(Value V, getValue(R));
+    CP.Slots.emplace_back(std::move(Name), std::move(V));
+  }
+  uint64_t NumScalars = R.u64();
+  for (uint64_t I = 0; I < NumScalars && !R.failed(); ++I) {
+    std::string Name = R.str();
+    CP.Scalars.emplace_back(std::move(Name), R.f64());
+  }
+  uint64_t NumCounters = R.u64();
+  for (uint64_t I = 0; I < NumCounters && !R.failed(); ++I) {
+    std::string Name = R.str();
+    CP.Counters.emplace_back(std::move(Name), R.u64());
+  }
+  if (R.failed())
+    return Status::error("checkpoint: payload truncated mid-record");
+  if (R.remaining() != 0)
+    return Status::error(
+        strFormat("checkpoint: %zu trailing payload bytes", R.remaining()));
+  return CP;
+}
+
+/// fsyncs an open stdio stream; returns false on failure.
+bool flushAndSync(FILE *F) {
+  if (std::fflush(F) != 0)
+    return false;
+#if defined(__unix__) || defined(__APPLE__)
+  return ::fsync(fileno(F)) == 0;
+#else
+  return true;
+#endif
+}
+
+/// fsyncs a directory so a rename within it is durable.
+void syncDir(const std::string &Path) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+#else
+  (void)Path;
+#endif
+}
+
+} // namespace
+
+Status augur::robust::writeCheckpoint(const std::string &Path,
+                                      const ChainCheckpoint &CP) {
+  std::vector<unsigned char> Payload = serializePayload(CP);
+  unsigned char Header[HeaderBytes];
+  uint32_t Ver = CheckpointVersion;
+  uint64_t Len = Payload.size();
+  uint64_t Sum = fnv1a(Payload.data(), Payload.size());
+  std::memcpy(Header + 0, &Magic, 4);
+  std::memcpy(Header + 4, &Ver, 4);
+  std::memcpy(Header + 8, &Len, 8);
+  std::memcpy(Header + 16, &Sum, 8);
+
+  std::string Tmp = Path + ".tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error(
+        strFormat("checkpoint: cannot open '%s' for writing", Tmp.c_str()));
+  bool Ok = std::fwrite(Header, 1, HeaderBytes, F) == HeaderBytes &&
+            (Payload.empty() ||
+             std::fwrite(Payload.data(), 1, Payload.size(), F) ==
+                 Payload.size()) &&
+            flushAndSync(F);
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Status::error(
+        strFormat("checkpoint: short write to '%s'", Tmp.c_str()));
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error(strFormat("checkpoint: cannot rename '%s' -> '%s'",
+                                   Tmp.c_str(), Path.c_str()));
+  }
+  syncDir(Path);
+
+#if defined(__unix__) || defined(__APPLE__)
+  // The resume tests arm this to die at the one point where recovery is
+  // guaranteed: the checkpoint just became durable.
+  if (faultFire(FaultClass::KillAfterCheckpoint))
+    ::raise(SIGKILL);
+#endif
+  return Status::success();
+}
+
+Result<ChainCheckpoint> augur::robust::readCheckpoint(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::error(
+        strFormat("checkpoint: cannot open '%s'", Path.c_str()));
+  unsigned char Header[HeaderBytes];
+  if (std::fread(Header, 1, HeaderBytes, F) != HeaderBytes) {
+    std::fclose(F);
+    return Status::error(
+        strFormat("checkpoint: '%s' shorter than a header", Path.c_str()));
+  }
+  uint32_t Mag, Ver;
+  uint64_t Len, Sum;
+  std::memcpy(&Mag, Header + 0, 4);
+  std::memcpy(&Ver, Header + 4, 4);
+  std::memcpy(&Len, Header + 8, 8);
+  std::memcpy(&Sum, Header + 16, 8);
+  if (Mag != Magic) {
+    std::fclose(F);
+    return Status::error(
+        strFormat("checkpoint: '%s' has bad magic", Path.c_str()));
+  }
+  if (Ver != CheckpointVersion) {
+    std::fclose(F);
+    return Status::error(strFormat(
+        "checkpoint: '%s' has unsupported version %u (this build reads %u)",
+        Path.c_str(), Ver, CheckpointVersion));
+  }
+  std::vector<unsigned char> Payload(Len);
+  size_t Got = Len == 0 ? 0 : std::fread(Payload.data(), 1, Len, F);
+  bool Extra = std::fgetc(F) != EOF;
+  std::fclose(F);
+  if (Got != Len)
+    return Status::error(strFormat(
+        "checkpoint: '%s' truncated (%zu of %llu payload bytes)",
+        Path.c_str(), Got, static_cast<unsigned long long>(Len)));
+  if (Extra)
+    return Status::error(
+        strFormat("checkpoint: '%s' has trailing bytes", Path.c_str()));
+  if (fnv1a(Payload.data(), Payload.size()) != Sum)
+    return Status::error(
+        strFormat("checkpoint: '%s' failed its checksum", Path.c_str()));
+  return parsePayload(Payload.data(), Payload.size());
+}

@@ -1,0 +1,100 @@
+//===- robust/Checkpoint.h - Crash-safe chain snapshots --------*- C++ -*-===//
+///
+/// \file
+/// Versioned binary snapshots of full per-chain MCMC state, written
+/// crash-safely so a killed run resumes bit-identically (DESIGN.md
+/// section 12).
+///
+/// File layout (host-endian):
+///
+///   +0   u32  magic "AGCK" (0x4b434741)
+///   +4   u32  format version (currently 1)
+///   +8   u64  payload length in bytes
+///   +16  u64  FNV-1a 64 checksum of the payload
+///   +24  payload
+///
+/// The payload serializes, in order: model fingerprint, chain id, sweep
+/// and kept-sample counts, the RNG snapshot (an opaque word vector owned
+/// by the caller), named latent Values, named scalar knobs (step sizes),
+/// and named counters (guard state, update stats, telemetry). A reader
+/// rejects torn or truncated files structurally: short header, bad
+/// magic, unknown version, payload shorter than the declared length,
+/// checksum mismatch, or a parse that over- or under-runs the payload.
+///
+/// Durability: writeCheckpoint() writes `<path>.tmp`, fsyncs it, then
+/// atomically renames it over `<path>` and fsyncs the directory. A
+/// crash at any point leaves either the old complete checkpoint or the
+/// new complete checkpoint — never a partial file at the final path.
+///
+/// This module knows nothing about engines or kernels: state arrives as
+/// (name, Value/double/word) pairs and leaves the same way. The api
+/// layer owns the mapping to and from live chain state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_ROBUST_CHECKPOINT_H
+#define AUGUR_ROBUST_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/Value.h"
+#include "support/Result.h"
+
+namespace augur {
+namespace robust {
+
+/// Current checkpoint format version. Bump on any payload layout
+/// change; readers reject versions they do not know.
+constexpr uint32_t CheckpointVersion = 1;
+
+/// Full snapshot of one chain between sweeps.
+struct ChainCheckpoint {
+  /// Hash of (model source, schedule, options) — resume refuses a
+  /// checkpoint whose fingerprint does not match the compiled program.
+  uint64_t ModelFingerprint = 0;
+  uint64_t ChainId = 0;
+  /// Sweeps fully executed so far (burn-in and kept alike).
+  uint64_t SweepsDone = 0;
+  /// Samples already emitted into the caller's stream.
+  uint64_t SamplesKept = 0;
+  /// Opaque RNG snapshot (see RNG::saveState); the writer does not
+  /// interpret it.
+  std::vector<uint64_t> RngWords;
+  /// Latent (and byproduct) slot values by name.
+  std::vector<std::pair<std::string, Value>> Slots;
+  /// Adaptive scalar knobs by name (e.g. "hmc/<site>/step").
+  std::vector<std::pair<std::string, double>> Scalars;
+  /// Integer counters by name (guard-state words, update stats).
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+};
+
+/// FNV-1a 64-bit hash of \p Len bytes at \p Data, chained from \p H.
+uint64_t fnv1a(const void *Data, size_t Len,
+               uint64_t H = 0xcbf29ce484222325ull);
+/// FNV-1a of a string, chained from \p H.
+uint64_t fnv1a(const std::string &S, uint64_t H = 0xcbf29ce484222325ull);
+
+/// Canonical checkpoint path for chain \p ChainId under \p Dir.
+std::string checkpointPath(const std::string &Dir, uint64_t ChainId);
+
+/// Serializes \p CP to \p Path crash-safely (tmp + fsync + rename +
+/// directory fsync). With the `kill-after-checkpoint` fault armed, the
+/// process raises SIGKILL immediately after the checkpoint is durable —
+/// the hook the resume tests use to die at a known-recoverable point.
+Status writeCheckpoint(const std::string &Path, const ChainCheckpoint &CP);
+
+/// Deserializes \p Path, rejecting torn/truncated/corrupt files with a
+/// structured error.
+Result<ChainCheckpoint> readCheckpoint(const std::string &Path);
+
+/// True when \p Path exists and is a regular file (resume probe; does
+/// not validate contents).
+bool checkpointExists(const std::string &Path);
+
+} // namespace robust
+} // namespace augur
+
+#endif // AUGUR_ROBUST_CHECKPOINT_H

@@ -1,0 +1,190 @@
+//===- robust/FaultInject.cpp ---------------------------------*- C++ -*-===//
+
+#include "robust/FaultInject.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/Format.h"
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+using namespace augur::robust;
+
+std::atomic<bool> FaultInjector::Armed{false};
+
+const char *augur::robust::faultClassName(FaultClass C) {
+  switch (C) {
+  case FaultClass::NanDensity:
+    return "nan-density";
+  case FaultClass::InfDensity:
+    return "inf-density";
+  case FaultClass::AllocFail:
+    return "alloc-fail";
+  case FaultClass::NativeCompileFail:
+    return "native-compile-fail";
+  case FaultClass::WorkerFault:
+    return "worker-fault";
+  case FaultClass::KillAfterCheckpoint:
+    return "kill-after-checkpoint";
+  }
+  return "?";
+}
+
+FaultInjector &FaultInjector::global() {
+  static FaultInjector I;
+  return I;
+}
+
+namespace {
+
+/// Splits \p S on \p Sep, keeping empty tokens out.
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string::npos)
+      Next = S.size();
+    if (Next > Pos)
+      Out.push_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+  return Out;
+}
+
+/// Parses an unsigned decimal that must consume all of \p S.
+bool parseUInt(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return errno == 0 && End == S.c_str() + S.size();
+}
+
+/// Parses a double that must consume all of \p S.
+bool parseFloat(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtod(S.c_str(), &End);
+  return errno == 0 && End == S.c_str() + S.size();
+}
+
+int classByName(const std::string &Name) {
+  for (int C = 0; C < NumFaultClasses; ++C)
+    if (Name == faultClassName(static_cast<FaultClass>(C)))
+      return C;
+  return -1;
+}
+
+} // namespace
+
+Status FaultInjector::configure(const std::string &Spec) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Seed = 0;
+  for (auto &C : Classes)
+    C = ClassSpec();
+  for (auto &P : Probes)
+    P.store(0, std::memory_order_relaxed);
+  Log.clear();
+  Armed.store(false, std::memory_order_relaxed);
+  if (Spec.empty())
+    return Status::success();
+
+  bool AnyActive = false;
+  for (const std::string &Clause : splitOn(Spec, ';')) {
+    if (startsWith(Clause, "seed=")) {
+      if (!parseUInt(Clause.substr(5), Seed))
+        return Status::error(strFormat(
+            "fault spec: bad seed in '%s'", Clause.c_str()));
+      continue;
+    }
+    size_t Colon = Clause.find(':');
+    if (Colon == std::string::npos)
+      return Status::error(strFormat(
+          "fault spec: clause '%s' is neither 'seed=N' nor 'class:params'",
+          Clause.c_str()));
+    int C = classByName(Clause.substr(0, Colon));
+    if (C < 0)
+      return Status::error(strFormat("fault spec: unknown fault class '%s'",
+                                     Clause.substr(0, Colon).c_str()));
+    ClassSpec CS;
+    CS.Active = true;
+    for (const std::string &Param : splitOn(Clause.substr(Colon + 1), ',')) {
+      if (startsWith(Param, "p=")) {
+        if (!parseFloat(Param.substr(2), CS.P))
+          return Status::error(strFormat(
+              "fault spec: bad probability in '%s'", Param.c_str()));
+        if (!(CS.P >= 0.0 && CS.P <= 1.0))
+          return Status::error(strFormat(
+              "fault spec: probability out of [0,1] in '%s'", Param.c_str()));
+      } else if (startsWith(Param, "n=")) {
+        if (!parseUInt(Param.substr(2), CS.N))
+          return Status::error(strFormat(
+              "fault spec: bad probe index in '%s'", Param.c_str()));
+        if (CS.N == 0)
+          return Status::error(
+              "fault spec: n= probe indices are 1-based (n=0 never fires)");
+      } else {
+        return Status::error(strFormat(
+            "fault spec: unknown parameter '%s' (want p= or n=)",
+            Param.c_str()));
+      }
+    }
+    if (CS.P == 0.0 && CS.N == 0)
+      return Status::error(strFormat(
+          "fault spec: class '%s' needs p= or n=",
+          faultClassName(static_cast<FaultClass>(C))));
+    Classes[C] = CS;
+    AnyActive = true;
+  }
+  Armed.store(AnyActive, std::memory_order_relaxed);
+  return Status::success();
+}
+
+Status FaultInjector::configureFromOptions(const std::string &OptSpec) {
+  const char *Env = std::getenv("AUGUR_FAULT_SPEC");
+  return configure(Env ? std::string(Env) : OptSpec);
+}
+
+bool FaultInjector::fire(FaultClass C) {
+  int I = static_cast<int>(C);
+  // The probe index is claimed atomically so concurrent probes (pool
+  // workers) each evaluate a distinct, deterministic decision.
+  uint64_t Probe = Probes[I].fetch_add(1, std::memory_order_relaxed) + 1;
+  bool Fire = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const ClassSpec &CS = Classes[I];
+    if (!CS.Active)
+      return false;
+    if (CS.N != 0) {
+      Fire = Probe == CS.N;
+    } else {
+      // Philox as a pure hash of (seed, class, probe): the decision for
+      // probe #n never depends on how many other classes probed.
+      uint64_t Bits = philoxMix(Seed ^ (0x9e3779b9ull + uint64_t(I)), Probe);
+      Fire = double(Bits >> 11) * 0x1.0p-53 < CS.P;
+    }
+    if (Fire)
+      Log.push_back({C, Probe});
+  }
+  return Fire;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Log;
+}
+
+uint64_t FaultInjector::fired(FaultClass C) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const FaultEvent &E : Log)
+    if (E.Class == C)
+      ++N;
+  return N;
+}

@@ -1,0 +1,129 @@
+//===- robust/FaultInject.h - Deterministic fault injection ----*- C++ -*-===//
+///
+/// \file
+/// A deterministic fault-injection harness for the recovery paths of
+/// the inference runtime (DESIGN.md section 12). Production MCMC must
+/// survive non-finite densities, allocation failures, failed native
+/// toolchain invocations, and worker-thread faults; this module lets
+/// the test suite *provoke* each of those classes reproducibly so every
+/// recovery path is exercised, not just written.
+///
+/// Determinism: each fault class keeps its own monotonically increasing
+/// probe counter, and the fire decision for probe #n is a pure function
+/// of (spec seed, class, n) through a Philox mix — independent of
+/// timing, thread interleaving (the counter is atomic, so under
+/// concurrency the *set* of fired probes is stable even though which
+/// thread observes which probe may vary), and of any other class's
+/// probes. A spec therefore replays exactly under `n=` (fire on the
+/// n-th probe) sites that are reached deterministically, which is how
+/// the SIGKILL-resume test pins its crash point.
+///
+/// Spec grammar (env `AUGUR_FAULT_SPEC` overrides
+/// `CompileOptions::FaultSpec`):
+///
+///   spec    ::= clause (';' clause)*
+///   clause  ::= 'seed=' UINT
+///             | class ':' param (',' param)*
+///   class   ::= 'nan-density' | 'inf-density' | 'alloc-fail'
+///             | 'native-compile-fail' | 'worker-fault'
+///             | 'kill-after-checkpoint'
+///   param   ::= 'p=' FLOAT      probability per probe, in [0, 1]
+///             | 'n=' UINT       fire on exactly the n-th probe (1-based)
+///
+/// Example: "seed=7;nan-density:p=0.05;native-compile-fail:n=1"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_ROBUST_FAULTINJECT_H
+#define AUGUR_ROBUST_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/Result.h"
+
+namespace augur {
+namespace robust {
+
+/// The injectable fault classes (one probe counter each).
+enum class FaultClass {
+  NanDensity,          ///< a density evaluation returns NaN
+  InfDensity,          ///< a density evaluation returns +inf
+  AllocFail,           ///< a runtime buffer allocation throws bad_alloc
+  NativeCompileFail,   ///< the host C compiler invocation "fails"
+  WorkerFault,         ///< a pool worker throws mid-chunk
+  KillAfterCheckpoint, ///< raise SIGKILL right after a checkpoint write
+};
+constexpr int NumFaultClasses = 6;
+
+const char *faultClassName(FaultClass C);
+
+/// One injected fault, kept in the injector's log for assertions.
+struct FaultEvent {
+  FaultClass Class;
+  uint64_t Probe; ///< 1-based probe index that fired
+};
+
+/// The process-wide deterministic fault injector. Disabled (the default)
+/// it costs one relaxed atomic load per probe site.
+class FaultInjector {
+public:
+  /// The process-wide injector.
+  static FaultInjector &global();
+
+  /// Parses and installs \p Spec ("" disables), resetting all probe
+  /// counters and the event log. Returns an error (leaving the injector
+  /// disabled) on malformed specs.
+  Status configure(const std::string &Spec);
+
+  /// Resolves env (`AUGUR_FAULT_SPEC`, which wins) against \p OptSpec
+  /// and installs the result. Idempotent for a given resolved spec text
+  /// EXCEPT that counters reset on every call, so call it only at
+  /// compile boundaries, before sampling begins.
+  Status configureFromOptions(const std::string &OptSpec);
+
+  /// Fast path for probe sites: true only when a spec with at least one
+  /// class clause is installed.
+  static bool armed() { return Armed.load(std::memory_order_relaxed); }
+
+  /// Registers one probe of \p C and returns true when the fault must
+  /// be injected at this site. Thread-safe.
+  bool fire(FaultClass C);
+
+  /// The faults injected since the last configure().
+  std::vector<FaultEvent> events() const;
+
+  /// Number of faults of class \p C injected since the last configure().
+  uint64_t fired(FaultClass C) const;
+
+private:
+  struct ClassSpec {
+    bool Active = false;
+    double P = 0.0;    ///< per-probe probability (0 = use N)
+    uint64_t N = 0;    ///< 1-based probe index to fire on (0 = use P)
+  };
+
+  FaultInjector() = default;
+
+  static std::atomic<bool> Armed;
+
+  mutable std::mutex Mu; ///< guards Spec, Classes, Log
+  uint64_t Seed = 0;
+  ClassSpec Classes[NumFaultClasses];
+  std::atomic<uint64_t> Probes[NumFaultClasses] = {};
+  std::vector<FaultEvent> Log;
+};
+
+/// Convenience probe: `faultFire(C)` is false at zero cost unless a
+/// spec is armed.
+inline bool faultFire(FaultClass C) {
+  return FaultInjector::armed() && FaultInjector::global().fire(C);
+}
+
+} // namespace robust
+} // namespace augur
+
+#endif // AUGUR_ROBUST_FAULTINJECT_H

@@ -1,0 +1,72 @@
+//===- robust/Guardrail.cpp -----------------------------------*- C++ -*-===//
+
+#include "robust/Guardrail.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::robust;
+
+void GuardState::toWords(uint64_t W[NumWords]) const {
+  W[0] = (uint64_t(uint32_t(Rung)) << 32) | uint32_t(ConsecFailed);
+  W[1] = Retries;
+  W[2] = Fallbacks;
+  W[3] = Quarantines;
+}
+
+void GuardState::fromWords(const uint64_t W[NumWords]) {
+  Rung = int32_t(uint32_t(W[0] >> 32));
+  ConsecFailed = int32_t(uint32_t(W[0]));
+  Retries = W[1];
+  Fallbacks = W[2];
+  Quarantines = W[3];
+}
+
+Status augur::robust::applyGuardrailEnv(GuardrailOptions &Opts) {
+  const char *Env = std::getenv("AUGUR_GUARDRAILS");
+  if (!Env)
+    return Status::success();
+  std::string S(Env);
+  if (S == "off") {
+    Opts.Enabled = false;
+    return Status::success();
+  }
+  if (S == "on") {
+    Opts.Enabled = true;
+    return Status::success();
+  }
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Next = S.find(',', Pos);
+    if (Next == std::string::npos)
+      Next = S.size();
+    std::string Clause = S.substr(Pos, Next - Pos);
+    Pos = Next + 1;
+    if (Clause.empty())
+      continue;
+    if (startsWith(Clause, "retries=")) {
+      Opts.MaxStepRetries = std::atoi(Clause.c_str() + 8);
+      if (Opts.MaxStepRetries < 0)
+        return Status::error("AUGUR_GUARDRAILS: retries= must be >= 0");
+    } else if (startsWith(Clause, "backoff=")) {
+      Opts.Backoff = std::strtod(Clause.c_str() + 8, nullptr);
+      if (!(Opts.Backoff > 0.0 && Opts.Backoff < 1.0))
+        return Status::error("AUGUR_GUARDRAILS: backoff= must be in (0,1)");
+    } else if (startsWith(Clause, "fallback=")) {
+      Opts.FallbackAfter = std::atoi(Clause.c_str() + 9);
+      if (Opts.FallbackAfter < 0)
+        return Status::error("AUGUR_GUARDRAILS: fallback= must be >= 0");
+    } else {
+      return Status::error(strFormat(
+          "AUGUR_GUARDRAILS: unknown clause '%s' (want off|on|retries=|"
+          "backoff=|fallback=)",
+          Clause.c_str()));
+    }
+  }
+  Opts.Enabled = true;
+  return Status::success();
+}

@@ -1,0 +1,106 @@
+//===- robust/Guardrail.h - Numerical guardrails & degradation -*- C++ -*-===//
+///
+/// \file
+/// Policy and per-site state for the numerical guardrails that keep a
+/// long-running chain alive when an update misbehaves (DESIGN.md
+/// section 12). Three layers, outermost first:
+///
+///   1. Finite checks: every update's post-step target values and
+///      accepted log-likelihood are checked; a non-finite result
+///      *quarantines* the update (committed state restored, sweep
+///      continues).
+///   2. Step-size backoff: a diverged gradient update (HMC / NUTS)
+///      retries up to MaxStepRetries times with the step size scaled by
+///      Backoff before giving up on the sweep.
+///   3. Fallback ladder: after FallbackAfter *consecutive* failed
+///      sweeps at the current rung, the site is demoted
+///      HMC/NUTS -> Slice -> random-walk MH. MH never diverges, so the
+///      ladder terminates; the chain keeps targeting the same posterior,
+///      only the proposal mechanism degrades.
+///
+/// This header is deliberately free of kernel/IR types: the ladder rung
+/// is a plain integer that mcmc/Drivers maps onto UpdateKind, so the
+/// robust library stays at the bottom of the dependency stack and
+/// checkpoints can serialize GuardState as raw words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_ROBUST_GUARDRAIL_H
+#define AUGUR_ROBUST_GUARDRAIL_H
+
+#include <cstdint>
+
+#include "support/Result.h"
+
+namespace augur {
+namespace robust {
+
+/// Tuning knobs for the guardrail layers. Defaults are conservative:
+/// guardrails on, three halvings, demote after eight consecutive bad
+/// sweeps.
+struct GuardrailOptions {
+  /// Master switch; off restores the pre-guardrail behavior exactly
+  /// (no finite checks, divergences only counted in telemetry).
+  bool Enabled = true;
+  /// Backoff retries per diverged Grad/NUTS update within one sweep.
+  int MaxStepRetries = 3;
+  /// Step-size multiplier applied on each backoff retry, in (0, 1).
+  double Backoff = 0.5;
+  /// Consecutive failed sweeps at a rung before demoting the site one
+  /// rung down the ladder. 0 disables demotion (retry-only mode).
+  int FallbackAfter = 8;
+};
+
+/// Applies the `AUGUR_GUARDRAILS` environment override to \p Opts.
+/// Grammar: `off` | `on` | clause (',' clause)* with clauses
+/// `retries=N`, `backoff=F`, `fallback=N`. Unset env leaves \p Opts
+/// untouched.
+Status applyGuardrailEnv(GuardrailOptions &Opts);
+
+/// Ladder rungs, most capable first. Drivers map Base onto the site's
+/// compiled kind (HMC, NUTS, slice, ...); sites already at Slice or
+/// below start partway down.
+enum GuardRung : int32_t {
+  RungBase = 0,  ///< the kind the compiler scheduled
+  RungSlice = 1, ///< univariate slice fallback
+  RungMh = 2,    ///< random-walk Metropolis-Hastings (terminal)
+};
+
+/// Per-update-site guardrail state. Plain words so it can be embedded
+/// in mcmc's CompiledUpdate and round-tripped through checkpoints
+/// without this library knowing about either.
+struct GuardState {
+  int32_t Rung = RungBase;     ///< current ladder rung
+  int32_t ConsecFailed = 0;    ///< consecutive failed sweeps at this rung
+  uint64_t Retries = 0;        ///< cumulative step-size backoff retries
+  uint64_t Fallbacks = 0;      ///< cumulative rung demotions
+  uint64_t Quarantines = 0;    ///< cumulative quarantined (restored) updates
+
+  /// Serialized width in 64-bit words (checkpoint payload).
+  static constexpr int NumWords = 4;
+  void toWords(uint64_t W[NumWords]) const;
+  void fromWords(const uint64_t W[NumWords]);
+
+  /// Records a clean sweep at the current rung.
+  void noteClean() { ConsecFailed = 0; }
+
+  /// Records a failed sweep; returns true when the site must demote one
+  /// rung (caller bumps Rung via demote()).
+  bool noteFailed(const GuardrailOptions &Opts) {
+    ++ConsecFailed;
+    return Opts.FallbackAfter > 0 && ConsecFailed >= Opts.FallbackAfter &&
+           Rung < RungMh;
+  }
+
+  /// Demotes the site one rung and resets the failure streak.
+  void demote() {
+    ++Rung;
+    ++Fallbacks;
+    ConsecFailed = 0;
+  }
+};
+
+} // namespace robust
+} // namespace augur
+
+#endif // AUGUR_ROBUST_GUARDRAIL_H

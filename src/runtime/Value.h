@@ -58,6 +58,15 @@ public:
     return B;
   }
 
+  /// Rebuilds a vector from a flat payload and offsets table (empty
+  /// offsets = depth 1). Used when deserializing checkpointed state.
+  static Blocked fromParts(std::vector<T> Data, std::vector<int64_t> Offsets) {
+    Blocked B;
+    B.Data = std::move(Data);
+    B.Offsets = std::move(Offsets);
+    return B;
+  }
+
   /// Builds a depth-2 rectangular vector (NumRows rows of RowLen).
   static Blocked rect(int64_t NumRows, int64_t RowLen, T Fill) {
     Blocked B;

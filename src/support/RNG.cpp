@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace augur;
 
@@ -104,4 +105,22 @@ RNG RNG::split() {
   RNG Child;
   Child.reseed(next() ^ 0xd1b54a32d192ed03ull);
   return Child;
+}
+
+std::vector<uint64_t> RNG::saveState() const {
+  uint64_t GaussBits;
+  static_assert(sizeof GaussBits == sizeof CachedGauss);
+  std::memcpy(&GaussBits, &CachedGauss, sizeof GaussBits);
+  return {State[0], State[1], State[2], State[3], GaussBits,
+          HasCachedGauss ? 1ull : 0ull};
+}
+
+Status RNG::restoreState(const std::vector<uint64_t> &Words) {
+  if (Words.size() != 6)
+    return Status::error("RNG snapshot must be 6 words");
+  for (int I = 0; I < 4; ++I)
+    State[I] = Words[static_cast<size_t>(I)];
+  std::memcpy(&CachedGauss, &Words[4], sizeof CachedGauss);
+  HasCachedGauss = Words[5] != 0;
+  return Status::success();
 }

@@ -10,7 +10,11 @@
 #ifndef AUGUR_SUPPORT_RNG_H
 #define AUGUR_SUPPORT_RNG_H
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
+
+#include "support/Result.h"
 
 namespace augur {
 
@@ -56,6 +60,18 @@ public:
   /// Splits off an independently-seeded generator (for per-chain RNGs).
   RNG split();
 
+  /// Serializes the full generator state — xoshiro words plus the
+  /// buffered Box-Muller half-draw — as opaque words for checkpointing.
+  /// Restoring them reproduces the remaining draw stream bit-exactly.
+  /// (PhiloxRNG streams are never checkpointed: the runtime re-keys
+  /// them per loop iteration from the master generator, so restoring
+  /// the master is sufficient.)
+  std::vector<uint64_t> saveState() const;
+
+  /// Restores a snapshot taken by saveState(); rejects word vectors of
+  /// the wrong shape.
+  Status restoreState(const std::vector<uint64_t> &Words);
+
 protected:
   /// Drops any buffered Box-Muller second draw (derived generators must
   /// call this when they re-key their stream).
@@ -66,6 +82,14 @@ private:
   double CachedGauss = 0.0;
   bool HasCachedGauss = false;
 };
+
+/// The underflow-safe log-uniform draw every Metropolis-style accept
+/// test compares against: log(U + 1e-300) for U ~ Uniform[0, 1). The
+/// epsilon keeps the result finite when U rounds to 0 (a bare log(0)
+/// is -inf, which would auto-reject and, worse, poison NaN checks when
+/// the acceptance bound is also -inf). The expression is pinned —
+/// pinned-seed stream tests depend on these exact bits.
+inline double logUniform(RNG &Rng) { return std::log(Rng.uniform() + 1e-300); }
 
 } // namespace augur
 
