@@ -16,13 +16,32 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "api/Infer.h"
 #include "math/Special.h"
 #include "models/PaperModels.h"
+#include "support/AtomicFile.h"
+#include "support/Format.h"
 
 namespace augur {
 namespace bench {
+
+/// Emits one BENCH_*.json payload crash-safely (tmp + fsync + atomic
+/// rename; support/AtomicFile.h — the same writer checkpoints and
+/// telemetry exports use, so no bench ever leaves a torn file).
+/// Returns the bench main()'s exit code.
+inline int writeBenchJson(const std::string &Path,
+                          const std::string &Json) {
+  Status St = atomicWriteFile(Path, Json);
+  if (!St.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", Path.c_str(),
+                 St.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}
 
 class Timer {
 public:

@@ -241,33 +241,27 @@ int main(int Argc, char **Argv) {
   if (Smoke)
     return 0;
 
-  FILE *F = std::fopen("BENCH_robust.json", "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot write BENCH_robust.json\n");
-    return 1;
-  }
-  std::fprintf(F, "{\n  \"bench\": \"robust\",\n");
-  std::fprintf(F, "  \"models\": [\n");
+  std::string Out;
+  Out += "{\n  \"bench\": \"robust\",\n";
+  Out += "  \"models\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &R = Rows[I];
-    std::fprintf(F, "    {\n");
-    std::fprintf(F, "      \"name\": \"%s\",\n", R.Name.c_str());
-    std::fprintf(F, "      \"sweeps_per_run\": %d,\n", R.Sweeps);
-    std::fprintf(F, "      \"sweep_us_guard_off\": %.2f,\n", R.OffUs);
-    std::fprintf(F, "      \"sweep_us_guard_on\": %.2f,\n", R.OnUs);
-    std::fprintf(F, "      \"guardrail_overhead_pct\": %.2f,\n",
-                 R.OverheadPct);
-    std::fprintf(F, "      \"streams_identical\": %s\n",
-                 R.Identical ? "true" : "false");
-    std::fprintf(F, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+    Out += "    {\n";
+    Out += strFormat("      \"name\": \"%s\",\n", R.Name.c_str());
+    Out += strFormat("      \"sweeps_per_run\": %d,\n", R.Sweeps);
+    Out += strFormat("      \"sweep_us_guard_off\": %.2f,\n", R.OffUs);
+    Out += strFormat("      \"sweep_us_guard_on\": %.2f,\n", R.OnUs);
+    Out += strFormat("      \"guardrail_overhead_pct\": %.2f,\n",
+                     R.OverheadPct);
+    Out += strFormat("      \"streams_identical\": %s\n",
+                     R.Identical ? "true" : "false");
+    Out += strFormat("    }%s\n", I + 1 < Rows.size() ? "," : "");
   }
-  std::fprintf(F, "  ],\n");
-  std::fprintf(F, "  \"checkpoint\": {\n");
-  std::fprintf(F, "    \"every_sweeps\": %d,\n", Ckpt.Every);
-  std::fprintf(F, "    \"us_per_write\": %.1f,\n", Ckpt.UsPerWrite);
-  std::fprintf(F, "    \"ms_per_1k_sweeps\": %.2f\n", Ckpt.MsPer1kSweeps);
-  std::fprintf(F, "  }\n}\n");
-  std::fclose(F);
-  std::printf("wrote BENCH_robust.json\n");
-  return 0;
+  Out += "  ],\n";
+  Out += "  \"checkpoint\": {\n";
+  Out += strFormat("    \"every_sweeps\": %d,\n", Ckpt.Every);
+  Out += strFormat("    \"us_per_write\": %.1f,\n", Ckpt.UsPerWrite);
+  Out += strFormat("    \"ms_per_1k_sweeps\": %.2f\n", Ckpt.MsPer1kSweeps);
+  Out += "  }\n}\n";
+  return bench::writeBenchJson("BENCH_robust.json", Out);
 }

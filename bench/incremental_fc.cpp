@@ -286,47 +286,41 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  FILE *F = std::fopen("BENCH_incremental_fc.json", "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot write BENCH_incremental_fc.json\n");
-    return 1;
-  }
-  std::fprintf(F, "{\n  \"bench\": \"incremental_fc\",\n");
-  std::fprintf(F, "  \"sweeps_per_run\": %d,\n", Rows[0].Sweeps);
-  std::fprintf(F, "  \"conj_gibbs_us_per_sweep\": %.1f,\n", ConjUs);
-  std::fprintf(F, "  \"models\": [\n");
+  std::string Out;
+  Out += "{\n  \"bench\": \"incremental_fc\",\n";
+  Out += strFormat("  \"sweeps_per_run\": %d,\n", Rows[0].Sweeps);
+  Out += strFormat("  \"conj_gibbs_us_per_sweep\": %.1f,\n", ConjUs);
+  Out += "  \"models\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const Row &Rw = Rows[I];
-    std::fprintf(F, "    {\n");
-    std::fprintf(F, "      \"name\": \"%s\",\n", Rw.Spec.Name.c_str());
-    std::fprintf(F, "      \"dims\": \"%s\",\n", Rw.Spec.Dims.c_str());
-    std::fprintf(F, "      \"factors\": %zu,\n", Rw.On.NumFactors);
-    std::fprintf(F, "      \"mean_blanket_size\": %.2f,\n",
-                 Rw.On.MeanBlanket);
-    std::fprintf(F, "      \"lj_full_us_per_sweep\": %.2f,\n",
-                 Rw.Off.LJSecs * 1e6 / double(Rw.Sweeps));
-    std::fprintf(F, "      \"fc_maint_us_per_sweep\": %.2f,\n",
-                 double(Rw.On.MaintNanos) / 1e3 / double(Rw.Sweeps));
-    std::fprintf(F, "      \"per_sweep_logjoint_speedup\": %.2f,\n",
-                 Rw.LJSpeedup);
-    std::fprintf(F, "      \"sweep_us_off\": %.2f,\n",
-                 Rw.Off.SweepSecs * 1e6 / double(Rw.Sweeps));
-    std::fprintf(F, "      \"sweep_us_on\": %.2f,\n",
-                 Rw.On.SweepSecs * 1e6 / double(Rw.Sweeps));
-    std::fprintf(F, "      \"whole_sweep_speedup\": %.2f,\n",
-                 Rw.SweepSpeedup);
-    std::fprintf(F, "      \"fc_factors_evaluated\": %llu,\n",
-                 (unsigned long long)Rw.On.FactorsEvaluated);
-    std::fprintf(F, "      \"fc_cache_hits\": %llu,\n",
-                 (unsigned long long)Rw.On.CacheHits);
-    std::fprintf(F, "      \"fc_byproduct_refreshes\": %llu,\n",
-                 (unsigned long long)Rw.On.ByproductRefreshes);
-    std::fprintf(F, "      \"streams_identical\": %s\n",
-                 Rw.Identical ? "true" : "false");
-    std::fprintf(F, "    }%s\n", I + 1 < Rows.size() ? "," : "");
+    Out += "    {\n";
+    Out += strFormat("      \"name\": \"%s\",\n", Rw.Spec.Name.c_str());
+    Out += strFormat("      \"dims\": \"%s\",\n", Rw.Spec.Dims.c_str());
+    Out += strFormat("      \"factors\": %zu,\n", Rw.On.NumFactors);
+    Out += strFormat("      \"mean_blanket_size\": %.2f,\n",
+                     Rw.On.MeanBlanket);
+    Out += strFormat("      \"lj_full_us_per_sweep\": %.2f,\n",
+                     Rw.Off.LJSecs * 1e6 / double(Rw.Sweeps));
+    Out += strFormat("      \"fc_maint_us_per_sweep\": %.2f,\n",
+                     double(Rw.On.MaintNanos) / 1e3 / double(Rw.Sweeps));
+    Out += strFormat("      \"per_sweep_logjoint_speedup\": %.2f,\n",
+                     Rw.LJSpeedup);
+    Out += strFormat("      \"sweep_us_off\": %.2f,\n",
+                     Rw.Off.SweepSecs * 1e6 / double(Rw.Sweeps));
+    Out += strFormat("      \"sweep_us_on\": %.2f,\n",
+                     Rw.On.SweepSecs * 1e6 / double(Rw.Sweeps));
+    Out += strFormat("      \"whole_sweep_speedup\": %.2f,\n",
+                     Rw.SweepSpeedup);
+    Out += strFormat("      \"fc_factors_evaluated\": %llu,\n",
+                     (unsigned long long)Rw.On.FactorsEvaluated);
+    Out += strFormat("      \"fc_cache_hits\": %llu,\n",
+                     (unsigned long long)Rw.On.CacheHits);
+    Out += strFormat("      \"fc_byproduct_refreshes\": %llu,\n",
+                     (unsigned long long)Rw.On.ByproductRefreshes);
+    Out += strFormat("      \"streams_identical\": %s\n",
+                     Rw.Identical ? "true" : "false");
+    Out += strFormat("    }%s\n", I + 1 < Rows.size() ? "," : "");
   }
-  std::fprintf(F, "  ]\n}\n");
-  std::fclose(F);
-  std::printf("wrote BENCH_incremental_fc.json\n");
-  return 0;
+  Out += "  ]\n}\n";
+  return bench::writeBenchJson("BENCH_incremental_fc.json", Out);
 }

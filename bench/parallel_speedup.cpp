@@ -152,34 +152,29 @@ int main() {
                 "speedup ~1.0x is\nexpected and only the occupancy/steal "
                 "columns carry information here.\n");
 
-  FILE *F = std::fopen("BENCH_parallel.json", "w");
-  if (!F) {
-    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
-    return 1;
-  }
-  std::fprintf(F, "{\n  \"bench\": \"parallel_speedup\",\n");
-  std::fprintf(F, "  \"threads\": %d,\n  \"sweeps\": %d,\n", Threads,
-               NumSweeps);
-  std::fprintf(F, "  \"rows\": [\n");
+  std::string Out;
+  Out += "{\n  \"bench\": \"parallel_speedup\",\n";
+  Out += strFormat("  \"threads\": %d,\n  \"sweeps\": %d,\n", Threads,
+                   NumSweeps);
+  Out += "  \"rows\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const auto &R = Rows[I];
     double Speedup = R.Par.Seconds > 0 ? R.Seq.Seconds / R.Par.Seconds : 0;
-    std::fprintf(F,
-                 "    {\"model\": \"%s\", \"seq_seconds\": %.6f, "
-                 "\"par_seconds\": %.6f, \"speedup\": %.4f, "
-                 "\"occupancy\": %.4f, \"steal_fraction\": %.4f, "
-                 "\"par_loops\": %llu, \"par_iters\": %llu, "
-                 "\"par_chunks\": %llu, \"par_steals\": %llu}%s\n",
-                 R.Name.c_str(), R.Seq.Seconds, R.Par.Seconds, Speedup,
-                 R.Par.Occupancy, R.Par.StealFraction,
-                 (unsigned long long)R.Par.ParLoops,
-                 (unsigned long long)R.Par.ParIters,
-                 (unsigned long long)R.Par.ParChunks,
-                 (unsigned long long)R.Par.ParSteals,
-                 I + 1 < Rows.size() ? "," : "");
+    Out += strFormat(
+        "    {\"model\": \"%s\", \"seq_seconds\": %.6f, "
+        "\"par_seconds\": %.6f, \"speedup\": %.4f, "
+        "\"occupancy\": %.4f, \"steal_fraction\": %.4f, "
+        "\"par_loops\": %llu, \"par_iters\": %llu, "
+        "\"par_chunks\": %llu, \"par_steals\": %llu}%s\n",
+        R.Name.c_str(), R.Seq.Seconds, R.Par.Seconds, Speedup,
+        R.Par.Occupancy, R.Par.StealFraction,
+        (unsigned long long)R.Par.ParLoops,
+        (unsigned long long)R.Par.ParIters,
+        (unsigned long long)R.Par.ParChunks,
+        (unsigned long long)R.Par.ParSteals,
+        I + 1 < Rows.size() ? "," : "");
   }
-  std::fprintf(F, "  ]\n}\n");
-  std::fclose(F);
-  std::printf("\nwrote BENCH_parallel.json\n");
-  return 0;
+  Out += "  ]\n}\n";
+  std::printf("\n");
+  return bench::writeBenchJson("BENCH_parallel.json", Out);
 }

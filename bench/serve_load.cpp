@@ -1,0 +1,190 @@
+//===- bench/serve_load.cpp - Serving path load benchmark ------*- C++ -*-===//
+///
+/// \file
+/// Drives an in-process inference daemon (serve/Server.h) with the
+/// standard 3-model workload mix at 1, 4, and 16 concurrent clients and
+/// reports client-observed latency percentiles (p50/p95/p99),
+/// throughput, and artifact-cache hit rate per concurrency level. Each
+/// level starts a fresh daemon so the numbers include the compile
+/// warm-up misses the compile-once/serve-many design amortizes.
+///
+/// Emits BENCH_serve.json. `--smoke` runs a tiny configuration and only
+/// asserts that every request succeeds (part of `ctest -L serve`).
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../bench/BenchCommon.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/Workloads.h"
+
+using namespace augur;
+using namespace augur::bench;
+using namespace augur::serve;
+
+namespace {
+
+bool Smoke = false;
+
+struct LevelResult {
+  int Clients = 0;
+  int Requests = 0; ///< total across clients
+  int Errors = 0;
+  int CacheHits = 0;
+  double WallSecs = 0.0;
+  double P50Ms = 0.0;
+  double P95Ms = 0.0;
+  double P99Ms = 0.0;
+
+  double throughput() const {
+    return WallSecs > 0.0 ? double(Requests - Errors) / WallSecs : 0.0;
+  }
+  double hitRate() const {
+    int Ok = Requests - Errors;
+    return Ok > 0 ? double(CacheHits) / double(Ok) : 0.0;
+  }
+};
+
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = Q * double(Sorted.size());
+  size_t Idx = Rank <= 1.0 ? 0 : size_t(std::ceil(Rank)) - 1;
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// One concurrency level against a fresh daemon: every client cycles
+/// through the model mix, varying the seed per request (seeds are
+/// excluded from the artifact key, so only the first request per model
+/// compiles).
+LevelResult runLevel(int Clients, int ReqPerClient, int NumSamples) {
+  ServerOptions SO;
+  SO.Workers = 4;
+  SO.QueueLimit = 64;
+  Server S(SO);
+  Status St = S.start();
+  if (!St.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", St.message().c_str());
+    std::exit(1);
+  }
+
+  const std::vector<SampleRequest> Mix = standardWorkloads();
+  std::vector<std::vector<double>> Lat;
+  Lat.resize(size_t(Clients));
+  std::atomic<int> Errors{0}, Hits{0};
+
+  Timer Wall;
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      auto CR = Client::connectTcp("127.0.0.1", S.port());
+      if (!CR.ok()) {
+        Errors.fetch_add(ReqPerClient);
+        return;
+      }
+      Client Cl = CR.take();
+      for (int I = 0; I < ReqPerClient; ++I) {
+        SampleRequest SR = Mix[size_t(I) % Mix.size()];
+        SR.NumSamples = NumSamples;
+        SR.Seed = 0xBE7C0 + uint64_t(C) * 1000 + uint64_t(I);
+        Timer T;
+        auto R = Cl.sample(SR, uint64_t(C * ReqPerClient + I + 1));
+        double Ms = T.seconds() * 1e3;
+        if (!R.ok()) {
+          Errors.fetch_add(1);
+          std::fprintf(stderr, "client %d request %d: %s\n", C, I,
+                       R.message().c_str());
+          continue;
+        }
+        Lat[size_t(C)].push_back(Ms);
+        if (R->CacheHit)
+          Hits.fetch_add(1);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  LevelResult L;
+  L.Clients = Clients;
+  L.Requests = Clients * ReqPerClient;
+  L.WallSecs = Wall.seconds();
+  L.Errors = Errors.load();
+  L.CacheHits = Hits.load();
+
+  std::vector<double> All;
+  for (const auto &V : Lat)
+    All.insert(All.end(), V.begin(), V.end());
+  std::sort(All.begin(), All.end());
+  L.P50Ms = percentile(All, 0.50);
+  L.P95Ms = percentile(All, 0.95);
+  L.P99Ms = percentile(All, 0.99);
+
+  S.stop();
+  return L;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--smoke")
+      Smoke = true;
+
+  const std::vector<int> Levels =
+      Smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16};
+  const int ReqPerClient = Smoke ? 3 : 6;
+  const int NumSamples = Smoke ? 8 : 30;
+
+  std::printf("== Serving path: latency/throughput vs concurrency "
+              "(%s; %d req/client, %d samples/req) ==\n",
+              Smoke ? "smoke" : "default sizes", ReqPerClient, NumSamples);
+  std::printf("%8s %8s %8s %10s %10s %10s %12s %9s\n", "clients", "reqs",
+              "errors", "p50(ms)", "p95(ms)", "p99(ms)", "req/s", "hit%");
+
+  std::vector<LevelResult> Results;
+  for (int Clients : Levels) {
+    LevelResult L = runLevel(Clients, ReqPerClient, NumSamples);
+    std::printf("%8d %8d %8d %10.2f %10.2f %10.2f %12.1f %8.1f%%\n",
+                L.Clients, L.Requests, L.Errors, L.P50Ms, L.P95Ms, L.P99Ms,
+                L.throughput(), 100.0 * L.hitRate());
+    Results.push_back(L);
+  }
+
+  for (const LevelResult &L : Results)
+    if (L.Errors != 0) {
+      std::fprintf(stderr, "serve_load: %d request(s) failed at %d "
+                           "clients\n",
+                   L.Errors, L.Clients);
+      return 1;
+    }
+
+  if (Smoke)
+    return 0;
+
+  std::string Out;
+  Out += "{\n  \"bench\": \"serve_load\",\n";
+  Out += strFormat("  \"requests_per_client\": %d,\n", ReqPerClient);
+  Out += strFormat("  \"samples_per_request\": %d,\n", NumSamples);
+  Out += strFormat("  \"models\": %zu,\n", standardWorkloads().size());
+  Out += "  \"levels\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const LevelResult &L = Results[I];
+    Out += strFormat(
+        "    {\"clients\": %d, \"requests\": %d, \"errors\": %d, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"throughput_rps\": %.2f, \"cache_hit_rate\": %.4f}%s\n",
+        L.Clients, L.Requests, L.Errors, L.P50Ms, L.P95Ms, L.P99Ms,
+        L.throughput(), L.hitRate(), I + 1 < Results.size() ? "," : "");
+  }
+  Out += "  ]\n}\n";
+  return bench::writeBenchJson("BENCH_serve.json", Out);
+}

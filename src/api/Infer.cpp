@@ -152,14 +152,23 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
       AUGUR_RETURN_IF_ERROR(Prog.step());
       ++SweepsDone;
       if (SweepsDone > BurnIn && (SweepsDone - BurnIn) % Thin == 0) {
+        std::vector<const Value *> Row;
+        Row.reserve(Record.size());
         for (const auto &Var : Record) {
           auto It = Prog.state().find(Var);
           if (It == Prog.state().end())
             return Status::error(
                 strFormat("unknown parameter '%s'", Var.c_str()));
-          Out.Draws[Var].push_back(It->second);
+          Row.push_back(&It->second);
         }
-        Out.LogJoint.push_back(SO.TrackLogJoint ? Prog.logJoint() : 0.0);
+        double LJ = SO.TrackLogJoint ? Prog.logJoint() : 0.0;
+        if (SO.KeepDraws) {
+          for (size_t I = 0; I < Record.size(); ++I)
+            Out.Draws[Record[I]].push_back(*Row[I]);
+          Out.LogJoint.push_back(LJ);
+        }
+        if (SO.OnDraw)
+          AUGUR_RETURN_IF_ERROR(SO.OnDraw(SamplesKept, Record, Row, LJ));
         ++SamplesKept;
       }
     } catch (...) {
@@ -181,6 +190,16 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
 }
 
 } // namespace
+
+Result<SampleSet> augur::sampleProgram(MCMCProgram &Prog,
+                                       const SampleOptions &SO,
+                                       const std::string &Source) {
+  std::vector<std::string> Record = SO.Record;
+  if (Record.empty())
+    Record = Prog.densityModel().TM.M.paramNames();
+  return collectSamples(Prog, SO, Record, chainFingerprint(Source, Prog, SO),
+                        Prog.options().ChainIndex);
+}
 
 double SampleSet::scalarMean(const std::string &Var) const {
   auto It = Draws.find(Var);

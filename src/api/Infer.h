@@ -17,6 +17,7 @@
 #ifndef AUGUR_API_INFER_H
 #define AUGUR_API_INFER_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +48,17 @@ struct SampleSet {
   double scalarMean(const std::string &Var) const;
 };
 
+/// Streaming sink invoked once per retained draw. \p Index is the
+/// 0-based retained-draw index, \p Names the recorded parameter names,
+/// \p Row one borrowed Value per name (valid only during the call — the
+/// chain overwrites the state on the next sweep), \p LogJoint the log
+/// joint when TrackLogJoint is set (0.0 otherwise). Returning an error
+/// aborts collection with that status; the serving layer uses this to
+/// enforce per-request deadlines and client disconnects.
+using DrawSink = std::function<Status(
+    uint64_t Index, const std::vector<std::string> &Names,
+    const std::vector<const Value *> &Row, double LogJoint)>;
+
 /// Options controlling sample collection.
 struct SampleOptions {
   int NumSamples = 100;
@@ -54,6 +66,13 @@ struct SampleOptions {
   int Thin = 1;
   /// Parameters to record; empty records all model parameters.
   std::vector<std::string> Record;
+  /// Per-draw streaming sink (see DrawSink); null disables streaming.
+  DrawSink OnDraw;
+  /// Accumulate retained draws into the returned SampleSet (default).
+  /// A streaming caller that only consumes OnDraw can turn this off so
+  /// a long-running request holds O(1) draws in memory instead of all
+  /// of them.
+  bool KeepDraws = true;
   /// Record the log joint at every retained draw (costs one likelihood
   /// evaluation per sample).
   bool TrackLogJoint = false;
@@ -120,6 +139,17 @@ private:
   std::vector<Value> ChainArgs;
   Env ChainData;
 };
+
+/// Sample collection over an externally-owned, already-initialized
+/// program — the compile-once/serve-many entry point (src/serve reuses
+/// one cached MCMCProgram across requests via
+/// MCMCProgram::resetForReuse). \p Source must be the model source the
+/// program was compiled from; it keys the checkpoint fingerprint
+/// exactly as Infer::sample does, so a stream collected here is
+/// bit-identical to one collected through Infer with the same options.
+/// The chain id is taken from the program's CompileOptions::ChainIndex.
+Result<SampleSet> sampleProgram(MCMCProgram &Prog, const SampleOptions &SO,
+                                const std::string &Source);
 
 } // namespace augur
 

@@ -52,6 +52,34 @@ Status MCMCProgram::init() {
   return Status::success();
 }
 
+Status MCMCProgram::resetForReuse(uint64_t Seed, int ChainIndex) {
+  Opts.Seed = Seed;
+  Opts.ChainIndex = ChainIndex;
+  Eng->rng().reseed(Seed);
+  std::string ChainPrefix = strFormat("chain%d/", ChainIndex);
+  Eng->setTelemetry(&Recorder::global(), ChainPrefix + "exec/");
+  SweepLJKey = ChainPrefix + "sweep/log_joint";
+  SweepCountKey = ChainPrefix + "sweep/count";
+  if (Cache) {
+    FCEvalKey = ChainPrefix + "fc/factors_evaluated";
+    FCHitsKey = ChainPrefix + "fc/cache_hits";
+    FCBypKey = ChainPrefix + "fc/byproduct_refreshes";
+    FCMaintKey = ChainPrefix + "fc/maint_ns";
+  }
+  for (auto &CU : Updates) {
+    // Exactly the state compileUpdate establishes on a fresh compile:
+    // adapted step sizes, acceptance counters, and guard history from
+    // the previous request must not leak into the next one.
+    CU.U.Hmc = Opts.Hmc;
+    CU.Stats = UpdateStats();
+    CU.Guard = robust::GuardState();
+    CU.LastDiverged = false;
+    CU.Keys.build(ChainPrefix, CU.U);
+  }
+  invalidateCache();
+  return Status::success();
+}
+
 Status MCMCProgram::step() {
   McmcCtx Ctx;
   Ctx.Eng = Eng.get();

@@ -90,6 +90,17 @@ public:
   /// (data must already be bound). Must be called before step().
   Status init();
 
+  /// Rewinds a compiled program so it can serve a fresh sampling
+  /// request without recompiling (the compile-once/serve-many path,
+  /// DESIGN.md section 13): reseeds the RNG, rebinds the chain's
+  /// telemetry keys to \p ChainIndex, and resets every per-update
+  /// adaptation (HMC step size back to the compiled options, acceptance
+  /// counters, guard state). Followed by init(), the program reproduces
+  /// the sample stream of a fresh compile with
+  /// CompileOptions{Seed, ChainIndex} bit-identically — compilation
+  /// itself never consumes RNG, so skipping it is unobservable.
+  Status resetForReuse(uint64_t Seed, int ChainIndex);
+
   /// Runs one full sweep: every base update once, in schedule order.
   Status step();
 

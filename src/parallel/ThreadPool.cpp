@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <utility>
 
 using namespace augur;
@@ -125,9 +126,20 @@ ParForStats ThreadPool::parallelFor(
   uint64_t NumChunks = uint64_t((Hi - Lo + Grain - 1) / Grain);
   uint64_t T0 = nowNanos();
 
-  // Inline execution: single-lane pool, a single chunk, or a nested
-  // call from inside a worker (its lane keeps servicing the body).
-  if (numThreads() == 1 || NumChunks == 1 || CurrentWorker >= 0) {
+  // The region state below (Body, ChunksLeft, counters) is
+  // single-occupancy. A second top-level caller arriving while a region
+  // is in flight (concurrent serving requests sharing the pool) must
+  // not block on it — it simply runs its loop inline instead.
+  std::unique_lock<std::mutex> Region(RegionMu, std::defer_lock);
+  bool UsePool =
+      numThreads() > 1 && NumChunks > 1 && CurrentWorker < 0;
+  if (UsePool)
+    UsePool = Region.try_lock();
+
+  // Inline execution: single-lane pool, a single chunk, a nested call
+  // from inside a worker (its lane keeps servicing the body), or a
+  // pool already busy with another caller's region.
+  if (!UsePool) {
     int Lane = CurrentWorker >= 0 ? CurrentWorker : 0;
     for (int64_t B = Lo; B < Hi; B += Grain) {
       int64_t E = B + Grain < Hi ? B + Grain : Hi;
@@ -195,17 +207,21 @@ ParForStats ThreadPool::parallelFor(
 }
 
 ThreadPool &ThreadPool::global(int NumThreads) {
-  static std::unique_ptr<ThreadPool> Pool;
+  // Keyed by width and never destroyed: rebuilding a shared pool while
+  // another thread is executing a region on it (concurrent compiles in
+  // the serving daemon) would tear the region out from under that
+  // caller. Distinct widths coexist; repeated requests share.
   static std::mutex PoolM;
+  static std::map<int, std::unique_ptr<ThreadPool>> *Pools =
+      new std::map<int, std::unique_ptr<ThreadPool>>();
   std::lock_guard<std::mutex> Lock(PoolM);
   int Want = NumThreads;
   if (Want <= 0) {
     unsigned Hw = std::thread::hardware_concurrency();
     Want = Hw == 0 ? 1 : int(Hw);
   }
-  if (!Pool)
-    Pool = std::make_unique<ThreadPool>(Want);
-  else if (NumThreads > 0 && Pool->numThreads() != Want)
-    Pool = std::make_unique<ThreadPool>(Want);
-  return *Pool;
+  std::unique_ptr<ThreadPool> &P = (*Pools)[Want];
+  if (!P)
+    P = std::make_unique<ThreadPool>(Want);
+  return *P;
 }

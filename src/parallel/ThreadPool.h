@@ -95,7 +95,9 @@ public:
   /// [0, numThreads()) so callers can maintain per-worker state; every
   /// concurrently-running Body invocation sees a distinct Worker.
   /// Blocks until all chunks have finished. Re-entrant: calls from
-  /// inside a worker run inline on that worker's lane.
+  /// inside a worker run inline on that worker's lane. Safe for
+  /// concurrent top-level callers: one region occupies the pool at a
+  /// time and a caller that finds it busy executes its loop inline.
   ///
   /// Exception safety: a Body that throws no longer terminates the
   /// process. The first exception any lane observes is captured, the
@@ -109,9 +111,11 @@ public:
   /// inline).
   static bool inWorker() { return CurrentWorker >= 0; }
 
-  /// The process-wide pool, sized on first use from \p NumThreads
-  /// (0 = hardware_concurrency). Subsequent calls with a different
-  /// non-zero size rebuild the pool; call only from the main thread.
+  /// The process-wide pool of the requested width (0 =
+  /// hardware_concurrency). Pools are keyed by width and live for the
+  /// process: a request for a new width creates a sibling pool instead
+  /// of tearing down one that other threads may be executing on, so
+  /// this is safe to call from any thread at any time.
   static ThreadPool &global(int NumThreads = 0);
 
 private:
@@ -147,6 +151,11 @@ private:
   /// on the calling thread after the join.
   std::mutex ErrM;
   std::exception_ptr RegionError;
+
+  /// Held for the duration of a pooled region. Acquired with try_lock:
+  /// a concurrent top-level caller falls back to inline execution
+  /// rather than corrupting the single-occupancy region state.
+  std::mutex RegionMu;
 
   static thread_local int CurrentWorker;
 };

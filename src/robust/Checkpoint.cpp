@@ -13,6 +13,7 @@
 #endif
 
 #include "robust/FaultInject.h"
+#include "support/AtomicFile.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -305,32 +306,6 @@ Result<ChainCheckpoint> parsePayload(const unsigned char *Data, size_t Len) {
   return CP;
 }
 
-/// fsyncs an open stdio stream; returns false on failure.
-bool flushAndSync(FILE *F) {
-  if (std::fflush(F) != 0)
-    return false;
-#if defined(__unix__) || defined(__APPLE__)
-  return ::fsync(fileno(F)) == 0;
-#else
-  return true;
-#endif
-}
-
-/// fsyncs a directory so a rename within it is durable.
-void syncDir(const std::string &Path) {
-#if defined(__unix__) || defined(__APPLE__)
-  size_t Slash = Path.find_last_of('/');
-  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
-  int Fd = ::open(Dir.c_str(), O_RDONLY);
-  if (Fd >= 0) {
-    ::fsync(Fd);
-    ::close(Fd);
-  }
-#else
-  (void)Path;
-#endif
-}
-
 } // namespace
 
 Status augur::robust::writeCheckpoint(const std::string &Path,
@@ -345,28 +320,13 @@ Status augur::robust::writeCheckpoint(const std::string &Path,
   std::memcpy(Header + 8, &Len, 8);
   std::memcpy(Header + 16, &Sum, 8);
 
-  std::string Tmp = Path + ".tmp";
-  FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F)
-    return Status::error(
-        strFormat("checkpoint: cannot open '%s' for writing", Tmp.c_str()));
-  bool Ok = std::fwrite(Header, 1, HeaderBytes, F) == HeaderBytes &&
-            (Payload.empty() ||
-             std::fwrite(Payload.data(), 1, Payload.size(), F) ==
-                 Payload.size()) &&
-            flushAndSync(F);
-  Ok = (std::fclose(F) == 0) && Ok;
-  if (!Ok) {
-    std::remove(Tmp.c_str());
-    return Status::error(
-        strFormat("checkpoint: short write to '%s'", Tmp.c_str()));
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return Status::error(strFormat("checkpoint: cannot rename '%s' -> '%s'",
-                                   Tmp.c_str(), Path.c_str()));
-  }
-  syncDir(Path);
+  std::vector<unsigned char> File;
+  File.reserve(HeaderBytes + Payload.size());
+  File.insert(File.end(), Header, Header + HeaderBytes);
+  File.insert(File.end(), Payload.begin(), Payload.end());
+  Status St = atomicWriteFile(Path, File.data(), File.size());
+  if (!St.ok())
+    return Status::error(strFormat("checkpoint: %s", St.message().c_str()));
 
 #if defined(__unix__) || defined(__APPLE__)
   // The resume tests arm this to die at the one point where recovery is

@@ -84,6 +84,7 @@ int classByName(const std::string &Name) {
 
 Status FaultInjector::configure(const std::string &Spec) {
   std::lock_guard<std::mutex> Lock(Mu);
+  InstalledSpec.clear();
   Seed = 0;
   for (auto &C : Classes)
     C = ClassSpec();
@@ -142,12 +143,23 @@ Status FaultInjector::configure(const std::string &Spec) {
     AnyActive = true;
   }
   Armed.store(AnyActive, std::memory_order_relaxed);
+  InstalledSpec = Spec;
   return Status::success();
 }
 
 Status FaultInjector::configureFromOptions(const std::string &OptSpec) {
   const char *Env = std::getenv("AUGUR_FAULT_SPEC");
-  return configure(Env ? std::string(Env) : OptSpec);
+  std::string Resolved = Env ? std::string(Env) : OptSpec;
+  {
+    // Unchanged-spec fast path: repeated compiles under the same spec
+    // (a serving daemon, multi-chain sampling) must not reset the probe
+    // counters, or an `n=` probe could fire once per compile instead of
+    // once per process.
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Resolved == InstalledSpec)
+      return Status::success();
+  }
+  return configure(Resolved);
 }
 
 bool FaultInjector::fire(FaultClass C) {

@@ -80,9 +80,12 @@ public:
   Status configure(const std::string &Spec);
 
   /// Resolves env (`AUGUR_FAULT_SPEC`, which wins) against \p OptSpec
-  /// and installs the result. Idempotent for a given resolved spec text
-  /// EXCEPT that counters reset on every call, so call it only at
-  /// compile boundaries, before sampling begins.
+  /// and installs the result. Truly idempotent: when the resolved spec
+  /// text matches what is already installed, nothing is touched — probe
+  /// counters and the event log keep advancing, so `n=` probes stay
+  /// deterministic across the repeated compiles of a serving daemon.
+  /// A *changed* spec reinstalls and resets counters, as configure()
+  /// does.
   Status configureFromOptions(const std::string &OptSpec);
 
   /// Fast path for probe sites: true only when a spec with at least one
@@ -110,11 +113,14 @@ private:
 
   static std::atomic<bool> Armed;
 
-  mutable std::mutex Mu; ///< guards Spec, Classes, Log
+  mutable std::mutex Mu; ///< guards Spec, Classes, Log, InstalledSpec
   uint64_t Seed = 0;
   ClassSpec Classes[NumFaultClasses];
   std::atomic<uint64_t> Probes[NumFaultClasses] = {};
   std::vector<FaultEvent> Log;
+  /// The spec text configure() last installed successfully, for the
+  /// configureFromOptions() unchanged-spec fast path.
+  std::string InstalledSpec;
 };
 
 /// Convenience probe: `faultFire(C)` is false at zero cost unless a

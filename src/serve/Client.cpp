@@ -1,0 +1,198 @@
+//===- serve/Client.cpp ---------------------------------------*- C++ -*-===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(
+        strFormat("unix socket path too long: '%s'", Path.c_str()));
+  std::strcpy(Addr.sun_path, Path.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error("cannot create unix socket");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return Status::error(strFormat("cannot connect to '%s': %s",
+                                   Path.c_str(), std::strerror(errno)));
+  }
+  Client C;
+  C.Fd = Fd;
+  return C;
+}
+
+Result<Client> Client::connectTcp(const std::string &Host, int Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return Status::error(strFormat("bad address '%s'", Host.c_str()));
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error("cannot create tcp socket");
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return Status::error(strFormat("cannot connect to %s:%d: %s",
+                                   Host.c_str(), Port,
+                                   std::strerror(errno)));
+  }
+  Client C;
+  C.Fd = Fd;
+  return C;
+}
+
+Status Client::send(const Request &R) {
+  if (Fd < 0)
+    return Status::error("client is not connected");
+  return writeJsonFrame(Fd, encodeRequest(R));
+}
+
+Result<Json> Client::read(bool &Eof) {
+  if (Fd < 0)
+    return Status::error("client is not connected");
+  return readJsonFrame(Fd, Eof);
+}
+
+namespace {
+
+/// Classifies a response frame against the expected request id;
+/// error frames surface as "<code>: <message>".
+Status checkFrame(const Json &J, uint64_t Id) {
+  if (uint64_t(J.getInt("id", -1)) != Id)
+    return Status::error(strFormat(
+        "response id %lld does not match request id %llu",
+        (long long)J.getInt("id", -1), (unsigned long long)Id));
+  if (J.getStr("type", "") == "error")
+    return Status::error(strFormat(
+        "%s: %s", J.getStr("code", "internal").c_str(),
+        J.getStr("message", "").c_str()));
+  return Status::success();
+}
+
+} // namespace
+
+Result<Client::SampleOutcome> Client::sample(const SampleRequest &SR,
+                                             uint64_t Id) {
+  Request R;
+  R.Kind = Request::Op::Sample;
+  R.Id = Id;
+  R.Sample = SR;
+  AUGUR_RETURN_IF_ERROR(send(R));
+
+  SampleOutcome Out;
+  int Chains = SR.Chains < 1 ? 1 : SR.Chains;
+  Out.Chains.resize(size_t(Chains));
+  for (int C = 0; C < Chains; ++C)
+    Out.Chains[size_t(C)].ChainId = C;
+
+  for (;;) {
+    bool Eof = false;
+    AUGUR_ASSIGN_OR_RETURN(Json F, read(Eof));
+    if (Eof)
+      return Status::error("server closed the stream mid-request");
+    AUGUR_RETURN_IF_ERROR(checkFrame(F, Id));
+    std::string Type = F.getStr("type", "");
+    if (Type == "draw") {
+      int64_t Chain = F.getInt("chain", 0);
+      if (Chain < 0 || Chain >= Chains)
+        return Status::error(
+            strFormat("draw frame for unknown chain %lld",
+                      (long long)Chain));
+      SampleSet &S = Out.Chains[size_t(Chain)];
+      const Json *Values = F.find("values");
+      if (!Values || !Values->isObj())
+        return Status::error("draw frame is missing 'values'");
+      for (const auto &KV : Values->obj()) {
+        AUGUR_ASSIGN_OR_RETURN(Value V, decodeValue(KV.second));
+        S.Draws[KV.first].push_back(std::move(V));
+      }
+      S.LogJoint.push_back(F.getReal("log_joint", 0.0));
+    } else if (Type == "done") {
+      Out.CacheHit = F.getBool("cache_hit", false);
+      Out.ElapsedMillis = F.getReal("elapsed_ms", 0.0);
+      return Out;
+    } else {
+      return Status::error(strFormat(
+          "unexpected frame type '%s' in sample stream", Type.c_str()));
+    }
+  }
+}
+
+Result<Json> Client::metrics(uint64_t Id) {
+  Request R;
+  R.Kind = Request::Op::Metrics;
+  R.Id = Id;
+  AUGUR_RETURN_IF_ERROR(send(R));
+  bool Eof = false;
+  AUGUR_ASSIGN_OR_RETURN(Json F, read(Eof));
+  if (Eof)
+    return Status::error("server closed before answering metrics");
+  AUGUR_RETURN_IF_ERROR(checkFrame(F, Id));
+  if (F.getStr("type", "") != "metrics")
+    return Status::error("expected a metrics frame");
+  return F;
+}
+
+Status Client::ping(uint64_t Id) {
+  Request R;
+  R.Kind = Request::Op::Ping;
+  R.Id = Id;
+  AUGUR_RETURN_IF_ERROR(send(R));
+  bool Eof = false;
+  AUGUR_ASSIGN_OR_RETURN(Json F, read(Eof));
+  if (Eof)
+    return Status::error("server closed before answering ping");
+  AUGUR_RETURN_IF_ERROR(checkFrame(F, Id));
+  if (F.getStr("type", "") != "pong")
+    return Status::error("expected a pong frame");
+  return Status::success();
+}
+
+Status Client::shutdownServer(uint64_t Id) {
+  Request R;
+  R.Kind = Request::Op::Shutdown;
+  R.Id = Id;
+  AUGUR_RETURN_IF_ERROR(send(R));
+  bool Eof = false;
+  AUGUR_ASSIGN_OR_RETURN(Json F, read(Eof));
+  if (Eof)
+    return Status::success(); // server died right after the bye
+  AUGUR_RETURN_IF_ERROR(checkFrame(F, Id));
+  if (F.getStr("type", "") != "bye")
+    return Status::error("expected a bye frame");
+  return Status::success();
+}

@@ -1,0 +1,76 @@
+//===- serve/Client.h - Inference service client ---------------*- C++ -*-===//
+///
+/// \file
+/// Client side of the serving protocol: connect over a Unix or TCP
+/// socket, submit requests, and either consume response frames raw
+/// (read()) or let sample() collect a streamed request into per-chain
+/// SampleSets — the shape Infer::sampleChains returns, which is what
+/// the bit-identity tests compare against. Shared by tools/augur_bench
+/// and the server test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_CLIENT_H
+#define AUGUR_SERVE_CLIENT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/Infer.h"
+#include "serve/Protocol.h"
+
+namespace augur {
+namespace serve {
+
+/// A connected client. Move-only; the socket closes on destruction.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(Client &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Client &operator=(Client &&O) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  static Result<Client> connectUnix(const std::string &Path);
+  static Result<Client> connectTcp(const std::string &Host, int Port);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one encoded request frame.
+  Status send(const Request &R);
+
+  /// Reads one response frame (Eof set on clean server close).
+  Result<Json> read(bool &Eof);
+
+  /// The collected result of one streamed sample request.
+  struct SampleOutcome {
+    std::vector<SampleSet> Chains; ///< one per requested chain
+    bool CacheHit = false;         ///< artifact was already compiled
+    double ElapsedMillis = 0.0;    ///< server-side wall time
+  };
+
+  /// Submits \p SR and blocks until done, collecting the streamed draws
+  /// into per-chain SampleSets. A structured error frame becomes an
+  /// error Status carrying "<code>: <message>".
+  Result<SampleOutcome> sample(const SampleRequest &SR, uint64_t Id = 1);
+
+  /// Fetches the daemon's metrics snapshot (counters, histograms,
+  /// cache stats, queue depth).
+  Result<Json> metrics(uint64_t Id = 1);
+
+  /// Round-trips a ping.
+  Status ping(uint64_t Id = 1);
+
+  /// Asks the daemon to shut down (acknowledged with a bye frame).
+  Status shutdownServer(uint64_t Id = 1);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_CLIENT_H

@@ -1,0 +1,363 @@
+//===- serve/Json.cpp -----------------------------------------*- C++ -*-===//
+
+#include "serve/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void escapeInto(const std::string &S, std::string &Out) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dumpInto(const Json &J, std::string &Out) {
+  switch (J.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Int: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(J.asInt()));
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::Real: {
+    double D = J.asReal();
+    if (std::isnan(D)) {
+      Out += "null"; // NaN has no JSON spelling
+      break;
+    }
+    if (std::isinf(D)) {
+      Out += D > 0 ? "1e308" : "-1e308";
+      break;
+    }
+    char Buf[40];
+    // %.17g round-trips IEEE doubles exactly through strtod.
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    // Keep a floating marker so the value parses back as Real, not Int
+    // (Int/Real kinds must survive a round trip for bit-identity).
+    if (!std::strpbrk(Buf, ".eE"))
+      std::strcat(Buf, ".0");
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::Str:
+    escapeInto(J.asStr(), Out);
+    break;
+  case Json::Kind::Arr: {
+    Out += '[';
+    bool First = true;
+    for (const Json &E : J.arr()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpInto(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Json::Kind::Obj: {
+    Out += '{';
+    bool First = true;
+    for (const auto &KV : J.obj()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      escapeInto(KV.first, Out);
+      Out += ':';
+      dumpInto(KV.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpInto(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  Result<Json> parse() {
+    AUGUR_ASSIGN_OR_RETURN(Json V, value());
+    skipWs();
+    if (Pos != S.size())
+      return err("trailing content after JSON value");
+    return V;
+  }
+
+private:
+  Status err(const std::string &What) const {
+    return Status::error(
+        strFormat("json: %s at offset %zu", What.c_str(), Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    skipWs();
+    if (Pos >= S.size())
+      return err("unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"') {
+      AUGUR_ASSIGN_OR_RETURN(std::string Str, string());
+      return Json::str(std::move(Str));
+    }
+    if (C == 't' || C == 'f')
+      return boolean();
+    if (C == 'n') {
+      if (S.compare(Pos, 4, "null") == 0) {
+        Pos += 4;
+        return Json::null();
+      }
+      return err("bad literal");
+    }
+    return number();
+  }
+
+  Result<Json> boolean() {
+    if (S.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      return Json::boolean(true);
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      return Json::boolean(false);
+    }
+    return err("bad literal");
+  }
+
+  Result<Json> number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    bool Floating = false;
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C >= '0' && C <= '9') {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E') {
+        Floating = true;
+        ++Pos;
+        if (C != '.' && Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return err("expected a value");
+    std::string Tok = S.substr(Start, Pos - Start);
+    errno = 0;
+    char *End = nullptr;
+    if (!Floating) {
+      long long I = std::strtoll(Tok.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0')
+        return Json::integer(int64_t(I));
+      // Integral but out of int64 range: fall through to double.
+    }
+    errno = 0;
+    double D = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return err("malformed number '" + Tok + "'");
+    return Json::real(D);
+  }
+
+  Result<std::string> string() {
+    if (!eat('"'))
+      return err("expected '\"'");
+    std::string Out;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return err("unterminated escape");
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return err("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else
+            return err("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+        // the protocol never emits them).
+        if (Code < 0x80) {
+          Out += char(Code);
+        } else if (Code < 0x800) {
+          Out += char(0xC0 | (Code >> 6));
+          Out += char(0x80 | (Code & 0x3F));
+        } else {
+          Out += char(0xE0 | (Code >> 12));
+          Out += char(0x80 | ((Code >> 6) & 0x3F));
+          Out += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return err("unknown escape");
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<Json> array() {
+    eat('[');
+    Json Out = Json::array();
+    skipWs();
+    if (eat(']'))
+      return Out;
+    for (;;) {
+      AUGUR_ASSIGN_OR_RETURN(Json V, value());
+      Out.push(std::move(V));
+      skipWs();
+      if (eat(']'))
+        return Out;
+      if (!eat(','))
+        return err("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> object() {
+    eat('{');
+    Json Out = Json::object();
+    skipWs();
+    if (eat('}'))
+      return Out;
+    for (;;) {
+      skipWs();
+      AUGUR_ASSIGN_OR_RETURN(std::string Key, string());
+      skipWs();
+      if (!eat(':'))
+        return err("expected ':' after object key");
+      AUGUR_ASSIGN_OR_RETURN(Json V, value());
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (eat('}'))
+        return Out;
+      if (!eat(','))
+        return err("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Result<Json> augur::serve::parseJson(const std::string &Text) {
+  return Parser(Text).parse();
+}

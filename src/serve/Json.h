@@ -1,0 +1,142 @@
+//===- serve/Json.h - Minimal JSON value, parser, printer ------*- C++ -*-===//
+///
+/// \file
+/// The JSON representation the serving wire protocol is built on
+/// (serve/Protocol.h). Deliberately minimal: objects, arrays, strings,
+/// doubles (with exact int64 round-tripping for integral values), bools
+/// and null — no streaming, no comments, no unicode escapes beyond
+/// \uXXXX pass-through into UTF-8. Numbers print with %.17g so IEEE
+/// doubles survive a round trip bit-exactly, which the serving layer's
+/// bit-identical-streams contract depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_JSON_H
+#define AUGUR_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/Result.h"
+
+namespace augur {
+namespace serve {
+
+/// A JSON value. Numbers keep the distinction between integral and
+/// floating so int64 payloads (seeds, sizes) survive exactly.
+class Json {
+public:
+  enum class Kind { Null, Bool, Int, Real, Str, Arr, Obj };
+
+  Json() : K(Kind::Null) {}
+  static Json null() { return Json(); }
+  static Json boolean(bool B) {
+    Json J;
+    J.K = Kind::Bool;
+    J.B = B;
+    return J;
+  }
+  static Json integer(int64_t I) {
+    Json J;
+    J.K = Kind::Int;
+    J.I = I;
+    return J;
+  }
+  static Json real(double D) {
+    Json J;
+    J.K = Kind::Real;
+    J.D = D;
+    return J;
+  }
+  static Json str(std::string S) {
+    Json J;
+    J.K = Kind::Str;
+    J.S = std::move(S);
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Arr;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Obj;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Real; }
+  bool isStr() const { return K == Kind::Str; }
+  bool isArr() const { return K == Kind::Arr; }
+  bool isObj() const { return K == Kind::Obj; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return K == Kind::Real ? int64_t(D) : I; }
+  double asReal() const { return K == Kind::Int ? double(I) : D; }
+  const std::string &asStr() const { return S; }
+
+  std::vector<Json> &arr() { return A; }
+  const std::vector<Json> &arr() const { return A; }
+  std::map<std::string, Json> &obj() { return O; }
+  const std::map<std::string, Json> &obj() const { return O; }
+
+  void push(Json V) { A.push_back(std::move(V)); }
+  void set(const std::string &Key, Json V) { O[Key] = std::move(V); }
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const Json *find(const std::string &Key) const {
+    if (K != Kind::Obj)
+      return nullptr;
+    auto It = O.find(Key);
+    return It == O.end() ? nullptr : &It->second;
+  }
+
+  // Defaulted field accessors for protocol decoding.
+  int64_t getInt(const std::string &Key, int64_t Default) const {
+    const Json *V = find(Key);
+    return V && V->isNumber() ? V->asInt() : Default;
+  }
+  double getReal(const std::string &Key, double Default) const {
+    const Json *V = find(Key);
+    return V && V->isNumber() ? V->asReal() : Default;
+  }
+  bool getBool(const std::string &Key, bool Default) const {
+    const Json *V = find(Key);
+    return V && V->isBool() ? V->asBool() : Default;
+  }
+  std::string getStr(const std::string &Key,
+                     const std::string &Default) const {
+    const Json *V = find(Key);
+    return V && V->isStr() ? V->asStr() : Default;
+  }
+
+  /// Serializes (compact, no whitespace). Keys are emitted in map
+  /// order, so equal values print identically — the ArtifactCache
+  /// relies on this for fingerprint stability.
+  std::string dump() const;
+
+private:
+  Kind K;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<Json> A;
+  std::map<std::string, Json> O;
+};
+
+/// Parses \p Text into a Json value; structured error on malformed
+/// input (position and expectation).
+Result<Json> parseJson(const std::string &Text);
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_JSON_H

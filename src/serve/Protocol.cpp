@@ -1,0 +1,487 @@
+//===- serve/Protocol.cpp -------------------------------------*- C++ -*-===//
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "robust/Checkpoint.h"
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+const char *augur::serve::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::BadRequest:
+    return "bad-request";
+  case ErrorCode::CompileError:
+    return "compile-error";
+  case ErrorCode::ExecError:
+    return "exec-error";
+  case ErrorCode::Deadline:
+    return "deadline";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::ShuttingDown:
+    return "shutting-down";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+//===----------------------------------------------------------------------===//
+// Value codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json realArray(const double *D, size_t N) {
+  Json A = Json::array();
+  A.arr().reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    A.push(Json::real(D[I]));
+  return A;
+}
+
+Json intArray(const int64_t *D, size_t N) {
+  Json A = Json::array();
+  A.arr().reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    A.push(Json::integer(D[I]));
+  return A;
+}
+
+Result<std::vector<double>> decodeRealArray(const Json *A,
+                                            const char *What) {
+  if (!A || !A->isArr())
+    return Status::error(strFormat("value: missing array '%s'", What));
+  std::vector<double> Out;
+  Out.reserve(A->arr().size());
+  for (const Json &E : A->arr()) {
+    if (!E.isNumber())
+      return Status::error(
+          strFormat("value: non-numeric element in '%s'", What));
+    Out.push_back(E.asReal());
+  }
+  return Out;
+}
+
+Result<std::vector<int64_t>> decodeIntArray(const Json *A,
+                                            const char *What) {
+  if (!A || !A->isArr())
+    return Status::error(strFormat("value: missing array '%s'", What));
+  std::vector<int64_t> Out;
+  Out.reserve(A->arr().size());
+  for (const Json &E : A->arr()) {
+    if (!E.isInt())
+      return Status::error(
+          strFormat("value: non-integer element in '%s'", What));
+    Out.push_back(E.asInt());
+  }
+  return Out;
+}
+
+} // namespace
+
+Json augur::serve::encodeValue(const Value &V) {
+  Json J = Json::object();
+  if (V.isIntScalar()) {
+    J.set("t", Json::str("i"));
+    J.set("v", Json::integer(V.asInt()));
+  } else if (V.isRealScalar()) {
+    J.set("t", Json::str("r"));
+    J.set("v", Json::real(V.asReal()));
+  } else if (V.isIntVec()) {
+    const BlockedInt &B = V.intVec();
+    J.set("t", Json::str("iv"));
+    J.set("d", intArray(B.flat().data(), B.flat().size()));
+    if (B.isRagged())
+      J.set("o", intArray(B.offsets().data(), B.offsets().size()));
+  } else if (V.isRealVec()) {
+    const BlockedReal &B = V.realVec();
+    J.set("t", Json::str("rv"));
+    J.set("d", realArray(B.flat().data(), B.flat().size()));
+    if (B.isRagged())
+      J.set("o", intArray(B.offsets().data(), B.offsets().size()));
+  } else if (V.isMatrix()) {
+    const Matrix &M = V.mat();
+    J.set("t", Json::str("m"));
+    J.set("r", Json::integer(M.rows()));
+    J.set("c", Json::integer(M.cols()));
+    J.set("d", realArray(M.data(), size_t(M.rows() * M.cols())));
+  } else if (V.isMatVec()) {
+    const MatVec &MV = V.matVec();
+    J.set("t", Json::str("mv"));
+    J.set("n", Json::integer(MV.size()));
+    J.set("r", Json::integer(MV.rows()));
+    J.set("c", Json::integer(MV.cols()));
+    size_t Per = size_t(MV.rows() * MV.cols());
+    Json A = Json::array();
+    A.arr().reserve(size_t(MV.size()) * Per);
+    for (int64_t I = 0; I < MV.size(); ++I) {
+      const double *D = MV.at(I);
+      for (size_t K = 0; K < Per; ++K)
+        A.push(Json::real(D[K]));
+    }
+    J.set("d", std::move(A));
+  }
+  return J;
+}
+
+Result<Value> augur::serve::decodeValue(const Json &J) {
+  std::string T = J.getStr("t", "");
+  if (T == "i") {
+    const Json *V = J.find("v");
+    if (!V || !V->isInt())
+      return Status::error("value: 'i' requires an integer 'v'");
+    return Value::intScalar(V->asInt());
+  }
+  if (T == "r") {
+    const Json *V = J.find("v");
+    if (!V || !V->isNumber())
+      return Status::error("value: 'r' requires a numeric 'v'");
+    return Value::realScalar(V->asReal());
+  }
+  if (T == "iv" || T == "rv") {
+    std::vector<int64_t> Offsets;
+    if (const Json *O = J.find("o")) {
+      AUGUR_ASSIGN_OR_RETURN(Offsets, decodeIntArray(O, "o"));
+      if (Offsets.size() < 2 || Offsets.front() != 0)
+        return Status::error("value: malformed offsets table");
+      for (size_t I = 1; I < Offsets.size(); ++I)
+        if (Offsets[I] < Offsets[I - 1])
+          return Status::error("value: offsets must be non-decreasing");
+    }
+    if (T == "iv") {
+      AUGUR_ASSIGN_OR_RETURN(std::vector<int64_t> D,
+                             decodeIntArray(J.find("d"), "d"));
+      if (!Offsets.empty() && Offsets.back() != int64_t(D.size()))
+        return Status::error("value: offsets do not cover the payload");
+      Type Ty = Offsets.empty() ? Type::vec(Type::intTy())
+                                : Type::vec(Type::vec(Type::intTy()));
+      return Value::intVec(
+          BlockedInt::fromParts(std::move(D), std::move(Offsets)), Ty);
+    }
+    AUGUR_ASSIGN_OR_RETURN(std::vector<double> D,
+                           decodeRealArray(J.find("d"), "d"));
+    if (!Offsets.empty() && Offsets.back() != int64_t(D.size()))
+      return Status::error("value: offsets do not cover the payload");
+    Type Ty = Offsets.empty() ? Type::vec(Type::realTy())
+                              : Type::vec(Type::vec(Type::realTy()));
+    return Value::realVec(
+        BlockedReal::fromParts(std::move(D), std::move(Offsets)), Ty);
+  }
+  if (T == "m") {
+    int64_t R = J.getInt("r", -1), C = J.getInt("c", -1);
+    AUGUR_ASSIGN_OR_RETURN(std::vector<double> D,
+                           decodeRealArray(J.find("d"), "d"));
+    if (R < 0 || C < 0 || int64_t(D.size()) != R * C)
+      return Status::error("value: matrix shape does not match payload");
+    Matrix M(R, C);
+    std::copy(D.begin(), D.end(), M.data());
+    return Value::matrix(std::move(M));
+  }
+  if (T == "mv") {
+    int64_t N = J.getInt("n", -1), R = J.getInt("r", -1),
+            C = J.getInt("c", -1);
+    AUGUR_ASSIGN_OR_RETURN(std::vector<double> D,
+                           decodeRealArray(J.find("d"), "d"));
+    if (N < 0 || R < 0 || C < 0 || int64_t(D.size()) != N * R * C)
+      return Status::error("value: matvec shape does not match payload");
+    MatVec MV(N, R, C);
+    for (int64_t I = 0; I < N; ++I)
+      std::memcpy(MV.at(I), D.data() + I * R * C,
+                  size_t(R * C) * sizeof(double));
+    return Value::matVec(std::move(MV));
+  }
+  return Status::error(strFormat("value: unknown tag '%s'", T.c_str()));
+}
+
+//===----------------------------------------------------------------------===//
+// Request codec
+//===----------------------------------------------------------------------===//
+
+Json augur::serve::encodeRequest(const Request &R) {
+  Json J = Json::object();
+  J.set("v", Json::integer(ProtocolVersion));
+  J.set("id", Json::integer(int64_t(R.Id)));
+  switch (R.Kind) {
+  case Request::Op::Metrics:
+    J.set("op", Json::str("metrics"));
+    return J;
+  case Request::Op::Ping:
+    J.set("op", Json::str("ping"));
+    return J;
+  case Request::Op::Shutdown:
+    J.set("op", Json::str("shutdown"));
+    return J;
+  case Request::Op::Sample:
+    break;
+  }
+  const SampleRequest &S = R.Sample;
+  J.set("op", Json::str("sample"));
+  J.set("model", Json::str(S.Model));
+  if (!S.Schedule.empty())
+    J.set("schedule", Json::str(S.Schedule));
+  if (S.NativeCpu)
+    J.set("native", Json::boolean(true));
+  J.set("threads", Json::integer(S.Threads));
+  Json Args = Json::array();
+  for (const Value &V : S.Args)
+    Args.push(encodeValue(V));
+  J.set("args", std::move(Args));
+  Json Data = Json::object();
+  for (const auto &KV : S.Data)
+    Data.set(KV.first, encodeValue(KV.second));
+  J.set("data", std::move(Data));
+  J.set("seed", Json::integer(int64_t(S.Seed)));
+  J.set("chains", Json::integer(S.Chains));
+  J.set("samples", Json::integer(S.NumSamples));
+  J.set("burnin", Json::integer(S.BurnIn));
+  J.set("thin", Json::integer(S.Thin));
+  if (!S.Record.empty()) {
+    Json Rec = Json::array();
+    for (const auto &Name : S.Record)
+      Rec.push(Json::str(Name));
+    J.set("record", std::move(Rec));
+  }
+  if (S.TrackLogJoint)
+    J.set("track_log_joint", Json::boolean(true));
+  if (S.DeadlineMillis > 0)
+    J.set("deadline_ms", Json::integer(S.DeadlineMillis));
+  return J;
+}
+
+Result<Request> augur::serve::decodeRequest(const Json &J) {
+  if (!J.isObj())
+    return Status::error("request is not a JSON object");
+  int64_t V = J.getInt("v", -1);
+  if (V != ProtocolVersion)
+    return Status::error(strFormat(
+        "unsupported protocol version %lld (this daemon speaks %lld)",
+        (long long)V, (long long)ProtocolVersion));
+  Request R;
+  R.Id = uint64_t(J.getInt("id", 0));
+  std::string Op = J.getStr("op", "");
+  if (Op == "metrics") {
+    R.Kind = Request::Op::Metrics;
+    return R;
+  }
+  if (Op == "ping") {
+    R.Kind = Request::Op::Ping;
+    return R;
+  }
+  if (Op == "shutdown") {
+    R.Kind = Request::Op::Shutdown;
+    return R;
+  }
+  if (Op != "sample")
+    return Status::error(strFormat("unknown op '%s'", Op.c_str()));
+  R.Kind = Request::Op::Sample;
+  SampleRequest &S = R.Sample;
+  S.Model = J.getStr("model", "");
+  if (S.Model.empty())
+    return Status::error("sample request is missing 'model'");
+  S.Schedule = J.getStr("schedule", "");
+  S.NativeCpu = J.getBool("native", false);
+  S.Threads = int(J.getInt("threads", 1));
+  if (const Json *Args = J.find("args")) {
+    if (!Args->isArr())
+      return Status::error("'args' must be an array");
+    for (const Json &A : Args->arr()) {
+      AUGUR_ASSIGN_OR_RETURN(Value Val, decodeValue(A));
+      S.Args.push_back(std::move(Val));
+    }
+  }
+  if (const Json *Data = J.find("data")) {
+    if (!Data->isObj())
+      return Status::error("'data' must be an object");
+    for (const auto &KV : Data->obj()) {
+      AUGUR_ASSIGN_OR_RETURN(Value Val, decodeValue(KV.second));
+      S.Data.emplace(KV.first, std::move(Val));
+    }
+  }
+  S.Seed = uint64_t(J.getInt("seed", int64_t(S.Seed)));
+  S.Chains = int(J.getInt("chains", 1));
+  S.NumSamples = int(J.getInt("samples", 100));
+  S.BurnIn = int(J.getInt("burnin", 0));
+  S.Thin = int(J.getInt("thin", 1));
+  if (const Json *Rec = J.find("record")) {
+    if (!Rec->isArr())
+      return Status::error("'record' must be an array of names");
+    for (const Json &E : Rec->arr()) {
+      if (!E.isStr())
+        return Status::error("'record' must be an array of names");
+      S.Record.push_back(E.asStr());
+    }
+  }
+  S.TrackLogJoint = J.getBool("track_log_joint", false);
+  S.DeadlineMillis = J.getInt("deadline_ms", 0);
+  if (S.Chains < 1 || S.NumSamples < 0 || S.Thin < 0 || S.BurnIn < 0)
+    return Status::error("sample request has a negative query field");
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Response builders
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json responseHead(uint64_t Id, const char *Type) {
+  Json J = Json::object();
+  J.set("v", Json::integer(ProtocolVersion));
+  J.set("id", Json::integer(int64_t(Id)));
+  J.set("type", Json::str(Type));
+  return J;
+}
+
+} // namespace
+
+Json augur::serve::drawFrame(uint64_t Id, int Chain, uint64_t Index,
+                             const std::vector<std::string> &Names,
+                             const std::vector<const Value *> &Values,
+                             double LogJoint) {
+  Json J = responseHead(Id, "draw");
+  J.set("chain", Json::integer(Chain));
+  J.set("index", Json::integer(int64_t(Index)));
+  Json Vals = Json::object();
+  for (size_t I = 0; I < Names.size() && I < Values.size(); ++I)
+    Vals.set(Names[I], encodeValue(*Values[I]));
+  J.set("values", std::move(Vals));
+  J.set("log_joint", Json::real(LogJoint));
+  return J;
+}
+
+Json augur::serve::doneFrame(uint64_t Id, int Chains, int Samples,
+                             bool CacheHit, double ElapsedMillis) {
+  Json J = responseHead(Id, "done");
+  J.set("chains", Json::integer(Chains));
+  J.set("samples", Json::integer(Samples));
+  J.set("cache_hit", Json::boolean(CacheHit));
+  J.set("elapsed_ms", Json::real(ElapsedMillis));
+  return J;
+}
+
+Json augur::serve::errorFrame(uint64_t Id, ErrorCode Code,
+                              const std::string &Message) {
+  Json J = responseHead(Id, "error");
+  J.set("code", Json::str(errorCodeName(Code)));
+  J.set("message", Json::str(Message));
+  return J;
+}
+
+Json augur::serve::pongFrame(uint64_t Id) {
+  return responseHead(Id, "pong");
+}
+
+Json augur::serve::byeFrame(uint64_t Id) { return responseHead(Id, "bye"); }
+
+//===----------------------------------------------------------------------===//
+// Artifact fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t augur::serve::artifactKey(const SampleRequest &R) {
+  uint64_t H = robust::fnv1a(R.Model);
+  H = robust::fnv1a(R.Schedule, H);
+  uint64_t Backend[] = {uint64_t(R.NativeCpu ? 1 : 0), uint64_t(R.Threads)};
+  H = robust::fnv1a(Backend, sizeof(Backend), H);
+  for (const Value &V : R.Args)
+    H = robust::fnv1a(encodeValue(V).dump(), H);
+  for (const auto &KV : R.Data) {
+    H = robust::fnv1a(KV.first, H);
+    H = robust::fnv1a(encodeValue(KV.second).dump(), H);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame transport
+//===----------------------------------------------------------------------===//
+
+Status augur::serve::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return Status::error(strFormat("frame too large (%zu bytes)",
+                                   Payload.size()));
+  uint32_t Len = uint32_t(Payload.size());
+  unsigned char Header[4] = {
+      (unsigned char)(Len & 0xFF), (unsigned char)((Len >> 8) & 0xFF),
+      (unsigned char)((Len >> 16) & 0xFF),
+      (unsigned char)((Len >> 24) & 0xFF)};
+  // One gathered buffer so a concurrent writer on another connection
+  // never interleaves (each connection serializes with its own mutex;
+  // this just avoids a partial header on error paths).
+  std::string Buf;
+  Buf.reserve(Payload.size() + 4);
+  Buf.append(reinterpret_cast<const char *>(Header), 4);
+  Buf.append(Payload);
+  size_t Off = 0;
+  while (Off < Buf.size()) {
+    ssize_t N = ::write(Fd, Buf.data() + Off, Buf.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(
+          strFormat("frame write failed: %s", std::strerror(errno)));
+    }
+    Off += size_t(N);
+  }
+  return Status::success();
+}
+
+Status augur::serve::writeJsonFrame(int Fd, const Json &J) {
+  return writeFrame(Fd, J.dump());
+}
+
+Result<std::string> augur::serve::readFrame(int Fd, bool &Eof) {
+  Eof = false;
+  unsigned char Header[4];
+  size_t Got = 0;
+  while (Got < 4) {
+    ssize_t N = ::read(Fd, Header + Got, 4 - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(
+          strFormat("frame read failed: %s", std::strerror(errno)));
+    }
+    if (N == 0) {
+      if (Got == 0) {
+        Eof = true;
+        return std::string();
+      }
+      return Status::error("torn frame: EOF inside length prefix");
+    }
+    Got += size_t(N);
+  }
+  uint32_t Len = uint32_t(Header[0]) | (uint32_t(Header[1]) << 8) |
+                 (uint32_t(Header[2]) << 16) | (uint32_t(Header[3]) << 24);
+  if (Len > MaxFrameBytes)
+    return Status::error(
+        strFormat("frame length %u exceeds limit", unsigned(Len)));
+  std::string Payload(Len, '\0');
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(Fd, Payload.data() + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(
+          strFormat("frame read failed: %s", std::strerror(errno)));
+    }
+    if (N == 0)
+      return Status::error("torn frame: EOF inside payload");
+    Off += size_t(N);
+  }
+  return Payload;
+}
+
+Result<Json> augur::serve::readJsonFrame(int Fd, bool &Eof) {
+  AUGUR_ASSIGN_OR_RETURN(std::string Payload, readFrame(Fd, Eof));
+  if (Eof)
+    return Json::null();
+  return parseJson(Payload);
+}

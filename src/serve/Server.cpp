@@ -1,0 +1,438 @@
+//===- serve/Server.cpp ---------------------------------------*- C++ -*-===//
+
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "api/Diagnostics.h"
+#include "api/Infer.h"
+#include "support/Format.h"
+#include "support/PhiloxRNG.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+Server::Conn::~Conn() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)),
+      Cache(Opts.CacheCapacity < 1 ? 1 : Opts.CacheCapacity) {
+  if (Opts.Workers < 1)
+    Opts.Workers = 1;
+  if (Opts.QueueLimit < 1)
+    Opts.QueueLimit = 1;
+}
+
+Server::~Server() { stop(); }
+
+Status Server::bindListen() {
+  if (!Opts.UnixPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Opts.UnixPath.size() >= sizeof(Addr.sun_path))
+      return Status::error(strFormat("unix socket path too long: '%s'",
+                                     Opts.UnixPath.c_str()));
+    std::strcpy(Addr.sun_path, Opts.UnixPath.c_str());
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return Status::error("cannot create unix socket");
+    ::unlink(Opts.UnixPath.c_str());
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0)
+      return Status::error(strFormat("cannot bind '%s': %s",
+                                     Opts.UnixPath.c_str(),
+                                     std::strerror(errno)));
+  } else {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return Status::error("cannot create tcp socket");
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(uint16_t(Opts.Port));
+    if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1)
+      return Status::error(
+          strFormat("bad listen address '%s'", Opts.Host.c_str()));
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0)
+      return Status::error(strFormat("cannot bind %s:%d: %s",
+                                     Opts.Host.c_str(), Opts.Port,
+                                     std::strerror(errno)));
+    sockaddr_in Bound;
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                      &Len) == 0)
+      ResolvedPort = int(ntohs(Bound.sin_port));
+  }
+  if (::listen(ListenFd, 64) != 0)
+    return Status::error(
+        strFormat("listen failed: %s", std::strerror(errno)));
+  return Status::success();
+}
+
+Status Server::start() {
+  if (Started)
+    return Status::error("server already started");
+  // A disconnecting client must error the in-flight write, not kill the
+  // daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+  // The ops surface (latency histograms, serve counters, compiler phase
+  // spans) needs the recorder on. SweepLogJoint stays off so serving a
+  // request costs no extra likelihood evaluations; telemetry never
+  // consumes RNG, so streams stay bit-identical to direct sampling.
+  TelemetryConfig TC;
+  TC.Enabled = true;
+  TC.SweepLogJoint = false;
+  ensureGlobalTelemetry(TC);
+  AUGUR_RETURN_IF_ERROR(bindListen());
+  if (::pipe(WakePipe) != 0)
+    return Status::error("cannot create shutdown pipe");
+  Started = true;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  for (int I = 0; I < Opts.Workers; ++I)
+    WorkerThreads.emplace_back([this] { workerLoop(); });
+  return Status::success();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> Lock(StateMu);
+  StateCv.wait(Lock, [&] { return ShutdownRequested; });
+}
+
+void Server::requestStop() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ShutdownRequested = true;
+  }
+  StateCv.notify_all();
+  if (WakePipe[1] >= 0) {
+    char B = 1;
+    ssize_t Ignored = ::write(WakePipe[1], &B, 1);
+    (void)Ignored;
+  }
+}
+
+void Server::stop() {
+  if (!Started || Stopped)
+    return;
+  Stopped = true;
+  requestStop();
+  // Workers first: queued jobs drain and their responses flush before
+  // any connection is torn down.
+  for (auto &T : WorkerThreads)
+    T.join();
+  AcceptThread.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (auto &C : Conns)
+      if (C->Fd >= 0)
+        ::shutdown(C->Fd, SHUT_RDWR); // unblocks readers mid-read
+  }
+  for (auto &T : ReaderThreads)
+    T.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.clear();
+  }
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  for (int I = 0; I < 2; ++I)
+    if (WakePipe[I] >= 0)
+      ::close(WakePipe[I]);
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    pollfd P[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    if (::poll(P, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (P[1].revents != 0)
+      return; // shutdown byte
+    if ((P[0].revents & POLLIN) == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto C = std::make_shared<Conn>(Fd);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Conns.push_back(C);
+    }
+    Recorder::global().count("serve/connections");
+    ReaderThreads.emplace_back([this, C] { connectionLoop(C); });
+  }
+}
+
+size_t Server::queueDepth() {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  return Queue.size();
+}
+
+void Server::sendFrame(Conn &C, const Json &J) {
+  std::lock_guard<std::mutex> Lock(C.WriteMu);
+  Status St = writeJsonFrame(C.Fd, J);
+  if (!St.ok())
+    C.Alive.store(false, std::memory_order_relaxed);
+}
+
+void Server::sendError(Conn &C, uint64_t Id, ErrorCode Code,
+                       const std::string &Message) {
+  Recorder::global().count("serve/errors");
+  Recorder::global().count(
+      strFormat("serve/errors/%s", errorCodeName(Code)));
+  sendFrame(C, errorFrame(Id, Code, Message));
+}
+
+Json Server::metricsFrame(uint64_t Id) {
+  Recorder &Rec = Recorder::global();
+  Json J = Json::object();
+  J.set("v", Json::integer(ProtocolVersion));
+  J.set("id", Json::integer(int64_t(Id)));
+  J.set("type", Json::str("metrics"));
+  Json Counters = Json::object();
+  for (const auto &KV : Rec.counters())
+    Counters.set(KV.first, Json::integer(int64_t(KV.second)));
+  J.set("counters", std::move(Counters));
+  Json Hists = Json::object();
+  for (const auto &KV : Rec.histograms()) {
+    Json H = Json::object();
+    H.set("count", Json::integer(int64_t(KV.second.Count)));
+    H.set("mean", Json::real(KV.second.mean()));
+    H.set("min", Json::real(KV.second.Min));
+    H.set("max", Json::real(KV.second.Max));
+    Hists.set(KV.first, std::move(H));
+  }
+  J.set("histograms", std::move(Hists));
+  ArtifactCacheStats CS = Cache.stats();
+  Json C = Json::object();
+  C.set("hits", Json::integer(int64_t(CS.Hits)));
+  C.set("misses", Json::integer(int64_t(CS.Misses)));
+  C.set("evictions", Json::integer(int64_t(CS.Evictions)));
+  C.set("failures", Json::integer(int64_t(CS.Failures)));
+  C.set("coalesced", Json::integer(int64_t(CS.Coalesced)));
+  C.set("resident", Json::integer(int64_t(Cache.size())));
+  J.set("cache", std::move(C));
+  J.set("queue_depth", Json::integer(int64_t(queueDepth())));
+  return J;
+}
+
+void Server::connectionLoop(std::shared_ptr<Conn> C) {
+  for (;;) {
+    bool Eof = false;
+    Result<Json> FrameR = readJsonFrame(C->Fd, Eof);
+    if (Eof)
+      break;
+    if (!FrameR.ok()) {
+      // Torn frame / unparseable payload: the stream position is lost,
+      // so answer once and drop the connection.
+      sendError(*C, 0, ErrorCode::BadRequest, FrameR.message());
+      break;
+    }
+    Result<Request> ReqR = decodeRequest(*FrameR);
+    if (!ReqR.ok()) {
+      // Framing is intact, only this request is bad: answer and keep
+      // the connection.
+      sendError(*C, uint64_t(FrameR->getInt("id", 0)),
+                ErrorCode::BadRequest, ReqR.message());
+      continue;
+    }
+    Request Req = ReqR.take();
+    Recorder::global().count("serve/requests");
+    switch (Req.Kind) {
+    case Request::Op::Ping:
+      sendFrame(*C, pongFrame(Req.Id));
+      break;
+    case Request::Op::Metrics:
+      sendFrame(*C, metricsFrame(Req.Id));
+      break;
+    case Request::Op::Shutdown:
+      sendFrame(*C, byeFrame(Req.Id));
+      requestStop();
+      break;
+    case Request::Op::Sample: {
+      Job J;
+      J.Req = std::move(Req);
+      J.C = C;
+      if (J.Req.Sample.DeadlineMillis > 0) {
+        J.HasDeadline = true;
+        J.DeadlineAt = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(J.Req.Sample.DeadlineMillis);
+      }
+      uint64_t Id = J.Req.Id;
+      bool Admitted = false, Down = false;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMu);
+        Down = Stopping;
+        if (!Down && Queue.size() < Opts.QueueLimit) {
+          Queue.push_back(std::move(J));
+          Admitted = true;
+          Recorder::global().gauge("serve/queue_depth",
+                                   double(Queue.size()));
+        }
+      }
+      if (Admitted)
+        QueueCv.notify_one();
+      else if (Down)
+        sendError(*C, Id, ErrorCode::ShuttingDown,
+                  "daemon is shutting down");
+      else
+        sendError(*C, Id, ErrorCode::Overloaded,
+                  strFormat("queue full (%zu jobs); retry later",
+                            Opts.QueueLimit));
+      break;
+    }
+    }
+  }
+  C->Alive.store(false, std::memory_order_relaxed);
+  // Half-close so the peer observes EOF now rather than at server
+  // teardown (the Conn's fd itself closes when the last shared_ptr —
+  // possibly held by an in-flight job — drops). Any worker still
+  // streaming to this connection fails its next write and aborts.
+  ::shutdown(C->Fd, SHUT_RDWR);
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) // Stopping and fully drained
+        return;
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      Recorder::global().gauge("serve/queue_depth", double(Queue.size()));
+    }
+    serveSample(std::move(J));
+  }
+}
+
+/// Runs every chain of a sample job against the locked artifact,
+/// streaming draws. Bit-identity contract: chain c is reset to seed
+/// philoxMix(Seed, c) with chain index c — exactly the options
+/// Infer::sampleChains compiles chain c with — so the streamed draws
+/// match a direct sampleChains run with the same request.
+Status Server::runSample(Job &J, ServedModel &M) {
+  const SampleRequest &SR = J.Req.Sample;
+  int Chains = SR.Chains < 1 ? 1 : SR.Chains;
+  Recorder &Rec = Recorder::global();
+  for (int C = 0; C < Chains; ++C) {
+    AUGUR_RETURN_IF_ERROR(
+        M.Prog->resetForReuse(philoxMix(SR.Seed, uint64_t(C)), C));
+    try {
+      AUGUR_RETURN_IF_ERROR(M.Prog->init());
+    } catch (...) {
+      return execFaultStatus("init");
+    }
+    SampleOptions SO;
+    SO.NumSamples = SR.NumSamples;
+    SO.BurnIn = SR.BurnIn;
+    SO.Thin = SR.Thin;
+    SO.Record = SR.Record;
+    SO.TrackLogJoint = SR.TrackLogJoint;
+    SO.KeepDraws = false; // draws stream out; the daemon holds O(1)
+    SO.OnDraw = [&](uint64_t Index, const std::vector<std::string> &Names,
+                    const std::vector<const Value *> &Row,
+                    double LogJoint) -> Status {
+      if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt)
+        return Status::error("deadline exceeded");
+      if (!J.C->Alive.load(std::memory_order_relaxed))
+        return Status::error("client disconnected");
+      Json F = drawFrame(J.Req.Id, C, Index, Names, Row, LogJoint);
+      std::lock_guard<std::mutex> Lock(J.C->WriteMu);
+      Status St = writeJsonFrame(J.C->Fd, F);
+      if (!St.ok()) {
+        J.C->Alive.store(false, std::memory_order_relaxed);
+        return Status::error("client disconnected");
+      }
+      Rec.count("serve/draws");
+      return Status::success();
+    };
+    AUGUR_ASSIGN_OR_RETURN(SampleSet Ignored, sampleProgram(*M.Prog, SO,
+                                                            M.Source));
+    (void)Ignored;
+  }
+  return Status::success();
+}
+
+void Server::serveSample(Job J) {
+  const SampleRequest &SR = J.Req.Sample;
+  Recorder &Rec = Recorder::global();
+  uint64_t T0 = Recorder::nowNanos();
+  Rec.count("serve/sample_requests");
+
+  if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt) {
+    sendError(*J.C, J.Req.Id, ErrorCode::Deadline,
+              "deadline expired while queued");
+    return;
+  }
+
+  uint64_t Key = artifactKey(SR);
+  bool CompiledHere = false;
+  Result<std::shared_ptr<ServedModel>> ModelR = Cache.acquire(
+      Key, [&]() -> Result<std::shared_ptr<ServedModel>> {
+        CompiledHere = true;
+        auto M = std::make_shared<ServedModel>();
+        M->Source = SR.Model;
+        CompileOptions CO;
+        CO.NativeCpu = SR.NativeCpu;
+        CO.UserSchedule = SR.Schedule;
+        CO.Seed = SR.Seed; // overwritten per chain by resetForReuse
+        CO.Par.NumThreads = SR.Threads;
+        AUGUR_ASSIGN_OR_RETURN(
+            M->Prog, Compiler::compile(SR.Model, CO, SR.Args, SR.Data));
+        return M;
+      });
+  if (!ModelR.ok()) {
+    sendError(*J.C, J.Req.Id, ErrorCode::CompileError, ModelR.message());
+    return;
+  }
+  std::shared_ptr<ServedModel> M = ModelR.take();
+  Rec.count(CompiledHere ? "serve/cache_miss" : "serve/cache_hit");
+
+  Status St;
+  {
+    // Serialize on this artifact's chain state; requests for other
+    // models keep sampling on the other workers.
+    std::lock_guard<std::mutex> Lock(M->Mu);
+    St = runSample(J, *M);
+  }
+  double Ms = double(Recorder::nowNanos() - T0) / 1e6;
+  Rec.observe("serve/latency_ms", Ms);
+
+  if (!St.ok()) {
+    ErrorCode Code = ErrorCode::ExecError;
+    if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt)
+      Code = ErrorCode::Deadline;
+    sendError(*J.C, J.Req.Id, Code, St.message());
+    return;
+  }
+  int Chains = SR.Chains < 1 ? 1 : SR.Chains;
+  sendFrame(*J.C, doneFrame(J.Req.Id, Chains, SR.NumSamples,
+                            /*CacheHit=*/!CompiledHere, Ms));
+}

@@ -1,0 +1,179 @@
+//===- serve/Server.h - Always-on inference daemon -------------*- C++ -*-===//
+///
+/// \file
+/// The compile-once/serve-many inference service (DESIGN.md section
+/// 13). A Server listens on a Unix or TCP socket, speaks the
+/// length-prefixed JSON protocol of serve/Protocol.h, and executes
+/// sampling requests against compiled artifacts held in an
+/// ArtifactCache — the first request for a model pays the compiler, all
+/// subsequent requests (any seed, any sweep count) run zero compiler
+/// phases.
+///
+/// Threading model:
+///   - one accept thread (unblocked on shutdown via a self-pipe),
+///   - one reader thread per connection, which answers ping/metrics
+///     inline and enqueues sample jobs,
+///   - ServerOptions::Workers sampling worker threads draining a
+///     bounded job queue (admission control: a full queue rejects with
+///     a structured `overloaded` error instead of building unbounded
+///     backlog).
+///
+/// Each cached artifact carries its own mutex, so two requests for the
+/// SAME model serialize on its chain state while requests for different
+/// models sample concurrently. Draws stream back frame-by-frame as they
+/// are retained; the per-draw sink also enforces the request deadline
+/// and client-disconnect abort.
+///
+/// Fault isolation: a sampling fault (including injected worker faults,
+/// robust/FaultInject.h) is caught at the api boundary and surfaced as
+/// an `exec-error` frame for that request only; the daemon and all
+/// other in-flight requests are unaffected, and the artifact is safely
+/// reusable because every request begins with
+/// MCMCProgram::resetForReuse + init(), which rebuilds the chain state
+/// from scratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_SERVER_H
+#define AUGUR_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compile/Compiler.h"
+#include "serve/ArtifactCache.h"
+#include "serve/Protocol.h"
+
+namespace augur {
+namespace serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Unix-domain socket path; when non-empty it wins over TCP.
+  std::string UnixPath;
+  /// TCP endpoint (used when UnixPath is empty). Port 0 binds an
+  /// ephemeral port, readable via Server::port() after start().
+  std::string Host = "127.0.0.1";
+  int Port = 0;
+  /// Sampling worker threads (concurrent requests in execution).
+  int Workers = 2;
+  /// Admission control: maximum queued sample jobs; a request arriving
+  /// with the queue full is rejected with an `overloaded` error.
+  size_t QueueLimit = 16;
+  /// Maximum resident compiled artifacts (LRU beyond this).
+  size_t CacheCapacity = 8;
+};
+
+/// A compiled model plus the lock that serializes sampling on its chain
+/// state. shared_ptr leases from the cache keep it alive across
+/// eviction while a request is still running.
+struct ServedModel {
+  std::mutex Mu;
+  std::unique_ptr<MCMCProgram> Prog;
+  std::string Source; ///< model source (keys checkpoint fingerprints)
+};
+
+/// The always-on inference daemon.
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens, and spawns the accept + worker threads. On
+  /// success the server is reachable until stop().
+  Status start();
+
+  /// Blocks until a client issues the shutdown op (or requestStop is
+  /// called from another thread).
+  void wait();
+
+  /// Flags shutdown: no new connections or jobs are admitted, queued
+  /// jobs still complete. Non-blocking; pair with stop().
+  void requestStop();
+
+  /// Full teardown: requestStop(), drain workers, join every thread,
+  /// close sockets. Idempotent.
+  void stop();
+
+  /// The bound TCP port (after start(); 0 for Unix sockets).
+  int port() const { return ResolvedPort; }
+
+  const ServerOptions &options() const { return Opts; }
+
+  /// Artifact cache statistics (ops surface; also exposed remotely via
+  /// the metrics op).
+  ArtifactCacheStats cacheStats() const { return Cache.stats(); }
+
+private:
+  /// One client connection. The reader thread and any number of worker
+  /// jobs share it via shared_ptr; whoever drops the last reference
+  /// closes the socket, so a response stream never writes to a
+  /// recycled fd.
+  struct Conn {
+    explicit Conn(int Fd) : Fd(Fd) {}
+    ~Conn();
+    int Fd;
+    std::mutex WriteMu; ///< serializes frames from reader + workers
+    std::atomic<bool> Alive{true};
+  };
+
+  /// One queued sampling request.
+  struct Job {
+    Request Req;
+    std::shared_ptr<Conn> C;
+    bool HasDeadline = false;
+    std::chrono::steady_clock::time_point DeadlineAt;
+  };
+
+  Status bindListen();
+  void acceptLoop();
+  void connectionLoop(std::shared_ptr<Conn> C);
+  void workerLoop();
+  void serveSample(Job J);
+  Status runSample(Job &J, ServedModel &M);
+  Json metricsFrame(uint64_t Id);
+  void sendFrame(Conn &C, const Json &J);
+  void sendError(Conn &C, uint64_t Id, ErrorCode Code,
+                 const std::string &Message);
+  size_t queueDepth();
+
+  ServerOptions Opts;
+  mutable ArtifactCache<ServedModel> Cache;
+
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1}; ///< self-pipe unblocking acceptLoop
+  int ResolvedPort = 0;
+  bool Started = false;
+  bool Stopped = false;
+
+  std::thread AcceptThread;
+  std::vector<std::thread> WorkerThreads;
+  std::vector<std::thread> ReaderThreads; ///< touched by accept thread
+                                          ///< only, joined after it
+  std::mutex ConnMu;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Job> Queue;
+  bool Stopping = false;
+
+  std::mutex StateMu;
+  std::condition_variable StateCv;
+  bool ShutdownRequested = false;
+};
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_SERVER_H

@@ -1,0 +1,114 @@
+//===- serve/Workloads.cpp ------------------------------------*- C++ -*-===//
+
+#include "serve/Workloads.h"
+
+#include "math/LinAlg.h"
+#include "models/PaperModels.h"
+#include "support/RNG.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+/// K-cluster D-dimensional points: centers on a scaled hypercube, unit
+/// observation noise (the bench generator's recipe, reduced to what the
+/// serving workloads need).
+BlockedReal mixturePoints(int64_t K, int64_t D, int64_t N, uint64_t Seed,
+                          double Spread = 6.0) {
+  RNG Rng(Seed);
+  std::vector<std::vector<double>> Centers(
+      size_t(K), std::vector<double>(size_t(D), 0.0));
+  for (int64_t C = 0; C < K; ++C)
+    for (int64_t J = 0; J < D; ++J)
+      Centers[size_t(C)][size_t(J)] =
+          Spread * ((C >> (J % 8)) & 1 ? 1.0 : -1.0) + 0.5 * Rng.gauss() +
+          0.3 * double(C);
+  BlockedReal Points = BlockedReal::rect(N, D, 0.0);
+  for (int64_t I = 0; I < N; ++I) {
+    int64_t C = Rng.uniformInt(K);
+    for (int64_t J = 0; J < D; ++J)
+      Points.at(I, J) = Centers[size_t(C)][size_t(J)] + Rng.gauss();
+  }
+  return Points;
+}
+
+} // namespace
+
+SampleRequest augur::serve::gmmRequest(int64_t N, uint64_t DataSeed) {
+  const int64_t K = 2, D = 2;
+  SampleRequest R;
+  R.Model = models::GMM;
+  R.Schedule = "ESlice mu (*) Gibbs z";
+  R.Args = {Value::intScalar(K),
+            Value::intScalar(N),
+            Value::realVec(BlockedReal::flat(D, 0.0)),
+            Value::matrix(Matrix::diagonal({25.0, 25.0})),
+            Value::realVec(BlockedReal::flat(K, 1.0 / double(K))),
+            Value::matrix(Matrix::identity(D))};
+  R.Data["x"] = Value::realVec(mixturePoints(K, D, N, DataSeed),
+                               Type::vec(Type::vec(Type::realTy())));
+  R.NumSamples = 25;
+  return R;
+}
+
+SampleRequest augur::serve::hgmmKnownCovRequest(int64_t N,
+                                                uint64_t DataSeed) {
+  const int64_t K = 3, D = 2;
+  SampleRequest R;
+  R.Model = models::HGMMKnownCov;
+  std::vector<double> PriorDiag(size_t(D), 50.0);
+  std::vector<double> UnitDiag(size_t(D), 1.0);
+  R.Args = {Value::intScalar(K),
+            Value::intScalar(N),
+            Value::realVec(BlockedReal::flat(K, 1.0)),
+            Value::realVec(BlockedReal::flat(D, 0.0)),
+            Value::matrix(Matrix::diagonal(PriorDiag)),
+            Value::matrix(Matrix::diagonal(UnitDiag))};
+  R.Data["y"] = Value::realVec(mixturePoints(K, D, N, DataSeed),
+                               Type::vec(Type::vec(Type::realTy())));
+  R.NumSamples = 25;
+  return R;
+}
+
+SampleRequest augur::serve::ldaRequest(int64_t Docs, uint64_t DataSeed) {
+  const int64_t K = 3, V = 40, MeanLen = 16;
+  RNG Rng(DataSeed);
+  // Banded topics over the vocabulary, short documents that mostly
+  // stick to one topic — small, but structurally a real ragged corpus.
+  std::vector<std::vector<int64_t>> DocWords;
+  std::vector<int64_t> Lens;
+  int64_t Band = V / K;
+  for (int64_t D = 0; D < Docs; ++D) {
+    int64_t Len = MeanLen / 2 + Rng.uniformInt(MeanLen);
+    int64_t T = Rng.uniformInt(K);
+    std::vector<int64_t> Words;
+    for (int64_t I = 0; I < Len; ++I) {
+      if (Rng.uniform() < 0.2)
+        T = Rng.uniformInt(K);
+      Words.push_back(T * Band + Rng.uniformInt(Band));
+    }
+    Lens.push_back(Len);
+    DocWords.push_back(std::move(Words));
+  }
+  SampleRequest R;
+  R.Model = models::LDA;
+  R.Args = {Value::intScalar(K),
+            Value::intScalar(Docs),
+            Value::intScalar(V),
+            Value::realVec(BlockedReal::flat(K, 0.5)),
+            Value::realVec(BlockedReal::flat(V, 0.1)),
+            Value::intVec(BlockedInt::flat(Lens))};
+  R.Data["w"] = Value::intVec(BlockedInt::ragged(DocWords),
+                              Type::vec(Type::vec(Type::intTy())));
+  R.NumSamples = 15;
+  return R;
+}
+
+std::vector<SampleRequest> augur::serve::standardWorkloads() {
+  return {gmmRequest(), hgmmKnownCovRequest(), ldaRequest()};
+}
+
+std::vector<std::string> augur::serve::standardWorkloadNames() {
+  return {"gmm", "hgmm-kc", "lda"};
+}

@@ -1,0 +1,45 @@
+//===- serve/Workloads.h - Canonical serving workloads ---------*- C++ -*-===//
+///
+/// \file
+/// Ready-made SampleRequests for three of the paper's models (GMM,
+/// HGMM with known covariances, LDA) over small deterministic synthetic
+/// datasets. Shared by tools/augur_bench, bench/serve_load, and the
+/// server test suite, so every consumer drives the daemon with the same
+/// model mix. Data generation is seeded and self-contained — two
+/// processes building the same workload produce byte-identical
+/// requests, hence identical artifact keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_WORKLOADS_H
+#define AUGUR_SERVE_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "serve/Protocol.h"
+
+namespace augur {
+namespace serve {
+
+/// The GMM running example (paper Fig. 1): K=2 clusters in 2-D,
+/// \p N points, "ESlice mu (*) Gibbs z".
+SampleRequest gmmRequest(int64_t N = 120, uint64_t DataSeed = 2024);
+
+/// HGMM with known covariances (the Fig. 10/11 configuration):
+/// conjugate Gibbs on the means, K=3 clusters in 2-D.
+SampleRequest hgmmKnownCovRequest(int64_t N = 90, uint64_t DataSeed = 7);
+
+/// LDA over a small synthetic corpus (ragged documents).
+SampleRequest ldaRequest(int64_t Docs = 12, uint64_t DataSeed = 41);
+
+/// The standard 3-model serving mix, in a stable order.
+std::vector<SampleRequest> standardWorkloads();
+
+/// The workload names parallel to standardWorkloads().
+std::vector<std::string> standardWorkloadNames();
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_WORKLOADS_H

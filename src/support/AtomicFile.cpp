@@ -1,0 +1,73 @@
+//===- support/AtomicFile.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/AtomicFile.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "support/Format.h"
+
+using namespace augur;
+
+namespace {
+
+/// fsyncs an open stdio stream; returns false on failure.
+bool flushAndSync(FILE *F) {
+  if (std::fflush(F) != 0)
+    return false;
+#if defined(__unix__) || defined(__APPLE__)
+  return ::fsync(fileno(F)) == 0;
+#else
+  return true;
+#endif
+}
+
+/// fsyncs the directory containing \p Path so a rename within it is
+/// durable.
+void syncDir(const std::string &Path) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+#else
+  (void)Path;
+#endif
+}
+
+} // namespace
+
+Status augur::atomicWriteFile(const std::string &Path, const void *Data,
+                              size_t Len) {
+  std::string Tmp = Path + ".tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error(
+        strFormat("cannot open '%s' for writing", Tmp.c_str()));
+  bool Ok = (Len == 0 || std::fwrite(Data, 1, Len, F) == Len) &&
+            flushAndSync(F);
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Status::error(strFormat("short write to '%s'", Tmp.c_str()));
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error(
+        strFormat("cannot rename '%s' -> '%s'", Tmp.c_str(), Path.c_str()));
+  }
+  syncDir(Path);
+  return Status::success();
+}
+
+Status augur::atomicWriteFile(const std::string &Path,
+                              const std::string &Contents) {
+  return atomicWriteFile(Path, Contents.data(), Contents.size());
+}

@@ -1,0 +1,33 @@
+//===- support/AtomicFile.h - Crash-safe whole-file writes -----*- C++ -*-===//
+///
+/// \file
+/// The single tmp+fsync+rename writer every durable export shares:
+/// checkpoints (robust/Checkpoint), telemetry metrics.json/trace.json,
+/// and the BENCH_*.json emitters. Writing `<path>.tmp`, fsyncing it,
+/// renaming it over `<path>`, and fsyncing the directory guarantees a
+/// reader never observes a torn file — a crash leaves either the old
+/// complete contents or the new complete contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SUPPORT_ATOMICFILE_H
+#define AUGUR_SUPPORT_ATOMICFILE_H
+
+#include <cstddef>
+#include <string>
+
+#include "support/Result.h"
+
+namespace augur {
+
+/// Atomically replaces \p Path with \p Len bytes at \p Data. On error
+/// the temporary is removed and \p Path is untouched.
+Status atomicWriteFile(const std::string &Path, const void *Data,
+                       size_t Len);
+
+/// String-contents convenience overload.
+Status atomicWriteFile(const std::string &Path, const std::string &Contents);
+
+} // namespace augur
+
+#endif // AUGUR_SUPPORT_ATOMICFILE_H

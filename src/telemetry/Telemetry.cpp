@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "support/AtomicFile.h"
 #include "support/Format.h"
 
 using namespace augur;
@@ -258,26 +259,23 @@ Status Recorder::writeMetricsJson(const std::string &Path) const {
   std::map<std::string, uint64_t> Cnt = counters();
   std::map<std::string, HistogramStats> Hist = histograms();
 
-  FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return Status::error(
-        strFormat("cannot open '%s' for writing", Path.c_str()));
-  std::fprintf(F, "{\n  \"schema\": \"augur-telemetry-v1\",\n");
+  std::string Out;
+  Out += "{\n  \"schema\": \"augur-telemetry-v1\",\n";
 
-  std::fprintf(F, "  \"counters\": {");
+  Out += "  \"counters\": {";
   bool First = true;
   for (const auto &KV : Cnt) {
-    std::fprintf(F, "%s\n    \"%s\": %llu", First ? "" : ",",
-                 jsonEscape(KV.first).c_str(),
-                 (unsigned long long)KV.second);
+    Out += strFormat("%s\n    \"%s\": %llu", First ? "" : ",",
+                     jsonEscape(KV.first).c_str(),
+                     (unsigned long long)KV.second);
     First = false;
   }
-  std::fprintf(F, "%s  },\n", First ? "" : "\n");
+  Out += strFormat("%s  },\n", First ? "" : "\n");
 
   // Derived acceptance rates: every "<base>/proposed" with a sibling
   // "<base>/accepted" yields "<base>/accept_rate". This is the
   // per-update acceptance-rate schema both backends share.
-  std::fprintf(F, "  \"rates\": {");
+  Out += "  \"rates\": {";
   First = true;
   for (const auto &KV : Cnt) {
     const std::string Suffix = "/proposed";
@@ -290,29 +288,27 @@ Status Recorder::writeMetricsJson(const std::string &Path) const {
     if (AIt == Cnt.end() || KV.second == 0)
       continue;
     double Rate = double(AIt->second) / double(KV.second);
-    std::fprintf(F, "%s\n    \"%s\": %s", First ? "" : ",",
-                 jsonEscape(Base + "/accept_rate").c_str(),
-                 jsonNumber(Rate).c_str());
+    Out += strFormat("%s\n    \"%s\": %s", First ? "" : ",",
+                     jsonEscape(Base + "/accept_rate").c_str(),
+                     jsonNumber(Rate).c_str());
     First = false;
   }
-  std::fprintf(F, "%s  },\n", First ? "" : "\n");
+  Out += strFormat("%s  },\n", First ? "" : "\n");
 
-  std::fprintf(F, "  \"histograms\": {");
+  Out += "  \"histograms\": {";
   First = true;
   for (const auto &KV : Hist) {
     const HistogramStats &H = KV.second;
-    std::fprintf(F,
-                 "%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, "
-                 "\"min\": %s, \"max\": %s, \"mean\": %s}",
-                 First ? "" : ",", jsonEscape(KV.first).c_str(),
-                 (unsigned long long)H.Count, jsonNumber(H.Sum).c_str(),
-                 jsonNumber(H.Min).c_str(), jsonNumber(H.Max).c_str(),
-                 jsonNumber(H.mean()).c_str());
+    Out += strFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, "
+                     "\"min\": %s, \"max\": %s, \"mean\": %s}",
+                     First ? "" : ",", jsonEscape(KV.first).c_str(),
+                     (unsigned long long)H.Count, jsonNumber(H.Sum).c_str(),
+                     jsonNumber(H.Min).c_str(), jsonNumber(H.Max).c_str(),
+                     jsonNumber(H.mean()).c_str());
     First = false;
   }
-  std::fprintf(F, "%s  }\n}\n", First ? "" : "\n");
-  std::fclose(F);
-  return Status::success();
+  Out += strFormat("%s  }\n}\n", First ? "" : "\n");
+  return atomicWriteFile(Path, Out);
 }
 
 Status Recorder::writeTraceJson(const std::string &Path) const {
@@ -321,45 +317,40 @@ Status Recorder::writeTraceJson(const std::string &Path) const {
   for (const TraceEvent &E : Events)
     Base = std::min(Base, E.StartNanos);
 
-  FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return Status::error(
-        strFormat("cannot open '%s' for writing", Path.c_str()));
-  std::fprintf(F, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  std::string Out;
+  Out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
 
   // Process/thread naming metadata so Perfetto labels the tracks.
-  std::fprintf(F, "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
-                  "\"process_name\", \"args\": {\"name\": \"augur\"}}");
+  Out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": {\"name\": \"augur\"}}";
   int MaxTid = 0;
   for (const TraceEvent &E : Events)
     MaxTid = std::max(MaxTid, E.Tid);
   for (int T = 0; T <= MaxTid; ++T)
-    std::fprintf(F,
-                 ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": "
-                 "\"thread_name\", \"args\": {\"name\": \"shard%d\"}}",
-                 T, T);
+    Out += strFormat(",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": "
+                     "\"thread_name\", \"args\": {\"name\": \"shard%d\"}}",
+                     T, T);
 
   for (const TraceEvent &E : Events) {
     double TsUs = double(E.StartNanos - Base) / 1e3;
-    std::fprintf(F, ",\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
-                 "\"pid\": 1, \"tid\": %d, \"ts\": %.3f",
-                 jsonEscape(E.Name).c_str(), jsonEscape(E.Cat).c_str(),
-                 E.Ph, E.Tid, TsUs);
+    Out += strFormat(",\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                     "\"pid\": 1, \"tid\": %d, \"ts\": %.3f",
+                     jsonEscape(E.Name).c_str(), jsonEscape(E.Cat).c_str(),
+                     E.Ph, E.Tid, TsUs);
     if (E.Ph == 'X')
-      std::fprintf(F, ", \"dur\": %.3f", double(E.DurNanos) / 1e3);
+      Out += strFormat(", \"dur\": %.3f", double(E.DurNanos) / 1e3);
     if (!E.Args.empty()) {
-      std::fprintf(F, ", \"args\": {");
+      Out += ", \"args\": {";
       for (size_t I = 0; I < E.Args.size(); ++I)
-        std::fprintf(F, "%s\"%s\": %s", I ? ", " : "",
-                     jsonEscape(E.Args[I].first).c_str(),
-                     jsonNumber(E.Args[I].second).c_str());
-      std::fprintf(F, "}");
+        Out += strFormat("%s\"%s\": %s", I ? ", " : "",
+                         jsonEscape(E.Args[I].first).c_str(),
+                         jsonNumber(E.Args[I].second).c_str());
+      Out += "}";
     }
-    std::fprintf(F, "}");
+    Out += "}";
   }
-  std::fprintf(F, "\n]}\n");
-  std::fclose(F);
-  return Status::success();
+  Out += "\n]}\n";
+  return atomicWriteFile(Path, Out);
 }
 
 Status Recorder::flushFiles() const {
@@ -389,6 +380,10 @@ void flushGlobalAtExit() {
 } // namespace
 
 void augur::ensureGlobalTelemetry(const TelemetryConfig &Requested) {
+  // Serialized: two concurrent first compiles (the serving daemon's
+  // workers) must not both observe "disabled" and race configure().
+  static std::mutex EnsureMu;
+  std::lock_guard<std::mutex> Lock(EnsureMu);
   Recorder &R = Recorder::global();
   if (R.enabled())
     return;

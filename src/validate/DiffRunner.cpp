@@ -133,12 +133,21 @@ DiffReport augur::validate::diffBackends(const GeneratedModel &GM,
   };
 
   if (!A.St.ok() && !B.St.ok()) {
-    // Both backends rejected the model. Identical messages mean the
-    // model is simply outside the supported fragment; diverging
-    // messages are themselves a differential finding.
-    if (A.St.message() == B.St.message()) {
+    // Both backends rejected the model. Identical COMPILE-phase
+    // messages mean the model is simply outside the supported fragment;
+    // diverging messages are themselves a differential finding, and an
+    // identical failure during SAMPLING is a guarded runtime fault —
+    // never a benign skip, even when both backends hit it the same way.
+    if (A.St.message() == B.St.message() && A.Where == Phase::Compile &&
+        B.Where == Phase::Compile) {
       Rep.Passed = true;
       Rep.Skipped = true;
+      return Rep;
+    }
+    if (A.St.message() == B.St.message()) {
+      fail(A.Where, "both",
+           strFormat("both backends fault during sampling: %s",
+                     A.St.message().c_str()));
       return Rep;
     }
     fail(Phase::Compare, "both",

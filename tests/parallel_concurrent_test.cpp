@@ -1,0 +1,195 @@
+//===- tests/parallel_concurrent_test.cpp - Concurrent api use --*- C++ -*-===//
+//
+// Regression tests for concurrent use of the api layer — the contract
+// the serving daemon depends on (DESIGN.md section 13): multiple
+// threads may compile and sample independent Infer instances at once,
+// sharing the process-wide telemetry recorder, fault injector, and
+// thread-pool registry. Named Parallel* so the `parallel` ctest label
+// (and with it the ThreadSanitizer preset) includes this suite; under
+// tsan these tests are the data-race detectors for the global state
+// the daemon touches from its worker threads.
+//
+//  * ThreadPool::global() is keyed by width and returns stable
+//    identities under concurrent mixed-width callers.
+//  * Concurrent top-level parallelFor callers compute correct results
+//    (one holds the pool, the other runs inline — never corrupt).
+//  * N threads each compile + sample their own program concurrently
+//    and every stream is bit-identical to a sequential reference run
+//    with the same seed, pooled (Threads=2) and native-backend
+//    programs included.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/Infer.h"
+#include "models/PaperModels.h"
+#include "parallel/ThreadPool.h"
+#include "runtime/Value.h"
+#include "support/RNG.h"
+#include "telemetry/Telemetry.h"
+
+using namespace augur;
+
+namespace {
+
+bool bitEq(const std::vector<double> &A, const std::vector<double> &B) {
+  if (A.size() != B.size())
+    return false;
+  return A.empty() ||
+         std::memcmp(A.data(), B.data(), A.size() * sizeof(double)) == 0;
+}
+
+/// A small GMM instance (quickstart shapes) with data derived from
+/// \p DataSeed.
+struct GmmCase {
+  std::vector<Value> Args;
+  Env Data;
+
+  explicit GmmCase(uint64_t DataSeed, int64_t N = 40) {
+    const int64_t K = 2, D = 2;
+    Args = {Value::intScalar(K),
+            Value::intScalar(N),
+            Value::realVec(BlockedReal::flat(D, 0.0)),
+            Value::matrix(Matrix::diagonal({25.0, 25.0})),
+            Value::realVec(BlockedReal::flat(K, 0.5)),
+            Value::matrix(Matrix::identity(D))};
+    RNG Rng(DataSeed);
+    BlockedReal X = BlockedReal::rect(N, D, 0.0);
+    for (int64_t I = 0; I < N; ++I)
+      for (int64_t J = 0; J < D; ++J)
+        X.at(I, J) = (I % 2 ? 4.0 : -4.0) + Rng.gauss();
+    Data["x"] = Value::realVec(X, Type::vec(Type::vec(Type::realTy())));
+  }
+};
+
+/// Compiles and samples one GMM chain; empty log-joint vector on error.
+std::vector<double> runGmm(uint64_t Seed, uint64_t DataSeed, int Threads,
+                           bool Native) {
+  GmmCase Case(DataSeed);
+  Infer Aug(models::GMM);
+  CompileOptions CO;
+  CO.Seed = Seed;
+  CO.UserSchedule = "ESlice mu (*) Gibbs z";
+  CO.Par.NumThreads = Threads;
+  CO.NativeCpu = Native;
+  Aug.setCompileOpt(CO);
+  Status St = Aug.compile(Case.Args, Case.Data);
+  EXPECT_TRUE(St.ok()) << St.message();
+  if (!St.ok())
+    return {};
+  SampleOptions SO;
+  SO.NumSamples = 8;
+  SO.TrackLogJoint = true;
+  Result<SampleSet> R = Aug.sample(SO);
+  EXPECT_TRUE(R.ok()) << R.message();
+  return R.ok() ? R->LogJoint : std::vector<double>();
+}
+
+} // namespace
+
+TEST(ParallelConcurrentApi, GlobalPoolStableUnderConcurrentCallers) {
+  ThreadPool *P2 = &ThreadPool::global(2);
+  ThreadPool *P3 = &ThreadPool::global(3);
+  ASSERT_NE(P2, P3);
+
+  std::vector<std::thread> Threads;
+  std::atomic<bool> Mismatch{false};
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < 200; ++I) {
+        int Want = (T + I) % 2 ? 2 : 3;
+        ThreadPool &P = ThreadPool::global(Want);
+        if (P.numThreads() != Want ||
+            &P != (Want == 2 ? P2 : P3))
+          Mismatch.store(true);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_FALSE(Mismatch.load());
+}
+
+TEST(ParallelConcurrentApi, ConcurrentTopLevelParallelForIsCorrect) {
+  // Two top-level callers race on one pool; whichever loses the region
+  // lock runs inline. Both must still see every index exactly once.
+  ThreadPool Pool(3);
+  const int64_t N = 50000;
+  const int Rounds = 20;
+
+  std::vector<std::thread> Callers;
+  std::vector<int64_t> Sums(2, 0);
+  for (int T = 0; T < 2; ++T)
+    Callers.emplace_back([&, T] {
+      for (int R = 0; R < Rounds; ++R) {
+        std::atomic<int64_t> Sum{0};
+        Pool.parallelFor(0, N, 64,
+                         [&](int64_t Lo, int64_t Hi, int /*Lane*/) {
+                           int64_t S = 0;
+                           for (int64_t I = Lo; I < Hi; ++I)
+                             S += I;
+                           Sum.fetch_add(S, std::memory_order_relaxed);
+                         });
+        Sums[size_t(T)] = Sum.load();
+        ASSERT_EQ(Sums[size_t(T)], N * (N - 1) / 2)
+            << "caller " << T << " round " << R;
+      }
+    });
+  for (auto &T : Callers)
+    T.join();
+}
+
+TEST(ParallelConcurrentApi, ConcurrentInferMatchesSequentialReference) {
+  // Reference streams, computed one at a time.
+  const int NumJobs = 4;
+  std::vector<std::vector<double>> Ref;
+  for (int J = 0; J < NumJobs; ++J)
+    Ref.push_back(runGmm(/*Seed=*/7000 + uint64_t(J),
+                         /*DataSeed=*/2000 + uint64_t(J),
+                         /*Threads=*/J % 2 ? 2 : 1, /*Native=*/false));
+
+  // The same four jobs, all at once: distinct data, mixed pool widths,
+  // one shared telemetry recorder and pool registry.
+  std::vector<std::vector<double>> Got(NumJobs);
+  std::vector<std::thread> Threads;
+  for (int J = 0; J < NumJobs; ++J)
+    Threads.emplace_back([&, J] {
+      Got[size_t(J)] = runGmm(7000 + uint64_t(J), 2000 + uint64_t(J),
+                              J % 2 ? 2 : 1, false);
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  for (int J = 0; J < NumJobs; ++J) {
+    ASSERT_FALSE(Ref[size_t(J)].empty()) << "job " << J;
+    EXPECT_TRUE(bitEq(Got[size_t(J)], Ref[size_t(J)]))
+        << "job " << J << " diverged from its sequential reference";
+  }
+}
+
+TEST(ParallelConcurrentApi, ConcurrentNativeCompilesShareDlopenSafely) {
+  // Two native-backend compiles in flight at once: emitted-C artifacts,
+  // host-compiler invocations, and dlopen handles must not interfere.
+  std::vector<std::vector<double>> Got(2);
+  std::vector<std::thread> Threads;
+  for (int J = 0; J < 2; ++J)
+    Threads.emplace_back([&, J] {
+      Got[size_t(J)] = runGmm(/*Seed=*/9100 + uint64_t(J),
+                              /*DataSeed=*/77 + uint64_t(J),
+                              /*Threads=*/1, /*Native=*/true);
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  for (int J = 0; J < 2; ++J) {
+    std::vector<double> Ref = runGmm(9100 + uint64_t(J), 77 + uint64_t(J),
+                                     1, true);
+    ASSERT_FALSE(Ref.empty());
+    EXPECT_TRUE(bitEq(Got[size_t(J)], Ref)) << "native job " << J;
+  }
+}

@@ -172,12 +172,18 @@ TEST(ParallelPool, NestedParallelForRunsInline) {
   EXPECT_FALSE(ThreadPool::inWorker());
 }
 
-TEST(ParallelPool, GlobalPoolRebuildsOnResize) {
+TEST(ParallelPool, GlobalPoolKeyedByWidth) {
+  // Pools are keyed by width and never torn down: a request for a new
+  // width must not destroy a pool other threads may be executing on
+  // (the serving daemon compiles with varying Par.NumThreads
+  // concurrently).
   ThreadPool &A = ThreadPool::global(2);
   EXPECT_EQ(A.numThreads(), 2);
   ThreadPool &B = ThreadPool::global(3);
   EXPECT_EQ(B.numThreads(), 3);
-  EXPECT_EQ(ThreadPool::global().numThreads(), 3); // 0 = keep current
+  EXPECT_EQ(A.numThreads(), 2); // A survives the request for width 3
+  EXPECT_EQ(&ThreadPool::global(2), &A);
+  EXPECT_EQ(&ThreadPool::global(3), &B);
 }
 
 //===----------------------------------------------------------------------===//

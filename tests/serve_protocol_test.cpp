@@ -1,0 +1,420 @@
+//===- tests/serve_protocol_test.cpp - Serving wire protocol ----*- C++ -*-===//
+//
+// The serving wire protocol (DESIGN.md section 13, serve/Protocol.h):
+//
+//  * The minimal JSON layer round-trips int64 and IEEE doubles
+//    bit-exactly (the bit-identical-streams contract depends on it).
+//  * The tagged Value codec round-trips every runtime Value shape —
+//    scalars, flat and ragged vectors, matrices, matrix vectors — and
+//    rejects malformed encodings structurally.
+//  * Request frames round-trip; an unsupported schema version or a
+//    malformed request is a structured error, never garbage.
+//  * The artifact fingerprint covers exactly the compile-relevant
+//    fields: seeds and query knobs never change the key, model /
+//    schedule / backend / args / data always do.
+//  * The length-prefixed frame transport survives multiple frames per
+//    connection, reports clean EOF, and rejects torn frames.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstring>
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "serve/Workloads.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// Round-trips \p V through the codec and asserts exact equality.
+Value roundTrip(const Value &V) {
+  Json Encoded = encodeValue(V);
+  // Also push it through the text layer, as the wire does.
+  Result<Json> Parsed = parseJson(Encoded.dump());
+  EXPECT_TRUE(Parsed.ok()) << Parsed.message();
+  Result<Value> Decoded = decodeValue(*Parsed);
+  EXPECT_TRUE(Decoded.ok()) << Decoded.message();
+  return Decoded.ok() ? *Decoded : Value();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON layer
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, JsonRoundTripsIntegersExactly) {
+  for (int64_t I : {int64_t(0), int64_t(-1), int64_t(1) << 53,
+                    int64_t(0x7FFFFFFFFFFFFFFF), int64_t(1) - (int64_t(1) << 62)}) {
+    Result<Json> R = parseJson(Json::integer(I).dump());
+    ASSERT_TRUE(R.ok()) << R.message();
+    EXPECT_TRUE(R->isInt());
+    EXPECT_EQ(R->asInt(), I);
+  }
+}
+
+TEST(ServeProtocol, JsonRoundTripsDoublesBitExactly) {
+  for (double D : {0.1, -0.0, 1e308, 5e-324, -3.14159265358979,
+                   1.0000000000000002}) {
+    Result<Json> R = parseJson(Json::real(D).dump());
+    ASSERT_TRUE(R.ok()) << R.message();
+    EXPECT_EQ(R->kind(), Json::Kind::Real);
+    EXPECT_TRUE(bitEq(R->asReal(), D))
+        << "double " << D << " did not survive the text round trip";
+  }
+}
+
+TEST(ServeProtocol, JsonKeepsIntAndRealDistinct) {
+  // 5 is an Int on the wire, 5.0 a Real — seeds and sizes must never
+  // pass through a double.
+  Result<Json> I = parseJson("5");
+  ASSERT_TRUE(I.ok());
+  EXPECT_TRUE(I->isInt());
+  Result<Json> R = parseJson(Json::real(5.0).dump());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->kind(), Json::Kind::Real);
+}
+
+TEST(ServeProtocol, JsonRoundTripsStructuresAndStrings) {
+  Json J = Json::object();
+  J.set("s", Json::str("quote \" slash \\ newline \n tab \t"));
+  J.set("b", Json::boolean(true));
+  J.set("n", Json::null());
+  Json A = Json::array();
+  A.push(Json::integer(1));
+  A.push(Json::str("two"));
+  A.push(Json::boolean(false));
+  J.set("a", std::move(A));
+  Result<Json> R = parseJson(J.dump());
+  ASSERT_TRUE(R.ok()) << R.message();
+  // Compact printing is canonical (map order), so dumps must agree.
+  EXPECT_EQ(R->dump(), J.dump());
+  EXPECT_EQ(R->getStr("s", ""), "quote \" slash \\ newline \n tab \t");
+  EXPECT_TRUE(R->find("n")->isNull());
+  ASSERT_EQ(R->find("a")->arr().size(), 3u);
+}
+
+TEST(ServeProtocol, JsonRejectsMalformedInput) {
+  for (const char *Bad : {"{", "[1,", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\" 1}", ""}) {
+    EXPECT_FALSE(parseJson(Bad).ok()) << "accepted: " << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Value codec
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, ValueCodecRoundTripsScalars) {
+  Value I = roundTrip(Value::intScalar(-42));
+  ASSERT_TRUE(I.isIntScalar());
+  EXPECT_EQ(I.asInt(), -42);
+
+  Value R = roundTrip(Value::realScalar(0.1));
+  ASSERT_TRUE(R.isRealScalar());
+  EXPECT_TRUE(bitEq(R.asReal(), 0.1));
+
+  Value Z = roundTrip(Value::realScalar(-0.0));
+  ASSERT_TRUE(Z.isRealScalar());
+  EXPECT_TRUE(bitEq(Z.asReal(), -0.0)) << "-0.0 collapsed to +0.0";
+}
+
+TEST(ServeProtocol, ValueCodecRoundTripsFlatVectors) {
+  Value IV = roundTrip(Value::intVec(BlockedInt::flat({3, -1, 7})));
+  ASSERT_TRUE(IV.isIntVec());
+  EXPECT_EQ(IV.intVec().flat(), (std::vector<int64_t>{3, -1, 7}));
+  EXPECT_FALSE(IV.intVec().isRagged());
+
+  BlockedReal BR = BlockedReal::flat(3, 0.0);
+  BR.flat() = {0.25, -1e100, 0.1};
+  Value RV = roundTrip(Value::realVec(BR));
+  ASSERT_TRUE(RV.isRealVec());
+  EXPECT_EQ(RV.realVec(), BR);
+}
+
+TEST(ServeProtocol, ValueCodecRoundTripsRaggedVectors) {
+  BlockedInt Docs = BlockedInt::ragged({{1, 2, 3}, {}, {4}});
+  Value V = roundTrip(
+      Value::intVec(Docs, Type::vec(Type::vec(Type::intTy()))));
+  ASSERT_TRUE(V.isIntVec());
+  EXPECT_TRUE(V.intVec().isRagged());
+  EXPECT_EQ(V.intVec(), Docs);
+
+  BlockedReal RR = BlockedReal::rect(2, 2, 0.0);
+  RR.at(0, 1) = 0.1;
+  RR.at(1, 0) = -0.0;
+  Value RV = roundTrip(
+      Value::realVec(RR, Type::vec(Type::vec(Type::realTy()))));
+  ASSERT_TRUE(RV.isRealVec());
+  EXPECT_EQ(RV.realVec(), RR);
+}
+
+TEST(ServeProtocol, ValueCodecRoundTripsMatrices) {
+  Matrix M(2, 3);
+  for (int64_t I = 0; I < 6; ++I)
+    M.data()[I] = 0.1 * double(I + 1);
+  Value V = roundTrip(Value::matrix(M));
+  ASSERT_TRUE(V.isMatrix());
+  EXPECT_EQ(V.mat().rows(), 2);
+  EXPECT_EQ(V.mat().cols(), 3);
+  EXPECT_EQ(0, std::memcmp(V.mat().data(), M.data(), 6 * sizeof(double)));
+
+  MatVec MV(2, 2, 2);
+  for (int64_t I = 0; I < 2; ++I)
+    for (int64_t K = 0; K < 4; ++K)
+      MV.at(I)[K] = double(I) + 0.01 * double(K);
+  Value W = roundTrip(Value::matVec(MV));
+  ASSERT_TRUE(W.isMatVec());
+  EXPECT_EQ(W.matVec(), MV);
+}
+
+TEST(ServeProtocol, ValueCodecRejectsMalformedEncodings) {
+  for (const char *Bad : {
+           R"({"t":"zz","v":1})",               // unknown tag
+           R"({"t":"i","v":1.5})",              // int scalar from real
+           R"({"t":"m","r":2,"c":2,"d":[1.0]})", // shape mismatch
+           R"({"t":"mv","n":2,"r":1,"c":1,"d":[1.0]})",
+           R"({"t":"iv","d":[1,2],"o":[0,3]})",  // offsets past payload
+           R"({"t":"iv","d":[1,2],"o":[1,2]})",  // offsets not 0-based
+           R"({"t":"rv","d":[1.0],"o":[0,1,0]})" // decreasing offsets
+       }) {
+    Result<Json> J = parseJson(Bad);
+    ASSERT_TRUE(J.ok()) << Bad;
+    EXPECT_FALSE(decodeValue(*J).ok()) << "accepted: " << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Request codec
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, RequestRoundTripsSampleOp) {
+  Request R;
+  R.Kind = Request::Op::Sample;
+  R.Id = 99;
+  R.Sample = gmmRequest(/*N=*/30);
+  R.Sample.Seed = 0xDEADBEEF;
+  R.Sample.Chains = 3;
+  R.Sample.NumSamples = 17;
+  R.Sample.BurnIn = 4;
+  R.Sample.Thin = 2;
+  R.Sample.Record = {"mu"};
+  R.Sample.TrackLogJoint = true;
+  R.Sample.DeadlineMillis = 1500;
+  R.Sample.Threads = 2;
+
+  Result<Json> Wire = parseJson(encodeRequest(R).dump());
+  ASSERT_TRUE(Wire.ok()) << Wire.message();
+  Result<Request> Back = decodeRequest(*Wire);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->Kind, Request::Op::Sample);
+  EXPECT_EQ(Back->Id, 99u);
+  const SampleRequest &S = Back->Sample;
+  EXPECT_EQ(S.Model, R.Sample.Model);
+  EXPECT_EQ(S.Schedule, R.Sample.Schedule);
+  EXPECT_EQ(S.Seed, 0xDEADBEEFu);
+  EXPECT_EQ(S.Chains, 3);
+  EXPECT_EQ(S.NumSamples, 17);
+  EXPECT_EQ(S.BurnIn, 4);
+  EXPECT_EQ(S.Thin, 2);
+  EXPECT_EQ(S.Record, std::vector<std::string>{"mu"});
+  EXPECT_TRUE(S.TrackLogJoint);
+  EXPECT_EQ(S.DeadlineMillis, 1500);
+  EXPECT_EQ(S.Threads, 2);
+  ASSERT_EQ(S.Args.size(), R.Sample.Args.size());
+  for (size_t I = 0; I < S.Args.size(); ++I)
+    EXPECT_EQ(S.Args[I], R.Sample.Args[I]) << "arg " << I;
+  ASSERT_EQ(S.Data.size(), R.Sample.Data.size());
+  EXPECT_EQ(S.Data.at("x"), R.Sample.Data.at("x"));
+  // The decoded request maps to the same artifact.
+  EXPECT_EQ(artifactKey(S), artifactKey(R.Sample));
+}
+
+TEST(ServeProtocol, RequestRoundTripsControlOps) {
+  for (Request::Op Op : {Request::Op::Ping, Request::Op::Metrics,
+                         Request::Op::Shutdown}) {
+    Request R;
+    R.Kind = Op;
+    R.Id = 7;
+    Result<Request> Back = decodeRequest(encodeRequest(R));
+    ASSERT_TRUE(Back.ok()) << Back.message();
+    EXPECT_EQ(Back->Kind, Op);
+    EXPECT_EQ(Back->Id, 7u);
+  }
+}
+
+TEST(ServeProtocol, RequestRejectsWrongVersion) {
+  Request R;
+  R.Kind = Request::Op::Ping;
+  Json J = encodeRequest(R);
+  J.set("v", Json::integer(ProtocolVersion + 1));
+  Result<Request> Back = decodeRequest(J);
+  ASSERT_FALSE(Back.ok());
+  EXPECT_NE(Back.message().find("version"), std::string::npos)
+      << Back.message();
+}
+
+TEST(ServeProtocol, RequestRejectsMalformedFrames) {
+  Json NoOp = Json::object();
+  NoOp.set("v", Json::integer(ProtocolVersion));
+  NoOp.set("op", Json::str("frobnicate"));
+  EXPECT_FALSE(decodeRequest(NoOp).ok());
+
+  Json NoModel = Json::object();
+  NoModel.set("v", Json::integer(ProtocolVersion));
+  NoModel.set("op", Json::str("sample"));
+  EXPECT_FALSE(decodeRequest(NoModel).ok());
+
+  EXPECT_FALSE(decodeRequest(Json::array()).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, ArtifactKeyExcludesSeedAndQuery) {
+  SampleRequest A = gmmRequest(/*N=*/30);
+  SampleRequest B = A;
+  B.Seed = A.Seed + 12345;
+  B.Chains = 4;
+  B.NumSamples = 9999;
+  B.BurnIn = 100;
+  B.Thin = 5;
+  B.Record = {"mu"};
+  B.TrackLogJoint = true;
+  B.DeadlineMillis = 50;
+  // Different seeds and query knobs share one compiled artifact.
+  EXPECT_EQ(artifactKey(A), artifactKey(B));
+}
+
+TEST(ServeProtocol, ArtifactKeyCoversCompileIdentity) {
+  SampleRequest Base = gmmRequest(/*N=*/30);
+  uint64_t K0 = artifactKey(Base);
+
+  SampleRequest M = Base;
+  M.Model += "\n";
+  EXPECT_NE(artifactKey(M), K0);
+
+  SampleRequest S = Base;
+  S.Schedule = "";
+  EXPECT_NE(artifactKey(S), K0);
+
+  SampleRequest N = Base;
+  N.NativeCpu = !N.NativeCpu;
+  EXPECT_NE(artifactKey(N), K0);
+
+  SampleRequest T = Base;
+  T.Threads = Base.Threads + 1;
+  EXPECT_NE(artifactKey(T), K0);
+
+  SampleRequest A = Base;
+  A.Args[0] = Value::intScalar(A.Args[0].asInt() + 1);
+  EXPECT_NE(artifactKey(A), K0);
+
+  SampleRequest D = gmmRequest(/*N=*/30, /*DataSeed=*/9999);
+  EXPECT_NE(artifactKey(D), K0);
+
+  // Stability: the key is a pure function of the request.
+  EXPECT_EQ(artifactKey(Base), K0);
+  EXPECT_EQ(artifactKey(gmmRequest(/*N=*/30)), K0);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame transport
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, FramesRoundTripOverSocket) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+
+  ASSERT_TRUE(writeFrame(Fds[0], "hello").ok());
+  ASSERT_TRUE(writeFrame(Fds[0], "").ok()); // empty frames are legal
+  Json J = pongFrame(42);
+  ASSERT_TRUE(writeJsonFrame(Fds[0], J).ok());
+  close(Fds[0]);
+
+  bool Eof = false;
+  Result<std::string> F1 = readFrame(Fds[1], Eof);
+  ASSERT_TRUE(F1.ok()) << F1.message();
+  EXPECT_FALSE(Eof);
+  EXPECT_EQ(*F1, "hello");
+
+  Result<std::string> F2 = readFrame(Fds[1], Eof);
+  ASSERT_TRUE(F2.ok());
+  EXPECT_TRUE(F2->empty());
+
+  Result<Json> F3 = readJsonFrame(Fds[1], Eof);
+  ASSERT_TRUE(F3.ok()) << F3.message();
+  EXPECT_EQ(F3->getStr("type", ""), "pong");
+  EXPECT_EQ(F3->getInt("id", -1), 42);
+
+  // Clean close after complete frames: EOF, not an error.
+  Result<std::string> F4 = readFrame(Fds[1], Eof);
+  ASSERT_TRUE(F4.ok()) << F4.message();
+  EXPECT_TRUE(Eof);
+  close(Fds[1]);
+}
+
+TEST(ServeProtocol, TornFramesAreStructuralErrors) {
+  // EOF inside the length prefix.
+  {
+    int Fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+    char Partial[2] = {5, 0};
+    ASSERT_EQ(2, write(Fds[0], Partial, 2));
+    close(Fds[0]);
+    bool Eof = false;
+    Result<std::string> R = readFrame(Fds[1], Eof);
+    EXPECT_FALSE(R.ok());
+    EXPECT_FALSE(Eof);
+    close(Fds[1]);
+  }
+  // EOF inside the payload.
+  {
+    int Fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+    unsigned char Header[4] = {10, 0, 0, 0};
+    ASSERT_EQ(4, write(Fds[0], Header, 4));
+    ASSERT_EQ(3, write(Fds[0], "abc", 3));
+    close(Fds[0]);
+    bool Eof = false;
+    Result<std::string> R = readFrame(Fds[1], Eof);
+    EXPECT_FALSE(R.ok());
+    close(Fds[1]);
+  }
+}
+
+TEST(ServeProtocol, ResponseBuildersCarryTheSchema) {
+  std::vector<std::string> Names = {"mu"};
+  Value Mu = Value::realScalar(0.5);
+  std::vector<const Value *> Row = {&Mu};
+  Json D = drawFrame(3, 1, 7, Names, Row, -12.5);
+  EXPECT_EQ(D.getInt("v", -1), ProtocolVersion);
+  EXPECT_EQ(D.getStr("type", ""), "draw");
+  EXPECT_EQ(D.getInt("chain", -1), 1);
+  EXPECT_EQ(D.getInt("index", -1), 7);
+  ASSERT_NE(D.find("values"), nullptr);
+  ASSERT_NE(D.find("values")->find("mu"), nullptr);
+  EXPECT_TRUE(bitEq(D.getReal("log_joint", 0.0), -12.5));
+
+  Json Done = doneFrame(3, 2, 25, true, 17.25);
+  EXPECT_EQ(Done.getStr("type", ""), "done");
+  EXPECT_TRUE(Done.getBool("cache_hit", false));
+  EXPECT_EQ(Done.getInt("chains", -1), 2);
+
+  Json E = errorFrame(3, ErrorCode::Overloaded, "queue full");
+  EXPECT_EQ(E.getStr("type", ""), "error");
+  EXPECT_EQ(E.getStr("code", ""), "overloaded");
+  EXPECT_EQ(E.getStr("message", ""), "queue full");
+}

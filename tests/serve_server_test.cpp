@@ -1,0 +1,426 @@
+//===- tests/serve_server_test.cpp - Inference daemon tests -----*- C++ -*-===//
+//
+// End-to-end tests of the always-on inference service (DESIGN.md
+// section 13), run against an in-process Server on an ephemeral TCP
+// port:
+//
+//  * control ops (ping / metrics / shutdown) and structured errors for
+//    malformed frames and unsupported protocol versions,
+//  * streamed draws are bit-identical to Infer::sampleChains with the
+//    same seeds — serving is a transport, never a semantic change,
+//  * the second request for a model runs ZERO compiler phases (counted
+//    via compile/total telemetry spans) and reports cache_hit,
+//  * concurrent clients driving the standard 3-model mix each get
+//    complete, correct streams while every model compiles exactly once,
+//  * admission control: a full queue rejects with `overloaded`, an
+//    expired deadline with `deadline`, and neither kills the daemon,
+//  * an injected worker fault (AUGUR_FAULT_SPEC) fails only its own
+//    request with `exec-error`; concurrent requests and the daemon
+//    survive, and the artifact stays reusable.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "api/Infer.h"
+#include "robust/FaultInject.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/Workloads.h"
+#include "telemetry/Telemetry.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+bool bitEq(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+bool bitIdentical(const Value &A, const Value &B) {
+  if (A.isIntScalar() || B.isIntScalar())
+    return A.isIntScalar() && B.isIntScalar() && A.asInt() == B.asInt();
+  if (A.isRealScalar() || B.isRealScalar())
+    return A.isRealScalar() && B.isRealScalar() &&
+           bitEq(A.asReal(), B.asReal());
+  if (A.isIntVec() || B.isIntVec())
+    return A.isIntVec() && B.isIntVec() && A.intVec() == B.intVec();
+  if (A.isRealVec() || B.isRealVec()) {
+    if (!A.isRealVec() || !B.isRealVec())
+      return false;
+    const auto &FA = A.realVec().flat(), &FB = B.realVec().flat();
+    if (FA.size() != FB.size() ||
+        A.realVec().offsets() != B.realVec().offsets())
+      return false;
+    return FA.empty() ||
+           std::memcmp(FA.data(), FB.data(),
+                       FA.size() * sizeof(double)) == 0;
+  }
+  return A == B;
+}
+
+/// Starts a server on an ephemeral TCP port and connects clients to it.
+struct LiveServer {
+  explicit LiveServer(ServerOptions O = ServerOptions()) : S(std::move(O)) {
+    Status St = S.start();
+    EXPECT_TRUE(St.ok()) << St.message();
+  }
+  ~LiveServer() { S.stop(); }
+
+  Client connect() {
+    Result<Client> C = Client::connectTcp("127.0.0.1", S.port());
+    EXPECT_TRUE(C.ok()) << C.message();
+    return C.ok() ? C.take() : Client();
+  }
+
+  Server S;
+};
+
+/// Number of completed compiler pipelines recorded by the process-wide
+/// telemetry (the server enables it in start()). Each MCMCProgram
+/// compile contributes exactly one "compile/total" span.
+size_t compileSpanCount() {
+  size_t N = 0;
+  for (const TraceEvent &E : Recorder::global().traceEvents())
+    if (E.Name == "compile/total")
+      ++N;
+  return N;
+}
+
+/// Runs \p SR directly through the api layer, the way a non-serving
+/// caller would (one program per chain, seed philoxMix(Seed, c)).
+std::vector<SampleSet> directChains(const SampleRequest &SR) {
+  Infer Aug(SR.Model);
+  CompileOptions CO;
+  CO.NativeCpu = SR.NativeCpu;
+  CO.UserSchedule = SR.Schedule;
+  CO.Seed = SR.Seed;
+  CO.Par.NumThreads = SR.Threads;
+  CO.Par.Chains = SR.Chains;
+  Aug.setCompileOpt(CO);
+  Status St = Aug.compile(SR.Args, SR.Data);
+  EXPECT_TRUE(St.ok()) << St.message();
+  SampleOptions SO;
+  SO.NumSamples = SR.NumSamples;
+  SO.BurnIn = SR.BurnIn;
+  SO.Thin = SR.Thin;
+  SO.Record = SR.Record;
+  SO.TrackLogJoint = SR.TrackLogJoint;
+  Result<std::vector<SampleSet>> R = Aug.sampleChains(SO);
+  EXPECT_TRUE(R.ok()) << R.message();
+  return R.ok() ? R.take() : std::vector<SampleSet>();
+}
+
+} // namespace
+
+TEST(ServeServer, PingMetricsAndShutdown) {
+  LiveServer L;
+  Client C = L.connect();
+  ASSERT_TRUE(C.connected());
+  ASSERT_TRUE(C.ping(11).ok());
+
+  Result<Json> M = C.metrics(12);
+  ASSERT_TRUE(M.ok()) << M.message();
+  EXPECT_EQ(M->getStr("type", ""), "metrics");
+  ASSERT_NE(M->find("counters"), nullptr);
+  ASSERT_NE(M->find("cache"), nullptr);
+  EXPECT_EQ(M->find("cache")->getInt("resident", -1), 0);
+  EXPECT_GE(M->find("counters")->getInt("serve/requests", -1), 1);
+
+  ASSERT_TRUE(C.shutdownServer(13).ok());
+  L.S.wait(); // returns because the shutdown op flagged it
+}
+
+TEST(ServeServer, MalformedFramesGetStructuredErrors) {
+  LiveServer L;
+
+  // Raw socket: the Client class only emits well-formed frames.
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(L.S.port()));
+  ASSERT_EQ(1, inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr));
+  ASSERT_EQ(0, ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr)));
+
+  // A syntactically-valid frame with an unsupported schema version:
+  // structured error, connection stays up.
+  ASSERT_TRUE(writeFrame(Fd, "{\"v\":99,\"id\":5,\"op\":\"ping\"}").ok());
+  bool Eof = false;
+  Result<Json> E1 = readJsonFrame(Fd, Eof);
+  ASSERT_TRUE(E1.ok()) << E1.message();
+  EXPECT_EQ(E1->getStr("type", ""), "error");
+  EXPECT_EQ(E1->getStr("code", ""), "bad-request");
+  EXPECT_NE(E1->getStr("message", "").find("version"), std::string::npos);
+
+  // The connection survived the bad request.
+  ASSERT_TRUE(writeFrame(Fd, "{\"v\":1,\"id\":6,\"op\":\"ping\"}").ok());
+  Result<Json> P = readJsonFrame(Fd, Eof);
+  ASSERT_TRUE(P.ok());
+  EXPECT_EQ(P->getStr("type", ""), "pong");
+  EXPECT_EQ(P->getInt("id", -1), 6);
+
+  // Unparseable JSON: one error frame, then the server drops the
+  // connection (stream position is lost).
+  ASSERT_TRUE(writeFrame(Fd, "{not json").ok());
+  Result<Json> E2 = readJsonFrame(Fd, Eof);
+  ASSERT_TRUE(E2.ok());
+  EXPECT_EQ(E2->getStr("code", ""), "bad-request");
+  Result<Json> End = readJsonFrame(Fd, Eof);
+  EXPECT_TRUE(Eof || !End.ok());
+  close(Fd);
+
+  // The daemon itself is unaffected.
+  Client C = L.connect();
+  EXPECT_TRUE(C.ping().ok());
+}
+
+TEST(ServeServer, StreamedDrawsBitIdenticalToDirectInfer) {
+  SampleRequest SR = gmmRequest(/*N=*/60);
+  SR.Seed = 0x5EED;
+  SR.Chains = 2;
+  SR.NumSamples = 12;
+  SR.TrackLogJoint = true;
+
+  LiveServer L;
+  Client C = L.connect();
+  Result<Client::SampleOutcome> Served = C.sample(SR, 21);
+  ASSERT_TRUE(Served.ok()) << Served.message();
+  ASSERT_EQ(Served->Chains.size(), 2u);
+
+  std::vector<SampleSet> Direct = directChains(SR);
+  ASSERT_EQ(Direct.size(), 2u);
+
+  for (size_t Ch = 0; Ch < 2; ++Ch) {
+    const SampleSet &S = Served->Chains[Ch];
+    const SampleSet &D = Direct[Ch];
+    ASSERT_EQ(S.size(), D.size()) << "chain " << Ch;
+    ASSERT_EQ(S.Draws.size(), D.Draws.size()) << "chain " << Ch;
+    for (const auto &KV : D.Draws) {
+      auto It = S.Draws.find(KV.first);
+      ASSERT_NE(It, S.Draws.end()) << "parameter " << KV.first;
+      ASSERT_EQ(It->second.size(), KV.second.size());
+      for (size_t I = 0; I < KV.second.size(); ++I)
+        EXPECT_TRUE(bitIdentical(It->second[I], KV.second[I]))
+            << "chain " << Ch << " draw " << I << " of " << KV.first;
+    }
+    for (size_t I = 0; I < D.LogJoint.size(); ++I)
+      EXPECT_TRUE(bitEq(S.LogJoint[I], D.LogJoint[I]))
+          << "chain " << Ch << " log-joint " << I;
+  }
+}
+
+TEST(ServeServer, SecondRequestRunsZeroCompilerPhases) {
+  SampleRequest SR = gmmRequest(/*N=*/40);
+  SR.NumSamples = 6;
+
+  LiveServer L;
+  Client C = L.connect();
+
+  size_t Spans0 = compileSpanCount();
+  SR.Seed = 1;
+  Result<Client::SampleOutcome> First = C.sample(SR, 1);
+  ASSERT_TRUE(First.ok()) << First.message();
+  EXPECT_FALSE(First->CacheHit);
+  size_t Spans1 = compileSpanCount();
+  EXPECT_EQ(Spans1, Spans0 + 1) << "first request compiles exactly once";
+
+  // Different seed and sweep count: same artifact, zero compiles.
+  SR.Seed = 2;
+  SR.NumSamples = 9;
+  Result<Client::SampleOutcome> Second = C.sample(SR, 2);
+  ASSERT_TRUE(Second.ok()) << Second.message();
+  EXPECT_TRUE(Second->CacheHit);
+  EXPECT_EQ(compileSpanCount(), Spans1)
+      << "cached request ran compiler phases";
+
+  ArtifactCacheStats CS = L.S.cacheStats();
+  EXPECT_EQ(CS.Misses, 1u);
+  EXPECT_GE(CS.Hits, 1u);
+}
+
+TEST(ServeServer, ConcurrentClientsAcrossTheModelMix) {
+  LiveServer L;
+  const std::vector<SampleRequest> Mix = standardWorkloads();
+  const int Clients = 4;
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Ok{0};
+  for (int Ci = 0; Ci < Clients; ++Ci)
+    Threads.emplace_back([&, Ci] {
+      Client C = L.connect();
+      ASSERT_TRUE(C.connected());
+      for (size_t W = 0; W < Mix.size(); ++W) {
+        SampleRequest SR = Mix[(size_t(Ci) + W) % Mix.size()];
+        SR.Seed = 100 + uint64_t(Ci);
+        Result<Client::SampleOutcome> R =
+            C.sample(SR, uint64_t(Ci * 10 + int(W) + 1));
+        ASSERT_TRUE(R.ok())
+            << "client " << Ci << " workload " << W << ": " << R.message();
+        ASSERT_EQ(R->Chains.size(), 1u);
+        EXPECT_EQ(R->Chains[0].size(), size_t(SR.NumSamples));
+        Ok.fetch_add(1);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Ok.load(), Clients * int(Mix.size()));
+  // Single-flight: every model compiled exactly once, no matter how
+  // the 12 requests interleaved.
+  ArtifactCacheStats CS = L.S.cacheStats();
+  EXPECT_EQ(CS.Misses, uint64_t(Mix.size()));
+  EXPECT_EQ(CS.Hits, uint64_t(Clients) * Mix.size() - Mix.size());
+  EXPECT_EQ(CS.Failures, 0u);
+}
+
+TEST(ServeServer, ExpiredDeadlineIsAStructuredError) {
+  LiveServer L;
+  Client C = L.connect();
+
+  SampleRequest SR = gmmRequest(/*N=*/40);
+  SR.NumSamples = 50;
+  SR.DeadlineMillis = 1; // expires long before sampling can finish
+  Result<Client::SampleOutcome> R = C.sample(SR, 31);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("deadline"), std::string::npos)
+      << R.message();
+
+  // The daemon survives and the same model still serves.
+  SR.DeadlineMillis = 0;
+  SR.NumSamples = 5;
+  Result<Client::SampleOutcome> R2 = C.sample(SR, 32);
+  EXPECT_TRUE(R2.ok()) << R2.message();
+}
+
+TEST(ServeServer, FullQueueRejectsWithOverloaded) {
+  ServerOptions O;
+  O.Workers = 1;
+  O.QueueLimit = 1;
+  LiveServer L(O);
+
+  // Occupy the single worker with a long request, confirmed running by
+  // its first draw frame (so the queue is empty again).
+  Client A = L.connect();
+  Request Long;
+  Long.Kind = Request::Op::Sample;
+  Long.Id = 41;
+  Long.Sample = gmmRequest(/*N=*/120);
+  Long.Sample.NumSamples = 2000;
+  ASSERT_TRUE(A.send(Long).ok());
+  bool Eof = false;
+  Result<Json> FirstDraw = A.read(Eof);
+  ASSERT_TRUE(FirstDraw.ok()) << FirstDraw.message();
+  ASSERT_EQ(FirstDraw->getStr("type", ""), "draw");
+
+  // Fill the one queue slot...
+  Client B = L.connect();
+  Request Queued = Long;
+  Queued.Id = 42;
+  Queued.Sample.NumSamples = 5;
+  ASSERT_TRUE(B.send(Queued).ok());
+
+  // ...then the next submission must be rejected, not buffered. Leave
+  // the reader a moment to enqueue B first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Client C = L.connect();
+  Request Rejected = Long;
+  Rejected.Id = 43;
+  ASSERT_TRUE(C.send(Rejected).ok());
+  Result<Json> E = C.read(Eof);
+  ASSERT_TRUE(E.ok()) << E.message();
+  EXPECT_EQ(E->getStr("type", ""), "error");
+  EXPECT_EQ(E->getStr("code", ""), "overloaded");
+  EXPECT_EQ(E->getInt("id", -1), 43);
+
+  // Clients A and B disconnect here; the worker aborts their streams on
+  // the dead sockets and the server tears down cleanly (~LiveServer).
+}
+
+TEST(ServeServer, WorkerFaultFailsOnlyItsOwnRequest) {
+  // The acceptance scenario: AUGUR_FAULT_SPEC injects a worker-thread
+  // fault into the first pooled parallel region. Only the pooled
+  // request (Threads=2) dies — with a structured exec-error — while a
+  // concurrent request and the daemon itself are unaffected, and the
+  // poisoned artifact is safely reused by the next request.
+  ASSERT_EQ(0, setenv("AUGUR_FAULT_SPEC", "worker-fault:n=1", 1));
+
+  LiveServer L;
+  SampleRequest Pooled = gmmRequest(/*N=*/60);
+  Pooled.Threads = 2;
+  Pooled.NumSamples = 10;
+  SampleRequest Healthy = hgmmKnownCovRequest(/*N=*/60);
+  Healthy.NumSamples = 10;
+
+  Result<Client::SampleOutcome> PooledR = Status::error("not run");
+  Result<Client::SampleOutcome> HealthyR = Status::error("not run");
+  std::thread TA([&] {
+    Client C = L.connect();
+    PooledR = C.sample(Pooled, 51);
+  });
+  std::thread TB([&] {
+    Client C = L.connect();
+    HealthyR = C.sample(Healthy, 52);
+  });
+  TA.join();
+  TB.join();
+
+  unsetenv("AUGUR_FAULT_SPEC");
+
+  // The faulted request got a structured error...
+  ASSERT_FALSE(PooledR.ok());
+  EXPECT_NE(PooledR.message().find("exec-error"), std::string::npos)
+      << PooledR.message();
+  EXPECT_NE(PooledR.message().find("injected"), std::string::npos)
+      << PooledR.message();
+  // ...the concurrent request completed normally...
+  ASSERT_TRUE(HealthyR.ok()) << HealthyR.message();
+  EXPECT_EQ(HealthyR->Chains[0].size(), 10u);
+
+  // ...and the daemon plus the cached artifact both survive: the fault
+  // budget (n=1) is spent, so the retry succeeds with a cache hit and
+  // zero recompiles.
+  Client C = L.connect();
+  ASSERT_TRUE(C.ping().ok());
+  Result<Client::SampleOutcome> Retry = C.sample(Pooled, 53);
+  ASSERT_TRUE(Retry.ok()) << Retry.message();
+  EXPECT_TRUE(Retry->CacheHit);
+  EXPECT_EQ(Retry->Chains[0].size(), 10u);
+
+  Status Clean = robust::FaultInjector::global().configure("");
+  ASSERT_TRUE(Clean.ok());
+}
+
+TEST(ServeServer, CompileErrorIsStructuredAndNotCached) {
+  LiveServer L;
+  Client C = L.connect();
+
+  SampleRequest Bad = gmmRequest(/*N=*/30);
+  Bad.Model = "model broken { this does not parse";
+  Result<Client::SampleOutcome> R = C.sample(Bad, 61);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("compile-error"), std::string::npos)
+      << R.message();
+
+  // Poisoned compiles are never cached.
+  EXPECT_EQ(L.S.cacheStats().Failures, 1u);
+  EXPECT_EQ(L.S.cacheStats().Misses, 0u);
+
+  // The connection and daemon both keep serving.
+  SampleRequest Good = gmmRequest(/*N=*/30);
+  Good.NumSamples = 4;
+  Result<Client::SampleOutcome> R2 = C.sample(Good, 62);
+  EXPECT_TRUE(R2.ok()) << R2.message();
+}

@@ -1,0 +1,168 @@
+//===- tools/augur_bench.cpp - Serving load generator ---------*- C++ -*-===//
+//
+// Load client for the augur_serve daemon: N concurrent connections
+// drive the standard 3-model workload mix (GMM, HGMM known-cov, LDA)
+// with varying seeds, measuring per-request latency, throughput, and
+// the daemon-side cache hit rate. The model mix and data are identical
+// across every client and run (serve/Workloads.h), so after the first
+// three requests the daemon serves everything from cache.
+//
+//   $ augur_bench --unix /tmp/augur.sock --clients 4 --requests 20
+//   $ augur_bench --port 7771 --clients 16 --requests 8 --shutdown
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/Client.h"
+#include "serve/Workloads.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--unix PATH | --host H --port P] [--clients N]\n"
+               "          [--requests N] [--chains N] [--seed S] "
+               "[--shutdown]\n",
+               Argv0);
+  return 2;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = size_t(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string UnixPath, Host = "127.0.0.1";
+  int Port = 7771, Clients = 4, Requests = 12, Chains = 1;
+  uint64_t SeedBase = 0xBE7C;
+  bool Shutdown = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--unix" && I + 1 < argc)
+      UnixPath = argv[++I];
+    else if (A == "--host" && I + 1 < argc)
+      Host = argv[++I];
+    else if (A == "--port" && I + 1 < argc)
+      Port = std::atoi(argv[++I]);
+    else if (A == "--clients" && I + 1 < argc)
+      Clients = std::atoi(argv[++I]);
+    else if (A == "--requests" && I + 1 < argc)
+      Requests = std::atoi(argv[++I]);
+    else if (A == "--chains" && I + 1 < argc)
+      Chains = std::atoi(argv[++I]);
+    else if (A == "--seed" && I + 1 < argc)
+      SeedBase = std::strtoull(argv[++I], nullptr, 0);
+    else if (A == "--shutdown")
+      Shutdown = true;
+    else
+      return usage(argv[0]);
+  }
+  if (Clients < 1)
+    Clients = 1;
+  if (Requests < 1)
+    Requests = 1;
+
+  auto Connect = [&]() -> Result<Client> {
+    return UnixPath.empty() ? Client::connectTcp(Host, Port)
+                            : Client::connectUnix(UnixPath);
+  };
+
+  const std::vector<SampleRequest> Mix = standardWorkloads();
+  const std::vector<std::string> Names = standardWorkloadNames();
+
+  std::mutex Mu;
+  std::vector<double> Latencies;
+  std::atomic<uint64_t> Ok{0}, Errors{0}, Draws{0}, CacheHits{0};
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      Result<Client> ClR = Connect();
+      if (!ClR.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", C,
+                     ClR.message().c_str());
+        Errors.fetch_add(uint64_t(Requests));
+        return;
+      }
+      Client Cl = ClR.take();
+      for (int R = 0; R < Requests; ++R) {
+        size_t W = size_t(C + R) % Mix.size();
+        SampleRequest SR = Mix[W];
+        SR.Seed = SeedBase + uint64_t(C) * 1000 + uint64_t(R);
+        SR.Chains = Chains;
+        auto RT0 = std::chrono::steady_clock::now();
+        Result<Client::SampleOutcome> Out =
+            Cl.sample(SR, uint64_t(C * Requests + R + 1));
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - RT0)
+                        .count();
+        if (!Out.ok()) {
+          Errors.fetch_add(1);
+          std::fprintf(stderr, "client %d %s: %s\n", C,
+                       Names[W].c_str(), Out.message().c_str());
+          continue;
+        }
+        Ok.fetch_add(1);
+        if (Out->CacheHit)
+          CacheHits.fetch_add(1);
+        for (const auto &S : Out->Chains)
+          Draws.fetch_add(S.size());
+        std::lock_guard<std::mutex> Lock(Mu);
+        Latencies.push_back(Ms);
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+
+  std::sort(Latencies.begin(), Latencies.end());
+  uint64_t Done = Ok.load();
+  std::printf("augur_bench: %d clients x %d requests, %llu ok, %llu "
+              "errors\n",
+              Clients, Requests, (unsigned long long)Done,
+              (unsigned long long)Errors.load());
+  std::printf("  wall %.2fs  throughput %.1f req/s  draws %llu\n",
+              WallSec, Done / (WallSec > 0 ? WallSec : 1.0),
+              (unsigned long long)Draws.load());
+  std::printf("  latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+              percentile(Latencies, 0.50), percentile(Latencies, 0.95),
+              percentile(Latencies, 0.99),
+              Latencies.empty() ? 0.0 : Latencies.back());
+  std::printf("  cache hit rate: %.1f%% (first request per model "
+              "compiles)\n",
+              Done ? 100.0 * double(CacheHits.load()) / double(Done)
+                   : 0.0);
+
+  if (Shutdown) {
+    Result<Client> ClR = Connect();
+    if (ClR.ok()) {
+      Client Cl = ClR.take();
+      Status St = Cl.shutdownServer();
+      if (!St.ok())
+        std::fprintf(stderr, "shutdown: %s\n", St.message().c_str());
+    }
+  }
+  return Errors.load() ? 1 : 0;
+}

@@ -1,0 +1,99 @@
+//===- tools/augur_serve.cpp - Always-on inference daemon -----*- C++ -*-===//
+//
+// The serving daemon (DESIGN.md section 13): listens on a Unix or TCP
+// socket, compiles each distinct model/schedule/data configuration
+// once, and serves every subsequent sampling request from the artifact
+// cache with zero compiler phases. Drive it with tools/augur_bench or
+// any client speaking the serve/Protocol.h framing.
+//
+//   $ augur_serve --unix /tmp/augur.sock
+//   $ augur_serve --port 7771 --workers 4 --cache 16 --queue 32
+//
+// The daemon runs until a client sends the shutdown op or the process
+// receives SIGINT/SIGTERM.
+//
+//===----------------------------------------------------------------------===//
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/Server.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop();
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--unix PATH | --host H --port P] [--workers N]\n"
+               "          [--queue N] [--cache N]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  Opts.Port = 7771;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--unix" && I + 1 < argc)
+      Opts.UnixPath = argv[++I];
+    else if (A == "--host" && I + 1 < argc)
+      Opts.Host = argv[++I];
+    else if (A == "--port" && I + 1 < argc)
+      Opts.Port = std::atoi(argv[++I]);
+    else if (A == "--workers" && I + 1 < argc)
+      Opts.Workers = std::atoi(argv[++I]);
+    else if (A == "--queue" && I + 1 < argc)
+      Opts.QueueLimit = size_t(std::atoll(argv[++I]));
+    else if (A == "--cache" && I + 1 < argc)
+      Opts.CacheCapacity = size_t(std::atoll(argv[++I]));
+    else
+      return usage(argv[0]);
+  }
+
+  Server S(Opts);
+  Status St = S.start();
+  if (!St.ok()) {
+    std::fprintf(stderr, "augur_serve: %s\n", St.message().c_str());
+    return 1;
+  }
+  if (!Opts.UnixPath.empty())
+    std::printf("augur_serve: listening on %s (%d workers, cache %zu)\n",
+                Opts.UnixPath.c_str(), Opts.Workers, Opts.CacheCapacity);
+  else
+    std::printf("augur_serve: listening on %s:%d (%d workers, cache %zu)\n",
+                Opts.Host.c_str(), S.port(), Opts.Workers,
+                Opts.CacheCapacity);
+  std::fflush(stdout);
+
+  ActiveServer = &S;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  S.wait();
+  S.stop();
+  ActiveServer = nullptr;
+
+  ArtifactCacheStats CS = S.cacheStats();
+  std::printf("augur_serve: shut down (cache: %llu hits, %llu misses, "
+              "%llu evictions, %llu coalesced, %llu failures)\n",
+              (unsigned long long)CS.Hits, (unsigned long long)CS.Misses,
+              (unsigned long long)CS.Evictions,
+              (unsigned long long)CS.Coalesced,
+              (unsigned long long)CS.Failures);
+  return 0;
+}

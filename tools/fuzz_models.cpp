@@ -139,8 +139,16 @@ int main(int argc, char **argv) {
       auto GM = generateModel(Seed, GOpts);
       if (GM.ok() && !gradCheckModel(*GM, Verbose)) {
         ++Failed;
-        std::printf("=== GRADCHECK FAILURE seed 0x%llx ===\n%s\n",
+        std::printf("=== GRADCHECK FAILURE (replay: fuzz_models --replay "
+                    "0x%llx --gradcheck) ===\n%s\n",
                     (unsigned long long)Seed, GM->Source.c_str());
+      } else if (!GM.ok()) {
+        // A generator fault after a passing diff run is still a
+        // failure of the run, and it must be replayable.
+        ++Failed;
+        std::printf("=== GENERATE FAILURE (replay: fuzz_models --replay "
+                    "0x%llx) ===\n%s\n",
+                    (unsigned long long)Seed, GM.message().c_str());
       }
     }
     if (Verbose)
