@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <unistd.h>
 
 #include "robust/Checkpoint.h"
@@ -11,6 +12,12 @@
 
 using namespace augur;
 using namespace augur::serve;
+
+int augur::serve::maxServedThreads() {
+  unsigned HW = std::thread::hardware_concurrency();
+  int64_t M = int64_t(HW == 0 ? 1 : HW) * 2;
+  return int(M < 8 ? 8 : M);
+}
 
 const char *augur::serve::errorCodeName(ErrorCode C) {
   switch (C) {
@@ -67,6 +74,19 @@ Result<std::vector<double>> decodeRealArray(const Json *A,
     Out.push_back(E.asReal());
   }
   return Out;
+}
+
+/// Upper bound on the element count any decoded value can carry: each
+/// element costs at least one payload byte, so a dimension product
+/// beyond this can never match a real payload. Checked BEFORE the
+/// product is formed — client-supplied dims must not reach a signed
+/// multiply that can overflow.
+constexpr int64_t MaxDecodedElems = int64_t(MaxFrameBytes);
+
+/// True when A*B (both in [0, MaxDecodedElems]) would exceed
+/// MaxDecodedElems; safe to call without overflow for such inputs.
+bool dimProductTooLarge(int64_t A, int64_t B) {
+  return A != 0 && B > MaxDecodedElems / A;
 }
 
 Result<std::vector<int64_t>> decodeIntArray(const Json *A,
@@ -176,9 +196,12 @@ Result<Value> augur::serve::decodeValue(const Json &J) {
   }
   if (T == "m") {
     int64_t R = J.getInt("r", -1), C = J.getInt("c", -1);
+    if (R < 0 || C < 0 || R > MaxDecodedElems || C > MaxDecodedElems ||
+        dimProductTooLarge(R, C))
+      return Status::error("value: matrix shape does not match payload");
     AUGUR_ASSIGN_OR_RETURN(std::vector<double> D,
                            decodeRealArray(J.find("d"), "d"));
-    if (R < 0 || C < 0 || int64_t(D.size()) != R * C)
+    if (int64_t(D.size()) != R * C)
       return Status::error("value: matrix shape does not match payload");
     Matrix M(R, C);
     std::copy(D.begin(), D.end(), M.data());
@@ -187,9 +210,13 @@ Result<Value> augur::serve::decodeValue(const Json &J) {
   if (T == "mv") {
     int64_t N = J.getInt("n", -1), R = J.getInt("r", -1),
             C = J.getInt("c", -1);
+    if (N < 0 || R < 0 || C < 0 || N > MaxDecodedElems ||
+        R > MaxDecodedElems || C > MaxDecodedElems ||
+        dimProductTooLarge(R, C) || dimProductTooLarge(N, R * C))
+      return Status::error("value: matvec shape does not match payload");
     AUGUR_ASSIGN_OR_RETURN(std::vector<double> D,
                            decodeRealArray(J.find("d"), "d"));
-    if (N < 0 || R < 0 || C < 0 || int64_t(D.size()) != N * R * C)
+    if (int64_t(D.size()) != N * R * C)
       return Status::error("value: matvec shape does not match payload");
     MatVec MV(N, R, C);
     for (int64_t I = 0; I < N; ++I)
@@ -287,7 +314,19 @@ Result<Request> augur::serve::decodeRequest(const Json &J) {
     return Status::error("sample request is missing 'model'");
   S.Schedule = J.getStr("schedule", "");
   S.NativeCpu = J.getBool("native", false);
-  S.Threads = int(J.getInt("threads", 1));
+  // Clamp the pool width server-side: `threads` flows into the keyed
+  // ThreadPool registry, whose pools live for the daemon's lifetime, so
+  // an unvalidated client value is a resource-exhaustion vector (one
+  // permanent OS pool per distinct width, unbounded width). Clamping
+  // here, before artifactKey, also collapses all oversized requests
+  // onto one cache entry.
+  int64_t MaxThreads = maxServedThreads();
+  int64_t Threads = J.getInt("threads", 1);
+  if (Threads < 1)
+    Threads = 1;
+  if (Threads > MaxThreads)
+    Threads = MaxThreads;
+  S.Threads = int(Threads);
   if (const Json *Args = J.find("args")) {
     if (!Args->isArr())
       return Status::error("'args' must be an array");

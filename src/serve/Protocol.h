@@ -76,6 +76,12 @@ enum class ErrorCode {
 
 const char *errorCodeName(ErrorCode C);
 
+/// Server-side ceiling on SampleRequest::Threads: max(8, 2x the host's
+/// hardware concurrency). Generous enough for modest oversubscription
+/// (small pooled widths on small hosts), bounded so a client cannot
+/// mint unbounded permanent entries in the keyed ThreadPool registry.
+int maxServedThreads();
+
 /// A posterior-sampling request: everything needed to compile the model
 /// (identity of the cached artifact) plus the query (per-request knobs
 /// that deliberately do NOT enter the artifact key, so hot models skip
@@ -85,7 +91,9 @@ struct SampleRequest {
   std::string Model;        ///< model surface source
   std::string Schedule;     ///< user schedule ("" = heuristic)
   bool NativeCpu = false;   ///< emit C + dlopen instead of interpreting
-  int Threads = 1;          ///< pool width for Par/AtmPar loops
+  int Threads = 1;          ///< pool width for Par/AtmPar loops; the
+                            ///< decoder clamps client values to
+                            ///< [1, maxServedThreads()]
   std::vector<Value> Args;  ///< hyper arguments, in formal order
   Env Data;                 ///< observed data by variable name
 

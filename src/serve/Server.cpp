@@ -2,14 +2,17 @@
 
 #include "serve/Server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <iterator>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -138,21 +141,36 @@ void Server::stop() {
   Stopped = true;
   requestStop();
   // Workers first: queued jobs drain and their responses flush before
-  // any connection is torn down.
+  // any connection is torn down. Bounded even against a stalled client
+  // because every client socket carries SO_SNDTIMEO (acceptLoop), so a
+  // blocked response write errors out instead of wedging a worker.
   for (auto &T : WorkerThreads)
     T.join();
   AcceptThread.join();
+  // Unblock readers mid-read, then collect every outstanding reader
+  // handle: live readers park theirs in DoneReaders as they exit, and
+  // already-exited readers are parked there too.
+  std::vector<std::thread> Readers;
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
-    for (auto &C : Conns)
+    for (auto &C : Conns) {
       if (C->Fd >= 0)
-        ::shutdown(C->Fd, SHUT_RDWR); // unblocks readers mid-read
+        ::shutdown(C->Fd, SHUT_RDWR);
+      if (C->Reader.joinable())
+        Readers.push_back(std::move(C->Reader));
+    }
+    Readers.insert(Readers.end(),
+                   std::make_move_iterator(DoneReaders.begin()),
+                   std::make_move_iterator(DoneReaders.end()));
+    DoneReaders.clear();
   }
-  for (auto &T : ReaderThreads)
-    T.join();
+  for (auto &T : Readers)
+    if (T.joinable())
+      T.join();
   {
     std::lock_guard<std::mutex> Lock(ConnMu);
     Conns.clear();
+    DoneReaders.clear(); // moved-from handles parked by exiting readers
   }
   if (ListenFd >= 0)
     ::close(ListenFd);
@@ -163,6 +181,26 @@ void Server::stop() {
     ::unlink(Opts.UnixPath.c_str());
 }
 
+/// Joins reader threads whose connections have already exited. Called
+/// from the accept thread between accepts and from stop(), so a
+/// long-lived daemon's thread count tracks live connections, not total
+/// connections ever served.
+void Server::reapReaders() {
+  std::vector<std::thread> Done;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Done.swap(DoneReaders);
+  }
+  for (auto &T : Done)
+    if (T.joinable())
+      T.join();
+}
+
+size_t Server::connectionCount() {
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  return Conns.size();
+}
+
 void Server::acceptLoop() {
   for (;;) {
     pollfd P[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
@@ -171,6 +209,7 @@ void Server::acceptLoop() {
         continue;
       return;
     }
+    reapReaders();
     if (P[1].revents != 0)
       return; // shutdown byte
     if ((P[0].revents & POLLIN) == 0)
@@ -178,13 +217,24 @@ void Server::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
+    if (Opts.WriteTimeoutMillis > 0) {
+      // A client that stops reading must not wedge a worker in a
+      // blocking write forever; see ServerOptions::WriteTimeoutMillis.
+      timeval TV;
+      TV.tv_sec = Opts.WriteTimeoutMillis / 1000;
+      TV.tv_usec = suseconds_t((Opts.WriteTimeoutMillis % 1000) * 1000);
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+    }
     auto C = std::make_shared<Conn>(Fd);
     {
+      // Holding ConnMu across the thread start so the reader's exit
+      // path (which moves C->Reader under the same lock) cannot race
+      // the assignment.
       std::lock_guard<std::mutex> Lock(ConnMu);
       Conns.push_back(C);
+      C->Reader = std::thread([this, C] { connectionLoop(C); });
     }
     Recorder::global().count("serve/connections");
-    ReaderThreads.emplace_back([this, C] { connectionLoop(C); });
   }
 }
 
@@ -308,12 +358,21 @@ void Server::connectionLoop(std::shared_ptr<Conn> C) {
     }
     }
   }
-  C->Alive.store(false, std::memory_order_relaxed);
-  // Half-close so the peer observes EOF now rather than at server
-  // teardown (the Conn's fd itself closes when the last shared_ptr —
-  // possibly held by an in-flight job — drops). Any worker still
-  // streaming to this connection fails its next write and aborts.
-  ::shutdown(C->Fd, SHUT_RDWR);
+  // Read side is done. SHUT_RD only: a client that half-closes its
+  // write side after sending requests is still reading, so in-flight
+  // response streams (workers holding a lease on this Conn) must keep
+  // flowing; the fd itself closes — sending FIN — when the last
+  // shared_ptr drops. Alive stays true for the same reason.
+  ::shutdown(C->Fd, SHUT_RD);
+  {
+    // Reclaim this connection's slot: drop it from the live set (so
+    // the daemon's footprint tracks live clients, not clients ever
+    // seen) and park the thread handle for the accept thread to join.
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.erase(std::remove(Conns.begin(), Conns.end(), C), Conns.end());
+    if (C->Reader.joinable())
+      DoneReaders.push_back(std::move(C->Reader));
+  }
 }
 
 void Server::workerLoop() {

@@ -12,7 +12,11 @@
 /// Threading model:
 ///   - one accept thread (unblocked on shutdown via a self-pipe),
 ///   - one reader thread per connection, which answers ping/metrics
-///     inline and enqueues sample jobs,
+///     inline and enqueues sample jobs; on disconnect the reader
+///     removes its connection from the live set (closing the fd once
+///     the last in-flight job drops its lease) and parks its thread
+///     handle for the accept thread to join, so a long-lived daemon
+///     never accumulates dead fds or threads,
 ///   - ServerOptions::Workers sampling worker threads draining a
 ///     bounded job queue (admission control: a full queue rejects with
 ///     a structured `overloaded` error instead of building unbounded
@@ -69,6 +73,10 @@ struct ServerOptions {
   size_t QueueLimit = 16;
   /// Maximum resident compiled artifacts (LRU beyond this).
   size_t CacheCapacity = 8;
+  /// SO_SNDTIMEO applied to every client socket: a client that stops
+  /// reading its response stream (TCP backpressure) errors the worker's
+  /// write after this long instead of wedging it forever. 0 disables.
+  int64_t WriteTimeoutMillis = 10000;
 };
 
 /// A compiled model plus the lock that serializes sampling on its chain
@@ -114,17 +122,26 @@ public:
   /// the metrics op).
   ArtifactCacheStats cacheStats() const { return Cache.stats(); }
 
+  /// Number of currently-live client connections (readers that have not
+  /// seen EOF). Disconnected clients leave this count immediately even
+  /// while a final in-flight job drains.
+  size_t connectionCount();
+
 private:
   /// One client connection. The reader thread and any number of worker
   /// jobs share it via shared_ptr; whoever drops the last reference
   /// closes the socket, so a response stream never writes to a
-  /// recycled fd.
+  /// recycled fd. The reader erases the Conn from `Conns` on exit, so a
+  /// disconnected client's fd is reclaimed as soon as its last in-flight
+  /// job finishes — an always-on daemon holds no per-dead-connection
+  /// state.
   struct Conn {
     explicit Conn(int Fd) : Fd(Fd) {}
     ~Conn();
     int Fd;
     std::mutex WriteMu; ///< serializes frames from reader + workers
     std::atomic<bool> Alive{true};
+    std::thread Reader; ///< assigned under ConnMu; reaped via DoneReaders
   };
 
   /// One queued sampling request.
@@ -146,6 +163,7 @@ private:
   void sendError(Conn &C, uint64_t Id, ErrorCode Code,
                  const std::string &Message);
   size_t queueDepth();
+  void reapReaders();
 
   ServerOptions Opts;
   mutable ArtifactCache<ServedModel> Cache;
@@ -158,10 +176,10 @@ private:
 
   std::thread AcceptThread;
   std::vector<std::thread> WorkerThreads;
-  std::vector<std::thread> ReaderThreads; ///< touched by accept thread
-                                          ///< only, joined after it
   std::mutex ConnMu;
-  std::vector<std::shared_ptr<Conn>> Conns;
+  std::vector<std::shared_ptr<Conn>> Conns; ///< live connections only
+  std::vector<std::thread> DoneReaders; ///< exited readers awaiting join
+                                        ///< (reaped by acceptLoop/stop)
 
   std::mutex QueueMu;
   std::condition_variable QueueCv;

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include <cstring>
+#include <thread>
 #include <unistd.h>
 
 #include <sys/socket.h>
@@ -195,9 +196,52 @@ TEST(ServeProtocol, ValueCodecRejectsMalformedEncodings) {
   }
 }
 
+TEST(ServeProtocol, ValueCodecRejectsOverflowingDims) {
+  // Adversarial dims whose product overflows int64 must be rejected
+  // before the product is ever formed (a network-facing parser cannot
+  // tolerate signed-overflow UB on client-controlled fields).
+  for (const char *Bad : {
+           R"({"t":"m","r":4294967296,"c":4294967296,"d":[1.0]})",
+           R"({"t":"m","r":9223372036854775807,"c":2,"d":[1.0]})",
+           R"({"t":"m","r":2,"c":9223372036854775807,"d":[1.0]})",
+           R"({"t":"mv","n":4294967296,"r":4294967296,"c":4294967296,"d":[1.0]})",
+           R"({"t":"mv","n":9223372036854775807,"r":2,"c":2,"d":[1.0]})",
+           R"({"t":"mv","n":2,"r":9223372036854775807,"c":2,"d":[1.0]})"
+       }) {
+    Result<Json> J = parseJson(Bad);
+    ASSERT_TRUE(J.ok()) << Bad;
+    EXPECT_FALSE(decodeValue(*J).ok()) << "accepted: " << Bad;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Request codec
 //===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, RequestClampsThreadsServerSide) {
+  // `threads` feeds the daemon's keyed ThreadPool registry, whose pools
+  // are permanent; client values must be clamped to the server ceiling.
+  Request R;
+  R.Kind = Request::Op::Sample;
+  R.Sample = gmmRequest(/*N=*/8);
+
+  R.Sample.Threads = 10000;
+  Result<Request> Big = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(Big.ok()) << Big.message();
+  EXPECT_EQ(Big->Sample.Threads, maxServedThreads());
+
+  R.Sample.Threads = -5;
+  Result<Request> Neg = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(Neg.ok()) << Neg.message();
+  EXPECT_EQ(Neg->Sample.Threads, 1);
+
+  // Distinct oversized widths collapse onto one clamped width, hence
+  // one artifact and one pool — not one permanent pool per width.
+  R.Sample.Threads = 20000;
+  Result<Request> Big2 = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(Big2.ok()) << Big2.message();
+  EXPECT_EQ(artifactKey(Big->Sample), artifactKey(Big2->Sample));
+}
 
 TEST(ServeProtocol, RequestRoundTripsSampleOp) {
   Request R;

@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -185,6 +186,72 @@ TEST(ServeServer, MalformedFramesGetStructuredErrors) {
   // The daemon itself is unaffected.
   Client C = L.connect();
   EXPECT_TRUE(C.ping().ok());
+}
+
+TEST(ServeServer, DisconnectedConnectionsAreReclaimed) {
+  LiveServer L;
+  // Churn connections the way a long-lived daemon sees them: connect,
+  // round-trip once, disconnect. Every dead connection must leave the
+  // live set (releasing its fd and parking its reader thread) — a
+  // daemon that retains per-dead-client state exhausts fd/thread
+  // limits under sustained traffic.
+  for (int I = 0; I < 16; ++I) {
+    Client C = L.connect();
+    ASSERT_TRUE(C.connected());
+    ASSERT_TRUE(C.ping(uint64_t(I)).ok());
+  } // ~Client closes the socket; the reader sees EOF and self-reclaims
+  for (int Spin = 0; Spin < 500 && L.S.connectionCount() != 0; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(L.S.connectionCount(), 0u);
+
+  // The daemon still serves new clients after the churn.
+  Client C = L.connect();
+  EXPECT_TRUE(C.ping().ok());
+}
+
+TEST(ServeServer, HalfClosedClientStillReceivesItsStream) {
+  SampleRequest SR = gmmRequest(/*N=*/40);
+  SR.NumSamples = 6;
+
+  LiveServer L;
+  // Raw socket so we can half-close the write side, the shape of a
+  // client that pipelines its requests and then shutdown(SHUT_WR)s:
+  // the server's reader sees EOF while the response stream is still
+  // owed, and must not tear down the write side with it.
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(L.S.port()));
+  ASSERT_EQ(1, inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr));
+  ASSERT_EQ(0, ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr)));
+
+  Request R;
+  R.Kind = Request::Op::Sample;
+  R.Id = 77;
+  R.Sample = SR;
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(R).dump()).ok());
+  ASSERT_EQ(0, ::shutdown(Fd, SHUT_WR));
+
+  // The full stream still arrives: every draw frame, then done.
+  size_t Draws = 0;
+  bool Done = false, Eof = false;
+  while (!Done && !Eof) {
+    Result<Json> F = readJsonFrame(Fd, Eof);
+    if (Eof)
+      break;
+    ASSERT_TRUE(F.ok()) << F.message();
+    std::string Type = F->getStr("type", "");
+    ASSERT_NE(Type, "error") << F->getStr("message", "");
+    if (Type == "draw")
+      ++Draws;
+    else if (Type == "done")
+      Done = true;
+  }
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(Draws, size_t(SR.NumSamples));
+  close(Fd);
 }
 
 TEST(ServeServer, StreamedDrawsBitIdenticalToDirectInfer) {
