@@ -23,9 +23,32 @@
 #include "models/PaperModels.h"
 #include "support/AtomicFile.h"
 #include "support/Format.h"
+#include "telemetry/Telemetry.h"
 
 namespace augur {
 namespace bench {
+
+/// Streaming percentile tracker over telemetry's log-spaced bucket
+/// scheme (telemetry::HistogramStats): O(1) per observation, mergeable
+/// across worker threads, and the SAME estimator the /metrics scrape
+/// endpoint and metrics.json v2 report — so a bench's p50/p95/p99
+/// agrees with what an operator sees on a live deployment, which
+/// sort-all-samples percentile math did not guarantee.
+class Quantiles {
+public:
+  void observe(double V) { H.observe(V); }
+  void merge(const Quantiles &O) { H.merge(O.H); }
+  uint64_t count() const { return H.Count; }
+  double mean() const { return H.mean(); }
+  double min() const { return H.Count ? H.Min : 0.0; }
+  double max() const { return H.Count ? H.Max : 0.0; }
+  double p50() const { return H.Count ? H.p50() : 0.0; }
+  double p95() const { return H.Count ? H.p95() : 0.0; }
+  double p99() const { return H.Count ? H.p99() : 0.0; }
+
+private:
+  HistogramStats H;
+};
 
 /// Emits one BENCH_*.json payload crash-safely (tmp + fsync + atomic
 /// rename; support/AtomicFile.h — the same writer checkpoints and

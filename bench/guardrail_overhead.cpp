@@ -82,6 +82,7 @@ ModelSpec gmmHmcSpec() {
 
 struct RunResult {
   double Secs = 0.0;
+  Quantiles SweepMs; ///< per-sweep wall time distribution
   Env FinalState;
 };
 
@@ -101,9 +102,12 @@ RunResult runChain(const ModelSpec &M, bool Guarded, int Sweeps) {
   MCMCProgram &Prog = Aug.program();
   RunResult R;
   Timer T;
-  for (int I = 0; I < Sweeps; ++I)
+  for (int I = 0; I < Sweeps; ++I) {
+    Timer Sweep;
     if (!Prog.step().ok())
       std::exit(1);
+    R.SweepMs.observe(Sweep.seconds() * 1e3);
+  }
   R.Secs = T.seconds();
   for (const auto &F : Prog.densityModel().Joint.Factors)
     if (F.Role == VarRole::Param)
@@ -126,6 +130,7 @@ struct Row {
   std::string Name;
   int Sweeps = 0;
   double OffUs = 0.0, OnUs = 0.0, OverheadPct = 0.0;
+  double OnP50Ms = 0.0, OnP95Ms = 0.0, OnP99Ms = 0.0;
   bool Identical = false;
 };
 
@@ -153,10 +158,16 @@ Row benchGuardrails(const ModelSpec &M) {
   R.OffUs = OffBest * 1e6 / double(R.Sweeps);
   R.OnUs = OnBest * 1e6 / double(R.Sweeps);
   R.OverheadPct = R.OffUs > 0.0 ? (R.OnUs / R.OffUs - 1.0) * 100.0 : 0.0;
+  // Tail view of the guarded run (bench::Quantiles): mean overhead can
+  // hide a guard that only costs on the slowest sweeps.
+  R.OnP50Ms = On.SweepMs.p50();
+  R.OnP95Ms = On.SweepMs.p95();
+  R.OnP99Ms = On.SweepMs.p99();
   R.Identical = statesIdentical(On.FinalState, Off.FinalState);
   std::printf("%-8s guard off %9.1f us/sweep, on %9.1f us/sweep -> "
-              "%+5.2f%%  %s\n",
-              R.Name.c_str(), R.OffUs, R.OnUs, R.OverheadPct,
+              "%+5.2f%%  (on p50/p95/p99 %.2f/%.2f/%.2f ms)  %s\n",
+              R.Name.c_str(), R.OffUs, R.OnUs, R.OverheadPct, R.OnP50Ms,
+              R.OnP95Ms, R.OnP99Ms,
               R.Identical ? "streams-identical" : "STREAMS DIVERGE");
   if (!R.Identical)
     std::exit(1);
@@ -253,6 +264,9 @@ int main(int Argc, char **Argv) {
     Out += strFormat("      \"sweep_us_guard_on\": %.2f,\n", R.OnUs);
     Out += strFormat("      \"guardrail_overhead_pct\": %.2f,\n",
                      R.OverheadPct);
+    Out += strFormat("      \"sweep_on_p50_ms\": %.4f,\n", R.OnP50Ms);
+    Out += strFormat("      \"sweep_on_p95_ms\": %.4f,\n", R.OnP95Ms);
+    Out += strFormat("      \"sweep_on_p99_ms\": %.4f,\n", R.OnP99Ms);
     Out += strFormat("      \"streams_identical\": %s\n",
                      R.Identical ? "true" : "false");
     Out += strFormat("    }%s\n", I + 1 < Rows.size() ? "," : "");

@@ -37,6 +37,7 @@ struct RunResult {
   uint64_t ParIters = 0;
   uint64_t ParChunks = 0;
   uint64_t ParSteals = 0;
+  Quantiles SweepMs; ///< per-sweep wall time distribution
 };
 
 struct BenchRow {
@@ -66,11 +67,14 @@ RunResult runSweeps(const char *Model, const std::vector<Value> &Args,
   TC.Enabled = true;
   Rec.configure(TC);
   Aug.program().engine().setTelemetry(&Rec, "exec/");
+  RunResult R;
   Timer T;
-  for (int I = 0; I < NumSweeps; ++I)
+  for (int I = 0; I < NumSweeps; ++I) {
+    Timer Sweep;
     if (!Aug.program().step().ok())
       std::exit(1);
-  RunResult R;
+    R.SweepMs.observe(Sweep.seconds() * 1e3);
+  }
   R.Seconds = T.seconds();
   R.ParLoops = Rec.counterValue("exec/par_loops");
   R.ParIters = Rec.counterValue("exec/par_iters");
@@ -132,8 +136,9 @@ int main() {
   std::printf("== Parallel runtime: Gibbs sweep speedup, %d sweeps, "
               "%d threads ==\n",
               NumSweeps, Threads);
-  std::printf("%-28s %10s %10s %8s %10s %8s\n", "Model", "seq(s)",
-              "par(s)", "speedup", "occupancy", "steal%");
+  std::printf("%-28s %10s %10s %8s %10s %8s %10s %10s\n", "Model",
+              "seq(s)", "par(s)", "speedup", "occupancy", "steal%",
+              "swp p50", "swp p95");
 
   std::vector<BenchRow> Rows;
   Rows.push_back(runHgmm(/*K=*/3, /*D=*/2, /*N=*/2000));
@@ -142,9 +147,10 @@ int main() {
 
   for (const auto &R : Rows) {
     double Speedup = R.Par.Seconds > 0 ? R.Seq.Seconds / R.Par.Seconds : 0;
-    std::printf("%-28s %10.3f %10.3f %7.2fx %9.1f%% %7.1f%%\n",
+    std::printf("%-28s %10.3f %10.3f %7.2fx %9.1f%% %7.1f%% %8.1fms %8.1fms\n",
                 R.Name.c_str(), R.Seq.Seconds, R.Par.Seconds, Speedup,
-                100.0 * R.Par.Occupancy, 100.0 * R.Par.StealFraction);
+                100.0 * R.Par.Occupancy, 100.0 * R.Par.StealFraction,
+                R.Par.SweepMs.p50(), R.Par.SweepMs.p95());
   }
 
   if (Threads <= 1)
@@ -165,13 +171,16 @@ int main() {
         "\"par_seconds\": %.6f, \"speedup\": %.4f, "
         "\"occupancy\": %.4f, \"steal_fraction\": %.4f, "
         "\"par_loops\": %llu, \"par_iters\": %llu, "
-        "\"par_chunks\": %llu, \"par_steals\": %llu}%s\n",
+        "\"par_chunks\": %llu, \"par_steals\": %llu, "
+        "\"seq_sweep_p50_ms\": %.4f, \"seq_sweep_p95_ms\": %.4f, "
+        "\"par_sweep_p50_ms\": %.4f, \"par_sweep_p95_ms\": %.4f}%s\n",
         R.Name.c_str(), R.Seq.Seconds, R.Par.Seconds, Speedup,
         R.Par.Occupancy, R.Par.StealFraction,
         (unsigned long long)R.Par.ParLoops,
         (unsigned long long)R.Par.ParIters,
         (unsigned long long)R.Par.ParChunks,
-        (unsigned long long)R.Par.ParSteals,
+        (unsigned long long)R.Par.ParSteals, R.Seq.SweepMs.p50(),
+        R.Seq.SweepMs.p95(), R.Par.SweepMs.p50(), R.Par.SweepMs.p95(),
         I + 1 < Rows.size() ? "," : "");
   }
   Out += "  ]\n}\n";

@@ -54,14 +54,6 @@ struct LevelResult {
   }
 };
 
-double percentile(const std::vector<double> &Sorted, double Q) {
-  if (Sorted.empty())
-    return 0.0;
-  double Rank = Q * double(Sorted.size());
-  size_t Idx = Rank <= 1.0 ? 0 : size_t(std::ceil(Rank)) - 1;
-  return Sorted[std::min(Idx, Sorted.size() - 1)];
-}
-
 /// One concurrency level against a fresh daemon: every client cycles
 /// through the model mix, varying the seed per request (seeds are
 /// excluded from the artifact key, so only the first request per model
@@ -78,8 +70,10 @@ LevelResult runLevel(int Clients, int ReqPerClient, int NumSamples) {
   }
 
   const std::vector<SampleRequest> Mix = standardWorkloads();
-  std::vector<std::vector<double>> Lat;
-  Lat.resize(size_t(Clients));
+  // Per-client streaming trackers (bench::Quantiles), merged after
+  // join: lock-free during the timed region, and the same bucketed
+  // estimator the daemon's own /metrics latency summary uses.
+  std::vector<Quantiles> Lat(static_cast<size_t>(Clients));
   std::atomic<int> Errors{0}, Hits{0};
 
   Timer Wall;
@@ -105,7 +99,7 @@ LevelResult runLevel(int Clients, int ReqPerClient, int NumSamples) {
                        R.message().c_str());
           continue;
         }
-        Lat[size_t(C)].push_back(Ms);
+        Lat[size_t(C)].observe(Ms);
         if (R->CacheHit)
           Hits.fetch_add(1);
       }
@@ -120,13 +114,12 @@ LevelResult runLevel(int Clients, int ReqPerClient, int NumSamples) {
   L.Errors = Errors.load();
   L.CacheHits = Hits.load();
 
-  std::vector<double> All;
-  for (const auto &V : Lat)
-    All.insert(All.end(), V.begin(), V.end());
-  std::sort(All.begin(), All.end());
-  L.P50Ms = percentile(All, 0.50);
-  L.P95Ms = percentile(All, 0.95);
-  L.P99Ms = percentile(All, 0.99);
+  Quantiles All;
+  for (const Quantiles &Q : Lat)
+    All.merge(Q);
+  L.P50Ms = All.p50();
+  L.P95Ms = All.p95();
+  L.P99Ms = All.p99();
 
   S.stop();
   return L;

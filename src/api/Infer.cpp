@@ -186,6 +186,10 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
                               SamplesKept)));
   for (const auto &CU : Prog.updates())
     Out.AcceptRates[updateDisplayName(CU.U)] = CU.Stats.acceptRate();
+  if (diag::ChainDiag *D = Prog.chainDiag()) {
+    Out.Rhat = D->rhats();
+    Out.Ess = D->esses();
+  }
   return Out;
 }
 

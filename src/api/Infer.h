@@ -41,6 +41,12 @@ struct SampleSet {
   /// Final acceptance rate per base update, keyed by the update's
   /// display name (e.g. "HMC(mu)"); filled after collection.
   std::map<std::string, double> AcceptRates;
+  /// Final streaming convergence diagnostics per monitored variable
+  /// (diag/ChainDiag.h), filled after collection when the program was
+  /// compiled with CompileOptions::Diag enabled. R̂ is NaN while
+  /// undefined (e.g. constant chains); ESS is clamped to [1, sweeps].
+  std::map<std::string, double> Rhat;
+  std::map<std::string, double> Ess;
 
   size_t size() const { return LogJoint.size(); }
 

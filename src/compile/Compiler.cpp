@@ -66,6 +66,14 @@ Status MCMCProgram::resetForReuse(uint64_t Seed, int ChainIndex) {
     FCBypKey = ChainPrefix + "fc/byproduct_refreshes";
     FCMaintKey = ChainPrefix + "fc/maint_ns";
   }
+  if (Diag) {
+    Diag->rebind(ChainIndex);
+    DiagDivKey = ChainPrefix + "diag/divergences";
+    DiagRetryKey = ChainPrefix + "diag/guard_retries";
+    DiagFallKey = ChainPrefix + "diag/guard_fallbacks";
+    DiagQuarKey = ChainPrefix + "diag/guard_quarantines";
+    DiagLastDiv = DiagLastRetry = DiagLastFall = DiagLastQuar = 0;
+  }
   for (auto &CU : Updates) {
     // Exactly the state compileUpdate establishes on a fresh compile:
     // adapted step sizes, acceptance counters, and guard history from
@@ -113,6 +121,33 @@ Status MCMCProgram::step() {
       FCLastHits = Cache->CacheHits;
       FCLastByp = Cache->ByproductRefreshes;
       FCLastMaint = Cache->MaintNanos;
+    }
+  }
+  if (Diag) {
+    // Streaming R̂/ESS accumulate even without a recorder (the API
+    // surfaces them on SampleSet); only the gauge publication and the
+    // rollup counters need telemetry. Reads state, never writes it,
+    // never consumes RNG — the sample stream is bit-identical on/off.
+    Diag->observeSweep(Eng->env());
+    if (R.enabled()) {
+      Diag->publish(R);
+      uint64_t Div = 0, Retry = 0, Fall = 0, Quar = 0;
+      for (const auto &CU : Updates) {
+        Div += CU.Stats.Divergences;
+        Retry += CU.Guard.Retries;
+        Fall += CU.Guard.Fallbacks;
+        Quar += CU.Guard.Quarantines;
+      }
+      // Per-sweep deltas; zero deltas still materialize the keys so
+      // both backends report the same key set.
+      R.count(DiagDivKey, Div - DiagLastDiv);
+      R.count(DiagRetryKey, Retry - DiagLastRetry);
+      R.count(DiagFallKey, Fall - DiagLastFall);
+      R.count(DiagQuarKey, Quar - DiagLastQuar);
+      DiagLastDiv = Div;
+      DiagLastRetry = Retry;
+      DiagLastFall = Fall;
+      DiagLastQuar = Quar;
     }
   }
   return Status::success();
@@ -264,6 +299,7 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   // spec (env wins over the field) arms the process-wide injector.
   CompileOptions Resolved = Opts;
   AUGUR_RETURN_IF_ERROR(robust::applyGuardrailEnv(Resolved.Guard));
+  diag::DiagOptions::applyEnv(Resolved.Diag);
   AUGUR_RETURN_IF_ERROR(
       robust::FaultInjector::global().configureFromOptions(Opts.FaultSpec));
 
@@ -409,6 +445,19 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
     Prog->FCHitsKey = ChainPrefix + "fc/cache_hits";
     Prog->FCBypKey = ChainPrefix + "fc/byproduct_refreshes";
     Prog->FCMaintKey = ChainPrefix + "fc/maint_ns";
+  }
+
+  // Observability plane: one streaming accumulator per model parameter
+  // (in declaration order, capped by DiagOptions::MaxVars). Both
+  // backends run MCMCProgram::step(), so the chain<k>/diag/* key set
+  // is identical interp-vs-native by construction.
+  if (Resolved.Diag.Enabled) {
+    Prog->Diag = std::make_unique<diag::ChainDiag>(
+        Resolved.Diag, Parsed.paramNames(), Opts.ChainIndex);
+    Prog->DiagDivKey = ChainPrefix + "diag/divergences";
+    Prog->DiagRetryKey = ChainPrefix + "diag/guard_retries";
+    Prog->DiagFallKey = ChainPrefix + "diag/guard_fallbacks";
+    Prog->DiagQuarKey = ChainPrefix + "diag/guard_quarantines";
   }
   return Prog;
 }

@@ -18,6 +18,7 @@
 
 #include "density/DepGraph.h"
 #include "density/Frontend.h"
+#include "diag/ChainDiag.h"
 #include "exec/FactorCache.h"
 #include "exec/GpuSim.h"
 #include "kernel/Schedule.h"
@@ -81,6 +82,14 @@ struct CompileOptions {
   /// time. The env var AUGUR_FAULT_SPEC wins over this field. Empty
   /// (the default) disables injection.
   std::string FaultSpec;
+  /// Streaming convergence diagnostics (DESIGN.md "Observability
+  /// plane"): per-variable split-R̂/ESS accumulated every sweep and
+  /// published as chain<k>/diag/* gauges, plus divergence/guard rollup
+  /// counters. Off by default — no accumulator is allocated and step()
+  /// pays nothing. The env var AUGUR_DIAG overrides ("0" disables,
+  /// anything else enables). Diagnostics never consume RNG and never
+  /// write model state, so the sample stream is bit-identical on/off.
+  diag::DiagOptions Diag;
 };
 
 /// A compiled, executable composite MCMC algorithm.
@@ -122,6 +131,10 @@ public:
   /// The factor dependency graph (CPU target), or nullptr.
   const DepGraph *depGraph() const { return DG.get(); }
 
+  /// The streaming convergence diagnostics of this chain, or nullptr
+  /// when CompileOptions::Diag left them disabled.
+  diag::ChainDiag *chainDiag() { return Diag.get(); }
+
   Env &state() { return Eng->env(); }
   Engine &engine() { return *Eng; }
   const DensityModel &densityModel() const { return DM; }
@@ -149,6 +162,14 @@ private:
   std::string FCMaintKey;    ///< "chain<k>/fc/maint_ns"
   // Last-flushed cache statistics (step() reports per-sweep deltas).
   uint64_t FCLastEval = 0, FCLastHits = 0, FCLastByp = 0, FCLastMaint = 0;
+  std::unique_ptr<diag::ChainDiag> Diag; ///< CompileOptions::Diag only
+  std::string DiagDivKey;   ///< "chain<k>/diag/divergences"
+  std::string DiagRetryKey; ///< "chain<k>/diag/guard_retries"
+  std::string DiagFallKey;  ///< "chain<k>/diag/guard_fallbacks"
+  std::string DiagQuarKey;  ///< "chain<k>/diag/guard_quarantines"
+  // Last-flushed rollup totals (step() reports per-sweep deltas).
+  uint64_t DiagLastDiv = 0, DiagLastRetry = 0, DiagLastFall = 0,
+           DiagLastQuar = 0;
 };
 
 /// The compiler entry point.

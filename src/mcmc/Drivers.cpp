@@ -272,6 +272,8 @@ Status augur::runHmc(McmcCtx &Ctx, CompiledUpdate &CU) {
       T->count(CU.Keys.Divergences);
   }
   CU.LastDiverged = !std::isfinite(LogAR);
+  if (CU.LastDiverged)
+    ++CU.Stats.Divergences;
   if (std::isfinite(LogAR) && logUniform(Rng) < LogAR) {
     ++CU.Stats.Accepted;
     cacheMarkMutated(Ctx, CU);
@@ -449,6 +451,7 @@ Status augur::runNuts(McmcCtx &Ctx, CompiledUpdate &CU) {
       T->count(CU.Keys.Divergences, NC.Divergences);
   }
   CU.LastDiverged = NC.Divergences != 0;
+  CU.Stats.Divergences += NC.Divergences;
   bool Moved = UCur != U0;
   if (Moved)
     ++CU.Stats.Accepted;

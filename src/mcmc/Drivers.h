@@ -31,6 +31,11 @@ class FactorCache;
 struct UpdateStats {
   uint64_t Proposed = 0;
   uint64_t Accepted = 0;
+  /// Divergent trajectories (non-finite acceptance ratio for HMC, tree
+  /// divergences for NUTS). Counted unconditionally — unlike the
+  /// telemetry counters this feeds the chain<k>/diag/divergences
+  /// rollup even when no recorder is attached.
+  uint64_t Divergences = 0;
 
   double acceptRate() const {
     return Proposed == 0 ? 1.0 : double(Accepted) / double(Proposed);

@@ -1,0 +1,185 @@
+//===- serve/Prometheus.cpp - Prometheus text exposition ------------------===//
+
+#include "serve/Prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "support/Format.h"
+
+using namespace augur;
+using namespace augur::serve;
+
+namespace {
+
+/// Exposition-format sample value: decimal, "NaN", "+Inf", or "-Inf".
+std::string promValue(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  return strFormat("%.17g", V);
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+std::string promLabelEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+struct PromName {
+  std::string Metric;
+  std::vector<std::pair<std::string, std::string>> Labels;
+};
+
+bool consumePrefix(std::string &S, const char *Prefix) {
+  size_t N = std::string(Prefix).size();
+  if (S.compare(0, N, Prefix) != 0)
+    return false;
+  S.erase(0, N);
+  return true;
+}
+
+/// Splits a telemetry key into metric name + labels (see file header
+/// of Prometheus.h for the mapping).
+PromName splitKey(const std::string &Key) {
+  PromName P;
+  std::string Rest = Key;
+
+  // "chain<k>/..." -> chain="k" label.
+  if (Rest.compare(0, 5, "chain") == 0) {
+    size_t I = 5;
+    while (I < Rest.size() && std::isdigit((unsigned char)Rest[I]))
+      ++I;
+    if (I > 5 && I < Rest.size() && Rest[I] == '/') {
+      P.Labels.emplace_back("chain", Rest.substr(5, I - 5));
+      Rest.erase(0, I + 1);
+    }
+  }
+
+  // Diagnostic families keep the variable as a label so dashboards can
+  // aggregate across models without exploding the metric namespace.
+  if (consumePrefix(Rest, "diag/rhat/")) {
+    P.Metric = "augur_diag_rhat";
+    P.Labels.emplace_back("var", Rest);
+    return P;
+  }
+  if (consumePrefix(Rest, "diag/ess/")) {
+    P.Metric = "augur_diag_ess";
+    P.Labels.emplace_back("var", Rest);
+    return P;
+  }
+
+  P.Metric = "augur_" + promSanitize(Rest);
+  return P;
+}
+
+std::string renderLabels(
+    const std::vector<std::pair<std::string, std::string>> &Labels,
+    const char *Extra = nullptr) {
+  if (Labels.empty() && !Extra)
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &KV : Labels) {
+    Out += strFormat("%s%s=\"%s\"", First ? "" : ",", KV.first.c_str(),
+                     promLabelEscape(KV.second).c_str());
+    First = false;
+  }
+  if (Extra) {
+    Out += First ? "" : ",";
+    Out += Extra;
+  }
+  Out += "}";
+  return Out;
+}
+
+/// Samples grouped per metric so each family has exactly one # TYPE
+/// line, as the exposition format requires.
+struct Family {
+  const char *Type = "gauge";
+  std::vector<std::string> Lines;
+};
+
+void emitFamilies(const std::map<std::string, Family> &Fams,
+                  std::string &Out) {
+  for (const auto &KV : Fams) {
+    Out += strFormat("# TYPE %s %s\n", KV.first.c_str(), KV.second.Type);
+    for (const std::string &L : KV.second.Lines)
+      Out += L;
+  }
+}
+
+} // namespace
+
+std::string serve::promSanitize(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    bool Ok = std::isalnum((unsigned char)C) || C == '_' || C == ':';
+    Out.push_back(Ok ? C : '_');
+  }
+  if (!Out.empty() && std::isdigit((unsigned char)Out[0]))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string serve::renderPrometheusText(const PromSnapshot &S) {
+  std::map<std::string, Family> Fams;
+
+  for (const auto &KV : S.Counters) {
+    PromName P = splitKey(KV.first);
+    std::string Name = P.Metric + "_total";
+    Family &F = Fams[Name];
+    F.Type = "counter";
+    F.Lines.push_back(strFormat("%s%s %llu\n", Name.c_str(),
+                                renderLabels(P.Labels).c_str(),
+                                (unsigned long long)KV.second));
+  }
+
+  for (const auto &KV : S.Gauges) {
+    PromName P = splitKey(KV.first);
+    Family &F = Fams[P.Metric];
+    F.Type = "gauge";
+    F.Lines.push_back(strFormat("%s%s %s\n", P.Metric.c_str(),
+                                renderLabels(P.Labels).c_str(),
+                                promValue(KV.second).c_str()));
+  }
+
+  for (const auto &KV : S.Hists) {
+    PromName P = splitKey(KV.first);
+    const HistogramStats &H = KV.second;
+    Family &F = Fams[P.Metric];
+    F.Type = "summary";
+    const std::pair<const char *, double> Qs[] = {
+        {"quantile=\"0.5\"", H.p50()},
+        {"quantile=\"0.95\"", H.p95()},
+        {"quantile=\"0.99\"", H.p99()}};
+    for (const auto &Q : Qs)
+      F.Lines.push_back(strFormat("%s%s %s\n", P.Metric.c_str(),
+                                  renderLabels(P.Labels, Q.first).c_str(),
+                                  promValue(Q.second).c_str()));
+    F.Lines.push_back(strFormat("%s_sum%s %s\n", P.Metric.c_str(),
+                                renderLabels(P.Labels).c_str(),
+                                promValue(H.Sum).c_str()));
+    F.Lines.push_back(strFormat("%s_count%s %llu\n", P.Metric.c_str(),
+                                renderLabels(P.Labels).c_str(),
+                                (unsigned long long)H.Count));
+  }
+
+  std::string Out;
+  emitFamilies(Fams, Out);
+  return Out;
+}

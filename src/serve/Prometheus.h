@@ -1,0 +1,48 @@
+//===- serve/Prometheus.h - Prometheus text exposition ---------*- C++ -*-===//
+///
+/// \file
+/// Renders the telemetry registry in the Prometheus text exposition
+/// format (version 0.0.4) for the serve daemon's GET /metrics endpoint
+/// (DESIGN.md "Observability plane"). Pure string building over a
+/// snapshot — no sockets here, so the format is unit-testable.
+///
+/// Key mapping: telemetry keys are slash-separated; a leading
+/// "chain<k>/" prefix becomes a chain="k" label, the diag R̂/ESS
+/// families become augur_diag_rhat / augur_diag_ess with a var label,
+/// and everything else maps to "augur_" + the sanitized remainder.
+/// Counters get the conventional "_total" suffix; histograms render as
+/// summaries (quantile series plus _sum/_count).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_PROMETHEUS_H
+#define AUGUR_SERVE_PROMETHEUS_H
+
+#include <map>
+#include <string>
+
+#include "telemetry/Telemetry.h"
+
+namespace augur {
+namespace serve {
+
+/// A point-in-time view of the metric registry to render.
+struct PromSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, HistogramStats> Hists;
+  std::map<std::string, double> Gauges;
+};
+
+/// Sanitizes one telemetry key segment into a legal metric-name chunk:
+/// [a-zA-Z0-9_:], everything else replaced by '_'.
+std::string promSanitize(const std::string &S);
+
+/// Renders the full exposition document: every metric grouped under a
+/// single # TYPE line, samples formatted with %.17g (NaN/+Inf/-Inf per
+/// the exposition grammar), terminated by a trailing newline.
+std::string renderPrometheusText(const PromSnapshot &S);
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_PROMETHEUS_H

@@ -2,6 +2,7 @@
 
 #include "serve/Protocol.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -282,6 +283,11 @@ Json augur::serve::encodeRequest(const Request &R) {
   return J;
 }
 
+uint64_t augur::serve::nextTraceId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<Request> augur::serve::decodeRequest(const Json &J) {
   if (!J.isObj())
     return Status::error("request is not a JSON object");
@@ -292,6 +298,10 @@ Result<Request> augur::serve::decodeRequest(const Json &J) {
         (long long)V, (long long)ProtocolVersion));
   Request R;
   R.Id = uint64_t(J.getInt("id", 0));
+  // Trace ids are minted at decode — the earliest moment the request
+  // exists as a structured object — so even rejected requests carry one
+  // in their error frame and access-log line.
+  R.Trace = nextTraceId();
   std::string Op = J.getStr("op", "");
   if (Op == "metrics") {
     R.Kind = Request::Op::Metrics;
@@ -396,20 +406,25 @@ Json augur::serve::drawFrame(uint64_t Id, int Chain, uint64_t Index,
 }
 
 Json augur::serve::doneFrame(uint64_t Id, int Chains, int Samples,
-                             bool CacheHit, double ElapsedMillis) {
+                             bool CacheHit, double ElapsedMillis,
+                             uint64_t Trace) {
   Json J = responseHead(Id, "done");
   J.set("chains", Json::integer(Chains));
   J.set("samples", Json::integer(Samples));
   J.set("cache_hit", Json::boolean(CacheHit));
   J.set("elapsed_ms", Json::real(ElapsedMillis));
+  if (Trace)
+    J.set("trace", Json::integer(int64_t(Trace)));
   return J;
 }
 
 Json augur::serve::errorFrame(uint64_t Id, ErrorCode Code,
-                              const std::string &Message) {
+                              const std::string &Message, uint64_t Trace) {
   Json J = responseHead(Id, "error");
   J.set("code", Json::str(errorCodeName(Code)));
   J.set("message", Json::str(Message));
+  if (Trace)
+    J.set("trace", Json::integer(int64_t(Trace)));
   return J;
 }
 

@@ -113,8 +113,16 @@ struct Request {
   enum class Op { Sample, Metrics, Ping, Shutdown };
   Op Kind = Op::Ping;
   uint64_t Id = 0; ///< client-chosen id echoed in every response
+  /// Server-minted trace id, assigned at decode (nextTraceId) and
+  /// threaded through compile/sample spans, the access log, and the
+  /// terminal done/error frame — the handle that lets a slow request
+  /// be followed from wire to sweep (DESIGN.md "Observability plane").
+  uint64_t Trace = 0;
   SampleRequest Sample; ///< valid when Kind == Op::Sample
 };
+
+/// Mints a process-unique request trace id (monotonic, never 0).
+uint64_t nextTraceId();
 
 //===----------------------------------------------------------------------===//
 // Value codec
@@ -138,8 +146,9 @@ Json drawFrame(uint64_t Id, int Chain, uint64_t Index,
                const std::vector<std::string> &Names,
                const std::vector<const Value *> &Values, double LogJoint);
 Json doneFrame(uint64_t Id, int Chains, int Samples, bool CacheHit,
-               double ElapsedMillis);
-Json errorFrame(uint64_t Id, ErrorCode Code, const std::string &Message);
+               double ElapsedMillis, uint64_t Trace = 0);
+Json errorFrame(uint64_t Id, ErrorCode Code, const std::string &Message,
+                uint64_t Trace = 0);
 Json pongFrame(uint64_t Id);
 Json byeFrame(uint64_t Id);
 

@@ -18,6 +18,7 @@
 
 #include "api/Diagnostics.h"
 #include "api/Infer.h"
+#include "serve/Prometheus.h"
 #include "support/Format.h"
 #include "support/PhiloxRNG.h"
 
@@ -88,6 +89,35 @@ Status Server::bindListen() {
   return Status::success();
 }
 
+Status Server::bindMetrics() {
+  MetricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (MetricsFd < 0)
+    return Status::error("cannot create metrics socket");
+  int One = 1;
+  ::setsockopt(MetricsFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(Opts.MetricsPort));
+  if (::inet_pton(AF_INET, Opts.MetricsHost.c_str(), &Addr.sin_addr) != 1)
+    return Status::error(
+        strFormat("bad metrics address '%s'", Opts.MetricsHost.c_str()));
+  if (::bind(MetricsFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Status::error(strFormat("cannot bind metrics %s:%d: %s",
+                                   Opts.MetricsHost.c_str(),
+                                   Opts.MetricsPort, std::strerror(errno)));
+  sockaddr_in Bound;
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(MetricsFd, reinterpret_cast<sockaddr *>(&Bound),
+                    &Len) == 0)
+    ResolvedMetricsPort = int(ntohs(Bound.sin_port));
+  if (::listen(MetricsFd, 16) != 0)
+    return Status::error(
+        strFormat("metrics listen failed: %s", std::strerror(errno)));
+  return Status::success();
+}
+
 Status Server::start() {
   if (Started)
     return Status::error("server already started");
@@ -101,12 +131,24 @@ Status Server::start() {
   TelemetryConfig TC;
   TC.Enabled = true;
   TC.SweepLogJoint = false;
+  TC.OutDir = Opts.TelemetryDir.empty() ? "." : Opts.TelemetryDir;
   ensureGlobalTelemetry(TC);
   AUGUR_RETURN_IF_ERROR(bindListen());
+  if (Opts.MetricsPort >= 0)
+    AUGUR_RETURN_IF_ERROR(bindMetrics());
+  if (!Opts.AccessLogPath.empty()) {
+    AccessLog = std::fopen(Opts.AccessLogPath.c_str(), "a");
+    if (!AccessLog)
+      return Status::error(strFormat("cannot open access log '%s': %s",
+                                     Opts.AccessLogPath.c_str(),
+                                     std::strerror(errno)));
+  }
   if (::pipe(WakePipe) != 0)
     return Status::error("cannot create shutdown pipe");
   Started = true;
   AcceptThread = std::thread([this] { acceptLoop(); });
+  if (MetricsFd >= 0)
+    MetricsThread = std::thread([this] { metricsLoop(); });
   for (int I = 0; I < Opts.Workers; ++I)
     WorkerThreads.emplace_back([this] { workerLoop(); });
   return Status::success();
@@ -147,6 +189,8 @@ void Server::stop() {
   for (auto &T : WorkerThreads)
     T.join();
   AcceptThread.join();
+  if (MetricsThread.joinable())
+    MetricsThread.join();
   // Unblock readers mid-read, then collect every outstanding reader
   // handle: live readers park theirs in DoneReaders as they exit, and
   // already-exited readers are parked there too.
@@ -174,11 +218,22 @@ void Server::stop() {
   }
   if (ListenFd >= 0)
     ::close(ListenFd);
+  if (MetricsFd >= 0)
+    ::close(MetricsFd);
   for (int I = 0; I < 2; ++I)
     if (WakePipe[I] >= 0)
       ::close(WakePipe[I]);
   if (!Opts.UnixPath.empty())
     ::unlink(Opts.UnixPath.c_str());
+  if (AccessLog) {
+    // Lines were flushed as written; make the tail durable before the
+    // daemon exits (the shutdown contract of tools/augur_serve).
+    std::lock_guard<std::mutex> Lock(AccessMu);
+    std::fflush(AccessLog);
+    ::fsync(::fileno(AccessLog));
+    std::fclose(AccessLog);
+    AccessLog = nullptr;
+  }
 }
 
 /// Joins reader threads whose connections have already exited. Called
@@ -238,6 +293,148 @@ void Server::acceptLoop() {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Observability plane: /metrics scrape endpoint + access log
+//===----------------------------------------------------------------------===//
+
+/// Accept loop of the HTTP /metrics listener. Shares the shutdown
+/// self-pipe with acceptLoop: neither ever reads the wake byte, so the
+/// level-triggered POLLIN wakes both loops.
+void Server::metricsLoop() {
+  for (;;) {
+    pollfd P[2] = {{MetricsFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    if (::poll(P, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (P[1].revents != 0)
+      return; // shutdown byte
+    if ((P[0].revents & POLLIN) == 0)
+      continue;
+    int Fd = ::accept(MetricsFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    // Scrapes are short one-shot requests; serving them inline keeps
+    // the listener single-threaded and bounded. A slow scraper is cut
+    // off by the socket timeouts rather than blocking shutdown.
+    serveMetricsConn(Fd);
+    ::close(Fd);
+  }
+}
+
+/// Minimal HTTP/1.x exchange: read the request head, answer one GET
+/// /metrics with the exposition document, anything else with 404/405,
+/// close. No keep-alive — Prometheus re-connects per scrape by default
+/// and a one-shot connection cannot wedge the listener.
+void Server::serveMetricsConn(int Fd) {
+  timeval TV;
+  TV.tv_sec = 5;
+  TV.tv_usec = 0;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV));
+
+  std::string Head;
+  char Buf[1024];
+  while (Head.find("\r\n\r\n") == std::string::npos &&
+         Head.find("\n\n") == std::string::npos && Head.size() < 8192) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return; // timeout or disconnect mid-request
+    Head.append(Buf, size_t(N));
+  }
+  size_t LineEnd = Head.find_first_of("\r\n");
+  std::string ReqLine =
+      LineEnd == std::string::npos ? Head : Head.substr(0, LineEnd);
+  size_t Sp1 = ReqLine.find(' ');
+  size_t Sp2 = ReqLine.find(' ', Sp1 == std::string::npos ? 0 : Sp1 + 1);
+  std::string Method =
+      Sp1 == std::string::npos ? ReqLine : ReqLine.substr(0, Sp1);
+  std::string Path = (Sp1 == std::string::npos || Sp2 == std::string::npos)
+                         ? std::string()
+                         : ReqLine.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  // Ignore a query string: "GET /metrics?x=y" still scrapes.
+  size_t Query = Path.find('?');
+  if (Query != std::string::npos)
+    Path.resize(Query);
+
+  std::string Response;
+  if (Method != "GET") {
+    Response = "HTTP/1.1 405 Method Not Allowed\r\n"
+               "Allow: GET\r\nContent-Length: 0\r\n"
+               "Connection: close\r\n\r\n";
+  } else if (Path != "/metrics") {
+    Response = "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n"
+               "Connection: close\r\n\r\n";
+  } else {
+    Recorder::global().count("serve/scrapes");
+    std::string Body = buildPrometheusText();
+    Response = strFormat(
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        Body.size());
+    Response += Body;
+  }
+  size_t Off = 0;
+  while (Off < Response.size()) {
+    ssize_t N = ::send(Fd, Response.data() + Off, Response.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Off += size_t(N);
+  }
+}
+
+std::string Server::buildPrometheusText() {
+  Recorder &Rec = Recorder::global();
+  PromSnapshot S;
+  S.Counters = Rec.counters();
+  S.Hists = Rec.histograms();
+  S.Gauges = Rec.gauges();
+  // Live service state, sampled at scrape time so the scrape is always
+  // current even when no request has run since the last gauge write.
+  ArtifactCacheStats CS = Cache.stats();
+  S.Counters["serve/cache/hits"] = CS.Hits;
+  S.Counters["serve/cache/misses"] = CS.Misses;
+  S.Counters["serve/cache/evictions"] = CS.Evictions;
+  S.Counters["serve/cache/failures"] = CS.Failures;
+  S.Counters["serve/cache/coalesced"] = CS.Coalesced;
+  S.Gauges["serve/cache_resident"] = double(Cache.size());
+  uint64_t Lookups = CS.Hits + CS.Misses;
+  S.Gauges["serve/cache_hit_rate"] =
+      Lookups ? double(CS.Hits) / double(Lookups) : 0.0;
+  S.Gauges["serve/queue_depth"] = double(queueDepth());
+  S.Gauges["serve/connections_live"] = double(connectionCount());
+  return renderPrometheusText(S);
+}
+
+void Server::logAccess(const char *Op, uint64_t Id, uint64_t Trace,
+                       const char *Code, double ElapsedMillis,
+                       int CacheHit) {
+  if (!AccessLog)
+    return;
+  uint64_t TsMs =
+      uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count());
+  std::string Line = strFormat(
+      "{\"ts_ms\":%llu,\"trace\":%llu,\"id\":%llu,\"op\":\"%s\","
+      "\"code\":\"%s\",\"elapsed_ms\":%.3f",
+      (unsigned long long)TsMs, (unsigned long long)Trace,
+      (unsigned long long)Id, Op, Code, ElapsedMillis);
+  if (CacheHit >= 0)
+    Line += strFormat(",\"cache_hit\":%s", CacheHit ? "true" : "false");
+  Line += "}\n";
+  std::lock_guard<std::mutex> Lock(AccessMu);
+  if (!AccessLog)
+    return; // raced stop()
+  std::fwrite(Line.data(), 1, Line.size(), AccessLog);
+  // Flushed per line so operators can tail the log live; durability
+  // (fsync) is settled once at shutdown.
+  std::fflush(AccessLog);
+}
+
 size_t Server::queueDepth() {
   std::lock_guard<std::mutex> Lock(QueueMu);
   return Queue.size();
@@ -251,30 +448,64 @@ void Server::sendFrame(Conn &C, const Json &J) {
 }
 
 void Server::sendError(Conn &C, uint64_t Id, ErrorCode Code,
-                       const std::string &Message) {
+                       const std::string &Message, uint64_t Trace) {
   Recorder::global().count("serve/errors");
   Recorder::global().count(
       strFormat("serve/errors/%s", errorCodeName(Code)));
-  sendFrame(C, errorFrame(Id, Code, Message));
+  sendFrame(C, errorFrame(Id, Code, Message, Trace));
 }
 
-Json Server::metricsFrame(uint64_t Id) {
+/// Sparse bucket array [[index,count],...] for the metrics-op v2
+/// payload (mirrors telemetry's metrics.json encoding).
+static Json sparseBuckets(const std::vector<uint64_t> &B) {
+  Json A = Json::array();
+  for (size_t I = 0; I < B.size(); ++I) {
+    if (B[I] == 0)
+      continue;
+    Json Pair = Json::array();
+    Pair.push(Json::integer(int64_t(I)));
+    Pair.push(Json::integer(int64_t(B[I])));
+    A.push(std::move(Pair));
+  }
+  return A;
+}
+
+Json Server::metricsFrame(const Request &Req) {
   Recorder &Rec = Recorder::global();
   Json J = Json::object();
   J.set("v", Json::integer(ProtocolVersion));
-  J.set("id", Json::integer(int64_t(Id)));
+  J.set("id", Json::integer(int64_t(Req.Id)));
   J.set("type", Json::str("metrics"));
+  if (Req.Trace)
+    J.set("trace", Json::integer(int64_t(Req.Trace)));
+  // v2 payload: strictly additive over v1 — every v1 field keeps its
+  // name, type, and position semantics, so v1 readers keep working.
+  J.set("schema", Json::str("augur-serve-metrics-v2"));
+  J.set("buckets_per_octave",
+        Json::integer(HistogramStats::SubBucketsPerOctave));
+  J.set("bucket_min_log2", Json::integer(HistogramStats::BucketMinLog2));
   Json Counters = Json::object();
   for (const auto &KV : Rec.counters())
     Counters.set(KV.first, Json::integer(int64_t(KV.second)));
   J.set("counters", std::move(Counters));
+  Json Gauges = Json::object();
+  for (const auto &KV : Rec.gauges())
+    Gauges.set(KV.first, Json::real(KV.second));
+  J.set("gauges", std::move(Gauges));
   Json Hists = Json::object();
   for (const auto &KV : Rec.histograms()) {
+    const HistogramStats &HS = KV.second;
     Json H = Json::object();
-    H.set("count", Json::integer(int64_t(KV.second.Count)));
-    H.set("mean", Json::real(KV.second.mean()));
-    H.set("min", Json::real(KV.second.Min));
-    H.set("max", Json::real(KV.second.Max));
+    H.set("count", Json::integer(int64_t(HS.Count)));
+    H.set("mean", Json::real(HS.mean()));
+    H.set("min", Json::real(HS.Min));
+    H.set("max", Json::real(HS.Max));
+    H.set("p50", Json::real(HS.p50()));
+    H.set("p95", Json::real(HS.p95()));
+    H.set("p99", Json::real(HS.p99()));
+    H.set("zero", Json::integer(int64_t(HS.ZeroCount)));
+    H.set("pos", sparseBuckets(HS.Pos));
+    H.set("neg", sparseBuckets(HS.Neg));
     Hists.set(KV.first, std::move(H));
   }
   J.set("histograms", std::move(Hists));
@@ -301,14 +532,16 @@ void Server::connectionLoop(std::shared_ptr<Conn> C) {
       // Torn frame / unparseable payload: the stream position is lost,
       // so answer once and drop the connection.
       sendError(*C, 0, ErrorCode::BadRequest, FrameR.message());
+      logAccess("bad-frame", 0, 0, "bad-request", 0.0, -1);
       break;
     }
     Result<Request> ReqR = decodeRequest(*FrameR);
     if (!ReqR.ok()) {
       // Framing is intact, only this request is bad: answer and keep
       // the connection.
-      sendError(*C, uint64_t(FrameR->getInt("id", 0)),
-                ErrorCode::BadRequest, ReqR.message());
+      uint64_t BadId = uint64_t(FrameR->getInt("id", 0));
+      sendError(*C, BadId, ErrorCode::BadRequest, ReqR.message());
+      logAccess("bad-request", BadId, 0, "bad-request", 0.0, -1);
       continue;
     }
     Request Req = ReqR.take();
@@ -316,12 +549,15 @@ void Server::connectionLoop(std::shared_ptr<Conn> C) {
     switch (Req.Kind) {
     case Request::Op::Ping:
       sendFrame(*C, pongFrame(Req.Id));
+      logAccess("ping", Req.Id, Req.Trace, "ok", 0.0, -1);
       break;
     case Request::Op::Metrics:
-      sendFrame(*C, metricsFrame(Req.Id));
+      sendFrame(*C, metricsFrame(Req));
+      logAccess("metrics", Req.Id, Req.Trace, "ok", 0.0, -1);
       break;
     case Request::Op::Shutdown:
       sendFrame(*C, byeFrame(Req.Id));
+      logAccess("shutdown", Req.Id, Req.Trace, "ok", 0.0, -1);
       requestStop();
       break;
     case Request::Op::Sample: {
@@ -334,6 +570,7 @@ void Server::connectionLoop(std::shared_ptr<Conn> C) {
                        std::chrono::milliseconds(J.Req.Sample.DeadlineMillis);
       }
       uint64_t Id = J.Req.Id;
+      uint64_t Trace = J.Req.Trace;
       bool Admitted = false, Down = false;
       {
         std::lock_guard<std::mutex> Lock(QueueMu);
@@ -347,13 +584,17 @@ void Server::connectionLoop(std::shared_ptr<Conn> C) {
       }
       if (Admitted)
         QueueCv.notify_one();
-      else if (Down)
+      else if (Down) {
         sendError(*C, Id, ErrorCode::ShuttingDown,
-                  "daemon is shutting down");
-      else
+                  "daemon is shutting down", Trace);
+        logAccess("sample", Id, Trace, "shutting-down", 0.0, -1);
+      } else {
         sendError(*C, Id, ErrorCode::Overloaded,
                   strFormat("queue full (%zu jobs); retry later",
-                            Opts.QueueLimit));
+                            Opts.QueueLimit),
+                  Trace);
+        logAccess("sample", Id, Trace, "overloaded", 0.0, -1);
+      }
       break;
     }
     }
@@ -441,13 +682,17 @@ Status Server::runSample(Job &J, ServedModel &M) {
 
 void Server::serveSample(Job J) {
   const SampleRequest &SR = J.Req.Sample;
+  const uint64_t Trace = J.Req.Trace;
   Recorder &Rec = Recorder::global();
   uint64_t T0 = Recorder::nowNanos();
   Rec.count("serve/sample_requests");
+  ScopedSpan ReqSpan(Rec, "serve/request", "serve");
+  ReqSpan.arg("trace_id", double(Trace));
 
   if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt) {
     sendError(*J.C, J.Req.Id, ErrorCode::Deadline,
-              "deadline expired while queued");
+              "deadline expired while queued", Trace);
+    logAccess("sample", J.Req.Id, Trace, "deadline", 0.0, -1);
     return;
   }
 
@@ -456,6 +701,8 @@ void Server::serveSample(Job J) {
   Result<std::shared_ptr<ServedModel>> ModelR = Cache.acquire(
       Key, [&]() -> Result<std::shared_ptr<ServedModel>> {
         CompiledHere = true;
+        ScopedSpan CompileSpan(Rec, "serve/compile", "serve");
+        CompileSpan.arg("trace_id", double(Trace));
         auto M = std::make_shared<ServedModel>();
         M->Source = SR.Model;
         CompileOptions CO;
@@ -463,12 +710,19 @@ void Server::serveSample(Job J) {
         CO.UserSchedule = SR.Schedule;
         CO.Seed = SR.Seed; // overwritten per chain by resetForReuse
         CO.Par.NumThreads = SR.Threads;
+        // Served artifacts carry the streaming diagnostics plane so
+        // /metrics publishes per-variable R-hat/ESS for every hot model
+        // (AUGUR_DIAG still overrides either way).
+        CO.Diag.Enabled = Opts.Diag;
         AUGUR_ASSIGN_OR_RETURN(
             M->Prog, Compiler::compile(SR.Model, CO, SR.Args, SR.Data));
         return M;
       });
   if (!ModelR.ok()) {
-    sendError(*J.C, J.Req.Id, ErrorCode::CompileError, ModelR.message());
+    sendError(*J.C, J.Req.Id, ErrorCode::CompileError, ModelR.message(),
+              Trace);
+    logAccess("sample", J.Req.Id, Trace, "compile-error",
+              double(Recorder::nowNanos() - T0) / 1e6, CompiledHere ? 0 : 1);
     return;
   }
   std::shared_ptr<ServedModel> M = ModelR.take();
@@ -479,6 +733,8 @@ void Server::serveSample(Job J) {
     // Serialize on this artifact's chain state; requests for other
     // models keep sampling on the other workers.
     std::lock_guard<std::mutex> Lock(M->Mu);
+    ScopedSpan SampleSpan(Rec, "serve/sample", "serve");
+    SampleSpan.arg("trace_id", double(Trace));
     St = runSample(J, *M);
   }
   double Ms = double(Recorder::nowNanos() - T0) / 1e6;
@@ -488,10 +744,14 @@ void Server::serveSample(Job J) {
     ErrorCode Code = ErrorCode::ExecError;
     if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt)
       Code = ErrorCode::Deadline;
-    sendError(*J.C, J.Req.Id, Code, St.message());
+    sendError(*J.C, J.Req.Id, Code, St.message(), Trace);
+    logAccess("sample", J.Req.Id, Trace,
+              Code == ErrorCode::Deadline ? "deadline" : "exec-error", Ms,
+              CompiledHere ? 0 : 1);
     return;
   }
   int Chains = SR.Chains < 1 ? 1 : SR.Chains;
   sendFrame(*J.C, doneFrame(J.Req.Id, Chains, SR.NumSamples,
-                            /*CacheHit=*/!CompiledHere, Ms));
+                            /*CacheHit=*/!CompiledHere, Ms, Trace));
+  logAccess("sample", J.Req.Id, Trace, "ok", Ms, CompiledHere ? 0 : 1);
 }

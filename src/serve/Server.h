@@ -44,6 +44,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -77,6 +78,22 @@ struct ServerOptions {
   /// reading its response stream (TCP backpressure) errors the worker's
   /// write after this long instead of wedging it forever. 0 disables.
   int64_t WriteTimeoutMillis = 10000;
+  /// HTTP GET /metrics listener (Prometheus text exposition) on
+  /// MetricsHost:MetricsPort. -1 disables; 0 binds an ephemeral port
+  /// readable via Server::metricsPort() after start().
+  int MetricsPort = -1;
+  std::string MetricsHost = "127.0.0.1";
+  /// JSON-lines access log: one line per completed request (trace id,
+  /// op, status, latency). Empty disables. Lines are flushed as they
+  /// are written (tail -f works); stop() fsyncs before closing.
+  std::string AccessLogPath;
+  /// Compile served models with streaming convergence diagnostics so
+  /// /metrics carries per-variable R̂/ESS gauges. Costs <2% per sweep
+  /// (BENCH_diag.json) and never perturbs the sampled streams.
+  bool Diag = true;
+  /// Directory the final metrics.json / trace.json flush writes into
+  /// (the daemon's SIGTERM path; see tools/augur_serve).
+  std::string TelemetryDir = ".";
 };
 
 /// A compiled model plus the lock that serializes sampling on its chain
@@ -116,6 +133,9 @@ public:
   /// The bound TCP port (after start(); 0 for Unix sockets).
   int port() const { return ResolvedPort; }
 
+  /// The bound /metrics port (after start(); 0 when disabled).
+  int metricsPort() const { return ResolvedMetricsPort; }
+
   const ServerOptions &options() const { return Opts; }
 
   /// Artifact cache statistics (ops surface; also exposed remotely via
@@ -153,28 +173,48 @@ private:
   };
 
   Status bindListen();
+  Status bindMetrics();
   void acceptLoop();
   void connectionLoop(std::shared_ptr<Conn> C);
   void workerLoop();
   void serveSample(Job J);
   Status runSample(Job &J, ServedModel &M);
-  Json metricsFrame(uint64_t Id);
+  Json metricsFrame(const Request &Req);
   void sendFrame(Conn &C, const Json &J);
   void sendError(Conn &C, uint64_t Id, ErrorCode Code,
-                 const std::string &Message);
+                 const std::string &Message, uint64_t Trace = 0);
   size_t queueDepth();
   void reapReaders();
+
+  // Observability plane (DESIGN.md section 14).
+  void metricsLoop();
+  void serveMetricsConn(int Fd);
+  /// Renders the full Prometheus exposition document: the telemetry
+  /// registry plus live service gauges (queue depth, connections,
+  /// cache hit rate, resident artifacts).
+  std::string buildPrometheusText();
+  /// Appends one JSON line to the access log (no-op when disabled).
+  void logAccess(const char *Op, uint64_t Id, uint64_t Trace,
+                 const char *Code, double ElapsedMillis, int CacheHit);
 
   ServerOptions Opts;
   mutable ArtifactCache<ServedModel> Cache;
 
   int ListenFd = -1;
-  int WakePipe[2] = {-1, -1}; ///< self-pipe unblocking acceptLoop
+  int WakePipe[2] = {-1, -1}; ///< self-pipe unblocking acceptLoop and
+                              ///< metricsLoop (neither drains it, so
+                              ///< one shutdown byte wakes both)
   int ResolvedPort = 0;
+  int MetricsFd = -1;
+  int ResolvedMetricsPort = 0;
   bool Started = false;
   bool Stopped = false;
 
+  std::FILE *AccessLog = nullptr;
+  std::mutex AccessMu;
+
   std::thread AcceptThread;
+  std::thread MetricsThread;
   std::vector<std::thread> WorkerThreads;
   std::mutex ConnMu;
   std::vector<std::shared_ptr<Conn>> Conns; ///< live connections only

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
@@ -12,6 +13,119 @@
 #include "support/Format.h"
 
 using namespace augur;
+
+//===----------------------------------------------------------------------===//
+// HistogramStats
+//===----------------------------------------------------------------------===//
+
+int HistogramStats::bucketIndex(double Mag) {
+  int I = int(std::floor((std::log2(Mag) - double(BucketMinLog2)) *
+                         double(SubBucketsPerOctave)));
+  return I < 0 ? -1 : (I >= NumBuckets ? NumBuckets - 1 : I);
+}
+
+double HistogramStats::bucketLo(int I) {
+  return std::exp2(double(BucketMinLog2) +
+                   double(I) / double(SubBucketsPerOctave));
+}
+
+double HistogramStats::bucketMid(int I) {
+  return std::exp2(double(BucketMinLog2) +
+                   (double(I) + 0.5) / double(SubBucketsPerOctave));
+}
+
+void HistogramStats::observe(double V) {
+  if (Count == 0) {
+    Min = Max = V;
+  } else {
+    if (V < Min)
+      Min = V;
+    if (V > Max)
+      Max = V;
+  }
+  ++Count;
+  Sum += V;
+
+  if (std::isnan(V))
+    return; // keep v1 NaN poisoning semantics, but never bucket NaN
+  double Mag = std::fabs(V);
+  int I = std::isinf(Mag) ? NumBuckets - 1 : bucketIndex(Mag);
+  if (V == 0.0 || I < 0) {
+    ++ZeroCount;
+    return;
+  }
+  std::vector<uint64_t> &B = V > 0.0 ? Pos : Neg;
+  if (B.empty())
+    B.assign(size_t(NumBuckets), 0);
+  ++B[size_t(I)];
+}
+
+void HistogramStats::merge(const HistogramStats &O) {
+  if (O.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = O;
+    return;
+  }
+  Count += O.Count;
+  Sum += O.Sum;
+  if (O.Min < Min)
+    Min = O.Min;
+  if (O.Max > Max)
+    Max = O.Max;
+  ZeroCount += O.ZeroCount;
+  for (int Sign = 0; Sign < 2; ++Sign) {
+    std::vector<uint64_t> &Dst = Sign ? Neg : Pos;
+    const std::vector<uint64_t> &Src = Sign ? O.Neg : O.Pos;
+    if (Src.empty())
+      continue;
+    if (Dst.empty())
+      Dst.assign(size_t(NumBuckets), 0);
+    for (size_t I = 0; I < Src.size(); ++I)
+      Dst[I] += Src[I];
+  }
+}
+
+double HistogramStats::quantile(double Q) const {
+  uint64_t Total = ZeroCount;
+  for (uint64_t C : Pos)
+    Total += C;
+  for (uint64_t C : Neg)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  uint64_t Target = uint64_t(std::ceil(Q * double(Total)));
+  if (Target == 0)
+    Target = 1;
+
+  double Est = 0.0;
+  uint64_t Seen = 0;
+  bool Found = false;
+  // Ascending walk: most-negative magnitudes first, then zero, then
+  // positives.
+  for (size_t I = Neg.size(); I-- > 0 && !Found;) {
+    Seen += Neg[I];
+    if (Seen >= Target) {
+      Est = -bucketMid(int(I));
+      Found = true;
+    }
+  }
+  if (!Found) {
+    Seen += ZeroCount;
+    if (Seen >= Target)
+      Found = true; // Est = 0
+  }
+  for (size_t I = 0; I < Pos.size() && !Found; ++I) {
+    Seen += Pos[I];
+    if (Seen >= Target) {
+      Est = bucketMid(int(I));
+      Found = true;
+    }
+  }
+  // The exact envelope always brackets the estimate.
+  return std::min(std::max(Est, Min), Max);
+}
 
 TelemetryConfig TelemetryConfig::fromEnv() {
   TelemetryConfig C;
@@ -35,6 +149,9 @@ struct Recorder::Shard {
   int Tid = 0;
   std::unordered_map<std::string, uint64_t> Counters;
   std::unordered_map<std::string, HistogramStats> Hists;
+  /// Last gauge value per name with its record timestamp; the merged
+  /// gauges() view keeps the newest across shards.
+  std::unordered_map<std::string, std::pair<uint64_t, double>> Gauges;
   std::vector<TraceEvent> Events;
 };
 
@@ -138,6 +255,7 @@ void Recorder::gauge(const std::string &Name, double V) {
   E.Ph = 'C';
   E.Args.emplace_back("value", V);
   std::lock_guard<std::mutex> L(S.M);
+  S.Gauges[Name] = {E.StartNanos, V};
   S.Events.push_back(std::move(E));
 }
 
@@ -164,6 +282,23 @@ std::map<std::string, HistogramStats> Recorder::histograms() const {
     for (const auto &KV : S->Hists)
       Out[KV.first].merge(KV.second);
   }
+  return Out;
+}
+
+std::map<std::string, double> Recorder::gauges() const {
+  std::map<std::string, std::pair<uint64_t, double>> Latest;
+  std::lock_guard<std::mutex> L(Mu);
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> SL(S->M);
+    for (const auto &KV : S->Gauges) {
+      auto It = Latest.find(KV.first);
+      if (It == Latest.end() || KV.second.first >= It->second.first)
+        Latest[KV.first] = KV.second;
+    }
+  }
+  std::map<std::string, double> Out;
+  for (const auto &KV : Latest)
+    Out[KV.first] = KV.second.second;
   return Out;
 }
 
@@ -199,6 +334,7 @@ void Recorder::reset() {
     std::lock_guard<std::mutex> SL(S->M);
     S->Counters.clear();
     S->Hists.clear();
+    S->Gauges.clear();
     S->Events.clear();
   }
 }
@@ -255,12 +391,39 @@ std::string jsonNumber(double V) {
 
 } // namespace
 
+namespace {
+
+/// Sparse "[ [index, count], ... ]" encoding of one bucket array.
+std::string bucketArrayJson(const std::vector<uint64_t> &B) {
+  std::string Out = "[";
+  bool First = true;
+  for (size_t I = 0; I < B.size(); ++I) {
+    if (!B[I])
+      continue;
+    Out += strFormat("%s[%zu, %llu]", First ? "" : ", ", I,
+                     (unsigned long long)B[I]);
+    First = false;
+  }
+  Out += "]";
+  return Out;
+}
+
+} // namespace
+
 Status Recorder::writeMetricsJson(const std::string &Path) const {
   std::map<std::string, uint64_t> Cnt = counters();
   std::map<std::string, HistogramStats> Hist = histograms();
+  std::map<std::string, double> Gauge = gauges();
 
+  // v2 = v1 plus "gauges", per-histogram quantiles + sparse bucket
+  // arrays, and the bucket-scheme constants. Every v1 field keeps its
+  // exact name and place so v1 readers parse v2 files unchanged.
   std::string Out;
-  Out += "{\n  \"schema\": \"augur-telemetry-v1\",\n";
+  Out += "{\n  \"schema\": \"augur-telemetry-v2\",\n";
+  Out += strFormat("  \"buckets_per_octave\": %d,\n",
+                   HistogramStats::SubBucketsPerOctave);
+  Out += strFormat("  \"bucket_min_log2\": %d,\n",
+                   HistogramStats::BucketMinLog2);
 
   Out += "  \"counters\": {";
   bool First = true;
@@ -295,16 +458,32 @@ Status Recorder::writeMetricsJson(const std::string &Path) const {
   }
   Out += strFormat("%s  },\n", First ? "" : "\n");
 
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &KV : Gauge) {
+    Out += strFormat("%s\n    \"%s\": %s", First ? "" : ",",
+                     jsonEscape(KV.first).c_str(),
+                     jsonNumber(KV.second).c_str());
+    First = false;
+  }
+  Out += strFormat("%s  },\n", First ? "" : "\n");
+
   Out += "  \"histograms\": {";
   First = true;
   for (const auto &KV : Hist) {
     const HistogramStats &H = KV.second;
     Out += strFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, "
-                     "\"min\": %s, \"max\": %s, \"mean\": %s}",
+                     "\"min\": %s, \"max\": %s, \"mean\": %s, "
+                     "\"p50\": %s, \"p95\": %s, \"p99\": %s, "
+                     "\"zero\": %llu, \"pos\": %s, \"neg\": %s}",
                      First ? "" : ",", jsonEscape(KV.first).c_str(),
                      (unsigned long long)H.Count, jsonNumber(H.Sum).c_str(),
                      jsonNumber(H.Min).c_str(), jsonNumber(H.Max).c_str(),
-                     jsonNumber(H.mean()).c_str());
+                     jsonNumber(H.mean()).c_str(), jsonNumber(H.p50()).c_str(),
+                     jsonNumber(H.p95()).c_str(), jsonNumber(H.p99()).c_str(),
+                     (unsigned long long)H.ZeroCount,
+                     bucketArrayJson(H.Pos).c_str(),
+                     bucketArrayJson(H.Neg).c_str());
     First = false;
   }
   Out += strFormat("%s  }\n}\n", First ? "" : "\n");

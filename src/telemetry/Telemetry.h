@@ -66,41 +66,51 @@ struct TelemetryConfig {
   static TelemetryConfig fromEnv();
 };
 
-/// Summary statistics of a named histogram.
+/// Summary statistics of a named histogram: the v1 Count/Sum/Min/Max
+/// summary plus log-spaced magnitude buckets for quantile estimation
+/// (schema "augur-telemetry-v2").
+///
+/// Bucket scheme: SubBucketsPerOctave buckets per power of two over
+/// magnitudes [2^BucketMinLog2, 2^BucketMaxLog2) — bucket widths of
+/// 2^(1/8) ≈ 9%, so a quantile reported at the geometric bucket
+/// midpoint is within ~4.4% of the true value. Negative observations
+/// mirror into a second bucket array; exact zeros (and magnitudes
+/// below the smallest bucket) count separately. Bucket arrays are
+/// allocated lazily on the first signed observation, so histograms
+/// cost four scalars until actually used.
 struct HistogramStats {
   uint64_t Count = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
 
+  static constexpr int SubBucketsPerOctave = 8;
+  static constexpr int BucketMinLog2 = -20; ///< ~1e-6, below -> zero bucket
+  static constexpr int BucketMaxLog2 = 44;  ///< ~1.8e13, above -> top bucket
+  static constexpr int NumBuckets =
+      (BucketMaxLog2 - BucketMinLog2) * SubBucketsPerOctave; // 512 per sign
+
+  uint64_t ZeroCount = 0;     ///< zeros + magnitudes under 2^BucketMinLog2
+  std::vector<uint64_t> Pos;  ///< empty or NumBuckets counts
+  std::vector<uint64_t> Neg;  ///< mirrored magnitudes of negative values
+
   double mean() const { return Count ? Sum / double(Count) : 0.0; }
 
-  void observe(double V) {
-    if (Count == 0) {
-      Min = Max = V;
-    } else {
-      if (V < Min)
-        Min = V;
-      if (V > Max)
-        Max = V;
-    }
-    ++Count;
-    Sum += V;
-  }
-  void merge(const HistogramStats &O) {
-    if (O.Count == 0)
-      return;
-    if (Count == 0) {
-      *this = O;
-      return;
-    }
-    Count += O.Count;
-    Sum += O.Sum;
-    if (O.Min < Min)
-      Min = O.Min;
-    if (O.Max > Max)
-      Max = O.Max;
-  }
+  void observe(double V);
+  void merge(const HistogramStats &O);
+
+  /// Bucket index for a positive magnitude (clamped to the range).
+  static int bucketIndex(double Mag);
+  /// Lower edge / geometric midpoint of bucket \p I.
+  static double bucketLo(int I);
+  static double bucketMid(int I);
+
+  /// Estimated \p Q quantile (Q in [0,1]) from the buckets, clamped to
+  /// the exact [Min, Max] envelope. 0 when nothing was bucketed.
+  double quantile(double Q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// One recorded trace event. Phase 'X' is a complete span
@@ -156,7 +166,9 @@ public:
             uint64_t EndNanos,
             std::vector<std::pair<std::string, double>> Args = {});
 
-  /// Records a counter-track sample (a Perfetto time series point).
+  /// Records a counter-track sample (a Perfetto time series point) and
+  /// updates the gauge's last value (the current-state view gauges()
+  /// reads and the /metrics scrape endpoint publishes).
   void gauge(const std::string &Name, double V);
 
   //===--------------------------------------------------------------===//
@@ -165,6 +177,9 @@ public:
 
   std::map<std::string, uint64_t> counters() const;
   std::map<std::string, HistogramStats> histograms() const;
+  /// Last value of every gauge (the most recent gauge() call per name
+  /// across all shards, by record timestamp).
+  std::map<std::string, double> gauges() const;
   std::vector<TraceEvent> traceEvents() const;
 
   /// Merged value of one counter (0 when absent).
@@ -182,9 +197,11 @@ public:
   // Export
   //===--------------------------------------------------------------===//
 
-  /// Flat metrics summary (schema "augur-telemetry-v1"): counters,
+  /// Flat metrics summary (schema "augur-telemetry-v2"): counters,
   /// derived */accept_rate entries for every */proposed-/accepted pair,
-  /// and histogram summaries.
+  /// gauge last-values, and histogram summaries with p50/p95/p99 and
+  /// sparse log-spaced bucket arrays. Every v1 field is preserved
+  /// verbatim, so v1 readers keep working.
   Status writeMetricsJson(const std::string &Path) const;
 
   /// Chrome trace-event JSON, loadable in Perfetto.

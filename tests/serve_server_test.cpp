@@ -16,13 +16,22 @@
 //    expired deadline with `deadline`, and neither kills the daemon,
 //  * an injected worker fault (AUGUR_FAULT_SPEC) fails only its own
 //    request with `exec-error`; concurrent requests and the daemon
-//    survive, and the artifact stays reusable.
+//    survive, and the artifact stays reusable,
+//  * the observability plane (DESIGN.md section 14): GET /metrics
+//    serves Prometheus text (latency summary, cache/queue gauges,
+//    per-chain R-hat/ESS) including under concurrent scrape + traffic,
+//    the metrics op keeps its v1 fields next to the v2 additions, the
+//    access log carries unique nonzero trace ids, and done frames echo
+//    the request's trace id.
 //
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -468,6 +477,254 @@ TEST(ServeServer, WorkerFaultFailsOnlyItsOwnRequest) {
 
   Status Clean = robust::FaultInjector::global().configure("");
   ASSERT_TRUE(Clean.ok());
+}
+
+namespace {
+
+/// Minimal HTTP/1.0-style client for the scrape endpoint: sends \p Req
+/// verbatim and returns everything the server wrote until close.
+std::string httpExchange(int Port, const std::string &Req) {
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(uint16_t(Port));
+  EXPECT_EQ(1, inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    close(Fd);
+    ADD_FAILURE() << "connect to metrics port failed";
+    return "";
+  }
+  size_t Off = 0;
+  while (Off < Req.size()) {
+    ssize_t W = ::send(Fd, Req.data() + Off, Req.size() - Off, 0);
+    if (W <= 0)
+      break;
+    Off += size_t(W);
+  }
+  std::string Out;
+  char Buf[4096];
+  ssize_t R;
+  while ((R = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Out.append(Buf, size_t(R));
+  close(Fd);
+  return Out;
+}
+
+std::string httpGet(int Port, const std::string &Path) {
+  return httpExchange(Port, "GET " + Path +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+} // namespace
+
+TEST(ServeServer, MetricsEndpointServesPrometheusText) {
+  ServerOptions O;
+  O.MetricsPort = 0; // ephemeral
+  LiveServer L(O);
+  ASSERT_GT(L.S.metricsPort(), 0);
+
+  // A bare scrape before any traffic: valid exposition with the
+  // scrape-time service gauges present.
+  std::string Res = httpGet(L.S.metricsPort(), "/metrics");
+  ASSERT_NE(Res.find("HTTP/1.1 200 OK"), std::string::npos) << Res;
+  EXPECT_NE(Res.find("text/plain; version=0.0.4"), std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_serve_queue_depth"), std::string::npos) << Res;
+  EXPECT_NE(Res.find("augur_serve_cache_hit_rate"), std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_serve_connections_live"), std::string::npos)
+      << Res;
+
+  // Drive one diag-enabled sample request, then scrape again: latency
+  // summary and per-model convergence gauges appear.
+  Client C = L.connect();
+  SampleRequest SR = gmmRequest(/*N=*/40);
+  SR.NumSamples = 8;
+  ASSERT_TRUE(C.sample(SR, 71).ok());
+
+  Res = httpGet(L.S.metricsPort(), "/metrics");
+  ASSERT_NE(Res.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Res.find("# TYPE augur_serve_latency_ms summary"),
+            std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_serve_latency_ms{quantile=\"0.99\"}"),
+            std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_serve_requests_total"), std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_diag_rhat{chain=\"0\",var=\"mu\""),
+            std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_diag_ess{chain=\"0\""), std::string::npos)
+      << Res;
+  EXPECT_NE(Res.find("augur_diag_divergences_total{chain=\"0\"}"),
+            std::string::npos)
+      << Res;
+
+  // Scrapes count themselves.
+  EXPECT_NE(Res.find("augur_serve_scrapes_total"), std::string::npos)
+      << Res;
+}
+
+TEST(ServeServer, MetricsEndpointRejectsWrongPathAndMethod) {
+  ServerOptions O;
+  O.MetricsPort = 0;
+  LiveServer L(O);
+  ASSERT_GT(L.S.metricsPort(), 0);
+
+  std::string NotFound = httpGet(L.S.metricsPort(), "/other");
+  EXPECT_NE(NotFound.find("HTTP/1.1 404"), std::string::npos) << NotFound;
+
+  std::string Post = httpExchange(
+      L.S.metricsPort(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(Post.find("HTTP/1.1 405"), std::string::npos) << Post;
+  EXPECT_NE(Post.find("Allow: GET"), std::string::npos) << Post;
+
+  // The daemon plane is unaffected by scrape-port abuse.
+  Client C = L.connect();
+  EXPECT_TRUE(C.ping().ok());
+}
+
+TEST(ServeServer, ConcurrentScrapesDuringTraffic) {
+  ServerOptions O;
+  O.MetricsPort = 0;
+  LiveServer L(O);
+  ASSERT_GT(L.S.metricsPort(), 0);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> GoodScrapes{0};
+  std::thread Scraper([&] {
+    while (!Stop.load()) {
+      std::string Res = httpGet(L.S.metricsPort(), "/metrics");
+      if (Res.find("HTTP/1.1 200 OK") != std::string::npos)
+        GoodScrapes.fetch_add(1);
+    }
+  });
+
+  Client C = L.connect();
+  for (int I = 0; I < 3; ++I) {
+    SampleRequest SR = gmmRequest(/*N=*/40);
+    SR.NumSamples = 6;
+    SR.Seed = uint64_t(I);
+    ASSERT_TRUE(C.sample(SR, uint64_t(80 + I)).ok());
+  }
+  Stop.store(true);
+  Scraper.join();
+  EXPECT_GT(GoodScrapes.load(), 0);
+}
+
+TEST(ServeServer, MetricsOpV2KeepsV1Fields) {
+  LiveServer L;
+  Client C = L.connect();
+  SampleRequest SR = gmmRequest(/*N=*/40);
+  SR.NumSamples = 5;
+  ASSERT_TRUE(C.sample(SR, 91).ok());
+
+  Result<Json> M = C.metrics(92);
+  ASSERT_TRUE(M.ok()) << M.message();
+
+  // Everything a v1 reader consumed is still where it was...
+  EXPECT_EQ(M->getStr("type", ""), "metrics");
+  ASSERT_NE(M->find("counters"), nullptr);
+  ASSERT_NE(M->find("cache"), nullptr);
+  EXPECT_GE(M->find("counters")->getInt("serve/requests", -1), 1);
+  EXPECT_EQ(M->find("cache")->getInt("resident", -1), 1);
+  EXPECT_GE(M->getInt("queue_depth", -1), 0);
+
+  // ...and the v2 additions are strictly additive.
+  EXPECT_EQ(M->getStr("schema", ""), "augur-serve-metrics-v2");
+  ASSERT_NE(M->find("gauges"), nullptr);
+  ASSERT_NE(M->find("histograms"), nullptr);
+  const Json *H = M->find("histograms");
+  const Json *Lat = H->find("serve/latency_ms");
+  ASSERT_NE(Lat, nullptr) << "latency histogram missing from metrics op";
+  EXPECT_GE(Lat->getInt("count", -1), 1);
+  ASSERT_NE(Lat->find("p50"), nullptr);
+  ASSERT_NE(Lat->find("p99"), nullptr);
+  EXPECT_GT(M->getInt("buckets_per_octave", -1), 0);
+}
+
+TEST(ServeServer, AccessLogCarriesUniqueTraceIds) {
+  char Dir[] = "/tmp/augur_serve_log_XXXXXX";
+  ASSERT_NE(mkdtemp(Dir), nullptr);
+  std::string LogPath = std::string(Dir) + "/access.log";
+
+  {
+    ServerOptions O;
+    O.AccessLogPath = LogPath;
+    LiveServer L(O);
+    Client C = L.connect();
+    ASSERT_TRUE(C.ping(1).ok());
+    for (int I = 0; I < 3; ++I) {
+      SampleRequest SR = gmmRequest(/*N=*/40);
+      SR.NumSamples = 4;
+      SR.Seed = uint64_t(I);
+      ASSERT_TRUE(C.sample(SR, uint64_t(100 + I)).ok());
+    }
+  } // ~LiveServer stops the server and fsyncs the log
+
+  std::ifstream In(LogPath);
+  ASSERT_TRUE(In.good()) << LogPath;
+  std::set<long long> Traces;
+  size_t SampleLines = 0, Lines = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++Lines;
+    Result<Json> J = parseJson(Line);
+    ASSERT_TRUE(J.ok()) << "unparseable access-log line: " << Line;
+    EXPECT_NE(J->getStr("op", ""), "") << Line;
+    EXPECT_NE(J->getStr("code", ""), "") << Line;
+    EXPECT_GT(J->getInt("ts_ms", -1), 0) << Line;
+    long long Trace = J->getInt("trace", -1);
+    if (J->getStr("op", "") == "sample") {
+      ++SampleLines;
+      EXPECT_GT(Trace, 0) << Line;
+      EXPECT_TRUE(Traces.insert(Trace).second)
+          << "duplicate trace id: " << Line;
+      EXPECT_GE(J->getInt("elapsed_ms", -1), 0) << Line;
+    }
+  }
+  EXPECT_GE(Lines, 4u);          // ping + 3 samples at minimum
+  EXPECT_EQ(SampleLines, 3u);
+
+  std::string Cmd = std::string("rm -rf ") + Dir;
+  if (std::system(Cmd.c_str()) != 0) {
+  }
+}
+
+TEST(ServeServer, DoneFrameCarriesTraceId) {
+  LiveServer L;
+  Client C = L.connect();
+
+  Request R;
+  R.Kind = Request::Op::Sample;
+  R.Id = 111;
+  R.Sample = gmmRequest(/*N=*/40);
+  R.Sample.NumSamples = 3;
+  ASSERT_TRUE(C.send(R).ok());
+
+  bool Eof = false, Done = false;
+  long long Trace = -1;
+  while (!Done && !Eof) {
+    Result<Json> F = C.read(Eof);
+    if (Eof)
+      break;
+    ASSERT_TRUE(F.ok()) << F.message();
+    std::string Type = F->getStr("type", "");
+    ASSERT_NE(Type, "error") << F->getStr("message", "");
+    if (Type == "done") {
+      Done = true;
+      Trace = F->getInt("trace", -1);
+    }
+  }
+  ASSERT_TRUE(Done);
+  EXPECT_GT(Trace, 0) << "done frame must echo the request's trace id";
 }
 
 TEST(ServeServer, CompileErrorIsStructuredAndNotCached) {

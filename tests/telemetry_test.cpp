@@ -3,7 +3,7 @@
 // Covers the telemetry subsystem (DESIGN.md "Telemetry"): counter /
 // histogram / span correctness when many pool workers record at once,
 // the disabled-mode zero-allocation contract, the stable metrics.json
-// schema ("augur-telemetry-v1") and trace.json well-formedness, and the
+// schema ("augur-telemetry-v2") and trace.json well-formedness, and the
 // cross-backend guarantee that an interpreter run and an emitted-C run
 // of the same model surface the same metric keys. Suites are named
 // Telemetry* so the `telemetry` ctest label can target them.
@@ -269,8 +269,9 @@ TEST(Telemetry, MetricsJsonSchemaRoundTrip) {
   ASSERT_TRUE(Rec.writeMetricsJson(Path).ok());
   std::string J = slurp(Path);
 
-  EXPECT_NE(J.find("\"schema\": \"augur-telemetry-v1\""), std::string::npos)
+  EXPECT_NE(J.find("\"schema\": \"augur-telemetry-v2\""), std::string::npos)
       << J;
+  // Every v1 field survives verbatim in v2 (v1-reader compatibility).
   EXPECT_NE(J.find("\"counters\""), std::string::npos);
   EXPECT_NE(J.find("\"rates\""), std::string::npos);
   EXPECT_NE(J.find("\"histograms\""), std::string::npos);
@@ -285,6 +286,13 @@ TEST(Telemetry, MetricsJsonSchemaRoundTrip) {
   EXPECT_NE(J.find("chain0/sweep/log_joint"), std::string::npos);
   EXPECT_NE(J.find("\"count\""), std::string::npos);
   EXPECT_NE(J.find("\"mean\""), std::string::npos);
+  // v2 additions: gauges section, quantiles and sparse log-spaced
+  // bucket arrays per histogram, bucket-scheme constants.
+  EXPECT_NE(J.find("\"gauges\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p50\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"p99\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pos\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"buckets_per_octave\""), std::string::npos) << J;
 }
 
 TEST(Telemetry, TraceJsonIsWellFormedChromeTrace) {

@@ -8,9 +8,20 @@
 //
 //   $ augur_serve --unix /tmp/augur.sock
 //   $ augur_serve --port 7771 --workers 4 --cache 16 --queue 32
+//   $ augur_serve --port 7771 --metrics-port 9464 \
+//                 --access-log /var/log/augur/access.jsonl
+//
+// --metrics-port exposes the observability plane (DESIGN.md section
+// 14): HTTP GET /metrics answers Prometheus text exposition with
+// request latency quantiles, queue depth, cache hit rate, and
+// per-variable convergence gauges for every served model.
 //
 // The daemon runs until a client sends the shutdown op or the process
-// receives SIGINT/SIGTERM.
+// receives SIGINT/SIGTERM. Shutdown is flushing: the access log is
+// fsynced and, when telemetry is enabled, a final metrics.json /
+// trace.json snapshot is written (fsync + atomic rename) into
+// --telemetry-dir before the process exits, so a scrape-less
+// deployment still gets its terminal state on SIGTERM.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +32,7 @@
 #include <string>
 
 #include "serve/Server.h"
+#include "telemetry/Telemetry.h"
 
 using namespace augur;
 using namespace augur::serve;
@@ -37,7 +49,10 @@ void onSignal(int) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--unix PATH | --host H --port P] [--workers N]\n"
-               "          [--queue N] [--cache N]\n",
+               "          [--queue N] [--cache N]\n"
+               "          [--metrics-port P] [--metrics-host H]\n"
+               "          [--access-log PATH] [--telemetry-dir DIR]\n"
+               "          [--no-diag]\n",
                Argv0);
   return 2;
 }
@@ -61,6 +76,16 @@ int main(int argc, char **argv) {
       Opts.QueueLimit = size_t(std::atoll(argv[++I]));
     else if (A == "--cache" && I + 1 < argc)
       Opts.CacheCapacity = size_t(std::atoll(argv[++I]));
+    else if (A == "--metrics-port" && I + 1 < argc)
+      Opts.MetricsPort = std::atoi(argv[++I]);
+    else if (A == "--metrics-host" && I + 1 < argc)
+      Opts.MetricsHost = argv[++I];
+    else if (A == "--access-log" && I + 1 < argc)
+      Opts.AccessLogPath = argv[++I];
+    else if (A == "--telemetry-dir" && I + 1 < argc)
+      Opts.TelemetryDir = argv[++I];
+    else if (A == "--no-diag")
+      Opts.Diag = false;
     else
       return usage(argv[0]);
   }
@@ -78,6 +103,12 @@ int main(int argc, char **argv) {
     std::printf("augur_serve: listening on %s:%d (%d workers, cache %zu)\n",
                 Opts.Host.c_str(), S.port(), Opts.Workers,
                 Opts.CacheCapacity);
+  if (S.metricsPort() > 0)
+    std::printf("augur_serve: metrics on http://%s:%d/metrics\n",
+                Opts.MetricsHost.c_str(), S.metricsPort());
+  if (!Opts.AccessLogPath.empty())
+    std::printf("augur_serve: access log at %s\n",
+                Opts.AccessLogPath.c_str());
   std::fflush(stdout);
 
   ActiveServer = &S;
@@ -85,7 +116,22 @@ int main(int argc, char **argv) {
   std::signal(SIGTERM, onSignal);
 
   S.wait();
-  S.stop();
+  S.stop(); // also fsyncs + closes the access log
+
+  // Final telemetry snapshot: when the recorder is live (AUGUR_TELEMETRY
+  // or a compiled request enabled it), persist metrics.json/trace.json
+  // via fsync + atomic rename so a SIGTERM'd deployment keeps its last
+  // complete state even if nothing ever scraped /metrics.
+  Recorder &Rec = Recorder::global();
+  if (Rec.enabled()) {
+    Status FlushSt = Rec.flushFiles();
+    if (!FlushSt.ok())
+      std::fprintf(stderr, "augur_serve: telemetry flush failed: %s\n",
+                   FlushSt.message().c_str());
+    else
+      std::printf("augur_serve: telemetry flushed to %s\n",
+                  Opts.TelemetryDir.c_str());
+  }
   ActiveServer = nullptr;
 
   ArtifactCacheStats CS = S.cacheStats();
