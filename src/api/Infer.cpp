@@ -184,8 +184,14 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
     AUGUR_RETURN_IF_ERROR(robust::writeCheckpoint(
         Path, snapshotProgram(Prog, Fingerprint, ChainId, SweepsDone,
                               SamplesKept)));
-  for (const auto &CU : Prog.updates())
+  for (const auto &CU : Prog.updates()) {
     Out.AcceptRates[updateDisplayName(CU.U)] = CU.Stats.acceptRate();
+    if (!CU.GibbsProc.empty()) {
+      int V = Prog.engine().procVectorized(CU.GibbsProc);
+      if (V >= 0)
+        Out.VectorizedUpdates[updateDisplayName(CU.U)] = V;
+    }
+  }
   if (diag::ChainDiag *D = Prog.chainDiag()) {
     Out.Rhat = D->rhats();
     Out.Ess = D->esses();

@@ -47,6 +47,13 @@ struct SampleSet {
   /// undefined (e.g. constant chains); ESS is clamped to [1, sweeps].
   std::map<std::string, double> Rhat;
   std::map<std::string, double> Ess;
+  /// Vector-plan status per base update (display name key): 1 = the
+  /// update's Gibbs procedure ran through a compiled vector plan
+  /// (exec/VecKernels.h), 0 = interpreted/native-scalar, absent = the
+  /// update has no Gibbs procedure. Filled after collection; the
+  /// scalar-fallback tests assert this map to prove both SIMD settings
+  /// produce the same SampleSet schema.
+  std::map<std::string, int> VectorizedUpdates;
 
   size_t size() const { return LogJoint.size(); }
 

@@ -248,7 +248,7 @@ struct VecRef {
 class CEmitter {
 public:
   CEmitter(const LowppProc &P, const Env &E, const CEmitOptions &Opts)
-      : P(P), E(&E), Parallel(Opts.NumThreads != 1) {}
+      : P(P), E(&E), Parallel(Opts.NumThreads != 1), Simd(Opts.Simd) {}
 
   Result<CModule> run() {
     AUGUR_RETURN_IF_ERROR(collectGlobals());
@@ -662,7 +662,10 @@ private:
         LocalScope Scope(*this);
         std::string Fn = "static void " + FnName +
                          "(void *vf, i64 lo, i64 hi) {\n"
-                         "  augur_frame *f = (augur_frame *)vf;\n"
+                         "  augur_frame *f = (augur_frame *)vf;\n" +
+                         (Simd && S.LK == LoopKind::Par
+                              ? std::string("#pragma GCC ivdep\n")
+                              : std::string()) +
                          "  for (i64 " +
                          S.LoopVar + " = lo; " + S.LoopVar + " < hi; ++" +
                          S.LoopVar + ") {" +
@@ -691,6 +694,8 @@ private:
       LoopVars.insert(S.LoopVar);
       LocalScope Scope(*this);
       std::string Out =
+          (Simd && S.LK == LoopKind::Par ? "#pragma GCC ivdep\n"
+                                         : std::string()) +
           Pad + strFormat("for (i64 %s = ", S.LoopVar.c_str()) + Lo +
           "; " + S.LoopVar + " < " + Hi + "; ++" + S.LoopVar + ") {" +
           (S.LK != LoopKind::Seq
@@ -783,6 +788,7 @@ private:
   const LowppProc &P;
   const Env *E;
   bool Parallel;
+  bool Simd;
   std::map<std::string, Global> Globals;
   std::vector<FrameField> Fields;
   std::set<std::string> LoopVars;

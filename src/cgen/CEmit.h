@@ -61,6 +61,12 @@ struct CModule {
 struct CEmitOptions {
   int NumThreads = 1;
   int64_t Grain = 16;
+  /// Annotate Par loop bodies for host-compiler vectorization
+  /// (`#pragma GCC ivdep` — Par loops are independent across
+  /// iterations by construction, so the no-alias promise is sound).
+  /// AtmPar loops are never annotated: their atomic read-modify-write
+  /// accumulations carry loop-carried dependences by design.
+  bool Simd = false;
 };
 
 /// Emits C for \p P. \p E supplies the shapes/kinds of the globals the

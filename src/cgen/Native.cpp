@@ -10,6 +10,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "math/Simd.h"
 #include "robust/FaultInject.h"
 #include "support/Format.h"
 
@@ -59,6 +60,7 @@ NativeEngine::getOrCompile(const std::string &Name) {
   CEmitOptions EmitOpts;
   EmitOpts.NumThreads = Par.NumThreads == 1 ? 1 : Par.resolvedThreads();
   EmitOpts.Grain = Par.Grain;
+  EmitOpts.Simd = simdEnabled();
   Result<CModule> Mod = emitC(proc(Name), env(), EmitOpts);
   if (!Mod.ok()) {
     NP.Reason = Mod.message();
@@ -78,6 +80,15 @@ NativeEngine::getOrCompile(const std::string &Name) {
     Out << Mod->Source;
   }
   std::string Cmd = Cc + " -O2 -fPIC -shared";
+  if (simdEnabled()) {
+    // Vector codegen for the annotated Par loops. No -ffast-math: the
+    // emitted arithmetic must stay bit-compatible with the interpreter
+    // (the differential harness compares streams exactly), so only
+    // reorderings that preserve IEEE semantics are allowed.
+    Cmd += " -ftree-vectorize -ffp-contract=off";
+    if (simd::cpuHasAvx2())
+      Cmd += " -mavx2";
+  }
   if (Mod->Parallel)
     Cmd += " -pthread -fno-strict-aliasing";
   Cmd += " -o " + SoPath + " " + CPath + " -lm 2>/dev/null";
@@ -176,6 +187,16 @@ void NativeEngine::runProc(const std::string &Name) {
   // folded: a sequential module reports zeros, matching the
   // interpreter's silence for sequential execution.
   Recorder *T = telemetry();
+  // A natively-executed proc under an armed SIMD policy is the native
+  // backend's vector path (ivdep-annotated, host-vectorized module);
+  // record the same three vec_* keys the interpreter engine exports so
+  // both backends keep an identical metric schema.
+  if (simdEnabled() && T && T->enabled()) {
+    const ExecTelemetryKeys &K = telemetryKeys();
+    T->count(K.VecRuns, 1);
+    T->count(K.VecFallback, 0);
+    T->count(K.VecAlias, 0);
+  }
   if (NP.Profile && T && T->enabled()) {
     long long Prof[6] = {0, 0, 0, 0, 0, 0};
     NP.Profile(Prof);

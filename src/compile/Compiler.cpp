@@ -359,6 +359,17 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   if (Opts.Tgt == CompileOptions::Target::Cpu && Opts.Par.NumThreads != 1)
     Prog->Eng->setParallel(&ThreadPool::global(Opts.Par.resolvedThreads()),
                            Opts.Par);
+  // Vector plan policy, resolved once per compile. Fault injection
+  // counts as armed from either the options field or the environment:
+  // the injector's probes live on the scalar interpreter paths, so
+  // Auto must not route hot procs around them.
+  bool FaultsArmed = !Opts.FaultSpec.empty();
+  if (const char *FS = std::getenv("AUGUR_FAULT_SPEC"))
+    FaultsArmed = FaultsArmed || FS[0] != '\0';
+  Prog->Eng->setSimd(simd::resolveEnabled(
+      Opts.Simd, Opts.Tgt == CompileOptions::Target::Cpu,
+      Opts.Par.NumThreads == 1 ? 1 : Opts.Par.resolvedThreads(),
+      FaultsArmed));
   std::string ChainPrefix = strFormat("chain%d/", Opts.ChainIndex);
   Prog->Eng->setTelemetry(&Rec, ChainPrefix + "exec/");
   Prog->SweepLJKey = ChainPrefix + "sweep/log_joint";

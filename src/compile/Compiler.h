@@ -23,6 +23,7 @@
 #include "exec/GpuSim.h"
 #include "kernel/Schedule.h"
 #include "lang/Parser.h"
+#include "math/Simd.h"
 #include "mcmc/Drivers.h"
 #include "parallel/ThreadPool.h"
 #include "telemetry/Telemetry.h"
@@ -82,6 +83,13 @@ struct CompileOptions {
   /// time. The env var AUGUR_FAULT_SPEC wins over this field. Empty
   /// (the default) disables injection.
   std::string FaultSpec;
+  /// Vectorized sampler hot path (DESIGN.md section 15): compiled proc
+  /// plans on the interpreter/native engines plus host-vectorized
+  /// emitted C. Auto (the default) arms sequential CPU programs unless
+  /// a fault-injection spec is active; AUGUR_SIMD=0/1 overrides Auto.
+  /// With the alias table disabled the vector path replays the scalar
+  /// sample stream bit-identically (see exec/VecKernels.h).
+  simd::SimdMode Simd = simd::SimdMode::Auto;
   /// Streaming convergence diagnostics (DESIGN.md "Observability
   /// plane"): per-variable split-R̂/ESS accumulated every sweep and
   /// published as chain<k>/diag/* gauges, plus divergence/guard rollup

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "exec/Interp.h"
+#include "exec/VecKernels.h"
 
 namespace augur {
 
@@ -51,6 +52,19 @@ public:
     (void)R;
     (void)Prefix;
   }
+
+  /// Enables the vectorized proc plans (exec/VecKernels.h). Resolved by
+  /// the compiler from CompileOptions::Simd / AUGUR_SIMD; default no-op
+  /// for engines without a vector path.
+  virtual void setSimd(bool On) { (void)On; }
+
+  /// Vectorization status of a registered proc: 1 = runs through a
+  /// compiled plan, 0 = interpreted (SIMD off or plan rejected),
+  /// -1 = unknown proc / engine has no vector path.
+  virtual int procVectorized(const std::string &Name) {
+    (void)Name;
+    return -1;
+  }
 };
 
 /// CPU engine: direct Low++ interpretation.
@@ -67,9 +81,19 @@ public:
   }
   void setParallel(ThreadPool *Pool, const ParallelConfig &Cfg) override {
     I.setParallel(Pool, Cfg.Grain);
+    PooledMode = Pool != nullptr;
   }
   void setTelemetry(Recorder *R, const std::string &Prefix) override {
     I.setTelemetry(R, Prefix);
+  }
+  void setSimd(bool On) override { SimdOn = On; }
+  bool simdEnabled() const { return SimdOn; }
+  int procVectorized(const std::string &Name) override {
+    if (!Procs.count(Name))
+      return -1;
+    if (!SimdOn)
+      return 0;
+    return planFor(Name) ? 1 : 0;
   }
 
   const LowppProc &proc(const std::string &Name) const {
@@ -80,10 +104,18 @@ public:
   const ExecTelemetryKeys &telemetryKeys() const { return I.telemetryKeys(); }
 
 private:
+  /// Plan cache: nullptr entries record procs the plan compiler
+  /// rejected so they are not re-attempted every sweep. addProc
+  /// invalidates the proc's entry.
+  vec::VecPlan *planFor(const std::string &Name);
+
   Env Globals;
   RNG Rng;
   Interp I;
   std::map<std::string, LowppProc> Procs;
+  std::map<std::string, std::unique_ptr<vec::VecPlan>> Plans;
+  bool SimdOn = false;
+  bool PooledMode = false;
 };
 
 } // namespace augur

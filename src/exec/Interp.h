@@ -68,6 +68,9 @@ struct ExecTelemetryKeys {
   std::string Steals;  ///< "<prefix>par_steals"
   std::string Busy;    ///< "<prefix>par_busy_nanos"
   std::string Thread;  ///< "<prefix>par_thread_nanos"
+  std::string VecRuns;     ///< "<prefix>vec_proc_runs"
+  std::string VecFallback; ///< "<prefix>vec_fallback_runs"
+  std::string VecAlias;    ///< "<prefix>vec_alias_draws"
 
   void build(const std::string &Prefix) {
     Loops = Prefix + "par_loops";
@@ -76,6 +79,9 @@ struct ExecTelemetryKeys {
     Steals = Prefix + "par_steals";
     Busy = Prefix + "par_busy_nanos";
     Thread = Prefix + "par_thread_nanos";
+    VecRuns = Prefix + "vec_proc_runs";
+    VecFallback = Prefix + "vec_fallback_runs";
+    VecAlias = Prefix + "vec_alias_draws";
   }
 };
 

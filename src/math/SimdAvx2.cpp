@@ -1,0 +1,114 @@
+//===- math/SimdAvx2.cpp - AVX2 kernel table ------------------------------===//
+//
+// The one translation unit built with -mavx2 (see src/CMakeLists.txt);
+// everything else in the tree stays at the baseline ISA so the binary
+// runs on non-AVX2 hosts, where detail::avx2Table() is simply never
+// dispatched to. Each kernel performs the scalar loop's operations per
+// lane in element order with no FMA contraction and no reassociation,
+// so results are bit-identical to math/Simd.cpp's reference loops (the
+// contract tests/simd_kernels_test.cpp enforces bitwise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "math/SimdKernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace {
+
+constexpr int64_t W = 4; // doubles per 256-bit lane group
+
+void aFillZero(double *Dst, int64_t N) {
+  __m256d Z = _mm256_setzero_pd();
+  int64_t I = 0;
+  for (; I + W <= N; I += W)
+    _mm256_storeu_pd(Dst + I, Z);
+  for (; I < N; ++I)
+    Dst[I] = 0.0;
+}
+
+void aFillConst(double *Dst, double C, int64_t N) {
+  __m256d V = _mm256_set1_pd(C);
+  int64_t I = 0;
+  for (; I + W <= N; I += W)
+    _mm256_storeu_pd(Dst + I, V);
+  for (; I < N; ++I)
+    Dst[I] = C;
+}
+
+#define AUGUR_AVX2_BINOP(NAME, INTRIN, OP)                                   \
+  void NAME(double *Dst, const double *A, const double *B, int64_t N) {      \
+    int64_t I = 0;                                                           \
+    for (; I + W <= N; I += W)                                               \
+      _mm256_storeu_pd(Dst + I, INTRIN(_mm256_loadu_pd(A + I),               \
+                                       _mm256_loadu_pd(B + I)));             \
+    for (; I < N; ++I)                                                       \
+      Dst[I] = A[I] OP B[I];                                                 \
+  }
+
+AUGUR_AVX2_BINOP(aAdd, _mm256_add_pd, +)
+AUGUR_AVX2_BINOP(aSub, _mm256_sub_pd, -)
+AUGUR_AVX2_BINOP(aMul, _mm256_mul_pd, *)
+AUGUR_AVX2_BINOP(aDiv, _mm256_div_pd, /)
+#undef AUGUR_AVX2_BINOP
+
+void aNeg(double *Dst, const double *A, int64_t N) {
+  // IEEE negation is a sign-bit flip; matches scalar -x for every
+  // input including NaN payloads and signed zeros.
+  __m256d SignBit = _mm256_set1_pd(-0.0);
+  int64_t I = 0;
+  for (; I + W <= N; I += W)
+    _mm256_storeu_pd(Dst + I,
+                     _mm256_xor_pd(_mm256_loadu_pd(A + I), SignBit));
+  for (; I < N; ++I)
+    Dst[I] = -A[I];
+}
+
+void aGather(double *Dst, const double *Src, const int64_t *Idx, int64_t N) {
+  int64_t I = 0;
+  for (; I + W <= N; I += W) {
+    __m256i V = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(Idx + I));
+    _mm256_storeu_pd(Dst + I, _mm256_i64gather_pd(Src, V, 8));
+  }
+  for (; I < N; ++I)
+    Dst[I] = Src[Idx[I]];
+}
+
+void aNormalRow(double *Dst, const double *X, int64_t N, double Mean,
+                double Var, double A) {
+  __m256d VM = _mm256_set1_pd(Mean);
+  __m256d VV = _mm256_set1_pd(Var);
+  __m256d VA = _mm256_set1_pd(A);
+  __m256d Half = _mm256_set1_pd(-0.5);
+  int64_t I = 0;
+  for (; I + W <= N; I += W) {
+    __m256d Z = _mm256_sub_pd(_mm256_loadu_pd(X + I), VM);
+    __m256d Q = _mm256_div_pd(_mm256_mul_pd(Z, Z), VV);
+    _mm256_storeu_pd(Dst + I, _mm256_mul_pd(Half, _mm256_add_pd(VA, Q)));
+  }
+  for (; I < N; ++I) {
+    double Z = X[I] - Mean;
+    Dst[I] = -0.5 * (A + Z * Z / Var);
+  }
+}
+
+const augur::simd::detail::KernelTable Avx2Table = {
+    aFillZero, aFillConst, aAdd, aSub, aMul, aDiv, aNeg, aGather, aNormalRow,
+    "avx2"};
+
+} // namespace
+
+const augur::simd::detail::KernelTable *augur::simd::detail::avx2Table() {
+  return &Avx2Table;
+}
+
+#else // !__AVX2__
+
+const augur::simd::detail::KernelTable *augur::simd::detail::avx2Table() {
+  return nullptr;
+}
+
+#endif

@@ -1,0 +1,42 @@
+//===- math/SimdKernels.h - Internal kernel-table ABI ----------*- C++ -*-===//
+///
+/// \file
+/// Internal function-pointer table shared between the scalar reference
+/// implementation (math/Simd.cpp) and the AVX2 translation unit
+/// (math/SimdAvx2.cpp, built with -mavx2). Not part of the public
+/// surface — include math/Simd.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_MATH_SIMDKERNELS_H
+#define AUGUR_MATH_SIMDKERNELS_H
+
+#include <cstdint>
+
+namespace augur {
+namespace simd {
+namespace detail {
+
+struct KernelTable {
+  void (*FillZero)(double *, int64_t);
+  void (*FillConst)(double *, double, int64_t);
+  void (*Add)(double *, const double *, const double *, int64_t);
+  void (*Sub)(double *, const double *, const double *, int64_t);
+  void (*Mul)(double *, const double *, const double *, int64_t);
+  void (*Div)(double *, const double *, const double *, int64_t);
+  void (*Neg)(double *, const double *, int64_t);
+  void (*Gather)(double *, const double *, const int64_t *, int64_t);
+  void (*NormalRow)(double *, const double *, int64_t, double, double,
+                    double);
+  const char *Isa;
+};
+
+/// The AVX2 table, or nullptr when this build carries no AVX2 code
+/// (non-x86 hosts). The caller checks cpuid before using it.
+const KernelTable *avx2Table();
+
+} // namespace detail
+} // namespace simd
+} // namespace augur
+
+#endif // AUGUR_MATH_SIMDKERNELS_H

@@ -1,0 +1,55 @@
+//===- runtime/AliasTable.cpp - Vose construction -------------------------===//
+
+#include "runtime/AliasTable.h"
+
+#include <cmath>
+
+using namespace augur;
+
+void AliasTable::build(const double *W, int64_t K) {
+  Prob.clear();
+  Alias.clear();
+  if (K <= 0)
+    return;
+  double Sum = 0.0;
+  for (int64_t I = 0; I < K; ++I) {
+    if (!std::isfinite(W[I]) || W[I] < 0.0)
+      return;
+    Sum += W[I];
+  }
+  if (!(Sum > 0.0) || !std::isfinite(Sum))
+    return;
+
+  // Vose's stable two-worklist construction: scale to mean 1, pair
+  // each deficient bucket with a surplus donor.
+  std::vector<double> Scaled(static_cast<size_t>(K), 0.0);
+  for (int64_t I = 0; I < K; ++I)
+    Scaled[size_t(I)] = W[I] * double(K) / Sum;
+
+  Prob.assign(size_t(K), 1.0);
+  Alias.assign(size_t(K), 0);
+  for (int64_t I = 0; I < K; ++I)
+    Alias[size_t(I)] = I;
+
+  std::vector<int64_t> Small, Large;
+  Small.reserve(size_t(K));
+  Large.reserve(size_t(K));
+  for (int64_t I = 0; I < K; ++I)
+    (Scaled[size_t(I)] < 1.0 ? Small : Large).push_back(I);
+
+  while (!Small.empty() && !Large.empty()) {
+    int64_t S = Small.back();
+    Small.pop_back();
+    int64_t L = Large.back();
+    Large.pop_back();
+    Prob[size_t(S)] = Scaled[size_t(S)];
+    Alias[size_t(S)] = L;
+    Scaled[size_t(L)] -= 1.0 - Scaled[size_t(S)];
+    (Scaled[size_t(L)] < 1.0 ? Small : Large).push_back(L);
+  }
+  // Leftovers are within rounding of 1; they keep Prob = 1 (self-alias).
+  for (int64_t I : Large)
+    Prob[size_t(I)] = 1.0;
+  for (int64_t I : Small)
+    Prob[size_t(I)] = 1.0;
+}

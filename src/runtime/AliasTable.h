@@ -1,0 +1,68 @@
+//===- runtime/AliasTable.h - Vose alias method ----------------*- C++ -*-===//
+///
+/// \file
+/// Walker/Vose alias table for O(1) categorical draws, used by the
+/// exec-layer proc plans (exec/VecKernels.h) for element-invariant
+/// discrete sites with large support — LDA-style token loops where the
+/// same score row is shared by every element of a draw batch. Lifecycle
+/// (DESIGN.md section 15): built once per proc invocation from the
+/// hoisted score row, used for every element of the batch, discarded;
+/// it never persists across sweeps, so there is no staleness protocol.
+///
+/// Sampling consumes exactly ONE uniform per draw (index and
+/// accept/alias decision both derived from it), so plans that switch a
+/// site to the alias table keep the master RNG consumption count equal
+/// to the cumulative-walk path — downstream sites see an unchanged
+/// stream position even though this site's draws differ (the site
+/// itself is Geweke-validated, not bit-identical; see
+/// simd::aliasOverride / aliasMinSupport for selection).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_RUNTIME_ALIASTABLE_H
+#define AUGUR_RUNTIME_ALIASTABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/RNG.h"
+
+namespace augur {
+
+class AliasTable {
+public:
+  /// Builds the table from \p K unnormalized non-negative weights.
+  /// Weights with a non-finite or negative value, or an all-zero row,
+  /// leave the table empty (ok() false); callers fall back to the
+  /// dense sampler.
+  void build(const double *W, int64_t K);
+
+  bool ok() const { return !Prob.empty(); }
+  int64_t size() const { return int64_t(Prob.size()); }
+
+  /// Draws one category using a single uniform: U*K selects the
+  /// bucket, the fractional remainder decides accept-vs-alias.
+  int64_t sample(RNG &Rng) const {
+    double S = Rng.uniform() * double(Prob.size());
+    int64_t I = int64_t(S);
+    if (I >= int64_t(Prob.size())) // guard U == 1.0 - ulp edge
+      I = int64_t(Prob.size()) - 1;
+    return (S - double(I)) < Prob[size_t(I)] ? I : Alias[size_t(I)];
+  }
+
+  /// Construction internals, exposed for the property tests
+  /// (tests/alias_table_test.cpp): per-bucket acceptance probability
+  /// and alias target. The invariant is that
+  ///   p[i] = (Prob[i] + sum_{j: Alias[j]==i} (1 - Prob[j])) / K
+  /// reconstructs the normalized input weights.
+  const std::vector<double> &prob() const { return Prob; }
+  const std::vector<int64_t> &alias() const { return Alias; }
+
+private:
+  std::vector<double> Prob;
+  std::vector<int64_t> Alias;
+};
+
+} // namespace augur
+
+#endif // AUGUR_RUNTIME_ALIASTABLE_H

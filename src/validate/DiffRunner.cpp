@@ -71,6 +71,7 @@ BackendRun runBackend(const GeneratedModel &GM, bool Native,
         CO.NativeCpu = Native;
         CO.Seed = Opts.ChainSeed;
         CO.UserSchedule = GM.Schedule;
+        CO.Simd = Opts.Simd;
         Aug.setCompileOpt(CO);
         Out.Where = Phase::Compile;
         AUGUR_RETURN_IF_ERROR(Aug.compile(GM.HyperArgs, GM.Data));
@@ -196,6 +197,164 @@ DiffReport augur::validate::diffBackends(const GeneratedModel &GM,
     }
   }
   Rep.Passed = true;
+  return Rep;
+}
+
+namespace {
+
+/// Draw-by-draw comparison of two runs' streams; fills \p Rep through
+/// \p fail on divergence. \p Bitwise selects exact comparison.
+bool compareStreams(const SampleSet &A, const SampleSet &B, bool Bitwise,
+                    double StatTol,
+                    const std::function<void(const std::string &)> &Fail) {
+  if (A.Draws.size() != B.Draws.size()) {
+    Fail("runs recorded different parameters");
+    return false;
+  }
+  for (const auto &KV : A.Draws) {
+    auto It = B.Draws.find(KV.first);
+    if (It == B.Draws.end() || It->second.size() != KV.second.size()) {
+      Fail(strFormat("parameter '%s' missing or stream length differs",
+                     KV.first.c_str()));
+      return false;
+    }
+    if (Bitwise) {
+      for (size_t I = 0; I < KV.second.size(); ++I)
+        if (!bitIdentical(KV.second[I], It->second[I])) {
+          Fail(strFormat("sample streams diverge at draw %zu of '%s'", I,
+                         KV.first.c_str()));
+          return false;
+        }
+    } else {
+      double MA = firstComponentMean(KV.second);
+      double MB = firstComponentMean(It->second);
+      if (std::abs(MA - MB) > StatTol) {
+        Fail(strFormat("posterior means of '%s' differ: %g vs %g",
+                       KV.first.c_str(), MA, MB));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+SimdDiffReport augur::validate::diffSimd(const GeneratedModel &GM,
+                                         const DiffOptions &Opts) {
+  SimdDiffReport Rep;
+  DiffOptions Scalar = Opts;
+  Scalar.Simd = simd::SimdMode::Off;
+  DiffOptions Vector = Opts;
+  Vector.Simd = simd::SimdMode::On;
+
+  BackendRun A = runBackend(GM, /*Native=*/false, Scalar);
+  BackendRun B = runBackend(GM, /*Native=*/false, Vector);
+  BackendRun C = runBackend(GM, /*Native=*/true, Vector);
+  Rep.NumNativeProcs = C.NumNativeProcs;
+  for (const auto &KV : B.Samples.VectorizedUpdates)
+    Rep.NumVectorized += KV.second;
+
+  auto fail = [&](Phase Where, const std::string &Config,
+                  const std::string &Msg) {
+    Rep.Passed = false;
+    Rep.Failure.Where = Where;
+    Rep.Failure.Seed = GM.Seed;
+    Rep.Failure.ModelSource = GM.Source;
+    Rep.Failure.Schedule = GM.Schedule;
+    Rep.Failure.Backend = Config;
+    Rep.Failure.Message = Msg;
+  };
+
+  if (!A.St.ok() || !B.St.ok() || !C.St.ok()) {
+    // All three rejecting at compile with one message = model outside
+    // the supported fragment. Anything else is a finding: the SIMD
+    // switch must never change which programs compile or fault.
+    if (!A.St.ok() && !B.St.ok() && !C.St.ok() &&
+        A.St.message() == B.St.message() &&
+        A.St.message() == C.St.message() && A.Where == Phase::Compile &&
+        B.Where == Phase::Compile && C.Where == Phase::Compile) {
+      Rep.Passed = true;
+      Rep.Skipped = true;
+      return Rep;
+    }
+    const BackendRun *Bad = !A.St.ok() ? &A : (!B.St.ok() ? &B : &C);
+    const char *Which = !A.St.ok() ? "scalar-interp"
+                        : (!B.St.ok() ? "vector-interp" : "vector-native");
+    fail(Bad->Where, Which,
+         strFormat("configurations disagree on validity: %s: %s", Which,
+                   Bad->St.message().c_str()));
+    return Rep;
+  }
+
+  // Scalar-interp vs vector-interp: always bitwise — same engine, same
+  // RNG protocol, only the plan path differs.
+  if (!compareStreams(A.Samples, B.Samples, /*Bitwise=*/true, Opts.StatTol,
+                      [&](const std::string &M) {
+                        fail(Phase::Compare, "scalar-interp/vector-interp",
+                             M);
+                      }))
+    return Rep;
+  // Scalar-interp vs vector-native: bitwise unless the caller relaxed
+  // it (mirrors diffBackends' contract for the native backend).
+  if (!compareStreams(A.Samples, C.Samples, Opts.RequireBitIdentical,
+                      Opts.StatTol, [&](const std::string &M) {
+                        fail(Phase::Compare, "scalar-interp/vector-native",
+                             M);
+                      }))
+    return Rep;
+  Rep.Passed = true;
+  return Rep;
+}
+
+FuzzReport augur::validate::fuzzOneSimd(uint64_t Seed,
+                                        const GenOptions &GOpts,
+                                        const DiffOptions &DOpts) {
+  FuzzReport Rep;
+  ModelSpec Spec = generateSpec(Seed, GOpts);
+
+  auto runSpec = [&](const ModelSpec &S) -> SimdDiffReport {
+    Result<GeneratedModel> GM = materialize(S);
+    if (!GM.ok()) {
+      SimdDiffReport R;
+      R.Passed = false;
+      R.Failure.Where = Phase::Generate;
+      R.Failure.Seed = S.Seed;
+      R.Failure.ModelSource = S.source();
+      R.Failure.Message = GM.message();
+      return R;
+    }
+    return diffSimd(*GM, DOpts);
+  };
+
+  SimdDiffReport First = runSpec(Spec);
+  if (First.Passed) {
+    Rep.Passed = true;
+    Rep.Skipped = First.Skipped;
+    return Rep;
+  }
+  Rep.Original = Spec.source();
+
+  SimdDiffReport Last = First;
+  const int MaxSteps = 64;
+  for (int Step = 0; Step < MaxSteps; ++Step) {
+    bool Shrunk = false;
+    for (const ModelSpec &Cand : shrinkCandidates(Spec)) {
+      SimdDiffReport R = runSpec(Cand);
+      if (!R.Passed && !R.Skipped) {
+        Spec = Cand;
+        Last = R;
+        ++Rep.ShrinkSteps;
+        Shrunk = true;
+        break;
+      }
+    }
+    if (!Shrunk)
+      break;
+  }
+  Rep.Passed = false;
+  Rep.Failure = Last.Failure;
+  Rep.Failure.Seed = Seed;
   return Rep;
 }
 

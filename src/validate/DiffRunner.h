@@ -22,6 +22,7 @@
 
 #include <functional>
 
+#include "math/Simd.h"
 #include "validate/ModelGen.h"
 
 namespace augur {
@@ -41,6 +42,10 @@ struct DiffOptions {
   /// Test hook: mutates the second (native) program after init, to
   /// verify that an injected miscompile is caught and shrunk.
   std::function<void(MCMCProgram &)> InjectB;
+  /// Vector-plan policy passed to both backends (CompileOptions::Simd).
+  /// diffBackends runs both sides at this setting; diffSimd overrides
+  /// it per side. The default Auto preserves ambient behavior.
+  simd::SimdMode Simd = simd::SimdMode::Auto;
 };
 
 /// Result of one differential run.
@@ -74,6 +79,34 @@ struct FuzzReport {
 /// on failure to a minimal reproducer.
 FuzzReport fuzzOne(uint64_t Seed, const GenOptions &GOpts,
                    const DiffOptions &DOpts);
+
+/// Result of one three-way SIMD differential run.
+struct SimdDiffReport {
+  bool Passed = false;
+  bool Skipped = false;
+  /// Updates whose Gibbs procedure ran through a compiled vector plan
+  /// in the vector-interp configuration — the coverage signal; tests
+  /// assert it is nonzero for models with conjugate/enumeration sites
+  /// so the differential is exercising real vector code.
+  int NumVectorized = 0;
+  /// Natively-compiled procs in the vector-native configuration.
+  int NumNativeProcs = 0;
+  Diag Failure; ///< valid when !Passed && !Skipped
+};
+
+/// Runs \p GM three ways with identical seeds — scalar-interp
+/// (Simd=Off), vector-interp (Simd=On), vector-native (Simd=On,
+/// NativeCpu) — and requires all three sample streams bit-identical
+/// (vector plans replay the interpreter's RNG consumption exactly;
+/// see exec/VecKernels.h). Honors Opts.RequireBitIdentical for the
+/// native leg like diffBackends.
+SimdDiffReport diffSimd(const GeneratedModel &GM, const DiffOptions &Opts);
+
+/// fuzzOne over the three-way SIMD differential: generates the model
+/// for \p Seed, compares scalar vs vector paths, and shrinks failures
+/// to a minimal reproducer.
+FuzzReport fuzzOneSimd(uint64_t Seed, const GenOptions &GOpts,
+                       const DiffOptions &DOpts);
 
 } // namespace validate
 } // namespace augur
