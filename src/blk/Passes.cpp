@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "support/Format.h"
 
@@ -194,6 +195,61 @@ int64_t evalExtent(const ExprPtr &Lo, const ExprPtr &Hi, const Env &E,
   return evalIntExpr(Hi, Ctx) - evalIntExpr(Lo, Ctx);
 }
 
+/// True if \p Expr can be evaluated against \p E with unknown BARE
+/// variables probed as integer loop counters. Any variable consumed as
+/// a container — an index-chain root or a Len/Rows/Dot argument — must
+/// actually be bound: the evaluator resolves those through the
+/// environment only, and planning runs before lazily-created buffers
+/// (interpreter locals, adjoint accumulators) exist, so an unguarded
+/// eval of e.g. `Lengths[d]` with an unbound root faults.
+bool boundEvaluable(const ExprPtr &Expr, const Env &E) {
+  switch (Expr->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+  case Expr::Kind::Var:
+    return true; // probed when unbound
+  case Expr::Kind::Index: {
+    ExprPtr Cur = Expr;
+    while (Cur->kind() == Expr::Kind::Index) {
+      if (!boundEvaluable(Cur->idx(), E))
+        return false;
+      Cur = Cur->base();
+    }
+    return Cur->kind() == Expr::Kind::Var && E.count(Cur->varName()) > 0;
+  }
+  case Expr::Kind::Prim: {
+    PrimOp Op = Expr->primOp();
+    bool NeedsBound = Op == PrimOp::Len || Op == PrimOp::Rows ||
+                      Op == PrimOp::Dot;
+    for (const auto &A : Expr->args()) {
+      if (!boundEvaluable(A, E))
+        return false;
+      if (NeedsBound && A->kind() == Expr::Kind::Var &&
+          !E.count(A->varName()))
+        return false;
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+/// evalExtent with the probedExtent safety contract: unknown bare
+/// variables are probed to 0 and bounds the evaluator cannot resolve
+/// (unbound container roots) report extent 0 instead of faulting.
+int64_t safeExtent(const ExprPtr &Lo, const ExprPtr &Hi, const Env &E) {
+  if (!boundEvaluable(Lo, E) || !boundEvaluable(Hi, E))
+    return 0;
+  std::vector<std::string> Vars;
+  Lo->collectVars(Vars);
+  Hi->collectVars(Vars);
+  std::map<std::string, int64_t> Probe;
+  for (const auto &V : Vars)
+    if (!E.count(V))
+      Probe[V] = 0;
+  return evalExtent(Lo, Hi, E, Probe);
+}
+
 } // namespace
 
 int augur::commuteLoops(BlkProc &P, const Env &E, const BlkOptions &O) {
@@ -210,8 +266,10 @@ int augur::commuteLoops(BlkProc &P, const Env &E, const BlkOptions &O) {
     // hoisted.
     if (Inner->Lo->mentionsVar(B.Var) || Inner->Hi->mentionsVar(B.Var))
       continue;
-    int64_t OuterExt = evalExtent(B.Lo, B.Hi, E, {});
-    int64_t InnerExt = evalExtent(Inner->Lo, Inner->Hi, E, {});
+    int64_t OuterExt = safeExtent(B.Lo, B.Hi, E);
+    int64_t InnerExt = safeExtent(Inner->Lo, Inner->Hi, E);
+    if (InnerExt <= 0)
+      continue;
     if (InnerExt < O.CommuteFactor * OuterExt)
       continue;
     // Swap: the big extent becomes the thread dimension.
@@ -312,14 +370,8 @@ void collectInnerExtents(const std::vector<LStmtPtr> &Body, const Env &E,
       continue;
     // Bind enclosing loop variables to 0: extents indexed through them
     // (e.g. len(x[n])) are uniform across the block in generated code.
-    std::vector<std::string> Vars;
-    S->Lo->collectVars(Vars);
-    S->Hi->collectVars(Vars);
-    std::map<std::string, int64_t> Probe;
-    for (const auto &V : Vars)
-      if (!E.count(V))
-        Probe[V] = 0;
-    Out[S->LoopVar] = evalExtent(S->Lo, S->Hi, E, Probe);
+    // Bounds the evaluator cannot resolve probe to 0.
+    Out[S->LoopVar] = safeExtent(S->Lo, S->Hi, E);
     collectInnerExtents(S->Body, E, Out);
   }
 }
@@ -396,7 +448,7 @@ int augur::convertSumBlocks(BlkProc &P, const Env &E, const BlkOptions &O) {
     // inner index value.
     std::map<std::string, int64_t> InnerExtents;
     collectInnerExtents(B.Body, E, InnerExtents);
-    int64_t Threads = evalExtent(B.Lo, B.Hi, E, {});
+    int64_t Threads = safeExtent(B.Lo, B.Hi, E);
     bool Convertible = true;
     std::map<std::string, int64_t> LocationsByVar;
     for (const auto *T : Targets) {
@@ -464,6 +516,367 @@ int augur::convertSumBlocks(BlkProc &P, const Env &E, const BlkOptions &O) {
   }
   P.Blocks = std::move(NewBlocks);
   return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// CPU reduction planning
+//===----------------------------------------------------------------------===//
+
+const char *augur::reduceModeName(ReduceMode M) {
+  switch (M) {
+  case ReduceMode::Auto:
+    return "auto";
+  case ReduceMode::Atomic:
+    return "atomic";
+  case ReduceMode::MapReduce:
+    return "mapreduce";
+  }
+  return "?";
+}
+
+bool augur::shouldMapReduce(int64_t Width, int64_t Ops, int64_t Locations,
+                            const CpuReduceOptions &O) {
+  if (Ops <= 0 || Locations <= 0)
+    return false;
+  // The paper's contention ratio, with the pool width standing in for
+  // the GPU's one-thread-per-iteration width.
+  if (Width * Ops / Locations < O.ContentionThreshold)
+    return false;
+  // Zeroing + folding the partials touches Shards * Locations slots;
+  // refuse when that traffic dwarfs the accumulation work itself.
+  return O.Shards * Locations <= O.FoldBudget * Ops;
+}
+
+namespace {
+
+/// Whether \p S can consume random bits anywhere in its subtree.
+bool stmtEverSamples(const LStmt &S) {
+  switch (S.K) {
+  case LStmt::Kind::Sample:
+  case LStmt::Kind::SampleLogits:
+  case LStmt::Kind::ConjSample:
+    return true;
+  case LStmt::Kind::If:
+    for (const auto &T : S.Then)
+      if (stmtEverSamples(*T))
+        return true;
+    return false;
+  case LStmt::Kind::Loop:
+    for (const auto &B : S.Body)
+      if (stmtEverSamples(*B))
+        return true;
+    return false;
+  default:
+    return false;
+  }
+}
+
+/// Extent of one loop with unknown (enclosing) variables probed to 0,
+/// the same convention as collectInnerExtents.
+int64_t probedExtent(const LStmt &L, const Env &E) {
+  return std::max<int64_t>(safeExtent(L.Lo, L.Hi, E), 0);
+}
+
+/// One global accumulation found under a pooled loop.
+struct AccumSite {
+  const LValue *Dest = nullptr;
+  int64_t Ops = 0;          ///< enclosing-extent product
+  bool UnderAtmPar = false; ///< executes with atomic increments
+  bool OwnerIndexed = false; ///< leading index == pooled block variable
+};
+
+struct LoopScan {
+  std::vector<AccumSite> Accums;
+  bool HasSampling = false;
+};
+
+void scanAccums(const std::vector<LStmtPtr> &Body, const Env &E,
+                const std::string &TopVar, int64_t Mult, bool Atm,
+                std::vector<std::string> &BodyLocals, LoopScan &Out) {
+  ExprPtr TopVarE = Expr::var(TopVar);
+  for (const auto &S : Body) {
+    switch (S->K) {
+    case LStmt::Kind::DeclLocal:
+      BodyLocals.push_back(S->LocalName);
+      break;
+    case LStmt::Kind::Sample:
+    case LStmt::Kind::SampleLogits:
+    case LStmt::Kind::ConjSample:
+      Out.HasSampling = true;
+      break;
+    case LStmt::Kind::Assign:
+      if (!S->Accum)
+        break;
+      [[fallthrough]];
+    case LStmt::Kind::AccumLL:
+    case LStmt::Kind::AccumGrad:
+    case LStmt::Kind::AccumOuter:
+    case LStmt::Kind::AccumVec: {
+      bool IsLocal = std::find(BodyLocals.begin(), BodyLocals.end(),
+                               S->Dest.Var) != BodyLocals.end();
+      if (IsLocal)
+        break;
+      AccumSite A;
+      A.Dest = &S->Dest;
+      A.Ops = Mult;
+      A.UnderAtmPar = Atm;
+      A.OwnerIndexed = !S->Dest.Idxs.empty() &&
+                       Expr::structEq(S->Dest.Idxs[0], TopVarE);
+      Out.Accums.push_back(A);
+      break;
+    }
+    case LStmt::Kind::If:
+      scanAccums(S->Then, E, TopVar, Mult, Atm, BodyLocals, Out);
+      break;
+    case LStmt::Kind::Loop: {
+      int64_t Ext = probedExtent(*S, E);
+      scanAccums(S->Body, E, TopVar, Mult * std::max<int64_t>(Ext, 1),
+                 Atm || S->LK == LoopKind::AtmPar, BodyLocals, Out);
+      break;
+    }
+    }
+  }
+}
+
+/// Post-order owner-indexed demotion: an AtmPar loop whose every global
+/// accumulation (at any depth) leads with the pooled block variable has
+/// one writer per location, so plain increments are race-free and
+/// bit-identical to the atomic result. Returns whether the subtree's
+/// global accums are all owner-indexed (and records whether any exist).
+bool demoteOwnerIndexed(LStmt &L, const std::string &TopVar,
+                        std::vector<std::string> BodyLocals, int &Demoted,
+                        bool &AnyAccum) {
+  ExprPtr TopVarE = Expr::var(TopVar);
+  bool AllOwner = true;
+  bool SubAny = false;
+  for (const auto &S : L.Body) {
+    switch (S->K) {
+    case LStmt::Kind::DeclLocal:
+      BodyLocals.push_back(S->LocalName);
+      break;
+    case LStmt::Kind::Assign:
+      if (!S->Accum)
+        break;
+      [[fallthrough]];
+    case LStmt::Kind::AccumLL:
+    case LStmt::Kind::AccumGrad:
+    case LStmt::Kind::AccumOuter:
+    case LStmt::Kind::AccumVec: {
+      bool IsLocal = std::find(BodyLocals.begin(), BodyLocals.end(),
+                               S->Dest.Var) != BodyLocals.end();
+      if (IsLocal)
+        break;
+      SubAny = true;
+      if (S->Dest.Idxs.empty() || !Expr::structEq(S->Dest.Idxs[0], TopVarE))
+        AllOwner = false;
+      break;
+    }
+    case LStmt::Kind::If: {
+      // Treat the guard body as part of this loop for the scan.
+      LStmt Probe;
+      Probe.K = LStmt::Kind::Loop;
+      Probe.Body = S->Then;
+      bool ChildAny = false;
+      if (!demoteOwnerIndexed(Probe, TopVar, BodyLocals, Demoted, ChildAny))
+        AllOwner = false;
+      SubAny = SubAny || ChildAny;
+      break;
+    }
+    case LStmt::Kind::Loop: {
+      bool ChildAny = false;
+      if (!demoteOwnerIndexed(*S, TopVar, BodyLocals, Demoted, ChildAny))
+        AllOwner = false;
+      SubAny = SubAny || ChildAny;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  if (L.K == LStmt::Kind::Loop && L.LK == LoopKind::AtmPar && AllOwner &&
+      SubAny) {
+    L.LK = LoopKind::Par;
+    ++Demoted;
+  }
+  AnyAccum = AnyAccum || SubAny;
+  return AllOwner;
+}
+
+/// Flat location count of accumulation target \p Name: a bound global,
+/// an `adj_<v>` adjoint shaped like its global, a procedure-local stat
+/// buffer (declared before the loop), or an output scalar created on
+/// first assignment. Returns -1 when the size cannot be bounded.
+int64_t targetLocations(const std::string &Name, const Env &E,
+                        const std::map<std::string, const LStmt *> &Decls,
+                        const LowppProc &P) {
+  auto Size = [](const Value &V) -> int64_t {
+    if (V.isIntScalar() || V.isRealScalar())
+      return 1;
+    if (V.isIntVec())
+      return V.intVec().flatSize();
+    if (V.isRealVec())
+      return V.realVec().flatSize();
+    if (V.isMatrix())
+      return V.mat().rows() * V.mat().cols();
+    if (V.isMatVec())
+      return V.matVec().size() * V.matVec().rows() * V.matVec().cols();
+    return -1;
+  };
+  auto It = E.find(Name);
+  if (It != E.end())
+    return Size(It->second);
+  if (Name.rfind("adj_", 0) == 0) {
+    auto Base = E.find(Name.substr(4));
+    if (Base != E.end())
+      return Size(Base->second);
+  }
+  auto D = Decls.find(Name);
+  if (D != Decls.end()) {
+    EvalCtx Ctx(E);
+    int64_t Sz = 1;
+    for (const auto &Dim : D->second->Dims)
+      Sz *= std::max<int64_t>(evalIntExpr(Dim, Ctx), 0);
+    if (D->second->LKind == LocalKind::Mat)
+      Sz *= D->second->Dims.empty()
+                ? 1
+                : std::max<int64_t>(
+                      evalIntExpr(D->second->Dims.back(), Ctx), 1);
+    return Sz;
+  }
+  // Output scalars (e.g. "ll_llp_0") exist only at run time; they are
+  // scalars exactly when the proc zero-initializes them unindexed.
+  for (const auto &S : P.Body)
+    if (S->K == LStmt::Kind::Assign && !S->Accum && S->Dest.Var == Name &&
+        S->Dest.Idxs.empty())
+      return 1;
+  return -1;
+}
+
+/// Commutes a pooled nest (single inner non-Seq loop, inner bounds free
+/// of the outer variable, inner extent >= factor * outer extent) so the
+/// large extent feeds the pool. Restricted to non-sampling bodies:
+/// commuting a sampling loop would remap its per-iteration RNG streams.
+bool commuteTopLoop(LStmt &S, const Env &E, const CpuReduceOptions &O) {
+  if (S.Body.size() != 1)
+    return false;
+  LStmt &Inner = *S.Body[0];
+  if (Inner.K != LStmt::Kind::Loop || Inner.LK == LoopKind::Seq)
+    return false;
+  if (Inner.Lo->mentionsVar(S.LoopVar) || Inner.Hi->mentionsVar(S.LoopVar))
+    return false;
+  for (const auto &B : S.Body)
+    if (stmtEverSamples(*B))
+      return false;
+  int64_t OuterExt = safeExtent(S.Lo, S.Hi, E);
+  int64_t InnerExt = probedExtent(Inner, E);
+  if (InnerExt < O.CommuteFactor * std::max<int64_t>(OuterExt, 1))
+    return false;
+  LStmt OldInner = Inner; // copy fields before overwriting
+  LStmtPtr NewInner =
+      stLoop(S.LK, S.LoopVar, S.Lo, S.Hi, std::move(Inner.Body));
+  S.LK = OldInner.LK;
+  S.LoopVar = OldInner.LoopVar;
+  S.Lo = OldInner.Lo;
+  S.Hi = OldInner.Hi;
+  S.Body = {NewInner};
+  return true;
+}
+
+} // namespace
+
+CpuReduceReport augur::planCpuReductions(LowppProc &P, const Env &E,
+                                         const CpuReduceOptions &O) {
+  CpuReduceReport R;
+  int64_t Width = O.EstimatorWidth > 0
+                      ? O.EstimatorWidth
+                      : int64_t(std::max(1u, std::thread::hardware_concurrency()));
+
+  // Procedure-level locals (stat buffers) visible to the pooled loops.
+  std::map<std::string, const LStmt *> Decls;
+  for (const auto &S : P.Body)
+    if (S->K == LStmt::Kind::DeclLocal)
+      Decls.emplace(S->LocalName, S.get());
+
+  for (auto &SP : P.Body) {
+    if (SP->K != LStmt::Kind::Loop || SP->LK == LoopKind::Seq)
+      continue;
+    LStmt &S = *SP;
+
+    if (O.CommuteLoops && commuteTopLoop(S, E, O))
+      ++R.CommutedLoops;
+
+    // Owner-indexed demotion is bit-transparent, so it applies under
+    // every policy, including Atomic.
+    bool AnyAccum = false;
+    demoteOwnerIndexed(S, S.LoopVar, {}, R.DemotedSites, AnyAccum);
+
+    LoopScan Scan;
+    std::vector<std::string> BodyLocals;
+    int64_t OuterExt = probedExtent(S, E);
+    scanAccums(S.Body, E, S.LoopVar, std::max<int64_t>(OuterExt, 1),
+               S.LK == LoopKind::AtmPar, BodyLocals, Scan);
+
+    bool AnyAtomic = false;
+    for (const auto &A : Scan.Accums)
+      AnyAtomic = AnyAtomic || A.UnderAtmPar;
+    if (!AnyAtomic)
+      continue; // nothing contended at this site
+
+    if (O.Mode == ReduceMode::Atomic || Scan.HasSampling) {
+      ++R.AtomicSites;
+      continue;
+    }
+
+    // Aggregate ops/locations per distinct target buffer; privatization
+    // is whole-buffer, so data-dependent indices are fine but every
+    // buffer must have a statically bounded flat size.
+    std::map<std::string, std::pair<int64_t, int64_t>> Targets; // ops, locs
+    bool Legal = true;
+    for (const auto &A : Scan.Accums) {
+      int64_t Locs = targetLocations(A.Dest->Var, E, Decls, P);
+      if (Locs < 0) {
+        Legal = false;
+        break;
+      }
+      auto [It, Inserted] =
+          Targets.emplace(A.Dest->Var, std::make_pair(A.Ops, Locs));
+      if (!Inserted)
+        It->second.first += A.Ops;
+    }
+    if (!Legal || Targets.empty()) {
+      ++R.AtomicSites;
+      continue;
+    }
+
+    int64_t TotalOps = 0, TotalLocs = 0;
+    for (const auto &[Name, OL] : Targets) {
+      TotalOps += OL.first;
+      TotalLocs += OL.second;
+    }
+    // Forced MapReduce converts every legal site; Auto asks the
+    // estimator, using the canonical machine width so the decision is
+    // identical at every configured pool width.
+    bool Convert = O.Mode == ReduceMode::MapReduce ||
+                   shouldMapReduce(Width, TotalOps, TotalLocs, O);
+    if (!Convert) {
+      ++R.AtomicSites;
+      continue;
+    }
+
+    S.Red = ReduceKind::MapReduce;
+    S.RedTargets.clear();
+    int64_t Block =
+        (std::max<int64_t>(OuterExt, 1) + ReduceShards - 1) / ReduceShards;
+    int64_t Blocks =
+        (std::max<int64_t>(OuterExt, 1) + Block - 1) / Block;
+    for (const auto &[Name, OL] : Targets) {
+      S.RedTargets.push_back(Name);
+      int64_t StrideDoubles = (OL.second + 7) & ~int64_t(7);
+      R.PartialBytes += Blocks * StrideDoubles * 8;
+    }
+    ++R.MapReduceSites;
+  }
+  return R;
 }
 
 BlkProc augur::optimizeToBlk(const LowppProc &P, const Env &E,

@@ -68,6 +68,90 @@ int convertSumBlocks(BlkProc &P, const Env &E, const BlkOptions &O);
 BlkProc optimizeToBlk(const LowppProc &P, const Env &E,
                       const BlkOptions &O);
 
+//===----------------------------------------------------------------------===//
+// CPU reduction planning (paper Section 5.3-5.4 brought to the pooled
+// CPU runtime)
+//===----------------------------------------------------------------------===//
+
+/// Per-site reduction policy for pooled CPU loops
+/// (CompileOptions::Reduce, AUGUR_REDUCE).
+enum class ReduceMode {
+  Auto,      ///< contention estimator decides per site
+  Atomic,    ///< keep atomic accumulation everywhere (PR-1 behavior)
+  MapReduce, ///< privatize every legal site
+};
+
+const char *reduceModeName(ReduceMode M);
+
+/// Options for planCpuReductions.
+struct CpuReduceOptions {
+  ReduceMode Mode = ReduceMode::Auto;
+  /// Canonical machine width used by the estimator. Deliberately NOT
+  /// the configured pool width: decisions must not change with
+  /// ParallelConfig::NumThreads, or sample streams would differ across
+  /// pool widths. 0 = use hardware_concurrency.
+  int64_t EstimatorWidth = 0;
+  /// Convert when width * accumulations / locations reaches this (the
+  /// paper's contention ratio, threshold 128).
+  int64_t ContentionThreshold = 128;
+  /// Partial-block fan-in assumed by the estimator's fold-cost term.
+  /// Execution always uses lowpp's ReduceShards; this knob exists so
+  /// the crossover unit tests can probe the decision function.
+  int64_t Shards = ReduceShards;
+  /// Refuse conversion when zero+fold traffic (Shards * locations)
+  /// exceeds FoldBudget * accumulations: privatizing a huge target for
+  /// a small loop costs more than the atomics it removes.
+  int64_t FoldBudget = 4;
+  /// Commute a pooled nest when the inner extent exceeds the outer by
+  /// this factor (non-sampling bodies only; commuting a sampling loop
+  /// would remap its per-iteration RNG streams).
+  int64_t CommuteFactor = 4;
+  bool CommuteLoops = true;
+};
+
+/// Pure decision function behind the Auto policy, exposed for the
+/// crossover unit tests: returns true when a site with \p Ops
+/// accumulation operations spread over \p Locations distinct write
+/// locations should be privatized at machine width \p Width.
+bool shouldMapReduce(int64_t Width, int64_t Ops, int64_t Locations,
+                     const CpuReduceOptions &O);
+
+/// What planCpuReductions did to one procedure.
+struct CpuReduceReport {
+  int AtomicSites = 0;    ///< AtmPar accumulation sites left atomic
+  int MapReduceSites = 0; ///< sites converted to map-reduce
+  int DemotedSites = 0;   ///< owner-indexed AtmPar loops demoted to Par
+  int CommutedLoops = 0;  ///< pooled nests commuted
+  /// Upper bound on private partial-buffer bytes across converted
+  /// sites (Shards * 64B-padded target rows).
+  int64_t PartialBytes = 0;
+
+  void merge(const CpuReduceReport &O) {
+    AtomicSites += O.AtomicSites;
+    MapReduceSites += O.MapReduceSites;
+    DemotedSites += O.DemotedSites;
+    CommutedLoops += O.CommutedLoops;
+    PartialBytes += O.PartialBytes;
+  }
+};
+
+/// The contention-aware CPU reduction pass. For every top-level pooled
+/// loop of \p P (runtime sizes evaluated against \p E, same discipline
+/// as commuteLoops):
+///
+/// 1. commutes single-inner-loop non-sampling nests so the large
+///    extent is the pooled dimension;
+/// 2. demotes owner-indexed AtmPar loops (every accumulation's leading
+///    index is the pooled block variable, so writes are disjoint per
+///    worker) to plain Par — bit-transparent, applied under every Mode;
+/// 3. decides atomic vs. map-reduce per remaining AtmPar accumulation
+///    site and annotates converted loops (LStmt::Red / RedTargets) for
+///    exec/Interp and cgen/CEmit to consume.
+///
+/// Mutates \p P in place and returns the per-site decision report.
+CpuReduceReport planCpuReductions(LowppProc &P, const Env &E,
+                                  const CpuReduceOptions &O);
+
 } // namespace augur
 
 #endif // AUGUR_BLK_PASSES_H

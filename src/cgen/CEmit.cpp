@@ -113,19 +113,20 @@ static inline double augur_dirichlet_ll(const double *a, i64 n,
 /// back (and reset) by the host engine through the exported
 /// augur_get_profile. Slots: 0 par_loops, 1 par_iters, 2 par_chunks,
 /// 3 par_steals (always 0 — the shared-cursor pool has no steal
-/// distinction), 4 par_busy_nanos, 5 par_thread_nanos. Emitted into
+/// distinction), 4 par_busy_nanos, 5 par_thread_nanos, 6 reduce
+/// regions dispatched, 7 reduce partial-buffer bytes. Emitted into
 /// every module so the host can query one uniform schema; a sequential
 /// module simply reports zeros.
 const char *ProfilePrelude = R"c(
 #include <time.h>
-static i64 augur_prof[6];
+static i64 augur_prof[8];
 static inline i64 augur_now_nanos(void) {
   struct timespec augur_ts;
   clock_gettime(CLOCK_MONOTONIC, &augur_ts);
   return (i64)augur_ts.tv_sec * 1000000000 + (i64)augur_ts.tv_nsec;
 }
 void augur_get_profile(i64 *out) {
-  for (int i = 0; i < 6; ++i)
+  for (int i = 0; i < 8; ++i)
     out[i] = __atomic_exchange_n(&augur_prof[i], 0, __ATOMIC_RELAXED);
 }
 )c";
@@ -237,6 +238,66 @@ static inline void augur_atomic_add_f64(double *p, double v) {
 }
 static inline void augur_atomic_add_i64(i64 *p, i64 v) {
   __atomic_fetch_add(p, v, __ATOMIC_RELAXED);
+}
+#include <stdlib.h>
+/* Grow-only 64B-aligned scratch for map-reduce partial buffers. */
+static void *augur_red_grow(void **buf, i64 *cap, i64 need) {
+  if (*cap < need) {
+    free(*buf);
+    *buf = aligned_alloc(64, (size_t)need);
+    *cap = need;
+  }
+  return *buf;
+}
+/* Map-reduce dispatch: like augur_parallel_for but with an explicit
+   per-call grain, and the single-thread path still walks grain-sized
+   chunks — every partial row must be zeroed by the chunk that owns it,
+   so chunk boundaries are part of the result, not just a schedule. */
+static void augur_parallel_for_red(i64 lo, i64 hi, i64 grain,
+                                   augur_loop_fn fn, void *env) {
+  if (hi <= lo) return;
+  i64 t0 = augur_now_nanos();
+  __atomic_fetch_add(&augur_prof[0], 1, __ATOMIC_RELAXED);
+  __atomic_fetch_add(&augur_prof[1], hi - lo, __ATOMIC_RELAXED);
+  i64 want = augur_num_threads - 1;
+  if (want <= 0) {
+    for (i64 b = lo; b < hi; b += grain) {
+      i64 e = b + grain;
+      if (e > hi) e = hi;
+      i64 c0 = augur_now_nanos();
+      fn(env, b, e);
+      __atomic_fetch_add(&augur_prof[2], 1, __ATOMIC_RELAXED);
+      __atomic_fetch_add(&augur_prof[4], augur_now_nanos() - c0,
+                         __ATOMIC_RELAXED);
+    }
+    __atomic_fetch_add(&augur_prof[5], augur_now_nanos() - t0,
+                       __ATOMIC_RELAXED);
+    return;
+  }
+  while (augur_pool.started < want) {
+    pthread_t t;
+    if (pthread_create(&t, 0, augur_pool_worker, 0) != 0) break;
+    pthread_detach(t);
+    ++augur_pool.started;
+  }
+  augur_pool.fn = fn;
+  augur_pool.env = env;
+  augur_pool.hi = hi;
+  augur_pool.chunk = grain;
+  __atomic_store_n(&augur_pool.cursor, lo, __ATOMIC_RELEASE);
+  pthread_mutex_lock(&augur_pool.m);
+  augur_pool.active = augur_pool.started;
+  ++augur_pool.generation;
+  pthread_cond_broadcast(&augur_pool.work_cv);
+  pthread_mutex_unlock(&augur_pool.m);
+  augur_run_chunks(); /* caller participates */
+  pthread_mutex_lock(&augur_pool.m);
+  while (augur_pool.active != 0)
+    pthread_cond_wait(&augur_pool.done_cv, &augur_pool.m);
+  pthread_mutex_unlock(&augur_pool.m);
+  __atomic_fetch_add(&augur_prof[5],
+                     (augur_now_nanos() - t0) * (augur_pool.started + 1),
+                     __ATOMIC_RELAXED);
 }
 )c";
 
@@ -600,6 +661,9 @@ private:
       AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
       AUGUR_ASSIGN_OR_RETURN(std::string R, emitScalar(S.Rhs));
       if (S.Accum && atomicCtx()) {
+        if (const RedRow *Row = redirectFor(S.Dest.Var))
+          return Pad + Row->Row + "[&(" + L + ") - (" + Row->Base +
+                 ")] += " + R + ";\n";
         const char *Fn = lvalueIsInt(S.Dest) ? "augur_atomic_add_i64"
                                              : "augur_atomic_add_f64";
         return Pad + std::string(Fn) + "(&" + L + ", " + R + ");\n";
@@ -653,6 +717,12 @@ private:
       // stay sequential for-loops inside their region.
       if (Parallel && S.LK != LoopKind::Seq && !InOutlined &&
           LoopVars.empty() && ScalarLocals.empty() && VecLocals.empty()) {
+        // Map-reduce emission (reduce pass annotation, DESIGN.md
+        // section 16) when every privatized target is a native global
+        // scalar or flat vector; otherwise fall back to the plain
+        // atomic outlining below — same samples, contended stores.
+        if (S.Red == ReduceKind::MapReduce && redTargetsEmittable(S))
+          return emitMapReduceLoop(S, Lo, Hi, Pad);
         std::string FnName =
             strFormat("%s_pbody%d", P.Name.c_str(), int(OutlinedFns.size()));
         InOutlined = true;
@@ -713,8 +783,12 @@ private:
     case LStmt::Kind::AccumLL: {
       AUGUR_ASSIGN_OR_RETURN(std::string L, emitLValue(S.Dest));
       AUGUR_ASSIGN_OR_RETURN(std::string Call, emitDistCall("ll", S));
-      if (atomicCtx())
+      if (atomicCtx()) {
+        if (const RedRow *Row = redirectFor(S.Dest.Var))
+          return Pad + Row->Row + "[&(" + L + ") - (" + Row->Base +
+                 ")] += " + Call + ";\n";
         return Pad + "augur_atomic_add_f64(&" + L + ", " + Call + ");\n";
+      }
       return Pad + L + " += " + Call + ";\n";
     }
     case LStmt::Kind::AccumGrad: {
@@ -729,9 +803,13 @@ private:
             "vector-valued gradients are not native-emittable");
       AUGUR_ASSIGN_OR_RETURN(std::string Call,
                              emitDistCall(Op.c_str(), S));
-      if (atomicCtx())
+      if (atomicCtx()) {
+        if (const RedRow *Row = redirectFor(S.Dest.Var))
+          return Pad + Row->Row + "[&(" + L + ") - (" + Row->Base +
+                 ")] += (" + Adj + ") * " + Call + ";\n";
         return Pad + "augur_atomic_add_f64(&" + L + ", (" + Adj + ") * " +
                Call + ");\n";
+      }
       return Pad + L + " += (" + Adj + ") * " + Call + ";\n";
     }
     case LStmt::Kind::Sample:
@@ -749,6 +827,188 @@ private:
   /// True when an accumulation must be emitted as an atomic add: inside
   /// an outlined chunk function, under at least one AtmPar loop.
   bool atomicCtx() const { return InOutlined && AtmDepth > 0; }
+
+  /// Active map-reduce redirect for an accumulation destination, or
+  /// nullptr when the variable is not privatized in the current chunk
+  /// function.
+  struct RedRow {
+    std::string Row;  ///< C expr of the chunk's private partial row
+    std::string Base; ///< C expr of the shared payload base pointer
+  };
+  const RedRow *redirectFor(const std::string &Var) const {
+    auto It = RedirectRows.find(Var);
+    return It == RedirectRows.end() ? nullptr : &It->second;
+  }
+
+  /// Whether every privatization target of a MapReduce-annotated loop
+  /// is a global scalar or flat vector (the shapes whose payload is one
+  /// contiguous block addressable off a single frame pointer). Ragged
+  /// targets fall back to atomic emission.
+  bool redTargetsEmittable(const LStmt &S) const {
+    if (S.RedTargets.empty())
+      return false;
+    for (const auto &T : S.RedTargets) {
+      auto It = Globals.find(T);
+      if (It == Globals.end())
+        return false;
+      switch (It->second.K) {
+      case GKind::IntScalar:
+      case GKind::RealScalar:
+      case GKind::IntVecFlat:
+      case GKind::RealVecFlat:
+        break;
+      default:
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Emits a MapReduce-annotated pooled loop (DESIGN.md section 16):
+  /// per-loop static scratch holds one 64B-padded partial row per
+  /// iteration block; the chunk function zeroes its row (first touch)
+  /// and accumulates into it via the redirect table; the call site
+  /// dispatches with grain == block through augur_parallel_for_red and
+  /// folds the rows pairwise in pinned order. Block geometry depends
+  /// only on the trip count, so the folded sums are bit-identical for
+  /// every pool width — and identical to the interpreter's.
+  Result<std::string> emitMapReduceLoop(const LStmt &S,
+                                        const std::string &Lo,
+                                        const std::string &Hi,
+                                        const std::string &Pad) {
+    struct Target {
+      std::string Name;
+      std::string Len;  ///< C expr for the flat element count
+      const char *Ty;   ///< element C type
+    };
+    std::vector<Target> Ts;
+    for (const auto &Name : S.RedTargets) {
+      const Global &G = Globals.at(Name);
+      bool IsInt =
+          G.K == GKind::IntScalar || G.K == GKind::IntVecFlat;
+      bool Scalar = G.K == GKind::IntScalar || G.K == GKind::RealScalar;
+      Ts.push_back({Name, Scalar ? "1" : "f->" + Name + "_len",
+                    IsInt ? "i64" : "double"});
+    }
+
+    int R = RedCount++;
+    std::string FnName = strFormat("%s_redbody%d", P.Name.c_str(), R);
+    // Per-loop statics: grow-only scratch plus the row stride, written
+    // by the call site and read by the chunk function.
+    std::string Pre =
+        strFormat("typedef struct { augur_frame *f; i64 lo, block; } "
+                  "augur_red%d_env;\n",
+                  R);
+    for (size_t J = 0; J < Ts.size(); ++J)
+      Pre += strFormat("static char *augur_red%d_t%zu; "
+                       "static i64 augur_red%d_t%zu_cap; "
+                       "static i64 augur_red%d_t%zu_s;\n",
+                       R, J, R, J, R, J);
+
+    std::string Fn =
+        "static void " + FnName +
+        "(void *ve, i64 lo, i64 hi) {\n" +
+        strFormat("  augur_red%d_env *e = (augur_red%d_env *)ve;\n", R,
+                  R) +
+        "  augur_frame *f = e->f;\n"
+        "  i64 augur_slot = (lo - e->lo) / e->block;\n";
+    for (size_t J = 0; J < Ts.size(); ++J) {
+      std::string Row = strFormat("augur_row%d_%zu", R, J);
+      Fn += strFormat("  %s *%s = (%s *)(augur_red%d_t%zu + augur_slot * "
+                      "augur_red%d_t%zu_s);\n",
+                      Ts[J].Ty, Row.c_str(), Ts[J].Ty, R, J, R, J);
+      Fn += "  for (i64 z_ = 0; z_ < " + Ts[J].Len + "; ++z_) " + Row +
+            "[z_] = 0;\n";
+      RedirectRows[Ts[J].Name] = {Row, "f->" + Ts[J].Name};
+    }
+    Fn += "  for (i64 " + S.LoopVar + " = lo; " + S.LoopVar + " < hi; ++" +
+          S.LoopVar + ") { /* " + loopKindName(S.LK) + " map-reduce */\n";
+
+    InOutlined = true;
+    if (S.LK == LoopKind::AtmPar)
+      ++AtmDepth;
+    LoopVars.insert(S.LoopVar);
+    Status BodyStatus = Status::success();
+    {
+      LocalScope Scope(*this);
+      for (const auto &Sub : S.Body) {
+        Result<std::string> T = emitStmt(*Sub, 2);
+        if (!T.ok()) {
+          BodyStatus = T.status();
+          break;
+        }
+        Fn += T.value();
+      }
+    }
+    LoopVars.erase(S.LoopVar);
+    if (S.LK == LoopKind::AtmPar)
+      --AtmDepth;
+    InOutlined = false;
+    RedirectRows.clear();
+    AUGUR_RETURN_IF_ERROR(BodyStatus);
+    Fn += "  }\n}\n\n";
+    OutlinedFns.push_back(Pre + Fn);
+
+    // Call site: geometry, scratch sizing, dispatch, pinned fold.
+    std::string Out = Pad + "{ /* map-reduce region */\n";
+    std::string P1 = Pad + "  ", P2 = Pad + "    ";
+    Out += P1 + "i64 augur_rlo = " + Lo + ", augur_rhi = " + Hi + ";\n";
+    Out += P1 + "if (augur_rhi > augur_rlo) {\n";
+    Out += P2 + "i64 augur_rn = augur_rhi - augur_rlo;\n";
+    Out += P2 + strFormat("i64 augur_rblock = (augur_rn + %lldLL) / "
+                          "%lldLL;\n",
+                          (long long)(ReduceShards - 1),
+                          (long long)ReduceShards);
+    Out += P2 + "i64 augur_rnb = (augur_rn + augur_rblock - 1) / "
+                "augur_rblock;\n";
+    std::string BytesExpr;
+    for (size_t J = 0; J < Ts.size(); ++J) {
+      Out += P2 + strFormat("i64 augur_len%zu = ", J) + Ts[J].Len + ";\n";
+      Out += P2 + strFormat("augur_red%d_t%zu_s = ((augur_len%zu * 8 + "
+                            "63) / 64) * 64;\n",
+                            R, J, J);
+      Out += P2 + strFormat("augur_red_grow((void **)&augur_red%d_t%zu, "
+                            "&augur_red%d_t%zu_cap, augur_red%d_t%zu_s * "
+                            "augur_rnb);\n",
+                            R, J, R, J, R, J);
+      if (!BytesExpr.empty())
+        BytesExpr += " + ";
+      BytesExpr += strFormat("augur_red%d_t%zu_s * augur_rnb", R, J);
+    }
+    Out += P2 + strFormat("augur_red%d_env augur_re = {f, augur_rlo, "
+                          "augur_rblock};\n",
+                          R);
+    Out += P2 + "augur_parallel_for_red(augur_rlo, augur_rhi, "
+                "augur_rblock, " +
+           FnName + ", (void *)&augur_re);\n";
+    Out += P2 + "__atomic_fetch_add(&augur_prof[6], 1, "
+                "__ATOMIC_RELAXED);\n";
+    Out += P2 + "__atomic_fetch_add(&augur_prof[7], " + BytesExpr +
+           ", __ATOMIC_RELAXED);\n";
+    for (size_t J = 0; J < Ts.size(); ++J) {
+      Out += P2 + "for (i64 s_ = 1; s_ < augur_rnb; s_ *= 2)\n";
+      Out += P2 + "  for (i64 i_ = 0; i_ + s_ < augur_rnb; i_ += 2 * "
+                  "s_) {\n";
+      Out += P2 + strFormat("    %s *a_ = (%s *)(augur_red%d_t%zu + i_ * "
+                            "augur_red%d_t%zu_s);\n",
+                            Ts[J].Ty, Ts[J].Ty, R, J, R, J);
+      Out += P2 + strFormat("    %s *b_ = (%s *)(augur_red%d_t%zu + (i_ "
+                            "+ s_) * augur_red%d_t%zu_s);\n",
+                            Ts[J].Ty, Ts[J].Ty, R, J, R, J);
+      Out += P2 + strFormat("    for (i64 z_ = 0; z_ < augur_len%zu; "
+                            "++z_) a_[z_] += b_[z_];\n",
+                            J);
+      Out += P2 + "  }\n";
+      Out += P2 + strFormat("{ %s *r0_ = (%s *)augur_red%d_t%zu;\n",
+                            Ts[J].Ty, Ts[J].Ty, R, J);
+      Out += P2 + strFormat("  for (i64 z_ = 0; z_ < augur_len%zu; ++z_) "
+                            "f->%s[z_] += r0_[z_]; }\n",
+                            J, Ts[J].Name.c_str());
+    }
+    Out += P1 + "}\n";
+    Out += Pad + "}\n";
+    return Out;
+  }
 
   /// Whether an accumulation destination holds i64 (else double).
   bool lvalueIsInt(const LValue &L) const {
@@ -798,6 +1058,8 @@ private:
   std::vector<std::string> OutlinedFns; // chunk fns, emission order
   bool InOutlined = false;
   int AtmDepth = 0;
+  std::map<std::string, RedRow> RedirectRows; // active chunk fn only
+  int RedCount = 0;
 };
 
 } // namespace

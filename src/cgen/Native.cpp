@@ -198,12 +198,13 @@ void NativeEngine::runProc(const std::string &Name) {
     T->count(K.VecAlias, 0);
   }
   if (NP.Profile && T && T->enabled()) {
-    long long Prof[6] = {0, 0, 0, 0, 0, 0};
+    long long Prof[8] = {0, 0, 0, 0, 0, 0, 0, 0};
     NP.Profile(Prof);
     const ExecTelemetryKeys &K = telemetryKeys();
-    const std::string *Keys[6] = {&K.Loops, &K.Iters,  &K.Chunks,
-                                  &K.Steals, &K.Busy, &K.Thread};
-    for (int I = 0; I < 6; ++I)
+    const std::string *Keys[8] = {&K.Loops,  &K.Iters, &K.Chunks,
+                                  &K.Steals, &K.Busy,  &K.Thread,
+                                  &K.ReduceRegions, &K.ReduceBytes};
+    for (int I = 0; I < 8; ++I)
       if (Prof[I] > 0)
         T->count(*Keys[I], uint64_t(Prof[I]));
   }

@@ -22,6 +22,20 @@ bool incrementalFCEnabled(const CompileOptions &Opts) {
   return Opts.IncrementalFC;
 }
 
+/// Resolves CompileOptions::Reduce against the AUGUR_REDUCE override.
+ReduceMode resolveReduceMode(const CompileOptions &Opts) {
+  if (const char *S = std::getenv("AUGUR_REDUCE")) {
+    std::string V(S);
+    if (V == "atomic")
+      return ReduceMode::Atomic;
+    if (V == "mapreduce")
+      return ReduceMode::MapReduce;
+    if (V == "auto")
+      return ReduceMode::Auto;
+  }
+  return Opts.Reduce;
+}
+
 /// True when a factor's own loops are the conditional's block loops:
 /// same count, and each level's bounds structurally equal after
 /// renaming the factor's earlier loop variables to the block variables
@@ -298,6 +312,7 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
   // overrides fold into the program's options, and the fault-injection
   // spec (env wins over the field) arms the process-wide injector.
   CompileOptions Resolved = Opts;
+  Resolved.Reduce = resolveReduceMode(Opts);
   AUGUR_RETURN_IF_ERROR(robust::applyGuardrailEnv(Resolved.Guard));
   diag::DiagOptions::applyEnv(Resolved.Diag);
   AUGUR_RETURN_IF_ERROR(
@@ -443,6 +458,35 @@ Compiler::compile(const std::string &ModelSrc, const CompileOptions &Opts,
     Rec.span("compile/lowpp", "compile", PhaseT0, Recorder::nowNanos(),
              {{"procs", double(NumProcs)}});
     Rec.count("compile/ir/procs", NumProcs);
+  }
+
+  // Contention-aware reduction planning (DESIGN.md section 16): with
+  // the pool armed, decide atomic vs. map-reduce per AtmPar site now
+  // that all procedures are registered and extents have their runtime
+  // values. Sequential programs skip the pass — their accumulations
+  // are plain stores with nothing to privatize.
+  if (Opts.Tgt == CompileOptions::Target::Cpu &&
+      Opts.Par.NumThreads != 1) {
+    PhaseT0 = Recorder::nowNanos();
+    CpuReduceOptions RO;
+    RO.Mode = Resolved.Reduce;
+    CpuReduceReport RR =
+        static_cast<InterpEngine *>(Prog->Eng.get())->planReductions(RO);
+    if (Rec.enabled()) {
+      Rec.span("compile/reduce", "compile", PhaseT0, Recorder::nowNanos(),
+               {{"mapreduce", double(RR.MapReduceSites)},
+                {"atomic", double(RR.AtomicSites)}});
+      Rec.count(ChainPrefix + "exec/reduce_sites_atomic",
+                uint64_t(RR.AtomicSites));
+      Rec.count(ChainPrefix + "exec/reduce_sites_mapreduce",
+                uint64_t(RR.MapReduceSites));
+      Rec.count(ChainPrefix + "exec/reduce_sites_demoted",
+                uint64_t(RR.DemotedSites));
+      Rec.count(ChainPrefix + "exec/reduce_loops_commuted",
+                uint64_t(RR.CommutedLoops));
+      Rec.count(ChainPrefix + "exec/reduce_plan_bytes",
+                uint64_t(RR.PartialBytes));
+    }
   }
 
   if (Prog->DG && incrementalFCEnabled(Opts)) {

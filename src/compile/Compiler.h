@@ -56,6 +56,17 @@ struct CompileOptions {
   /// work-stealing pool with per-iteration RNG streams, making samples
   /// independent of the pool width.
   ParallelConfig Par;
+  /// Cpu target, pooled mode only: per-site reduction policy for
+  /// AtmPar accumulation loops (DESIGN.md section 16). Auto runs the
+  /// compile-time contention estimator (pool width x iterations /
+  /// distinct write locations) per site; Atomic keeps in-place atomic
+  /// accumulation everywhere; MapReduce privatizes every legal site
+  /// into per-block partials with a pinned tree fold. All three
+  /// policies produce the same samples (map-reduce changes only the
+  /// floating-point reduction order of likelihood/gradient sums, and
+  /// pins it). The env var AUGUR_REDUCE (auto/atomic/mapreduce)
+  /// overrides this field.
+  ReduceMode Reduce = ReduceMode::Auto;
   /// Inference telemetry (DESIGN.md "Telemetry"). Disabled by default;
   /// the env var AUGUR_TELEMETRY=1 force-enables regardless of this
   /// field. Telemetry never consumes RNG, so enabling it leaves the

@@ -51,3 +51,10 @@ void InterpEngine::addProc(LowppProc P) {
   Plans.erase(P.Name);
   Procs[P.Name] = std::move(P);
 }
+
+CpuReduceReport InterpEngine::planReductions(const CpuReduceOptions &O) {
+  CpuReduceReport R;
+  for (auto &[Name, P] : Procs)
+    R.merge(planCpuReductions(P, Globals, O));
+  return R;
+}

@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "blk/Passes.h"
 #include "exec/Interp.h"
 #include "exec/VecKernels.h"
 
@@ -95,6 +96,14 @@ public:
       return 0;
     return planFor(Name) ? 1 : 0;
   }
+
+  /// Runs the contention-aware CPU reduce pass (blk/Passes.h,
+  /// planCpuReductions) over every registered procedure against the
+  /// current environment. Call once after data binding and procedure
+  /// registration: the pass evaluates loop extents at their runtime
+  /// values. The native engine compiles modules lazily, so annotations
+  /// placed here are visible to the C emitter as well.
+  CpuReduceReport planReductions(const CpuReduceOptions &O);
 
   const LowppProc &proc(const std::string &Name) const {
     return Procs.at(Name);

@@ -118,6 +118,14 @@ Value &Interp::resolveVar(const std::string &Name) {
 }
 
 void Interp::accumReal(double *Slot, double V) const {
+  if (!Redirects.empty()) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Slot);
+    for (const auto &R : Redirects)
+      if (A >= R.Base && A < R.End) {
+        *reinterpret_cast<double *>(R.Row + (A - R.Base)) += V;
+        return;
+      }
+  }
   if (atomicMode()) {
     std::atomic_ref<double> A(*Slot);
     double Old = A.load(std::memory_order_relaxed);
@@ -129,10 +137,23 @@ void Interp::accumReal(double *Slot, double V) const {
 }
 
 void Interp::accumInt(int64_t *Slot, int64_t V) const {
+  if (!Redirects.empty()) {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Slot);
+    for (const auto &R : Redirects)
+      if (A >= R.Base && A < R.End) {
+        *reinterpret_cast<int64_t *>(R.Row + (A - R.Base)) += V;
+        return;
+      }
+  }
   if (atomicMode())
     std::atomic_ref<int64_t>(*Slot).fetch_add(V, std::memory_order_relaxed);
   else
     *Slot += V;
+}
+
+Interp::ReduceTargetBuf::~ReduceTargetBuf() {
+  if (Partials)
+    ::operator delete[](Partials, std::align_val_t(64));
 }
 
 bool Interp::bodySamples(const LStmt &S) const {
@@ -215,6 +236,191 @@ void Interp::execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi) {
     Telem->count(TelemKeys.Busy, St.BusyNanos);
     Telem->count(TelemKeys.Thread,
                  St.WallNanos * uint64_t(St.Inline ? 1 : Pool->numThreads()));
+  }
+}
+
+void Interp::execMapReduceLoop(const LStmt &S, int64_t Lo, int64_t Hi) {
+  if (Hi <= Lo)
+    return;
+  // The reduce pass never converts sampling loops (privatization would
+  // not change streams, but the guard keeps the invariant local); if an
+  // annotation ever lands on one, run it under the standard semantics.
+  if (bodySamples(S) || S.RedTargets.empty()) {
+    execParallelLoop(S, Lo, Hi);
+    return;
+  }
+
+  // Fixed block geometry: Block depends only on the trip count, never
+  // on the pool width or grain, so the slot each iteration writes and
+  // the fold order below are pinned. This is the bit-identity contract
+  // of DESIGN.md section 16.
+  int64_t N = Hi - Lo;
+  int64_t Block = (N + ReduceShards - 1) / ReduceShards;
+  int64_t NB = (N + Block - 1) / Block;
+
+  // Cache keyed by statement address; validate against the target list
+  // in case a re-registered proc recycled the node's allocation.
+  auto &Bufs = ReduceBufs[&S];
+  bool Stale = Bufs.size() != S.RedTargets.size();
+  for (size_t I = 0; !Stale && I < Bufs.size(); ++I)
+    Stale = Bufs[I].Name != S.RedTargets[I];
+  if (Stale) {
+    Bufs.clear();
+    Bufs.reserve(S.RedTargets.size());
+    for (const auto &Name : S.RedTargets) {
+      ReduceTargetBuf B;
+      B.Name = Name;
+      Bufs.push_back(std::move(B));
+    }
+  }
+  // Refresh payload views every region (buffers can be reallocated
+  // between sweeps) and size the partial matrix: NB rows, one 64B-
+  // padded row per block.
+  uint64_t RegionBytes = 0;
+  for (auto &T : Bufs) {
+    Value &V = resolveVar(T.Name);
+    if (V.isRealScalar()) {
+      T.Base = reinterpret_cast<char *>(&V.realRef());
+      T.Len = 1;
+      T.IsInt = false;
+    } else if (V.isIntScalar()) {
+      T.Base = reinterpret_cast<char *>(&V.intRef());
+      T.Len = 1;
+      T.IsInt = true;
+    } else if (V.isRealVec()) {
+      T.Base = reinterpret_cast<char *>(V.realVec().flat().data());
+      T.Len = V.realVec().flatSize();
+      T.IsInt = false;
+    } else if (V.isIntVec()) {
+      T.Base = reinterpret_cast<char *>(V.intVec().flat().data());
+      T.Len = V.intVec().flatSize();
+      T.IsInt = true;
+    } else if (V.isMatrix()) {
+      T.Base = reinterpret_cast<char *>(V.mat().data());
+      T.Len = V.mat().rows() * V.mat().cols();
+      T.IsInt = false;
+    } else {
+      MatVec &MV = V.matVec();
+      T.Base = reinterpret_cast<char *>(MV.at(0));
+      T.Len = MV.size() * MV.rows() * MV.cols();
+      T.IsInt = false;
+    }
+    T.StrideBytes = ((T.Len * 8 + 63) / 64) * 64;
+    int64_t Need = T.StrideBytes * NB;
+    if (T.Cap < Need) {
+      if (T.Partials)
+        ::operator delete[](T.Partials, std::align_val_t(64));
+      T.Partials = static_cast<char *>(
+          ::operator new[](size_t(Need), std::align_val_t(64)));
+      T.Cap = Need;
+    }
+    RegionBytes += uint64_t(Need);
+  }
+
+  int NT = Pool->numThreads();
+  if (int(WorkerInterps.size()) < NT)
+    WorkerInterps.resize(size_t(NT));
+  int WorkerDepth = AtmParDepth + (S.LK == LoopKind::AtmPar ? 1 : 0);
+  for (int L = 0; L < NT; ++L) {
+    if (!WorkerInterps[size_t(L)]) {
+      WorkerInterps[size_t(L)] = std::make_unique<Interp>(*Globals, *Rng);
+      Interp &Fresh = *WorkerInterps[size_t(L)];
+      Fresh.Rng = &Fresh.StreamRng;
+      Fresh.ParentLocals = &Locals;
+      Fresh.InParallelRegion = true;
+    }
+    Interp &W = *WorkerInterps[size_t(L)];
+    W.TrackAtomics = TrackAtomics;
+    W.AtmParDepth = WorkerDepth;
+    W.Ctx.LoopVars = Ctx.LoopVars;
+    W.Locals.clear();
+    W.ResolveCache.clear();
+    W.Counters.reset();
+    W.AtomicHist.clear();
+  }
+
+  auto Chunk = [&](int64_t B, int64_t E, int Lane) {
+    if (robust::faultFire(robust::FaultClass::WorkerFault))
+      throw ExecError("ParallelLoop", S.LoopVar,
+                      "fault-injected worker-thread failure");
+    Interp &W = *WorkerInterps[size_t(Lane)];
+    // Grain == Block, so one chunk is exactly one block: Slot is its
+    // pinned partial-row index. The owning lane zeroes the row at chunk
+    // start (first touch — pages land on the worker's node) and every
+    // privatized accumulation inside the chunk lands in that row via
+    // the address-range redirect in accumReal/accumInt.
+    int64_t Slot = (B - Lo) / Block;
+    W.Redirects.clear();
+    W.Redirects.reserve(Bufs.size());
+    for (const auto &T : Bufs) {
+      char *Row = T.Partials + Slot * T.StrideBytes;
+      std::memset(Row, 0, size_t(T.StrideBytes));
+      uintptr_t Base = reinterpret_cast<uintptr_t>(T.Base);
+      W.Redirects.push_back({Base, Base + uintptr_t(T.Len) * 8, Row});
+    }
+    auto [SlotIt, Inserted] = W.Ctx.LoopVars.try_emplace(S.LoopVar, 0);
+    (void)Inserted;
+    for (int64_t I = B; I < E; ++I) {
+      SlotIt->second = I;
+      ++W.Counters.LoopIters;
+      W.execBody(S.Body);
+    }
+    W.Redirects.clear();
+  };
+  ParForStats St = Pool->parallelFor(Lo, Hi, Block, Chunk);
+
+  for (int L = 0; L < NT; ++L) {
+    Interp &W = *WorkerInterps[size_t(L)];
+    Counters.merge(W.Counters);
+    for (const auto &[Addr, Count] : W.AtomicHist)
+      AtomicHist[Addr] += Count;
+  }
+
+  // Pinned pairwise tree fold, then one deposit into the live payload.
+  // The fold order is a function of NB alone — never of which lane ran
+  // which block — so the floating-point sum is reproducible.
+  for (auto &T : Bufs) {
+    if (T.IsInt) {
+      for (int64_t Stride = 1; Stride < NB; Stride *= 2)
+        for (int64_t I = 0; I + Stride < NB; I += 2 * Stride) {
+          int64_t *A = reinterpret_cast<int64_t *>(T.Partials +
+                                                   I * T.StrideBytes);
+          const int64_t *Bp = reinterpret_cast<const int64_t *>(
+              T.Partials + (I + Stride) * T.StrideBytes);
+          for (int64_t J = 0; J < T.Len; ++J)
+            A[J] += Bp[J];
+        }
+      int64_t *Dst = reinterpret_cast<int64_t *>(T.Base);
+      const int64_t *Row0 = reinterpret_cast<const int64_t *>(T.Partials);
+      for (int64_t J = 0; J < T.Len; ++J)
+        Dst[J] += Row0[J];
+    } else {
+      for (int64_t Stride = 1; Stride < NB; Stride *= 2)
+        for (int64_t I = 0; I + Stride < NB; I += 2 * Stride) {
+          double *A =
+              reinterpret_cast<double *>(T.Partials + I * T.StrideBytes);
+          const double *Bp = reinterpret_cast<const double *>(
+              T.Partials + (I + Stride) * T.StrideBytes);
+          for (int64_t J = 0; J < T.Len; ++J)
+            A[J] += Bp[J];
+        }
+      double *Dst = reinterpret_cast<double *>(T.Base);
+      const double *Row0 = reinterpret_cast<const double *>(T.Partials);
+      for (int64_t J = 0; J < T.Len; ++J)
+        Dst[J] += Row0[J];
+    }
+  }
+
+  if (Telem && Telem->enabled()) {
+    Telem->count(TelemKeys.Loops);
+    Telem->count(TelemKeys.Iters, uint64_t(Hi - Lo));
+    Telem->count(TelemKeys.Chunks, St.Chunks);
+    Telem->count(TelemKeys.Steals, St.Steals);
+    Telem->count(TelemKeys.Busy, St.BusyNanos);
+    Telem->count(TelemKeys.Thread,
+                 St.WallNanos * uint64_t(St.Inline ? 1 : Pool->numThreads()));
+    Telem->count(TelemKeys.ReduceRegions);
+    Telem->count(TelemKeys.ReduceBytes, RegionBytes);
   }
 }
 
@@ -432,7 +638,10 @@ void Interp::execStmt(const LStmt &S) {
     int64_t Lo = evalInt(S.Lo);
     int64_t Hi = evalInt(S.Hi);
     if (Pool && S.LK != LoopKind::Seq) {
-      execParallelLoop(S, Lo, Hi);
+      if (S.Red == ReduceKind::MapReduce)
+        execMapReduceLoop(S, Lo, Hi);
+      else
+        execParallelLoop(S, Lo, Hi);
       return;
     }
     if (S.LK == LoopKind::AtmPar)

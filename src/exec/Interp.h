@@ -36,8 +36,11 @@ namespace augur {
 /// Thread-safety: during a parallel region every worker accumulates
 /// into its own ExecCounters instance; the parent merges them (with
 /// merge()) after the fork-join barrier, so no counter is ever written
-/// concurrently.
-struct ExecCounters {
+/// concurrently. The struct is padded to a cache line so per-worker
+/// shards never share a line (the PR-1 layout let two workers' hottest
+/// counters straddle one line when interpreters sat in contiguous
+/// storage).
+struct alignas(64) ExecCounters {
   uint64_t Stmts = 0;       ///< statements executed
   uint64_t DistOps = 0;     ///< ll/grad/samp evaluations
   uint64_t Atomics = 0;     ///< increments executed under AtmPar
@@ -71,6 +74,8 @@ struct ExecTelemetryKeys {
   std::string VecRuns;     ///< "<prefix>vec_proc_runs"
   std::string VecFallback; ///< "<prefix>vec_fallback_runs"
   std::string VecAlias;    ///< "<prefix>vec_alias_draws"
+  std::string ReduceRegions; ///< "<prefix>reduce_regions"
+  std::string ReduceBytes;   ///< "<prefix>reduce_partial_bytes"
 
   void build(const std::string &Prefix) {
     Loops = Prefix + "par_loops";
@@ -82,6 +87,8 @@ struct ExecTelemetryKeys {
     VecRuns = Prefix + "vec_proc_runs";
     VecFallback = Prefix + "vec_fallback_runs";
     VecAlias = Prefix + "vec_alias_draws";
+    ReduceRegions = Prefix + "reduce_regions";
+    ReduceBytes = Prefix + "reduce_partial_bytes";
   }
 };
 
@@ -176,6 +183,13 @@ private:
 
   /// Runs one Par/AtmPar loop over the pool (parallel mode only).
   void execParallelLoop(const LStmt &S, int64_t Lo, int64_t Hi);
+  /// Runs a loop the reduce pass marked MapReduce: the range is cut
+  /// into ReduceShards-derived blocks, every privatized accumulation is
+  /// redirected into the executing block's 64B-padded partial row
+  /// (zeroed by its owning worker at chunk start — first touch), and
+  /// the rows are folded pairwise in pinned order after the join. The
+  /// result is bit-identical for every pool width and grain.
+  void execMapReduceLoop(const LStmt &S, int64_t Lo, int64_t Hi);
   /// Whether the loop body contains sampling statements (cached per
   /// statement node; decides if a stream seed must be drawn).
   bool bodySamples(const LStmt &S) const;
@@ -197,7 +211,25 @@ private:
   void execConjSample(const LStmt &S);
   void execSampleLogits(const LStmt &S);
 
+  /// One privatized target during a map-reduce chunk: accumulations
+  /// whose destination lands inside [Base, End) are rebased into the
+  /// chunk's private partial row instead of the shared payload.
+  struct ReduceRedirect {
+    uintptr_t Base = 0, End = 0;
+    char *Row = nullptr;
+  };
+
+  bool redirected(const void *Addr) const {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    for (const auto &R : Redirects)
+      if (A >= R.Base && A < R.End)
+        return true;
+    return false;
+  }
+
   void noteAtomic(const void *Addr) {
+    if (!Redirects.empty() && redirected(Addr))
+      return; // privatized: no atomic happens
     ++Counters.Atomics;
     if (TrackAtomics)
       ++AtomicHist[reinterpret_cast<uintptr_t>(Addr)];
@@ -237,6 +269,34 @@ private:
   /// Lane-indexed worker interpreters, constructed lazily and reused
   /// across regions (avoids rebuilding closures/maps every loop).
   std::vector<std::unique_ptr<Interp>> WorkerInterps;
+
+  // Map-reduce state (see execMapReduceLoop).
+  /// Worker: active redirect ranges for the chunk being executed.
+  std::vector<ReduceRedirect> Redirects;
+  /// Root: partial buffers cached per converted loop across sweeps.
+  struct ReduceTargetBuf {
+    std::string Name;
+    bool IsInt = false;
+    int64_t Len = 0;         ///< flat scalar count of the target
+    int64_t StrideBytes = 0; ///< row stride, 64B multiple
+    char *Base = nullptr;    ///< target payload (refreshed per region)
+    char *Partials = nullptr;
+    int64_t Cap = 0;
+    ReduceTargetBuf() = default;
+    ReduceTargetBuf(ReduceTargetBuf &&O) noexcept { *this = std::move(O); }
+    ReduceTargetBuf &operator=(ReduceTargetBuf &&O) noexcept {
+      std::swap(Name, O.Name);
+      std::swap(IsInt, O.IsInt);
+      std::swap(Len, O.Len);
+      std::swap(StrideBytes, O.StrideBytes);
+      std::swap(Base, O.Base);
+      std::swap(Partials, O.Partials);
+      std::swap(Cap, O.Cap);
+      return *this;
+    }
+    ~ReduceTargetBuf();
+  };
+  std::unordered_map<const LStmt *, std::vector<ReduceTargetBuf>> ReduceBufs;
 };
 
 } // namespace augur

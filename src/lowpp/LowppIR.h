@@ -45,6 +45,23 @@ enum class LoopKind {
 
 const char *loopKindName(LoopKind K);
 
+/// Reduction strategy chosen for a pooled loop by the CPU reduce pass
+/// (blk/Passes.h, planCpuReductions). Annotates the top-level loop of a
+/// procedure; both exec/Interp and cgen/CEmit honor it.
+enum class ReduceKind {
+  None,      ///< accumulate in place (atomic under AtmPar)
+  MapReduce, ///< per-block private partials + pinned pairwise tree fold
+};
+
+/// Partial-block fan-in of a map-reduce loop. The iteration range is
+/// split into ceil(N / ceil(N / ReduceShards)) equal blocks; each block
+/// accumulates into a private 64B-padded row and the rows are folded
+/// pairwise in pinned order. Both backends derive the block size from
+/// this constant, so the folded sums are bit-identical across pool
+/// widths, grains, and backends. Part of the stream contract
+/// (DESIGN.md section 16): changing it re-pins every map-reduce stream.
+constexpr int64_t ReduceShards = 64;
+
 /// An assignable location: a variable plus an index chain.
 struct LValue {
   std::string Var;
@@ -102,6 +119,12 @@ struct LStmt {
   std::string LoopVar;
   ExprPtr Lo, Hi;
   std::vector<LStmtPtr> Body;
+  /// CPU reduce-pass annotation (top-level pooled loops only).
+  ReduceKind Red = ReduceKind::None;
+  /// Red == MapReduce: global accumulation destinations to privatize
+  /// into per-block partials (whole-buffer, so data-dependent indices
+  /// are fine).
+  std::vector<std::string> RedTargets;
 
   // Distribution statements.
   Dist D = Dist::Normal;

@@ -23,6 +23,7 @@ ThreadPool::ThreadPool(int NumThreads) {
   Queues.reserve(size_t(NumThreads));
   for (int I = 0; I < NumThreads; ++I)
     Queues.push_back(std::make_unique<WorkerQueue>());
+  LaneStats.resize(size_t(NumThreads));
   // Lane 0 is the calling thread; lanes 1..N-1 are pool threads.
   Threads.reserve(size_t(NumThreads - 1));
   for (int I = 1; I < NumThreads; ++I)
@@ -74,8 +75,11 @@ void ThreadPool::runRegion(int Worker) {
     // Load the body only after holding a chunk: the chunk's region
     // published its body before enqueuing it.
     const auto *Fn = Body.load(std::memory_order_acquire);
+    // Per-chunk accounting stays in the lane's own padded slot: no
+    // other lane reads it until the caller folds after the join.
+    LaneSlot &LS = LaneStats[size_t(Worker)];
     if (Stolen)
-      Steals.fetch_add(1, std::memory_order_relaxed);
+      ++LS.Steals;
     uint64_t T0 = nowNanos();
     try {
       (*Fn)(Chunk.first, Chunk.second, Worker);
@@ -87,7 +91,7 @@ void ThreadPool::runRegion(int Worker) {
       if (!RegionError)
         RegionError = std::current_exception();
     }
-    BusyNanos.fetch_add(nowNanos() - T0, std::memory_order_relaxed);
+    LS.BusyNanos += nowNanos() - T0;
     if (ChunksLeft.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last chunk: wake the caller. Taking the mutex orders the wake
       // after the caller's predicate check, so the signal cannot be
@@ -158,8 +162,8 @@ ParForStats ThreadPool::parallelFor(
     std::lock_guard<std::mutex> Lock(ErrM);
     RegionError = nullptr;
   }
-  Steals.store(0, std::memory_order_relaxed);
-  BusyNanos.store(0, std::memory_order_relaxed);
+  for (auto &LS : LaneStats)
+    LS = LaneSlot();
   ChunksLeft.store(NumChunks, std::memory_order_release);
   this->Body.store(&Body, std::memory_order_release);
   // Deal chunks round-robin across the worker deques.
@@ -192,8 +196,10 @@ ParForStats ThreadPool::parallelFor(
   }
 
   Stats.Chunks = NumChunks;
-  Stats.Steals = Steals.load(std::memory_order_relaxed);
-  Stats.BusyNanos = BusyNanos.load(std::memory_order_relaxed);
+  for (const auto &LS : LaneStats) {
+    Stats.Steals += LS.Steals;
+    Stats.BusyNanos += LS.BusyNanos;
+  }
   Stats.WallNanos = nowNanos() - T0;
 
   std::exception_ptr Err;

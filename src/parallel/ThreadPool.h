@@ -143,9 +143,24 @@ private:
   // regions: with no chunks queued it is never dereferenced.
   std::atomic<const std::function<void(int64_t, int64_t, int)> *> Body{
       nullptr};
-  std::atomic<uint64_t> ChunksLeft{0};
-  std::atomic<uint64_t> Steals{0};
-  std::atomic<uint64_t> BusyNanos{0};
+  /// Region completion latch: the one counter every lane must share.
+  /// Cache-line-aligned so its fetch_subs never invalidate the lane
+  /// statistics below.
+  alignas(64) std::atomic<uint64_t> ChunksLeft{0};
+
+  /// Per-lane region statistics. Each slot is written only by its own
+  /// lane while a region runs (lanes are distinct per concurrently
+  /// executing body) and folded by the caller after the join, so the
+  /// fields need no atomics; the alignment keeps two lanes' per-chunk
+  /// accounting off one cache line. The previous layout used two
+  /// shared fetch-add counters — one invalidation per chunk per lane,
+  /// the same coherence traffic pattern the contention-aware reduce
+  /// pass exists to remove (DESIGN.md section 16).
+  struct alignas(64) LaneSlot {
+    uint64_t Steals = 0;
+    uint64_t BusyNanos = 0;
+  };
+  std::vector<LaneSlot> LaneStats;
 
   /// First exception thrown by any lane in the current region; rethrown
   /// on the calling thread after the join.

@@ -72,6 +72,8 @@ BackendRun runBackend(const GeneratedModel &GM, bool Native,
         CO.Seed = Opts.ChainSeed;
         CO.UserSchedule = GM.Schedule;
         CO.Simd = Opts.Simd;
+        CO.Par.NumThreads = Opts.NumThreads;
+        CO.Reduce = Opts.Reduce;
         Aug.setCompileOpt(CO);
         Out.Where = Phase::Compile;
         AUGUR_RETURN_IF_ERROR(Aug.compile(GM.HyperArgs, GM.Data));

@@ -22,6 +22,7 @@
 
 #include <functional>
 
+#include "blk/Passes.h"
 #include "math/Simd.h"
 #include "validate/ModelGen.h"
 
@@ -46,6 +47,14 @@ struct DiffOptions {
   /// diffBackends runs both sides at this setting; diffSimd overrides
   /// it per side. The default Auto preserves ambient behavior.
   simd::SimdMode Simd = simd::SimdMode::Auto;
+  /// Pool width passed to both backends (ParallelConfig::NumThreads).
+  /// The default 1 keeps the legacy sequential engines; any other value
+  /// arms the pool, per-iteration RNG streams, and the reduce pass —
+  /// the configuration the reduce regression suite diffs under.
+  int NumThreads = 1;
+  /// Reduction policy passed to both backends (CompileOptions::Reduce).
+  /// Only observable when NumThreads != 1.
+  ReduceMode Reduce = ReduceMode::Auto;
 };
 
 /// Result of one differential run.

@@ -130,7 +130,10 @@ ModelSpec augur::validate::generateSpec(uint64_t Seed,
   PhiloxRNG R(Seed, /*Iter=*/0);
   ModelSpec Spec;
   Spec.Seed = Seed;
-  Spec.K = 2 + R.uniformInt(3);
+  // WideAccum pulls K into [8, 16]: every Categorical/mixture site then
+  // scatters into a wide per-component accumulator, the shape whose
+  // atomic contention the reduce pass exists to remove.
+  Spec.K = Opts.WideAccum ? 8 + R.uniformInt(9) : 2 + R.uniformInt(3);
   Spec.N = 3 + R.uniformInt(std::max<int64_t>(1, Opts.MaxN - 2));
   bool WantSchedule = Opts.UserSchedules && R.uniform() < 0.5;
 
@@ -141,12 +144,27 @@ ModelSpec augur::validate::generateSpec(uint64_t Seed,
   };
 
   int NumParams = 1 + int(R.uniformInt(Opts.MaxParamSites));
+  // Wide-accumulation generation needs the mixture prerequisites (a
+  // K-plate of locations and an assignment plate) in place before any
+  // data site is drawn, so reserve the first two slots for them.
+  if (Opts.WideAccum && NumParams < 2)
+    NumParams = 2;
   for (int I = 0; I < NumParams; ++I) {
     SiteSpec S;
     S.Role = VarRole::Param;
     // Kind weights: scalar sites dominate; plates/weights/assignments
-    // appear once their prerequisites make them interesting.
-    int Kind = int(R.uniformInt(6));
+    // appear once their prerequisites make them interesting. Under
+    // WideAccum, the first two sites are pinned to a K-plate of
+    // locations and an assignment plate (the mixture prerequisites)
+    // and the plate-shaped kinds (weights, K-plate locations,
+    // assignment plates) dominate the rest, so every data site can
+    // draw the wide-accumulation mixture shape.
+    int Kind = Opts.WideAccum
+                   ? (I == 0   ? 4
+                      : I == 1 ? 5
+                      : R.uniform() < 0.7 ? 3 + int(R.uniformInt(3))
+                                          : int(R.uniformInt(6)))
+                   : int(R.uniformInt(6));
     switch (Kind) {
     case 0: { // scalar location
       S.Name = fresh("m");
@@ -222,7 +240,8 @@ ModelSpec augur::validate::generateSpec(uint64_t Seed,
     S.Role = VarRole::Data;
     S.Plate = "N";
     bool CanMix = !P.PlateLocs.empty() && !P.Assigns.empty();
-    int Kind = CanMix && R.uniform() < 0.5 ? 0 : 1 + int(R.uniformInt(4));
+    double MixBias = Opts.WideAccum ? 0.9 : 0.5;
+    int Kind = CanMix && R.uniform() < MixBias ? 0 : 1 + int(R.uniformInt(4));
     switch (Kind) {
     case 0: { // mixture likelihood: plate indexed through an assignment
       S.Name = fresh("x");

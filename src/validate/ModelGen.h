@@ -33,6 +33,14 @@ struct GenOptions {
   int MaxDataSites = 2;   ///< 1..MaxDataSites observed declarations
   int64_t MaxN = 12;      ///< observation-plate bound (>= 3)
   bool UserSchedules = true; ///< sometimes emit an explicit schedule
+  /// Weight generation toward wide-accumulation shapes: a larger
+  /// component plate (K drawn from [8, 16] instead of [2, 4]) and a
+  /// strong bias toward mixture likelihoods, so the lowered update
+  /// procedures carry the wide AtmPar scatter loops the reduce pass
+  /// targets (DESIGN.md section 16). Still fully deterministic per
+  /// seed — the flag only changes which deterministic distribution the
+  /// structural draws come from.
+  bool WideAccum = false;
 };
 
 /// One declaration of a generated model. Args are surface-syntax

@@ -8,7 +8,17 @@
 // model.
 //
 //   $ fuzz_models [--count N] [--seed S] [--samples M] [--gradcheck]
-//                 [--replay SEED] [-v]
+//                 [--threads T] [--reduce atomic|mapreduce|auto]
+//                 [--wide] [--replay SEED] [-v]
+//
+// --threads arms the pooled engines on both backends; --reduce pins the
+// contention-aware reduction policy for the run (only observable with
+// --threads != 1). Under the map-reduce policy the differential stays
+// bit-exact (privatized sums are deterministic); under atomic/auto with
+// a pool the comparison drops to posterior-mean tolerance, since
+// leftover atomic sites legitimately reorder between the two runs.
+// --wide weights generation toward wide-accumulation shapes (large-K
+// mixtures), the workload the reduce pass targets.
 //
 // The AUGUR_FUZZ_BUDGET environment variable overrides --count (the CI
 // smoke budget is small; nightly runs export a large budget).
@@ -31,7 +41,9 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--count N] [--seed S] [--samples M] "
-               "[--gradcheck] [--replay SEED] [-v]\n",
+               "[--gradcheck] [--threads T] "
+               "[--reduce atomic|mapreduce|auto] [--wide] "
+               "[--replay SEED] [-v]\n",
                Argv0);
   return 2;
 }
@@ -69,6 +81,9 @@ int main(int argc, char **argv) {
   bool Verbose = false;
   bool Replay = false;
   uint64_t ReplaySeed = 0;
+  int Threads = 1;
+  ReduceMode Reduce = ReduceMode::Auto;
+  bool Wide = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -80,6 +95,20 @@ int main(int argc, char **argv) {
       Samples = std::atoi(argv[++I]);
     else if (A == "--gradcheck")
       GradCheck = true;
+    else if (A == "--threads" && I + 1 < argc)
+      Threads = std::atoi(argv[++I]);
+    else if (A == "--reduce" && I + 1 < argc) {
+      std::string M = argv[++I];
+      if (M == "atomic")
+        Reduce = ReduceMode::Atomic;
+      else if (M == "mapreduce")
+        Reduce = ReduceMode::MapReduce;
+      else if (M == "auto")
+        Reduce = ReduceMode::Auto;
+      else
+        return usage(argv[0]);
+    } else if (A == "--wide")
+      Wide = true;
     else if (A == "--replay" && I + 1 < argc) {
       Replay = true;
       ReplaySeed = std::strtoull(argv[++I], nullptr, 0);
@@ -92,8 +121,16 @@ int main(int argc, char **argv) {
     Count = std::atoi(Budget);
 
   GenOptions GOpts;
+  GOpts.WideAccum = Wide;
   DiffOptions DOpts;
   DOpts.NumSamples = Samples;
+  DOpts.NumThreads = Threads;
+  DOpts.Reduce = Reduce;
+  // A pooled run with atomic sites left in place reorders its
+  // floating-point reductions between the two backend executions, so
+  // bit-equality is only the contract under the map-reduce policy.
+  if (Threads != 1 && Reduce != ReduceMode::MapReduce)
+    DOpts.RequireBitIdentical = false;
 
   if (Replay) {
     // Replay one seed with full reporting (the workflow after a CI
