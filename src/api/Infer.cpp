@@ -4,6 +4,7 @@
 
 #include "api/Diagnostics.h"
 #include "robust/Checkpoint.h"
+#include "robust/FaultInject.h"
 #include "support/Format.h"
 #include "support/PhiloxRNG.h"
 
@@ -148,6 +149,10 @@ Result<SampleSet> collectSamples(MCMCProgram &Prog, const SampleOptions &SO,
   const uint64_t Thin = uint64_t(SO.Thin < 1 ? 1 : SO.Thin);
   const uint64_t Total = BurnIn + uint64_t(SO.NumSamples) * Thin;
   while (SweepsDone < Total) {
+    // Crash-class probe (sigsegv / oom / worker-hang): a no-op unless
+    // this process opted in via robust::setCrashFaultsEnabled — i.e.
+    // only forked sandbox workers and fuzz drivers ever die here.
+    robust::crashFaultProbe();
     try {
       AUGUR_RETURN_IF_ERROR(Prog.step());
       ++SweepsDone;

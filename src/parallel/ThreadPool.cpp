@@ -212,22 +212,39 @@ ParForStats ThreadPool::parallelFor(
   return Stats;
 }
 
+namespace {
+// Registry state lives behind pointers (never destroyed) so a forked
+// child can abandon the inherited copies wholesale: the inherited mutex
+// may have been held by a thread that no longer exists, and the
+// inherited pools reference worker threads that fork() did not carry
+// over. See ThreadPool::resetAfterFork().
+std::mutex *PoolRegistryMu = new std::mutex;
+std::map<int, std::unique_ptr<ThreadPool>> *PoolRegistry =
+    new std::map<int, std::unique_ptr<ThreadPool>>();
+} // namespace
+
 ThreadPool &ThreadPool::global(int NumThreads) {
   // Keyed by width and never destroyed: rebuilding a shared pool while
   // another thread is executing a region on it (concurrent compiles in
   // the serving daemon) would tear the region out from under that
   // caller. Distinct widths coexist; repeated requests share.
-  static std::mutex PoolM;
-  static std::map<int, std::unique_ptr<ThreadPool>> *Pools =
-      new std::map<int, std::unique_ptr<ThreadPool>>();
-  std::lock_guard<std::mutex> Lock(PoolM);
+  std::lock_guard<std::mutex> Lock(*PoolRegistryMu);
   int Want = NumThreads;
   if (Want <= 0) {
     unsigned Hw = std::thread::hardware_concurrency();
     Want = Hw == 0 ? 1 : int(Hw);
   }
-  std::unique_ptr<ThreadPool> &P = (*Pools)[Want];
+  std::unique_ptr<ThreadPool> &P = (*PoolRegistry)[Want];
   if (!P)
     P = std::make_unique<ThreadPool>(Want);
   return *P;
+}
+
+void ThreadPool::resetAfterFork() {
+  // Leaks the inherited registry on purpose: destroying the old pools
+  // would try to join worker threads that do not exist in this process.
+  // A sandbox worker is short-lived, so the leak is bounded and the
+  // fresh registry lazily builds live pools on first use.
+  PoolRegistryMu = new std::mutex;
+  PoolRegistry = new std::map<int, std::unique_ptr<ThreadPool>>();
 }

@@ -118,6 +118,14 @@ public:
   /// this is safe to call from any thread at any time.
   static ThreadPool &global(int NumThreads = 0);
 
+  /// Fork hygiene for sandbox workers: after fork() only the calling
+  /// thread survives, so every inherited pool's workers are gone and
+  /// the registry mutex may have been held by a dead thread. This swaps
+  /// in a fresh registry (leaking the inherited one — joining dead
+  /// threads would hang), so the child's first global() call builds
+  /// live pools. Call only from a just-forked, single-threaded child.
+  static void resetAfterFork();
+
 private:
   struct WorkerQueue {
     std::mutex M;

@@ -3,7 +3,15 @@
 #include "robust/FaultInject.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
+#include <new>
+
+#ifndef _WIN32
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 #include "support/Format.h"
 #include "support/PhiloxRNG.h"
@@ -12,6 +20,28 @@ using namespace augur;
 using namespace augur::robust;
 
 std::atomic<bool> FaultInjector::Armed{false};
+
+FaultInjector::FaultInjector() : Mu(new std::mutex) {
+  // Probe counters go into a fork-shared page so a sandbox worker's
+  // probes advance the same sequence the daemon and its sibling workers
+  // see: an `n=K` clause then fires on exactly one sweep of one worker,
+  // and a retried request observes fresh probe indices instead of
+  // re-firing the same fault forever. The singleton is constructed
+  // before the daemon ever forks (Server::start configures the
+  // injector), so every child inherits this mapping.
+  void *Page = nullptr;
+#ifndef _WIN32
+  Page = ::mmap(nullptr, sizeof(std::atomic<uint64_t>) * NumFaultClasses,
+                PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (Page == MAP_FAILED)
+    Page = nullptr;
+#endif
+  if (!Page)
+    Page = ::calloc(NumFaultClasses, sizeof(std::atomic<uint64_t>));
+  Probes = static_cast<std::atomic<uint64_t> *>(Page);
+  for (int I = 0; I < NumFaultClasses; ++I)
+    new (&Probes[I]) std::atomic<uint64_t>(0);
+}
 
 const char *augur::robust::faultClassName(FaultClass C) {
   switch (C) {
@@ -27,6 +57,12 @@ const char *augur::robust::faultClassName(FaultClass C) {
     return "worker-fault";
   case FaultClass::KillAfterCheckpoint:
     return "kill-after-checkpoint";
+  case FaultClass::SigSegv:
+    return "sigsegv";
+  case FaultClass::OomFault:
+    return "oom";
+  case FaultClass::WorkerHang:
+    return "worker-hang";
   }
   return "?";
 }
@@ -83,13 +119,13 @@ int classByName(const std::string &Name) {
 } // namespace
 
 Status FaultInjector::configure(const std::string &Spec) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(*Mu);
   InstalledSpec.clear();
   Seed = 0;
   for (auto &C : Classes)
     C = ClassSpec();
-  for (auto &P : Probes)
-    P.store(0, std::memory_order_relaxed);
+  for (int I = 0; I < NumFaultClasses; ++I)
+    Probes[I].store(0, std::memory_order_relaxed);
   Log.clear();
   Armed.store(false, std::memory_order_relaxed);
   if (Spec.empty())
@@ -155,7 +191,7 @@ Status FaultInjector::configureFromOptions(const std::string &OptSpec) {
     // (a serving daemon, multi-chain sampling) must not reset the probe
     // counters, or an `n=` probe could fire once per compile instead of
     // once per process.
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::lock_guard<std::mutex> Lock(*Mu);
     if (Resolved == InstalledSpec)
       return Status::success();
   }
@@ -169,7 +205,7 @@ bool FaultInjector::fire(FaultClass C) {
   uint64_t Probe = Probes[I].fetch_add(1, std::memory_order_relaxed) + 1;
   bool Fire = false;
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    std::lock_guard<std::mutex> Lock(*Mu);
     const ClassSpec &CS = Classes[I];
     if (!CS.Active)
       return false;
@@ -181,22 +217,88 @@ bool FaultInjector::fire(FaultClass C) {
       uint64_t Bits = philoxMix(Seed ^ (0x9e3779b9ull + uint64_t(I)), Probe);
       Fire = double(Bits >> 11) * 0x1.0p-53 < CS.P;
     }
-    if (Fire)
+    // A forked worker inherited the log vector at an arbitrary parent
+    // instant; assertions about child-side fires go through the shared
+    // probe counters and the daemon's telemetry instead.
+    if (Fire && !ForkedChild)
       Log.push_back({C, Probe});
   }
   return Fire;
 }
 
+void FaultInjector::reinitAfterFork() {
+  // Deliberately leaks the inherited mutex: the parent may have held it
+  // at the fork instant, so destroying or reusing it is unsafe.
+  Mu = new std::mutex;
+  ForkedChild = true;
+}
+
 std::vector<FaultEvent> FaultInjector::events() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(*Mu);
   return Log;
 }
 
 uint64_t FaultInjector::fired(FaultClass C) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  std::lock_guard<std::mutex> Lock(*Mu);
   uint64_t N = 0;
   for (const FaultEvent &E : Log)
     if (E.Class == C)
       ++N;
   return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash fault classes
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<bool> CrashFaultsOn{false};
+} // namespace
+
+void augur::robust::setCrashFaultsEnabled(bool On) {
+  CrashFaultsOn.store(On, std::memory_order_relaxed);
+}
+
+bool augur::robust::crashFaultsEnabled() {
+  return CrashFaultsOn.load(std::memory_order_relaxed);
+}
+
+void augur::robust::crashFaultProbe() {
+  if (!FaultInjector::armed() ||
+      !CrashFaultsOn.load(std::memory_order_relaxed))
+    return;
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.fire(FaultClass::SigSegv)) {
+    volatile int *Null = nullptr;
+    *Null = 42; // dies by SIGSEGV (sanitizer builds report and exit)
+  }
+  if (FI.fire(FaultClass::OomFault)) {
+#ifndef _WIN32
+    // Emulate a kernel OOM kill deterministically: allocate-and-touch
+    // until the address-space rlimit refuses, then die by SIGKILL the
+    // way the OOM killer would. Capped at 1 GiB so a worker running
+    // without RLIMIT_AS cannot eat the whole machine first.
+    size_t Total = 0;
+    while (Total < (1ull << 30)) {
+      const size_t Chunk = 8u << 20;
+      char *P = static_cast<char *>(::malloc(Chunk));
+      if (!P)
+        break;
+      for (size_t I = 0; I < Chunk; I += 4096)
+        P[I] = 1;
+      Total += Chunk;
+    }
+    ::raise(SIGKILL);
+#endif
+  }
+  if (FI.fire(FaultClass::WorkerHang)) {
+#ifndef _WIN32
+    // Ignore SIGTERM so the supervisor is forced through its
+    // SIGTERM-then-SIGKILL escalation — exercising that path is the
+    // whole point of this class.
+    ::signal(SIGTERM, SIG_IGN);
+    for (;;)
+      ::pause();
+#endif
+  }
 }

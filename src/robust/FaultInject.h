@@ -27,6 +27,7 @@
 ///   class   ::= 'nan-density' | 'inf-density' | 'alloc-fail'
 ///             | 'native-compile-fail' | 'worker-fault'
 ///             | 'kill-after-checkpoint'
+///             | 'sigsegv' | 'oom' | 'worker-hang'
 ///   param   ::= 'p=' FLOAT      probability per probe, in [0, 1]
 ///             | 'n=' UINT       fire on exactly the n-th probe (1-based)
 ///
@@ -56,8 +57,12 @@ enum class FaultClass {
   NativeCompileFail,   ///< the host C compiler invocation "fails"
   WorkerFault,         ///< a pool worker throws mid-chunk
   KillAfterCheckpoint, ///< raise SIGKILL right after a checkpoint write
+  SigSegv,             ///< dereference null mid-sweep: die by SIGSEGV
+  OomFault,            ///< allocate until the rlimit refuses, then die
+                       ///< by SIGKILL like the kernel OOM killer
+  WorkerHang,          ///< ignore SIGTERM and hang forever mid-sweep
 };
-constexpr int NumFaultClasses = 6;
+constexpr int NumFaultClasses = 9;
 
 const char *faultClassName(FaultClass C);
 
@@ -102,6 +107,14 @@ public:
   /// Number of faults of class \p C injected since the last configure().
   uint64_t fired(FaultClass C) const;
 
+  /// Fork hygiene for sandbox workers: re-creates the injector's mutex
+  /// (another daemon thread may have held it at the fork instant) and
+  /// stops event-log writes in this process (containers inherited
+  /// mid-mutation are not safe to touch). Probe counters live in a
+  /// fork-shared page and keep advancing, so `n=` probes fire exactly
+  /// once across the whole worker herd rather than once per child.
+  void reinitAfterFork();
+
 private:
   struct ClassSpec {
     bool Active = false;
@@ -109,14 +122,23 @@ private:
     uint64_t N = 0;    ///< 1-based probe index to fire on (0 = use P)
   };
 
-  FaultInjector() = default;
+  FaultInjector();
 
   static std::atomic<bool> Armed;
 
-  mutable std::mutex Mu; ///< guards Spec, Classes, Log, InstalledSpec
+  /// Guards Spec, Classes, Log, InstalledSpec. Heap-allocated so a
+  /// forked child can swap in a fresh mutex without destroying one the
+  /// parent may hold.
+  mutable std::mutex *Mu;
+  /// True in a forked sandbox worker after reinitAfterFork().
+  bool ForkedChild = false;
   uint64_t Seed = 0;
   ClassSpec Classes[NumFaultClasses];
-  std::atomic<uint64_t> Probes[NumFaultClasses] = {};
+  /// Probe counters, placement-constructed in a MAP_SHARED|MAP_ANONYMOUS
+  /// page when available (heap fallback otherwise) so forked sandbox
+  /// workers share one deterministic probe sequence with the daemon and
+  /// with each other.
+  std::atomic<uint64_t> *Probes;
   std::vector<FaultEvent> Log;
   /// The spec text configure() last installed successfully, for the
   /// configureFromOptions() unchanged-spec fast path.
@@ -128,6 +150,22 @@ private:
 inline bool faultFire(FaultClass C) {
   return FaultInjector::armed() && FaultInjector::global().fire(C);
 }
+
+/// Process-local opt-in for the crash fault classes (`sigsegv`, `oom`,
+/// `worker-hang`). These faults kill or wedge the *process*, so they
+/// must never fire inside the serve daemon itself — only inside forked
+/// sandbox workers (which enable this after fork) and opted-in drivers
+/// like `fuzz_models`. While disabled, crash probes are not even
+/// counted, so the shared probe sequence is consumed exclusively by the
+/// processes meant to die.
+void setCrashFaultsEnabled(bool On);
+bool crashFaultsEnabled();
+
+/// Probe site for the crash classes, called once per MCMC sweep. When
+/// crash faults are enabled in this process and an armed spec fires,
+/// this call does not return: it segfaults, allocates itself to death
+/// and raises SIGKILL, or ignores SIGTERM and hangs. No-op otherwise.
+void crashFaultProbe();
 
 } // namespace robust
 } // namespace augur

@@ -3,15 +3,19 @@
 #include "serve/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "support/Format.h"
+#include "support/PhiloxRNG.h"
 
 using namespace augur;
 using namespace augur::serve;
@@ -26,6 +30,8 @@ Client &Client::operator=(Client &&O) noexcept {
     if (Fd >= 0)
       ::close(Fd);
     Fd = O.Fd;
+    Retry = O.Retry;
+    LastError = std::move(O.LastError);
     O.Fd = -1;
   }
   return *this;
@@ -70,6 +76,10 @@ Result<Client> Client::connectTcp(const std::string &Host, int Port) {
                                    Host.c_str(), Port,
                                    std::strerror(errno)));
   }
+  // Requests are single small frames; Nagle would hold them behind the
+  // server's delayed ACK of the previous response.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   Client C;
   C.Fd = Fd;
   return C;
@@ -107,6 +117,58 @@ Status checkFrame(const Json &J, uint64_t Id) {
 
 Result<Client::SampleOutcome> Client::sample(const SampleRequest &SR,
                                              uint64_t Id) {
+  LastError = ErrorDetail();
+  const bool HasDeadline = SR.DeadlineMillis > 0;
+  const auto DeadlineAt = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(SR.DeadlineMillis);
+  uint64_t JitterState = Retry.JitterSeed ^ Id;
+  for (int Attempt = 0;; ++Attempt) {
+    SampleRequest Eff = SR;
+    if (HasDeadline) {
+      // The resubmission carries what is left of the original budget,
+      // so a retried request cannot outlive the deadline server-side.
+      int64_t RemainMs =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              DeadlineAt - std::chrono::steady_clock::now())
+              .count();
+      if (RemainMs < 1)
+        return Status::error("deadline: budget exhausted before retry");
+      Eff.DeadlineMillis = RemainMs;
+    }
+    Result<SampleOutcome> R = sampleOnce(Eff, Id);
+    LastError.Attempts = Attempt + 1;
+    if (R.ok()) {
+      // A retried success is still a success: clear the error surface
+      // of earlier failed attempts, keeping Attempts as the record
+      // that resubmission happened.
+      LastError.Code.clear();
+      LastError.Message.clear();
+      LastError.Detail = Json();
+      return R;
+    }
+    const bool Retryable =
+        LastError.Code == "overloaded" || LastError.Code == "worker-crashed";
+    if (!Retryable || Attempt >= Retry.MaxRetries)
+      return R;
+    int64_t Base = Retry.BaseBackoffMillis < 1 ? 1 : Retry.BaseBackoffMillis;
+    int64_t BackMs = Base << (Attempt < 10 ? Attempt : 10);
+    if (BackMs > Retry.MaxBackoffMillis)
+      BackMs = Retry.MaxBackoffMillis;
+    // Jitter in [BackMs/2, BackMs]: decorrelates a herd of shed clients
+    // without ever shrinking the wait to zero.
+    JitterState = philoxMix(JitterState, uint64_t(Attempt) + 1);
+    int64_t Half = BackMs / 2;
+    int64_t SleepMs = Half + int64_t(JitterState % uint64_t(Half + 1));
+    if (HasDeadline && std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(SleepMs) >=
+                           DeadlineAt)
+      return R; // the backoff would outlive the deadline; surface now
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+  }
+}
+
+Result<Client::SampleOutcome> Client::sampleOnce(const SampleRequest &SR,
+                                                 uint64_t Id) {
   Request R;
   R.Kind = Request::Op::Sample;
   R.Id = Id;
@@ -124,6 +186,16 @@ Result<Client::SampleOutcome> Client::sample(const SampleRequest &SR,
     AUGUR_ASSIGN_OR_RETURN(Json F, read(Eof));
     if (Eof)
       return Status::error("server closed the stream mid-request");
+    if (F.getStr("type", "") == "error" &&
+        uint64_t(F.getInt("id", -1)) == Id) {
+      // Capture the structured surface before collapsing to a Status:
+      // code, message, and the optional detail object (worker-crashed
+      // carries {signal, attempts, draws}).
+      LastError.Code = F.getStr("code", "internal");
+      LastError.Message = F.getStr("message", "");
+      const Json *D = F.find("detail");
+      LastError.Detail = D ? *D : Json();
+    }
     AUGUR_RETURN_IF_ERROR(checkFrame(F, Id));
     std::string Type = F.getStr("type", "");
     if (Type == "draw") {

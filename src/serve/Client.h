@@ -23,12 +23,39 @@
 namespace augur {
 namespace serve {
 
+/// Client-side retry policy for transient sample() failures. The two
+/// retryable codes are `overloaded` (admission control shed the
+/// request) and `worker-crashed` (the daemon's sandbox exhausted its
+/// own retries/hedge) — both are safe to re-submit because a sample
+/// request is a pure function of its payload: the replay streams
+/// bit-identical draws. Backoff is exponential with per-attempt jitter
+/// so a herd of rejected clients does not re-arrive in lockstep.
+struct RetryPolicy {
+  int MaxRetries = 2;              ///< re-submissions after the first try
+  int64_t BaseBackoffMillis = 50;  ///< first backoff; doubles per retry
+  int64_t MaxBackoffMillis = 2000; ///< backoff ceiling
+  uint64_t JitterSeed = 0x5EED;    ///< deterministic jitter stream
+};
+
+/// The structured error surface of the last failed sample() call:
+/// protocol code, message, and the server's optional detail object
+/// (e.g. worker-crashed carries {signal, attempts, draws}).
+struct ErrorDetail {
+  std::string Code;    ///< protocol error code ("" when no error frame)
+  std::string Message;
+  Json Detail;         ///< server-supplied detail; null when absent
+  int Attempts = 0;    ///< total submissions, including the first
+};
+
 /// A connected client. Move-only; the socket closes on destruction.
 class Client {
 public:
   Client() = default;
   ~Client();
-  Client(Client &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Client(Client &&O) noexcept
+      : Fd(O.Fd), Retry(O.Retry), LastError(std::move(O.LastError)) {
+    O.Fd = -1;
+  }
   Client &operator=(Client &&O) noexcept;
   Client(const Client &) = delete;
   Client &operator=(const Client &) = delete;
@@ -53,8 +80,21 @@ public:
 
   /// Submits \p SR and blocks until done, collecting the streamed draws
   /// into per-chain SampleSets. A structured error frame becomes an
-  /// error Status carrying "<code>: <message>".
+  /// error Status carrying "<code>: <message>" (full detail via
+  /// lastError()). Transient failures — overloaded, worker-crashed —
+  /// are retried per the RetryPolicy: jittered exponential backoff,
+  /// bounded attempts, never past the request's own deadline (the
+  /// resubmitted request carries the remaining budget).
   Result<SampleOutcome> sample(const SampleRequest &SR, uint64_t Id = 1);
+
+  /// Replaces the transient-failure retry policy (MaxRetries = 0
+  /// disables resubmission entirely).
+  void setRetryPolicy(const RetryPolicy &P) { Retry = P; }
+
+  /// Structured detail of the last sample() failure; Code is empty when
+  /// the last sample() succeeded or failed without an error frame
+  /// (transport errors).
+  const ErrorDetail &lastError() const { return LastError; }
 
   /// Fetches the daemon's metrics snapshot (counters, histograms,
   /// cache stats, queue depth).
@@ -67,7 +107,11 @@ public:
   Status shutdownServer(uint64_t Id = 1);
 
 private:
+  Result<SampleOutcome> sampleOnce(const SampleRequest &SR, uint64_t Id);
+
   int Fd = -1;
+  RetryPolicy Retry;
+  ErrorDetail LastError;
 };
 
 } // namespace serve

@@ -34,6 +34,8 @@ const char *augur::serve::errorCodeName(ErrorCode C) {
     return "overloaded";
   case ErrorCode::ShuttingDown:
     return "shutting-down";
+  case ErrorCode::WorkerCrashed:
+    return "worker-crashed";
   case ErrorCode::Internal:
     return "internal";
   }
@@ -419,12 +421,15 @@ Json augur::serve::doneFrame(uint64_t Id, int Chains, int Samples,
 }
 
 Json augur::serve::errorFrame(uint64_t Id, ErrorCode Code,
-                              const std::string &Message, uint64_t Trace) {
+                              const std::string &Message, uint64_t Trace,
+                              Json Detail) {
   Json J = responseHead(Id, "error");
   J.set("code", Json::str(errorCodeName(Code)));
   J.set("message", Json::str(Message));
   if (Trace)
     J.set("trace", Json::integer(int64_t(Trace)));
+  if (!Detail.isNull())
+    J.set("detail", std::move(Detail));
   return J;
 }
 

@@ -24,6 +24,8 @@
 ///   {"v":1,"id":N,"type":"done","chains":C,"samples":M,
 ///    "cache_hit":B,"elapsed_ms":R}             terminates a sample op
 ///   {"v":1,"id":N,"type":"error","code":CODE,"message":MSG}
+///     + optional "detail":{...} (structured context, e.g. for
+///       "worker-crashed": {"signal":S,"attempts":A,"draws":D})
 ///   {"v":1,"id":N,"type":"pong"}
 ///   {"v":1,"id":N,"type":"metrics","counters":{...},"histograms":{...}}
 ///   {"v":1,"id":N,"type":"bye"}                acknowledges shutdown
@@ -71,6 +73,8 @@ enum class ErrorCode {
   Deadline,     ///< per-request deadline expired
   Overloaded,   ///< admission control rejected (queue full)
   ShuttingDown, ///< daemon is stopping
+  WorkerCrashed,///< sandbox worker died (signal/OOM) and retries/hedge
+                ///< were exhausted; transient — safe to retry
   Internal,     ///< anything else
 };
 
@@ -147,8 +151,10 @@ Json drawFrame(uint64_t Id, int Chain, uint64_t Index,
                const std::vector<const Value *> &Values, double LogJoint);
 Json doneFrame(uint64_t Id, int Chains, int Samples, bool CacheHit,
                double ElapsedMillis, uint64_t Trace = 0);
+/// \p Detail, when non-null, is attached verbatim as the frame's
+/// "detail" member (structured error context for clients).
 Json errorFrame(uint64_t Id, ErrorCode Code, const std::string &Message,
-                uint64_t Trace = 0);
+                uint64_t Trace = 0, Json Detail = Json());
 Json pongFrame(uint64_t Id);
 Json byeFrame(uint64_t Id);
 

@@ -5,11 +5,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -19,6 +22,7 @@
 #include "api/Diagnostics.h"
 #include "api/Infer.h"
 #include "serve/Prometheus.h"
+#include "serve/Sandbox.h"
 #include "support/Format.h"
 #include "support/PhiloxRNG.h"
 
@@ -37,6 +41,16 @@ Server::Server(ServerOptions O)
     Opts.Workers = 1;
   if (Opts.QueueLimit < 1)
     Opts.QueueLimit = 1;
+  SupervisorOptions SU;
+  // Default herd bound: one sandboxed worker per serve worker thread —
+  // isolation then adds processes but no new concurrency.
+  SU.MaxWorkers =
+      Opts.MaxSandboxWorkers > 0 ? Opts.MaxSandboxWorkers : Opts.Workers;
+  SU.BreakerThreshold = Opts.BreakerThreshold;
+  SU.BreakerCooldownMillis = Opts.BreakerCooldownMillis;
+  SU.CrashBackoffMillis = Opts.CrashBackoffMillis;
+  SU.CrashBackoffMaxMillis = Opts.CrashBackoffMaxMillis;
+  Super.reset(new Supervisor(SU));
 }
 
 Server::~Server() { stop(); }
@@ -272,6 +286,13 @@ void Server::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
+    if (Opts.UnixPath.empty()) {
+      // The response is a stream of small frames ending in a small done
+      // frame; with Nagle on, that tail segment sits behind the peer's
+      // delayed ACK (~40ms added to every request).
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
     if (Opts.WriteTimeoutMillis > 0) {
       // A client that stops reading must not wedge a worker in a
       // blocking write forever; see ServerOptions::WriteTimeoutMillis.
@@ -406,6 +427,9 @@ std::string Server::buildPrometheusText() {
       Lookups ? double(CS.Hits) / double(Lookups) : 0.0;
   S.Gauges["serve/queue_depth"] = double(queueDepth());
   S.Gauges["serve/connections_live"] = double(connectionCount());
+  Supervisor::Stats SS = Super->stats();
+  S.Gauges["serve/sandbox/workers_live"] = double(SS.WorkersLive);
+  S.Gauges["serve/breaker/open_count"] = double(SS.BreakersOpen);
   return renderPrometheusText(S);
 }
 
@@ -633,51 +657,310 @@ void Server::workerLoop() {
 }
 
 /// Runs every chain of a sample job against the locked artifact,
-/// streaming draws. Bit-identity contract: chain c is reset to seed
-/// philoxMix(Seed, c) with chain index c — exactly the options
-/// Infer::sampleChains compiles chain c with — so the streamed draws
-/// match a direct sampleChains run with the same request.
-Status Server::runSample(Job &J, ServedModel &M) {
-  const SampleRequest &SR = J.Req.Sample;
-  int Chains = SR.Chains < 1 ? 1 : SR.Chains;
+/// streaming draws (the in-process execution path: isolation off, the
+/// interpreter backend, or the hedge fallback after worker crashes).
+/// Draws already forwarded by a sandboxed attempt — tracked by \p Cur —
+/// are skipped: the chain loop replays bit-identical streams, so the
+/// client sees one seamless sequence.
+Status Server::runInProcess(Job &J, ServedModel &M, StreamCursor &Cur) {
   Recorder &Rec = Recorder::global();
-  for (int C = 0; C < Chains; ++C) {
-    AUGUR_RETURN_IF_ERROR(
-        M.Prog->resetForReuse(philoxMix(SR.Seed, uint64_t(C)), C));
-    try {
-      AUGUR_RETURN_IF_ERROR(M.Prog->init());
-    } catch (...) {
-      return execFaultStatus("init");
-    }
-    SampleOptions SO;
-    SO.NumSamples = SR.NumSamples;
-    SO.BurnIn = SR.BurnIn;
-    SO.Thin = SR.Thin;
-    SO.Record = SR.Record;
-    SO.TrackLogJoint = SR.TrackLogJoint;
-    SO.KeepDraws = false; // draws stream out; the daemon holds O(1)
-    SO.OnDraw = [&](uint64_t Index, const std::vector<std::string> &Names,
-                    const std::vector<const Value *> &Row,
-                    double LogJoint) -> Status {
-      if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt)
-        return Status::error("deadline exceeded");
-      if (!J.C->Alive.load(std::memory_order_relaxed))
-        return Status::error("client disconnected");
-      Json F = drawFrame(J.Req.Id, C, Index, Names, Row, LogJoint);
-      std::lock_guard<std::mutex> Lock(J.C->WriteMu);
-      Status St = writeJsonFrame(J.C->Fd, F);
-      if (!St.ok()) {
-        J.C->Alive.store(false, std::memory_order_relaxed);
-        return Status::error("client disconnected");
-      }
-      Rec.count("serve/draws");
-      return Status::success();
-    };
-    AUGUR_ASSIGN_OR_RETURN(SampleSet Ignored, sampleProgram(*M.Prog, SO,
-                                                            M.Source));
-    (void)Ignored;
+  return runRequestChains(
+      *M.Prog, J.Req.Sample, M.Source,
+      [&](int C, uint64_t Index, const std::vector<std::string> &Names,
+          const std::vector<const Value *> &Row, double LogJoint) -> Status {
+        if (J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt)
+          return Status::error("deadline exceeded");
+        if (!J.C->Alive.load(std::memory_order_relaxed))
+          return Status::error("client disconnected");
+        if (!Cur.shouldForward(C, int64_t(Index)))
+          return Status::success(); // already streamed by a dead worker
+        Json F = drawFrame(J.Req.Id, C, Index, Names, Row, LogJoint);
+        std::lock_guard<std::mutex> Lock(J.C->WriteMu);
+        Status St = writeJsonFrame(J.C->Fd, F);
+        if (!St.ok()) {
+          J.C->Alive.store(false, std::memory_order_relaxed);
+          return Status::error("client disconnected");
+        }
+        Cur.advance(C);
+        Rec.count("serve/draws");
+        return Status::success();
+      });
+}
+
+bool Server::sandboxEligible(const SampleRequest &SR) const {
+#ifdef _WIN32
+  (void)SR;
+  return false;
+#else
+  switch (Opts.Isolation) {
+  case ServerOptions::IsolationMode::Off:
+    return false;
+  case ServerOptions::IsolationMode::Native:
+    // The interpreter runs no untrusted machine code; only dlopen'd
+    // native artifacts earn the fork.
+    return SR.NativeCpu;
+  case ServerOptions::IsolationMode::All:
+    return true;
   }
-  return Status::success();
+  return false;
+#endif
+}
+
+/// Republishes a worker's end-of-chain convergence diagnostics as
+/// chain<k>/diag/* gauges. The worker's own recorder is disabled after
+/// the fork (its memory is about to vanish), so the diagnostics ride
+/// the status record and land in the parent's registry here — the
+/// /metrics surface is identical to the in-process path's.
+void Server::publishWorkerDiag(const Json &Diag) {
+  if (!Opts.Diag || !Diag.isObj())
+    return;
+  Recorder &Rec = Recorder::global();
+  for (const auto &ChainKV : Diag.obj()) {
+    int Chain = std::atoi(ChainKV.first.c_str());
+    if (const Json *R = ChainKV.second.find("rhat"))
+      for (const auto &KV : R->obj())
+        Rec.gauge(strFormat("chain%d/diag/rhat/%s", Chain, KV.first.c_str()),
+                  KV.second.asReal());
+    if (const Json *E = ChainKV.second.find("ess"))
+      for (const auto &KV : E->obj())
+        Rec.gauge(strFormat("chain%d/diag/ess/%s", Chain, KV.first.c_str()),
+                  KV.second.asReal());
+  }
+}
+
+/// The crash-isolated serving policy (DESIGN.md section 17): breaker
+/// admission, bounded worker herd, fork + relay, per-request retries
+/// with exponential backoff, and the interpreter hedge. Runs without
+/// M->Mu — the worker samples a private copy-on-write image of the
+/// artifact, so sandboxed requests for one hot model proceed in
+/// parallel and a crashed worker cannot have corrupted the cached copy.
+void Server::serveSampleIsolated(Job J, std::shared_ptr<ServedModel> M,
+                                 uint64_t Key, bool CompiledHere,
+                                 uint64_t T0) {
+  const SampleRequest &SR = J.Req.Sample;
+  const uint64_t Trace = J.Req.Trace;
+  Recorder &Rec = Recorder::global();
+  int Chains = SR.Chains < 1 ? 1 : SR.Chains;
+  StreamCursor Cur(Chains);
+
+  auto elapsedMs = [&] { return double(Recorder::nowNanos() - T0) / 1e6; };
+  auto finishOk = [&] {
+    double Ms = elapsedMs();
+    Rec.observe("serve/latency_ms", Ms);
+    sendFrame(*J.C, doneFrame(J.Req.Id, Chains, SR.NumSamples,
+                              /*CacheHit=*/!CompiledHere, Ms, Trace));
+    logAccess("sample", J.Req.Id, Trace, "ok", Ms, CompiledHere ? 0 : 1);
+  };
+  auto finishErr = [&](ErrorCode Code, const std::string &Message,
+                       Json Detail) {
+    double Ms = elapsedMs();
+    Rec.observe("serve/latency_ms", Ms);
+    Rec.count("serve/errors");
+    Rec.count(strFormat("serve/errors/%s", errorCodeName(Code)));
+    sendFrame(*J.C,
+              errorFrame(J.Req.Id, Code, Message, Trace, std::move(Detail)));
+    logAccess("sample", J.Req.Id, Trace, errorCodeName(Code), Ms,
+              CompiledHere ? 0 : 1);
+  };
+  auto pastDeadline = [&] {
+    return J.HasDeadline && std::chrono::steady_clock::now() >= J.DeadlineAt;
+  };
+
+  Admission A = Super->admit(Key);
+  int Crashes = 0, LastSignal = 0;
+  std::string CrashMsg;
+
+  if (!A.Degrade) {
+    // Crash-storm fork backoff: recent worker deaths push fork
+    // eligibility into the future; a deadline that cannot survive the
+    // wait fails fast instead of sleeping through it.
+    if (A.WaitMillis > 0) {
+      auto Until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(A.WaitMillis);
+      if (J.HasDeadline && Until >= J.DeadlineAt) {
+        if (A.Trial)
+          Super->abandonTrial(Key);
+        finishErr(ErrorCode::Deadline,
+                  "deadline would expire during crash backoff", Json());
+        return;
+      }
+      std::this_thread::sleep_until(Until);
+    }
+    if (!Super->acquireSlot(J.HasDeadline, J.DeadlineAt)) {
+      if (A.Trial)
+        Super->abandonTrial(Key);
+      finishErr(ErrorCode::Deadline,
+                "deadline expired waiting for a sandbox worker slot",
+                Json());
+      return;
+    }
+
+    // A half-open trial gets exactly one attempt: its death must reopen
+    // the breaker, not burn the retry budget re-probing a bad artifact.
+    int MaxAttempts = A.Trial ? 1 : 1 + (Opts.RetryMax < 0 ? 0 : Opts.RetryMax);
+    for (int Att = 0; Att < MaxAttempts; ++Att) {
+      if (Att > 0) {
+        int64_t BackMs = (Opts.RetryBackoffMillis < 0
+                              ? 0
+                              : Opts.RetryBackoffMillis)
+                         << (Att - 1 < 6 ? Att - 1 : 6);
+        auto Until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(BackMs);
+        if (J.HasDeadline && Until >= J.DeadlineAt)
+          break; // no time left to retry; fall through to the hedge
+        Rec.count("serve/sandbox/retries");
+        std::this_thread::sleep_until(Until);
+      }
+      Rec.count("serve/sandbox/forks");
+      SandboxOptions SO;
+      SO.RssLimitBytes = Opts.WorkerRssLimitBytes;
+      SO.CpuLimitSecs = Opts.WorkerCpuLimitSecs;
+      SO.HasDeadline = J.HasDeadline;
+      SO.DeadlineAt = J.DeadlineAt;
+      SO.KillGraceMillis = Opts.WorkerKillGraceMillis;
+      SO.RingBytes = Opts.SandboxRingBytes;
+      SO.ForcePipe = Opts.SandboxPipe;
+      Result<WorkerResult> WRr = runSandboxed(
+          *M, SR, J.Req.Id, SO, Cur,
+          [&](const std::string &Frame) -> Status {
+            std::lock_guard<std::mutex> Lock(J.C->WriteMu);
+            Status St = writeFrame(J.C->Fd, Frame);
+            if (!St.ok()) {
+              J.C->Alive.store(false, std::memory_order_relaxed);
+              return St;
+            }
+            Rec.count("serve/draws");
+            return Status::success();
+          },
+          [&] { return J.C->Alive.load(std::memory_order_relaxed); });
+      if (!WRr.ok()) {
+        // Parent-side setup failure (fork/pipe/mmap exhaustion): not a
+        // worker crash — the artifact is blameless. Hedge in-process.
+        if (A.Trial)
+          Super->abandonTrial(Key);
+        CrashMsg = WRr.message();
+        break;
+      }
+      WorkerResult WR = WRr.take();
+      switch (WR.End) {
+      case WorkerEnd::Completed:
+        Super->reportOutcome(Key, /*Crashed=*/false, A.Trial);
+        Super->releaseSlot();
+        publishWorkerDiag(WR.Diag);
+        finishOk();
+        return;
+      case WorkerEnd::Failed: {
+        // Structured failure: the worker executed safely and reported a
+        // result; retrying or hedging would replay the same failure.
+        Super->reportOutcome(Key, /*Crashed=*/false, A.Trial);
+        Super->releaseSlot();
+        finishErr(WR.Code == "deadline" ? ErrorCode::Deadline
+                                        : ErrorCode::ExecError,
+                  WR.Message, Json());
+        return;
+      }
+      case WorkerEnd::DeadlineKilled:
+        Rec.count("serve/sandbox/deadline_kills");
+        Super->reportOutcome(Key, /*Crashed=*/false, A.Trial);
+        Super->releaseSlot();
+        finishErr(ErrorCode::Deadline, WR.Message, Json());
+        return;
+      case WorkerEnd::ClientGone:
+        Rec.count("serve/sandbox/client_aborts");
+        if (A.Trial)
+          Super->abandonTrial(Key);
+        Super->releaseSlot();
+        logAccess("sample", J.Req.Id, Trace, "client-gone", elapsedMs(),
+                  CompiledHere ? 0 : 1);
+        return;
+      case WorkerEnd::Crashed:
+        ++Crashes;
+        LastSignal = WR.Signal;
+        CrashMsg = WR.Message;
+        Rec.count("serve/sandbox/crashes");
+        if (WR.Signal)
+          Rec.count(strFormat("serve/sandbox/crash_sig/%d", WR.Signal));
+        Super->reportOutcome(Key, /*Crashed=*/true, A.Trial);
+        break; // retry (next loop iteration) or fall through to hedge
+      }
+    }
+    Super->releaseSlot();
+  }
+
+  if (A.Degrade)
+    Rec.count("serve/sandbox/degraded");
+  if (pastDeadline()) {
+    finishErr(ErrorCode::Deadline, "deadline expired", Json());
+    return;
+  }
+  if (!A.Degrade && !Opts.HedgeInterp) {
+    Json Detail = Json::object();
+    Detail.set("signal", Json::integer(LastSignal));
+    Detail.set("attempts", Json::integer(Crashes));
+    Detail.set("draws", Json::integer(int64_t(Cur.totalForwarded())));
+    finishErr(ErrorCode::WorkerCrashed,
+              CrashMsg.empty() ? "sandbox worker crashed" : CrashMsg,
+              std::move(Detail));
+    return;
+  }
+  if (!A.Degrade)
+    Rec.count("serve/sandbox/hedges");
+
+  // Hedge / quarantine fallback: replay the request on the in-process
+  // interpreter. Sound because both backends stream bit-identical
+  // draws; the cursor drops whatever prefix the dead workers already
+  // delivered. The interpreter artifact is a separate cache entry (the
+  // fingerprint covers the backend), so the crashing native image stays
+  // quarantined while its interpreted twin serves.
+  SampleRequest SR2 = SR;
+  SR2.NativeCpu = false;
+  uint64_t Key2 = artifactKey(SR2);
+  Result<std::shared_ptr<ServedModel>> HedgeR = Cache.acquire(
+      Key2, [&]() -> Result<std::shared_ptr<ServedModel>> {
+        ScopedSpan CompileSpan(Rec, "serve/compile", "serve");
+        CompileSpan.arg("trace_id", double(Trace));
+        auto HM = std::make_shared<ServedModel>();
+        HM->Source = SR2.Model;
+        CompileOptions CO;
+        CO.NativeCpu = false;
+        CO.UserSchedule = SR2.Schedule;
+        CO.Seed = SR2.Seed;
+        CO.Par.NumThreads = SR2.Threads;
+        CO.Diag.Enabled = Opts.Diag;
+        AUGUR_ASSIGN_OR_RETURN(
+            HM->Prog, Compiler::compile(SR2.Model, CO, SR2.Args, SR2.Data));
+        return HM;
+      });
+  if (!HedgeR.ok()) {
+    if (Crashes > 0) {
+      Json Detail = Json::object();
+      Detail.set("signal", Json::integer(LastSignal));
+      Detail.set("attempts", Json::integer(Crashes));
+      Detail.set("draws", Json::integer(int64_t(Cur.totalForwarded())));
+      Detail.set("hedge_error", Json::str(HedgeR.message()));
+      finishErr(ErrorCode::WorkerCrashed,
+                CrashMsg.empty() ? "sandbox worker crashed" : CrashMsg,
+                std::move(Detail));
+    } else {
+      finishErr(ErrorCode::CompileError, HedgeR.message(), Json());
+    }
+    return;
+  }
+  std::shared_ptr<ServedModel> HM = HedgeR.take();
+
+  Status St;
+  {
+    std::lock_guard<std::mutex> Lock(HM->Mu);
+    ScopedSpan SampleSpan(Rec, "serve/sample", "serve");
+    SampleSpan.arg("trace_id", double(Trace));
+    St = runInProcess(J, *HM, Cur);
+  }
+  if (!St.ok()) {
+    finishErr(pastDeadline() ? ErrorCode::Deadline : ErrorCode::ExecError,
+              St.message(), Json());
+    return;
+  }
+  finishOk();
 }
 
 void Server::serveSample(Job J) {
@@ -728,14 +1011,20 @@ void Server::serveSample(Job J) {
   std::shared_ptr<ServedModel> M = ModelR.take();
   Rec.count(CompiledHere ? "serve/cache_miss" : "serve/cache_hit");
 
+  if (sandboxEligible(SR)) {
+    serveSampleIsolated(std::move(J), std::move(M), Key, CompiledHere, T0);
+    return;
+  }
+
   Status St;
+  StreamCursor Cur(SR.Chains < 1 ? 1 : SR.Chains);
   {
     // Serialize on this artifact's chain state; requests for other
     // models keep sampling on the other workers.
     std::lock_guard<std::mutex> Lock(M->Mu);
     ScopedSpan SampleSpan(Rec, "serve/sample", "serve");
     SampleSpan.arg("trace_id", double(Trace));
-    St = runSample(J, *M);
+    St = runInProcess(J, *M, Cur);
   }
   double Ms = double(Recorder::nowNanos() - T0) / 1e6;
   Rec.observe("serve/latency_ms", Ms);

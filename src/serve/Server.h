@@ -36,6 +36,15 @@
 /// MCMCProgram::resetForReuse + init(), which rebuilds the chain state
 /// from scratch.
 ///
+/// Crash isolation (DESIGN.md section 17): requests selected by
+/// ServerOptions::Isolation additionally run in forked sandbox workers
+/// (serve/Sandbox.h), so even SIGSEGV/SIGABRT/OOM-kill in dlopen'd
+/// generated code cannot take the daemon down. A supervised policy
+/// layer (serve/Supervisor.h) retries crashed attempts with backoff,
+/// optionally hedges onto the in-process interpreter (sound because
+/// both backends stream bit-identical draws), and quarantines an
+/// artifact behind a circuit breaker after repeated crashes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AUGUR_SERVE_SERVER_H
@@ -55,9 +64,12 @@
 #include "compile/Compiler.h"
 #include "serve/ArtifactCache.h"
 #include "serve/Protocol.h"
+#include "serve/Supervisor.h"
 
 namespace augur {
 namespace serve {
+
+class StreamCursor;
 
 /// Daemon configuration.
 struct ServerOptions {
@@ -94,6 +106,54 @@ struct ServerOptions {
   /// Directory the final metrics.json / trace.json flush writes into
   /// (the daemon's SIGTERM path; see tools/augur_serve).
   std::string TelemetryDir = ".";
+
+  // Crash isolation (serve/Sandbox.h, serve/Supervisor.h; DESIGN.md
+  // section 17).
+
+  /// Which requests run in forked sandbox workers. Off is the trusted
+  /// single-tenant fast path: everything executes in-process exactly as
+  /// before. Native (the default) sandboxes requests that execute
+  /// dlopen'd generated C — the only backend whose faults are
+  /// uncatchable — while interpreter requests keep the in-process fast
+  /// path. All sandboxes every sample request.
+  enum class IsolationMode { Off, Native, All };
+  IsolationMode Isolation = IsolationMode::Native;
+  /// Retries after a worker crash (fresh fork, exponential backoff,
+  /// bounded by the request deadline). The replayed stream's
+  /// already-forwarded prefix is dropped, so a retry is invisible to
+  /// the client. 0 disables.
+  int RetryMax = 1;
+  /// Base backoff before the first retry; doubles per retry.
+  int64_t RetryBackoffMillis = 50;
+  /// After the retry budget is spent (or for a failed breaker trial),
+  /// re-execute the request on the in-process interpreter instead of
+  /// failing it. Bit-identical streams make the hedge substitutable.
+  bool HedgeInterp = true;
+  /// Consecutive crashes before an artifact's circuit breaker opens
+  /// (quarantining it to interpreter-only execution).
+  int BreakerThreshold = 3;
+  /// Open -> half-open cooldown; doubles per reopen (capped at 16x).
+  int64_t BreakerCooldownMillis = 5000;
+  /// RLIMIT_AS for each worker, in bytes (address space, the enforceable
+  /// proxy for resident size). 0 = unlimited.
+  uint64_t WorkerRssLimitBytes = 0;
+  /// RLIMIT_CPU for each worker, in seconds. 0 = unlimited.
+  int64_t WorkerCpuLimitSecs = 0;
+  /// Maximum concurrently-live sandbox workers. 0 = Workers (one per
+  /// serve thread, i.e. the herd never throttles below the thread pool).
+  int MaxSandboxWorkers = 0;
+  /// Deadline escalation: after the deadline SIGTERM, how long before
+  /// SIGKILL finishes off a worker that ignores it.
+  int64_t WorkerKillGraceMillis = 500;
+  /// Crash-storm fork backoff: base delay after a crash, doubling per
+  /// consecutive crash up to the max; any safe completion resets it.
+  int64_t CrashBackoffMillis = 100;
+  int64_t CrashBackoffMaxMillis = 5000;
+  /// Shared-memory draw ring capacity per worker.
+  size_t SandboxRingBytes = 1u << 20;
+  /// Force the pipe transport (no shared-memory ring); primarily for
+  /// exercising the fallback in tests.
+  bool SandboxPipe = false;
 };
 
 /// A compiled model plus the lock that serializes sampling on its chain
@@ -178,7 +238,21 @@ private:
   void connectionLoop(std::shared_ptr<Conn> C);
   void workerLoop();
   void serveSample(Job J);
-  Status runSample(Job &J, ServedModel &M);
+  /// True when ServerOptions::Isolation routes this request through a
+  /// forked sandbox worker.
+  bool sandboxEligible(const SampleRequest &SR) const;
+  /// The crash-isolated execution policy: supervised fork + relay,
+  /// retry with backoff, interpreter hedge, circuit breaker. Sends the
+  /// request's terminal frame and access-log line itself.
+  void serveSampleIsolated(Job J, std::shared_ptr<ServedModel> M,
+                           uint64_t Key, bool CompiledHere, uint64_t T0);
+  /// In-process chain execution, forwarding draws past \p Cur (a fresh
+  /// cursor forwards everything; a hedge resuming after a dead worker
+  /// skips the already-forwarded prefix).
+  Status runInProcess(Job &J, ServedModel &M, StreamCursor &Cur);
+  /// Republishes a completed worker's R-hat/ESS payload as chain<k>
+  /// diag gauges (the worker's own recorder is disabled post-fork).
+  void publishWorkerDiag(const Json &Diag);
   Json metricsFrame(const Request &Req);
   void sendFrame(Conn &C, const Json &J);
   void sendError(Conn &C, uint64_t Id, ErrorCode Code,
@@ -199,6 +273,7 @@ private:
 
   ServerOptions Opts;
   mutable ArtifactCache<ServedModel> Cache;
+  std::unique_ptr<Supervisor> Super; ///< worker herd + circuit breakers
 
   int ListenFd = -1;
   int WakePipe[2] = {-1, -1}; ///< self-pipe unblocking acceptLoop and

@@ -1,0 +1,189 @@
+//===- serve/Supervisor.cpp -----------------------------------*- C++ -*-===//
+
+#include "serve/Supervisor.h"
+
+#include "telemetry/Telemetry.h"
+
+using namespace augur;
+using namespace augur::serve;
+using Clock = std::chrono::steady_clock;
+
+Supervisor::Supervisor(SupervisorOptions O) : Opts(O) {
+  if (Opts.MaxWorkers < 1)
+    Opts.MaxWorkers = 1;
+  if (Opts.BreakerThreshold < 1)
+    Opts.BreakerThreshold = 1;
+  NextForkAt = Clock::now();
+}
+
+bool Supervisor::acquireSlot(bool HasDeadline, Clock::time_point GiveUpAt) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto Free = [&] { return Down || Live < Opts.MaxWorkers; };
+  if (HasDeadline) {
+    if (!SlotCv.wait_until(Lock, GiveUpAt, Free))
+      return false; // deadline passed while queued for a slot
+  } else {
+    SlotCv.wait(Lock, Free);
+  }
+  if (Down)
+    return false;
+  ++Live;
+  return true;
+}
+
+void Supervisor::releaseSlot() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Live > 0)
+      --Live;
+  }
+  SlotCv.notify_one();
+}
+
+void Supervisor::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Down = true;
+  }
+  SlotCv.notify_all();
+}
+
+int64_t Supervisor::cooldownMillisLocked(const Breaker &B) const {
+  // Doubles per reopen so a persistently-crashing artifact is probed
+  // less and less often, capped at 16x to keep recovery discoverable.
+  int Shift = B.Reopens < 4 ? B.Reopens : 4;
+  return Opts.BreakerCooldownMillis << Shift;
+}
+
+Admission Supervisor::admit(uint64_t Key) {
+  Admission A;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto Now = Clock::now();
+  if (Now < NextForkAt)
+    A.WaitMillis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       NextForkAt - Now)
+                       .count();
+  auto It = Breakers.find(Key);
+  if (It == Breakers.end())
+    return A; // Closed (never crashed): fork freely
+  Breaker &B = It->second;
+  switch (B.State) {
+  case BreakerState::Closed:
+    return A;
+  case BreakerState::Open: {
+    int64_t ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Now - B.OpenedAt)
+                            .count();
+    if (ElapsedMs < cooldownMillisLocked(B)) {
+      A.Degrade = true;
+      return A;
+    }
+    B.State = BreakerState::HalfOpen;
+    B.TrialInFlight = false;
+    Recorder::global().count("serve/breaker/half_opens");
+  }
+    // fall through to the half-open admission below
+    [[fallthrough]];
+  case BreakerState::HalfOpen:
+    if (B.TrialInFlight) {
+      // One probe at a time; everyone else stays quarantined until the
+      // trial's verdict is in.
+      A.Degrade = true;
+      return A;
+    }
+    B.TrialInFlight = true;
+    A.Trial = true;
+    return A;
+  }
+  return A;
+}
+
+void Supervisor::reportOutcome(uint64_t Key, bool Crashed, bool WasTrial) {
+  Recorder &Rec = Recorder::global();
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto Now = Clock::now();
+
+  if (!Crashed) {
+    // Any safely-executed native attempt resets the storm window.
+    StormBackoffMillis = 0;
+    auto It = Breakers.find(Key);
+    if (It != Breakers.end()) {
+      Breaker &B = It->second;
+      if (WasTrial)
+        B.TrialInFlight = false;
+      if (B.State != BreakerState::Closed)
+        Rec.count("serve/breaker/closes");
+      // Full reset: the artifact earned its way out of quarantine.
+      Breakers.erase(It);
+    }
+    return;
+  }
+
+  ++TotalCrashes;
+  // Crash-storm fork backoff (global, not per-artifact: forks are a
+  // daemon-wide resource).
+  StormBackoffMillis = StormBackoffMillis == 0
+                           ? Opts.CrashBackoffMillis
+                           : StormBackoffMillis * 2;
+  if (StormBackoffMillis > Opts.CrashBackoffMaxMillis)
+    StormBackoffMillis = Opts.CrashBackoffMaxMillis;
+  auto Candidate = Now + std::chrono::milliseconds(StormBackoffMillis);
+  if (Candidate > NextForkAt)
+    NextForkAt = Candidate;
+
+  Breaker &B = Breakers[Key];
+  if (WasTrial || B.State == BreakerState::HalfOpen) {
+    // The probe died: back to Open with a longer cooldown.
+    B.TrialInFlight = false;
+    B.State = BreakerState::Open;
+    B.OpenedAt = Now;
+    ++B.Reopens;
+    Rec.count("serve/breaker/reopens");
+    return;
+  }
+  if (B.State == BreakerState::Closed) {
+    ++B.Consecutive;
+    if (B.Consecutive >= Opts.BreakerThreshold) {
+      B.State = BreakerState::Open;
+      B.OpenedAt = Now;
+      Rec.count("serve/breaker/opens");
+    }
+  }
+  // Already Open: nothing to do (no forks happen while Open, but a
+  // straggler attempt admitted pre-open may still report here).
+}
+
+void Supervisor::abandonTrial(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Breakers.find(Key);
+  if (It != Breakers.end())
+    It->second.TrialInFlight = false;
+}
+
+BreakerState Supervisor::breakerState(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Breakers.find(Key);
+  if (It == Breakers.end())
+    return BreakerState::Closed;
+  // Surface cooldown expiry without requiring an admit() first.
+  Breaker &B = It->second;
+  if (B.State == BreakerState::Open) {
+    int64_t ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - B.OpenedAt)
+                            .count();
+    if (ElapsedMs >= cooldownMillisLocked(B))
+      return BreakerState::HalfOpen;
+  }
+  return B.State;
+}
+
+Supervisor::Stats Supervisor::stats() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats S;
+  S.WorkersLive = Live;
+  S.Crashes = TotalCrashes;
+  for (auto &KV : Breakers)
+    if (KV.second.State != BreakerState::Closed)
+      ++S.BreakersOpen;
+  return S;
+}

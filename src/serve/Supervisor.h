@@ -1,0 +1,139 @@
+//===- serve/Supervisor.h - Worker herd + circuit breakers -----*- C++ -*-===//
+///
+/// \file
+/// The policy brain above the sandbox mechanism (serve/Sandbox.h),
+/// DESIGN.md section 17. Three concerns:
+///
+///  1. Bounded worker herd: at most MaxWorkers sandboxed workers exist
+///     at once. Serve worker threads acquire a slot before forking and
+///     release it after reaping, so a surge of sandboxed requests
+///     cannot fork-bomb the host.
+///
+///  2. Crash-storm backoff: each worker crash pushes out a global
+///     next-fork-allowed time with exponential growth (reset by any
+///     success), so a model that dies instantly on every attempt cannot
+///     busy-loop the daemon through fork/crash cycles.
+///
+///  3. Per-artifact circuit breaker, keyed by the artifact fingerprint:
+///
+///        Closed --K consecutive crashes--> Open
+///        Open   --cooldown elapses-------> HalfOpen
+///        HalfOpen --trial completes------> Closed
+///        HalfOpen --trial crashes--------> Open (cooldown doubles,
+///                                                capped at 16x)
+///
+///     While Open (and for non-trial requests while HalfOpen) the
+///     artifact is quarantined: admit() answers "degrade", and the
+///     server runs the request on the in-process interpreter instead —
+///     the same substitution the native-compile-fail degradation path
+///     uses, sound because both backends stream bit-identical draws.
+///
+/// Transitions are counted into the telemetry registry
+/// (serve/breaker/*), and stats() feeds the scrape-time gauges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUGUR_SERVE_SUPERVISOR_H
+#define AUGUR_SERVE_SUPERVISOR_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace augur {
+namespace serve {
+
+struct SupervisorOptions {
+  /// Maximum concurrently-live sandboxed workers.
+  int MaxWorkers = 2;
+  /// Consecutive crashes of one artifact before its breaker opens.
+  int BreakerThreshold = 3;
+  /// Open -> HalfOpen cooldown; doubles on each reopen, capped at 16x.
+  int64_t BreakerCooldownMillis = 5000;
+  /// Base fork backoff after a crash; doubles per consecutive crash.
+  int64_t CrashBackoffMillis = 100;
+  int64_t CrashBackoffMaxMillis = 5000;
+};
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+/// What admit() tells the server to do with a sandbox-eligible request.
+struct Admission {
+  /// Quarantined: serve on the in-process interpreter, do not fork.
+  bool Degrade = false;
+  /// This attempt is the half-open trial: at most one in flight per
+  /// artifact; its outcome decides Closed vs re-Open.
+  bool Trial = false;
+  /// Crash-storm backoff: milliseconds to wait before forking (0 when
+  /// the storm window has passed).
+  int64_t WaitMillis = 0;
+};
+
+class Supervisor {
+public:
+  explicit Supervisor(SupervisorOptions O);
+
+  /// Blocks until a worker slot is free. Returns false without
+  /// acquiring when \p GiveUpAt passes first (request deadline) or the
+  /// supervisor is shut down.
+  bool acquireSlot(bool HasDeadline,
+                   std::chrono::steady_clock::time_point GiveUpAt);
+  void releaseSlot();
+
+  /// Unblocks every acquireSlot() waiter (daemon shutdown).
+  void shutdown();
+
+  /// Breaker + storm-backoff decision for artifact \p Key.
+  Admission admit(uint64_t Key);
+
+  /// Reports how a forked attempt for \p Key ended. \p Crashed means
+  /// died-without-status (signals, OOM kill, stream corruption); clean
+  /// completions AND structured failures both count as "the native
+  /// backend executed safely" and close the breaker. \p WasTrial marks
+  /// the half-open trial attempt.
+  void reportOutcome(uint64_t Key, bool Crashed, bool WasTrial);
+
+  /// A trial admission ended with no verdict (client vanished, deadline
+  /// hit before the fork): frees the one-probe-at-a-time slot so the
+  /// next request for \p Key runs the trial instead, without recording
+  /// a success or a crash.
+  void abandonTrial(uint64_t Key);
+
+  BreakerState breakerState(uint64_t Key);
+
+  struct Stats {
+    int WorkersLive = 0;
+    uint64_t BreakersOpen = 0; ///< artifacts currently quarantined
+    uint64_t Crashes = 0;      ///< total crashes observed
+  };
+  Stats stats();
+
+private:
+  struct Breaker {
+    BreakerState State = BreakerState::Closed;
+    int Consecutive = 0; ///< consecutive crashes while Closed
+    int Reopens = 0;     ///< times the half-open trial crashed
+    std::chrono::steady_clock::time_point OpenedAt;
+    bool TrialInFlight = false;
+  };
+
+  int64_t cooldownMillisLocked(const Breaker &B) const;
+
+  SupervisorOptions Opts;
+  std::mutex Mu;
+  std::condition_variable SlotCv;
+  int Live = 0;
+  bool Down = false;
+  uint64_t TotalCrashes = 0;
+  /// Crash-storm state: forks are delayed until NextForkAt.
+  std::chrono::steady_clock::time_point NextForkAt;
+  int64_t StormBackoffMillis = 0;
+  std::map<uint64_t, Breaker> Breakers;
+};
+
+} // namespace serve
+} // namespace augur
+
+#endif // AUGUR_SERVE_SUPERVISOR_H

@@ -147,6 +147,16 @@ public:
 
   bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
+  /// Fork hygiene for sandbox workers: turns recording off with a
+  /// single lock-free store, without touching Mu (another daemon thread
+  /// may have held it at the fork instant) or the inherited shards.
+  /// Every record call then no-ops on its relaxed Enabled load. The
+  /// parent daemon republishes worker metrics from the status record a
+  /// worker streams back, so nothing is lost.
+  void disableInForkedChild() {
+    Enabled.store(false, std::memory_order_relaxed);
+  }
+
   /// Monotonic nanosecond clock shared by all span instrumentation.
   static uint64_t nowNanos();
 

@@ -52,7 +52,12 @@ int usage(const char *Argv0) {
                "          [--queue N] [--cache N]\n"
                "          [--metrics-port P] [--metrics-host H]\n"
                "          [--access-log PATH] [--telemetry-dir DIR]\n"
-               "          [--no-diag]\n",
+               "          [--no-diag]\n"
+               "          [--isolation off|native|all] [--max-workers N]\n"
+               "          [--retry-max N] [--retry-backoff MS] [--no-hedge]\n"
+               "          [--breaker-threshold N] [--breaker-cooldown MS]\n"
+               "          [--worker-rss-limit BYTES] [--worker-cpu-limit S]\n"
+               "          [--kill-grace MS]\n",
                Argv0);
   return 2;
 }
@@ -86,6 +91,34 @@ int main(int argc, char **argv) {
       Opts.TelemetryDir = argv[++I];
     else if (A == "--no-diag")
       Opts.Diag = false;
+    else if (A == "--isolation" && I + 1 < argc) {
+      std::string V = argv[++I];
+      if (V == "off")
+        Opts.Isolation = ServerOptions::IsolationMode::Off;
+      else if (V == "native")
+        Opts.Isolation = ServerOptions::IsolationMode::Native;
+      else if (V == "all")
+        Opts.Isolation = ServerOptions::IsolationMode::All;
+      else
+        return usage(argv[0]);
+    } else if (A == "--max-workers" && I + 1 < argc)
+      Opts.MaxSandboxWorkers = std::atoi(argv[++I]);
+    else if (A == "--retry-max" && I + 1 < argc)
+      Opts.RetryMax = std::atoi(argv[++I]);
+    else if (A == "--retry-backoff" && I + 1 < argc)
+      Opts.RetryBackoffMillis = std::atoll(argv[++I]);
+    else if (A == "--no-hedge")
+      Opts.HedgeInterp = false;
+    else if (A == "--breaker-threshold" && I + 1 < argc)
+      Opts.BreakerThreshold = std::atoi(argv[++I]);
+    else if (A == "--breaker-cooldown" && I + 1 < argc)
+      Opts.BreakerCooldownMillis = std::atoll(argv[++I]);
+    else if (A == "--worker-rss-limit" && I + 1 < argc)
+      Opts.WorkerRssLimitBytes = uint64_t(std::atoll(argv[++I]));
+    else if (A == "--worker-cpu-limit" && I + 1 < argc)
+      Opts.WorkerCpuLimitSecs = std::atoll(argv[++I]);
+    else if (A == "--kill-grace" && I + 1 < argc)
+      Opts.WorkerKillGraceMillis = std::atoll(argv[++I]);
     else
       return usage(argv[0]);
   }
@@ -103,6 +136,11 @@ int main(int argc, char **argv) {
     std::printf("augur_serve: listening on %s:%d (%d workers, cache %zu)\n",
                 Opts.Host.c_str(), S.port(), Opts.Workers,
                 Opts.CacheCapacity);
+  std::printf("augur_serve: isolation %s\n",
+              Opts.Isolation == ServerOptions::IsolationMode::Off ? "off"
+              : Opts.Isolation == ServerOptions::IsolationMode::Native
+                  ? "native"
+                  : "all");
   if (S.metricsPort() > 0)
     std::printf("augur_serve: metrics on http://%s:%d/metrics\n",
                 Opts.MetricsHost.c_str(), S.metricsPort());

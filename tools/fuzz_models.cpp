@@ -30,6 +30,7 @@
 #include <cstring>
 #include <string>
 
+#include "robust/FaultInject.h"
 #include "validate/DiffRunner.h"
 #include "validate/GradCheck.h"
 
@@ -119,6 +120,10 @@ int main(int argc, char **argv) {
   }
   if (const char *Budget = std::getenv("AUGUR_FUZZ_BUDGET"))
     Count = std::atoi(Budget);
+  // Crash fault classes (sigsegv / oom / worker-hang in AUGUR_FAULTS)
+  // are opt-in per process; the fuzzer is expendable, so arm them here
+  // to exercise the sandbox exactly the way a hostile model would.
+  robust::setCrashFaultsEnabled(true);
 
   GenOptions GOpts;
   GOpts.WideAccum = Wide;
